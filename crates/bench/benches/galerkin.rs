@@ -1,0 +1,97 @@
+//! Galerkin assembly + eigensolve scaling — the cost the paper reports as
+//! "eigenpair computation takes 11.2s, using Matlab" (one-time setup).
+//! Also the quadrature-order ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_core::{assemble_galerkin, GalerkinKle, KleOptions, QuadratureRule};
+use klest_geometry::Rect;
+use klest_kernels::GaussianKernel;
+use klest_mesh::{Mesh, MeshBuilder};
+use std::hint::black_box;
+
+fn mesh_with(max_area: f64) -> Mesh {
+    MeshBuilder::new(Rect::unit_die())
+        .max_area(max_area)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("mesh builds")
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let mut group = c.benchmark_group("galerkin_assembly");
+    for max_area in [0.05, 0.02, 0.01] {
+        let mesh = mesh_with(max_area);
+        group.bench_with_input(
+            BenchmarkId::new("centroid", mesh.len()),
+            &mesh,
+            |b, mesh| b.iter(|| black_box(assemble_galerkin(mesh, &kernel, QuadratureRule::Centroid))),
+        );
+    }
+    // Quadrature ablation at fixed mesh size.
+    let mesh = mesh_with(0.02);
+    for (name, rule) in [
+        ("3point", QuadratureRule::ThreePoint),
+        ("7point", QuadratureRule::SevenPoint),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, mesh.len()), &mesh, |b, mesh| {
+            b.iter(|| black_box(assemble_galerkin(mesh, &kernel, rule)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigensolve(c: &mut Criterion) {
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let mut group = c.benchmark_group("galerkin_eigensolve");
+    group.sample_size(10);
+    for max_area in [0.05, 0.02, 0.01] {
+        let mesh = mesh_with(max_area);
+        let k = assemble_galerkin(&mesh, &kernel, QuadratureRule::Centroid);
+        group.bench_with_input(BenchmarkId::from_parameter(mesh.len()), &mesh, |b, mesh| {
+            b.iter(|| {
+                black_box(
+                    GalerkinKle::from_matrix(k.clone(), mesh, KleOptions::default())
+                        .expect("solves"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_ablation(c: &mut Criterion) {
+    // Full O(n³) QL vs Lanczos partial solve for the 200 leading pairs —
+    // the paper's "compute only the first 200" situation.
+    use klest_core::EigenSolver;
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let mesh = mesh_with(0.01);
+    let k = assemble_galerkin(&mesh, &kernel, QuadratureRule::Centroid);
+    let mut group = c.benchmark_group("eigensolver_ablation");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("full_ql", mesh.len()), &mesh, |b, mesh| {
+        b.iter(|| {
+            black_box(
+                GalerkinKle::from_matrix(k.clone(), mesh, KleOptions::default()).expect("solves"),
+            )
+        })
+    });
+    let lanczos = KleOptions {
+        solver: EigenSolver::Lanczos,
+        max_eigenpairs: 50,
+        ..KleOptions::default()
+    };
+    group.bench_with_input(
+        BenchmarkId::new("lanczos_50", mesh.len()),
+        &mesh,
+        |b, mesh| {
+            b.iter(|| {
+                black_box(GalerkinKle::from_matrix(k.clone(), mesh, lanczos).expect("solves"))
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly, bench_eigensolve, bench_solver_ablation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Kernel and special-function evaluation throughput: the Galerkin
+//! assembly makes O(n²) kernel calls, so per-call cost matters for the
+//! Bessel-family kernels of eq. (6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use klest_geometry::Point2;
+use klest_kernels::special::{bessel_k, gamma};
+use klest_kernels::{
+    CovarianceKernel, ExponentialKernel, GaussianKernel, MaternKernel,
+    SeparableExponentialKernel,
+};
+use std::hint::black_box;
+
+fn pair_cloud() -> Vec<(Point2, Point2)> {
+    (0..256)
+        .map(|i| {
+            let t = i as f64 / 256.0;
+            (
+                Point2::new(-1.0 + 2.0 * (t * 13.0).fract(), -1.0 + 2.0 * (t * 29.0).fract()),
+                Point2::new(-1.0 + 2.0 * (t * 47.0).fract(), -1.0 + 2.0 * (t * 71.0).fract()),
+            )
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let pairs = pair_cloud();
+    let mut group = c.benchmark_group("kernel_eval_256_pairs");
+    let gaussian = GaussianKernel::new(2.8);
+    let exponential = ExponentialKernel::new(2.0);
+    let separable = SeparableExponentialKernel::new(1.5);
+    let matern = MaternKernel::new(3.0, 2.5).expect("valid");
+    group.bench_function("gaussian", |b| {
+        b.iter(|| {
+            let s: f64 = pairs.iter().map(|&(x, y)| gaussian.eval(x, y)).sum();
+            black_box(s)
+        })
+    });
+    group.bench_function("exponential", |b| {
+        b.iter(|| {
+            let s: f64 = pairs.iter().map(|&(x, y)| exponential.eval(x, y)).sum();
+            black_box(s)
+        })
+    });
+    group.bench_function("separable_exponential", |b| {
+        b.iter(|| {
+            let s: f64 = pairs.iter().map(|&(x, y)| separable.eval(x, y)).sum();
+            black_box(s)
+        })
+    });
+    group.bench_function("matern_bessel", |b| {
+        b.iter(|| {
+            let s: f64 = pairs.iter().map(|&(x, y)| matern.eval(x, y)).sum();
+            black_box(s)
+        })
+    });
+    group.finish();
+}
+
+fn bench_special_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special_functions");
+    group.bench_function("bessel_k_small_arg", |b| {
+        b.iter(|| black_box(bessel_k(1.5, 0.8).expect("valid")))
+    });
+    group.bench_function("bessel_k_large_arg", |b| {
+        b.iter(|| black_box(bessel_k(1.5, 8.0).expect("valid")))
+    });
+    group.bench_function("gamma", |b| b.iter(|| black_box(gamma(2.5))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_special_functions);
+criterion_main!(benches);

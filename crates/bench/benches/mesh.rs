@@ -1,0 +1,73 @@
+//! Meshing and point-location costs, including the grid-vs-linear
+//! `IndexOfContainingTriangle` ablation the paper alludes to
+//! ("can be made efficient using some space indexing scheme").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_geometry::{Point2, Rect};
+use klest_mesh::MeshBuilder;
+use std::hint::black_box;
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_refinement");
+    group.sample_size(10);
+    for max_area in [0.05f64, 0.01, 0.004] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("area_{max_area}")),
+            &max_area,
+            |b, &a| {
+                b.iter(|| {
+                    black_box(
+                        MeshBuilder::new(Rect::unit_die())
+                            .max_area(a)
+                            .min_angle_degrees(28.0)
+                            .build()
+                            .expect("mesh"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_point_location(c: &mut Criterion) {
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(0.001)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("paper mesh");
+    let locator = mesh.locator();
+    // Deterministic query cloud.
+    let queries: Vec<Point2> = (0..1000)
+        .map(|i| {
+            let t = i as f64 / 1000.0;
+            Point2::new(
+                -0.99 + 1.98 * (t * 37.0).fract(),
+                -0.99 + 1.98 * (t * 61.0).fract(),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("point_location_1k_queries");
+    group.bench_function("grid_index", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                acc += locator.locate(q).expect("inside");
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                acc += mesh.locate_linear(q).expect("inside");
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement, bench_point_location);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Per-sample generation cost: Algorithm 1 (Cholesky correlate, O(N_g²))
+//! vs Algorithm 2 (KLE reconstruct + gather, O(n·r)) vs the beyond-paper
+//! pre-gathered variant (O(N_g·r)) — the mechanism behind Table 1's
+//! speedup column and its small-circuit slowdown.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_circuit::{generate, GeneratorConfig, Placement};
+use klest_core::{GalerkinKle, KleOptions};
+use klest_geometry::Rect;
+use klest_kernels::GaussianKernel;
+use klest_mesh::MeshBuilder;
+use klest_ssta::{CholeskySampler, GateFieldSampler, KleFieldSampler, NormalSource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(0.001)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("paper mesh");
+    let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).expect("KLE");
+
+    let mut group = c.benchmark_group("sample_generation");
+    for gates in [200usize, 800, 2400] {
+        let circuit = generate("bench", GeneratorConfig::combinational(gates, 1)).expect("gen");
+        let placement = Placement::recursive_bisection(&circuit);
+        let locs = placement.locations();
+        let n = locs.len();
+
+        let chol = CholeskySampler::new(&kernel, locs).expect("cholesky");
+        let kle_paper = KleFieldSampler::new(&kle, &mesh, 25, locs).expect("kle");
+        let kle_fused = KleFieldSampler::pregathered(&kle, &mesh, 25, locs).expect("kle");
+
+        let mut buf = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("alg1_cholesky", gates), &(), |b, _| {
+            let mut normals = NormalSource::new(StdRng::seed_from_u64(1));
+            b.iter(|| {
+                chol.sample_into(&mut normals, &mut buf);
+                black_box(buf[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alg2_kle_paper", gates), &(), |b, _| {
+            let mut normals = NormalSource::new(StdRng::seed_from_u64(1));
+            b.iter(|| {
+                kle_paper.sample_into(&mut normals, &mut buf);
+                black_box(buf[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alg2_kle_pregathered", gates), &(), |b, _| {
+            let mut normals = NormalSource::new(StdRng::seed_from_u64(1));
+            b.iter(|| {
+                kle_fused.sample_into(&mut normals, &mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_setup(c: &mut Criterion) {
+    // One-time setup: Cholesky factorisation (per circuit!) vs the KLE
+    // gather (cheap; the eigensolve is shared across all circuits).
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let mut group = c.benchmark_group("sampler_setup");
+    group.sample_size(10);
+    for gates in [200usize, 800] {
+        let circuit = generate("bench", GeneratorConfig::combinational(gates, 1)).expect("gen");
+        let placement = Placement::recursive_bisection(&circuit);
+        let locs = placement.locations().to_vec();
+        group.bench_with_input(BenchmarkId::new("cholesky_factor", gates), &locs, |b, locs| {
+            b.iter(|| black_box(CholeskySampler::new(&kernel, locs).expect("spd")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_setup);
+criterion_main!(benches);

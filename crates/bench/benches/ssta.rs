@@ -1,0 +1,86 @@
+//! Statistical-timing engine benches: the canonical one-pass SSTA vs a
+//! single Monte Carlo iteration, and incremental vs full re-timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_circuit::{generate, GeneratorConfig, NodeId, Placement, WireModel};
+use klest_kernels::GaussianKernel;
+use klest_ssta::canonical::analyze_canonical;
+use klest_ssta::experiments::{CircuitSetup, KleContext};
+use klest_ssta::{KleFieldSampler, NormalSource};
+use klest_sta::{GateLibrary, IncrementalTimer, ParamVector, Timer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_canonical(c: &mut Criterion) {
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::coarse(&kernel).expect("ctx");
+    let mut group = c.benchmark_group("canonical_ssta");
+    group.sample_size(20);
+    for gates in [200usize, 800] {
+        let circuit = generate("b", GeneratorConfig::combinational(gates, 1)).expect("gen");
+        let setup = CircuitSetup::prepare(&circuit);
+        let sampler =
+            KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations()).expect("s");
+        group.bench_with_input(BenchmarkId::new("one_pass", gates), &(), |b, _| {
+            b.iter(|| black_box(analyze_canonical(&setup.timer, &sampler).expect("canonical")))
+        });
+        // The comparable MC unit: drawing 4 fields + one timing pass.
+        let mut fields = vec![vec![0.0; setup.timer.node_count()]; 4];
+        let mut params = vec![ParamVector::ZERO; setup.timer.node_count()];
+        let mut arrivals = vec![0.0; setup.timer.node_count()];
+        let mut slews = vec![0.0; setup.timer.node_count()];
+        group.bench_with_input(BenchmarkId::new("one_mc_sample", gates), &(), |b, _| {
+            let mut normals = NormalSource::new(StdRng::seed_from_u64(1));
+            b.iter(|| {
+                use klest_ssta::GateFieldSampler;
+                for f in fields.iter_mut() {
+                    sampler.sample_into(&mut normals, f);
+                }
+                for (i, p) in params.iter_mut().enumerate() {
+                    *p = ParamVector::new([fields[0][i], fields[1][i], fields[2][i], fields[3][i]]);
+                }
+                black_box(setup.timer.analyze_into(&params, &mut arrivals, &mut slews))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let circuit = generate("inc", GeneratorConfig::combinational(3000, 2)).expect("gen");
+    let placement = Placement::recursive_bisection(&circuit);
+    let timer = Timer::new(
+        &circuit,
+        &placement,
+        WireModel::default(),
+        GateLibrary::default_90nm(),
+    );
+    let base = vec![ParamVector::ZERO; circuit.node_count()];
+    let victim = NodeId((circuit.node_count() - 20) as u32);
+    let perturbed = ParamVector::new([1.0, -0.5, 0.8, 0.2]);
+
+    let mut group = c.benchmark_group("retiming_after_one_change");
+    group.bench_function("full_reanalysis", |b| {
+        let mut params = base.clone();
+        params[victim.index()] = perturbed;
+        let mut arrivals = vec![0.0; circuit.node_count()];
+        let mut slews = vec![0.0; circuit.node_count()];
+        b.iter(|| black_box(timer.analyze_into(&params, &mut arrivals, &mut slews)))
+    });
+    group.bench_function("incremental", |b| {
+        let mut inc = IncrementalTimer::new(&timer, base.clone());
+        let mut flip = false;
+        b.iter(|| {
+            // Alternate between perturbed and nominal so each iteration
+            // does real work.
+            let p = if flip { ParamVector::ZERO } else { perturbed };
+            flip = !flip;
+            black_box(inc.update(&[(victim, p)]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_canonical, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Timer throughput: one STA sweep per Monte Carlo sample is the shared
+//! cost of both algorithms; its scaling bounds the achievable speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_circuit::{generate, GeneratorConfig, Placement, WireModel};
+use klest_sta::{GateLibrary, ParamVector, Timer};
+use std::hint::black_box;
+
+fn bench_timer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta_analyze");
+    for gates in [200usize, 800, 3200] {
+        let circuit = generate("sta", GeneratorConfig::combinational(gates, 2)).expect("gen");
+        let placement = Placement::recursive_bisection(&circuit);
+        let timer = Timer::new(
+            &circuit,
+            &placement,
+            WireModel::default(),
+            GateLibrary::default_90nm(),
+        );
+        let params = vec![ParamVector::new([0.3, -0.2, 0.5, 0.1]); circuit.node_count()];
+        let mut arrivals = vec![0.0; circuit.node_count()];
+        let mut slews = vec![0.0; circuit.node_count()];
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &(), |b, _| {
+            b.iter(|| black_box(timer.analyze_into(&params, &mut arrivals, &mut slews)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_timer_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta_build");
+    group.sample_size(20);
+    let circuit = generate("sta", GeneratorConfig::combinational(2000, 2)).expect("gen");
+    let placement = Placement::recursive_bisection(&circuit);
+    group.bench_function("timer_2000_gates", |b| {
+        b.iter(|| {
+            black_box(Timer::new(
+                &circuit,
+                &placement,
+                WireModel::default(),
+                GateLibrary::default_90nm(),
+            ))
+        })
+    });
+    group.bench_function("placement_2000_gates", |b| {
+        b.iter(|| black_box(Placement::recursive_bisection(&circuit)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_timer, bench_timer_setup);
+criterion_main!(benches);

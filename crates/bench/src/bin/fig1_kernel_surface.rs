@@ -1,0 +1,39 @@
+//! Fig. 1(a): the Gaussian (double exponential) covariance kernel surface
+//! over the normalized die, with the first argument fixed at the origin.
+//!
+//! Prints a CSV `y1,y2,K(0,y)` grid suitable for surface plotting.
+//!
+//! ```text
+//! cargo run --release -p klest-bench --bin fig1_kernel_surface -- --grid 41
+//! ```
+
+use klest_bench::Args;
+use klest_geometry::Point2;
+use klest_kernels::{CovarianceKernel, GaussianKernel};
+
+fn main() {
+    let args = Args::parse();
+    let grid: usize = args.get("grid", 41);
+    let kernel = match args.get::<f64>("c", f64::NAN) {
+        c if c.is_finite() => GaussianKernel::new(c),
+        _ => GaussianKernel::with_correlation_distance(args.get("dist", 1.0)),
+    };
+    eprintln!(
+        "# Fig 1(a): Gaussian kernel surface, c = {:.4} (paper: best 2-D fit to the linear kernel)",
+        kernel.decay()
+    );
+    println!("y1,y2,k");
+    let origin = Point2::ORIGIN;
+    for i in 0..grid {
+        let y1 = -1.0 + 2.0 * i as f64 / (grid - 1) as f64;
+        for j in 0..grid {
+            let y2 = -1.0 + 2.0 * j as f64 / (grid - 1) as f64;
+            let k = kernel.eval(origin, Point2::new(y1, y2));
+            println!("{y1:.4},{y2:.4},{k:.6}");
+        }
+    }
+    // Console summary matching the figure's qualitative claims.
+    let k_half = kernel.correlation_at_distance(1.0).expect("isotropic");
+    let k_corner = kernel.correlation_at_distance(2f64.sqrt() * 2.0).expect("isotropic");
+    eprintln!("# K(0,0) = 1, K at r=1.0: {k_half:.4}, K at far corner: {k_corner:.6}");
+}

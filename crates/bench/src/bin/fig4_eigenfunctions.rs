@@ -1,0 +1,53 @@
+//! Fig. 4: the first two eigenfunctions of the Gaussian kernel, showing
+//! the Fourier-series-like behaviour (higher eigenfunctions model higher
+//! spatial frequencies).
+//!
+//! Prints CSV `x,y,f1,f2,f3,f4` of eigenfunction values at the triangle
+//! centroids, plus sign-structure summaries: the first eigenfunction is
+//! sign-definite (one lobe); the second crosses zero (two lobes).
+//!
+//! ```text
+//! cargo run --release -p klest-bench --bin fig4_eigenfunctions
+//! ```
+
+use klest_bench::Args;
+use klest_core::{GalerkinKle, KleOptions};
+use klest_geometry::Rect;
+use klest_kernels::GaussianKernel;
+use klest_mesh::MeshBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let area_fraction: f64 = args.get("area-fraction", 0.001);
+    let count: usize = args.get("count", 4);
+    let kernel = GaussianKernel::with_correlation_distance(args.get("dist", 1.0));
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(area_fraction)
+        .min_angle_degrees(28.0)
+        .build()?;
+    let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default())?;
+    eprintln!("# Fig 4: first {count} eigenfunctions on n = {} mesh", mesh.len());
+
+    let funcs: Vec<Vec<f64>> = (0..count).map(|j| kle.eigenfunction(j)).collect();
+    let header: Vec<String> = (1..=count).map(|j| format!("f{j}")).collect();
+    println!("x,y,{}", header.join(","));
+    for (i, c) in mesh.centroids().iter().enumerate() {
+        let vals: Vec<String> = funcs.iter().map(|f| format!("{:.5}", f[i])).collect();
+        println!("{:.4},{:.4},{}", c.x, c.y, vals.join(","));
+    }
+
+    // Fourier-like structure: count sign lobes via sign changes along the
+    // x axis through the die center.
+    for (j, f) in funcs.iter().enumerate() {
+        let pos = f.iter().filter(|&&v| v > 0.0).count();
+        let neg = f.len() - pos;
+        eprintln!(
+            "# f{}: lambda = {:.4}, {} positive / {} negative triangles",
+            j + 1,
+            kle.eigenvalues()[j],
+            pos,
+            neg
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Fig. 5: the rapid decay of the KLE eigenvalues, and the paper's
+//! truncation criterion selecting r (= 25 in the paper) such that the
+//! unused λ-tail is under 1% of the retained spectrum.
+//!
+//! Prints CSV `index,eigenvalue` for the first `--count` eigenvalues and
+//! the criterion's selections for several tail budgets.
+//!
+//! ```text
+//! cargo run --release -p klest-bench --bin fig5_eigenvalue_decay
+//! ```
+
+use klest_bench::Args;
+use klest_core::{GalerkinKle, KleOptions, TruncationCriterion};
+use klest_geometry::Rect;
+use klest_kernels::GaussianKernel;
+use klest_mesh::MeshBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let area_fraction: f64 = args.get("area-fraction", 0.001);
+    let count: usize = args.get("count", 200);
+    let kernel = GaussianKernel::with_correlation_distance(args.get("dist", 1.0));
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(area_fraction)
+        .min_angle_degrees(28.0)
+        .build()?;
+    let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default())?;
+    eprintln!("# Fig 5: eigenvalue decay on n = {} mesh, kernel c = {:.4}", mesh.len(), kernel.decay());
+
+    println!("index,eigenvalue");
+    for (i, l) in kle.eigenvalues().iter().take(count).enumerate() {
+        println!("{},{:.6e}", i + 1, l);
+    }
+
+    let l = kle.eigenvalues();
+    eprintln!("# lambda_1 = {:.4}, lambda_10 = {:.4e}, lambda_25 = {:.4e}, lambda_100 = {:.4e}", l[0], l[9], l[24], l[99]);
+    for frac in [0.05, 0.02, 0.01, 0.005] {
+        let crit = TruncationCriterion::new(200, frac);
+        let r = kle.select_rank(&crit);
+        eprintln!(
+            "# tail budget {:.1}% -> r = {r} (variance captured {:.3}%)",
+            100.0 * frac,
+            100.0 * kle.variance_captured(r)
+        );
+    }
+    let r_paper = kle.select_rank(&TruncationCriterion::default());
+    eprintln!("# paper criterion (m = 200, 1%): r = {r_paper} (paper: 25)");
+    Ok(())
+}

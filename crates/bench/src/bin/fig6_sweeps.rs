@@ -1,0 +1,93 @@
+//! Fig. 6: error of the covariance-kernel STA's σ_d estimate against the
+//! reference Monte Carlo STA on c1908, (a) sweeping the number of
+//! eigenpairs r at fixed mesh, (b) sweeping the mesh size n at fixed
+//! r = 25. The error is the relative σ error averaged over all primary
+//! outputs, exactly the paper's metric.
+//!
+//! ```text
+//! cargo run --release -p klest-bench --bin fig6_sweeps -- --sweep r --samples 20000
+//! cargo run --release -p klest-bench --bin fig6_sweeps -- --sweep n --samples 20000
+//! ```
+
+use klest_bench::{default_threads, print_table, Args};
+use klest_circuit::{benchmark, BenchmarkId};
+use klest_kernels::GaussianKernel;
+use klest_ssta::experiments::{CircuitSetup, KleContext};
+use klest_ssta::{run_monte_carlo, CholeskySampler, KleFieldSampler, McConfig};
+use klest_core::TruncationCriterion;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let sweep = args.get_str("sweep", "r");
+    let samples: usize = args.get("samples", 20_000);
+    let seed: u64 = args.get("seed", 2008);
+    let threads: usize = args.get("threads", default_threads());
+    let kernel = GaussianKernel::with_correlation_distance(args.get("dist", 1.0));
+
+    let circuit = benchmark(BenchmarkId::C1908)?;
+    let setup = CircuitSetup::prepare(&circuit);
+    eprintln!(
+        "# Fig 6 ({sweep} sweep): c1908, {} gates, {} samples, {} threads",
+        setup.gates(),
+        samples,
+        threads
+    );
+
+    // Reference Monte Carlo STA (Algorithm 1), shared by both sweeps.
+    let config = McConfig::new(samples, seed).with_threads(threads);
+    let ref_sampler = CholeskySampler::new(&kernel, setup.locations())?;
+    let reference = run_monte_carlo(&setup.timer, &ref_sampler, &config)?;
+    eprintln!(
+        "# reference: mean = {:.3}, sigma = {:.3}",
+        reference.worst_delay_stats().mean,
+        reference.worst_delay_stats().std_dev
+    );
+
+    let kle_config = McConfig::new(samples, seed ^ 0xabcd).with_threads(threads);
+    let mut rows = Vec::new();
+    match sweep.as_str() {
+        "r" => {
+            // Fig 6(a): paper mesh (n = 1546-ish), increasing r.
+            let ctx = KleContext::paper_default(&kernel)?;
+            eprintln!("# mesh n = {} (paper: 1546)", ctx.mesh.len());
+            for r in [1usize, 2, 4, 6, 10, 15, 20, 25, 30, 40, 50] {
+                let sampler = KleFieldSampler::new(&ctx.kle, &ctx.mesh, r, setup.locations())?;
+                let run = run_monte_carlo(&setup.timer, &sampler, &kle_config)?;
+                let err_sigma = run.output_stats().avg_sigma_error_pct(reference.output_stats());
+                let err_mu = run.output_stats().avg_mean_error_pct(reference.output_stats());
+                rows.push(vec![
+                    r.to_string(),
+                    format!("{err_sigma:.3}"),
+                    format!("{err_mu:.4}"),
+                ]);
+                eprintln!("# r = {r}: sigma err {err_sigma:.3}%");
+            }
+            print_table(&["r", "sigma_err_%", "mean_err_%"], &rows);
+        }
+        "n" => {
+            // Fig 6(b): r = 25 fixed, increasing mesh resolution.
+            let r = args.get("rank", 25);
+            for area_fraction in [0.02, 0.01, 0.005, 0.002, 0.001, 0.0005] {
+                let ctx = KleContext::build(
+                    &kernel,
+                    area_fraction,
+                    28.0,
+                    &TruncationCriterion::default(),
+                )?;
+                let sampler = KleFieldSampler::new(&ctx.kle, &ctx.mesh, r, setup.locations())?;
+                let run = run_monte_carlo(&setup.timer, &sampler, &kle_config)?;
+                let err_sigma = run.output_stats().avg_sigma_error_pct(reference.output_stats());
+                let err_mu = run.output_stats().avg_mean_error_pct(reference.output_stats());
+                rows.push(vec![
+                    ctx.mesh.len().to_string(),
+                    format!("{err_sigma:.3}"),
+                    format!("{err_mu:.4}"),
+                ]);
+                eprintln!("# n = {}: sigma err {err_sigma:.3}%", ctx.mesh.len());
+            }
+            print_table(&["n", "sigma_err_%", "mean_err_%"], &rows);
+        }
+        other => panic!("--sweep must be 'r' or 'n' (got {other})"),
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! The paper's generality claim, measured: run the *same* Galerkin/KLE
+//! pipeline over the kernel families discussed in the paper and report
+//! the rank each needs, the reconstruction quality, and the SSTA
+//! agreement with the full-covariance reference — no per-kernel code.
+//!
+//! ```text
+//! cargo run --release -p klest-bench --bin kernel_family_ablation -- --samples 10000
+//! ```
+
+use klest_bench::{default_threads, print_table, Args};
+use klest_circuit::{benchmark_scaled, BenchmarkId};
+use klest_kernels::{
+    CovarianceKernel, ExponentialKernel, GaussianKernel, MaternKernel,
+    SeparableExponentialKernel,
+};
+use klest_ssta::experiments::{compare_methods, CircuitSetup, KleContext};
+use klest_ssta::McConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let samples: usize = args.get("samples", 10_000);
+    let seed: u64 = args.get("seed", 2008);
+    let threads: usize = args.get("threads", default_threads());
+    let area_fraction: f64 = args.get("area-fraction", 0.002);
+
+    let gaussian = GaussianKernel::with_correlation_distance(1.0);
+    let exponential = ExponentialKernel::new(2.1365); // 2-D best fit (fig3a)
+    let matern = MaternKernel::new(3.0, 2.5)?;
+    let separable = SeparableExponentialKernel::new(1.5);
+    let kernels: [(&str, &dyn CovarianceKernel); 4] = [
+        ("gaussian", &gaussian),
+        ("exponential", &exponential),
+        ("matern(3,2.5)", &matern),
+        ("separable-exp", &separable),
+    ];
+
+    let circuit = benchmark_scaled(BenchmarkId::C1908, 0.5)?;
+    let setup = CircuitSetup::prepare(&circuit);
+    eprintln!(
+        "# kernel-family ablation on c1908/{} gates, {samples} samples, mesh fraction {area_fraction}",
+        setup.gates()
+    );
+
+    let mut rows = Vec::new();
+    for (name, kernel) in kernels {
+        let ctx = KleContext::build(kernel, area_fraction, 28.0, &Default::default())?;
+        let cmp = compare_methods(
+            &setup,
+            kernel,
+            &ctx,
+            &McConfig::new(samples, seed).with_threads(threads),
+        )?;
+        eprintln!(
+            "# {name}: n = {}, r = {}, e_mu = {:.3}%, e_sigma = {:.3}%",
+            ctx.mesh.len(),
+            ctx.rank,
+            cmp.e_mu_pct,
+            cmp.e_sigma_pct
+        );
+        rows.push(vec![
+            name.to_string(),
+            ctx.mesh.len().to_string(),
+            ctx.rank.to_string(),
+            format!("{:.1}", 100.0 * ctx.kle.variance_captured(ctx.rank)),
+            format!("{:.3}", cmp.e_mu_pct),
+            format!("{:.3}", cmp.e_sigma_pct),
+        ]);
+    }
+    print_table(
+        &["kernel", "n", "rank_r", "var_%", "e_mu_%", "e_sigma_%"],
+        &rows,
+    );
+    eprintln!("# rougher kernels (exponential/Matérn with low smoothness) need more modes — the spectrum decays slower — but the pipeline is unchanged");
+    Ok(())
+}

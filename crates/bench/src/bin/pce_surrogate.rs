@@ -1,0 +1,94 @@
+//! Polynomial-chaos surrogate vs Monte Carlo vs canonical SSTA — three
+//! consumers of the same KLE basis, one accuracy/cost table.
+//!
+//! ```text
+//! cargo run --release -p klest-bench --bin pce_surrogate -- --samples 20000
+//! ```
+
+use klest_bench::{default_threads, print_table, Args};
+use klest_circuit::{benchmark_scaled, BenchmarkId};
+use klest_kernels::GaussianKernel;
+use klest_ssta::canonical::analyze_canonical;
+use klest_ssta::experiments::{CircuitSetup, KleContext};
+use klest_ssta::pce::fit_pce;
+use klest_ssta::{run_monte_carlo, KleFieldSampler, McConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    let mc_samples: usize = args.get("samples", 20_000);
+    let train: usize = args.get("train", 2000);
+    let rank: usize = args.get("rank", 12);
+    let seed: u64 = args.get("seed", 2008);
+    let threads: usize = args.get("threads", default_threads());
+
+    let kernel = GaussianKernel::with_correlation_distance(args.get("dist", 1.0));
+    let ctx = KleContext::paper_default(&kernel)?;
+    let rank = rank.min(ctx.rank);
+    let circuit = benchmark_scaled(BenchmarkId::C1908, args.get("scale", 0.5))?;
+    let setup = CircuitSetup::prepare(&circuit);
+    let sampler = KleFieldSampler::new(&ctx.kle, &ctx.mesh, rank, setup.locations())?;
+    eprintln!(
+        "# PCE vs MC vs canonical on c1908/{} gates, rank {rank} ({} xi variables)",
+        setup.gates(),
+        4 * rank
+    );
+
+    // Reference: large MC on the same KLE basis.
+    let t0 = Instant::now();
+    let mc = run_monte_carlo(
+        &setup.timer,
+        &sampler,
+        &McConfig::new(mc_samples, seed).with_threads(threads),
+    )?;
+    let mc_time = t0.elapsed();
+    let stats = mc.worst_delay_stats();
+
+    // PCE surrogate fitted from `train` timing runs.
+    let t1 = Instant::now();
+    let pce = fit_pce(&setup.timer, &sampler, train, seed ^ 0x77)?;
+    let pce_time = t1.elapsed();
+
+    // Canonical one-pass.
+    let t2 = Instant::now();
+    let canon = analyze_canonical(&setup.timer, &sampler)?;
+    let canon_time = t2.elapsed();
+
+    let rel = |x: f64, reference: f64| 100.0 * (x - reference).abs() / reference;
+    let rows = vec![
+        vec![
+            format!("MC x{mc_samples}"),
+            format!("{:.3}", stats.mean),
+            format!("{:.3}", stats.std_dev),
+            "-".into(),
+            "-".into(),
+            format!("{:.3}", mc_time.as_secs_f64()),
+        ],
+        vec![
+            format!("PCE (train {train})"),
+            format!("{:.3}", pce.mean()),
+            format!("{:.3}", pce.sigma()),
+            format!("{:.3}", rel(pce.mean(), stats.mean)),
+            format!("{:.2}", rel(pce.sigma(), stats.std_dev)),
+            format!("{:.3}", pce_time.as_secs_f64()),
+        ],
+        vec![
+            "canonical (1 pass)".into(),
+            format!("{:.3}", canon.worst().mean),
+            format!("{:.3}", canon.worst().sigma()),
+            format!("{:.3}", rel(canon.worst().mean, stats.mean)),
+            format!("{:.2}", rel(canon.worst().sigma(), stats.std_dev)),
+            format!("{:.5}", canon_time.as_secs_f64()),
+        ],
+    ];
+    print_table(
+        &["method", "mean", "sigma", "mean_err_%", "sigma_err_%", "time_s"],
+        &rows,
+    );
+    eprintln!(
+        "# PCE residual RMS {:.3} (vs sigma {:.3}): the quadratic surrogate explains the response almost exactly",
+        pce.residual_rms(),
+        stats.std_dev
+    );
+    Ok(())
+}

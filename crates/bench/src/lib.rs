@@ -1,0 +1,144 @@
+//! Support utilities for the experiment harness binaries that regenerate
+//! the paper's tables and figures (see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for recorded outputs).
+
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` argument parser for the harness
+/// binaries (no external CLI dependency needed for eight tiny tools).
+#[derive(Debug, Clone)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the binary name).
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    #[allow(clippy::should_implement_trait)] // not a collection; keep the evocative name
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        values.insert(key.to_string(), iter.next().expect("peeked"));
+                    }
+                    _ => flags.push(key.to_string()),
+                }
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Typed lookup with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("--{key} {v}: {e:?}")),
+            None => default,
+        }
+    }
+
+    /// String lookup with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Number of worker threads to default to: physical parallelism minus
+/// one, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+/// Prints a row-separated markdown-ish table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = args("--samples 500 --full --scale 0.25");
+        assert_eq!(a.get::<usize>("samples", 1), 500);
+        assert_eq!(a.get::<f64>("scale", 1.0), 0.25);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get::<u64>("seed", 7), 7, "default applies");
+        assert_eq!(a.get_str("sweep", "r"), "r");
+    }
+
+    #[test]
+    fn value_then_flag_disambiguation() {
+        let a = args("--verbose --n 10");
+        assert!(a.flag("verbose"));
+        assert_eq!(a.get::<usize>("n", 0), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_value_panics() {
+        let a = args("--n ten");
+        let _ = a.get::<usize>("n", 0);
+    }
+
+    #[test]
+    fn threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! The `klest` binary: thin wrapper over [`klest_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(message) = klest_cli::run(&argv, &mut stdout) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point2;
+
+/// Axis-aligned bounding box.
+///
+/// Besides bounding geometry, the *half perimeter* of a net's pin bounding
+/// box is the HPWL wire-load model used by the STA (paper Sec. 5.1).
+///
+/// ```
+/// use klest_geometry::{BBox, Point2};
+/// let b = BBox::from_points([
+///     Point2::new(0.0, 0.0),
+///     Point2::new(2.0, 1.0),
+/// ]).unwrap();
+/// assert_eq!(b.half_perimeter(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Lower-left corner.
+    pub min: Point2,
+    /// Upper-right corner.
+    pub max: Point2,
+}
+
+impl BBox {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(p: Point2, q: Point2) -> Self {
+        BBox {
+            min: Point2::new(p.x.min(q.x), p.y.min(q.y)),
+            max: Point2::new(p.x.max(q.x), p.y.max(q.y)),
+        }
+    }
+
+    /// A degenerate box containing a single point.
+    pub fn from_point(p: Point2) -> Self {
+        BBox { min: p, max: p }
+    }
+
+    /// Smallest box containing every point of the iterator, or `None` when
+    /// the iterator is empty.
+    pub fn from_points<I: IntoIterator<Item = Point2>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = BBox::from_point(first);
+        for p in it {
+            b.expand(p);
+        }
+        Some(b)
+    }
+
+    /// Grows the box (in place) to include `p`.
+    pub fn expand(&mut self, p: Point2) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Union of two boxes.
+    pub fn union(&self, other: &BBox) -> BBox {
+        let mut b = *self;
+        b.expand(other.min);
+        b.expand(other.max);
+        b
+    }
+
+    /// Box width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Box height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Half-perimeter wirelength: `width + height`.
+    #[inline]
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Box area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center of the box.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        self.min.midpoint(self.max)
+    }
+
+    /// Does the box contain `p` (boundary included)?
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Do the two boxes overlap (boundary contact counts)?
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalized() {
+        let b = BBox::new(Point2::new(2.0, -1.0), Point2::new(-1.0, 3.0));
+        assert_eq!(b.min, Point2::new(-1.0, -1.0));
+        assert_eq!(b.max, Point2::new(2.0, 3.0));
+        assert_eq!(b.width(), 3.0);
+        assert_eq!(b.height(), 4.0);
+        assert_eq!(b.half_perimeter(), 7.0);
+        assert_eq!(b.area(), 12.0);
+        assert_eq!(b.center(), Point2::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn from_points_and_expand() {
+        assert!(BBox::from_points(std::iter::empty()).is_none());
+        let b = BBox::from_points([
+            Point2::new(0.0, 0.5),
+            Point2::new(-2.0, 0.0),
+            Point2::new(1.0, 4.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min, Point2::new(-2.0, 0.0));
+        assert_eq!(b.max, Point2::new(1.0, 4.0));
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let a = BBox::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let b = BBox::new(Point2::new(0.5, 0.5), Point2::new(2.0, 2.0));
+        let c = BBox::new(Point2::new(3.0, 3.0), Point2::new(4.0, 4.0));
+        assert!(a.contains(Point2::new(0.5, 0.5)));
+        assert!(a.contains(Point2::new(1.0, 1.0)), "boundary");
+        assert!(!a.contains(Point2::new(1.1, 0.5)));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        let u = a.union(&c);
+        assert_eq!(u.min, Point2::new(0.0, 0.0));
+        assert_eq!(u.max, Point2::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn degenerate_point_box() {
+        let b = BBox::from_point(Point2::new(1.0, 2.0));
+        assert_eq!(b.half_perimeter(), 0.0);
+        assert!(b.contains(Point2::new(1.0, 2.0)));
+        assert!(!b.contains(Point2::new(1.0, 2.1)));
+    }
+}

@@ -1,0 +1,38 @@
+//! # klest-geometry
+//!
+//! Plane geometry foundation for the `klest` workspace: points, vectors,
+//! triangles, axis-aligned boxes, polygons and the orientation / in-circle
+//! predicates used by the Delaunay mesher in `klest-mesh`.
+//!
+//! Everything works on the *normalized die*: the chip area is mapped to a
+//! rectangle (usually `[-1, 1] x [-1, 1]`), matching the paper's Fig. 1.
+//!
+//! ```
+//! use klest_geometry::{Point2, Triangle};
+//!
+//! let t = Triangle::new(
+//!     Point2::new(0.0, 0.0),
+//!     Point2::new(1.0, 0.0),
+//!     Point2::new(0.0, 1.0),
+//! );
+//! assert!((t.area() - 0.5).abs() < 1e-12);
+//! assert!(t.contains(Point2::new(0.25, 0.25)));
+//! ```
+
+#![deny(missing_docs)]
+
+mod bbox;
+mod point;
+mod polygon;
+mod predicates;
+mod triangle;
+
+pub use bbox::BBox;
+pub use point::{Point2, Vector2};
+pub use polygon::{Polygon, PolygonError, Rect};
+pub use predicates::{in_circle, orient2d, orient2d_raw, Orientation};
+pub use triangle::Triangle;
+
+/// Tolerance used by geometric comparisons that must absorb floating-point
+/// noise (e.g. point-on-edge tests during point location).
+pub const GEOM_EPS: f64 = 1e-12;

@@ -1,0 +1,358 @@
+//! Points and vectors in the plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A location on the (normalized) die plane.
+///
+/// `Point2` is an affine point; displacement between points is a
+/// [`Vector2`]. Both are plain `f64` pairs and are `Copy`.
+///
+/// ```
+/// use klest_geometry::Point2;
+/// let a = Point2::new(0.0, 0.0);
+/// let b = Point2::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement in the plane (difference of two [`Point2`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vector2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean (L2) distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root).
+    #[inline]
+    pub fn distance_sq(self, other: Point2) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Manhattan (L1) distance to `other`, used by the separable
+    /// exponential kernel of the paper's eq. (5).
+    #[inline]
+    pub fn distance_l1(self, other: Point2) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Chebyshev (L-infinity) distance to `other`.
+    #[inline]
+    pub fn distance_linf(self, other: Point2) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        Point2::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+
+    /// Coordinates as a `[x, y]` array.
+    #[inline]
+    pub fn to_array(self) -> [f64; 2] {
+        [self.x, self.y]
+    }
+
+    /// Returns true when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vector2 {
+    /// The zero vector.
+    pub const ZERO: Vector2 = Vector2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vector2 { x, y }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Vector2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the 3-D cross product (signed parallelogram area).
+    #[inline]
+    pub fn cross(self, other: Vector2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The vector rotated 90 degrees counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Vector2 {
+        Vector2::new(-self.y, self.x)
+    }
+
+    /// Unit vector in the same direction, or `None` if the vector is
+    /// (numerically) zero.
+    pub fn normalized(self) -> Option<Vector2> {
+        let n = self.norm();
+        if n > 0.0 && n.is_finite() {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<[f64; 2]> for Point2 {
+    fn from([x, y]: [f64; 2]) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<(f64, f64)> for Vector2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vector2::new(x, y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.x, self.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Vector2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Vector2 {
+        Vector2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vector2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Vector2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vector2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Vector2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vector2> for Point2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vector2> for Point2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vector2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vector2 {
+    type Output = Vector2;
+    #[inline]
+    fn add(self, rhs: Vector2) -> Vector2 {
+        Vector2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vector2 {
+    type Output = Vector2;
+    #[inline]
+    fn sub(self, rhs: Vector2) -> Vector2 {
+        Vector2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Vector2 {
+    type Output = Vector2;
+    #[inline]
+    fn neg(self) -> Vector2 {
+        Vector2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vector2 {
+    type Output = Vector2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vector2 {
+        Vector2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vector2> for f64 {
+    type Output = Vector2;
+    #[inline]
+    fn mul(self, rhs: Vector2) -> Vector2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vector2 {
+    type Output = Vector2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vector2 {
+        Vector2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(a.distance_l1(b), 7.0);
+        assert_eq!(a.distance_linf(b), 4.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point2::new(-0.3, 0.8);
+        let b = Point2::new(0.95, -0.2);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance_l1(b), b.distance_l1(a));
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point2::new(-1.0, -1.0);
+        let b = Point2::new(1.0, 1.0);
+        assert_eq!(a.midpoint(b), Point2::ORIGIN);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.25), Point2::new(-0.5, -0.5));
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let u = Vector2::new(1.0, 2.0);
+        let v = Vector2::new(3.0, -1.0);
+        assert_eq!(u.dot(v), 1.0);
+        assert_eq!(u.cross(v), -7.0);
+        assert_eq!(u + v, Vector2::new(4.0, 1.0));
+        assert_eq!(u - v, Vector2::new(-2.0, 3.0));
+        assert_eq!(-u, Vector2::new(-1.0, -2.0));
+        assert_eq!(u * 2.0, Vector2::new(2.0, 4.0));
+        assert_eq!(2.0 * u, u * 2.0);
+        assert_eq!(u / 2.0, Vector2::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn perp_is_ccw_rotation() {
+        let u = Vector2::new(1.0, 0.0);
+        assert_eq!(u.perp(), Vector2::new(0.0, 1.0));
+        // perp is orthogonal and preserves length
+        let v = Vector2::new(2.5, -3.5);
+        assert_eq!(v.dot(v.perp()), 0.0);
+        assert_eq!(v.perp().norm_sq(), v.norm_sq());
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vector2::new(3.0, 4.0);
+        let n = v.normalized().expect("nonzero");
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+        assert!(Vector2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn point_vector_ops() {
+        let mut p = Point2::new(1.0, 1.0);
+        p += Vector2::new(1.0, -1.0);
+        assert_eq!(p, Point2::new(2.0, 0.0));
+        p -= Vector2::new(2.0, 0.0);
+        assert_eq!(p, Point2::ORIGIN);
+        assert_eq!(Point2::new(1.0, 2.0) - Point2::ORIGIN, Vector2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let p: Point2 = (1.0, 2.0).into();
+        assert_eq!(p, Point2::new(1.0, 2.0));
+        let q: Point2 = [3.0, 4.0].into();
+        assert_eq!(q.to_array(), [3.0, 4.0]);
+        assert_eq!(format!("{p}"), "(1, 2)");
+        let v: Vector2 = (1.0, 2.0).into();
+        assert_eq!(format!("{v}"), "<1, 2>");
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Point2::new(1.0, 2.0).is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point2::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,297 @@
+//! Polygonal domains: the chip outline handed to the mesher.
+
+use crate::predicates::orient2d_raw;
+use crate::{BBox, Point2};
+
+/// Signed "is left of directed edge a→b" value used by the winding-number
+/// point-in-polygon test.
+#[inline]
+fn is_left(a: Point2, b: Point2, p: Point2) -> f64 {
+    orient2d_raw(a, b, p)
+}
+
+/// An axis-aligned rectangular die region.
+///
+/// The paper normalizes the die to `[-1, 1] x [-1, 1]`; that rectangle is
+/// [`Rect::unit_die`].
+///
+/// ```
+/// use klest_geometry::{Point2, Rect};
+/// let die = Rect::unit_die();
+/// assert_eq!(die.area(), 4.0);
+/// assert!(die.contains(Point2::new(0.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    bbox: BBox,
+}
+
+impl Rect {
+    /// Rectangle from two opposite corners (any order).
+    pub fn new(p: Point2, q: Point2) -> Self {
+        Rect { bbox: BBox::new(p, q) }
+    }
+
+    /// The normalized die `[-1, 1] x [-1, 1]` from the paper's Fig. 1.
+    pub fn unit_die() -> Self {
+        Rect::new(Point2::new(-1.0, -1.0), Point2::new(1.0, 1.0))
+    }
+
+    /// Bounding box (the rectangle itself).
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Rectangle area.
+    pub fn area(&self) -> f64 {
+        self.bbox.area()
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> f64 {
+        self.bbox.width()
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> f64 {
+        self.bbox.height()
+    }
+
+    /// Is `p` inside or on the boundary?
+    pub fn contains(&self, p: Point2) -> bool {
+        self.bbox.contains(p)
+    }
+
+    /// Corners in counter-clockwise order starting at the lower-left.
+    pub fn corners(&self) -> [Point2; 4] {
+        [
+            self.bbox.min,
+            Point2::new(self.bbox.max.x, self.bbox.min.y),
+            self.bbox.max,
+            Point2::new(self.bbox.min.x, self.bbox.max.y),
+        ]
+    }
+
+    /// The rectangle as a [`Polygon`].
+    pub fn to_polygon(&self) -> Polygon {
+        Polygon::new(self.corners().to_vec()).expect("rectangle corners form a valid polygon")
+    }
+
+    /// Maps a point in `[0,1]^2` to die coordinates.
+    pub fn lerp(&self, u: f64, v: f64) -> Point2 {
+        Point2::new(
+            self.bbox.min.x + u * self.width(),
+            self.bbox.min.y + v * self.height(),
+        )
+    }
+}
+
+/// Errors constructing a [`Polygon`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than three vertices were supplied.
+    TooFewVertices,
+    /// A vertex had a non-finite coordinate.
+    NonFiniteVertex,
+}
+
+impl std::fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolygonError::TooFewVertices => write!(f, "polygon needs at least 3 vertices"),
+            PolygonError::NonFiniteVertex => write!(f, "polygon vertex is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+/// A simple polygon given by its vertices in order (either winding).
+///
+/// The mesher accepts any simple polygonal die outline (paper Theorem 2
+/// assumes a polygonal region); rectangles are the common case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point2>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its boundary vertices (at least three).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolygonError::TooFewVertices`] for fewer than three
+    /// vertices, and [`PolygonError::NonFiniteVertex`] if any coordinate is
+    /// NaN or infinite.
+    pub fn new(vertices: Vec<Point2>) -> Result<Self, PolygonError> {
+        if vertices.len() < 3 {
+            return Err(PolygonError::TooFewVertices);
+        }
+        if vertices.iter().any(|p| !p.is_finite()) {
+            return Err(PolygonError::NonFiniteVertex);
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// Boundary vertices in order.
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always false: construction requires at least three vertices.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Signed area (positive for counter-clockwise winding) via the
+    /// shoelace formula.
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            sum += p.x * q.y - q.x * p.y;
+        }
+        0.5 * sum
+    }
+
+    /// Unsigned area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Bounding box of the polygon.
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(self.vertices.iter().copied()).expect("polygon is non-empty")
+    }
+
+    /// Winding-number point-in-polygon test (boundary points count as
+    /// inside).
+    pub fn contains(&self, p: Point2) -> bool {
+        let n = self.vertices.len();
+        let mut winding = 0i32;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            // Boundary check: p on segment ab.
+            let cross = is_left(a, b, p);
+            if cross.abs() < 1e-12 {
+                let within_x = p.x >= a.x.min(b.x) - 1e-12 && p.x <= a.x.max(b.x) + 1e-12;
+                let within_y = p.y >= a.y.min(b.y) - 1e-12 && p.y <= a.y.max(b.y) + 1e-12;
+                if within_x && within_y {
+                    return true;
+                }
+            }
+            if a.y <= p.y {
+                if b.y > p.y && cross > 0.0 {
+                    winding += 1;
+                }
+            } else if b.y <= p.y && cross < 0.0 {
+                winding -= 1;
+            }
+        }
+        winding != 0
+    }
+
+    /// Boundary edges as vertex pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (Point2, Point2)> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| (self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(r: Rect) -> Self {
+        r.to_polygon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_die_basics() {
+        let die = Rect::unit_die();
+        assert_eq!(die.area(), 4.0);
+        assert_eq!(die.width(), 2.0);
+        assert_eq!(die.height(), 2.0);
+        assert!(die.contains(Point2::new(1.0, -1.0)));
+        assert!(!die.contains(Point2::new(1.1, 0.0)));
+        assert_eq!(die.lerp(0.5, 0.5), Point2::ORIGIN);
+        assert_eq!(die.lerp(0.0, 0.0), Point2::new(-1.0, -1.0));
+        assert_eq!(die.lerp(1.0, 1.0), Point2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn rect_to_polygon_ccw() {
+        let p = Rect::unit_die().to_polygon();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.signed_area(), 4.0);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn polygon_too_few_vertices() {
+        let e = Polygon::new(vec![Point2::ORIGIN, Point2::new(1.0, 0.0)]);
+        assert_eq!(e.unwrap_err(), PolygonError::TooFewVertices);
+    }
+
+    #[test]
+    fn polygon_non_finite() {
+        let e = Polygon::new(vec![
+            Point2::ORIGIN,
+            Point2::new(f64::NAN, 0.0),
+            Point2::new(1.0, 1.0),
+        ]);
+        assert_eq!(e.unwrap_err(), PolygonError::NonFiniteVertex);
+    }
+
+    #[test]
+    fn shoelace_l_shape() {
+        // L-shaped hexagon with area 3.
+        let poly = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(poly.area(), 3.0);
+        assert!(poly.contains(Point2::new(0.5, 1.5)));
+        assert!(poly.contains(Point2::new(1.5, 0.5)));
+        assert!(!poly.contains(Point2::new(1.5, 1.5)), "notch is outside");
+        assert!(poly.contains(Point2::new(1.0, 1.0)), "reflex corner on boundary");
+    }
+
+    #[test]
+    fn clockwise_polygon_contains() {
+        // Same square, clockwise: contains must still work.
+        let poly = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(poly.signed_area(), -1.0);
+        assert!(poly.contains(Point2::new(0.5, 0.5)));
+        assert!(!poly.contains(Point2::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn edges_iterate_closed_loop() {
+        let poly = Rect::unit_die().to_polygon();
+        let edges: Vec<_> = poly.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[3].1, poly.vertices()[0], "loop closes");
+    }
+}

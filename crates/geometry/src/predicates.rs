@@ -1,0 +1,172 @@
+//! Orientation and in-circle predicates.
+//!
+//! These are the two predicates a Delaunay mesher needs. They are evaluated
+//! in plain `f64` with a relative-error filter: results whose magnitude is
+//! below the filter bound are classified as degenerate. For the meshes used
+//! here (well-spaced refinement points on a normalized die) this is robust
+//! in practice, and the property tests in `klest-mesh` exercise it.
+
+use crate::Point2;
+
+/// Result of an orientation test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The three points make a left turn (counter-clockwise).
+    CounterClockwise,
+    /// The three points make a right turn (clockwise).
+    Clockwise,
+    /// The three points are (numerically) collinear.
+    Collinear,
+}
+
+/// Relative-error coefficient for the orientation filter
+/// (`3 + 16 eps) eps` from Shewchuk's analysis, rounded up).
+const ORIENT_ERR_BOUND: f64 = 3.3306690738754716e-16;
+/// Relative-error coefficient for the in-circle filter.
+const INCIRCLE_ERR_BOUND: f64 = 1.1102230246251565e-15 * 10.0;
+
+/// Signed twice-area of the triangle `(a, b, c)`.
+///
+/// Positive when `(a, b, c)` is counter-clockwise. The raw value is also
+/// useful: its magnitude is twice the triangle area.
+#[inline]
+pub fn orient2d_raw(a: Point2, b: Point2, c: Point2) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Orientation of the point triple `(a, b, c)` with an error filter.
+///
+/// ```
+/// use klest_geometry::{orient2d, Orientation, Point2};
+/// let a = Point2::new(0.0, 0.0);
+/// let b = Point2::new(1.0, 0.0);
+/// assert_eq!(orient2d(a, b, Point2::new(0.0, 1.0)), Orientation::CounterClockwise);
+/// assert_eq!(orient2d(a, b, Point2::new(0.0, -1.0)), Orientation::Clockwise);
+/// assert_eq!(orient2d(a, b, Point2::new(2.0, 0.0)), Orientation::Collinear);
+/// ```
+pub fn orient2d(a: Point2, b: Point2, c: Point2) -> Orientation {
+    let det = orient2d_raw(a, b, c);
+    let detsum = ((b.x - a.x) * (c.y - a.y)).abs() + ((b.y - a.y) * (c.x - a.x)).abs();
+    let bound = ORIENT_ERR_BOUND * detsum;
+    if det > bound {
+        Orientation::CounterClockwise
+    } else if det < -bound {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// In-circle test: is `d` strictly inside the circumcircle of the
+/// counter-clockwise triangle `(a, b, c)`?
+///
+/// Returns a positive value when `d` is inside, negative when outside, and
+/// (approximately) zero when cocircular. Callers that need a boolean should
+/// compare against zero; the magnitude has no geometric meaning beyond its
+/// sign.
+///
+/// # Panics
+///
+/// Does not panic; degenerate (collinear) triangles yield a sign that
+/// reflects the half-plane of `d`, which is what the Bowyer-Watson cavity
+/// search wants for its ghost triangles.
+pub fn in_circle(a: Point2, b: Point2, c: Point2, d: Point2) -> f64 {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+
+    let abdet = adx * bdy - bdx * ady;
+    let bcdet = bdx * cdy - cdx * bdy;
+    let cadet = cdx * ady - adx * cdy;
+    let alift = adx * adx + ady * ady;
+    let blift = bdx * bdx + bdy * bdy;
+    let clift = cdx * cdx + cdy * cdy;
+
+    let det = alift * bcdet + blift * cadet + clift * abdet;
+    let permanent =
+        alift * bcdet.abs() + blift * cadet.abs() + clift * abdet.abs();
+    let bound = INCIRCLE_ERR_BOUND * permanent;
+    if det.abs() <= bound {
+        0.0
+    } else {
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn orientation_basic() {
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(1.0, 0.0), p(1.0, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn orientation_antisymmetry() {
+        let (a, b, c) = (p(0.1, 0.2), p(0.9, -0.3), p(-0.5, 0.7));
+        assert_eq!(orient2d(a, b, c), Orientation::CounterClockwise);
+        assert_eq!(orient2d(a, c, b), Orientation::Clockwise);
+        // cyclic permutation keeps orientation
+        assert_eq!(orient2d(b, c, a), Orientation::CounterClockwise);
+        assert_eq!(orient2d(c, a, b), Orientation::CounterClockwise);
+    }
+
+    #[test]
+    fn orient_raw_is_twice_area() {
+        let raw = orient2d_raw(p(0.0, 0.0), p(2.0, 0.0), p(0.0, 3.0));
+        assert_eq!(raw, 6.0); // area 3, ccw
+    }
+
+    #[test]
+    fn in_circle_unit_circle() {
+        // Counter-clockwise triangle inscribed in the unit circle.
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        let c = p(-1.0, 0.0);
+        assert!(in_circle(a, b, c, p(0.0, 0.0)) > 0.0, "center is inside");
+        assert!(in_circle(a, b, c, p(2.0, 0.0)) < 0.0, "far point is outside");
+        assert_eq!(in_circle(a, b, c, p(0.0, -1.0)), 0.0, "cocircular");
+    }
+
+    #[test]
+    fn in_circle_sign_flips_with_orientation() {
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        let c = p(-1.0, 0.0);
+        let d = p(0.1, 0.1);
+        let ccw = in_circle(a, b, c, d);
+        let cw = in_circle(a, c, b, d);
+        assert!(ccw > 0.0);
+        assert!(cw < 0.0);
+    }
+
+    #[test]
+    fn in_circle_near_degenerate_is_zeroed() {
+        // Four nearly-cocircular points: the filter must not produce a
+        // confidently wrong sign.
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        let c = p(-1.0, 0.0);
+        let d = p(0.0, -1.0 - 1e-18);
+        assert_eq!(in_circle(a, b, c, d), 0.0);
+    }
+}

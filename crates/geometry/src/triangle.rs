@@ -1,0 +1,309 @@
+//! Triangle primitives: area, centroid, circumcircle, angles, quality.
+
+use crate::predicates::{orient2d_raw, Orientation};
+use crate::{orient2d, Point2, GEOM_EPS};
+
+/// A triangle given by its three corner points.
+///
+/// The corners may be in either winding; methods that care (signed area)
+/// say so. The Galerkin method of the paper (Sec. 4) only needs the
+/// unsigned [`area`](Triangle::area) and the [`centroid`](Triangle::centroid).
+///
+/// ```
+/// use klest_geometry::{Point2, Triangle};
+/// let t = Triangle::new(
+///     Point2::new(0.0, 0.0),
+///     Point2::new(2.0, 0.0),
+///     Point2::new(0.0, 2.0),
+/// );
+/// assert_eq!(t.area(), 2.0);
+/// let c = t.centroid();
+/// assert!((c.x - 2.0 / 3.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First corner.
+    pub a: Point2,
+    /// Second corner.
+    pub b: Point2,
+    /// Third corner.
+    pub c: Point2,
+}
+
+impl Triangle {
+    /// Creates a triangle from three corners.
+    #[inline]
+    pub const fn new(a: Point2, b: Point2, c: Point2) -> Self {
+        Triangle { a, b, c }
+    }
+
+    /// Corners as an array, in construction order.
+    #[inline]
+    pub fn vertices(&self) -> [Point2; 3] {
+        [self.a, self.b, self.c]
+    }
+
+    /// Signed area: positive for counter-clockwise winding.
+    #[inline]
+    pub fn signed_area(&self) -> f64 {
+        0.5 * orient2d_raw(self.a, self.b, self.c)
+    }
+
+    /// Unsigned area `a_i` as used in the Galerkin matrix (paper eq. 18).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Centroid `x_Δ`, the quadrature node of the centroid rule (eq. 20).
+    #[inline]
+    pub fn centroid(&self) -> Point2 {
+        Point2::new(
+            (self.a.x + self.b.x + self.c.x) / 3.0,
+            (self.a.y + self.b.y + self.c.y) / 3.0,
+        )
+    }
+
+    /// Lengths of the three sides `(|bc|, |ca|, |ab|)` (opposite each corner).
+    #[inline]
+    pub fn side_lengths(&self) -> [f64; 3] {
+        [
+            self.b.distance(self.c),
+            self.c.distance(self.a),
+            self.a.distance(self.b),
+        ]
+    }
+
+    /// Length of the longest side; the paper's `h` is the maximum of this
+    /// over the whole triangulation (Theorem 2).
+    #[inline]
+    pub fn longest_side(&self) -> f64 {
+        let [x, y, z] = self.side_lengths();
+        x.max(y).max(z)
+    }
+
+    /// Length of the shortest side.
+    #[inline]
+    pub fn shortest_side(&self) -> f64 {
+        let [x, y, z] = self.side_lengths();
+        x.min(y).min(z)
+    }
+
+    /// Interior angles in radians, opposite corners `a`, `b`, `c`.
+    ///
+    /// Degenerate triangles yield NaN angles.
+    pub fn angles(&self) -> [f64; 3] {
+        let [la, lb, lc] = self.side_lengths();
+        let angle = |opp: f64, s1: f64, s2: f64| {
+            ((s1 * s1 + s2 * s2 - opp * opp) / (2.0 * s1 * s2))
+                .clamp(-1.0, 1.0)
+                .acos()
+        };
+        [angle(la, lb, lc), angle(lb, lc, la), angle(lc, la, lb)]
+    }
+
+    /// Smallest interior angle in radians (the Ruppert quality measure).
+    pub fn min_angle(&self) -> f64 {
+        let [x, y, z] = self.angles();
+        x.min(y).min(z)
+    }
+
+    /// Circumcenter and circumradius, or `None` for a degenerate triangle.
+    ///
+    /// The circumcenter is equidistant from all three corners; Delaunay
+    /// refinement inserts it to kill skinny triangles.
+    pub fn circumcircle(&self) -> Option<(Point2, f64)> {
+        let d = 2.0 * orient2d_raw(self.a, self.b, self.c);
+        if d.abs() < GEOM_EPS {
+            return None;
+        }
+        let (ax, ay) = (self.a.x, self.a.y);
+        let (bx, by) = (self.b.x, self.b.y);
+        let (cx, cy) = (self.c.x, self.c.y);
+        let a2 = ax * ax + ay * ay;
+        let b2 = bx * bx + by * by;
+        let c2 = cx * cx + cy * cy;
+        let ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d;
+        let uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d;
+        let center = Point2::new(ux, uy);
+        Some((center, center.distance(self.a)))
+    }
+
+    /// Circumradius-to-shortest-edge ratio; Ruppert refinement bounds this
+    /// by `1 / (2 sin(min_angle))`.
+    pub fn radius_edge_ratio(&self) -> Option<f64> {
+        let (_, r) = self.circumcircle()?;
+        let s = self.shortest_side();
+        if s < GEOM_EPS {
+            None
+        } else {
+            Some(r / s)
+        }
+    }
+
+    /// Does the triangle contain `p` (boundary included)?
+    ///
+    /// Works for either winding.
+    pub fn contains(&self, p: Point2) -> bool {
+        let orientations = [
+            orient2d(self.a, self.b, p),
+            orient2d(self.b, self.c, p),
+            orient2d(self.c, self.a, p),
+        ];
+        let has_ccw = orientations.contains(&Orientation::CounterClockwise);
+        let has_cw = orientations.contains(&Orientation::Clockwise);
+        !(has_ccw && has_cw)
+    }
+
+    /// Barycentric coordinates of `p` with respect to `(a, b, c)`.
+    ///
+    /// Returns `None` for degenerate triangles. Inside points have all
+    /// three coordinates in `[0, 1]`.
+    pub fn barycentric(&self, p: Point2) -> Option<[f64; 3]> {
+        let den = orient2d_raw(self.a, self.b, self.c);
+        if den.abs() < GEOM_EPS {
+            return None;
+        }
+        let wa = orient2d_raw(p, self.b, self.c) / den;
+        let wb = orient2d_raw(self.a, p, self.c) / den;
+        let wc = orient2d_raw(self.a, self.b, p) / den;
+        Some([wa, wb, wc])
+    }
+
+    /// Returns the triangle with counter-clockwise winding.
+    pub fn ccw(&self) -> Triangle {
+        if self.signed_area() < 0.0 {
+            Triangle::new(self.a, self.c, self.b)
+        } else {
+            *self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_right() -> Triangle {
+        Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn area_and_winding() {
+        let t = unit_right();
+        assert_eq!(t.area(), 0.5);
+        assert_eq!(t.signed_area(), 0.5);
+        let r = Triangle::new(t.a, t.c, t.b);
+        assert_eq!(r.signed_area(), -0.5);
+        assert_eq!(r.area(), 0.5);
+        assert_eq!(r.ccw().signed_area(), 0.5);
+    }
+
+    #[test]
+    fn centroid_is_average() {
+        let t = Triangle::new(
+            Point2::new(-1.0, -1.0),
+            Point2::new(1.0, -1.0),
+            Point2::new(0.0, 2.0),
+        );
+        let c = t.centroid();
+        assert!((c.x - 0.0).abs() < 1e-15);
+        assert!((c.y - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn angles_sum_to_pi() {
+        let t = Triangle::new(
+            Point2::new(0.2, 0.1),
+            Point2::new(0.9, 0.3),
+            Point2::new(0.4, 0.8),
+        );
+        let sum: f64 = t.angles().iter().sum();
+        assert!((sum - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilateral_min_angle() {
+        let h = 3f64.sqrt() / 2.0;
+        let t = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.5, h),
+        );
+        assert!((t.min_angle() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+        // radius-edge ratio of an equilateral is 1/sqrt(3)
+        let rho = t.radius_edge_ratio().expect("non-degenerate");
+        assert!((rho - 1.0 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcircle_equidistant() {
+        let t = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(1.0, 3.0),
+        );
+        let (c, r) = t.circumcircle().expect("non-degenerate");
+        for v in t.vertices() {
+            assert!((c.distance(v) - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn circumcircle_degenerate_none() {
+        let t = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 2.0),
+        );
+        assert!(t.circumcircle().is_none());
+        assert!(t.barycentric(Point2::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let t = unit_right();
+        assert!(t.contains(Point2::new(0.25, 0.25)));
+        assert!(t.contains(Point2::new(0.0, 0.0)), "corner");
+        assert!(t.contains(Point2::new(0.5, 0.0)), "edge");
+        assert!(t.contains(Point2::new(0.5, 0.5)), "hypotenuse");
+        assert!(!t.contains(Point2::new(0.6, 0.6)));
+        assert!(!t.contains(Point2::new(-0.1, 0.5)));
+        // winding must not matter
+        let r = Triangle::new(t.a, t.c, t.b);
+        assert!(r.contains(Point2::new(0.25, 0.25)));
+        assert!(!r.contains(Point2::new(0.6, 0.6)));
+    }
+
+    #[test]
+    fn barycentric_roundtrip() {
+        let t = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(0.0, 3.0),
+        );
+        let p = Point2::new(1.0, 1.0);
+        let [wa, wb, wc] = t.barycentric(p).expect("non-degenerate");
+        assert!((wa + wb + wc - 1.0).abs() < 1e-12);
+        let rx = wa * t.a.x + wb * t.b.x + wc * t.c.x;
+        let ry = wa * t.a.y + wb * t.b.y + wc * t.c.y;
+        assert!((rx - p.x).abs() < 1e-12);
+        assert!((ry - p.y).abs() < 1e-12);
+        // centroid has equal weights
+        let [ca, cb, cc] = t.barycentric(t.centroid()).expect("non-degenerate");
+        assert!((ca - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cb - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cc - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn side_lengths_ordering() {
+        let t = unit_right();
+        assert!((t.longest_side() - 2f64.sqrt()).abs() < 1e-15);
+        assert_eq!(t.shortest_side(), 1.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Kernel algebra: combinators that build new valid kernels from valid
+//! parts.
+//!
+//! Positive-definite kernels are closed under convex combination,
+//! products, positive scaling and composition with linear coordinate
+//! maps. These combinators let users express realistic variation models
+//! — e.g. a long-range lithography component plus a short-range
+//! layout-dependent one plus a purely random per-device "nugget"
+//! (Pelgrom-style mismatch [11]) — and push them through the same
+//! Galerkin/KLE pipeline as the built-ins.
+
+use crate::{CovarianceKernel, KernelError};
+use klest_geometry::Point2;
+
+/// Convex combination of two kernels:
+/// `K = w K_a + (1 - w) K_b`, valid for `w ∈ [0, 1]`.
+///
+/// ```
+/// use klest_kernels::{BlendKernel, CovarianceKernel, ExponentialKernel, GaussianKernel};
+/// use klest_geometry::Point2;
+/// # fn main() -> Result<(), klest_kernels::KernelError> {
+/// let k = BlendKernel::new(GaussianKernel::new(1.0), ExponentialKernel::new(2.0), 0.7)?;
+/// assert!((k.eval(Point2::ORIGIN, Point2::ORIGIN) - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlendKernel<A, B> {
+    a: A,
+    b: B,
+    weight: f64,
+}
+
+impl<A: CovarianceKernel, B: CovarianceKernel> BlendKernel<A, B> {
+    /// Blends `a` (weight `w`) with `b` (weight `1 - w`).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] if `w` is outside `[0, 1]`.
+    pub fn new(a: A, b: B, weight: f64) -> Result<Self, KernelError> {
+        if !(0.0..=1.0).contains(&weight) {
+            return Err(KernelError::NonPositiveParameter {
+                name: "weight",
+                value: weight,
+            });
+        }
+        Ok(BlendKernel { a, b, weight })
+    }
+
+    /// The blend weight on the first kernel.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+impl<A: CovarianceKernel, B: CovarianceKernel> CovarianceKernel for BlendKernel<A, B> {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        self.weight * self.a.eval(x, y) + (1.0 - self.weight) * self.b.eval(x, y)
+    }
+
+    fn name(&self) -> &str {
+        "blend"
+    }
+
+    fn correlation_at_distance(&self, r: f64) -> Option<f64> {
+        let a = self.a.correlation_at_distance(r)?;
+        let b = self.b.correlation_at_distance(r)?;
+        Some(self.weight * a + (1.0 - self.weight) * b)
+    }
+}
+
+/// Product of two kernels: `K = K_a · K_b` (Schur product theorem keeps
+/// it valid; self-correlation stays 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProductKernel<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: CovarianceKernel, B: CovarianceKernel> ProductKernel<A, B> {
+    /// Multiplies two kernels.
+    pub fn new(a: A, b: B) -> Self {
+        ProductKernel { a, b }
+    }
+}
+
+impl<A: CovarianceKernel, B: CovarianceKernel> CovarianceKernel for ProductKernel<A, B> {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        self.a.eval(x, y) * self.b.eval(x, y)
+    }
+
+    fn name(&self) -> &str {
+        "product"
+    }
+
+    fn correlation_at_distance(&self, r: f64) -> Option<f64> {
+        Some(self.a.correlation_at_distance(r)? * self.b.correlation_at_distance(r)?)
+    }
+}
+
+/// Nugget kernel: mixes a spatially correlated component with a purely
+/// random per-device component of relative variance `nugget`
+/// (`K(x,x) = 1` still; `K(x,y) = (1-nugget)·K_base(x,y)` for `x ≠ y`).
+///
+/// This is the Pelgrom mismatch term [11]: even coincident devices are
+/// not perfectly correlated. Note the resulting field is *discontinuous*
+/// — the KLE of the correlated part should be computed on the base
+/// kernel, with the nugget added as an independent per-gate normal
+/// (which is exactly what [`split`](NuggetKernel::split) returns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NuggetKernel<K> {
+    base: K,
+    nugget: f64,
+}
+
+impl<K: CovarianceKernel> NuggetKernel<K> {
+    /// Wraps `base` with relative nugget variance `nugget ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] if `nugget` is outside
+    /// `[0, 1)`.
+    pub fn new(base: K, nugget: f64) -> Result<Self, KernelError> {
+        if !(0.0..1.0).contains(&nugget) {
+            return Err(KernelError::NonPositiveParameter {
+                name: "nugget",
+                value: nugget,
+            });
+        }
+        Ok(NuggetKernel { base, nugget })
+    }
+
+    /// `(correlated_weight, nugget_weight)` = `(1 - nugget, nugget)`:
+    /// the variance split for samplers that draw the correlated part via
+    /// KLE and add independent noise.
+    pub fn split(&self) -> (f64, f64) {
+        (1.0 - self.nugget, self.nugget)
+    }
+
+    /// The wrapped base kernel.
+    pub fn base(&self) -> &K {
+        &self.base
+    }
+}
+
+impl<K: CovarianceKernel> CovarianceKernel for NuggetKernel<K> {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        if x == y {
+            1.0
+        } else {
+            (1.0 - self.nugget) * self.base.eval(x, y)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "nugget"
+    }
+}
+
+/// Anisotropic wrapper: evaluates the base kernel after a linear map of
+/// the coordinates, `K(x, y) = K_base(A x, A y)`. With a diagonal map
+/// this stretches the correlation lengths per axis (e.g. lithography
+/// scan direction); a rotation models tilted anisotropy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnisotropicKernel<K> {
+    base: K,
+    /// Row-major 2x2 coordinate map.
+    map: [[f64; 2]; 2],
+}
+
+impl<K: CovarianceKernel> AnisotropicKernel<K> {
+    /// Wraps `base` with an explicit 2x2 map.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] if the map is singular
+    /// (determinant ~ 0), which would collapse the die to a line.
+    pub fn new(base: K, map: [[f64; 2]; 2]) -> Result<Self, KernelError> {
+        let det = map[0][0] * map[1][1] - map[0][1] * map[1][0];
+        if det.abs() < 1e-12 || !det.is_finite() {
+            return Err(KernelError::NonPositiveParameter {
+                name: "map determinant",
+                value: det,
+            });
+        }
+        Ok(AnisotropicKernel { base, map })
+    }
+
+    /// Axis-aligned stretch: correlation shrinks by `sx` along x and
+    /// `sy` along y.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] for non-positive factors.
+    pub fn stretched(base: K, sx: f64, sy: f64) -> Result<Self, KernelError> {
+        if sx <= 0.0 || sy <= 0.0 {
+            return Err(KernelError::NonPositiveParameter {
+                name: "stretch",
+                value: sx.min(sy),
+            });
+        }
+        Self::new(base, [[sx, 0.0], [0.0, sy]])
+    }
+
+    fn apply(&self, p: Point2) -> Point2 {
+        Point2::new(
+            self.map[0][0] * p.x + self.map[0][1] * p.y,
+            self.map[1][0] * p.x + self.map[1][1] * p.y,
+        )
+    }
+}
+
+impl<K: CovarianceKernel> CovarianceKernel for AnisotropicKernel<K> {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        self.base.eval(self.apply(x), self.apply(y))
+    }
+
+    fn name(&self) -> &str {
+        "anisotropic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExponentialKernel, GaussianKernel};
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn blend_interpolates() {
+        let g = GaussianKernel::new(1.0);
+        let e = ExponentialKernel::new(1.0);
+        let k = BlendKernel::new(g, e, 0.25).unwrap();
+        assert_eq!(k.weight(), 0.25);
+        let (a, b) = (p(0.0, 0.0), p(0.6, 0.0));
+        let expect = 0.25 * g.eval(a, b) + 0.75 * e.eval(a, b);
+        assert!((k.eval(a, b) - expect).abs() < 1e-15);
+        assert!((k.eval(a, a) - 1.0).abs() < 1e-15);
+        let iso = k.correlation_at_distance(0.6).unwrap();
+        assert!((iso - expect).abs() < 1e-15);
+        assert!(BlendKernel::new(g, e, 1.5).is_err());
+        assert!(BlendKernel::new(g, e, -0.1).is_err());
+        assert_eq!(k.name(), "blend");
+    }
+
+    #[test]
+    fn product_multiplies() {
+        let g = GaussianKernel::new(1.0);
+        let e = ExponentialKernel::new(2.0);
+        let k = ProductKernel::new(g, e);
+        let (a, b) = (p(0.1, 0.2), p(-0.4, 0.5));
+        assert!((k.eval(a, b) - g.eval(a, b) * e.eval(a, b)).abs() < 1e-15);
+        assert!((k.eval(a, a) - 1.0).abs() < 1e-15);
+        assert!(k.correlation_at_distance(0.5).unwrap() < g.correlation_at_distance(0.5).unwrap());
+        assert_eq!(k.name(), "product");
+    }
+
+    #[test]
+    fn nugget_splits_variance() {
+        let base = GaussianKernel::new(1.0);
+        let k = NuggetKernel::new(base, 0.2).unwrap();
+        assert_eq!(k.split(), (0.8, 0.2));
+        assert_eq!(k.eval(p(0.3, 0.3), p(0.3, 0.3)), 1.0, "unit variance kept");
+        let (a, b) = (p(0.0, 0.0), p(0.5, 0.0));
+        assert!((k.eval(a, b) - 0.8 * base.eval(a, b)).abs() < 1e-15);
+        assert_eq!(k.base().decay(), 1.0);
+        assert!(NuggetKernel::new(base, 1.0).is_err());
+        assert!(NuggetKernel::new(base, -0.1).is_err());
+    }
+
+    #[test]
+    fn nugget_discontinuity_at_zero_distance() {
+        // lim_{y -> x} K(x, y) = 1 - nugget < K(x, x) = 1: the defining
+        // discontinuity of mismatch.
+        let k = NuggetKernel::new(GaussianKernel::new(1.0), 0.3).unwrap();
+        let x = p(0.1, 0.1);
+        let near = k.eval(x, p(0.1 + 1e-9, 0.1));
+        assert!((near - 0.7).abs() < 1e-6);
+        assert_eq!(k.eval(x, x), 1.0);
+    }
+
+    #[test]
+    fn anisotropic_stretch() {
+        let base = GaussianKernel::new(1.0);
+        let k = AnisotropicKernel::stretched(base, 1.0, 3.0).unwrap();
+        // Same physical separation decays faster along y.
+        let along_x = k.eval(p(0.0, 0.0), p(0.5, 0.0));
+        let along_y = k.eval(p(0.0, 0.0), p(0.0, 0.5));
+        assert!(along_y < along_x);
+        assert!((k.eval(p(0.2, -0.3), p(0.2, -0.3)) - 1.0).abs() < 1e-15);
+        // Isotropic base still isotropic within each axis direction.
+        assert!((along_x - base.eval(p(0.0, 0.0), p(0.5, 0.0))).abs() < 1e-15);
+        assert_eq!(k.name(), "anisotropic");
+    }
+
+    #[test]
+    fn anisotropic_rotation_preserves_isotropy() {
+        // A pure rotation must leave an isotropic kernel unchanged.
+        let base = GaussianKernel::new(2.0);
+        let th = 0.7f64;
+        let rot = [[th.cos(), -th.sin()], [th.sin(), th.cos()]];
+        let k = AnisotropicKernel::new(base, rot).unwrap();
+        for (a, b) in [(p(0.1, 0.2), p(-0.5, 0.4)), (p(0.9, -0.9), p(-0.9, 0.9))] {
+            assert!((k.eval(a, b) - base.eval(a, b)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn anisotropic_rejects_singular_map() {
+        let base = GaussianKernel::new(1.0);
+        assert!(AnisotropicKernel::new(base, [[1.0, 2.0], [2.0, 4.0]]).is_err());
+        assert!(AnisotropicKernel::stretched(base, 0.0, 1.0).is_err());
+        assert!(AnisotropicKernel::stretched(base, 1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn composites_remain_psd_empirically() {
+        use crate::validity::check_positive_semidefinite;
+        use klest_geometry::Rect;
+        let g = GaussianKernel::new(2.0);
+        let e = ExponentialKernel::new(1.0);
+        let blend = BlendKernel::new(g, e, 0.5).unwrap();
+        let product = ProductKernel::new(g, e);
+        let nugget = NuggetKernel::new(g, 0.2).unwrap();
+        let aniso = AnisotropicKernel::stretched(g, 1.0, 2.0).unwrap();
+        for (name, report) in [
+            ("blend", check_positive_semidefinite(&blend, Rect::unit_die(), 24, 6, 1)),
+            ("product", check_positive_semidefinite(&product, Rect::unit_die(), 24, 6, 2)),
+            ("nugget", check_positive_semidefinite(&nugget, Rect::unit_die(), 24, 6, 3)),
+            ("aniso", check_positive_semidefinite(&aniso, Rect::unit_die(), 24, 6, 4)),
+        ] {
+            assert!(report.is_psd(), "{name}: min eig {}", report.min_eigenvalue);
+        }
+    }
+}

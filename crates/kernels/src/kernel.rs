@@ -1,0 +1,612 @@
+//! Covariance-kernel trait and the kernel families from the paper.
+
+use crate::special::{bessel_k, gamma};
+use klest_geometry::Point2;
+use std::fmt;
+
+/// Errors constructing a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// A shape parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The Matérn smoothness `s` must exceed 1 (the order `s-1` of the
+    /// Bessel function must be positive for eq. (6) to normalize).
+    SmoothnessTooSmall {
+        /// The supplied `s`.
+        s: f64,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NonPositiveParameter { name, value } => {
+                write!(f, "kernel parameter {name} must be positive, got {value}")
+            }
+            KernelError::SmoothnessTooSmall { s } => {
+                write!(f, "Matérn smoothness s must exceed 1, got {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A spatial covariance (equivalently, correlation — parameters are
+/// normalized to unit variance) kernel over the die.
+///
+/// Implementations must be symmetric (`eval(x, y) == eval(y, x)`) and
+/// normalized (`eval(x, x) == 1`); the property tests in `klest-core`
+/// check both. Kernels are consumed by the Galerkin assembly, which
+/// evaluates them at triangle centroids (paper eq. 21), so `eval` should
+/// be cheap and thread-safe.
+pub trait CovarianceKernel: Send + Sync {
+    /// Correlation between locations `x` and `y`.
+    fn eval(&self, x: Point2, y: Point2) -> f64;
+
+    /// Short human-readable name used in reports and benches.
+    fn name(&self) -> &str;
+
+    /// For isotropic kernels, the correlation at separation distance `r`
+    /// (`K(x, y) = rho(‖x−y‖)`); `None` for anisotropic kernels.
+    fn correlation_at_distance(&self, r: f64) -> Option<f64> {
+        let _ = r;
+        None
+    }
+}
+
+impl<K: CovarianceKernel + ?Sized> CovarianceKernel for &K {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        (**self).eval(x, y)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn correlation_at_distance(&self, r: f64) -> Option<f64> {
+        (**self).correlation_at_distance(r)
+    }
+}
+
+/// The paper's test kernel (Fig. 1a): `K(x, y) = exp(-c ‖x−y‖²)`, also
+/// called the *double exponential* or squared-exponential kernel.
+///
+/// ```
+/// use klest_kernels::{CovarianceKernel, GaussianKernel};
+/// use klest_geometry::Point2;
+/// let k = GaussianKernel::new(1.0);
+/// let r1 = k.eval(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0));
+/// assert!((r1 - (-1.0f64).exp()).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianKernel {
+    c: f64,
+}
+
+impl GaussianKernel {
+    /// Creates the kernel with decay rate `c > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`; use [`GaussianKernel::try_new`] for a fallible
+    /// constructor.
+    pub fn new(c: f64) -> Self {
+        Self::try_new(c).expect("GaussianKernel decay rate must be positive")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] if `c <= 0` or non-finite.
+    pub fn try_new(c: f64) -> Result<Self, KernelError> {
+        if c > 0.0 && c.is_finite() {
+            Ok(GaussianKernel { c })
+        } else {
+            Err(KernelError::NonPositiveParameter { name: "c", value: c })
+        }
+    }
+
+    /// Chooses `c` so the kernel best fits (least squares, area-weighted as
+    /// in 2-D) an isotropic linear cone with the given correlation
+    /// distance — the paper's procedure for its experiments ("we compute c
+    /// to best fit an isotropic linear kernel in 2-D with correlation
+    /// distance equal to half the normalized chip length").
+    pub fn with_correlation_distance(dist: f64) -> Self {
+        let c = crate::fit::fit_gaussian_to_linear_2d(dist);
+        GaussianKernel { c }
+    }
+
+    /// The decay rate `c`.
+    pub fn decay(&self) -> f64 {
+        self.c
+    }
+}
+
+impl CovarianceKernel for GaussianKernel {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        (-self.c * x.distance_sq(y)).exp()
+    }
+
+    fn name(&self) -> &str {
+        "gaussian"
+    }
+
+    fn correlation_at_distance(&self, r: f64) -> Option<f64> {
+        Some((-self.c * r * r).exp())
+    }
+}
+
+/// Isotropic exponential kernel `K(x, y) = exp(-c ‖x−y‖₂)`, suggested by
+/// the correlogram extraction of [16].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialKernel {
+    c: f64,
+}
+
+impl ExponentialKernel {
+    /// Creates the kernel with decay rate `c > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn new(c: f64) -> Self {
+        Self::try_new(c).expect("ExponentialKernel decay rate must be positive")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] if `c <= 0` or non-finite.
+    pub fn try_new(c: f64) -> Result<Self, KernelError> {
+        if c > 0.0 && c.is_finite() {
+            Ok(ExponentialKernel { c })
+        } else {
+            Err(KernelError::NonPositiveParameter { name: "c", value: c })
+        }
+    }
+
+    /// The decay rate `c`.
+    pub fn decay(&self) -> f64 {
+        self.c
+    }
+}
+
+impl CovarianceKernel for ExponentialKernel {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        (-self.c * x.distance(y)).exp()
+    }
+
+    fn name(&self) -> &str {
+        "exponential"
+    }
+
+    fn correlation_at_distance(&self, r: f64) -> Option<f64> {
+        Some((-self.c * r).exp())
+    }
+}
+
+/// The separable L1 exponential kernel of eq. (5):
+/// `K(x, y) = exp(-c(|x₁−y₁| + |x₂−y₂|))`.
+///
+/// It factors into two 1-D exponential kernels, each with a known
+/// analytic KLE ([8]); `klest-core` uses that as a ground truth for the
+/// Galerkin solver. The paper notes its L1 decay is physically
+/// unrealistic — it is kept as a validation vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeparableExponentialKernel {
+    c: f64,
+}
+
+impl SeparableExponentialKernel {
+    /// Creates the kernel with per-axis decay rate `c > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn new(c: f64) -> Self {
+        Self::try_new(c).expect("SeparableExponentialKernel decay rate must be positive")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] if `c <= 0` or non-finite.
+    pub fn try_new(c: f64) -> Result<Self, KernelError> {
+        if c > 0.0 && c.is_finite() {
+            Ok(SeparableExponentialKernel { c })
+        } else {
+            Err(KernelError::NonPositiveParameter { name: "c", value: c })
+        }
+    }
+
+    /// The per-axis decay rate `c`.
+    pub fn decay(&self) -> f64 {
+        self.c
+    }
+}
+
+impl CovarianceKernel for SeparableExponentialKernel {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        (-self.c * x.distance_l1(y)).exp()
+    }
+
+    fn name(&self) -> &str {
+        "separable-exponential"
+    }
+}
+
+/// The kernel of [2]: `K(x, y) = exp(-c |r_x − r_y|)` where `r` is the
+/// distance from the die origin.
+///
+/// The paper criticises it (all points on an origin-centred circle are
+/// perfectly correlated); it is included as a baseline for that exact
+/// comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadialExponentialKernel {
+    c: f64,
+}
+
+impl RadialExponentialKernel {
+    /// Creates the kernel with decay rate `c > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn new(c: f64) -> Self {
+        Self::try_new(c).expect("RadialExponentialKernel decay rate must be positive")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] if `c <= 0` or non-finite.
+    pub fn try_new(c: f64) -> Result<Self, KernelError> {
+        if c > 0.0 && c.is_finite() {
+            Ok(RadialExponentialKernel { c })
+        } else {
+            Err(KernelError::NonPositiveParameter { name: "c", value: c })
+        }
+    }
+}
+
+impl CovarianceKernel for RadialExponentialKernel {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        let rx = (x - Point2::ORIGIN).norm();
+        let ry = (y - Point2::ORIGIN).norm();
+        (-self.c * (rx - ry).abs()).exp()
+    }
+
+    fn name(&self) -> &str {
+        "radial-exponential"
+    }
+}
+
+/// The Matérn/Bessel kernel family of eq. (6), the form [1] extracts
+/// robustly from measurement data:
+///
+/// `K(x, y) = 2 (bv/2)^{s-1} B_{s-1}(bv) / Γ(s-1)`, `v = ‖x−y‖₂`,
+///
+/// with `B` the modified Bessel function of the second kind. `b > 0` sets
+/// the decay rate and `s > 1` the smoothness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaternKernel {
+    b: f64,
+    s: f64,
+    /// Precomputed `1/Γ(s-1)`.
+    inv_gamma: f64,
+}
+
+impl MaternKernel {
+    /// Threshold below which the small-argument limit `K → 1` is used.
+    const SMALL_ARG: f64 = 1e-8;
+
+    /// Creates the kernel with decay `b > 0` and smoothness `s > 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] for invalid `b`;
+    /// [`KernelError::SmoothnessTooSmall`] for `s <= 1`.
+    pub fn new(b: f64, s: f64) -> Result<Self, KernelError> {
+        if !(b > 0.0 && b.is_finite()) {
+            return Err(KernelError::NonPositiveParameter { name: "b", value: b });
+        }
+        if !(s > 1.0 && s.is_finite()) {
+            return Err(KernelError::SmoothnessTooSmall { s });
+        }
+        Ok(MaternKernel {
+            b,
+            s,
+            inv_gamma: 1.0 / gamma(s - 1.0),
+        })
+    }
+
+    /// The decay parameter `b`.
+    pub fn decay(&self) -> f64 {
+        self.b
+    }
+
+    /// The smoothness parameter `s`.
+    pub fn smoothness(&self) -> f64 {
+        self.s
+    }
+}
+
+impl CovarianceKernel for MaternKernel {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        self.correlation_at_distance(x.distance(y))
+            .expect("Matérn kernel is isotropic")
+    }
+
+    fn name(&self) -> &str {
+        "matern"
+    }
+
+    fn correlation_at_distance(&self, r: f64) -> Option<f64> {
+        let z = self.b * r;
+        if z < Self::SMALL_ARG {
+            return Some(1.0);
+        }
+        let nu = self.s - 1.0;
+        let k = bessel_k(nu, z).expect("z > 0 and nu > 0 by construction");
+        Some((2.0 * (z / 2.0).powf(nu) * k * self.inv_gamma).min(1.0))
+    }
+}
+
+/// The near-linear isotropic kernel suggested by the measurements of
+/// [12]: `K(x, y) = max(0, 1 − ‖x−y‖ / d)` — a cone with base radius `d`.
+///
+/// [1] shows this kernel can violate positive semidefiniteness in 2-D;
+/// the paper uses it only as the target of the Gaussian/exponential fits
+/// in Fig. 3a, and so do we.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearConeKernel {
+    d: f64,
+}
+
+impl LinearConeKernel {
+    /// Creates the cone with correlation distance `d > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d <= 0`.
+    pub fn new(d: f64) -> Self {
+        Self::try_new(d).expect("LinearConeKernel correlation distance must be positive")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NonPositiveParameter`] if `d <= 0` or non-finite.
+    pub fn try_new(d: f64) -> Result<Self, KernelError> {
+        if d > 0.0 && d.is_finite() {
+            Ok(LinearConeKernel { d })
+        } else {
+            Err(KernelError::NonPositiveParameter { name: "d", value: d })
+        }
+    }
+
+    /// The correlation distance `d` (cone base radius).
+    pub fn correlation_distance(&self) -> f64 {
+        self.d
+    }
+}
+
+impl CovarianceKernel for LinearConeKernel {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        self.correlation_at_distance(x.distance(y))
+            .expect("cone kernel is isotropic")
+    }
+
+    fn name(&self) -> &str {
+        "linear-cone"
+    }
+
+    fn correlation_at_distance(&self, r: f64) -> Option<f64> {
+        Some((1.0 - r / self.d).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn all_kernels() -> Vec<Box<dyn CovarianceKernel>> {
+        vec![
+            Box::new(GaussianKernel::new(2.0)),
+            Box::new(ExponentialKernel::new(1.5)),
+            Box::new(SeparableExponentialKernel::new(1.0)),
+            Box::new(RadialExponentialKernel::new(1.0)),
+            Box::new(MaternKernel::new(3.0, 2.5).unwrap()),
+            Box::new(LinearConeKernel::new(1.0)),
+        ]
+    }
+
+    #[test]
+    fn unit_self_correlation() {
+        for k in all_kernels() {
+            for pt in [p(0.0, 0.0), p(0.7, -0.3), p(-1.0, 1.0)] {
+                assert!(
+                    (k.eval(pt, pt) - 1.0).abs() < 1e-12,
+                    "{} violates K(x,x)=1",
+                    k.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let pairs = [
+            (p(0.1, 0.2), p(-0.6, 0.9)),
+            (p(0.0, 0.0), p(1.0, 1.0)),
+            (p(-0.5, 0.5), p(0.5, -0.5)),
+        ];
+        for k in all_kernels() {
+            for (a, b) in pairs {
+                assert!(
+                    (k.eval(a, b) - k.eval(b, a)).abs() < 1e-14,
+                    "{} violates symmetry",
+                    k.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_by_one_and_nonnegative() {
+        for k in all_kernels() {
+            for i in 0..10 {
+                for j in 0..10 {
+                    let a = p(-1.0 + 0.2 * i as f64, -1.0 + 0.2 * j as f64);
+                    let v = k.eval(p(0.3, -0.2), a);
+                    assert!(v <= 1.0 + 1e-12, "{}: K = {v} > 1", k.name());
+                    assert!(v >= 0.0, "{}: K = {v} < 0", k.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_decay_for_isotropic() {
+        let kernels: Vec<Box<dyn CovarianceKernel>> = vec![
+            Box::new(GaussianKernel::new(2.0)),
+            Box::new(ExponentialKernel::new(1.5)),
+            Box::new(MaternKernel::new(3.0, 2.5).unwrap()),
+            Box::new(LinearConeKernel::new(1.0)),
+        ];
+        for k in kernels {
+            let mut prev = 1.0 + 1e-15;
+            for i in 1..30 {
+                let r = 0.1 * i as f64;
+                let v = k.correlation_at_distance(r).expect("isotropic");
+                assert!(v <= prev + 1e-12, "{} not monotone at r = {r}", k.name());
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_known_values() {
+        let k = GaussianKernel::new(1.0);
+        assert_eq!(k.decay(), 1.0);
+        let v = k.eval(p(0.0, 0.0), p(0.0, 2.0));
+        assert!((v - (-4.0f64).exp()).abs() < 1e-15);
+        assert_eq!(k.correlation_at_distance(2.0), Some((-4.0f64).exp()));
+    }
+
+    #[test]
+    fn separable_kernel_factors() {
+        let c = 1.3;
+        let k = SeparableExponentialKernel::new(c);
+        assert_eq!(k.decay(), c);
+        let a = p(0.2, -0.4);
+        let b = p(-0.1, 0.5);
+        let expected = (-c * (0.3f64)).exp() * (-c * (0.9f64)).exp();
+        assert!((k.eval(a, b) - expected).abs() < 1e-12);
+        // Not isotropic: no correlation_at_distance.
+        assert!(k.correlation_at_distance(1.0).is_none());
+    }
+
+    #[test]
+    fn radial_kernel_circle_artifact() {
+        // [2]'s kernel: distinct points on an origin-centred circle are
+        // perfectly correlated — the flaw the paper calls out.
+        let k = RadialExponentialKernel::new(1.0);
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        assert!((k.eval(a, b) - 1.0).abs() < 1e-12);
+        assert!(k.eval(a, p(2.0, 0.0)) < 1.0);
+    }
+
+    #[test]
+    fn matern_half_integer_closed_form() {
+        // s = 1.5 → ν = 0.5: K(r) = exp(-b r) exactly.
+        let b = 2.0;
+        let k = MaternKernel::new(b, 1.5).unwrap();
+        for i in 1..20 {
+            let r = 0.1 * i as f64;
+            let v = k.correlation_at_distance(r).unwrap();
+            assert!(
+                (v - (-b * r).exp()).abs() < 1e-10,
+                "r = {r}: {v} vs {}",
+                (-b * r).exp()
+            );
+        }
+        assert_eq!(k.decay(), b);
+        assert_eq!(k.smoothness(), 1.5);
+    }
+
+    #[test]
+    fn matern_nu_three_halves_closed_form() {
+        // s = 2.5 → ν = 1.5: K(r) = (1 + b r) exp(-b r).
+        let b = 1.7;
+        let k = MaternKernel::new(b, 2.5).unwrap();
+        for i in 1..20 {
+            let r = 0.15 * i as f64;
+            let z = b * r;
+            let expected = (1.0 + z) * (-z).exp();
+            let v = k.correlation_at_distance(r).unwrap();
+            assert!((v - expected).abs() < 1e-10, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn cone_kernel_support() {
+        let k = LinearConeKernel::new(0.5);
+        assert_eq!(k.correlation_distance(), 0.5);
+        assert_eq!(k.correlation_at_distance(0.25), Some(0.5));
+        assert_eq!(k.correlation_at_distance(0.5), Some(0.0));
+        assert_eq!(k.correlation_at_distance(2.0), Some(0.0));
+    }
+
+    #[test]
+    fn constructor_errors() {
+        assert!(GaussianKernel::try_new(0.0).is_err());
+        assert!(GaussianKernel::try_new(-1.0).is_err());
+        assert!(GaussianKernel::try_new(f64::NAN).is_err());
+        assert!(ExponentialKernel::try_new(0.0).is_err());
+        assert!(SeparableExponentialKernel::try_new(-2.0).is_err());
+        assert!(RadialExponentialKernel::try_new(0.0).is_err());
+        assert!(LinearConeKernel::try_new(0.0).is_err());
+        assert!(matches!(
+            MaternKernel::new(0.0, 2.0).unwrap_err(),
+            KernelError::NonPositiveParameter { name: "b", .. }
+        ));
+        assert!(matches!(
+            MaternKernel::new(1.0, 1.0).unwrap_err(),
+            KernelError::SmoothnessTooSmall { .. }
+        ));
+        let msg = KernelError::SmoothnessTooSmall { s: 0.5 }.to_string();
+        assert!(msg.contains("exceed 1"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gaussian_new_panics_on_invalid() {
+        let _ = GaussianKernel::new(-1.0);
+    }
+
+    #[test]
+    fn trait_object_and_reference_impls() {
+        let k = GaussianKernel::new(1.0);
+        let r = &k;
+        assert_eq!(r.name(), "gaussian");
+        assert_eq!(r.eval(p(0.0, 0.0), p(0.0, 0.0)), 1.0);
+        assert!(r.correlation_at_distance(1.0).is_some());
+        let dynk: &dyn CovarianceKernel = &k;
+        assert_eq!(dynk.name(), "gaussian");
+    }
+}

@@ -1,0 +1,48 @@
+//! # klest-kernels
+//!
+//! Spatial covariance kernels for intra-die variation modeling.
+//!
+//! A *covariance kernel* `K(x, y)` returns the correlation between a
+//! normalized device parameter (channel length `L`, threshold `Vt`, oxide
+//! thickness `tox`, width `W`) at two die locations (paper Sec. 2.2). This
+//! crate provides the kernel families discussed in the paper:
+//!
+//! - [`GaussianKernel`] — `exp(-c ‖x−y‖²)`, the paper's test kernel
+//!   (Fig. 1a),
+//! - [`ExponentialKernel`] — isotropic `exp(-c ‖x−y‖)` ([16]),
+//! - [`SeparableExponentialKernel`] — `exp(-c(|x₁−y₁| + |x₂−y₂|))`, the
+//!   analytically solvable L1 kernel of eq. (5),
+//! - [`RadialExponentialKernel`] — `exp(-c |‖x‖−‖y‖|)`, the physically
+//!   unrealistic kernel of [2] (kept as a baseline),
+//! - [`MaternKernel`] — the Bessel-family kernel of eq. (6) extracted by
+//!   robust measurement fitting in [1],
+//! - [`LinearConeKernel`] — the near-linear measurement-suggested kernel
+//!   of [12] (potentially invalid in 2-D; used as a fit target, Fig. 3a).
+//!
+//! plus kernel *fitting* ([`fit`]) and empirical positive-semidefiniteness
+//! *validation* ([`validity`]).
+//!
+//! ```
+//! use klest_kernels::{CovarianceKernel, GaussianKernel};
+//! use klest_geometry::Point2;
+//!
+//! let k = GaussianKernel::new(2.0);
+//! let x = Point2::new(0.0, 0.0);
+//! assert_eq!(k.eval(x, x), 1.0);
+//! assert!(k.eval(x, Point2::new(1.0, 0.0)) < 1.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod composite;
+pub mod fit;
+mod kernel;
+pub mod special;
+pub mod spectral;
+pub mod validity;
+
+pub use composite::{AnisotropicKernel, BlendKernel, NuggetKernel, ProductKernel};
+pub use kernel::{
+    CovarianceKernel, ExponentialKernel, GaussianKernel, KernelError, LinearConeKernel,
+    MaternKernel, RadialExponentialKernel, SeparableExponentialKernel,
+};

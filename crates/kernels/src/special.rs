@@ -1,0 +1,414 @@
+//! Special functions needed by the Matérn/Bessel covariance kernel of the
+//! paper's eq. (6): the gamma function and the modified Bessel function of
+//! the second kind `K_ν(x)` for real order `ν ≥ 0`.
+//!
+//! `K_ν` follows the classic two-regime scheme (Temme's series for small
+//! arguments, a Steed continued fraction for large ones) with upward
+//! recurrence in the order, as popularised by *Numerical Recipes*'
+//! `bessik`. Accuracy is validated in the tests against closed forms at
+//! half-integer orders and high-precision reference values.
+
+/// Euler–Mascheroni constant.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Lanczos coefficients (g = 7, n = 9).
+#[allow(clippy::excessive_precision)]
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_59,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (poles and the reflection branch are not needed by
+/// this workspace; [`gamma`] handles negative non-integer arguments).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection to keep the Lanczos series in its accurate range.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Gamma function for real `x` away from the non-positive integers.
+///
+/// # Panics
+///
+/// Panics at poles (`x` a non-positive integer).
+pub fn gamma(x: f64) -> f64 {
+    if x > 0.0 {
+        if x < 0.5 {
+            let pi = std::f64::consts::PI;
+            pi / ((pi * x).sin() * gamma(1.0 - x))
+        } else {
+            ln_gamma(x).exp()
+        }
+    } else {
+        assert!(
+            x.fract() != 0.0,
+            "gamma has a pole at non-positive integer {x}"
+        );
+        let pi = std::f64::consts::PI;
+        pi / ((pi * x).sin() * gamma(1.0 - x))
+    }
+}
+
+/// Reciprocal gamma `1/Γ(x)`, finite everywhere (zero at the poles).
+pub fn recip_gamma(x: f64) -> f64 {
+    if x > 0.0 {
+        (-ln_gamma(x)).exp()
+    } else if x.fract() == 0.0 {
+        0.0
+    } else {
+        1.0 / gamma(x)
+    }
+}
+
+/// The Temme auxiliaries
+/// `Γ₁(μ) = [1/Γ(1-μ) - 1/Γ(1+μ)] / (2μ)` and
+/// `Γ₂(μ) = [1/Γ(1-μ) + 1/Γ(1+μ)] / 2`
+/// for `|μ| <= 1/2`, with the `μ → 0` limit handled analytically
+/// (`Γ₁(0) = −γ`, `Γ₂(0) = 1`).
+fn temme_gammas(mu: f64) -> (f64, f64) {
+    debug_assert!(mu.abs() <= 0.5 + 1e-12);
+    if mu.abs() < 1e-7 {
+        // Series: 1/Γ(1±μ) = 1 ± γμ + (γ²/2 − π²/12) μ² ∓ ..., so
+        // Γ₁ = [1/Γ(1−μ) − 1/Γ(1+μ)]/(2μ) → −γ as μ → 0.
+        let g1 = -EULER_GAMMA;
+        let g2 = 1.0 + (EULER_GAMMA * EULER_GAMMA / 2.0
+            - std::f64::consts::PI * std::f64::consts::PI / 12.0)
+            * mu
+            * mu;
+        (g1, g2)
+    } else {
+        let rp = recip_gamma(1.0 + mu);
+        let rm = recip_gamma(1.0 - mu);
+        ((rm - rp) / (2.0 * mu), (rm + rp) / 2.0)
+    }
+}
+
+/// Error from [`bessel_k`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecialFnError {
+    /// The argument must be strictly positive (`K_ν` diverges at 0).
+    NonPositiveArgument(f64),
+    /// The order must be non-negative (use `K_{-ν} = K_ν` upstream).
+    NegativeOrder(f64),
+    /// A series or continued fraction failed to converge.
+    NoConvergence,
+}
+
+impl std::fmt::Display for SpecialFnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecialFnError::NonPositiveArgument(x) => {
+                write!(f, "bessel_k requires x > 0, got {x}")
+            }
+            SpecialFnError::NegativeOrder(nu) => {
+                write!(f, "bessel_k requires nu >= 0, got {nu}")
+            }
+            SpecialFnError::NoConvergence => write!(f, "bessel_k series failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for SpecialFnError {}
+
+const BESSEL_EPS: f64 = 1e-16;
+const BESSEL_MAX_ITER: usize = 10_000;
+/// Crossover between the Temme series and the Steed continued fraction.
+const BESSEL_XMIN: f64 = 2.0;
+
+/// Modified Bessel function of the second kind `K_ν(x)` for real order
+/// `ν >= 0` and `x > 0`.
+///
+/// ```
+/// use klest_kernels::special::bessel_k;
+/// // K_{1/2}(x) = sqrt(pi / (2x)) e^{-x}
+/// let x = 1.7;
+/// let exact = (std::f64::consts::PI / (2.0 * x)).sqrt() * (-x).exp();
+/// assert!((bessel_k(0.5, x).unwrap() - exact).abs() < 1e-12);
+/// ```
+///
+/// # Errors
+///
+/// See [`SpecialFnError`].
+pub fn bessel_k(nu: f64, x: f64) -> Result<f64, SpecialFnError> {
+    if x <= 0.0 || !x.is_finite() {
+        return Err(SpecialFnError::NonPositiveArgument(x));
+    }
+    if nu < 0.0 {
+        return Err(SpecialFnError::NegativeOrder(nu));
+    }
+    // Split the order into nl + mu with |mu| <= 1/2.
+    let nl = (nu + 0.5).floor() as usize;
+    let mu = nu - nl as f64;
+
+    let (mut k_mu, mut k_mu1) = if x < BESSEL_XMIN {
+        temme_series(mu, x)?
+    } else {
+        steed_cf2(mu, x)?
+    };
+
+    // Upward recurrence K_{ν+1} = K_{ν-1} + (2ν/x) K_ν.
+    for i in 1..=nl {
+        let k_next = (mu + i as f64) * (2.0 / x) * k_mu1 + k_mu;
+        k_mu = k_mu1;
+        k_mu1 = k_next;
+    }
+    Ok(k_mu)
+}
+
+/// Temme's series for `K_μ(x)` and `K_{μ+1}(x)`, `x <= 2`, `|μ| <= 1/2`.
+fn temme_series(mu: f64, x: f64) -> Result<(f64, f64), SpecialFnError> {
+    let pi = std::f64::consts::PI;
+    let x1 = 0.5 * x;
+    let pimu = pi * mu;
+    let fact = if pimu.abs() < BESSEL_EPS {
+        1.0
+    } else {
+        pimu / pimu.sin()
+    };
+    let d = -x1.ln();
+    let e = mu * d;
+    let fact2 = if e.abs() < BESSEL_EPS {
+        1.0
+    } else {
+        e.sinh() / e
+    };
+    let (gam1, gam2) = temme_gammas(mu);
+    // gampl = 1/Γ(1+μ), gammi = 1/Γ(1-μ)
+    let gampl = gam2 - mu * gam1;
+    let gammi = gam2 + mu * gam1;
+    let mut ff = fact * (gam1 * e.cosh() + gam2 * fact2 * d);
+    let mut sum = ff;
+    let e_exp = e.exp();
+    let mut p = 0.5 * e_exp / gampl;
+    let mut q = 0.5 / (e_exp * gammi);
+    let mut c = 1.0;
+    let d2 = x1 * x1;
+    let mut sum1 = p;
+    for i in 1..=BESSEL_MAX_ITER {
+        let fi = i as f64;
+        ff = (fi * ff + p + q) / (fi * fi - mu * mu);
+        c *= d2 / fi;
+        p /= fi - mu;
+        q /= fi + mu;
+        let del = c * ff;
+        sum += del;
+        let del1 = c * (p - fi * ff);
+        sum1 += del1;
+        if del.abs() < sum.abs() * BESSEL_EPS {
+            return Ok((sum, sum1 * 2.0 / x));
+        }
+    }
+    Err(SpecialFnError::NoConvergence)
+}
+
+/// Steed's continued fraction CF2 for `K_μ(x)` and `K_{μ+1}(x)`, `x > 2`.
+fn steed_cf2(mu: f64, x: f64) -> Result<(f64, f64), SpecialFnError> {
+    let pi = std::f64::consts::PI;
+    let mut b = 2.0 * (1.0 + x);
+    let mut d = 1.0 / b;
+    let mut h = d;
+    let mut delh = d;
+    let mut q1 = 0.0;
+    let mut q2 = 1.0;
+    let a1 = 0.25 - mu * mu;
+    let mut q = a1;
+    let mut c = a1;
+    let mut a = -a1;
+    let mut s = 1.0 + q * delh;
+    let mut converged = false;
+    for i in 2..=BESSEL_MAX_ITER {
+        let fi = i as f64;
+        a -= 2.0 * (fi - 1.0);
+        c = -a * c / fi;
+        let qnew = (q1 - b * q2) / a;
+        q1 = q2;
+        q2 = qnew;
+        q += c * qnew;
+        b += 2.0;
+        d = 1.0 / (b + a * d);
+        delh *= b * d - 1.0;
+        h += delh;
+        let dels = q * delh;
+        s += dels;
+        if (dels / s).abs() < BESSEL_EPS {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(SpecialFnError::NoConvergence);
+    }
+    let h = a1 * h;
+    let k_mu = (pi / (2.0 * x)).sqrt() * (-x).exp() / s;
+    let k_mu1 = k_mu * (mu + x + 0.5 - h) / x;
+    Ok((k_mu, k_mu1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) {
+        let scale = b.abs().max(1e-300);
+        assert!(
+            ((a - b) / scale).abs() < rel,
+            "{a} != {b} (rel {})",
+            ((a - b) / scale).abs()
+        );
+    }
+
+    #[test]
+    fn gamma_integers_and_halves() {
+        close(gamma(1.0), 1.0, 1e-14);
+        close(gamma(2.0), 1.0, 1e-14);
+        close(gamma(3.0), 2.0, 1e-14);
+        close(gamma(4.0), 6.0, 1e-14);
+        close(gamma(5.0), 24.0, 1e-14);
+        close(gamma(0.5), std::f64::consts::PI.sqrt(), 1e-14);
+        close(gamma(1.5), 0.5 * std::f64::consts::PI.sqrt(), 1e-14);
+        close(gamma(2.5), 0.75 * std::f64::consts::PI.sqrt(), 1e-13);
+    }
+
+    #[test]
+    fn ln_gamma_large_argument() {
+        // ln(100!) = ln_gamma(101)
+        let expected = (1..=100u64).map(|k| (k as f64).ln()).sum::<f64>();
+        close(ln_gamma(101.0), expected, 1e-13);
+    }
+
+    #[test]
+    fn gamma_reflection_negative() {
+        // Γ(-0.5) = -2 sqrt(pi)
+        close(gamma(-0.5), -2.0 * std::f64::consts::PI.sqrt(), 1e-13);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gamma_pole_panics() {
+        let _ = gamma(-2.0);
+    }
+
+    #[test]
+    fn recip_gamma_at_poles_is_zero() {
+        assert_eq!(recip_gamma(0.0), 0.0);
+        assert_eq!(recip_gamma(-3.0), 0.0);
+        close(recip_gamma(2.0), 1.0, 1e-14);
+    }
+
+    #[test]
+    fn bessel_half_integer_closed_forms() {
+        // K_{1/2}(x) = sqrt(pi/(2x)) e^{-x}
+        // K_{3/2}(x) = sqrt(pi/(2x)) e^{-x} (1 + 1/x)
+        // K_{5/2}(x) = sqrt(pi/(2x)) e^{-x} (1 + 3/x + 3/x^2)
+        for &x in &[0.1, 0.5, 1.0, 1.9, 2.0, 2.1, 5.0, 10.0, 40.0] {
+            let base = (std::f64::consts::PI / (2.0 * x)).sqrt() * (-x).exp();
+            close(bessel_k(0.5, x).unwrap(), base, 1e-12);
+            close(bessel_k(1.5, x).unwrap(), base * (1.0 + 1.0 / x), 1e-12);
+            close(
+                bessel_k(2.5, x).unwrap(),
+                base * (1.0 + 3.0 / x + 3.0 / (x * x)),
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn bessel_integer_reference_values() {
+        // Reference values from Abramowitz & Stegun / mpmath.
+        close(bessel_k(0.0, 1.0).unwrap(), 0.421_024_438_240_708_33, 1e-12);
+        close(bessel_k(1.0, 1.0).unwrap(), 0.601_907_230_197_234_6, 1e-12);
+        close(bessel_k(0.0, 0.1).unwrap(), 2.427_069_024_702_017, 1e-12);
+        close(bessel_k(1.0, 0.1).unwrap(), 9.853_844_780_870_606, 1e-12);
+        close(bessel_k(0.0, 5.0).unwrap(), 3.691_098_334_042_594e-3, 1e-12);
+        close(bessel_k(2.0, 3.0).unwrap(), 6.151_045_847_174_204e-2, 1e-12);
+    }
+
+    #[test]
+    fn bessel_recurrence_consistency() {
+        // K_{ν+1}(x) = K_{ν-1}(x) + (2ν/x) K_ν(x), checked at non-trivial
+        // real orders in both argument regimes.
+        for &nu in &[0.3, 0.7, 1.2, 2.6] {
+            for &x in &[0.4, 1.5, 2.5, 8.0] {
+                let km = bessel_k(nu - 0.0, x).unwrap();
+                let klo = bessel_k(nu - 1.0, x).unwrap_or_else(|_| bessel_k(1.0 - nu, x).unwrap());
+                let khi = bessel_k(nu + 1.0, x).unwrap();
+                close(khi, klo + (2.0 * nu / x) * km, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn bessel_symmetric_in_order() {
+        // K_{-ν} = K_ν: our API requires ν >= 0, but μ splitting inside
+        // must respect the symmetry; check via recurrence identity with
+        // fractional order close to 0.5 boundary.
+        let x = 1.3;
+        let a = bessel_k(0.49, x).unwrap();
+        let b = bessel_k(0.51, x).unwrap();
+        // Continuity across the μ-split boundary.
+        assert!((a - b).abs() / a < 0.05);
+    }
+
+    #[test]
+    fn bessel_decays_monotonically_in_x() {
+        let nu = 1.7;
+        let mut prev = f64::INFINITY;
+        for i in 1..60 {
+            let x = 0.1 * i as f64;
+            let k = bessel_k(nu, x).unwrap();
+            assert!(k < prev, "K must decrease in x (x = {x})");
+            assert!(k > 0.0);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn bessel_errors() {
+        assert!(matches!(
+            bessel_k(1.0, 0.0).unwrap_err(),
+            SpecialFnError::NonPositiveArgument(_)
+        ));
+        assert!(matches!(
+            bessel_k(1.0, -1.0).unwrap_err(),
+            SpecialFnError::NonPositiveArgument(_)
+        ));
+        assert!(matches!(
+            bessel_k(-0.5, 1.0).unwrap_err(),
+            SpecialFnError::NegativeOrder(_)
+        ));
+        let msg = SpecialFnError::NonPositiveArgument(0.0).to_string();
+        assert!(msg.contains("x > 0"));
+    }
+
+    #[test]
+    fn matern_limit_small_argument() {
+        // 2 (z/2)^ν K_ν(z) / Γ(ν) → 1 as z → 0+ for ν > 0 — the property
+        // that makes eq. (6) a valid correlation (K(x,x) = 1).
+        for &nu in &[0.5, 1.0, 1.8, 3.0] {
+            let z = 1e-6;
+            let v = 2.0 * (z / 2.0f64).powf(nu) * bessel_k(nu, z).unwrap() / gamma(nu);
+            assert!((v - 1.0).abs() < 1e-3, "nu = {nu}: {v}");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Spectral validity of isotropic kernels.
+//!
+//! By Bochner's theorem an isotropic function `ρ(r)` is a valid 2-D
+//! covariance iff its radial Fourier (Hankel) transform
+//!
+//! `S(ω) = ∫₀^∞ ρ(r) J₀(ω r) r dr`
+//!
+//! is non-negative for all `ω`. [1] uses exactly this machinery to show
+//! the linear cone of [12] is invalid in 2-D while the Bessel/Matérn
+//! family is valid; this module implements the check numerically so any
+//! user-supplied isotropic decay can be vetted before it reaches the
+//! Galerkin pipeline.
+
+use crate::CovarianceKernel;
+
+/// Bessel function of the first kind, order zero (Abramowitz & Stegun
+/// 9.4.1 / 9.4.3 polynomial approximations, |error| < 1e-7).
+pub fn bessel_j0(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax <= 3.0 {
+        let t = (ax / 3.0) * (ax / 3.0);
+        1.0 + t * (-2.249_999_7
+            + t * (1.265_620_8
+                + t * (-0.316_386_6
+                    + t * (0.044_447_9 + t * (-0.003_944_4 + t * 0.000_210_0)))))
+    } else {
+        let z = 3.0 / ax;
+        let f0 = 0.797_884_56
+            + z * (-0.000_000_77
+                + z * (-0.005_527_40
+                    + z * (-0.000_095_12
+                        + z * (0.001_372_37 + z * (-0.000_728_05 + z * 0.000_144_76)))));
+        let theta = ax - std::f64::consts::FRAC_PI_4
+            + z * (-0.041_663_97
+                + z * (-0.000_039_54
+                    + z * (0.002_625_73
+                        + z * (-0.000_541_25 + z * (-0.000_293_33 + z * 0.000_135_58)))));
+        f0 * theta.cos() / ax.sqrt()
+    }
+}
+
+/// Numerically evaluates the radial spectral density
+/// `S(ω) = ∫₀^{r_max} ρ(r) J₀(ω r) r dr` with the midpoint rule.
+///
+/// `r_max` must be large enough that `ρ` has decayed to ~0 (for
+/// compactly supported kernels, the support radius suffices).
+pub fn spectral_density<K: CovarianceKernel + ?Sized>(
+    kernel: &K,
+    omega: f64,
+    r_max: f64,
+    steps: usize,
+) -> Option<f64> {
+    kernel.correlation_at_distance(0.0)?;
+    let h = r_max / steps as f64;
+    let mut acc = 0.0;
+    for i in 0..steps {
+        let r = (i as f64 + 0.5) * h;
+        let rho = kernel
+            .correlation_at_distance(r)
+            .expect("isotropic checked above");
+        acc += rho * bessel_j0(omega * r) * r;
+    }
+    Some(acc * h)
+}
+
+/// Result of a spectral validity scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralReport {
+    /// Most negative density value seen.
+    pub min_density: f64,
+    /// The frequency at which it occurred.
+    pub argmin_omega: f64,
+    /// Scan tolerance: densities above `-tolerance` count as valid
+    /// (quadrature noise).
+    pub tolerance: f64,
+}
+
+impl SpectralReport {
+    /// Did the density stay (numerically) non-negative?
+    pub fn is_valid(&self) -> bool {
+        self.min_density >= -self.tolerance
+    }
+}
+
+/// Scans `S(ω)` over `ω ∈ (0, omega_max]` and reports the most negative
+/// value. Returns `None` for anisotropic kernels (no radial profile).
+pub fn check_spectral_validity<K: CovarianceKernel + ?Sized>(
+    kernel: &K,
+    omega_max: f64,
+    scan_points: usize,
+) -> Option<SpectralReport> {
+    kernel.correlation_at_distance(0.0)?;
+    // Integration horizon: where the kernel has decayed below 1e-6, capped.
+    let mut r_max = 1.0;
+    while r_max < 200.0
+        && kernel
+            .correlation_at_distance(r_max)
+            .expect("isotropic")
+            .abs()
+            > 1e-6
+    {
+        r_max *= 1.5;
+    }
+    let steps = 4000;
+    let mut min_density = f64::INFINITY;
+    let mut argmin = 0.0;
+    for i in 1..=scan_points {
+        let omega = omega_max * i as f64 / scan_points as f64;
+        let s = spectral_density(kernel, omega, r_max, steps).expect("isotropic");
+        if s < min_density {
+            min_density = s;
+            argmin = omega;
+        }
+    }
+    // Quadrature error budget: the integrand oscillates at frequency ω;
+    // midpoint error scales with (h ω)² r_max. Keep a small absolute floor.
+    let tolerance = 1e-4 * (r_max / steps as f64) * omega_max * r_max + 1e-9;
+    Some(SpectralReport {
+        min_density,
+        argmin_omega: argmin,
+        tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExponentialKernel, GaussianKernel, LinearConeKernel, MaternKernel, SeparableExponentialKernel};
+
+    #[test]
+    fn j0_reference_values() {
+        assert!((bessel_j0(0.0) - 1.0).abs() < 1e-7);
+        assert!((bessel_j0(1.0) - 0.765_197_686_6).abs() < 1e-7);
+        assert!((bessel_j0(2.0) - 0.223_890_779_1).abs() < 1e-7);
+        assert!((bessel_j0(5.0) + 0.177_596_771_3).abs() < 1e-6);
+        assert!((bessel_j0(10.0) + 0.245_935_764_5).abs() < 1e-6);
+        // First two zeros.
+        assert!(bessel_j0(2.404_825_557_695_773).abs() < 1e-6);
+        assert!(bessel_j0(5.520_078_110_286_311).abs() < 1e-6);
+        // Even function.
+        assert_eq!(bessel_j0(-3.7), bessel_j0(3.7));
+    }
+
+    #[test]
+    fn gaussian_density_matches_closed_form() {
+        // For ρ(r) = exp(-c r²): S(ω) = exp(-ω²/(4c)) / (2c).
+        let c = 2.0;
+        let k = GaussianKernel::new(c);
+        for &omega in &[0.5, 1.0, 2.0, 4.0] {
+            let s = spectral_density(&k, omega, 8.0, 8000).expect("isotropic");
+            let exact = (-omega * omega / (4.0 * c)).exp() / (2.0 * c);
+            assert!(
+                (s - exact).abs() < 1e-6,
+                "omega {omega}: {s} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_density_matches_closed_form() {
+        // For ρ(r) = exp(-c r): S(ω) = c / (c² + ω²)^{3/2}.
+        let c = 1.5;
+        let k = ExponentialKernel::new(c);
+        for &omega in &[0.5, 1.5, 3.0] {
+            let s = spectral_density(&k, omega, 30.0, 30_000).expect("isotropic");
+            let exact = c / (c * c + omega * omega).powf(1.5);
+            assert!((s - exact).abs() < 1e-4, "omega {omega}: {s} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn valid_kernels_pass_scan() {
+        let gaussian = GaussianKernel::new(2.0);
+        let exponential = ExponentialKernel::new(1.0);
+        let matern = MaternKernel::new(2.0, 2.5).unwrap();
+        for (name, report) in [
+            ("gaussian", check_spectral_validity(&gaussian, 20.0, 60).unwrap()),
+            ("exponential", check_spectral_validity(&exponential, 20.0, 60).unwrap()),
+            ("matern", check_spectral_validity(&matern, 20.0, 60).unwrap()),
+        ] {
+            assert!(report.is_valid(), "{name}: min S = {}", report.min_density);
+        }
+    }
+
+    #[test]
+    fn linear_cone_fails_scan() {
+        // The [1] result that motivates the paper's kernel fitting: the
+        // cone's 2-D spectral density goes negative.
+        let cone = LinearConeKernel::new(1.0);
+        let report = check_spectral_validity(&cone, 30.0, 120).unwrap();
+        assert!(
+            !report.is_valid(),
+            "cone should be spectrally invalid, min S = {}",
+            report.min_density
+        );
+        assert!(report.argmin_omega > 0.0);
+    }
+
+    #[test]
+    fn anisotropic_kernel_returns_none() {
+        let k = SeparableExponentialKernel::new(1.0);
+        assert!(check_spectral_validity(&k, 10.0, 10).is_none());
+        assert!(spectral_density(&k, 1.0, 5.0, 100).is_none());
+    }
+}

@@ -1,0 +1,283 @@
+//! Cholesky factorisation — the `CholeskyUpperFactor` of Algorithm 1.
+
+use crate::{vecops, LinalgError, Matrix};
+
+/// Cholesky factorisation `A = L Lᵀ = Uᵀ U` of a symmetric positive
+/// definite matrix.
+///
+/// The paper's Algorithm 1 draws correlated Monte Carlo samples as
+/// `P = RandNormal(N, N_g) · U`; [`Cholesky::correlate`] performs exactly
+/// that row transform (`x = L z`, i.e. `xᵀ = zᵀ U`).
+///
+/// ```
+/// use klest_linalg::{Cholesky, Matrix};
+/// # fn main() -> Result<(), klest_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[
+///     [4.0, 2.0].as_slice(),
+///     [2.0, 3.0].as_slice(),
+/// ])?;
+/// let chol = Cholesky::new(&a)?;
+/// let l = chol.lower();
+/// let back = l.mul(&l.transpose())?;
+/// assert!(back.sub(&a)?.max_abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    /// Lower-triangular factor, row-major; entries above the diagonal are 0.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility (covariance matrices built
+    /// by this workspace are symmetric by construction).
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::NotSquare`] for a rectangular input,
+    /// - [`LinalgError::Empty`] for a `0 x 0` input,
+    /// - [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
+    ///   positive (the matrix is singular or indefinite).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                dims: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                // Dot product of two contiguous row prefixes: cache friendly.
+                let s: f64 = {
+                    let (ri, rj) = (l.row(i), l.row(j));
+                    vecops::dot(&ri[..j], &rj[..j])
+                };
+                let aij = a[(i, j)];
+                if i == j {
+                    let d = aij - s;
+                    if d <= 0.0 || !d.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = d.sqrt();
+                } else {
+                    l[(i, j)] = (aij - s) / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Problem size `n`.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// The upper-triangular factor `U = Lᵀ` (the paper's
+    /// `CholeskyUpperFactor`). Allocates a new matrix.
+    pub fn upper(&self) -> Matrix {
+        self.l.transpose()
+    }
+
+    /// Transforms an i.i.d. standard-normal vector `z` into a sample with
+    /// covariance `A`: returns `x = L z`.
+    ///
+    /// This is one row of Algorithm 1's `RandNormal(N, N_g) · U`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `z.len() != n`.
+    pub fn correlate(&self, z: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if z.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "correlate",
+                left: (n, n),
+                right: (z.len(), 1),
+            });
+        }
+        Ok((0..n)
+            .map(|i| vecops::dot(&self.l.row(i)[..=i], &z[..=i]))
+            .collect())
+    }
+
+    /// In-place variant of [`correlate`](Cholesky::correlate) writing into
+    /// `out` (`out = L z`); lets the Monte Carlo loop reuse buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if slice lengths differ from `n`.
+    pub fn correlate_into(&self, z: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if z.len() != n || out.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "correlate_into",
+                left: (n, n),
+                right: (z.len(), out.len()),
+            });
+        }
+        for i in 0..n {
+            out[i] = vecops::dot(&self.l.row(i)[..=i], &z[..=i]);
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let s = vecops::dot(&self.l.row(i)[..i], &y[..i]);
+            y[i] = (b[i] - s) / self.l[(i, i)];
+        }
+        // Back: Lᵀ x = y (column access into L, so an index loop is the
+        // clear form here).
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            #[allow(clippy::needless_range_loop)]
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// `log(det A) = 2 Σ log L_ii`; useful for Gaussian log-likelihoods.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            [4.0, 2.0, 0.6].as_slice(),
+            [2.0, 5.0, 1.0].as_slice(),
+            [0.6, 1.0, 3.0].as_slice(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.lower();
+        let back = l.mul(&l.transpose()).unwrap();
+        assert!(back.sub(&a).unwrap().max_abs() < 1e-12);
+        assert_eq!(chol.dim(), 3);
+    }
+
+    #[test]
+    fn upper_is_transpose_of_lower() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        let u = chol.upper();
+        assert_eq!(&u.transpose(), chol.lower());
+        // Strictly lower part of U is zero.
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(u[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[[1.0, 2.0].as_slice(), [2.0, 1.0].as_slice()]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite { pivot: 1 }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(2, 3)).unwrap_err(),
+            LinalgError::NotSquare { .. }
+        ));
+        assert_eq!(
+            Cholesky::new(&Matrix::zeros(0, 0)).unwrap_err(),
+            LinalgError::Empty
+        );
+    }
+
+    #[test]
+    fn correlate_identity_is_noop() {
+        let chol = Cholesky::new(&Matrix::identity(4)).unwrap();
+        let z = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(chol.correlate(&z).unwrap(), z);
+    }
+
+    #[test]
+    fn correlate_matches_matrix_product() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let z = vec![0.3, -1.2, 0.7];
+        let x = chol.correlate(&z).unwrap();
+        let expected = chol.lower().mul_vec(&z).unwrap();
+        for (xi, ei) in x.iter().zip(expected.iter()) {
+            assert!((xi - ei).abs() < 1e-14);
+        }
+        let mut out = vec![0.0; 3];
+        chol.correlate_into(&z, &mut out).unwrap();
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn correlate_wrong_len() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        assert!(chol.correlate(&[1.0]).is_err());
+        let mut out = vec![0.0; 2];
+        assert!(chol.correlate_into(&[1.0, 2.0, 3.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = chol.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+        assert!(chol.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn log_det_diagonal() {
+        let a = Matrix::from_rows(&[[4.0, 0.0].as_slice(), [0.0, 9.0].as_slice()]).unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        assert!((chol.log_det() - (36.0f64).ln()).abs() < 1e-12);
+    }
+}

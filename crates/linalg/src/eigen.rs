@@ -1,0 +1,422 @@
+//! Symmetric eigendecomposition: Householder tridiagonalisation followed
+//! by the implicit-shift QL iteration (the classic EISPACK `tred2`/`tql2`
+//! pair). This is the numerical engine behind the Galerkin eigenproblem of
+//! the paper (eq. 15) — the role Matlab's `eig` played for the authors.
+
+use crate::{LinalgError, Matrix};
+
+/// Maximum QL sweeps per eigenvalue before giving up.
+const MAX_QL_ITERATIONS: usize = 64;
+
+/// Eigendecomposition `A = Q Λ Qᵀ` of a real symmetric matrix.
+///
+/// Eigenvalues are sorted in **descending** order (the paper indexes
+/// eigenpairs by decreasing λ) and eigenvectors are the matching columns
+/// of [`eigenvectors`](SymmetricEigen::eigenvectors), each of unit
+/// Euclidean norm.
+///
+/// ```
+/// use klest_linalg::{Matrix, SymmetricEigen};
+/// # fn main() -> Result<(), klest_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[
+///     [6.0, 2.0, 0.0].as_slice(),
+///     [2.0, 3.0, 0.0].as_slice(),
+///     [0.0, 0.0, 1.0].as_slice(),
+/// ])?;
+/// let eig = SymmetricEigen::new(&a)?;
+/// assert!((eig.eigenvalues()[0] - 7.0).abs() < 1e-12);
+/// assert!((eig.eigenvalues()[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    values: Vec<f64>,
+    /// Column `j` is the eigenvector for `values[j]`.
+    vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the full eigendecomposition of symmetric `a`.
+    ///
+    /// Only symmetry up to rounding is assumed; the strictly lower triangle
+    /// is used where the algorithm reads one of the two mirrored entries.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::NotSquare`] / [`LinalgError::Empty`] for bad shapes,
+    /// - [`LinalgError::NoConvergence`] if QL exceeds its iteration budget
+    ///   (does not happen for finite symmetric input in practice).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                dims: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut z = a.clone();
+        let mut d = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        tred2(&mut z, &mut d, &mut e);
+        tql2(&mut d, &mut e, &mut z)?;
+        // Sort eigenpairs by descending eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("eigenvalues are finite"));
+        let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for row in 0..n {
+                vectors[(row, new_col)] = z[(row, old_col)];
+            }
+        }
+        Ok(SymmetricEigen { values, vectors })
+    }
+
+    /// Eigenvalues in descending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Eigenvector matrix; column `j` pairs with `eigenvalues()[j]`.
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.vectors
+    }
+
+    /// Copy of the `j`-th eigenvector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn eigenvector(&self, j: usize) -> Vec<f64> {
+        self.vectors.col(j)
+    }
+
+    /// Problem size.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reconstructs `Q Λ Qᵀ`; mostly for tests and diagnostics.
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.dim();
+        let mut scaled = self.vectors.clone();
+        for i in 0..n {
+            let row = scaled.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v *= self.values[j];
+            }
+        }
+        scaled
+            .mul(&self.vectors.transpose())
+            .expect("square dimensions agree")
+    }
+}
+
+/// Householder reduction of the symmetric matrix stored in `z` to
+/// tridiagonal form. On exit `d` holds the diagonal, `e[1..]` the
+/// subdiagonal, and `z` the accumulated orthogonal transform.
+///
+/// Port of EISPACK `tred2` (0-based).
+fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let upd = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= upd;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let upd = g * z[(k, i)];
+                    z[(k, j)] -= upd;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on the tridiagonal matrix `(d, e)`,
+/// accumulating rotations into the columns of `z`.
+///
+/// Port of EISPACK `tql2` (0-based).
+fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), LinalgError> {
+    let n = d.len();
+    if n == 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    // Absolute deflation floor: subdiagonals below eps * ||T|| are
+    // numerically zero. A purely relative test stalls in the
+    // rank-deficient tail of smooth-kernel spectra, where neighbouring
+    // d's are themselves ~eps² of the matrix norm.
+    let anorm = (0..n).fold(0.0f64, |m, i| m.max(d[i].abs() + e[i].abs()));
+    let floor = f64::EPSILON * anorm;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Look for a single small subdiagonal element to split.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd + floor {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERATIONS {
+                return Err(LinalgError::NoConvergence { index: l });
+            }
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.abs().copysign(if g >= 0.0 { 1.0 } else { -1.0 }));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Deflate: rotation underflowed.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector columns.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn eigen_2x2_known() {
+        let a = Matrix::from_rows(&[[2.0, 1.0].as_slice(), [1.0, 2.0].as_slice()]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_close(eig.eigenvalues()[0], 3.0, 1e-12);
+        assert_close(eig.eigenvalues()[1], 1.0, 1e-12);
+        // Eigenvector for λ=3 is (1,1)/sqrt(2) up to sign.
+        let v = eig.eigenvector(0);
+        assert_close(v[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-12);
+        assert_close(v[0], v[1], 1e-12);
+    }
+
+    #[test]
+    fn eigen_diagonal() {
+        let a = Matrix::from_rows(&[
+            [3.0, 0.0, 0.0].as_slice(),
+            [0.0, -1.0, 0.0].as_slice(),
+            [0.0, 0.0, 7.0].as_slice(),
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues(), &[7.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn eigen_1x1_and_errors() {
+        let a = Matrix::from_rows(&[[5.0].as_slice()]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues(), &[5.0]);
+        assert_eq!(eig.dim(), 1);
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(SymmetricEigen::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        // Pseudo-random symmetric matrix.
+        let n = 24;
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rnd();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let eig = SymmetricEigen::new(&a).unwrap();
+        // Reconstruction.
+        let back = eig.reconstruct();
+        assert!(back.sub(&a).unwrap().max_abs() < 1e-10);
+        // Orthonormal columns.
+        for i in 0..n {
+            let vi = eig.eigenvector(i);
+            assert_close(vecops::norm(&vi), 1.0, 1e-10);
+            for j in (i + 1)..n {
+                let vj = eig.eigenvector(j);
+                assert!(vecops::dot(&vi, &vj).abs() < 1e-10);
+            }
+        }
+        // Descending order.
+        for w in eig.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn eigen_equation_residual() {
+        let a = Matrix::from_rows(&[
+            [4.0, 1.0, 0.5, 0.0].as_slice(),
+            [1.0, 3.0, 0.2, 0.1].as_slice(),
+            [0.5, 0.2, 2.0, 0.3].as_slice(),
+            [0.0, 0.1, 0.3, 1.0].as_slice(),
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for j in 0..4 {
+            let v = eig.eigenvector(j);
+            let av = a.mul_vec(&v).unwrap();
+            for (avi, vi) in av.iter().zip(v.iter()) {
+                assert_close(*avi, eig.eigenvalues()[j] * vi, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_and_sum_of_eigenvalues_agree() {
+        let a = Matrix::from_rows(&[
+            [1.0, 2.0, 3.0].as_slice(),
+            [2.0, 5.0, 4.0].as_slice(),
+            [3.0, 4.0, 9.0].as_slice(),
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let trace = 1.0 + 5.0 + 9.0;
+        let sum: f64 = eig.eigenvalues().iter().sum();
+        assert_close(sum, trace, 1e-10);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        // 2*I has a doubly degenerate eigenvalue; vectors must still be
+        // orthonormal.
+        let a = Matrix::from_rows(&[[2.0, 0.0].as_slice(), [0.0, 2.0].as_slice()]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues(), &[2.0, 2.0]);
+        let v0 = eig.eigenvector(0);
+        let v1 = eig.eigenvector(1);
+        assert!(vecops::dot(&v0, &v1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moderately_large_random() {
+        let n = 80;
+        let mut seed = 42u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rnd();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let back = eig.reconstruct();
+        assert!(back.sub(&a).unwrap().max_abs() < 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! # klest-linalg
+//!
+//! Dense numerical linear algebra for the `klest` workspace, written from
+//! scratch (the paper's reference implementation leaned on Matlab/LAPACK):
+//!
+//! - [`Matrix`]: dense row-major `f64` matrix with (optionally threaded)
+//!   multiplication,
+//! - [`Cholesky`]: the `CholeskyUpperFactor` of the paper's Algorithm 1,
+//! - [`SymmetricEigen`]: Householder tridiagonalisation + implicit-shift QL,
+//!   the solver behind the Galerkin eigenproblem (paper eq. 15),
+//! - [`DiagonalGep`]: the generalized eigenproblem `K d = λ Φ d` with
+//!   diagonal `Φ` (paper eq. 13), reduced to a symmetric standard problem.
+//!
+//! ```
+//! use klest_linalg::{Matrix, SymmetricEigen};
+//!
+//! # fn main() -> Result<(), klest_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[
+//!     [2.0, 1.0].as_slice(),
+//!     [1.0, 2.0].as_slice(),
+//! ])?;
+//! let eig = SymmetricEigen::new(&a)?;
+//! assert!((eig.eigenvalues()[0] - 3.0).abs() < 1e-12);
+//! assert!((eig.eigenvalues()[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod cholesky;
+mod eigen;
+mod error;
+mod gep;
+mod lanczos;
+mod matrix;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use gep::DiagonalGep;
+pub use lanczos::PartialEigen;
+pub use matrix::Matrix;

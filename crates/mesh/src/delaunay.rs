@@ -1,0 +1,353 @@
+//! Incremental Bowyer–Watson Delaunay triangulation.
+//!
+//! Points are inserted one at a time: the *cavity* of triangles whose
+//! circumcircle contains the new point is removed and re-triangulated as a
+//! fan from the new point to the cavity boundary. A super-triangle
+//! enclosing the working area hosts the construction and is stripped at
+//! the end.
+//!
+//! The implementation favours simplicity and robustness over asymptotics:
+//! the cavity search scans all live triangles (O(T) per insertion), which
+//! is ample for the few-thousand-point meshes the paper's experiments use
+//! (n = 1546 triangles).
+
+use klest_geometry::{in_circle, orient2d_raw, Point2};
+
+
+/// Minimum squared distance between distinct vertices; nearer insertions
+/// are rejected as duplicates.
+const DUPLICATE_EPS_SQ: f64 = 1e-18;
+
+/// An incremental Delaunay triangulation.
+///
+/// ```
+/// use klest_geometry::Point2;
+/// use klest_mesh::delaunay::DelaunayTriangulation;
+///
+/// let mut dt = DelaunayTriangulation::new(Point2::new(-1.0, -1.0), Point2::new(1.0, 1.0));
+/// dt.insert(Point2::new(-1.0, -1.0));
+/// dt.insert(Point2::new(1.0, -1.0));
+/// dt.insert(Point2::new(1.0, 1.0));
+/// dt.insert(Point2::new(-1.0, 1.0));
+/// let (points, triangles) = dt.finish();
+/// assert_eq!(points.len(), 4);
+/// assert_eq!(triangles.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelaunayTriangulation {
+    /// All vertices; indices 0..3 are the super-triangle corners.
+    points: Vec<Point2>,
+    /// Live triangles as CCW vertex index triples.
+    triangles: Vec<[usize; 3]>,
+}
+
+impl DelaunayTriangulation {
+    /// Creates a triangulation whose super-triangle comfortably encloses
+    /// the axis-aligned box `(lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the box is degenerate or non-finite.
+    pub fn new(lo: Point2, hi: Point2) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        let w = (hi.x - lo.x).abs().max(1e-9);
+        let h = (hi.y - lo.y).abs().max(1e-9);
+        let cx = 0.5 * (lo.x + hi.x);
+        let cy = 0.5 * (lo.y + hi.y);
+        let m = 20.0 * w.max(h);
+        // Large triangle around the box.
+        let a = Point2::new(cx - m, cy - m * 0.7);
+        let b = Point2::new(cx + m, cy - m * 0.7);
+        let c = Point2::new(cx, cy + m);
+        DelaunayTriangulation {
+            points: vec![a, b, c],
+            triangles: vec![[0, 1, 2]],
+        }
+    }
+
+    /// Number of user (non-super-triangle) vertices inserted so far.
+    pub fn len(&self) -> usize {
+        self.points.len() - 3
+    }
+
+    /// Has no user vertex been inserted yet?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a point, returning its vertex index (in *user* indexing,
+    /// i.e. the index it will have after [`finish`](Self::finish)), or
+    /// `None` if the point duplicates an existing vertex.
+    pub fn insert(&mut self, p: Point2) -> Option<usize> {
+        // Duplicate rejection.
+        for existing in &self.points[3..] {
+            if existing.distance_sq(p) < DUPLICATE_EPS_SQ {
+                return None;
+            }
+        }
+        let pi = self.points.len();
+        self.points.push(p);
+
+        // Cavity: every live triangle whose circumcircle contains p.
+        // Cocircular cases (in_circle == 0) are included to keep the
+        // cavity star-shaped under degeneracy.
+        let mut cavity = Vec::new();
+        for (t, tri) in self.triangles.iter().enumerate() {
+            let [a, b, c] = *tri;
+            if in_circle(self.points[a], self.points[b], self.points[c], p) >= 0.0 {
+                // For strictly outside circumcircles in_circle < 0; zero
+                // (cocircular/filtered) joins the cavity only when p is
+                // actually relevant — containment keeps it conservative.
+                let ic = in_circle(self.points[a], self.points[b], self.points[c], p);
+                if ic > 0.0 || self.triangle_contains(t, p) {
+                    cavity.push(t);
+                }
+            }
+        }
+        if cavity.is_empty() {
+            // Numerically filtered to nothing: fall back to the containing
+            // triangle so insertion always succeeds.
+            if let Some(t) = (0..self.triangles.len()).find(|&t| self.triangle_contains(t, p)) {
+                cavity.push(t);
+            } else {
+                // Outside the super-triangle: reject.
+                self.points.pop();
+                return None;
+            }
+        }
+
+        // Boundary edges: edges used by exactly one cavity triangle.
+        // Collected into a sorted Vec (not a HashMap) so that triangle
+        // creation order — and therefore the whole refinement cascade —
+        // is deterministic run to run.
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(3 * cavity.len());
+        for &t in &cavity {
+            let [a, b, c] = self.triangles[t];
+            for (u, v) in [(a, b), (b, c), (c, a)] {
+                edges.push((u.min(v), u.max(v)));
+            }
+        }
+        edges.sort_unstable();
+        let mut boundary: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
+        let mut i = 0;
+        while i < edges.len() {
+            let mut j = i + 1;
+            while j < edges.len() && edges[j] == edges[i] {
+                j += 1;
+            }
+            if j - i == 1 {
+                boundary.push(edges[i]);
+            }
+            i = j;
+        }
+
+        // Remove cavity triangles (swap-remove from the back).
+        cavity.sort_unstable_by(|a, b| b.cmp(a));
+        for t in cavity {
+            self.triangles.swap_remove(t);
+        }
+
+        // Fan from p to each boundary edge, oriented CCW.
+        for (u, v) in boundary {
+            let (a, b) = if orient2d_raw(self.points[u], self.points[v], p) > 0.0 {
+                (u, v)
+            } else {
+                (v, u)
+            };
+            if orient2d_raw(self.points[a], self.points[b], p).abs() > 0.0 {
+                self.triangles.push([a, b, pi]);
+            }
+        }
+        Some(pi - 3)
+    }
+
+    fn triangle_contains(&self, t: usize, p: Point2) -> bool {
+        let [a, b, c] = self.triangles[t];
+        let (pa, pb, pc) = (self.points[a], self.points[b], self.points[c]);
+        let d1 = orient2d_raw(pa, pb, p);
+        let d2 = orient2d_raw(pb, pc, p);
+        let d3 = orient2d_raw(pc, pa, p);
+        let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+        let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+        !(has_neg && has_pos)
+    }
+
+    /// Current triangles that do not touch the super-triangle, as user
+    /// vertex index triples, plus the user points. Non-consuming version
+    /// of [`finish`](Self::finish) used during refinement.
+    pub fn snapshot(&self) -> (Vec<Point2>, Vec<[usize; 3]>) {
+        let points: Vec<Point2> = self.points[3..].to_vec();
+        let triangles = self
+            .triangles
+            .iter()
+            .filter(|tri| tri.iter().all(|&v| v >= 3))
+            .map(|tri| [tri[0] - 3, tri[1] - 3, tri[2] - 3])
+            .collect();
+        (points, triangles)
+    }
+
+    /// Finishes the triangulation: strips the super-triangle and returns
+    /// `(points, triangles)` with CCW triangles in user indexing.
+    pub fn finish(self) -> (Vec<Point2>, Vec<[usize; 3]>) {
+        self.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use super::*;
+    use klest_geometry::Triangle;
+
+    fn square_dt() -> DelaunayTriangulation {
+        let mut dt =
+            DelaunayTriangulation::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        for p in [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ] {
+            dt.insert(p);
+        }
+        dt
+    }
+
+    #[test]
+    fn square_two_triangles() {
+        let (points, tris) = square_dt().finish();
+        assert_eq!(points.len(), 4);
+        assert_eq!(tris.len(), 2);
+        let area: f64 = tris
+            .iter()
+            .map(|&[a, b, c]| Triangle::new(points[a], points[b], points[c]).area())
+            .sum();
+        assert!((area - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangles_are_ccw() {
+        let mut dt = square_dt();
+        dt.insert(Point2::new(0.5, 0.5));
+        dt.insert(Point2::new(0.25, 0.75));
+        let (points, tris) = dt.finish();
+        for &[a, b, c] in &tris {
+            let t = Triangle::new(points[a], points[b], points[c]);
+            assert!(t.signed_area() > 0.0, "triangle {a},{b},{c} not CCW");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_rejected() {
+        let mut dt = square_dt();
+        assert_eq!(dt.len(), 4);
+        assert!(dt.insert(Point2::new(0.0, 0.0)).is_none());
+        assert_eq!(dt.len(), 4);
+        assert!(!dt.is_empty());
+    }
+
+    #[test]
+    fn outside_super_triangle_rejected() {
+        let mut dt = square_dt();
+        assert!(dt.insert(Point2::new(1e6, 1e6)).is_none());
+        assert_eq!(dt.len(), 4);
+    }
+
+    #[test]
+    fn delaunay_property_random_points() {
+        let mut dt =
+            DelaunayTriangulation::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        // Deterministic pseudo-random points.
+        let mut seed = 12345u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        for _ in 0..60 {
+            pts.push(Point2::new(rnd(), rnd()));
+        }
+        for &p in &pts {
+            dt.insert(p);
+        }
+        let (points, tris) = dt.finish();
+        // Empty circumcircle property: no vertex strictly inside any
+        // triangle's circumcircle.
+        for &[a, b, c] in &tris {
+            for (vi, &v) in points.iter().enumerate() {
+                if vi == a || vi == b || vi == c {
+                    continue;
+                }
+                let ic = in_circle(points[a], points[b], points[c], v);
+                assert!(
+                    ic <= 1e-9,
+                    "vertex {vi} strictly inside circumcircle of ({a},{b},{c}): {ic}"
+                );
+            }
+        }
+        // Convex-hull area (unit square) is fully covered.
+        let area: f64 = tris
+            .iter()
+            .map(|&[a, b, c]| Triangle::new(points[a], points[b], points[c]).area())
+            .sum();
+        assert!((area - 1.0).abs() < 1e-9, "area = {area}");
+    }
+
+    #[test]
+    fn interior_edges_shared_by_two_triangles() {
+        let mut dt = square_dt();
+        dt.insert(Point2::new(0.5, 0.5));
+        dt.insert(Point2::new(0.3, 0.7));
+        dt.insert(Point2::new(0.8, 0.2));
+        let (points, tris) = dt.finish();
+        let mut edge_count: HashMap<(usize, usize), usize> = HashMap::new();
+        for &[a, b, c] in &tris {
+            for (u, v) in [(a, b), (b, c), (c, a)] {
+                *edge_count.entry((u.min(v), u.max(v))).or_default() += 1;
+            }
+        }
+        for (&(u, v), &count) in &edge_count {
+            assert!(
+                count == 1 || count == 2,
+                "edge ({u},{v}) shared by {count} triangles"
+            );
+            if count == 1 {
+                // Boundary edge must lie on the unit square boundary.
+                let (p, q) = (points[u], points[v]);
+                let on_boundary = |p: Point2| {
+                    p.x.abs() < 1e-12
+                        || (p.x - 1.0).abs() < 1e-12
+                        || p.y.abs() < 1e-12
+                        || (p.y - 1.0).abs() < 1e-12
+                };
+                assert!(on_boundary(p) && on_boundary(q));
+            }
+        }
+    }
+
+    #[test]
+    fn collinear_grid_points() {
+        // A regular grid has many cocircular quadruples; construction must
+        // survive and cover the square.
+        let mut dt =
+            DelaunayTriangulation::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        for i in 0..5 {
+            for j in 0..5 {
+                dt.insert(Point2::new(i as f64 / 4.0, j as f64 / 4.0));
+            }
+        }
+        let (points, tris) = dt.finish();
+        assert_eq!(points.len(), 25);
+        let area: f64 = tris
+            .iter()
+            .map(|&[a, b, c]| Triangle::new(points[a], points[b], points[c]).area())
+            .sum();
+        assert!((area - 1.0).abs() < 1e-9, "area = {area}");
+        assert_eq!(tris.len(), 32, "4x4 cells, 2 triangles each");
+    }
+}

@@ -1,0 +1,136 @@
+//! Mesh and field export for visualization.
+//!
+//! Two formats:
+//! - Wavefront OBJ (vertices + triangular faces, optionally lifting a
+//!   per-triangle scalar field into the z coordinate of a face-split
+//!   copy) — loads in any 3-D viewer to inspect eigenfunctions or
+//!   sampled fields,
+//! - CSV (`x,y` per vertex and `a,b,c` per triangle) for scripting.
+
+use crate::Mesh;
+use std::fmt::Write as _;
+
+/// Serialises the mesh as a flat (z = 0) Wavefront OBJ string.
+pub fn to_obj(mesh: &Mesh) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# klest mesh: {} triangles", mesh.len());
+    for p in mesh.points() {
+        let _ = writeln!(out, "v {} {} 0", p.x, p.y);
+    }
+    for &[a, b, c] in mesh.triangle_indices() {
+        // OBJ indices are 1-based.
+        let _ = writeln!(out, "f {} {} {}", a + 1, b + 1, c + 1);
+    }
+    out
+}
+
+/// Serialises the mesh with a per-triangle scalar `field` lifted to the
+/// z axis (each triangle becomes an independent flat facet at its field
+/// value — the piecewise-constant surfaces of Figs. 1(b) and 4).
+///
+/// # Panics
+///
+/// Panics if `field.len() != mesh.len()`.
+pub fn to_obj_with_field(mesh: &Mesh, field: &[f64], z_scale: f64) -> String {
+    assert_eq!(field.len(), mesh.len(), "one field value per triangle");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# klest mesh + field: {} triangles, z scale {z_scale}",
+        mesh.len()
+    );
+    for (t, &[a, b, c]) in mesh.triangle_indices().iter().enumerate() {
+        let z = field[t] * z_scale;
+        for &v in &[a, b, c] {
+            let p = mesh.points()[v];
+            let _ = writeln!(out, "v {} {} {}", p.x, p.y, z);
+        }
+    }
+    for t in 0..mesh.len() {
+        let base = 3 * t + 1;
+        let _ = writeln!(out, "f {} {} {}", base, base + 1, base + 2);
+    }
+    out
+}
+
+/// Serialises the mesh as two CSV blocks: a vertex table and a triangle
+/// (index) table, separated by a blank line.
+pub fn to_csv(mesh: &Mesh) -> String {
+    let mut out = String::from("x,y\n");
+    for p in mesh.points() {
+        let _ = writeln!(out, "{},{}", p.x, p.y);
+    }
+    out.push('\n');
+    out.push_str("a,b,c\n");
+    for &[a, b, c] in mesh.triangle_indices() {
+        let _ = writeln!(out, "{a},{b},{c}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MeshBuilder;
+    use klest_geometry::Rect;
+
+    fn mesh() -> Mesh {
+        MeshBuilder::new(Rect::unit_die()).max_area(0.5).build().unwrap()
+    }
+
+    #[test]
+    fn obj_counts_match() {
+        let m = mesh();
+        let obj = to_obj(&m);
+        let vertices = obj.lines().filter(|l| l.starts_with("v ")).count();
+        let faces = obj.lines().filter(|l| l.starts_with("f ")).count();
+        assert_eq!(vertices, m.points().len());
+        assert_eq!(faces, m.len());
+        // All face indices are in range (1-based).
+        for line in obj.lines().filter(|l| l.starts_with("f ")) {
+            for tok in line.split_whitespace().skip(1) {
+                let idx: usize = tok.parse().unwrap();
+                assert!(idx >= 1 && idx <= vertices);
+            }
+        }
+    }
+
+    #[test]
+    fn obj_with_field_has_facet_per_triangle() {
+        let m = mesh();
+        let field: Vec<f64> = (0..m.len()).map(|i| i as f64).collect();
+        let obj = to_obj_with_field(&m, &field, 0.1);
+        let vertices = obj.lines().filter(|l| l.starts_with("v ")).count();
+        let faces = obj.lines().filter(|l| l.starts_with("f ")).count();
+        assert_eq!(vertices, 3 * m.len());
+        assert_eq!(faces, m.len());
+        // The z of the second facet's vertices equals field[1] * scale.
+        let zs: Vec<f64> = obj
+            .lines()
+            .filter(|l| l.starts_with("v "))
+            .skip(3)
+            .take(3)
+            .map(|l| l.split_whitespace().nth(3).unwrap().parse().unwrap())
+            .collect();
+        for z in zs {
+            assert!((z - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn obj_with_wrong_field_length_panics() {
+        let m = mesh();
+        let _ = to_obj_with_field(&m, &[1.0], 1.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_counts() {
+        let m = mesh();
+        let csv = to_csv(&m);
+        let blocks: Vec<&str> = csv.split("\n\n").collect();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].lines().count(), m.points().len() + 1);
+        assert_eq!(blocks[1].lines().count(), m.len() + 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # klest-mesh
+//!
+//! Triangulation of the die area — the role Shewchuk's *Triangle* [24]
+//! plays in the paper. Provides:
+//!
+//! - incremental Bowyer–Watson Delaunay triangulation ([`delaunay`]),
+//! - Ruppert-style quality refinement with minimum-angle and maximum-area
+//!   constraints ([`MeshBuilder`]), mirroring the paper's
+//!   "minimum angle of 28° and maximum triangle area of 0.1% of the chip
+//!   area" mesh,
+//! - point location ([`TriangleLocator`]), the
+//!   `IndexOfContainingTriangle()` of Algorithm 2, backed by a uniform
+//!   grid index,
+//! - mesh quality statistics ([`MeshQuality`]).
+//!
+//! ```
+//! use klest_geometry::{Point2, Rect};
+//! use klest_mesh::MeshBuilder;
+//!
+//! # fn main() -> Result<(), klest_mesh::MeshError> {
+//! let mesh = MeshBuilder::new(Rect::unit_die())
+//!     .max_area(0.05)
+//!     .min_angle_degrees(25.0)
+//!     .build()?;
+//! assert!((mesh.total_area() - 4.0).abs() < 1e-9);
+//! let locator = mesh.locator();
+//! let idx = locator.locate(Point2::new(0.3, -0.4)).unwrap();
+//! assert!(mesh.triangle(idx).contains(Point2::new(0.3, -0.4)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod builder;
+pub mod delaunay;
+pub mod export;
+mod locate;
+mod mesh;
+mod quality;
+
+pub use builder::MeshBuilder;
+pub use locate::TriangleLocator;
+pub use mesh::{Mesh, MeshError};
+pub use quality::MeshQuality;

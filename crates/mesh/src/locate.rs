@@ -1,0 +1,190 @@
+//! Point location: `IndexOfContainingTriangle()` from Algorithm 2.
+//!
+//! Algorithm 2 maps every gate location to the triangle containing it; the
+//! paper notes this "can be made efficient using some space indexing
+//! (grid, tree, etc.) scheme". This module implements the grid scheme: a
+//! uniform bucket grid over the domain, each bucket holding the triangles
+//! whose bounding box overlaps it.
+
+use crate::Mesh;
+use klest_geometry::{BBox, Point2};
+
+/// Grid-backed point-in-triangle locator.
+///
+/// Queries are O(triangles per bucket), a small constant for quality
+/// meshes; `Mesh::locate_linear` is the O(n) baseline the benches compare
+/// against.
+#[derive(Debug, Clone)]
+pub struct TriangleLocator {
+    bbox: BBox,
+    nx: usize,
+    ny: usize,
+    /// Flattened `nx x ny` buckets of triangle indices.
+    buckets: Vec<Vec<u32>>,
+    /// Triangle geometry snapshot (corner points), avoiding a borrow of
+    /// the mesh.
+    triangles: Vec<[Point2; 3]>,
+}
+
+impl TriangleLocator {
+    /// Builds a locator for `mesh`, sizing the grid to roughly one
+    /// triangle per bucket.
+    pub fn new(mesh: &Mesh) -> Self {
+        let bbox = mesh.domain().bbox();
+        let n = mesh.len();
+        let aspect = (bbox.width() / bbox.height()).max(1e-9);
+        let ny = ((n as f64 / aspect).sqrt().ceil() as usize).max(1);
+        let nx = ((n as f64 / ny as f64).ceil() as usize).max(1);
+        let mut buckets = vec![Vec::new(); nx * ny];
+        let mut triangles = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = mesh.triangle(i);
+            triangles.push([t.a, t.b, t.c]);
+            let tb = BBox::from_points([t.a, t.b, t.c]).expect("triangle");
+            let (ix0, iy0) = Self::cell_of(bbox, nx, ny, tb.min);
+            let (ix1, iy1) = Self::cell_of(bbox, nx, ny, tb.max);
+            for iy in iy0..=iy1 {
+                for ix in ix0..=ix1 {
+                    buckets[iy * nx + ix].push(i as u32);
+                }
+            }
+        }
+        TriangleLocator {
+            bbox,
+            nx,
+            ny,
+            buckets,
+            triangles,
+        }
+    }
+
+    fn cell_of(bbox: BBox, nx: usize, ny: usize, p: Point2) -> (usize, usize) {
+        let fx = ((p.x - bbox.min.x) / bbox.width().max(1e-300)).clamp(0.0, 1.0);
+        let fy = ((p.y - bbox.min.y) / bbox.height().max(1e-300)).clamp(0.0, 1.0);
+        let ix = ((fx * nx as f64) as usize).min(nx - 1);
+        let iy = ((fy * ny as f64) as usize).min(ny - 1);
+        (ix, iy)
+    }
+
+    /// Index of a triangle containing `p`, or `None` if `p` lies outside
+    /// the mesh.
+    pub fn locate(&self, p: Point2) -> Option<usize> {
+        if !self.bbox.contains(p) {
+            return None;
+        }
+        let (ix, iy) = Self::cell_of(self.bbox, self.nx, self.ny, p);
+        for &ti in &self.buckets[iy * self.nx + ix] {
+            let [a, b, c] = self.triangles[ti as usize];
+            if klest_geometry::Triangle::new(a, b, c).contains(p) {
+                return Some(ti as usize);
+            }
+        }
+        // Boundary-precision fallback: scan neighbouring buckets.
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let jx = ix as i64 + dx;
+                let jy = iy as i64 + dy;
+                if jx < 0 || jy < 0 || jx >= self.nx as i64 || jy >= self.ny as i64 {
+                    continue;
+                }
+                for &ti in &self.buckets[jy as usize * self.nx + jx as usize] {
+                    let [a, b, c] = self.triangles[ti as usize];
+                    if klest_geometry::Triangle::new(a, b, c).contains(p) {
+                        return Some(ti as usize);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Grid dimensions `(nx, ny)`, for diagnostics.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MeshBuilder;
+    use klest_geometry::Rect;
+
+    fn mesh() -> Mesh {
+        MeshBuilder::new(Rect::unit_die())
+            .max_area(0.02)
+            .min_angle_degrees(25.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn locates_centroids_exactly() {
+        let m = mesh();
+        let loc = m.locator();
+        for (i, &c) in m.centroids().iter().enumerate() {
+            let found = loc.locate(c).expect("centroid must be inside");
+            // The found triangle must contain the centroid (it may be a
+            // different index only if the centroid sits on an edge, which
+            // cannot happen for a centroid of a non-degenerate triangle).
+            assert_eq!(found, i, "centroid of triangle {i} located in {found}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_on_random_points() {
+        let m = mesh();
+        let loc = m.locator();
+        let mut seed = 99u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..500 {
+            let p = Point2::new(-1.0 + 2.0 * rnd(), -1.0 + 2.0 * rnd());
+            let fast = loc.locate(p);
+            let slow = m.locate_linear(p);
+            match (fast, slow) {
+                (Some(f), Some(_)) => {
+                    assert!(m.triangle(f).contains(p), "located triangle must contain p")
+                }
+                (None, None) => {}
+                (f, s) => panic!("grid {f:?} vs linear {s:?} disagree at {p}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outside_returns_none() {
+        let m = mesh();
+        let loc = m.locator();
+        assert!(loc.locate(Point2::new(2.0, 0.0)).is_none());
+        assert!(loc.locate(Point2::new(0.0, -5.0)).is_none());
+    }
+
+    #[test]
+    fn boundary_points_found() {
+        let m = mesh();
+        let loc = m.locator();
+        for p in [
+            Point2::new(-1.0, -1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(-1.0, 0.3),
+        ] {
+            let i = loc.locate(p).expect("boundary point must be found");
+            assert!(m.triangle(i).contains(p));
+        }
+    }
+
+    #[test]
+    fn grid_dims_scale_with_mesh() {
+        let m = mesh();
+        let loc = m.locator();
+        let (nx, ny) = loc.grid_dims();
+        assert!(nx * ny >= m.len() / 2);
+    }
+}

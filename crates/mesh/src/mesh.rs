@@ -1,0 +1,270 @@
+//! The finished mesh consumed by the Galerkin assembly.
+
+use crate::{MeshQuality, TriangleLocator};
+use klest_geometry::{Point2, Polygon, Rect, Triangle};
+use std::fmt;
+
+/// Errors from mesh construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeshError {
+    /// The refinement loop hit its point budget before satisfying the
+    /// quality constraints; relax `min_angle`/`max_area` or raise
+    /// `max_points`.
+    PointBudgetExhausted {
+        /// The budget that was hit.
+        max_points: usize,
+    },
+    /// A constraint parameter was out of range.
+    InvalidConstraint {
+        /// Which parameter.
+        name: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
+    /// The mesh ended up empty (degenerate domain).
+    EmptyMesh,
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::PointBudgetExhausted { max_points } => {
+                write!(f, "mesh refinement exhausted its {max_points}-point budget")
+            }
+            MeshError::InvalidConstraint { name, value } => {
+                write!(f, "invalid mesh constraint {name} = {value}")
+            }
+            MeshError::EmptyMesh => write!(f, "triangulation produced no triangles"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+/// A triangulation of the die with precomputed per-triangle data.
+///
+/// The Galerkin method only consumes [`centroids`](Mesh::centroids) and
+/// [`areas`](Mesh::areas) (paper eq. 18/21); the full geometry stays
+/// available for point location and diagnostics.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    domain: Rect,
+    /// Non-rectangular die outline, when the mesh covers a polygon
+    /// (`domain` is then its bounding box).
+    boundary: Option<Polygon>,
+    points: Vec<Point2>,
+    triangles: Vec<[usize; 3]>,
+    centroids: Vec<Point2>,
+    areas: Vec<f64>,
+    max_side: f64,
+}
+
+impl Mesh {
+    /// Assembles a mesh from raw triangulation output.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::EmptyMesh`] if there are no triangles.
+    pub fn from_parts(
+        domain: Rect,
+        points: Vec<Point2>,
+        triangles: Vec<[usize; 3]>,
+    ) -> Result<Self, MeshError> {
+        Self::from_parts_with_boundary(domain, None, points, triangles)
+    }
+
+    /// Assembles a mesh of a polygonal die: `domain` is the bounding box,
+    /// `boundary` the actual outline (used by containment queries).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::EmptyMesh`] if there are no triangles.
+    pub fn from_parts_with_boundary(
+        domain: Rect,
+        boundary: Option<Polygon>,
+        points: Vec<Point2>,
+        triangles: Vec<[usize; 3]>,
+    ) -> Result<Self, MeshError> {
+        if triangles.is_empty() {
+            return Err(MeshError::EmptyMesh);
+        }
+        let mut centroids = Vec::with_capacity(triangles.len());
+        let mut areas = Vec::with_capacity(triangles.len());
+        let mut max_side = 0.0f64;
+        for &[a, b, c] in &triangles {
+            let t = Triangle::new(points[a], points[b], points[c]);
+            centroids.push(t.centroid());
+            areas.push(t.area());
+            max_side = max_side.max(t.longest_side());
+        }
+        Ok(Mesh {
+            domain,
+            boundary,
+            points,
+            triangles,
+            centroids,
+            areas,
+            max_side,
+        })
+    }
+
+    /// The rectangular die region (the bounding box, for polygonal dies).
+    pub fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// The polygonal die outline, if this mesh covers a non-rectangular
+    /// die.
+    pub fn boundary(&self) -> Option<&Polygon> {
+        self.boundary.as_ref()
+    }
+
+    /// Is `p` inside the meshed die (polygon outline when present, the
+    /// rectangle otherwise)?
+    pub fn domain_contains(&self, p: Point2) -> bool {
+        match &self.boundary {
+            Some(poly) => poly.contains(p),
+            None => self.domain.contains(p),
+        }
+    }
+
+    /// Mesh vertices.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Triangles as CCW vertex-index triples.
+    pub fn triangle_indices(&self) -> &[[usize; 3]] {
+        &self.triangles
+    }
+
+    /// Number of triangles `n` — the Galerkin basis size.
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// A mesh is never empty (construction rejects that).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th triangle as a geometric [`Triangle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn triangle(&self, i: usize) -> Triangle {
+        let [a, b, c] = self.triangles[i];
+        Triangle::new(self.points[a], self.points[b], self.points[c])
+    }
+
+    /// Iterator over all triangles.
+    pub fn iter(&self) -> impl Iterator<Item = Triangle> + '_ {
+        (0..self.len()).map(move |i| self.triangle(i))
+    }
+
+    /// Per-triangle centroids `x_Δ` (quadrature nodes, paper eq. 20).
+    pub fn centroids(&self) -> &[Point2] {
+        &self.centroids
+    }
+
+    /// Per-triangle areas `a_i` (the diagonal of `Φ`, paper eq. 18).
+    pub fn areas(&self) -> &[f64] {
+        &self.areas
+    }
+
+    /// The paper's `h`: longest triangle side in the partition
+    /// (Theorem 2's convergence parameter).
+    pub fn max_side(&self) -> f64 {
+        self.max_side
+    }
+
+    /// Sum of triangle areas; equals the domain area for a conforming
+    /// mesh.
+    pub fn total_area(&self) -> f64 {
+        self.areas.iter().sum()
+    }
+
+    /// Quality statistics for diagnostics and tests.
+    pub fn quality(&self) -> MeshQuality {
+        MeshQuality::measure(self)
+    }
+
+    /// Builds a grid-backed point locator
+    /// (`IndexOfContainingTriangle()` from Algorithm 2).
+    pub fn locator(&self) -> TriangleLocator {
+        TriangleLocator::new(self)
+    }
+
+    /// Linear-scan point location; the ablation baseline for the grid
+    /// index. Returns the index of a triangle containing `p`.
+    pub fn locate_linear(&self, p: Point2) -> Option<usize> {
+        (0..self.len()).find(|&i| self.triangle(i).contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangle_mesh() -> Mesh {
+        // Unit square split along the diagonal.
+        let points = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let triangles = vec![[0, 1, 2], [0, 2, 3]];
+        Mesh::from_parts(
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            points,
+            triangles,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn precomputed_quantities() {
+        let m = two_triangle_mesh();
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.areas(), &[0.5, 0.5]);
+        assert!((m.total_area() - 1.0).abs() < 1e-15);
+        assert!((m.max_side() - 2f64.sqrt()).abs() < 1e-15);
+        assert_eq!(m.centroids().len(), 2);
+        assert_eq!(m.points().len(), 4);
+        assert_eq!(m.triangle_indices().len(), 2);
+        assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_mesh_rejected() {
+        let e = Mesh::from_parts(Rect::unit_die(), vec![], vec![]);
+        assert_eq!(e.unwrap_err(), MeshError::EmptyMesh);
+    }
+
+    #[test]
+    fn locate_linear_finds_containing() {
+        let m = two_triangle_mesh();
+        let i = m.locate_linear(Point2::new(0.9, 0.5)).unwrap();
+        assert!(m.triangle(i).contains(Point2::new(0.9, 0.5)));
+        let j = m.locate_linear(Point2::new(0.1, 0.5)).unwrap();
+        assert!(m.triangle(j).contains(Point2::new(0.1, 0.5)));
+        assert!(m.locate_linear(Point2::new(2.0, 2.0)).is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(MeshError::PointBudgetExhausted { max_points: 10 }
+            .to_string()
+            .contains("10-point"));
+        assert!(MeshError::InvalidConstraint {
+            name: "max_area",
+            value: -1.0
+        }
+        .to_string()
+        .contains("max_area"));
+        assert!(MeshError::EmptyMesh.to_string().contains("no triangles"));
+    }
+}

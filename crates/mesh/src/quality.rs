@@ -1,0 +1,101 @@
+//! Mesh quality statistics.
+
+use crate::Mesh;
+
+/// Summary statistics of a triangulation, used by diagnostics, tests and
+/// the experiment logs in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshQuality {
+    /// Number of triangles.
+    pub triangles: usize,
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Smallest interior angle over the mesh, degrees.
+    pub min_angle_deg: f64,
+    /// Largest triangle area.
+    pub max_area: f64,
+    /// Smallest triangle area.
+    pub min_area: f64,
+    /// Longest triangle side — the paper's `h` (Theorem 2).
+    pub max_side: f64,
+    /// Sum of triangle areas.
+    pub total_area: f64,
+}
+
+impl MeshQuality {
+    /// Measures `mesh`.
+    pub fn measure(mesh: &Mesh) -> Self {
+        let mut min_angle = f64::INFINITY;
+        let mut max_area = 0.0f64;
+        let mut min_area = f64::INFINITY;
+        for t in mesh.iter() {
+            min_angle = min_angle.min(t.min_angle());
+            max_area = max_area.max(t.area());
+            min_area = min_area.min(t.area());
+        }
+        MeshQuality {
+            triangles: mesh.len(),
+            vertices: mesh.points().len(),
+            min_angle_deg: min_angle.to_degrees(),
+            max_area,
+            min_area,
+            max_side: mesh.max_side(),
+            total_area: mesh.total_area(),
+        }
+    }
+}
+
+impl std::fmt::Display for MeshQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} triangles / {} vertices, min angle {:.1} deg, area [{:.2e}, {:.2e}], h = {:.3e}",
+            self.triangles,
+            self.vertices,
+            self.min_angle_deg,
+            self.min_area,
+            self.max_area,
+            self.max_side
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MeshBuilder;
+    use klest_geometry::Rect;
+
+    #[test]
+    fn quality_is_consistent_with_mesh() {
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.05)
+            .min_angle_degrees(25.0)
+            .build()
+            .unwrap();
+        let q = mesh.quality();
+        assert_eq!(q.triangles, mesh.len());
+        assert_eq!(q.vertices, mesh.points().len());
+        assert!(q.min_area > 0.0);
+        assert!(q.min_area <= q.max_area);
+        assert!(q.max_area <= 0.05 * (1.0 + 1e-9));
+        assert!((q.total_area - 4.0).abs() < 1e-9);
+        assert_eq!(q.max_side, mesh.max_side());
+        let text = q.to_string();
+        assert!(text.contains("triangles"));
+        assert!(text.contains("min angle"));
+    }
+
+    #[test]
+    fn euler_formula_sanity() {
+        // For a triangulated disk (simply connected): V - E + F = 1 where
+        // F counts triangles; E = (3F + boundary_edges) / 2. We just check
+        // the derived inequality F < 2V which holds for planar
+        // triangulations.
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.02)
+            .build()
+            .unwrap();
+        let q = mesh.quality();
+        assert!(q.triangles < 2 * q.vertices);
+    }
+}

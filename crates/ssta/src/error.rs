@@ -1,0 +1,76 @@
+//! Error type for the SSTA layer.
+
+use klest_core::KleError;
+use klest_linalg::LinalgError;
+use std::fmt;
+
+/// Errors from SSTA setup and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SstaError {
+    /// Covariance factorisation or other dense-algebra failure.
+    Linalg(LinalgError),
+    /// KLE pipeline failure (rank, point location, eigensolve).
+    Kle(KleError),
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Which knob.
+        name: &'static str,
+        /// What was supplied, stringified.
+        value: String,
+    },
+}
+
+impl fmt::Display for SstaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SstaError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            SstaError::Kle(e) => write!(f, "KLE failure: {e}"),
+            SstaError::InvalidConfig { name, value } => {
+                write!(f, "invalid SSTA configuration: {name} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SstaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SstaError::Linalg(e) => Some(e),
+            SstaError::Kle(e) => Some(e),
+            SstaError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<LinalgError> for SstaError {
+    fn from(e: LinalgError) -> Self {
+        SstaError::Linalg(e)
+    }
+}
+
+impl From<KleError> for SstaError {
+    fn from(e: KleError) -> Self {
+        SstaError::Kle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SstaError::from(LinalgError::Empty);
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(e.source().is_some());
+        let e = SstaError::from(KleError::PointOutsideMesh { index: 3 });
+        assert!(e.to_string().contains("KLE"));
+        let e = SstaError::InvalidConfig {
+            name: "samples",
+            value: "0".into(),
+        };
+        assert!(e.to_string().contains("samples"));
+        assert!(e.source().is_none());
+    }
+}

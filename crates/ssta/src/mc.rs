@@ -1,0 +1,456 @@
+//! The Monte Carlo SSTA loop shared by both sample generators.
+
+use crate::{GateFieldSampler, NormalSource, OutputStats, SstaError, SummaryStats};
+use klest_sta::{ParamVector, Timer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Number of independent statistical parameters per gate
+/// (`L`, `W`, `Vt`, `tox`).
+pub const N_PARAMS: usize = 4;
+
+/// Monte Carlo configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McConfig {
+    /// Number of Monte Carlo samples `N`.
+    pub samples: usize,
+    /// Base RNG seed; worker `t` derives its own stream from it.
+    pub seed: u64,
+    /// Worker threads (1 = fully sequential and bitwise deterministic
+    /// regardless of machine).
+    pub threads: usize,
+    /// Antithetic variates: every second sample reuses the previous
+    /// draw negated (`ξ → −ξ`). The pairing is exact because the fields
+    /// are linear in ξ and the normals are symmetric; it cancels the
+    /// odd-order error terms of mean estimates at zero extra sampling
+    /// cost (classic MC variance reduction).
+    pub antithetic: bool,
+}
+
+impl McConfig {
+    /// Single-threaded configuration.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        McConfig {
+            samples,
+            seed,
+            threads: 1,
+            antithetic: false,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables antithetic variates.
+    pub fn with_antithetic(mut self) -> Self {
+        self.antithetic = true;
+        self
+    }
+}
+
+/// Result of one Monte Carlo SSTA run.
+#[derive(Debug, Clone)]
+pub struct McRun {
+    worst_delays: Vec<f64>,
+    output_stats: OutputStats,
+    /// Per-output count of samples in which that output was the worst.
+    critical_counts: Vec<usize>,
+    random_dims: usize,
+    wall: Duration,
+}
+
+impl McRun {
+    /// Worst-delay sample per MC iteration.
+    pub fn worst_delays(&self) -> &[f64] {
+        &self.worst_delays
+    }
+
+    /// Summary of the worst-delay distribution (the Table 1 statistics).
+    pub fn worst_delay_stats(&self) -> SummaryStats {
+        SummaryStats::of(&self.worst_delays)
+    }
+
+    /// Per-primary-output arrival statistics (the Fig. 6 metric).
+    pub fn output_stats(&self) -> &OutputStats {
+        &self.output_stats
+    }
+
+    /// Random variables consumed per parameter per sample (`N_g` for
+    /// Algorithm 1, `r` for Algorithm 2).
+    pub fn random_dims(&self) -> usize {
+        self.random_dims
+    }
+
+    /// Wall-clock duration of the sampling + timing loop.
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// Statistical criticality: the probability (over process outcomes)
+    /// that each primary output is the circuit's worst — the quantity
+    /// that makes "the" critical path a distribution under variation.
+    /// Indexed like `Timer::outputs()`; sums to 1.
+    pub fn criticality(&self) -> Vec<f64> {
+        let total: usize = self.critical_counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.critical_counts.len()];
+        }
+        self.critical_counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// Runs `N` Monte Carlo STA iterations: per sample, draws [`N_PARAMS`]
+/// independent correlated fields from `sampler` (the paper's tests use
+/// one kernel for all four parameters), assembles per-node parameter
+/// vectors and runs the timer.
+///
+/// # Errors
+///
+/// [`SstaError::InvalidConfig`] for a zero sample count or a sampler/timer
+/// node-count mismatch.
+pub fn run_monte_carlo<S: GateFieldSampler>(
+    timer: &Timer,
+    sampler: &S,
+    config: &McConfig,
+) -> Result<McRun, SstaError> {
+    let samplers: [&dyn GateFieldSampler; N_PARAMS] = [&sampler; N_PARAMS].map(|s| s as _);
+    run_monte_carlo_per_param(timer, &samplers, config)
+}
+
+/// The general form of Algorithms 1/2: a distinct field generator per
+/// statistical parameter (`for all stat. parameters p_j ... K_j` in the
+/// paper's pseudocode), in `[L, W, Vt, tox]` order. Generators may mix
+/// kinds (e.g. KLE for the long-range parameters, grid-PCA for a
+/// legacy one).
+///
+/// # Errors
+///
+/// [`SstaError::InvalidConfig`] for a zero sample count or any
+/// sampler/timer node-count mismatch.
+pub fn run_monte_carlo_per_param(
+    timer: &Timer,
+    samplers: &[&dyn GateFieldSampler; N_PARAMS],
+    config: &McConfig,
+) -> Result<McRun, SstaError> {
+    if config.samples == 0 {
+        return Err(SstaError::InvalidConfig {
+            name: "samples",
+            value: "0".into(),
+        });
+    }
+    for (i, s) in samplers.iter().enumerate() {
+        if s.node_count() != timer.node_count() {
+            return Err(SstaError::InvalidConfig {
+                name: "sampler.node_count",
+                value: format!(
+                    "param {i}: {} (timer has {})",
+                    s.node_count(),
+                    timer.node_count()
+                ),
+            });
+        }
+    }
+    let started = Instant::now();
+    let threads = config.threads.max(1).min(config.samples);
+    let n_outputs = timer.outputs().len();
+
+    // Split the sample budget across workers.
+    let mut shares = vec![config.samples / threads; threads];
+    for s in shares.iter_mut().take(config.samples % threads) {
+        *s += 1;
+    }
+
+    let antithetic = config.antithetic;
+    let mut results: Vec<(Vec<f64>, OutputStats, Vec<usize>)> = Vec::with_capacity(threads);
+    if threads == 1 {
+        results.push(worker(
+            timer,
+            samplers,
+            config.seed,
+            config.samples,
+            n_outputs,
+            antithetic,
+        ));
+    } else {
+        let mut slots: Vec<Option<(Vec<f64>, OutputStats, Vec<usize>)>> =
+            (0..threads).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (t, (slot, &share)) in slots.iter_mut().zip(shares.iter()).enumerate() {
+                let seed = config.seed.wrapping_add(0x100_0003u64.wrapping_mul(t as u64 + 1));
+                scope.spawn(move |_| {
+                    *slot = Some(worker(timer, samplers, seed, share, n_outputs, antithetic));
+                });
+            }
+        })
+        .expect("Monte Carlo worker panicked");
+        results.extend(slots.into_iter().map(|s| s.expect("worker completed")));
+    }
+
+    let mut worst_delays = Vec::with_capacity(config.samples);
+    let mut output_stats = OutputStats::new(n_outputs);
+    let mut critical_counts = vec![0usize; n_outputs];
+    for (w, o, crit) in results {
+        worst_delays.extend(w);
+        output_stats.merge(&o);
+        for (acc, c) in critical_counts.iter_mut().zip(crit) {
+            *acc += c;
+        }
+    }
+    Ok(McRun {
+        worst_delays,
+        output_stats,
+        critical_counts,
+        random_dims: samplers.iter().map(|s| s.random_dims()).max().unwrap_or(0),
+        wall: started.elapsed(),
+    })
+}
+
+/// One worker's share of the Monte Carlo loop.
+fn worker(
+    timer: &Timer,
+    samplers: &[&dyn GateFieldSampler; N_PARAMS],
+    seed: u64,
+    samples: usize,
+    n_outputs: usize,
+    antithetic: bool,
+) -> (Vec<f64>, OutputStats, Vec<usize>) {
+    let n = timer.node_count();
+    let mut normals = NormalSource::new(StdRng::seed_from_u64(seed));
+    let mut fields = vec![vec![0.0; n]; N_PARAMS];
+    let mut params = vec![ParamVector::ZERO; n];
+    let mut arrivals = vec![0.0; n];
+    let mut slews = vec![0.0; n];
+    let mut out_values = vec![0.0; n_outputs];
+    let mut worst = Vec::with_capacity(samples);
+    let mut stats = OutputStats::new(n_outputs);
+    let mut critical_counts = vec![0usize; n_outputs];
+    for s in 0..samples {
+        if antithetic && s % 2 == 1 {
+            // Mirror the previous draw: fields are linear in the
+            // underlying normals, so negating the field equals negating ξ.
+            for field in fields.iter_mut() {
+                for v in field.iter_mut() {
+                    *v = -*v;
+                }
+            }
+        } else {
+            for (field, sampler) in fields.iter_mut().zip(samplers.iter()) {
+                sampler.sample_into(&mut normals, field);
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            *p = ParamVector::new([fields[0][i], fields[1][i], fields[2][i], fields[3][i]]);
+        }
+        let w = timer.analyze_into(&params, &mut arrivals, &mut slews);
+        worst.push(w);
+        let mut argmax = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        for ((slot, v), o) in out_values.iter_mut().enumerate().zip(timer.outputs()) {
+            *v = arrivals[o.index()];
+            if *v > best {
+                best = *v;
+                argmax = slot;
+            }
+        }
+        if n_outputs > 0 {
+            critical_counts[argmax] += 1;
+        }
+        stats.push(&out_values);
+    }
+    (worst, stats, critical_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CholeskySampler;
+    use klest_circuit::{generate, GeneratorConfig, Placement, WireModel};
+    use klest_kernels::GaussianKernel;
+    use klest_sta::GateLibrary;
+
+    fn setup(gates: usize) -> (Timer, CholeskySampler) {
+        let c = generate("mc", GeneratorConfig::combinational(gates, 3)).unwrap();
+        let p = Placement::recursive_bisection(&c);
+        let timer = Timer::new(&c, &p, WireModel::default(), GateLibrary::default_90nm());
+        let sampler = CholeskySampler::new(&GaussianKernel::new(2.0), p.locations()).unwrap();
+        (timer, sampler)
+    }
+
+    #[test]
+    fn produces_requested_sample_count() {
+        let (timer, sampler) = setup(60);
+        let run = run_monte_carlo(&timer, &sampler, &McConfig::new(100, 1)).unwrap();
+        assert_eq!(run.worst_delays().len(), 100);
+        assert_eq!(run.output_stats().count(), 100);
+        assert_eq!(run.random_dims(), timer.node_count());
+        assert!(run.wall_time().as_nanos() > 0);
+        let stats = run.worst_delay_stats();
+        assert!(stats.mean > 0.0);
+        assert!(stats.std_dev > 0.0, "process variation must spread delays");
+    }
+
+    #[test]
+    fn deterministic_single_thread() {
+        let (timer, sampler) = setup(40);
+        let a = run_monte_carlo(&timer, &sampler, &McConfig::new(50, 11)).unwrap();
+        let b = run_monte_carlo(&timer, &sampler, &McConfig::new(50, 11)).unwrap();
+        assert_eq!(a.worst_delays(), b.worst_delays());
+        let c = run_monte_carlo(&timer, &sampler, &McConfig::new(50, 12)).unwrap();
+        assert_ne!(a.worst_delays(), c.worst_delays());
+    }
+
+    #[test]
+    fn threaded_matches_sample_count_and_stats_roughly() {
+        let (timer, sampler) = setup(50);
+        let seq = run_monte_carlo(&timer, &sampler, &McConfig::new(400, 5)).unwrap();
+        let par = run_monte_carlo(&timer, &sampler, &McConfig::new(400, 5).with_threads(4)).unwrap();
+        assert_eq!(par.worst_delays().len(), 400);
+        assert_eq!(par.output_stats().count(), 400);
+        let (s, p) = (seq.worst_delay_stats(), par.worst_delay_stats());
+        // Different RNG streams, same distribution.
+        assert!(p.mean_error_pct(&s) < 2.0, "means {} vs {}", p.mean, s.mean);
+        assert!(p.std_error_pct(&s) < 35.0);
+    }
+
+    #[test]
+    fn antithetic_pairs_mirror_and_reduce_mean_noise() {
+        let (timer, sampler) = setup(60);
+        // Pairing symmetry: with an even count the empirical mean of the
+        // underlying parameter fields is exactly zero, which shows up as
+        // a much more stable worst-delay mean across seeds.
+        let plain_means: Vec<f64> = (0..6)
+            .map(|s| {
+                run_monte_carlo(&timer, &sampler, &McConfig::new(200, s))
+                    .unwrap()
+                    .worst_delay_stats()
+                    .mean
+            })
+            .collect();
+        let anti_means: Vec<f64> = (0..6)
+            .map(|s| {
+                run_monte_carlo(&timer, &sampler, &McConfig::new(200, s).with_antithetic())
+                    .unwrap()
+                    .worst_delay_stats()
+                    .mean
+            })
+            .collect();
+        let spread = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            spread(&anti_means) < spread(&plain_means),
+            "antithetic mean spread {} should beat plain {}",
+            spread(&anti_means),
+            spread(&plain_means)
+        );
+        // Sample count is unchanged.
+        let run = run_monte_carlo(&timer, &sampler, &McConfig::new(101, 1).with_antithetic())
+            .unwrap();
+        assert_eq!(run.worst_delays().len(), 101);
+    }
+
+    #[test]
+    fn criticality_sums_to_one_and_tracks_dominance() {
+        use klest_circuit::{Circuit, GateKind};
+        // Diamond with one clearly slower output: its criticality ~ 1.
+        let mut b = Circuit::builder("crit");
+        let a = b.input();
+        let a2 = b.input();
+        let fast = b.gate(GateKind::Inv, &[a]).unwrap();
+        let s1 = b.gate(GateKind::Xor2, &[a, a2]).unwrap();
+        let s2 = b.gate(GateKind::Xor2, &[s1, a2]).unwrap();
+        let s3 = b.gate(GateKind::Xor2, &[s2, a2]).unwrap();
+        b.output(fast);
+        b.output(s3);
+        let c = b.build().unwrap();
+        let p = Placement::recursive_bisection(&c);
+        let timer = Timer::new(&c, &p, WireModel::default(), GateLibrary::default_90nm());
+        let sampler = CholeskySampler::new(&GaussianKernel::new(2.0), p.locations()).unwrap();
+        let run = run_monte_carlo(&timer, &sampler, &McConfig::new(500, 3)).unwrap();
+        let crit = run.criticality();
+        assert_eq!(crit.len(), 2);
+        assert!((crit.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Output order matches timer.outputs(): fast first, slow second.
+        assert!(crit[1] > 0.95, "slow output criticality {}", crit[1]);
+        assert!(crit[0] < 0.05);
+    }
+
+    #[test]
+    fn per_param_mixed_samplers() {
+        use crate::{GridPcaSampler, KleFieldSampler};
+        use klest_core::{GalerkinKle, KleOptions};
+        use klest_geometry::Rect;
+        use klest_mesh::MeshBuilder;
+        let c = generate("mix", GeneratorConfig::combinational(60, 8)).unwrap();
+        let p = Placement::recursive_bisection(&c);
+        let timer = Timer::new(&c, &p, WireModel::default(), GateLibrary::default_90nm());
+        let kernel = GaussianKernel::new(2.0);
+        let chol = CholeskySampler::new(&kernel, p.locations()).unwrap();
+        let mesh = MeshBuilder::new(Rect::unit_die()).max_area(0.05).build().unwrap();
+        let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        let kle_s = KleFieldSampler::new(&kle, &mesh, 15, p.locations()).unwrap();
+        let grid = GridPcaSampler::new(&kernel, Rect::unit_die(), 6, 15, p.locations()).unwrap();
+        // L from Cholesky, W from KLE, Vt from grid-PCA, tox from KLE.
+        let samplers: [&dyn GateFieldSampler; N_PARAMS] = [&chol, &kle_s, &grid, &kle_s];
+        let run =
+            run_monte_carlo_per_param(&timer, &samplers, &McConfig::new(200, 5)).unwrap();
+        assert_eq!(run.worst_delays().len(), 200);
+        assert!(run.worst_delay_stats().std_dev > 0.0);
+        assert_eq!(run.random_dims(), timer.node_count(), "max over params");
+        // Mismatched node counts in one slot are rejected.
+        let (other_timer, _) = setup(61);
+        assert!(matches!(
+            run_monte_carlo_per_param(&other_timer, &samplers, &McConfig::new(5, 1)),
+            Err(SstaError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let (timer, sampler) = setup(30);
+        assert!(matches!(
+            run_monte_carlo(&timer, &sampler, &McConfig::new(0, 1)),
+            Err(SstaError::InvalidConfig { name: "samples", .. })
+        ));
+        let (_, other_sampler) = setup(31);
+        assert!(matches!(
+            run_monte_carlo(&timer, &other_sampler, &McConfig::new(10, 1)),
+            Err(SstaError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn variation_scales_delay_spread() {
+        // Wider kernel decay (less correlation) should not change the
+        // mean much, but sample-to-sample independence across the die
+        // partially averages out — σ of the worst delay shrinks relative
+        // to a fully correlated die.
+        let c = generate("mcv", GeneratorConfig::combinational(80, 13)).unwrap();
+        let p = Placement::recursive_bisection(&c);
+        let timer = Timer::new(&c, &p, WireModel::default(), GateLibrary::default_90nm());
+        // Nearly fully correlated field (huge correlation distance).
+        let correlated =
+            CholeskySampler::new(&GaussianKernel::new(0.01), p.locations()).unwrap();
+        // Nearly independent field.
+        let independent =
+            CholeskySampler::new(&GaussianKernel::new(200.0), p.locations()).unwrap();
+        let cfg = McConfig::new(600, 21);
+        let rc = run_monte_carlo(&timer, &correlated, &cfg).unwrap();
+        let ri = run_monte_carlo(&timer, &independent, &cfg).unwrap();
+        let (sc, si) = (rc.worst_delay_stats(), ri.worst_delay_stats());
+        assert!(
+            sc.std_dev > 1.5 * si.std_dev,
+            "correlated σ {} should exceed independent σ {}",
+            sc.std_dev,
+            si.std_dev
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Standard-normal variates (Marsaglia polar method) on top of any
+//! `rand` RNG — `rand` 0.8 ships only uniform distributions, and pulling
+//! in `rand_distr` for one function is not worth the dependency.
+
+use rand::Rng;
+
+/// A source of N(0, 1) variates wrapping an RNG.
+///
+/// The polar method produces pairs; the spare value is cached, so
+/// consecutive draws cost one uniform pair on average.
+#[derive(Debug, Clone)]
+pub struct NormalSource<R> {
+    rng: R,
+    spare: Option<f64>,
+}
+
+impl<R: Rng> NormalSource<R> {
+    /// Wraps an RNG.
+    pub fn new(rng: R) -> Self {
+        NormalSource { rng, spare: None }
+    }
+
+    /// One standard-normal draw.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        loop {
+            let u = 2.0 * self.rng.gen::<f64>() - 1.0;
+            let v = 2.0 * self.rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Fills a slice with i.i.d. standard normals.
+    pub fn fill(&mut self, out: &mut [f64]) {
+        for v in out {
+            *v = self.sample();
+        }
+    }
+
+    /// Access to the wrapped RNG (e.g. for reseeding decisions).
+    pub fn rng_mut(&mut self) -> &mut R {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut src = NormalSource::new(StdRng::seed_from_u64(12));
+        let n = 200_000;
+        let (mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = src.sample();
+            s1 += x;
+            s2 += x * x;
+            s3 += x * x * x;
+            s4 += x * x * x * x;
+        }
+        let nf = n as f64;
+        assert!((s1 / nf).abs() < 0.01, "mean {}", s1 / nf);
+        assert!((s2 / nf - 1.0).abs() < 0.02, "variance {}", s2 / nf);
+        assert!((s3 / nf).abs() < 0.05, "skew {}", s3 / nf);
+        assert!((s4 / nf - 3.0).abs() < 0.1, "kurtosis {}", s4 / nf);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = NormalSource::new(StdRng::seed_from_u64(5));
+        let mut b = NormalSource::new(StdRng::seed_from_u64(5));
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn fill_covers_slice() {
+        let mut src = NormalSource::new(StdRng::seed_from_u64(1));
+        let mut buf = vec![0.0; 64];
+        src.fill(&mut buf);
+        assert!(buf.iter().any(|&v| v != 0.0));
+        // No absurd outliers from a broken transform.
+        assert!(buf.iter().all(|&v| v.abs() < 10.0));
+        let _ = src.rng_mut();
+    }
+
+    #[test]
+    fn tail_probability_sane() {
+        // P(|X| > 1.96) ≈ 0.05.
+        let mut src = NormalSource::new(StdRng::seed_from_u64(77));
+        let n = 100_000;
+        let tails = (0..n).filter(|_| src.sample().abs() > 1.96).count();
+        let frac = tails as f64 / n as f64;
+        assert!((frac - 0.05).abs() < 0.005, "tail fraction {frac}");
+    }
+}

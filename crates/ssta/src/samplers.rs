@@ -1,0 +1,406 @@
+//! The two correlated-field sample generators of the paper's Sec. 5.1.
+
+use crate::{NormalSource, SstaError};
+use klest_core::{GalerkinKle, KleSampler};
+use klest_geometry::Point2;
+use klest_kernels::CovarianceKernel;
+use klest_linalg::{Cholesky, Matrix};
+use klest_mesh::Mesh;
+use rand::rngs::StdRng;
+
+/// Diagonal "nugget" added to the gate covariance matrix so that gates
+/// sharing (or nearly sharing) a placement cell do not make the matrix
+/// numerically singular. This models the tiny independent per-device
+/// residual that always exists on silicon.
+const COVARIANCE_NUGGET: f64 = 1e-8;
+
+/// A generator of correlated per-gate parameter fields: one call yields
+/// one realisation of one statistical parameter (`L`, `W`, `Vt` or
+/// `tox`) over all circuit nodes.
+///
+/// The trait is object-safe (the normal source is concretely
+/// `NormalSource<StdRng>`), so a [`crate::ProcessModel`] can mix
+/// sampler kinds across parameters.
+pub trait GateFieldSampler: Send + Sync {
+    /// Number of circuit nodes each realisation covers.
+    fn node_count(&self) -> usize;
+
+    /// Number of underlying random variables consumed per realisation —
+    /// `N_g` for Algorithm 1, `r` for Algorithm 2. This is the quantity
+    /// the paper's dimensionality-reduction argument is about.
+    fn random_dims(&self) -> usize;
+
+    /// Draws one realisation into `out` (`out.len() == node_count()`).
+    fn sample_into(&self, normals: &mut NormalSource<StdRng>, out: &mut [f64]);
+}
+
+impl<S: GateFieldSampler + ?Sized> GateFieldSampler for &S {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn random_dims(&self) -> usize {
+        (**self).random_dims()
+    }
+    fn sample_into(&self, normals: &mut NormalSource<StdRng>, out: &mut [f64]) {
+        (**self).sample_into(normals, out)
+    }
+}
+
+/// **Algorithm 1**: the reference sampler. Builds the full `N_g x N_g`
+/// covariance matrix `K_ij = K(g_i, g_j)` from the kernel at the node
+/// locations and Cholesky-factors it once; each realisation correlates a
+/// fresh i.i.d. normal vector.
+#[derive(Debug, Clone)]
+pub struct CholeskySampler {
+    chol: Cholesky,
+}
+
+impl CholeskySampler {
+    /// Builds the covariance matrix at `locations` and factors it.
+    ///
+    /// A tiny diagonal nugget (1e-8) is added for numerical positive
+    /// definiteness — see DESIGN.md.
+    ///
+    /// # Errors
+    ///
+    /// [`SstaError::Linalg`] if the (nugget-regularised) matrix is still
+    /// not positive definite — the sign of an invalid kernel.
+    pub fn new<K: CovarianceKernel + ?Sized>(
+        kernel: &K,
+        locations: &[Point2],
+    ) -> Result<Self, SstaError> {
+        let n = locations.len();
+        let cov = Matrix::from_fn(n, n, |i, j| {
+            let base = kernel.eval(locations[i], locations[j]);
+            if i == j {
+                base + COVARIANCE_NUGGET
+            } else {
+                base
+            }
+        });
+        Ok(CholeskySampler {
+            chol: Cholesky::new(&cov)?,
+        })
+    }
+
+    /// The Cholesky factorisation (exposed for benches that time setup
+    /// separately).
+    pub fn cholesky(&self) -> &Cholesky {
+        &self.chol
+    }
+}
+
+impl GateFieldSampler for CholeskySampler {
+    fn node_count(&self) -> usize {
+        self.chol.dim()
+    }
+
+    fn random_dims(&self) -> usize {
+        self.chol.dim()
+    }
+
+    fn sample_into(&self, normals: &mut NormalSource<StdRng>, out: &mut [f64]) {
+        // z is drawn into `out` first, then correlated in place via a
+        // scratch copy — one allocation per call would hurt the MC loop,
+        // so the scratch lives in thread-local storage.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SCRATCH.with(|cell| {
+            let mut z = cell.borrow_mut();
+            z.resize(out.len(), 0.0);
+            normals.fill(&mut z);
+            self.chol
+                .correlate_into(&z, out)
+                .expect("dimensions fixed at construction");
+        });
+    }
+}
+
+/// **Algorithm 2**: the paper's KLE sampler. Per realisation draws `r`
+/// normals `ξ`, reconstructs the field over *all* mesh triangles
+/// (`p_Δ = D_λ ξ`, eq. 28 — Algorithm 2 line 3) and gathers the per-gate
+/// values through the containing-triangle index (lines 4–7).
+///
+/// [`KleFieldSampler::pregathered`] builds the fused variant — rows of
+/// `D_λ` gathered per gate up front, skipping the full-mesh
+/// reconstruction — an optimisation *beyond* the paper, benchmarked as an
+/// ablation (`sampling` bench).
+#[derive(Debug, Clone)]
+pub struct KleFieldSampler {
+    /// `n_triangles x r` reconstruction matrix `D √Λ`.
+    d_lambda: Matrix,
+    /// Containing-triangle index per circuit node.
+    node_triangles: Vec<usize>,
+    /// Fused per-node rows (the beyond-paper optimisation), when enabled.
+    gathered: Option<Matrix>,
+}
+
+impl KleFieldSampler {
+    /// Builds the paper-faithful sampler from a computed KLE, its mesh,
+    /// the truncation rank and the node locations.
+    ///
+    /// # Errors
+    ///
+    /// [`SstaError::Kle`] if the rank is out of range or a node lies
+    /// outside the meshed die.
+    pub fn new(
+        kle: &GalerkinKle,
+        mesh: &Mesh,
+        rank: usize,
+        locations: &[Point2],
+    ) -> Result<Self, SstaError> {
+        let sampler = KleSampler::new(kle, mesh, rank)?;
+        let node_triangles = sampler.triangles_of(locations)?;
+        Ok(KleFieldSampler {
+            d_lambda: sampler.reconstruction_matrix().clone(),
+            node_triangles,
+            gathered: None,
+        })
+    }
+
+    /// Builds the fused (pre-gathered) variant: per-sample cost
+    /// `O(N_nodes · r)` instead of `O(n_triangles · r)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KleFieldSampler::new`].
+    pub fn pregathered(
+        kle: &GalerkinKle,
+        mesh: &Mesh,
+        rank: usize,
+        locations: &[Point2],
+    ) -> Result<Self, SstaError> {
+        let mut s = Self::new(kle, mesh, rank, locations)?;
+        let mut gathered = Matrix::zeros(locations.len(), rank);
+        for (row, &t) in s.node_triangles.iter().enumerate() {
+            gathered
+                .row_mut(row)
+                .copy_from_slice(&s.d_lambda.row(t)[..rank]);
+        }
+        s.gathered = Some(gathered);
+        Ok(s)
+    }
+
+    /// The truncation rank `r`.
+    pub fn rank(&self) -> usize {
+        self.d_lambda.cols()
+    }
+
+    /// Is the beyond-paper fused gather enabled?
+    pub fn is_pregathered(&self) -> bool {
+        self.gathered.is_some()
+    }
+
+    /// The loading row of circuit node `node`: the `D_λ` row of its
+    /// containing triangle (length `r`). A node's field value is the dot
+    /// product of this row with the ξ vector — the linear map a
+    /// canonical-form SSTA propagates symbolically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn loading_row(&self, node: usize) -> &[f64] {
+        let t = self.node_triangles[node];
+        self.d_lambda.row(t)
+    }
+}
+
+impl GateFieldSampler for KleFieldSampler {
+    fn node_count(&self) -> usize {
+        self.node_triangles.len()
+    }
+
+    fn random_dims(&self) -> usize {
+        self.d_lambda.cols()
+    }
+
+    fn sample_into(&self, normals: &mut NormalSource<StdRng>, out: &mut [f64]) {
+        thread_local! {
+            static XI: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+            static FIELD: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        XI.with(|cell| {
+            let mut xi = cell.borrow_mut();
+            xi.resize(self.rank(), 0.0);
+            normals.fill(&mut xi);
+            if let Some(gathered) = &self.gathered {
+                // Fused variant: one dot product per gate.
+                for (o, row) in out.iter_mut().zip(0..gathered.rows()) {
+                    *o = klest_linalg::vecops::dot(gathered.row(row), &xi);
+                }
+            } else {
+                // Algorithm 2 as printed: reconstruct over every triangle,
+                // then gather by containing-triangle index.
+                FIELD.with(|fcell| {
+                    let mut field = fcell.borrow_mut();
+                    field.resize(self.d_lambda.rows(), 0.0);
+                    for (f, row) in field.iter_mut().zip(0..self.d_lambda.rows()) {
+                        *f = klest_linalg::vecops::dot(self.d_lambda.row(row), &xi);
+                    }
+                    for (o, &t) in out.iter_mut().zip(&self.node_triangles) {
+                        *o = field[t];
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klest_core::{GalerkinKle, KleOptions};
+    use klest_geometry::Rect;
+    use klest_kernels::GaussianKernel;
+    use klest_mesh::MeshBuilder;
+    use rand::SeedableRng;
+
+    fn grid_locations(side: usize) -> Vec<Point2> {
+        let mut pts = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                pts.push(Point2::new(
+                    -0.9 + 1.8 * i as f64 / (side - 1) as f64,
+                    -0.9 + 1.8 * j as f64 / (side - 1) as f64,
+                ));
+            }
+        }
+        pts
+    }
+
+    fn empirical_corr<S: GateFieldSampler>(
+        sampler: &S,
+        i: usize,
+        j: usize,
+        samples: usize,
+    ) -> f64 {
+        let mut normals = NormalSource::new(StdRng::seed_from_u64(101));
+        let mut buf = vec![0.0; sampler.node_count()];
+        let (mut sij, mut sii, mut sjj) = (0.0, 0.0, 0.0);
+        for _ in 0..samples {
+            sampler.sample_into(&mut normals, &mut buf);
+            sij += buf[i] * buf[j];
+            sii += buf[i] * buf[i];
+            sjj += buf[j] * buf[j];
+        }
+        sij / (sii * sjj).sqrt()
+    }
+
+    #[test]
+    fn cholesky_sampler_matches_kernel_correlation() {
+        let kernel = GaussianKernel::new(2.0);
+        let locs = grid_locations(5);
+        let sampler = CholeskySampler::new(&kernel, &locs).unwrap();
+        assert_eq!(sampler.node_count(), 25);
+        assert_eq!(sampler.random_dims(), 25);
+        // Nearby pair: strong correlation; far pair: weak.
+        let near = empirical_corr(&sampler, 0, 1, 4000);
+        let expected_near = kernel.eval(locs[0], locs[1]);
+        assert!((near - expected_near).abs() < 0.05, "{near} vs {expected_near}");
+        let far = empirical_corr(&sampler, 0, 24, 4000);
+        let expected_far = kernel.eval(locs[0], locs[24]);
+        assert!((far - expected_far).abs() < 0.07, "{far} vs {expected_far}");
+    }
+
+    #[test]
+    fn cholesky_sampler_handles_duplicate_locations() {
+        // Two gates in the same placement cell: the nugget keeps the
+        // matrix factorable.
+        let kernel = GaussianKernel::new(1.0);
+        let locs = vec![Point2::new(0.0, 0.0), Point2::new(0.0, 0.0), Point2::new(0.5, 0.5)];
+        let sampler = CholeskySampler::new(&kernel, &locs).unwrap();
+        let corr = empirical_corr(&sampler, 0, 1, 2000);
+        assert!(corr > 0.99, "coincident gates must be ~perfectly correlated, got {corr}");
+    }
+
+    #[test]
+    fn kle_sampler_matches_kernel_correlation() {
+        let kernel = GaussianKernel::new(2.0);
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.01)
+            .min_angle_degrees(28.0)
+            .build()
+            .unwrap();
+        let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        let locs = grid_locations(5);
+        let sampler = KleFieldSampler::new(&kle, &mesh, 25, &locs).unwrap();
+        assert_eq!(sampler.node_count(), 25);
+        assert_eq!(sampler.random_dims(), 25);
+        assert_eq!(sampler.rank(), 25);
+        let near = empirical_corr(&sampler, 0, 1, 4000);
+        // The KLE field is piecewise constant, so the exact target is the
+        // kernel between the containing triangles' centroids, not between
+        // the raw points.
+        let locator = mesh.locator();
+        let c0 = mesh.centroids()[locator.locate(locs[0]).unwrap()];
+        let c1 = mesh.centroids()[locator.locate(locs[1]).unwrap()];
+        let expected_near = kernel.eval(c0, c1);
+        assert!((near - expected_near).abs() < 0.06, "{near} vs {expected_near}");
+    }
+
+    #[test]
+    fn kle_sampler_dimensionality_reduction() {
+        // The headline claim: thousands of correlated RVs -> r = 25.
+        let kernel = GaussianKernel::new(2.0);
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.02)
+            .build()
+            .unwrap();
+        let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        let locs = grid_locations(40); // 1600 "gates"
+        let sampler = KleFieldSampler::new(&kle, &mesh, 25, &locs).unwrap();
+        assert_eq!(sampler.node_count(), 1600);
+        assert_eq!(sampler.random_dims(), 25);
+        let chol = CholeskySampler::new(&kernel, &locs).unwrap();
+        assert_eq!(chol.random_dims(), 1600);
+    }
+
+    #[test]
+    fn kle_sampler_rejects_offdie_gate() {
+        let kernel = GaussianKernel::new(1.0);
+        let mesh = MeshBuilder::new(Rect::unit_die()).max_area(0.1).build().unwrap();
+        let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        let e = KleFieldSampler::new(&kle, &mesh, 10, &[Point2::new(3.0, 0.0)]);
+        assert!(matches!(e, Err(SstaError::Kle(_))));
+    }
+
+    #[test]
+    fn pregathered_matches_paper_faithful() {
+        // Same ξ stream -> identical per-gate fields, by construction.
+        let kernel = GaussianKernel::new(2.0);
+        let mesh = MeshBuilder::new(Rect::unit_die()).max_area(0.05).build().unwrap();
+        let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        let locs = grid_locations(6);
+        let paper = KleFieldSampler::new(&kle, &mesh, 12, &locs).unwrap();
+        let fused = KleFieldSampler::pregathered(&kle, &mesh, 12, &locs).unwrap();
+        assert!(!paper.is_pregathered());
+        assert!(fused.is_pregathered());
+        assert_eq!(paper.rank(), fused.rank());
+        let mut a = NormalSource::new(StdRng::seed_from_u64(33));
+        let mut b = NormalSource::new(StdRng::seed_from_u64(33));
+        let mut out_a = vec![0.0; locs.len()];
+        let mut out_b = vec![0.0; locs.len()];
+        for _ in 0..5 {
+            paper.sample_into(&mut a, &mut out_a);
+            fused.sample_into(&mut b, &mut out_b);
+            for (x, y) in out_a.iter().zip(out_b.iter()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let kernel = GaussianKernel::new(1.0);
+        let locs = grid_locations(3);
+        let sampler = CholeskySampler::new(&kernel, &locs).unwrap();
+        let mut a = NormalSource::new(StdRng::seed_from_u64(9));
+        let mut b = NormalSource::new(StdRng::seed_from_u64(9));
+        let mut out_a = vec![0.0; 9];
+        let mut out_b = vec![0.0; 9];
+        sampler.sample_into(&mut a, &mut out_a);
+        sampler.sample_into(&mut b, &mut out_b);
+        assert_eq!(out_a, out_b);
+    }
+}

@@ -1,0 +1,83 @@
+//! Interconnect delay and slew metrics.
+//!
+//! - [`elmore_delay`]: the Elmore metric [19] on the lumped π-model of an
+//!   HPWL-derived net,
+//! - [`bakoglu_slew`]: Bakoglu's 10–90% rise-time metric [21],
+//!   `t_r ≈ ln(9) · t_elmore`,
+//! - [`peri_slew`]: the PERI rule [20] extending step metrics to ramp
+//!   inputs, `s_out = sqrt(s_in² + s_wire²)`.
+
+use klest_circuit::WireParasitics;
+
+/// `ln 9` — the 10–90% factor of a single-pole response.
+const LN_9: f64 = 2.197_224_577_336_219_6;
+
+/// Elmore delay of a lumped net: wire resistance driving half the wire
+/// capacitance plus the full sink load,
+/// `t = R (C_wire/2 + C_sinks)`.
+#[inline]
+pub fn elmore_delay(wire: &WireParasitics, sink_cap: f64) -> f64 {
+    wire.resistance * (0.5 * wire.capacitance + sink_cap)
+}
+
+/// Bakoglu's slew metric: the 10–90% rise time of the Elmore single-pole
+/// approximation.
+#[inline]
+pub fn bakoglu_slew(elmore: f64) -> f64 {
+    LN_9 * elmore
+}
+
+/// PERI: output slew of a ramp-driven RC stage from the input slew and
+/// the stage's intrinsic (step) slew.
+#[inline]
+pub fn peri_slew(input_slew: f64, wire_slew: f64) -> f64 {
+    (input_slew * input_slew + wire_slew * wire_slew).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(r: f64, c: f64) -> WireParasitics {
+        WireParasitics {
+            resistance: r,
+            capacitance: c,
+            wirelength: 1.0,
+        }
+    }
+
+    #[test]
+    fn elmore_known_value() {
+        // R = 2, C_wire = 3, C_sink = 0.5 -> 2 * (1.5 + 0.5) = 4.
+        assert_eq!(elmore_delay(&wire(2.0, 3.0), 0.5), 4.0);
+    }
+
+    #[test]
+    fn elmore_zero_wire() {
+        assert_eq!(elmore_delay(&WireParasitics::default(), 1.0), 0.0);
+    }
+
+    #[test]
+    fn elmore_monotone_in_r_and_c() {
+        let base = elmore_delay(&wire(1.0, 1.0), 0.1);
+        assert!(elmore_delay(&wire(2.0, 1.0), 0.1) > base);
+        assert!(elmore_delay(&wire(1.0, 2.0), 0.1) > base);
+        assert!(elmore_delay(&wire(1.0, 1.0), 0.5) > base);
+    }
+
+    #[test]
+    fn bakoglu_factor() {
+        assert!((bakoglu_slew(1.0) - 9f64.ln()).abs() < 1e-15);
+        assert_eq!(bakoglu_slew(0.0), 0.0);
+    }
+
+    #[test]
+    fn peri_is_rms_composition() {
+        assert_eq!(peri_slew(3.0, 4.0), 5.0);
+        // Degenerate cases: pure step input / zero wire.
+        assert_eq!(peri_slew(0.0, 2.0), 2.0);
+        assert_eq!(peri_slew(2.0, 0.0), 2.0);
+        // Never less than either component.
+        assert!(peri_slew(1.0, 1.0) >= 1.0);
+    }
+}

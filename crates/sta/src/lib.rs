@@ -1,0 +1,51 @@
+//! # klest-sta
+//!
+//! Static timing analysis — the core timer inside the paper's Monte Carlo
+//! loops (Sec. 5.1):
+//!
+//! - **Elmore** wire delay [19] over lumped HPWL parasitics,
+//! - **PERI** wire slew [20] with the **Bakoglu** metric [21],
+//! - **rank-one quadratic** gate delay/slew models [22] in the four
+//!   statistical parameters `L`, `W`, `Vt`, `tox` plus input slew and
+//!   output load,
+//! - a single-pass topological arrival-time propagation
+//!   ([`Timer::analyze`]).
+//!
+//! The timer is deterministic given the per-gate parameter assignment;
+//! all randomness lives in `klest-ssta`, which feeds it sampled
+//! parameters.
+//!
+//! ```
+//! use klest_circuit::{generate, GeneratorConfig, Placement, WireModel};
+//! use klest_sta::{GateLibrary, ParamVector, Timer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = generate("demo", GeneratorConfig::combinational(100, 1))?;
+//! let placement = Placement::recursive_bisection(&circuit);
+//! let timer = Timer::new(&circuit, &placement, WireModel::default(), GateLibrary::default_90nm());
+//! let nominal = vec![ParamVector::ZERO; circuit.node_count()];
+//! let report = timer.analyze(&nominal);
+//! assert!(report.worst_delay() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod corners;
+mod delay;
+mod incremental;
+mod library;
+mod model;
+mod params;
+mod slack;
+mod timer;
+
+pub use corners::{analyze_corners, Corner, CornerResult};
+pub use delay::{bakoglu_slew, elmore_delay, peri_slew};
+pub use incremental::IncrementalTimer;
+pub use library::GateLibrary;
+pub use model::{GateTimingModel, QuadraticGateModel};
+pub use params::{ParamVector, StatParam};
+pub use slack::SlackReport;
+pub use timer::{Timer, TimingReport};

@@ -1,0 +1,127 @@
+//! The four statistical device parameters of the paper's gate models.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A statistical device parameter (paper Sec. 5.1: "the gate output slew
+/// and gate delay are modeled as functions of the input slew and 4
+/// statistical parameters: L, W, Vt and tox").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatParam {
+    /// Effective channel length.
+    L,
+    /// Device width.
+    W,
+    /// Threshold voltage.
+    Vt,
+    /// Oxide thickness.
+    Tox,
+}
+
+impl StatParam {
+    /// All four parameters, in storage order.
+    pub const ALL: [StatParam; 4] = [StatParam::L, StatParam::W, StatParam::Vt, StatParam::Tox];
+
+    /// Storage index of the parameter.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            StatParam::L => 0,
+            StatParam::W => 1,
+            StatParam::Vt => 2,
+            StatParam::Tox => 3,
+        }
+    }
+}
+
+impl fmt::Display for StatParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StatParam::L => "L",
+            StatParam::W => "W",
+            StatParam::Vt => "Vt",
+            StatParam::Tox => "tox",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Normalized parameter deviations for one gate: z-scores
+/// `(p - μ) / σ` of the four [`StatParam`]s (the paper normalizes every
+/// parameter to zero mean, unit variance — Sec. 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ParamVector(pub [f64; 4]);
+
+impl ParamVector {
+    /// All-zero deviations (nominal process corner).
+    pub const ZERO: ParamVector = ParamVector([0.0; 4]);
+
+    /// Creates a vector from `[L, W, Vt, tox]` deviations.
+    pub const fn new(values: [f64; 4]) -> Self {
+        ParamVector(values)
+    }
+
+    /// Inner product with a sensitivity direction.
+    #[inline]
+    pub fn dot(&self, dir: &[f64; 4]) -> f64 {
+        self.0[0] * dir[0] + self.0[1] * dir[1] + self.0[2] * dir[2] + self.0[3] * dir[3]
+    }
+}
+
+impl Index<StatParam> for ParamVector {
+    type Output = f64;
+    fn index(&self, p: StatParam) -> &f64 {
+        &self.0[p.index()]
+    }
+}
+
+impl IndexMut<StatParam> for ParamVector {
+    fn index_mut(&mut self, p: StatParam) -> &mut f64 {
+        &mut self.0[p.index()]
+    }
+}
+
+impl From<[f64; 4]> for ParamVector {
+    fn from(v: [f64; 4]) -> Self {
+        ParamVector(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable() {
+        assert_eq!(StatParam::L.index(), 0);
+        assert_eq!(StatParam::W.index(), 1);
+        assert_eq!(StatParam::Vt.index(), 2);
+        assert_eq!(StatParam::Tox.index(), 3);
+        for (i, p) in StatParam::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn vector_indexing() {
+        let mut v = ParamVector::ZERO;
+        v[StatParam::Vt] = 1.5;
+        assert_eq!(v[StatParam::Vt], 1.5);
+        assert_eq!(v[StatParam::L], 0.0);
+        let w: ParamVector = [1.0, 2.0, 3.0, 4.0].into();
+        assert_eq!(w[StatParam::Tox], 4.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let v = ParamVector::new([1.0, -1.0, 2.0, 0.5]);
+        let d = [0.5, 0.5, 0.25, -2.0];
+        assert_eq!(v.dot(&d), 0.5 - 0.5 + 0.5 - 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = StatParam::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, vec!["L", "W", "Vt", "tox"]);
+    }
+}

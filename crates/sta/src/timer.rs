@@ -1,0 +1,384 @@
+//! The topological timing engine (the "core timer inside the Monte Carlo
+//! loops", paper Sec. 5.1).
+
+use crate::{bakoglu_slew, elmore_delay, peri_slew, GateLibrary, ParamVector};
+use klest_circuit::{Circuit, GateKind, NodeId, Placement, WireModel, WireParasitics};
+
+/// Per-node timing quantities from one analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    arrivals: Vec<f64>,
+    slews: Vec<f64>,
+    worst_delay: f64,
+    critical_output: Option<NodeId>,
+}
+
+impl TimingReport {
+    /// Arrival time at every node's output, indexed by node.
+    pub fn arrivals(&self) -> &[f64] {
+        &self.arrivals
+    }
+
+    /// Slew at every node's output, indexed by node.
+    pub fn slews(&self) -> &[f64] {
+        &self.slews
+    }
+
+    /// Arrival time at node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn arrival(&self, id: NodeId) -> f64 {
+        self.arrivals[id.index()]
+    }
+
+    /// The worst (largest) primary-output arrival — the circuit delay
+    /// statistic Table 1 reports.
+    pub fn worst_delay(&self) -> f64 {
+        self.worst_delay
+    }
+
+    /// The primary output achieving [`worst_delay`](Self::worst_delay).
+    pub fn critical_output(&self) -> Option<NodeId> {
+        self.critical_output
+    }
+}
+
+/// A static timer bound to one circuit + placement + library.
+///
+/// Net parasitics and load capacitances are precomputed once; each
+/// [`analyze`](Timer::analyze) call is a single allocation-light
+/// topological sweep, which is what the Monte Carlo loop hammers.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    kinds: Vec<GateKind>,
+    /// Flattened fanin lists (same layout as the circuit).
+    fanins: Vec<Vec<NodeId>>,
+    outputs: Vec<NodeId>,
+    /// Per-node output-net parasitics.
+    nets: Vec<WireParasitics>,
+    /// Per-node total sink pin capacitance on the output net.
+    sink_caps: Vec<f64>,
+    library: GateLibrary,
+}
+
+impl Timer {
+    /// Builds a timer, precomputing all wire parasitics from the
+    /// placement.
+    pub fn new(
+        circuit: &Circuit,
+        placement: &Placement,
+        wire_model: WireModel,
+        library: GateLibrary,
+    ) -> Self {
+        let nets = wire_model.all_nets(circuit, placement);
+        let sink_caps = circuit
+            .topological_order()
+            .map(|id| circuit.fanouts(id).len() as f64 * library.input_cap())
+            .collect();
+        Timer {
+            kinds: circuit.topological_order().map(|id| circuit.kind(id)).collect(),
+            fanins: circuit
+                .topological_order()
+                .map(|id| circuit.fanins(id).to_vec())
+                .collect(),
+            outputs: circuit.outputs().to_vec(),
+            nets,
+            sink_caps,
+            library,
+        }
+    }
+
+    /// Number of nodes the timer covers.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Runs one deterministic STA with the given per-node parameter
+    /// deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != node_count()`.
+    pub fn analyze(&self, params: &[ParamVector]) -> TimingReport {
+        let n = self.node_count();
+        let mut arrivals = vec![0.0; n];
+        let mut slews = vec![0.0; n];
+        self.analyze_into(params, &mut arrivals, &mut slews);
+        let (worst_delay, critical_output) = self.worst_output(&arrivals);
+        TimingReport {
+            arrivals,
+            slews,
+            worst_delay,
+            critical_output,
+        }
+    }
+
+    /// Allocation-free analysis into caller-provided buffers; returns the
+    /// worst primary-output arrival. This is the Monte Carlo hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `node_count()`.
+    pub fn analyze_into(
+        &self,
+        params: &[ParamVector],
+        arrivals: &mut [f64],
+        slews: &mut [f64],
+    ) -> f64 {
+        let n = self.node_count();
+        assert_eq!(params.len(), n, "one ParamVector per node required");
+        assert_eq!(arrivals.len(), n);
+        assert_eq!(slews.len(), n);
+        for i in 0..n {
+            let (arr, slew) = self.evaluate_node(NodeId(i as u32), params, arrivals, slews);
+            arrivals[i] = arr;
+            slews[i] = slew;
+        }
+        self.worst_output(arrivals).0
+    }
+
+    /// Evaluates one node's (arrival, slew) from its fanins' current
+    /// state — the inner step of [`analyze_into`](Self::analyze_into),
+    /// exposed for the incremental timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or any slice index is out of range.
+    pub fn evaluate_node(
+        &self,
+        id: NodeId,
+        params: &[ParamVector],
+        arrivals: &[f64],
+        slews: &[f64],
+    ) -> (f64, f64) {
+        let i = id.index();
+        let kind = self.kinds[i];
+        if kind == GateKind::Input {
+            return (0.0, self.library.primary_input_slew());
+        }
+        let model = self.library.model(kind);
+        // Output load seen by this gate: its own net.
+        let load = self.nets[i].capacitance;
+        let mut best_arrival = f64::NEG_INFINITY;
+        let mut best_slew = 0.0;
+        for f in &self.fanins[i] {
+            let fi = f.index();
+            // Wire stage from the fanin's output to this gate's input.
+            let wire = &self.nets[fi];
+            let wdelay = elmore_delay(wire, self.sink_caps[fi]);
+            let wslew = peri_slew(slews[fi], bakoglu_slew(wdelay));
+            let gdelay = model.delay(wslew, load, &params[i]);
+            let arr = arrivals[fi] + wdelay + gdelay;
+            if arr > best_arrival {
+                best_arrival = arr;
+                best_slew = model.output_slew(wslew, load, &params[i]);
+            }
+        }
+        (best_arrival, best_slew)
+    }
+
+    fn worst_output(&self, arrivals: &[f64]) -> (f64, Option<NodeId>) {
+        let mut worst = 0.0;
+        let mut crit = None;
+        for &o in &self.outputs {
+            let a = arrivals[o.index()];
+            if a > worst {
+                worst = a;
+                crit = Some(o);
+            }
+        }
+        (worst, crit)
+    }
+
+    /// The primary outputs the worst delay is taken over.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Fanins of node `id` (mirrors the circuit the timer was built on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fanins_of(&self, id: NodeId) -> &[NodeId] {
+        &self.fanins[id.index()]
+    }
+
+    /// First-order sensitivity of node `id`'s gate delay to its four
+    /// normalized parameters at the nominal point: `β · v` from the
+    /// rank-one quadratic model (`∂d/∂p = β v + 2γ (vᵀp) v`, evaluated at
+    /// `p = 0`). Returns `None` for primary inputs. This is the
+    /// linearisation a canonical-form (block-based, [6]-style) SSTA
+    /// consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn delay_sensitivity(&self, id: NodeId) -> Option<[f64; 4]> {
+        let kind = self.kinds[id.index()];
+        if kind == GateKind::Input {
+            return None;
+        }
+        let m = &self.library.model(kind).delay;
+        Some([
+            m.linear * m.direction[0],
+            m.linear * m.direction[1],
+            m.linear * m.direction[2],
+            m.linear * m.direction[3],
+        ])
+    }
+
+    /// Delay of the timing edge `from -> to`: the wire stage out of
+    /// `from` plus `to`'s gate delay under the given slews/parameters.
+    /// `slews` must come from a forward [`analyze`](Timer::analyze) pass
+    /// with the same `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or `to` is a primary input.
+    pub fn edge_delay(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        slews: &[f64],
+        params: &[ParamVector],
+    ) -> f64 {
+        let fi = from.index();
+        let wire = &self.nets[fi];
+        let wdelay = elmore_delay(wire, self.sink_caps[fi]);
+        let wslew = peri_slew(slews[fi], bakoglu_slew(wdelay));
+        let kind = self.kinds[to.index()];
+        assert_ne!(kind, GateKind::Input, "edge into a primary input");
+        let model = self.library.model(kind);
+        let load = self.nets[to.index()].capacitance;
+        wdelay + model.delay(wslew, load, &params[to.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klest_circuit::{generate, Circuit, GeneratorConfig};
+
+    fn timer_for(c: &Circuit) -> Timer {
+        let p = Placement::recursive_bisection(c);
+        Timer::new(c, &p, WireModel::default(), GateLibrary::default_90nm())
+    }
+
+    fn nominal(c: &Circuit) -> Vec<ParamVector> {
+        vec![ParamVector::ZERO; c.node_count()]
+    }
+
+    #[test]
+    fn hand_built_chain_delay() {
+        // in -> INV -> INV -> out with zero-length wires (single gate
+        // locations coincide is impossible, but the arithmetic is checked
+        // structurally: arrival strictly increases along the chain).
+        let mut b = Circuit::builder("chain");
+        let a = b.input();
+        let g1 = b.gate(GateKind::Inv, &[a]).unwrap();
+        let g2 = b.gate(GateKind::Inv, &[g1]).unwrap();
+        b.output(g2);
+        let c = b.build().unwrap();
+        let t = timer_for(&c);
+        let r = t.analyze(&nominal(&c));
+        assert_eq!(r.arrival(a), 0.0);
+        assert!(r.arrival(g1) > 0.0);
+        assert!(r.arrival(g2) > r.arrival(g1));
+        assert_eq!(r.worst_delay(), r.arrival(g2));
+        assert_eq!(r.critical_output(), Some(g2));
+        assert_eq!(t.outputs(), &[g2]);
+        assert_eq!(t.node_count(), 3);
+    }
+
+    #[test]
+    fn worst_of_two_outputs() {
+        // A fast path (1 inverter) and a slow path (XOR chain) from the
+        // same input: worst delay must be the slow one.
+        let mut b = Circuit::builder("two");
+        let a = b.input();
+        let a2 = b.input();
+        let fast = b.gate(GateKind::Inv, &[a]).unwrap();
+        let s1 = b.gate(GateKind::Xor2, &[a, a2]).unwrap();
+        let s2 = b.gate(GateKind::Xor2, &[s1, a2]).unwrap();
+        let s3 = b.gate(GateKind::Xor2, &[s2, a2]).unwrap();
+        b.output(fast);
+        b.output(s3);
+        let c = b.build().unwrap();
+        let t = timer_for(&c);
+        let r = t.analyze(&nominal(&c));
+        assert!(r.arrival(s3) > r.arrival(fast));
+        assert_eq!(r.worst_delay(), r.arrival(s3));
+        assert_eq!(r.critical_output(), Some(s3));
+    }
+
+    #[test]
+    fn arrivals_monotone_along_paths() {
+        let c = generate("m", GeneratorConfig::combinational(400, 17)).unwrap();
+        let t = timer_for(&c);
+        let r = t.analyze(&nominal(&c));
+        for id in c.topological_order() {
+            for f in c.fanins(id) {
+                assert!(
+                    r.arrival(id) > r.arrival(*f),
+                    "arrival must increase from {f} to {id}"
+                );
+            }
+        }
+        assert!(r.slews().iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn slow_corner_increases_delay() {
+        let c = generate("s", GeneratorConfig::combinational(300, 23)).unwrap();
+        let t = timer_for(&c);
+        let d_nom = t.analyze(&nominal(&c)).worst_delay();
+        let slow = vec![ParamVector::new([1.0, -1.0, 1.0, 1.0]); c.node_count()];
+        let d_slow = t.analyze(&slow).worst_delay();
+        let fast = vec![ParamVector::new([-1.0, 1.0, -1.0, -1.0]); c.node_count()];
+        let d_fast = t.analyze(&fast).worst_delay();
+        assert!(d_slow > d_nom, "slow {d_slow} vs nominal {d_nom}");
+        assert!(d_fast < d_nom, "fast {d_fast} vs nominal {d_nom}");
+    }
+
+    #[test]
+    fn analyze_into_matches_analyze() {
+        let c = generate("b", GeneratorConfig::combinational(200, 31)).unwrap();
+        let t = timer_for(&c);
+        let params = nominal(&c);
+        let report = t.analyze(&params);
+        let mut arr = vec![0.0; c.node_count()];
+        let mut slews = vec![0.0; c.node_count()];
+        let worst = t.analyze_into(&params, &mut arr, &mut slews);
+        assert_eq!(worst, report.worst_delay());
+        assert_eq!(arr, report.arrivals());
+        assert_eq!(slews, report.slews());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_param_length_panics() {
+        let c = generate("p", GeneratorConfig::combinational(50, 3)).unwrap();
+        let t = timer_for(&c);
+        let _ = t.analyze(&[ParamVector::ZERO; 3]);
+    }
+
+    #[test]
+    fn per_gate_variation_changes_only_downstream() {
+        let c = generate("v", GeneratorConfig::combinational(300, 41)).unwrap();
+        let t = timer_for(&c);
+        let base = t.analyze(&nominal(&c));
+        // Perturb one mid-circuit gate.
+        let victim = NodeId((c.input_count() + 10) as u32);
+        let mut params = nominal(&c);
+        params[victim.index()] = ParamVector::new([2.0, -2.0, 2.0, 2.0]);
+        let pert = t.analyze(&params);
+        assert!(pert.arrival(victim) > base.arrival(victim));
+        // Nodes topologically before the victim are untouched.
+        for id in c.topological_order().take(victim.index()) {
+            assert_eq!(pert.arrival(id), base.arrival(id), "upstream node {id} moved");
+        }
+    }
+}

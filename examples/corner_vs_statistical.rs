@@ -1,0 +1,56 @@
+//! Why statistical timing: quantify the pessimism of classic corner
+//! analysis against the Monte Carlo delay distribution under spatially
+//! correlated variation.
+//!
+//! ```text
+//! cargo run --release --example corner_vs_statistical
+//! ```
+
+use klest::circuit::{benchmark_scaled, BenchmarkId};
+use klest::kernels::GaussianKernel;
+use klest::ssta::experiments::{CircuitSetup, KleContext};
+use klest::ssta::{quantile, McConfig, ProcessModel};
+use klest::sta::{analyze_corners, Corner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = benchmark_scaled(BenchmarkId::C1908, 0.5)?;
+    let setup = CircuitSetup::prepare(&circuit);
+    println!("circuit: {} ({} gates)", setup.name(), setup.gates());
+
+    // Classic sign-off: three corners at 3 sigma.
+    let corners = analyze_corners(&setup.timer, &Corner::standard_set(3.0));
+    for c in &corners {
+        println!(
+            "corner {:>2}: worst delay {:>9.2}",
+            c.corner.name,
+            c.report.worst_delay()
+        );
+    }
+
+    // Statistical: KLE-compressed Monte Carlo, 10 000 samples.
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::paper_default(&kernel)?;
+    let run = ProcessModel::uniform_kle(&ctx)
+        .run(&setup, &McConfig::new(10_000, 7).with_threads(4))?;
+    let stats = run.worst_delay_stats();
+    let q99 = quantile(run.worst_delays(), 0.99);
+    let q999 = quantile(run.worst_delays(), 0.999);
+    println!(
+        "statistical: mean {:.2}, sigma {:.3}, 99% {:.2}, 99.9% {:.2} ({} RVs/param)",
+        stats.mean,
+        stats.std_dev,
+        q99,
+        q999,
+        run.random_dims()
+    );
+
+    let ss = corners[2].report.worst_delay();
+    println!(
+        "pessimism: SS corner sits {:.1} sigma above the MC mean; signing off at the 99.9th \
+         percentile instead recovers {:.2} delay units ({:.1}% of nominal)",
+        (ss - stats.mean) / stats.std_dev,
+        ss - q999,
+        100.0 * (ss - q999) / stats.mean
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! The paper's generality claim, demonstrated: the Galerkin/KLE pipeline
+//! works with *any* physically valid kernel, including user-defined ones
+//! with no analytic eigendecomposition. Here we define an anisotropic
+//! Gaussian kernel (different decay along x and y — e.g. scan-direction
+//! lithography effects), implement [`CovarianceKernel`] for it, and run
+//! it through the same machinery as the built-ins.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use klest::core::{GalerkinKle, KleOptions, TruncationCriterion};
+use klest::geometry::{Point2, Rect};
+use klest::kernels::CovarianceKernel;
+use klest::mesh::MeshBuilder;
+
+/// Anisotropic Gaussian: exp(-(cx dx² + cy dy²)). Valid (it is a product
+/// of two 1-D Gaussian kernels), but with no closed-form 2-D KLE under
+/// rotation of the die — exactly the situation the paper's numerical
+/// method exists for.
+#[derive(Debug, Clone, Copy)]
+struct AnisotropicGaussian {
+    cx: f64,
+    cy: f64,
+}
+
+impl CovarianceKernel for AnisotropicGaussian {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        let dx = x.x - y.x;
+        let dy = x.y - y.y;
+        (-(self.cx * dx * dx + self.cy * dy * dy)).exp()
+    }
+
+    fn name(&self) -> &str {
+        "anisotropic-gaussian"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Strong correlation along x (scan direction), weaker along y.
+    let kernel = AnisotropicGaussian { cx: 1.0, cy: 6.0 };
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(0.002)
+        .min_angle_degrees(28.0)
+        .build()?;
+    let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default())?;
+    let r = kle.select_rank(&TruncationCriterion::default());
+    println!(
+        "custom kernel '{}': mesh n = {}, selected rank r = {} ({:.2}% variance)",
+        kernel.name(),
+        mesh.len(),
+        r,
+        100.0 * kle.variance_captured(r)
+    );
+
+    // Anisotropy should show up in the eigenfunctions: the second mode
+    // oscillates along the *less* correlated axis first (y here carries
+    // more independent variation). Measure each mode's oscillation
+    // direction by correlating its sign with x and y.
+    for j in 1..4 {
+        let f = kle.eigenfunction(j);
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for (i, c) in mesh.centroids().iter().enumerate() {
+            sx += f[i] * c.x * mesh.areas()[i];
+            sy += f[i] * c.y * mesh.areas()[i];
+        }
+        let axis = if sx.abs() > sy.abs() { "x" } else { "y" };
+        println!(
+            "mode {}: lambda = {:.4}, dominant oscillation along {axis} (<f,x> = {:.3}, <f,y> = {:.3})",
+            j + 1,
+            kle.eigenvalues()[j],
+            sx,
+            sy
+        );
+    }
+
+    // Compare against the isotropic case: the anisotropic field needs
+    // more modes along y, fewer along x; total rank is driven by the
+    // weaker-correlation axis.
+    let iso = klest::kernels::GaussianKernel::new(6.0);
+    let kle_iso = GalerkinKle::compute(&mesh, &iso, KleOptions::default())?;
+    let r_iso = kle_iso.select_rank(&TruncationCriterion::default());
+    println!("isotropic c = 6 needs r = {r_iso}; anisotropic (1, 6) needs r = {r} (cheaper along x)");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! End-to-end statistical timing flow: synthesize a circuit, place it,
+//! and compare the reference Monte Carlo STA (Algorithm 1, one RV per
+//! gate) against the covariance-kernel KLE STA (Algorithm 2, 25 RVs).
+//!
+//! ```text
+//! cargo run --release --example ssta_flow -- 1500
+//! ```
+
+use klest::circuit::{generate, GeneratorConfig};
+use klest::kernels::GaussianKernel;
+use klest::ssta::experiments::{compare_methods, CircuitSetup, KleContext};
+use klest::ssta::McConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gates: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(800);
+
+    // The workload: a synthetic ISCAS-like netlist (see klest-circuit for
+    // the topology model), placed by recursive bisection.
+    let circuit = generate("demo", GeneratorConfig::combinational(gates, 42))?;
+    println!(
+        "circuit: {} gates, {} inputs, {} outputs, depth {}",
+        circuit.gate_count(),
+        circuit.input_count(),
+        circuit.outputs().len(),
+        circuit.depth()
+    );
+    let setup = CircuitSetup::prepare(&circuit);
+
+    // Correlation model + its KLE (shared across any number of circuits).
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::paper_default(&kernel)?;
+    println!(
+        "KLE: mesh n = {}, rank r = {}, setup {:.2}s",
+        ctx.mesh.len(),
+        ctx.rank,
+        ctx.setup_time.as_secs_f64()
+    );
+
+    // Both Monte Carlo STAs, 2000 samples each.
+    let config = McConfig::new(2000, 7).with_threads(4);
+    let cmp = compare_methods(&setup, &kernel, &ctx, &config)?;
+    println!(
+        "reference MC  (Ng = {} RVs/param): mean = {:.2}, sigma = {:.3}, {:.2}s",
+        cmp.gates,
+        cmp.mc.mean,
+        cmp.mc.std_dev,
+        cmp.mc_time.as_secs_f64()
+    );
+    println!(
+        "KLE MC        (r = {} RVs/param):  mean = {:.2}, sigma = {:.3}, {:.2}s",
+        cmp.rank,
+        cmp.kle.mean,
+        cmp.kle.std_dev,
+        cmp.kle_time.as_secs_f64()
+    );
+    println!(
+        "mismatch: e_mu = {:.3}%, e_sigma = {:.3}%  |  speedup = {:.2}x",
+        cmp.e_mu_pct, cmp.e_sigma_pct, cmp.speedup
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # klest — correlation-kernel KLE for statistical timing
+//!
+//! Umbrella crate re-exporting the whole `klest` workspace: a from-scratch
+//! Rust reproduction of *"Exploiting Correlation Kernels for Efficient
+//! Handling of Intra-Die Spatial Correlation, with Application to
+//! Statistical Timing"* (DATE 2008).
+//!
+//! The pipeline, end to end:
+//!
+//! 1. model intra-die variation of a device parameter (`L`, `W`, `Vt`,
+//!    `tox`) as a 2-D random field with a covariance *kernel*
+//!    ([`kernels`]);
+//! 2. triangulate the normalized die ([`mesh`]);
+//! 3. compute the Karhunen-Loève Expansion of the field with the paper's
+//!    Galerkin method ([`core`]), compressing thousands of correlated
+//!    per-gate RVs into ~25 uncorrelated ones;
+//! 4. feed the compressed representation to a Monte Carlo statistical
+//!    static timing analysis ([`ssta`], [`sta`], [`circuit`]) — or to
+//!    the one-pass canonical SSTA / polynomial-chaos surrogate built on
+//!    the same basis.
+//!
+//! ```
+//! use klest::kernels::GaussianKernel;
+//! use klest::mesh::MeshBuilder;
+//! use klest::core::{GalerkinKle, KleOptions};
+//! use klest::geometry::Rect;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let die = Rect::unit_die();
+//! let mesh = MeshBuilder::new(die)
+//!     .max_area(0.05)
+//!     .min_angle_degrees(28.0)
+//!     .build()?;
+//! let kernel = GaussianKernel::with_correlation_distance(1.0);
+//! let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default())?;
+//! assert!(kle.eigenvalues()[0] > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use klest_circuit as circuit;
+pub use klest_core as core;
+pub use klest_geometry as geometry;
+pub use klest_kernels as kernels;
+pub use klest_linalg as linalg;
+pub use klest_mesh as mesh;
+pub use klest_ssta as ssta;
+pub use klest_sta as sta;
+
+/// One-line import for the common flow:
+/// `use klest::prelude::*;` brings in the types needed to go from a
+/// kernel to a statistical timing result.
+pub mod prelude {
+    pub use klest_circuit::{benchmark, generate, BenchmarkId, Circuit, GeneratorConfig, Placement};
+    pub use klest_core::{GalerkinKle, KleOptions, KleSampler, QuadratureRule, TruncationCriterion};
+    pub use klest_geometry::{Point2, Rect};
+    pub use klest_kernels::{CovarianceKernel, GaussianKernel, MaternKernel};
+    pub use klest_mesh::{Mesh, MeshBuilder};
+    pub use klest_ssta::experiments::{CircuitSetup, KleContext};
+    pub use klest_ssta::{
+        run_monte_carlo, CholeskySampler, KleFieldSampler, McConfig, ProcessModel,
+    };
+    pub use klest_sta::{GateLibrary, ParamVector, Timer};
+}

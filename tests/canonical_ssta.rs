@@ -1,0 +1,77 @@
+//! Canonical first-order SSTA vs the Monte Carlo reference — the paper's
+//! "KLE RVs as parameters for gate timing models" claim, end to end.
+//! One symbolic pass must match the MC mean tightly and the MC σ within
+//! the linearisation + Clark error budget, at a tiny fraction of the
+//! cost.
+
+use klest::circuit::{generate, GeneratorConfig};
+use klest::kernels::GaussianKernel;
+use klest::ssta::canonical::analyze_canonical;
+use klest::ssta::experiments::{CircuitSetup, KleContext};
+use klest::ssta::{run_monte_carlo, KleFieldSampler, McConfig};
+
+#[test]
+fn canonical_matches_monte_carlo_moments() {
+    let circuit = generate("can", GeneratorConfig::combinational(300, 7)).expect("gen");
+    let setup = CircuitSetup::prepare(&circuit);
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::coarse(&kernel).expect("ctx");
+    let sampler =
+        KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations()).expect("sampler");
+
+    // Monte Carlo on the SAME KLE basis (so only linearisation + Clark
+    // differ).
+    let mc = run_monte_carlo(&setup.timer, &sampler, &McConfig::new(8000, 3).with_threads(2))
+        .expect("mc");
+    let mc_stats = mc.worst_delay_stats();
+
+    let started = std::time::Instant::now();
+    let canonical = analyze_canonical(&setup.timer, &sampler).expect("canonical");
+    let canonical_time = started.elapsed();
+    let worst = canonical.worst();
+
+    let mean_err = 100.0 * (worst.mean - mc_stats.mean).abs() / mc_stats.mean;
+    let sigma_err = 100.0 * (worst.sigma() - mc_stats.std_dev).abs() / mc_stats.std_dev;
+    assert!(
+        mean_err < 1.0,
+        "canonical mean {:.2} vs MC {:.2} ({mean_err:.2}% off)",
+        worst.mean,
+        mc_stats.mean
+    );
+    assert!(
+        sigma_err < 30.0,
+        "canonical sigma {:.3} vs MC {:.3} ({sigma_err:.1}% off)",
+        worst.sigma(),
+        mc_stats.std_dev
+    );
+    // One pass must be far cheaper than 8000 passes.
+    assert!(
+        canonical_time < mc.wall_time() / 20,
+        "canonical {canonical_time:?} should crush MC {:?}",
+        mc.wall_time()
+    );
+}
+
+#[test]
+fn canonical_arrivals_track_nominal_structure() {
+    use klest::sta::ParamVector;
+    let circuit = generate("can2", GeneratorConfig::combinational(150, 9)).expect("gen");
+    let setup = CircuitSetup::prepare(&circuit);
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::coarse(&kernel).expect("ctx");
+    let sampler =
+        KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations()).expect("sampler");
+    let canonical = analyze_canonical(&setup.timer, &sampler).expect("canonical");
+    let nominal = setup
+        .timer
+        .analyze(&vec![ParamVector::ZERO; setup.timer.node_count()]);
+    // Canonical means sit at or slightly above the nominal arrivals
+    // (Clark's max only inflates means), and every variance is finite
+    // and non-negative.
+    for id in (0..setup.timer.node_count()).map(|i| klest::circuit::NodeId(i as u32)) {
+        let c = canonical.arrival(id);
+        assert!(c.mean >= nominal.arrival(id) - 1e-9, "node {id}");
+        assert!(c.variance().is_finite());
+    }
+    assert!(canonical.worst().mean >= nominal.worst_delay() - 1e-9);
+}

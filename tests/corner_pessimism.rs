@@ -1,0 +1,74 @@
+//! The economic argument for statistical timing, quantified: the classic
+//! 3σ slow corner assumes every gate on the die is simultaneously slow,
+//! which spatial correlation makes physically implausible — the corner
+//! delay should sit far above the Monte Carlo distribution's 99.9th
+//! percentile, and the gap should *widen* as correlation weakens
+//! (independent variation averages out across paths).
+
+use klest::circuit::{generate, GeneratorConfig};
+use klest::kernels::GaussianKernel;
+use klest::ssta::experiments::CircuitSetup;
+use klest::ssta::{quantile, run_monte_carlo, CholeskySampler, McConfig};
+use klest::sta::{analyze_corners, Corner};
+
+#[test]
+fn slow_corner_is_pessimistic_vs_monte_carlo() {
+    let circuit = generate("cp", GeneratorConfig::combinational(250, 3)).expect("gen");
+    let setup = CircuitSetup::prepare(&circuit);
+    let corners = analyze_corners(&setup.timer, &Corner::standard_set(3.0));
+    let ss = corners[2].report.worst_delay();
+    let ff = corners[0].report.worst_delay();
+
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let sampler = CholeskySampler::new(&kernel, setup.locations()).expect("chol");
+    let run = run_monte_carlo(&setup.timer, &sampler, &McConfig::new(4000, 11).with_threads(2))
+        .expect("mc");
+    let q999 = quantile(run.worst_delays(), 0.999);
+    let q001 = quantile(run.worst_delays(), 0.001);
+
+    assert!(
+        ss > q999,
+        "3-sigma slow corner ({ss}) must exceed the MC 99.9th percentile ({q999})"
+    );
+    assert!(
+        ff < q001,
+        "3-sigma fast corner ({ff}) must undercut the MC 0.1th percentile ({q001})"
+    );
+    // Margin is substantial, not marginal: the corner overshoots the
+    // distribution tail by more than one MC standard deviation.
+    let stats = run.worst_delay_stats();
+    assert!(
+        ss - q999 > stats.std_dev,
+        "corner pessimism margin {} should exceed one sigma {}",
+        ss - q999,
+        stats.std_dev
+    );
+}
+
+#[test]
+fn pessimism_gap_grows_as_correlation_weakens() {
+    let circuit = generate("cp2", GeneratorConfig::combinational(200, 9)).expect("gen");
+    let setup = CircuitSetup::prepare(&circuit);
+    let ss = analyze_corners(&setup.timer, &[Corner::slow(3.0)])[0]
+        .report
+        .worst_delay();
+    let config = McConfig::new(3000, 17).with_threads(2);
+
+    // Strongly correlated die: the whole chip moves together, so the MC
+    // tail gets close(r) to the corner.
+    let correlated = CholeskySampler::new(&GaussianKernel::new(0.05), setup.locations()).expect("c");
+    let run_corr = run_monte_carlo(&setup.timer, &correlated, &config).expect("mc");
+    let gap_corr = ss - quantile(run_corr.worst_delays(), 0.999);
+
+    // Nearly independent gates: per-path averaging shrinks the spread,
+    // leaving the corner much more pessimistic.
+    let independent =
+        CholeskySampler::new(&GaussianKernel::new(150.0), setup.locations()).expect("c");
+    let run_ind = run_monte_carlo(&setup.timer, &independent, &config).expect("mc");
+    let gap_ind = ss - quantile(run_ind.worst_delays(), 0.999);
+
+    assert!(
+        gap_ind > gap_corr,
+        "independent-variation gap {gap_ind} should exceed correlated gap {gap_corr}"
+    );
+}

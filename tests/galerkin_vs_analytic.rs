@@ -1,0 +1,159 @@
+//! Ground-truth validation of the paper's numerical method: the Galerkin
+//! KLE of the separable L1 exponential kernel (paper eq. 5) must converge
+//! to the analytic eigenvalues of Ghanem & Spanos [8] — products of 1-D
+//! closed-form eigenvalues. This is the strongest end-to-end check the
+//! literature offers for a 2-D KLE solver.
+
+use klest::core::analytic::separable_2d_eigenvalues;
+use klest::core::{GalerkinKle, KleOptions, QuadratureRule};
+use klest::geometry::Rect;
+use klest::kernels::SeparableExponentialKernel;
+use klest::mesh::MeshBuilder;
+
+fn galerkin_eigenvalues(max_area: f64, rule: QuadratureRule, c: f64) -> Vec<f64> {
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area(max_area)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("meshing succeeds");
+    let kernel = SeparableExponentialKernel::new(c);
+    let options = KleOptions {
+        quadrature: rule,
+        max_eigenpairs: 30,
+        ..KleOptions::default()
+    };
+    GalerkinKle::compute(&mesh, &kernel, options)
+        .expect("KLE computes")
+        .eigenvalues()[..10]
+        .to_vec()
+}
+
+#[test]
+fn matches_analytic_spectrum_within_discretization_error() {
+    let c = 1.0;
+    let exact = separable_2d_eigenvalues(c, 1.0, 10);
+    let approx = galerkin_eigenvalues(0.01, QuadratureRule::Centroid, c);
+    for (i, (a, e)) in approx.iter().zip(&exact).enumerate() {
+        let rel = (a - e).abs() / e;
+        assert!(
+            rel < 0.05,
+            "eigenvalue {i}: galerkin {a} vs analytic {e} ({:.2}% off)",
+            100.0 * rel
+        );
+    }
+}
+
+#[test]
+fn refinement_converges_linearly_in_h() {
+    // Theorem 2: integration (and hence eigenvalue) error is linear in
+    // the mesh size h. Halving the area (h / sqrt(2)) must shrink the
+    // top-eigenvalue error.
+    let c = 1.0;
+    let exact = separable_2d_eigenvalues(c, 1.0, 1)[0];
+    let err = |area: f64| {
+        let l = galerkin_eigenvalues(area, QuadratureRule::Centroid, c)[0];
+        (l - exact).abs()
+    };
+    let coarse = err(0.08);
+    let medium = err(0.02);
+    let fine = err(0.005);
+    assert!(
+        medium < coarse,
+        "refinement must reduce error: {coarse} -> {medium}"
+    );
+    assert!(fine < medium, "further refinement: {medium} -> {fine}");
+}
+
+#[test]
+fn higher_order_quadrature_is_more_accurate_on_coarse_mesh() {
+    // The paper notes higher-order rules may be used; on a coarse mesh
+    // they must beat the centroid rule against the analytic spectrum.
+    let c = 1.0;
+    let exact = separable_2d_eigenvalues(c, 1.0, 5);
+    let sum_err = |rule: QuadratureRule| -> f64 {
+        galerkin_eigenvalues(0.1, rule, c)
+            .iter()
+            .zip(&exact)
+            .take(5)
+            .map(|(a, e)| (a - e).abs() / e)
+            .sum()
+    };
+    let centroid = sum_err(QuadratureRule::Centroid);
+    let seven = sum_err(QuadratureRule::SevenPoint);
+    assert!(
+        seven < centroid,
+        "7-point error {seven} must beat centroid {centroid} on a coarse mesh"
+    );
+}
+
+#[test]
+fn degenerate_eigenvalue_multiplicities() {
+    // The separable kernel's spectrum has known degeneracy structure:
+    // λ(i,j) = λᵢλⱼ, so the (1,2)/(2,1) pair is doubly degenerate.
+    let approx = galerkin_eigenvalues(0.01, QuadratureRule::Centroid, 1.0);
+    let rel_gap = (approx[1] - approx[2]).abs() / approx[1];
+    assert!(
+        rel_gap < 0.02,
+        "2nd/3rd eigenvalues should be near-degenerate, gap {:.3}%",
+        100.0 * rel_gap
+    );
+}
+
+#[test]
+fn trace_identity_holds_for_separable_kernel() {
+    // Σ λ = |D| = 4 exactly in the discrete Galerkin system.
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area(0.02)
+        .build()
+        .expect("meshing succeeds");
+    let kle = GalerkinKle::compute(
+        &mesh,
+        &SeparableExponentialKernel::new(1.3),
+        KleOptions::default(),
+    )
+    .expect("KLE computes");
+    let total: f64 = kle.eigenvalues().iter().sum();
+    assert!((total - 4.0).abs() < 1e-9, "trace = {total}");
+}
+
+#[test]
+fn kle_on_l_shaped_die() {
+    // The method is domain-agnostic: on an L-shaped die the discrete
+    // trace identity Σ λ = |D| still holds with |D| the polygon area,
+    // and the expansion still samples a correlated field.
+    use klest::geometry::{Point2, Polygon};
+    use klest::kernels::GaussianKernel;
+    let poly = Polygon::new(vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(2.0, 0.0),
+        Point2::new(2.0, 1.0),
+        Point2::new(1.0, 1.0),
+        Point2::new(1.0, 2.0),
+        Point2::new(0.0, 2.0),
+    ])
+    .expect("valid polygon");
+    let mesh = klest::mesh::MeshBuilder::polygon(poly)
+        .max_area(0.02)
+        .min_angle_degrees(25.0)
+        .build()
+        .expect("L-shaped mesh");
+    let kle = GalerkinKle::compute(&mesh, &GaussianKernel::new(2.0), KleOptions::default())
+        .expect("KLE on polygon");
+    let trace: f64 = kle.eigenvalues().iter().sum();
+    assert!(
+        (trace - mesh.total_area()).abs() < 1e-9,
+        "trace {trace} vs area {}",
+        mesh.total_area()
+    );
+    assert!((mesh.total_area() - 3.0).abs() < 0.05);
+    // Sampling through the same machinery.
+    use klest::core::KleSampler;
+    let sampler = KleSampler::new(&kle, &mesh, 10).expect("sampler");
+    let field = sampler
+        .realize(&[0.5, -0.2, 0.1, 0.9, -0.4, 0.3, 0.0, -0.7, 0.2, 0.6])
+        .expect("field");
+    assert_eq!(field.len(), mesh.len());
+    // Gates in the notch are rejected, gates in the L are located.
+    assert!(sampler.triangles_of(&[Point2::new(1.5, 1.5)]).is_err());
+    assert!(sampler.triangles_of(&[Point2::new(0.5, 1.5)]).is_ok());
+}

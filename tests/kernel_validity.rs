@@ -1,0 +1,66 @@
+//! The two validity oracles must agree: the empirical Gram-matrix check
+//! (finite subsets, paper eq. 2) and the spectral-density check
+//! (Bochner / [1]) classify the same kernels as valid and invalid.
+
+use klest::geometry::Rect;
+use klest::kernels::spectral::check_spectral_validity;
+use klest::kernels::validity::check_positive_semidefinite;
+use klest::kernels::{
+    BlendKernel, CovarianceKernel, ExponentialKernel, GaussianKernel, LinearConeKernel,
+    MaternKernel,
+};
+
+fn both_verdicts<K: CovarianceKernel>(kernel: &K) -> (bool, bool) {
+    let empirical = check_positive_semidefinite(kernel, Rect::unit_die(), 48, 10, 2024);
+    let spectral = check_spectral_validity(kernel, 25.0, 80).expect("isotropic");
+    (empirical.is_psd(), spectral.is_valid())
+}
+
+#[test]
+fn oracles_agree_on_valid_kernels() {
+    let gaussian = GaussianKernel::with_correlation_distance(1.0);
+    let exponential = ExponentialKernel::new(1.5);
+    let matern = MaternKernel::new(3.0, 2.0).expect("valid params");
+    let blend = BlendKernel::new(gaussian, exponential, 0.5).expect("valid weight");
+    for (name, (emp, spec)) in [
+        ("gaussian", both_verdicts(&gaussian)),
+        ("exponential", both_verdicts(&exponential)),
+        ("matern", both_verdicts(&matern)),
+        ("blend", both_verdicts(&blend)),
+    ] {
+        assert!(emp, "{name}: empirical check failed");
+        assert!(spec, "{name}: spectral check failed");
+    }
+}
+
+#[test]
+fn oracles_agree_on_the_invalid_cone() {
+    let cone = LinearConeKernel::new(0.8);
+    let (emp, spec) = both_verdicts(&cone);
+    assert!(!emp, "empirical check should reject the 2-D cone");
+    assert!(!spec, "spectral check should reject the 2-D cone");
+}
+
+#[test]
+fn invalid_kernel_fails_the_pipeline_loudly() {
+    // The failure mode the paper's kernel-fitting avoids: feeding the
+    // cone to Algorithm 1 hits a non-PD covariance during Cholesky.
+    use klest::geometry::Point2;
+    use klest::ssta::CholeskySampler;
+    let cone = LinearConeKernel::new(0.8);
+    // Enough well-spread points to expose the indefiniteness.
+    let mut locs = Vec::new();
+    for i in 0..12 {
+        for j in 0..12 {
+            locs.push(Point2::new(
+                -0.95 + 1.9 * i as f64 / 11.0,
+                -0.95 + 1.9 * j as f64 / 11.0,
+            ));
+        }
+    }
+    let result = CholeskySampler::new(&cone, &locs);
+    assert!(
+        result.is_err(),
+        "cone covariance should not be Cholesky-factorable on a 12x12 lattice"
+    );
+}

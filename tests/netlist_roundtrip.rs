@@ -1,0 +1,61 @@
+//! Cross-crate integration: netlist serialisation is timing-transparent.
+//! A circuit written to the bench dialect and parsed back must produce
+//! bit-identical STA results (same placement, library, parameters).
+
+use klest::circuit::{generate, parse_netlist, write_netlist, GeneratorConfig, Placement, WireModel};
+use klest::prelude::*;
+
+#[test]
+fn netlist_roundtrip_preserves_timing_exactly() {
+    let original = generate("rt", GeneratorConfig::combinational(400, 13)).expect("gen");
+    let text = write_netlist(&original);
+    let parsed = parse_netlist("rt", &text).expect("parse");
+
+    let timer_a = {
+        let p = Placement::recursive_bisection(&original);
+        Timer::new(&original, &p, WireModel::default(), GateLibrary::default_90nm())
+    };
+    let timer_b = {
+        let p = Placement::recursive_bisection(&parsed);
+        Timer::new(&parsed, &p, WireModel::default(), GateLibrary::default_90nm())
+    };
+    let params = vec![ParamVector::new([0.4, -0.2, 0.7, 0.1]); original.node_count()];
+    let ra = timer_a.analyze(&params);
+    let rb = timer_b.analyze(&params);
+    assert_eq!(ra.worst_delay(), rb.worst_delay());
+    assert_eq!(ra.arrivals(), rb.arrivals());
+    assert_eq!(ra.slews(), rb.slews());
+}
+
+#[test]
+fn netlist_file_roundtrip() {
+    // Through an actual file, exercising the full save/load story.
+    let circuit = generate("file", GeneratorConfig::combinational(120, 5)).expect("gen");
+    let dir = std::env::temp_dir().join("klest_netlist_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("file.bench");
+    std::fs::write(&path, write_netlist(&circuit)).expect("write");
+    let text = std::fs::read_to_string(&path).expect("read");
+    let back = parse_netlist("file", &text).expect("parse");
+    assert_eq!(back.gate_count(), circuit.gate_count());
+    assert_eq!(back.outputs(), circuit.outputs());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn prelude_supports_the_whole_flow() {
+    // Compile-time check that the prelude is sufficient for the
+    // quickstart flow, plus a tiny end-to-end run.
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area(0.1)
+        .build()
+        .expect("mesh");
+    let kernel = GaussianKernel::new(2.0);
+    let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).expect("kle");
+    let r = kle.select_rank(&TruncationCriterion::default());
+    let circuit = generate("p", GeneratorConfig::combinational(50, 1)).expect("gen");
+    let setup = CircuitSetup::prepare(&circuit);
+    let sampler = KleFieldSampler::new(&kle, &mesh, r, setup.locations()).expect("sampler");
+    let run = run_monte_carlo(&setup.timer, &sampler, &McConfig::new(50, 2)).expect("mc");
+    assert_eq!(run.worst_delays().len(), 50);
+}

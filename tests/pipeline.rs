@@ -1,0 +1,131 @@
+//! End-to-end integration: the full paper pipeline on real workloads,
+//! with assertions mirroring the paper's headline numbers (scaled to CI
+//! budgets).
+
+use klest::circuit::{benchmark_scaled, BenchmarkId};
+use klest::core::{GalerkinKle, KleOptions, TruncationCriterion};
+use klest::geometry::{Point2, Rect};
+use klest::kernels::{CovarianceKernel, GaussianKernel};
+use klest::mesh::MeshBuilder;
+use klest::ssta::experiments::{compare_methods, CircuitSetup, KleContext};
+use klest::ssta::McConfig;
+
+/// The paper's mesh configuration selects r = 25 with the λ-tail
+/// criterion — the number the whole evaluation is built around.
+#[test]
+fn paper_configuration_selects_rank_25() {
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(0.001)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("paper mesh builds");
+    assert!(
+        (1300..=1800).contains(&mesh.len()),
+        "paper-regime mesh size, got {}",
+        mesh.len()
+    );
+    let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).expect("KLE");
+    let r = kle.select_rank(&TruncationCriterion::default());
+    assert_eq!(r, 25, "the paper's criterion selects r = 25");
+    assert!(kle.variance_captured(r) > 0.98);
+}
+
+/// Fig. 3(b)'s claim at our scale: kernel reconstruction from 25
+/// eigenpairs has small maximum error on the x = 0 slice.
+#[test]
+fn kernel_reconstruction_error_is_small() {
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(0.001)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("mesh");
+    let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).expect("KLE");
+    let locator = mesh.locator();
+    let i0 = locator.locate(Point2::ORIGIN).expect("center");
+    let mut max_err: f64 = 0.0;
+    for t in 0..mesh.len() {
+        let approx = kle.reconstruct_kernel_between_triangles(i0, t, 25);
+        let exact = kernel.eval(mesh.centroids()[i0], mesh.centroids()[t]);
+        max_err = max_err.max((approx - exact).abs());
+    }
+    assert!(
+        max_err < 0.02,
+        "x = 0 reconstruction error {max_err} (paper: 0.016)"
+    );
+}
+
+/// A scaled Table 1 row: the KLE STA agrees with the reference Monte
+/// Carlo within the paper's error regime, on a real benchmark circuit.
+#[test]
+fn table1_row_c1908_scaled() {
+    let circuit = benchmark_scaled(BenchmarkId::C1908, 0.5).expect("benchmark");
+    assert_eq!(circuit.gate_count(), 440);
+    let setup = CircuitSetup::prepare(&circuit);
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::coarse(&kernel).expect("KLE context");
+    let config = McConfig::new(1500, 2008).with_threads(2);
+    let cmp = compare_methods(&setup, &kernel, &ctx, &config).expect("comparison");
+    assert!(cmp.e_mu_pct < 0.5, "e_mu = {:.3}% (paper: <= 0.109%)", cmp.e_mu_pct);
+    assert!(
+        cmp.e_sigma_pct < 15.0,
+        "e_sigma = {:.3}% (paper <= 5.7% at 100K samples; we run 1.5K)",
+        cmp.e_sigma_pct
+    );
+    assert!(cmp.mc.mean > 0.0);
+    assert!(cmp.kle.std_dev > 0.0);
+}
+
+/// The dimensionality-reduction claim end to end: Algorithm 2 uses r
+/// RVs per parameter where Algorithm 1 uses N_g, and the speedup grows
+/// with circuit size.
+#[test]
+fn speedup_grows_with_circuit_size() {
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::coarse(&kernel).expect("KLE context");
+    let config = McConfig::new(400, 5).with_threads(2);
+    let mut speedups = Vec::new();
+    for (id, scale) in [
+        (BenchmarkId::C880, 0.5),
+        (BenchmarkId::C3540, 0.5),
+        (BenchmarkId::S9234, 0.5),
+    ] {
+        let circuit = benchmark_scaled(id, scale).expect("benchmark");
+        let setup = CircuitSetup::prepare(&circuit);
+        let cmp = compare_methods(&setup, &kernel, &ctx, &config).expect("comparison");
+        speedups.push((cmp.gates, cmp.speedup));
+    }
+    assert!(
+        speedups[2].1 > speedups[0].1,
+        "speedup must grow with N_g: {speedups:?}"
+    );
+}
+
+/// Primary-output σ error (the Fig. 6 metric) decreases as the KLE rank
+/// grows — the monotone trend of Fig. 6(a).
+#[test]
+fn fig6a_error_decreases_with_rank() {
+    use klest::ssta::{run_monte_carlo, CholeskySampler, KleFieldSampler};
+    let circuit = benchmark_scaled(BenchmarkId::C1908, 0.3).expect("benchmark");
+    let setup = CircuitSetup::prepare(&circuit);
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::coarse(&kernel).expect("KLE context");
+    let config = McConfig::new(3000, 77).with_threads(2);
+    let reference = {
+        let s = CholeskySampler::new(&kernel, setup.locations()).expect("cholesky");
+        run_monte_carlo(&setup.timer, &s, &config).expect("mc")
+    };
+    let err_at = |r: usize| {
+        let s = KleFieldSampler::new(&ctx.kle, &ctx.mesh, r, setup.locations()).expect("kle");
+        let run = run_monte_carlo(&setup.timer, &s, &config).expect("mc");
+        run.output_stats().avg_sigma_error_pct(reference.output_stats())
+    };
+    let e1 = err_at(1);
+    let e25 = err_at(25);
+    assert!(
+        e25 < e1,
+        "rank 25 error {e25}% must beat rank 1 error {e1}%"
+    );
+    assert!(e25 < 10.0, "rank-25 sigma error {e25}% too large");
+}

@@ -1,0 +1,55 @@
+//! Scientific hygiene for the synthetic-benchmark substitution: the
+//! Table 1 conclusions (tiny e_μ, few-percent e_σ) must hold across
+//! *different* synthetic netlist instances, not just the fixed seeds the
+//! suite ships — otherwise the reproduction would hinge on a lucky
+//! circuit.
+
+use klest::circuit::{generate, GeneratorConfig};
+use klest::kernels::GaussianKernel;
+use klest::ssta::experiments::{compare_methods, CircuitSetup, KleContext};
+use klest::ssta::McConfig;
+
+#[test]
+fn table1_conclusions_hold_across_circuit_instances() {
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::coarse(&kernel).expect("KLE context");
+    for seed in [101u64, 202, 303] {
+        let circuit =
+            generate("robust", GeneratorConfig::combinational(300, seed)).expect("gen");
+        let setup = CircuitSetup::prepare(&circuit);
+        let cmp = compare_methods(
+            &setup,
+            &kernel,
+            &ctx,
+            &McConfig::new(1200, seed ^ 0xf00d).with_threads(2),
+        )
+        .expect("comparison");
+        assert!(
+            cmp.e_mu_pct < 0.6,
+            "seed {seed}: e_mu = {:.3}% out of regime",
+            cmp.e_mu_pct
+        );
+        assert!(
+            cmp.e_sigma_pct < 18.0,
+            "seed {seed}: e_sigma = {:.3}% out of regime",
+            cmp.e_sigma_pct
+        );
+    }
+}
+
+#[test]
+fn sequential_and_combinational_instances_both_work() {
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let ctx = KleContext::coarse(&kernel).expect("KLE context");
+    for config in [
+        GeneratorConfig::combinational(250, 7),
+        GeneratorConfig::sequential(250, 7),
+    ] {
+        let circuit = generate("both", config).expect("gen");
+        let setup = CircuitSetup::prepare(&circuit);
+        let cmp = compare_methods(&setup, &kernel, &ctx, &McConfig::new(800, 5).with_threads(2))
+            .expect("comparison");
+        assert!(cmp.e_mu_pct < 1.0, "e_mu = {:.3}%", cmp.e_mu_pct);
+        assert!(cmp.mc.std_dev > 0.0 && cmp.kle.std_dev > 0.0);
+    }
+}
