@@ -2,7 +2,7 @@
 //! "eigenpair computation takes 11.2s, using Matlab" (one-time setup).
 //! Also the quadrature-order ablation from DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klest_core::{assemble_galerkin, GalerkinKle, KleOptions, QuadratureRule};
 use klest_geometry::Rect;
 use klest_kernels::GaussianKernel;

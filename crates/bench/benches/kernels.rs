@@ -2,7 +2,7 @@
 //! assembly makes O(n²) kernel calls, so per-call cost matters for the
 //! Bessel-family kernels of eq. (6).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use klest_bench::microbench::{criterion_group, criterion_main, Criterion};
 use klest_geometry::Point2;
 use klest_kernels::special::{bessel_k, gamma};
 use klest_kernels::{

@@ -2,7 +2,7 @@
 //! `IndexOfContainingTriangle` ablation the paper alludes to
 //! ("can be made efficient using some space indexing scheme").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klest_geometry::{Point2, Rect};
 use klest_mesh::MeshBuilder;
 use std::hint::black_box;

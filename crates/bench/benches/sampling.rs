@@ -3,15 +3,14 @@
 //! pre-gathered variant (O(N_g·r)) — the mechanism behind Table 1's
 //! speedup column and its small-circuit slowdown.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klest_circuit::{generate, GeneratorConfig, Placement};
 use klest_core::{GalerkinKle, KleOptions};
 use klest_geometry::Rect;
 use klest_kernels::GaussianKernel;
 use klest_mesh::MeshBuilder;
 use klest_ssta::{CholeskySampler, GateFieldSampler, KleFieldSampler, NormalSource};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use klest_rng::{SeedableRng, StdRng};
 use std::hint::black_box;
 
 fn bench_generation(c: &mut Criterion) {

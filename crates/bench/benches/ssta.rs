@@ -1,15 +1,14 @@
 //! Statistical-timing engine benches: the canonical one-pass SSTA vs a
 //! single Monte Carlo iteration, and incremental vs full re-timing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klest_circuit::{generate, GeneratorConfig, NodeId, Placement, WireModel};
 use klest_kernels::GaussianKernel;
 use klest_ssta::canonical::analyze_canonical;
 use klest_ssta::experiments::{CircuitSetup, KleContext};
 use klest_ssta::{KleFieldSampler, NormalSource};
 use klest_sta::{GateLibrary, IncrementalTimer, ParamVector, Timer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use klest_rng::{SeedableRng, StdRng};
 use std::hint::black_box;
 
 fn bench_canonical(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! Timer throughput: one STA sweep per Monte Carlo sample is the shared
 //! cost of both algorithms; its scaling bounds the achievable speedup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klest_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klest_circuit::{generate, GeneratorConfig, Placement, WireModel};
 use klest_sta::{GateLibrary, ParamVector, Timer};
 use std::hint::black_box;

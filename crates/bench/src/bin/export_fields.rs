@@ -13,8 +13,7 @@ use klest_geometry::Rect;
 use klest_kernels::GaussianKernel;
 use klest_mesh::{export, MeshBuilder};
 use klest_ssta::NormalSource;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use klest_rng::{SeedableRng, StdRng};
 use std::fs;
 use std::path::PathBuf;
 

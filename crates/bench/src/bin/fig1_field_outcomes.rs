@@ -17,8 +17,7 @@ use klest_geometry::Rect;
 use klest_kernels::GaussianKernel;
 use klest_mesh::MeshBuilder;
 use klest_ssta::NormalSource;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use klest_rng::{SeedableRng, StdRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse();

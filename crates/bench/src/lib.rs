@@ -4,6 +4,8 @@
 
 use std::collections::HashMap;
 
+pub mod microbench;
+
 /// Minimal `--key value` / `--flag` argument parser for the harness
 /// binaries (no external CLI dependency needed for eight tiny tools).
 #[derive(Debug, Clone)]

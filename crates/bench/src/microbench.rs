@@ -1,0 +1,281 @@
+//! Minimal in-tree micro-benchmark harness with a criterion-shaped API.
+//!
+//! The workspace builds fully offline, so the benches cannot depend on the
+//! `criterion` crate. This module provides the small slice of its API the
+//! bench files use — `Criterion`, `benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `b.iter(..)` and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! calibrate-then-sample timer that reports the median time per iteration.
+//!
+//! Invocation mirrors cargo's conventions: `cargo bench` runs everything;
+//! a positional argument filters benchmarks by substring; `--test` (passed
+//! by `cargo test --benches`) runs each body once without timing.
+
+use std::time::{Duration, Instant};
+
+/// Per-sample time budget used when calibrating iteration counts.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Top-level harness state: CLI filter and test-mode flag.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds the harness from `std::env::args()` (cargo bench passes
+    /// `--bench`, cargo test passes `--test`; a bare argument filters by
+    /// substring).
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            c: self,
+        }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, e.g. `BenchmarkId::new("centroid", mesh.len())`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// A parameter-only id, e.g. `BenchmarkId::from_parameter(gates)`.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample budget.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    c: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`, which receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self.c.selected(&full) {
+            let mut b = Bencher {
+                test_mode: self.c.test_mode,
+                sample_size: self.sample_size,
+                median: None,
+            };
+            f(&mut b);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input, criterion-style.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is
+    /// per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median time per iteration.
+    ///
+    /// In test mode (`--test`) the body runs exactly once, untimed, so
+    /// `cargo test --benches` stays fast while still exercising the code.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Calibrate: one timed call decides how many iterations fill a
+        // sample without starving fast bodies of resolution.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+
+    fn report(&self, id: &str) {
+        match self.median {
+            Some(m) => println!("{id:<55} median {:>12}  ({} samples)", fmt(m), self.sample_size),
+            None if self.test_mode => println!("{id:<55} ok (test mode)"),
+            None => println!("{id:<55} (no measurement: body never called iter)"),
+        }
+    }
+}
+
+/// Human-readable duration with unit scaling.
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs/iter", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s/iter", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($func:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::microbench::Criterion) {
+            $( $func(c); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($name:ident) => {
+        fn main() {
+            let mut c = $crate::microbench::Criterion::from_args();
+            $name(&mut c);
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("centroid", 742).id, "centroid/742");
+        assert_eq!(BenchmarkId::from_parameter(800).id, "800");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut calls = 0;
+        let mut group = BenchmarkGroup {
+            name: "g".into(),
+            sample_size: 20,
+            c: &c,
+        };
+        group.bench_function("once", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let c = Criterion {
+            filter: Some("wanted".into()),
+            test_mode: true,
+        };
+        let mut ran = false;
+        let mut group = BenchmarkGroup {
+            name: "g".into(),
+            sample_size: 20,
+            c: &c,
+        };
+        group.bench_function("other", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn timed_mode_measures_something() {
+        let c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
+        let mut b = Bencher {
+            test_mode: c.test_mode,
+            sample_size: 3,
+            median: None,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.median.is_some());
+    }
+}

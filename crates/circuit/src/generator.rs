@@ -7,8 +7,7 @@
 //! experiment is reproducible.
 
 use crate::{Circuit, CircuitError, GateKind, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use klest_rng::{Rng, SeedableRng, StdRng};
 
 /// Parameters of the synthetic generator.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -56,7 +56,7 @@ impl CircuitStats {
                 }
             }
         }
-        kinds.sort_by(|a, b| b.1.cmp(&a.1));
+        kinds.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         let levels = circuit.levels();
         let depth = levels.iter().copied().max().unwrap_or(0);
         let mut level_profile = vec![0usize; depth + 1];

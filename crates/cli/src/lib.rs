@@ -12,7 +12,7 @@ use klest_kernels::{
     SeparableExponentialKernel,
 };
 use klest_mesh::{export, MeshBuilder};
-use klest_ssta::experiments::{compare_methods, CircuitSetup, KleContext};
+use klest_ssta::experiments::{compare_methods_with_report, CircuitSetup, KleContext};
 use klest_ssta::McConfig;
 use std::io::Write;
 
@@ -137,7 +137,8 @@ pub fn cmd_validate<W: Write>(args: &Args, out: &mut W) -> CliResult {
         args.get("points", 48),
         args.get("trials", 8),
         args.get("seed", 2024),
-    );
+    )
+    .map_err(err)?;
     writeln!(
         out,
         "empirical (Gram matrices): min eigenvalue {:.3e} -> {}",
@@ -219,13 +220,16 @@ pub fn cmd_ssta<W: Write>(args: &Args, out: &mut W) -> CliResult {
     let ctx = KleContext::paper_default(&kernel).map_err(err)?;
     let config = McConfig::new(args.get("samples", 2000), args.get("seed", 2008))
         .with_threads(args.get("threads", klest_bench::default_threads()));
-    let cmp = compare_methods(&setup, &kernel, &ctx, &config).map_err(err)?;
+    let cmp = compare_methods_with_report(&setup, &kernel, &ctx, &config).map_err(err)?;
     writeln!(
         out,
         "{} ({} gates, r = {}): e_mu = {:.3}%, e_sigma = {:.3}%, speedup = {:.2}x",
         cmp.name, cmp.gates, cmp.rank, cmp.e_mu_pct, cmp.e_sigma_pct, cmp.speedup
     )
     .map_err(err)?;
+    if !cmp.degradation.is_clean() {
+        writeln!(out, "degradation: {}", cmp.degradation).map_err(err)?;
+    }
     Ok(())
 }
 

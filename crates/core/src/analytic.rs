@@ -76,7 +76,7 @@ impl Exponential1dKle {
                 parity: Parity::Odd,
             });
         }
-        modes.sort_by(|x, y| y.lambda.partial_cmp(&x.lambda).expect("finite eigenvalues"));
+        modes.sort_by(|x, y| f64::total_cmp(&y.lambda, &x.lambda));
         modes.truncate(count);
         Exponential1dKle { a, c, modes }
     }
@@ -136,7 +136,7 @@ pub fn separable_2d_eigenvalues(c: f64, a: f64, count: usize) -> Vec<f64> {
             products.push(li * lj);
         }
     }
-    products.sort_by(|x, y| y.partial_cmp(x).expect("finite"));
+    products.sort_by(|x, y| f64::total_cmp(y, x));
     products.truncate(count);
     products
 }

@@ -27,6 +27,14 @@ pub enum KleError {
         /// Index of the offending point in the caller's list.
         index: usize,
     },
+    /// A pre-located triangle index exceeds the mesh size (e.g. indices
+    /// computed against a different mesh).
+    TriangleOutOfRange {
+        /// The offending triangle index.
+        index: usize,
+        /// Number of triangles in the mesh.
+        triangles: usize,
+    },
 }
 
 impl fmt::Display for KleError {
@@ -42,6 +50,9 @@ impl fmt::Display for KleError {
             }
             KleError::PointOutsideMesh { index } => {
                 write!(f, "point {index} lies outside the meshed die area")
+            }
+            KleError::TriangleOutOfRange { index, triangles } => {
+                write!(f, "triangle index {index} out of range ({triangles} triangles)")
             }
         }
     }

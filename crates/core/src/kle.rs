@@ -185,6 +185,18 @@ impl GalerkinKle {
             .min(self.retained())
     }
 
+    /// Like [`select_rank`](Self::select_rank), but also reports whether
+    /// the selected rank genuinely meets the tail budget. `false` means
+    /// the criterion saturated (flat spectrum, or the rank was capped by
+    /// the retained eigenvector count) — the r-term expansion does *not*
+    /// cover the requested variance fraction, and callers should degrade
+    /// (e.g. to the full Cholesky reference) rather than trust it.
+    pub fn select_rank_checked(&self, criterion: &TruncationCriterion) -> (usize, bool) {
+        let r = self.select_rank(criterion);
+        let met = criterion.budget_met_with_basis(&self.eigenvalues, self.basis_size(), r);
+        (r, met)
+    }
+
     /// The reconstruction matrix `D_λ = D_r √Λ_r` of eq. (28)
     /// (`n x r`): multiplying a standard-normal `ξ ∈ R^r` yields one field
     /// realisation over the triangles.
@@ -523,6 +535,20 @@ mod tests {
         for (big, small) in map.iter().zip(&map_small) {
             assert!(big >= small);
         }
+    }
+
+    #[test]
+    fn select_rank_checked_reports_budget() {
+        let (_, kle) = small_kle();
+        // The default criterion is satisfiable for a Gaussian kernel.
+        let (r, met) = kle.select_rank_checked(&TruncationCriterion::default());
+        assert_eq!(r, kle.select_rank(&TruncationCriterion::default()));
+        assert!(met, "Gaussian spectrum must meet the 1% budget");
+        // An absurdly tight budget with few computed pairs saturates.
+        let tight = TruncationCriterion::new(3, 1e-12);
+        let (r_tight, met_tight) = kle.select_rank_checked(&tight);
+        assert_eq!(r_tight, 3);
+        assert!(!met_tight, "3 pairs cannot meet a 1e-12 tail budget");
     }
 
     #[test]

@@ -95,19 +95,44 @@ impl KleSampler {
             .collect()
     }
 
+    /// Like [`triangles_of`](Self::triangles_of), but never fails: points
+    /// outside the meshed area are clamped to the triangle with the
+    /// nearest centroid. Returns the triangle indices plus how many
+    /// points needed clamping, so callers can record the degradation.
+    pub fn triangles_of_clamped(&self, points: &[Point2]) -> (Vec<usize>, usize) {
+        let mut clamped = 0usize;
+        let tris = points
+            .iter()
+            .map(|&p| {
+                let (t, was_clamped) = self.locator.locate_or_nearest(p);
+                if was_clamped {
+                    clamped += 1;
+                }
+                t
+            })
+            .collect();
+        (tris, clamped)
+    }
+
     /// Field realisation gathered at pre-located triangles: the per-gate
     /// parameter values of Algorithm 2.
     ///
     /// # Errors
     ///
-    /// [`KleError::SampleDimensionMismatch`] for a wrong-length `ξ`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any triangle index is out of range.
+    /// [`KleError::SampleDimensionMismatch`] for a wrong-length `ξ`;
+    /// [`KleError::TriangleOutOfRange`] if any triangle index exceeds the
+    /// mesh (e.g. indices located against a different mesh).
     pub fn realize_at(&self, xi: &[f64], triangles: &[usize]) -> Result<Vec<f64>, KleError> {
         let field = self.realize(xi)?;
-        Ok(triangles.iter().map(|&t| field[t]).collect())
+        triangles
+            .iter()
+            .map(|&t| {
+                field.get(t).copied().ok_or(KleError::TriangleOutOfRange {
+                    index: t,
+                    triangles: field.len(),
+                })
+            })
+            .collect()
     }
 
     /// The reconstruction matrix `D_λ` (shared with benches that time the
@@ -191,6 +216,41 @@ mod tests {
         // Outside point errors with its index.
         let bad = sampler.triangles_of(&[Point2::ORIGIN, Point2::new(9.0, 9.0)]);
         assert!(matches!(bad, Err(KleError::PointOutsideMesh { index: 1 })));
+    }
+
+    #[test]
+    fn realize_at_rejects_out_of_range_triangle() {
+        let (mesh, _, sampler) = setup(4);
+        let xi = [0.1, 0.2, -0.3, 0.4];
+        let bad = sampler.realize_at(&xi, &[0, mesh.len() + 5]);
+        assert!(matches!(
+            bad,
+            Err(KleError::TriangleOutOfRange { index, .. }) if index == mesh.len() + 5
+        ));
+    }
+
+    #[test]
+    fn triangles_of_clamped_recovers_offdie_points() {
+        let (mesh, _, sampler) = setup(6);
+        let gates = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(9.0, 9.0), // far off-die
+            Point2::new(-0.5, 0.5),
+        ];
+        let (tris, clamped) = sampler.triangles_of_clamped(&gates);
+        assert_eq!(tris.len(), 3);
+        assert_eq!(clamped, 1);
+        // In-die points agree with the strict path.
+        let strict = sampler.triangles_of(&[gates[0], gates[2]]).unwrap();
+        assert_eq!(tris[0], strict[0]);
+        assert_eq!(tris[2], strict[1]);
+        // The clamped point lands on the triangle nearest the top-right
+        // corner.
+        let c = mesh.centroids()[tris[1]];
+        assert!(c.x > 0.5 && c.y > 0.5, "clamped to {c}");
+        // All-inside input clamps nothing.
+        let (_, none) = sampler.triangles_of_clamped(&[gates[0], gates[2]]);
+        assert_eq!(none, 0);
     }
 
     #[test]

@@ -44,6 +44,32 @@ impl TruncationCriterion {
         self.select_with_basis(eigenvalues, eigenvalues.len())
     }
 
+    /// Does rank `r` actually satisfy the tail bound
+    /// `λ_m (n - m) + Σ_{i=r+1}^{m} λ_i ≤ tail_fraction · Σ_{i=1}^{r} λ_i`?
+    ///
+    /// [`select_with_basis`](Self::select_with_basis) returns `m` both
+    /// when the bound is met exactly at `m` and when it cannot be met at
+    /// all (a flat spectrum, or too few computed pairs). This predicate
+    /// distinguishes the two, so callers can degrade gracefully — e.g.
+    /// fall back from the KLE sampler (Algorithm 2) to the full Cholesky
+    /// reference (Algorithm 1) — instead of silently under-covering the
+    /// variance budget.
+    pub fn budget_met_with_basis(&self, eigenvalues: &[f64], n: usize, r: usize) -> bool {
+        if eigenvalues.is_empty() || r == 0 {
+            return false;
+        }
+        let n = n.max(eigenvalues.len());
+        let m = self.computed.min(eigenvalues.len()).max(1);
+        if r > m {
+            return false;
+        }
+        let lam = |i: usize| eigenvalues[i].max(0.0);
+        let uncomputed = lam(m - 1) * (n - m) as f64;
+        let head: f64 = (0..r).map(lam).sum();
+        let tail: f64 = (r..m).map(lam).sum();
+        uncomputed + tail <= self.tail_fraction * head
+    }
+
     /// Like [`select`](Self::select) but with an explicit basis size `n`
     /// (`eigenvalues` may hold only the first `m ≤ n` values — the
     /// paper's exact situation, having "computed only the first 200").
@@ -78,6 +104,32 @@ impl TruncationCriterion {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn budget_met_distinguishes_saturation_from_success() {
+        // Geometric spectrum: the selected rank genuinely meets the bound.
+        let ev: Vec<f64> = (0..100).map(|i| 0.5f64.powi(i)).collect();
+        let crit = TruncationCriterion::new(100, 0.01);
+        let r = crit.select(&ev);
+        assert!(crit.budget_met_with_basis(&ev, ev.len(), r));
+        // One mode short of the selected rank: bound violated.
+        assert!(!crit.budget_met_with_basis(&ev, ev.len(), r - 1));
+        // Flat spectrum: select() saturates at m but the budget is unmet.
+        let flat = vec![1.0; 50];
+        let crit_flat = TruncationCriterion::new(50, 0.01);
+        let r_flat = crit_flat.select(&flat);
+        assert_eq!(r_flat, 50);
+        // Tail within the computed window is empty at r = m = n, so the
+        // bound trivially holds here; shrink m below n to expose the
+        // uncomputed tail.
+        let crit_short = TruncationCriterion::new(10, 0.01);
+        let r_short = crit_short.select_with_basis(&flat, 50);
+        assert_eq!(r_short, 10);
+        assert!(!crit_short.budget_met_with_basis(&flat, 50, r_short));
+        // Degenerate inputs.
+        assert!(!crit.budget_met_with_basis(&[], 0, 1));
+        assert!(!crit.budget_met_with_basis(&ev, ev.len(), 0));
+    }
 
     #[test]
     fn geometric_spectrum_small_rank() {

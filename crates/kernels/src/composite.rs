@@ -327,10 +327,10 @@ mod tests {
         let nugget = NuggetKernel::new(g, 0.2).unwrap();
         let aniso = AnisotropicKernel::stretched(g, 1.0, 2.0).unwrap();
         for (name, report) in [
-            ("blend", check_positive_semidefinite(&blend, Rect::unit_die(), 24, 6, 1)),
-            ("product", check_positive_semidefinite(&product, Rect::unit_die(), 24, 6, 2)),
-            ("nugget", check_positive_semidefinite(&nugget, Rect::unit_die(), 24, 6, 3)),
-            ("aniso", check_positive_semidefinite(&aniso, Rect::unit_die(), 24, 6, 4)),
+            ("blend", check_positive_semidefinite(&blend, Rect::unit_die(), 24, 6, 1).unwrap()),
+            ("product", check_positive_semidefinite(&product, Rect::unit_die(), 24, 6, 2).unwrap()),
+            ("nugget", check_positive_semidefinite(&nugget, Rect::unit_die(), 24, 6, 3).unwrap()),
+            ("aniso", check_positive_semidefinite(&aniso, Rect::unit_die(), 24, 6, 4).unwrap()),
         ] {
             assert!(report.is_psd(), "{name}: min eig {}", report.min_eigenvalue);
         }

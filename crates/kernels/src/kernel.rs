@@ -20,6 +20,11 @@ pub enum KernelError {
         /// The supplied `s`.
         s: f64,
     },
+    /// A validity check or repair was asked to operate on an empty point
+    /// set / matrix.
+    EmptyPointSet,
+    /// A numerical routine failed underneath a kernel operation.
+    Numerical(klest_linalg::LinalgError),
 }
 
 impl fmt::Display for KernelError {
@@ -31,11 +36,21 @@ impl fmt::Display for KernelError {
             KernelError::SmoothnessTooSmall { s } => {
                 write!(f, "Matérn smoothness s must exceed 1, got {s}")
             }
+            KernelError::EmptyPointSet => {
+                write!(f, "kernel validity check needs at least one point")
+            }
+            KernelError::Numerical(e) => write!(f, "numerical failure in kernel routine: {e}"),
         }
     }
 }
 
 impl std::error::Error for KernelError {}
+
+impl From<klest_linalg::LinalgError> for KernelError {
+    fn from(e: klest_linalg::LinalgError) -> Self {
+        KernelError::Numerical(e)
+    }
+}
 
 /// A spatial covariance (equivalently, correlation — parameters are
 /// normalized to unit variance) kernel over the die.

@@ -1,4 +1,4 @@
-//! Empirical positive-semidefiniteness checks.
+//! Empirical positive-semidefiniteness checks and nearest-PSD repair.
 //!
 //! A valid covariance kernel must be non-negative definite over every
 //! finite subset of the die (paper eq. 2). For kernels without a known
@@ -6,12 +6,18 @@
 //! point sets, build the Gram matrix, and inspect its smallest eigenvalue.
 //! [1] uses such checks to demonstrate that the linear cone kernel of
 //! [12] is *invalid* in 2-D — reproduced in this module's tests.
+//!
+//! Discretized kernels can also drift *slightly* indefinite through
+//! fitting error or quadrature asymmetry (the pitfalls catalogued by
+//! Safta & Najm for KLE construction). For those, [`repair_to_psd`]
+//! projects the Gram matrix onto the PSD cone by eigenvalue clamping —
+//! the nearest PSD matrix in Frobenius norm — instead of aborting the
+//! pipeline.
 
-use crate::CovarianceKernel;
+use crate::{CovarianceKernel, KernelError};
 use klest_geometry::{Point2, Rect};
 use klest_linalg::{Matrix, SymmetricEigen};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use klest_rng::{Rng, SeedableRng, StdRng};
 
 /// Result of an empirical kernel-validity check.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,17 +48,21 @@ impl ValidityReport {
 /// (the cone kernel fails with a handful of trials) and gives confidence
 /// for valid ones.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `points_per_trial == 0`.
+/// - [`KernelError::EmptyPointSet`] if `points_per_trial == 0`,
+/// - [`KernelError::Numerical`] if a Gram eigendecomposition fails (e.g.
+///   the kernel produced NaN entries).
 pub fn check_positive_semidefinite<K: CovarianceKernel + ?Sized>(
     kernel: &K,
     domain: Rect,
     points_per_trial: usize,
     trials: usize,
     seed: u64,
-) -> ValidityReport {
-    assert!(points_per_trial > 0, "need at least one point per trial");
+) -> Result<ValidityReport, KernelError> {
+    if points_per_trial == 0 {
+        return Err(KernelError::EmptyPointSet);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut min_eig = f64::INFINITY;
     for _ in 0..trials {
@@ -60,7 +70,7 @@ pub fn check_positive_semidefinite<K: CovarianceKernel + ?Sized>(
             .map(|_| domain.lerp(rng.gen::<f64>(), rng.gen::<f64>()))
             .collect();
         let gram = Matrix::from_fn(pts.len(), pts.len(), |i, j| kernel.eval(pts[i], pts[j]));
-        let eig = SymmetricEigen::new(&gram).expect("gram matrix is square and non-empty");
+        let eig = SymmetricEigen::new(&gram)?;
         let smallest = *eig
             .eigenvalues()
             .last()
@@ -71,12 +81,95 @@ pub fn check_positive_semidefinite<K: CovarianceKernel + ?Sized>(
     // eigenvalues by O(n * eps * ||K||), and ||K|| <= n for a correlation
     // matrix.
     let n = points_per_trial as f64;
-    ValidityReport {
+    Ok(ValidityReport {
         min_eigenvalue: min_eig,
         trials,
         points_per_trial,
         tolerance: 1e-10 * n * n,
+    })
+}
+
+/// Outcome of projecting an indefinite matrix onto the PSD cone.
+#[derive(Debug, Clone)]
+pub struct PsdRepair {
+    /// The repaired (nearest-PSD) matrix.
+    pub matrix: Matrix,
+    /// How many eigenvalues were clamped up to zero.
+    pub clamped: usize,
+    /// The most negative eigenvalue before repair.
+    pub min_eigenvalue_before: f64,
+    /// Frobenius norm of the applied perturbation — for eigenvalue
+    /// clamping this is exactly `sqrt(Σ λᵢ²)` over the clamped λᵢ, the
+    /// smallest possible among all PSD projections.
+    pub frobenius_delta: f64,
+}
+
+/// Projects symmetric `gram` onto the PSD cone if (and only if) it is
+/// indefinite beyond `tolerance`.
+///
+/// Returns `Ok(None)` when the matrix is already PSD to within
+/// `tolerance` — the repair is a guaranteed no-op on healthy inputs.
+/// Otherwise the negative part of the spectrum is clamped to zero and the
+/// matrix rebuilt as `Q max(Λ, 0) Qᵀ` (the nearest PSD matrix in
+/// Frobenius norm), with the perturbation size recorded in the returned
+/// [`PsdRepair`].
+///
+/// # Errors
+///
+/// - [`KernelError::EmptyPointSet`] for an empty matrix,
+/// - [`KernelError::Numerical`] if the eigendecomposition fails (bad
+///   shape, NaN entries).
+pub fn repair_to_psd(gram: &Matrix, tolerance: f64) -> Result<Option<PsdRepair>, KernelError> {
+    if gram.rows() == 0 || gram.cols() == 0 {
+        return Err(KernelError::EmptyPointSet);
     }
+    let eig = SymmetricEigen::new(gram)?;
+    let min_before = *eig
+        .eigenvalues()
+        .last()
+        .expect("at least one eigenvalue");
+    if min_before >= -tolerance.abs() {
+        return Ok(None);
+    }
+    let n = gram.rows();
+    let mut clamped = 0usize;
+    let mut delta_sq = 0.0;
+    let clamped_values: Vec<f64> = eig
+        .eigenvalues()
+        .iter()
+        .map(|&l| {
+            if l < 0.0 {
+                clamped += 1;
+                delta_sq += l * l;
+                0.0
+            } else {
+                l
+            }
+        })
+        .collect();
+    // Rebuild Q max(Λ,0) Qᵀ and re-symmetrize against rounding.
+    let q = eig.eigenvectors();
+    let mut scaled = q.clone();
+    for i in 0..n {
+        let row = scaled.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v *= clamped_values[j];
+        }
+    }
+    let mut repaired = scaled.mul(&q.transpose())?;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (repaired[(i, j)] + repaired[(j, i)]);
+            repaired[(i, j)] = avg;
+            repaired[(j, i)] = avg;
+        }
+    }
+    Ok(Some(PsdRepair {
+        matrix: repaired,
+        clamped,
+        min_eigenvalue_before: min_before,
+        frobenius_delta: delta_sq.sqrt(),
+    }))
 }
 
 #[cfg(test)]
@@ -87,7 +180,7 @@ mod tests {
     #[test]
     fn gaussian_is_psd() {
         let k = GaussianKernel::new(2.0);
-        let report = check_positive_semidefinite(&k, Rect::unit_die(), 24, 8, 7);
+        let report = check_positive_semidefinite(&k, Rect::unit_die(), 24, 8, 7).unwrap();
         assert!(report.is_psd(), "min eig = {}", report.min_eigenvalue);
         assert_eq!(report.trials, 8);
         assert_eq!(report.points_per_trial, 24);
@@ -96,14 +189,14 @@ mod tests {
     #[test]
     fn exponential_is_psd() {
         let k = ExponentialKernel::new(1.0);
-        let report = check_positive_semidefinite(&k, Rect::unit_die(), 24, 8, 11);
+        let report = check_positive_semidefinite(&k, Rect::unit_die(), 24, 8, 11).unwrap();
         assert!(report.is_psd(), "min eig = {}", report.min_eigenvalue);
     }
 
     #[test]
     fn matern_is_psd() {
         let k = MaternKernel::new(2.0, 2.0).unwrap();
-        let report = check_positive_semidefinite(&k, Rect::unit_die(), 20, 6, 13);
+        let report = check_positive_semidefinite(&k, Rect::unit_die(), 20, 6, 13).unwrap();
         assert!(report.is_psd(), "min eig = {}", report.min_eigenvalue);
     }
 
@@ -112,7 +205,7 @@ mod tests {
         // The claim of [1] that motivates the whole kernel-fitting story:
         // the linear cone is not a valid 2-D covariance.
         let k = LinearConeKernel::new(0.6);
-        let report = check_positive_semidefinite(&k, Rect::unit_die(), 60, 12, 3);
+        let report = check_positive_semidefinite(&k, Rect::unit_die(), 60, 12, 3).unwrap();
         assert!(
             !report.is_psd(),
             "cone kernel unexpectedly looked PSD (min eig = {})",
@@ -123,15 +216,68 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let k = GaussianKernel::new(1.0);
-        let a = check_positive_semidefinite(&k, Rect::unit_die(), 10, 3, 42);
-        let b = check_positive_semidefinite(&k, Rect::unit_die(), 10, 3, 42);
+        let a = check_positive_semidefinite(&k, Rect::unit_die(), 10, 3, 42).unwrap();
+        let b = check_positive_semidefinite(&k, Rect::unit_die(), 10, 3, 42).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic]
-    fn zero_points_panics() {
+    fn zero_points_is_typed_error() {
         let k = GaussianKernel::new(1.0);
-        let _ = check_positive_semidefinite(&k, Rect::unit_die(), 0, 1, 0);
+        assert!(matches!(
+            check_positive_semidefinite(&k, Rect::unit_die(), 0, 1, 0),
+            Err(KernelError::EmptyPointSet)
+        ));
+    }
+
+    #[test]
+    fn repair_is_noop_on_psd_matrix() {
+        let k = GaussianKernel::new(1.5);
+        let pts: Vec<Point2> = (0..12)
+            .map(|i| {
+                let t = i as f64 / 12.0;
+                Point2::new(-1.0 + 2.0 * (t * 7.0).fract(), -1.0 + 2.0 * (t * 3.0).fract())
+            })
+            .collect();
+        let gram = Matrix::from_fn(12, 12, |i, j| k.eval(pts[i], pts[j]));
+        assert!(repair_to_psd(&gram, 1e-8).unwrap().is_none());
+    }
+
+    #[test]
+    fn repair_clamps_indefinite_matrix() {
+        // Symmetric, eigenvalues 3 and -1: clearly indefinite.
+        let a = Matrix::from_rows(&[[1.0, 2.0].as_slice(), [2.0, 1.0].as_slice()]).unwrap();
+        let repair = repair_to_psd(&a, 1e-12).unwrap().expect("indefinite");
+        assert_eq!(repair.clamped, 1);
+        assert!((repair.min_eigenvalue_before + 1.0).abs() < 1e-12);
+        // The perturbation equals the clamped eigenvalue magnitude.
+        assert!((repair.frobenius_delta - 1.0).abs() < 1e-12);
+        // Repaired matrix is PSD.
+        let eig = SymmetricEigen::new(&repair.matrix).unwrap();
+        assert!(*eig.eigenvalues().last().unwrap() >= -1e-12);
+        // And it is exactly the Frobenius-nearest projection: distance to
+        // the original equals the recorded delta.
+        let diff = repair.matrix.sub(&a).unwrap();
+        let dist: f64 = diff
+            .as_slice()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt();
+        assert!((dist - repair.frobenius_delta).abs() < 1e-10);
+    }
+
+    #[test]
+    fn repair_rejects_empty_and_nan() {
+        assert!(matches!(
+            repair_to_psd(&Matrix::zeros(0, 0), 1e-12),
+            Err(KernelError::EmptyPointSet)
+        ));
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            repair_to_psd(&a, 1e-12),
+            Err(KernelError::Numerical(_))
+        ));
     }
 }

@@ -34,6 +34,9 @@ pub struct SymmetricEigen {
     values: Vec<f64>,
     /// Column `j` is the eigenvector for `values[j]`.
     vectors: Matrix,
+    /// True when the QL iteration failed to converge and the cyclic
+    /// Jacobi fallback produced the decomposition instead.
+    used_fallback: bool,
 }
 
 impl SymmetricEigen {
@@ -41,12 +44,18 @@ impl SymmetricEigen {
     ///
     /// Only symmetry up to rounding is assumed; the strictly lower triangle
     /// is used where the algorithm reads one of the two mirrored entries.
+    /// If the implicit-QL iteration exhausts its budget, the slower but
+    /// unconditionally convergent cyclic Jacobi solver takes over; check
+    /// [`used_fallback`](SymmetricEigen::used_fallback) to observe that
+    /// degradation.
     ///
     /// # Errors
     ///
     /// - [`LinalgError::NotSquare`] / [`LinalgError::Empty`] for bad shapes,
-    /// - [`LinalgError::NoConvergence`] if QL exceeds its iteration budget
-    ///   (does not happen for finite symmetric input in practice).
+    /// - [`LinalgError::NonFinite`] if any entry is NaN or infinite,
+    /// - [`LinalgError::NoConvergence`] if both QL and the Jacobi fallback
+    ///   exceed their iteration budgets (does not happen for finite
+    ///   symmetric input in practice).
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
@@ -57,14 +66,33 @@ impl SymmetricEigen {
         if n == 0 {
             return Err(LinalgError::Empty);
         }
+        for i in 0..n {
+            for (j, &v) in a.row(i).iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(LinalgError::NonFinite { row: i, col: j });
+                }
+            }
+        }
         let mut z = a.clone();
         let mut d = vec![0.0; n];
         let mut e = vec![0.0; n];
         tred2(&mut z, &mut d, &mut e);
-        tql2(&mut d, &mut e, &mut z)?;
-        // Sort eigenpairs by descending eigenvalue.
+        let used_fallback = match tql2(&mut d, &mut e, &mut z) {
+            Ok(()) => false,
+            Err(LinalgError::NoConvergence { .. }) => {
+                // Degradation path: cyclic Jacobi converges unconditionally
+                // for finite symmetric input, at higher cost.
+                let (values, vectors) = crate::jacobi::jacobi_eigen(a)?;
+                d.copy_from_slice(&values);
+                z = vectors;
+                true
+            }
+            Err(other) => return Err(other),
+        };
+        // Sort eigenpairs by descending eigenvalue. total_cmp keeps the
+        // sort well-defined even if a rogue NaN slips through the solver.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("eigenvalues are finite"));
+        order.sort_by(|&i, &j| f64::total_cmp(&d[j], &d[i]));
         let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
         let mut vectors = Matrix::zeros(n, n);
         for (new_col, &old_col) in order.iter().enumerate() {
@@ -72,7 +100,17 @@ impl SymmetricEigen {
                 vectors[(row, new_col)] = z[(row, old_col)];
             }
         }
-        Ok(SymmetricEigen { values, vectors })
+        Ok(SymmetricEigen {
+            values,
+            vectors,
+            used_fallback,
+        })
+    }
+
+    /// True when the decomposition came from the cyclic Jacobi fallback
+    /// after the QL iteration failed to converge.
+    pub fn used_fallback(&self) -> bool {
+        self.used_fallback
     }
 
     /// Eigenvalues in descending order.
@@ -397,6 +435,32 @@ mod tests {
         let v0 = eig.eigenvector(0);
         let v1 = eig.eigenvector(1);
         assert!(vecops::dot(&v0, &v1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_poisoned_input_returns_typed_error() {
+        // Regression: the eigenvalue sort used partial_cmp + expect, so a
+        // NaN reaching it panicked. NaN must now surface as a typed error
+        // at the input gate, never a panic.
+        let mut a =
+            Matrix::from_rows(&[[2.0, 1.0].as_slice(), [1.0, 2.0].as_slice()]).unwrap();
+        a[(0, 1)] = f64::NAN;
+        match SymmetricEigen::new(&a) {
+            Err(LinalgError::NonFinite { row: 0, col: 1 }) => {}
+            other => panic!("expected NonFinite error, got {other:?}"),
+        }
+        a[(0, 1)] = f64::INFINITY;
+        assert!(matches!(
+            SymmetricEigen::new(&a),
+            Err(LinalgError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn healthy_input_does_not_use_fallback() {
+        let a = Matrix::from_rows(&[[2.0, 1.0].as_slice(), [1.0, 2.0].as_slice()]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!(!eig.used_fallback());
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub enum LinalgError {
         /// The value found.
         value: f64,
     },
+    /// A matrix entry is NaN or infinite where finite input is required.
+    NonFinite {
+        /// Row of the first offending entry.
+        row: usize,
+        /// Column of the first offending entry.
+        col: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -63,6 +70,9 @@ impl fmt::Display for LinalgError {
             LinalgError::Empty => write!(f, "matrix must be non-empty"),
             LinalgError::NonPositiveEntry { index, value } => {
                 write!(f, "entry {index} must be positive, got {value}")
+            }
+            LinalgError::NonFinite { row, col } => {
+                write!(f, "matrix entry ({row}, {col}) is not finite")
             }
         }
     }

@@ -1,0 +1,152 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! Slower than the Householder + QL pipeline in [`crate::eigen`]
+//! (O(n³) per sweep with a handful of sweeps, against one-shot
+//! tridiagonalisation), but unconditionally convergent for finite
+//! symmetric input: every rotation strictly shrinks the off-diagonal
+//! Frobenius norm. That makes it the designated fallback when the
+//! implicit-QL iteration exhausts its budget on a pathological spectrum —
+//! the eigensolver degradation path of the fault-tolerance layer.
+
+use crate::{LinalgError, Matrix};
+
+/// Maximum number of full cyclic sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the eigendecomposition of symmetric `a` by cyclic Jacobi
+/// rotations. Returns `(eigenvalues, eigenvector_columns)`, unsorted.
+///
+/// The caller is expected to have validated shape and finiteness (this is
+/// an internal engine for [`crate::SymmetricEigen`]).
+///
+/// # Errors
+///
+/// [`LinalgError::NoConvergence`] if the off-diagonal mass has not reached
+/// round-off level after [`MAX_SWEEPS`] sweeps — which for finite
+/// symmetric input does not happen in practice.
+pub(crate) fn jacobi_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), LinalgError> {
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    // Convergence floor scaled to the matrix magnitude.
+    let norm: f64 = (0..n)
+        .map(|i| (0..n).map(|j| m[(i, j)] * m[(i, j)]).sum::<f64>())
+        .sum::<f64>()
+        .sqrt();
+    let tol = f64::EPSILON * norm.max(f64::MIN_POSITIVE);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .map(|i| ((i + 1)..n).map(|j| m[(i, j)] * m[(i, j)]).sum::<f64>())
+            .sum::<f64>()
+            .sqrt();
+        if off <= tol {
+            let values = (0..n).map(|i| m[(i, i)]).collect();
+            return Ok((values, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                // Classic two-sided rotation annihilating m[p][q].
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + theta.hypot(1.0))
+                } else {
+                    -1.0 / (-theta + theta.hypot(1.0))
+                };
+                let c = 1.0 / t.hypot(1.0);
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { index: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    #[test]
+    fn diagonalizes_known_matrix() {
+        let a = Matrix::from_rows(&[[2.0, 1.0].as_slice(), [1.0, 2.0].as_slice()]).unwrap();
+        let (values, vectors) = jacobi_eigen(&a).unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!((sorted[0] - 1.0).abs() < 1e-12);
+        assert!((sorted[1] - 3.0).abs() < 1e-12);
+        // Columns satisfy A v = λ v.
+        for j in 0..2 {
+            let v: Vec<f64> = (0..2).map(|i| vectors[(i, j)]).collect();
+            let av = a.mul_vec(&v).unwrap();
+            for (x, y) in av.iter().zip(&v) {
+                assert!((x - values[j] * y).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormal_vectors_on_random_symmetric() {
+        let n = 16;
+        let mut seed = 7u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let x = rnd();
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let (values, vectors) = jacobi_eigen(&a).unwrap();
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+        for i in 0..n {
+            let vi: Vec<f64> = (0..n).map(|k| vectors[(k, i)]).collect();
+            assert!((vecops::norm(&vi) - 1.0).abs() < 1e-9);
+            for j in (i + 1)..n {
+                let vj: Vec<f64> = (0..n).map(|k| vectors[(k, j)]).collect();
+                assert!(vecops::dot(&vi, &vj).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_already_diagonal() {
+        let a = Matrix::from_rows(&[
+            [5.0, 0.0, 0.0].as_slice(),
+            [0.0, -2.0, 0.0].as_slice(),
+            [0.0, 0.0, 1.0].as_slice(),
+        ])
+        .unwrap();
+        let (values, _) = jacobi_eigen(&a).unwrap();
+        let mut sorted = values;
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![-2.0, 1.0, 5.0]);
+    }
+}

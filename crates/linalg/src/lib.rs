@@ -32,6 +32,7 @@ mod cholesky;
 mod eigen;
 mod error;
 mod gep;
+mod jacobi;
 mod lanczos;
 mod matrix;
 pub mod vecops;

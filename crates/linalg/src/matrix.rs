@@ -225,13 +225,13 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let chunk = self.rows.div_ceil(threads);
         let cols = self.cols;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (block, out_block) in self
                 .data
                 .chunks(chunk * cols)
                 .zip(out.data.chunks_mut(chunk * rhs.cols))
             {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (a_row, out_row) in
                         block.chunks(cols).zip(out_block.chunks_mut(rhs.cols))
                     {
@@ -247,8 +247,7 @@ impl Matrix {
                     }
                 });
             }
-        })
-        .expect("matmul worker panicked");
+        });
         Ok(out)
     }
 

@@ -101,6 +101,31 @@ impl TriangleLocator {
         None
     }
 
+    /// Like [`locate`](Self::locate), but never fails: a point outside the
+    /// mesh (a gate placed off-die, or a query lost to floating-point
+    /// sliver gaps between triangles) is clamped to the triangle with the
+    /// nearest centroid. Returns the triangle index and whether clamping
+    /// occurred, so callers can record the degradation instead of
+    /// panicking mid-simulation.
+    pub fn locate_or_nearest(&self, p: Point2) -> (usize, bool) {
+        if let Some(i) = self.locate(p) {
+            return (i, false);
+        }
+        // O(n) scan over centroids; only taken on the (rare) miss path.
+        let mut best = 0usize;
+        let mut best_d2 = f64::INFINITY;
+        for (i, &[a, b, c]) in self.triangles.iter().enumerate() {
+            let cx = (a.x + b.x + c.x) / 3.0;
+            let cy = (a.y + b.y + c.y) / 3.0;
+            let d2 = (p.x - cx).powi(2) + (p.y - cy).powi(2);
+            if d2 < best_d2 {
+                best_d2 = d2;
+                best = i;
+            }
+        }
+        (best, true)
+    }
+
     /// Grid dimensions `(nx, ny)`, for diagnostics.
     pub fn grid_dims(&self) -> (usize, usize) {
         (self.nx, self.ny)
@@ -178,6 +203,38 @@ mod tests {
             let i = loc.locate(p).expect("boundary point must be found");
             assert!(m.triangle(i).contains(p));
         }
+    }
+
+    #[test]
+    fn locate_or_nearest_matches_locate_inside() {
+        let m = mesh();
+        let loc = m.locator();
+        for &c in m.centroids().iter().take(50) {
+            let (i, clamped) = loc.locate_or_nearest(c);
+            assert!(!clamped);
+            assert_eq!(Some(i), loc.locate(c));
+        }
+    }
+
+    #[test]
+    fn locate_or_nearest_clamps_outside_points() {
+        let m = mesh();
+        let loc = m.locator();
+        // Far off-die: must clamp to the triangle nearest the approach
+        // direction, and report the clamp.
+        let (i, clamped) = loc.locate_or_nearest(Point2::new(5.0, 0.2));
+        assert!(clamped);
+        let c = m.centroids()[i];
+        // The chosen centroid must be the true nearest one.
+        let d2 = |q: Point2| (5.0 - q.x).powi(2) + (0.2 - q.y).powi(2);
+        let best = m
+            .centroids()
+            .iter()
+            .map(|&q| d2(q))
+            .fold(f64::INFINITY, f64::min);
+        assert!((d2(c) - best).abs() < 1e-12);
+        // Nearest triangle to a point right of the die hugs the x = 1 edge.
+        assert!(c.x > 0.5, "clamped to {c}, expected near right edge");
     }
 
     #[test]

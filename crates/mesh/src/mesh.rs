@@ -23,6 +23,23 @@ pub enum MeshError {
     },
     /// The mesh ended up empty (degenerate domain).
     EmptyMesh,
+    /// A triangle has (numerically) zero or non-finite area — a sliver
+    /// that would poison the mass matrix `Φ` (paper eq. 18).
+    DegenerateTriangle {
+        /// Index of the offending triangle.
+        index: usize,
+        /// Its signed area.
+        area: f64,
+    },
+    /// A triangle references a vertex index outside the point list.
+    InvalidVertexIndex {
+        /// Index of the offending triangle.
+        triangle: usize,
+        /// The out-of-range vertex index.
+        vertex: usize,
+        /// Number of points available.
+        points: usize,
+    },
 }
 
 impl fmt::Display for MeshError {
@@ -35,6 +52,17 @@ impl fmt::Display for MeshError {
                 write!(f, "invalid mesh constraint {name} = {value}")
             }
             MeshError::EmptyMesh => write!(f, "triangulation produced no triangles"),
+            MeshError::DegenerateTriangle { index, area } => {
+                write!(f, "triangle {index} is degenerate (area {area:e})")
+            }
+            MeshError::InvalidVertexIndex {
+                triangle,
+                vertex,
+                points,
+            } => write!(
+                f,
+                "triangle {triangle} references vertex {vertex} but only {points} points exist"
+            ),
         }
     }
 }
@@ -78,7 +106,12 @@ impl Mesh {
     ///
     /// # Errors
     ///
-    /// [`MeshError::EmptyMesh`] if there are no triangles.
+    /// - [`MeshError::EmptyMesh`] if there are no triangles,
+    /// - [`MeshError::InvalidVertexIndex`] if a triangle references a
+    ///   vertex outside the point list,
+    /// - [`MeshError::DegenerateTriangle`] if a triangle has zero or
+    ///   non-finite area (a sliver would put a zero on the diagonal of
+    ///   the mass matrix `Φ` and break the eigenproblem reduction).
     pub fn from_parts_with_boundary(
         domain: Rect,
         boundary: Option<Polygon>,
@@ -91,10 +124,23 @@ impl Mesh {
         let mut centroids = Vec::with_capacity(triangles.len());
         let mut areas = Vec::with_capacity(triangles.len());
         let mut max_side = 0.0f64;
-        for &[a, b, c] in &triangles {
+        for (i, &[a, b, c]) in triangles.iter().enumerate() {
+            for v in [a, b, c] {
+                if v >= points.len() {
+                    return Err(MeshError::InvalidVertexIndex {
+                        triangle: i,
+                        vertex: v,
+                        points: points.len(),
+                    });
+                }
+            }
             let t = Triangle::new(points[a], points[b], points[c]);
+            let area = t.area();
+            if !(area.is_finite() && area > 0.0) {
+                return Err(MeshError::DegenerateTriangle { index: i, area });
+            }
             centroids.push(t.centroid());
-            areas.push(t.area());
+            areas.push(area);
             max_side = max_side.max(t.longest_side());
         }
         Ok(Mesh {
@@ -252,6 +298,49 @@ mod tests {
         let j = m.locate_linear(Point2::new(0.1, 0.5)).unwrap();
         assert!(m.triangle(j).contains(Point2::new(0.1, 0.5)));
         assert!(m.locate_linear(Point2::new(2.0, 2.0)).is_none());
+    }
+
+    #[test]
+    fn degenerate_triangle_rejected() {
+        // Three collinear points: zero area.
+        let points = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.5),
+            Point2::new(1.0, 1.0),
+        ];
+        let e = Mesh::from_parts(Rect::unit_die(), points, vec![[0, 1, 2]]);
+        assert!(matches!(
+            e.unwrap_err(),
+            MeshError::DegenerateTriangle { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn non_finite_vertex_rejected() {
+        let points = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(f64::NAN, 0.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let e = Mesh::from_parts(Rect::unit_die(), points, vec![[0, 1, 2]]);
+        assert!(matches!(
+            e.unwrap_err(),
+            MeshError::DegenerateTriangle { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_vertex_index_rejected() {
+        let points = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        let e = Mesh::from_parts(Rect::unit_die(), points, vec![[0, 1, 7]]);
+        assert_eq!(
+            e.unwrap_err(),
+            MeshError::InvalidVertexIndex {
+                triangle: 0,
+                vertex: 7,
+                points: 2
+            }
+        );
     }
 
     #[test]

@@ -255,8 +255,7 @@ pub fn analyze_canonical(
 mod tests {
     use super::*;
     use crate::{NormalSource, SstaError};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use klest_rng::{SeedableRng, StdRng};
 
     #[test]
     fn erf_and_cdf_reference_values() {

@@ -1,0 +1,225 @@
+//! Degradation accounting: every numerical repair or fallback the
+//! pipeline applies is recorded here, so a run that survived bad inputs
+//! says *how* it survived.
+//!
+//! The policy (see DESIGN.md, "Error taxonomy & degradation policy"):
+//! malformed-but-plausible inputs get typed errors; *numerically*
+//! marginal inputs get repaired with the smallest perturbation that
+//! restores the required property, and the repair is reported — never
+//! silent, never a panic. On healthy inputs every repair in this module
+//! is a guaranteed no-op and the report stays clean.
+
+use std::fmt;
+
+/// One repair or fallback applied somewhere in the KLE→SSTA pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradationEvent {
+    /// An indefinite Gram/covariance matrix was projected onto the PSD
+    /// cone by eigenvalue clamping (`klest_kernels::validity::repair_to_psd`).
+    PsdRepaired {
+        /// Number of eigenvalues clamped up to zero.
+        clamped: usize,
+        /// Frobenius norm of the applied perturbation.
+        frobenius_delta: f64,
+    },
+    /// Cholesky failed and succeeded only after adding `epsilon · tr(K)/n`
+    /// to the diagonal.
+    CholeskyJitter {
+        /// The relative jitter that finally factored.
+        epsilon: f64,
+        /// How many ladder rungs were tried (including the successful one).
+        attempts: usize,
+    },
+    /// The whole jitter ladder failed; sampling switched to the
+    /// eigendecomposition factor `L = Q √max(Λ, 0)`.
+    EigenSamplerFallback {
+        /// Most negative eigenvalue of the covariance (clamped to zero).
+        min_eigenvalue: f64,
+    },
+    /// The tridiagonal QL eigensolver did not converge and the cyclic
+    /// Jacobi fallback was used instead.
+    EigenSolverFallback,
+    /// The truncation criterion saturated: rank `rank` does not actually
+    /// cover the requested variance budget.
+    TruncationBudgetUnmet {
+        /// The (saturated) rank that was selected.
+        rank: usize,
+        /// Number of computed eigenpairs available to the criterion.
+        computed: usize,
+    },
+    /// Algorithm 2 (KLE) was abandoned for this run and Algorithm 1
+    /// (full Cholesky) used instead.
+    KleDegradedToCholesky {
+        /// Why the KLE path was rejected.
+        reason: &'static str,
+    },
+    /// Gate locations outside the meshed die were clamped to the
+    /// nearest-centroid triangle instead of aborting.
+    PointsClamped {
+        /// How many locations needed clamping.
+        count: usize,
+    },
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationEvent::PsdRepaired {
+                clamped,
+                frobenius_delta,
+            } => write!(
+                f,
+                "indefinite matrix repaired: {clamped} eigenvalue(s) clamped, ‖ΔK‖_F = {frobenius_delta:.3e}"
+            ),
+            DegradationEvent::CholeskyJitter { epsilon, attempts } => write!(
+                f,
+                "Cholesky needed diagonal jitter ε = {epsilon:.1e} ({attempts} attempt(s))"
+            ),
+            DegradationEvent::EigenSamplerFallback { min_eigenvalue } => write!(
+                f,
+                "Cholesky ladder exhausted; eigendecomposition sampler used (λ_min = {min_eigenvalue:.3e})"
+            ),
+            DegradationEvent::EigenSolverFallback => {
+                write!(f, "QL eigensolver did not converge; Jacobi fallback used")
+            }
+            DegradationEvent::TruncationBudgetUnmet { rank, computed } => write!(
+                f,
+                "truncation budget unmet at rank {rank} ({computed} eigenpairs computed)"
+            ),
+            DegradationEvent::KleDegradedToCholesky { reason } => {
+                write!(f, "KLE sampler degraded to full Cholesky: {reason}")
+            }
+            DegradationEvent::PointsClamped { count } => {
+                write!(f, "{count} gate location(s) clamped to nearest triangle")
+            }
+        }
+    }
+}
+
+/// Accumulated degradation events for one pipeline run.
+///
+/// Constructed empty, passed `&mut` through setup paths that can repair,
+/// and surfaced by the CLI / experiment harnesses. An empty report is the
+/// healthy-input contract: the `*_with_report` constructors are bitwise
+/// identical to their strict counterparts when nothing is recorded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationReport {
+    events: Vec<DegradationEvent>,
+}
+
+impl DegradationReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: DegradationEvent) {
+        self.events.push(event);
+    }
+
+    /// No repairs or fallbacks happened.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the report holds no events (mirrors [`is_clean`](Self::is_clean)).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[DegradationEvent] {
+        &self.events
+    }
+
+    /// Appends all of `other`'s events.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        self.events.extend(other.events.iter().cloned());
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "no degradation");
+        }
+        writeln!(f, "{} degradation event(s):", self.events.len())?;
+        for e in &self.events {
+            writeln!(f, "  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_roundtrip() {
+        let r = DegradationReport::new();
+        assert!(r.is_clean());
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.to_string(), "no degradation");
+    }
+
+    #[test]
+    fn records_and_displays_events() {
+        let mut r = DegradationReport::new();
+        r.record(DegradationEvent::CholeskyJitter {
+            epsilon: 1e-10,
+            attempts: 2,
+        });
+        r.record(DegradationEvent::PointsClamped { count: 3 });
+        assert!(!r.is_clean());
+        assert_eq!(r.len(), 2);
+        let s = r.to_string();
+        assert!(s.contains("jitter"));
+        assert!(s.contains("3 gate location(s)"));
+        let mut merged = DegradationReport::new();
+        merged.merge(&r);
+        assert_eq!(merged, r);
+    }
+
+    #[test]
+    fn event_messages_are_specific() {
+        for (e, needle) in [
+            (
+                DegradationEvent::PsdRepaired {
+                    clamped: 2,
+                    frobenius_delta: 0.1,
+                },
+                "clamped",
+            ),
+            (
+                DegradationEvent::EigenSamplerFallback {
+                    min_eigenvalue: -0.5,
+                },
+                "eigendecomposition",
+            ),
+            (DegradationEvent::EigenSolverFallback, "Jacobi"),
+            (
+                DegradationEvent::TruncationBudgetUnmet {
+                    rank: 60,
+                    computed: 60,
+                },
+                "rank 60",
+            ),
+            (
+                DegradationEvent::KleDegradedToCholesky {
+                    reason: "budget unmet",
+                },
+                "budget unmet",
+            ),
+        ] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

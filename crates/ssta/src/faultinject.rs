@@ -1,0 +1,147 @@
+//! Fault injection for robustness testing: deliberately broken kernels,
+//! matrices, meshes and placements.
+//!
+//! Every generator here produces an input that is *plausible* — right
+//! types, right shapes — but numerically or geometrically hostile: an
+//! indefinite kernel, a NaN-poisoned Gram matrix, a sliver triangle, a
+//! gate placed off-die. The integration suite (`tests/fault_injection.rs`)
+//! drives the pipeline with these and asserts the contract of DESIGN.md's
+//! degradation policy: a typed error or a recorded repair, never a panic.
+
+use klest_geometry::{Point2, Rect};
+use klest_kernels::CovarianceKernel;
+use klest_linalg::Matrix;
+
+/// An indefinite "kernel": `K(x, y) = 1 − d·‖x−y‖` without the cone's
+/// clamp at zero, so distant pairs go *negative* — grossly violating
+/// positive semidefiniteness on any spread-out point set.
+#[derive(Debug, Clone, Copy)]
+pub struct IndefiniteKernel {
+    /// Slope `d` of the linear decay.
+    pub slope: f64,
+}
+
+impl CovarianceKernel for IndefiniteKernel {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        1.0 - self.slope * x.distance(y)
+    }
+    fn name(&self) -> &str {
+        "fault:indefinite"
+    }
+}
+
+/// A kernel returning NaN for every distinct pair — models a fitted
+/// kernel whose parameter table was corrupted. The diagonal stays 1 so
+/// shape checks pass and the poison reaches the numerics.
+#[derive(Debug, Clone, Copy)]
+pub struct NanKernel;
+
+impl CovarianceKernel for NanKernel {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        if x == y {
+            1.0
+        } else {
+            f64::NAN
+        }
+    }
+    fn name(&self) -> &str {
+        "fault:nan"
+    }
+}
+
+/// A *barely* indefinite kernel: unit correlation everywhere but a
+/// diagonal deficit, putting the Gram's smallest eigenvalue a hair below
+/// zero — deep enough to defeat the construction nugget, shallow enough
+/// that a jitter rung repairs it. Exercises the middle of the Cholesky
+/// retry ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct NearSingularKernel {
+    /// How far the diagonal sits below 1 (e.g. `5e-8`).
+    pub deficit: f64,
+}
+
+impl CovarianceKernel for NearSingularKernel {
+    fn eval(&self, x: Point2, y: Point2) -> f64 {
+        if x == y {
+            1.0 - self.deficit
+        } else {
+            1.0
+        }
+    }
+    fn name(&self) -> &str {
+        "fault:near-singular"
+    }
+}
+
+/// A symmetric matrix with a NaN planted at `(row, col)` (mirrored), the
+/// rest a well-conditioned diagonal-dominant pattern.
+pub fn nan_poisoned_matrix(n: usize, row: usize, col: usize) -> Matrix {
+    let mut m = Matrix::from_fn(n, n, |i, j| if i == j { 2.0 } else { 0.1 });
+    m[(row, col)] = f64::NAN;
+    m[(col, row)] = f64::NAN;
+    m
+}
+
+/// Raw triangulation parts containing one zero-area (collinear) triangle:
+/// feeding these to `Mesh::from_parts` must yield a typed
+/// `DegenerateTriangle` error.
+pub fn degenerate_mesh_parts() -> (Rect, Vec<Point2>, Vec<[usize; 3]>) {
+    let points = vec![
+        Point2::new(-1.0, -1.0),
+        Point2::new(1.0, -1.0),
+        Point2::new(1.0, 1.0),
+        Point2::new(0.0, 0.0),
+        Point2::new(0.5, 0.5), // collinear with the previous and next
+        Point2::new(1.0, 1.0),
+    ];
+    let triangles = vec![[0, 1, 2], [3, 4, 5]];
+    (Rect::unit_die(), points, triangles)
+}
+
+/// Gate placements with a fraction of locations pushed off the unit die:
+/// index 0 stays inside, odd indices are displaced far outside.
+pub fn offdie_locations(count: usize) -> Vec<Point2> {
+    (0..count)
+        .map(|i| {
+            let t = i as f64 / count.max(1) as f64;
+            if i % 2 == 1 {
+                Point2::new(3.0 + t, -4.0)
+            } else {
+                Point2::new(-0.8 + 1.6 * t, 0.3 - 0.6 * t)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indefinite_kernel_goes_negative() {
+        let k = IndefiniteKernel { slope: 1.0 };
+        assert_eq!(k.eval(Point2::ORIGIN, Point2::ORIGIN), 1.0);
+        assert!(k.eval(Point2::new(-1.0, -1.0), Point2::new(1.0, 1.0)) < -1.0);
+    }
+
+    #[test]
+    fn nan_kernel_poisons_offdiagonal_only() {
+        let k = NanKernel;
+        assert_eq!(k.eval(Point2::ORIGIN, Point2::ORIGIN), 1.0);
+        assert!(k.eval(Point2::ORIGIN, Point2::new(0.1, 0.0)).is_nan());
+    }
+
+    #[test]
+    fn generators_have_expected_shapes() {
+        let m = nan_poisoned_matrix(4, 0, 2);
+        assert!(m[(0, 2)].is_nan() && m[(2, 0)].is_nan());
+        assert_eq!(m[(1, 1)], 2.0);
+        let (_, pts, tris) = degenerate_mesh_parts();
+        assert_eq!(tris.len(), 2);
+        assert!(pts.len() >= 6);
+        let locs = offdie_locations(7);
+        assert_eq!(locs.len(), 7);
+        assert!(locs.iter().any(|p| p.x > 2.0));
+        assert!(Rect::unit_die().contains(locs[0]));
+    }
+}

@@ -13,7 +13,7 @@ use crate::{GateFieldSampler, NormalSource, SstaError};
 use klest_geometry::{Point2, Rect};
 use klest_kernels::CovarianceKernel;
 use klest_linalg::{Matrix, SymmetricEigen};
-use rand::rngs::StdRng;
+use klest_rng::StdRng;
 
 /// Grid-PCA sampler: Algorithm 1's accuracy model with Algorithm 2's
 /// dimensionality, at the cost of grid-discretisation artefacts (every
@@ -150,7 +150,7 @@ impl GateFieldSampler for GridPcaSampler {
 mod tests {
     use super::*;
     use klest_kernels::GaussianKernel;
-    use rand::SeedableRng;
+    use klest_rng::SeedableRng;
 
     fn probe_locations() -> Vec<Point2> {
         vec![

@@ -44,8 +44,10 @@
 #![deny(missing_docs)]
 
 pub mod canonical;
+mod degradation;
 mod error;
 pub mod experiments;
+pub mod faultinject;
 mod grid_model;
 mod mc;
 mod normal;
@@ -55,6 +57,7 @@ mod samplers;
 mod stats;
 pub mod validation;
 
+pub use degradation::{DegradationEvent, DegradationReport};
 pub use error::SstaError;
 pub use grid_model::GridPcaSampler;
 pub use mc::{run_monte_carlo, run_monte_carlo_per_param, McConfig, McRun, N_PARAMS};

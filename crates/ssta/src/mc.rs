@@ -2,8 +2,7 @@
 
 use crate::{GateFieldSampler, NormalSource, OutputStats, SstaError, SummaryStats};
 use klest_sta::{ParamVector, Timer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use klest_rng::{SeedableRng, StdRng};
 use std::time::{Duration, Instant};
 
 /// Number of independent statistical parameters per gate
@@ -168,7 +167,7 @@ pub fn run_monte_carlo_per_param(
     }
 
     let antithetic = config.antithetic;
-    let mut results: Vec<(Vec<f64>, OutputStats, Vec<usize>)> = Vec::with_capacity(threads);
+    let mut results: Vec<WorkerOutput> = Vec::with_capacity(threads);
     if threads == 1 {
         results.push(worker(
             timer,
@@ -179,17 +178,15 @@ pub fn run_monte_carlo_per_param(
             antithetic,
         ));
     } else {
-        let mut slots: Vec<Option<(Vec<f64>, OutputStats, Vec<usize>)>> =
-            (0..threads).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        let mut slots: Vec<Option<WorkerOutput>> = (0..threads).map(|_| None).collect();
+        std::thread::scope(|scope| {
             for (t, (slot, &share)) in slots.iter_mut().zip(shares.iter()).enumerate() {
                 let seed = config.seed.wrapping_add(0x100_0003u64.wrapping_mul(t as u64 + 1));
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = Some(worker(timer, samplers, seed, share, n_outputs, antithetic));
                 });
             }
-        })
-        .expect("Monte Carlo worker panicked");
+        });
         results.extend(slots.into_iter().map(|s| s.expect("worker completed")));
     }
 
@@ -212,6 +209,9 @@ pub fn run_monte_carlo_per_param(
     })
 }
 
+/// Per-worker results: worst delays, per-output stats, criticality counts.
+type WorkerOutput = (Vec<f64>, OutputStats, Vec<usize>);
+
 /// One worker's share of the Monte Carlo loop.
 fn worker(
     timer: &Timer,
@@ -220,7 +220,7 @@ fn worker(
     samples: usize,
     n_outputs: usize,
     antithetic: bool,
-) -> (Vec<f64>, OutputStats, Vec<usize>) {
+) -> WorkerOutput {
     let n = timer.node_count();
     let mut normals = NormalSource::new(StdRng::seed_from_u64(seed));
     let mut fields = vec![vec![0.0; n]; N_PARAMS];

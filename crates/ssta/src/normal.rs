@@ -2,7 +2,7 @@
 //! `rand` RNG — `rand` 0.8 ships only uniform distributions, and pulling
 //! in `rand_distr` for one function is not worth the dependency.
 
-use rand::Rng;
+use klest_rng::Rng;
 
 /// A source of N(0, 1) variates wrapping an RNG.
 ///
@@ -53,8 +53,7 @@ impl<R: Rng> NormalSource<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use klest_rng::{SeedableRng, StdRng};
 
     #[test]
     fn moments_match_standard_normal() {

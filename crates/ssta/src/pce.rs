@@ -16,8 +16,7 @@
 use crate::{GateFieldSampler, KleFieldSampler, NormalSource, SstaError};
 use klest_linalg::{Cholesky, Matrix};
 use klest_sta::{ParamVector, Timer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use klest_rng::{SeedableRng, StdRng};
 
 /// A fitted diagonal-quadratic Hermite surrogate of the worst delay.
 #[derive(Debug, Clone)]

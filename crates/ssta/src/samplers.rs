@@ -1,12 +1,12 @@
 //! The two correlated-field sample generators of the paper's Sec. 5.1.
 
-use crate::{NormalSource, SstaError};
+use crate::{DegradationEvent, DegradationReport, NormalSource, SstaError};
 use klest_core::{GalerkinKle, KleSampler};
 use klest_geometry::Point2;
 use klest_kernels::CovarianceKernel;
-use klest_linalg::{Cholesky, Matrix};
+use klest_linalg::{Cholesky, Matrix, SymmetricEigen};
 use klest_mesh::Mesh;
-use rand::rngs::StdRng;
+use klest_rng::StdRng;
 
 /// Diagonal "nugget" added to the gate covariance matrix so that gates
 /// sharing (or nearly sharing) a placement cell do not make the matrix
@@ -46,20 +46,37 @@ impl<S: GateFieldSampler + ?Sized> GateFieldSampler for &S {
     }
 }
 
+/// Escalating relative jitter ladder tried by
+/// [`CholeskySampler::new_with_report`] before giving up on Cholesky
+/// entirely: each rung adds `ε · tr(K)/n` to the diagonal.
+const JITTER_LADDER: [f64; 4] = [1e-12, 1e-10, 1e-8, 1e-6];
+
+/// The correlating factor backing a [`CholeskySampler`]: the Cholesky
+/// `L` on the happy path, or the eigendecomposition factor
+/// `L = Q √max(Λ, 0)` when the jitter ladder is exhausted.
+#[derive(Debug, Clone)]
+enum Factor {
+    Cholesky(Cholesky),
+    Eigen(Matrix),
+}
+
 /// **Algorithm 1**: the reference sampler. Builds the full `N_g x N_g`
 /// covariance matrix `K_ij = K(g_i, g_j)` from the kernel at the node
 /// locations and Cholesky-factors it once; each realisation correlates a
 /// fresh i.i.d. normal vector.
 #[derive(Debug, Clone)]
 pub struct CholeskySampler {
-    chol: Cholesky,
+    factor: Factor,
 }
 
 impl CholeskySampler {
     /// Builds the covariance matrix at `locations` and factors it.
     ///
     /// A tiny diagonal nugget (1e-8) is added for numerical positive
-    /// definiteness — see DESIGN.md.
+    /// definiteness — see DESIGN.md. This is the *strict* constructor: a
+    /// matrix that still fails to factor is reported as an error, with no
+    /// repair attempted. Use [`new_with_report`](Self::new_with_report)
+    /// for the fault-tolerant path.
     ///
     /// # Errors
     ///
@@ -69,34 +86,111 @@ impl CholeskySampler {
         kernel: &K,
         locations: &[Point2],
     ) -> Result<Self, SstaError> {
+        let cov = Self::covariance(kernel, locations);
+        Ok(CholeskySampler {
+            factor: Factor::Cholesky(Cholesky::new(&cov)?),
+        })
+    }
+
+    /// Fault-tolerant constructor: on Cholesky failure, retries with an
+    /// escalating diagonal jitter (`ε · tr(K)/n` for ε in 1e-12..1e-6),
+    /// and as a last resort switches to the eigendecomposition factor
+    /// `L = Q √max(Λ, 0)` — which correlates against the nearest-PSD
+    /// covariance instead of aborting. Every rung taken is recorded in
+    /// `report`; on healthy inputs this is bitwise identical to
+    /// [`new`](Self::new) and records nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`SstaError::Linalg`] only if the final eigendecomposition itself
+    /// fails (NaN-poisoned covariance, i.e. a kernel returning NaN).
+    pub fn new_with_report<K: CovarianceKernel + ?Sized>(
+        kernel: &K,
+        locations: &[Point2],
+        report: &mut DegradationReport,
+    ) -> Result<Self, SstaError> {
+        let cov = Self::covariance(kernel, locations);
+        if let Ok(chol) = Cholesky::new(&cov) {
+            return Ok(CholeskySampler {
+                factor: Factor::Cholesky(chol),
+            });
+        }
+        let n = cov.rows();
+        let mean_diag = (0..n).map(|i| cov[(i, i)]).sum::<f64>() / n.max(1) as f64;
+        for (attempt, &epsilon) in JITTER_LADDER.iter().enumerate() {
+            let jitter = epsilon * mean_diag.abs().max(f64::MIN_POSITIVE);
+            let mut jittered = cov.clone();
+            for i in 0..n {
+                jittered[(i, i)] += jitter;
+            }
+            if let Ok(chol) = Cholesky::new(&jittered) {
+                report.record(DegradationEvent::CholeskyJitter {
+                    epsilon,
+                    attempts: attempt + 1,
+                });
+                return Ok(CholeskySampler {
+                    factor: Factor::Cholesky(chol),
+                });
+            }
+        }
+        // Ladder exhausted: factor against the nearest-PSD covariance via
+        // eigendecomposition. This also surfaces the QL→Jacobi fallback
+        // when the eigensolver itself had to degrade.
+        let eig = SymmetricEigen::new(&cov)?;
+        if eig.used_fallback() {
+            report.record(DegradationEvent::EigenSolverFallback);
+        }
+        let min_eigenvalue = eig.eigenvalues().last().copied().unwrap_or(0.0);
+        let mut l = eig.eigenvectors().clone();
+        for i in 0..n {
+            let row = l.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v *= eig.eigenvalues()[j].max(0.0).sqrt();
+            }
+        }
+        report.record(DegradationEvent::EigenSamplerFallback { min_eigenvalue });
+        Ok(CholeskySampler {
+            factor: Factor::Eigen(l),
+        })
+    }
+
+    fn covariance<K: CovarianceKernel + ?Sized>(kernel: &K, locations: &[Point2]) -> Matrix {
         let n = locations.len();
-        let cov = Matrix::from_fn(n, n, |i, j| {
+        Matrix::from_fn(n, n, |i, j| {
             let base = kernel.eval(locations[i], locations[j]);
             if i == j {
                 base + COVARIANCE_NUGGET
             } else {
                 base
             }
-        });
-        Ok(CholeskySampler {
-            chol: Cholesky::new(&cov)?,
         })
     }
 
     /// The Cholesky factorisation (exposed for benches that time setup
-    /// separately).
-    pub fn cholesky(&self) -> &Cholesky {
-        &self.chol
+    /// separately). `None` when the sampler runs on the eigendecomposition
+    /// fallback factor.
+    pub fn cholesky(&self) -> Option<&Cholesky> {
+        match &self.factor {
+            Factor::Cholesky(c) => Some(c),
+            Factor::Eigen(_) => None,
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match &self.factor {
+            Factor::Cholesky(c) => c.dim(),
+            Factor::Eigen(l) => l.rows(),
+        }
     }
 }
 
 impl GateFieldSampler for CholeskySampler {
     fn node_count(&self) -> usize {
-        self.chol.dim()
+        self.dim()
     }
 
     fn random_dims(&self) -> usize {
-        self.chol.dim()
+        self.dim()
     }
 
     fn sample_into(&self, normals: &mut NormalSource<StdRng>, out: &mut [f64]) {
@@ -110,9 +204,16 @@ impl GateFieldSampler for CholeskySampler {
             let mut z = cell.borrow_mut();
             z.resize(out.len(), 0.0);
             normals.fill(&mut z);
-            self.chol
-                .correlate_into(&z, out)
-                .expect("dimensions fixed at construction");
+            match &self.factor {
+                Factor::Cholesky(chol) => chol
+                    .correlate_into(&z, out)
+                    .expect("dimensions fixed at construction"),
+                Factor::Eigen(l) => {
+                    for (i, o) in out.iter_mut().enumerate() {
+                        *o = klest_linalg::vecops::dot(l.row(i), &z);
+                    }
+                }
+            }
         });
     }
 }
@@ -152,6 +253,34 @@ impl KleFieldSampler {
     ) -> Result<Self, SstaError> {
         let sampler = KleSampler::new(kle, mesh, rank)?;
         let node_triangles = sampler.triangles_of(locations)?;
+        Ok(KleFieldSampler {
+            d_lambda: sampler.reconstruction_matrix().clone(),
+            node_triangles,
+            gathered: None,
+        })
+    }
+
+    /// Fault-tolerant constructor: gate locations outside the meshed die
+    /// are clamped to the nearest-centroid triangle (recorded as a
+    /// [`DegradationEvent::PointsClamped`]) instead of failing. On
+    /// all-in-die inputs this is identical to [`new`](Self::new) and
+    /// records nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`SstaError::Kle`] if the rank is out of range.
+    pub fn new_with_report(
+        kle: &GalerkinKle,
+        mesh: &Mesh,
+        rank: usize,
+        locations: &[Point2],
+        report: &mut DegradationReport,
+    ) -> Result<Self, SstaError> {
+        let sampler = KleSampler::new(kle, mesh, rank)?;
+        let (node_triangles, clamped) = sampler.triangles_of_clamped(locations);
+        if clamped > 0 {
+            report.record(DegradationEvent::PointsClamped { count: clamped });
+        }
         Ok(KleFieldSampler {
             d_lambda: sampler.reconstruction_matrix().clone(),
             node_triangles,
@@ -254,7 +383,7 @@ mod tests {
     use klest_geometry::Rect;
     use klest_kernels::GaussianKernel;
     use klest_mesh::MeshBuilder;
-    use rand::SeedableRng;
+    use klest_rng::SeedableRng;
 
     fn grid_locations(side: usize) -> Vec<Point2> {
         let mut pts = Vec::new();
@@ -388,6 +517,83 @@ mod tests {
                 assert!((x - y).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn fault_tolerant_cholesky_is_noop_on_healthy_kernel() {
+        let kernel = GaussianKernel::new(2.0);
+        let locs = grid_locations(4);
+        let mut report = crate::DegradationReport::new();
+        let tolerant = CholeskySampler::new_with_report(&kernel, &locs, &mut report).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(tolerant.cholesky().is_some());
+        // Bitwise identical to the strict path.
+        let strict = CholeskySampler::new(&kernel, &locs).unwrap();
+        let mut a = NormalSource::new(StdRng::seed_from_u64(5));
+        let mut b = NormalSource::new(StdRng::seed_from_u64(5));
+        let mut out_a = vec![0.0; locs.len()];
+        let mut out_b = vec![0.0; locs.len()];
+        strict.sample_into(&mut a, &mut out_a);
+        tolerant.sample_into(&mut b, &mut out_b);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn cholesky_ladder_falls_back_to_eigen_on_indefinite_kernel() {
+        // An unclamped linear decay goes negative at large separation:
+        // its Gram on spread points is strongly indefinite, beyond any
+        // jitter rung. The strict path refuses; the tolerant path
+        // degrades to the eigen factor.
+        let kernel = crate::faultinject::IndefiniteKernel { slope: 1.0 };
+        let locs = grid_locations(7);
+        assert!(CholeskySampler::new(&kernel, &locs).is_err());
+        let mut report = crate::DegradationReport::new();
+        let sampler = CholeskySampler::new_with_report(&kernel, &locs, &mut report).unwrap();
+        assert!(report
+            .events()
+            .iter()
+            .any(|e| matches!(e, crate::DegradationEvent::EigenSamplerFallback { .. })));
+        assert!(sampler.cholesky().is_none());
+        assert_eq!(sampler.node_count(), locs.len());
+        // The fallback still samples finite, correlated fields.
+        let mut normals = NormalSource::new(StdRng::seed_from_u64(17));
+        let mut out = vec![0.0; locs.len()];
+        for _ in 0..10 {
+            sampler.sample_into(&mut normals, &mut out);
+            assert!(out.iter().all(|v| v.is_finite()));
+        }
+        // Coincident points are still perfectly correlated under the
+        // clamped covariance.
+        let corr = empirical_corr(&sampler, 0, 0, 500);
+        assert!((corr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kle_sampler_with_report_clamps_offdie_gates() {
+        let kernel = GaussianKernel::new(1.0);
+        let mesh = MeshBuilder::new(Rect::unit_die()).max_area(0.05).build().unwrap();
+        let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        let locs = vec![Point2::new(0.1, 0.1), Point2::new(4.0, 4.0)];
+        // Strict path refuses; tolerant path clamps and records.
+        assert!(KleFieldSampler::new(&kle, &mesh, 10, &locs).is_err());
+        let mut report = crate::DegradationReport::new();
+        let sampler =
+            KleFieldSampler::new_with_report(&kle, &mesh, 10, &locs, &mut report).unwrap();
+        assert_eq!(
+            report.events(),
+            &[crate::DegradationEvent::PointsClamped { count: 1 }]
+        );
+        let mut normals = NormalSource::new(StdRng::seed_from_u64(3));
+        let mut out = vec![0.0; 2];
+        sampler.sample_into(&mut normals, &mut out);
+        assert!(out.iter().all(|v| v.is_finite()));
+        // All-inside gates: identical to strict, nothing recorded.
+        let inside = grid_locations(3);
+        let mut clean = crate::DegradationReport::new();
+        let s =
+            KleFieldSampler::new_with_report(&kle, &mesh, 10, &inside, &mut clean).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(s.node_count(), 9);
     }
 
     #[test]

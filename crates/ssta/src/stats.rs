@@ -55,16 +55,19 @@ impl SummaryStats {
 ///
 /// Returns 0 for an empty slice.
 ///
+/// NaN samples sort last (IEEE total order), so a poisoned sample set
+/// yields NaN quantiles near `q = 1` rather than a panic.
+///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(samples: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
     if samples.is_empty() {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

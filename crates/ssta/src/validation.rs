@@ -9,8 +9,7 @@
 use crate::{GateFieldSampler, NormalSource};
 use klest_geometry::Point2;
 use klest_kernels::CovarianceKernel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use klest_rng::{SeedableRng, StdRng};
 
 /// One probe pair's empirical-vs-kernel comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,172 @@
+//! Fault-injection integration suite: drives the KLE → SSTA pipeline with
+//! deliberately hostile inputs from `klest_ssta::faultinject` and asserts
+//! the degradation contract of DESIGN.md — every fault either surfaces as
+//! a typed error or is repaired with a recorded [`DegradationEvent`];
+//! no panic ever escapes a library crate.
+
+use klest_core::{GalerkinKle, KleError, KleOptions};
+use klest_geometry::{Point2, Rect};
+use klest_kernels::validity::repair_to_psd;
+use klest_kernels::GaussianKernel;
+use klest_linalg::{LinalgError, SymmetricEigen};
+use klest_mesh::{Mesh, MeshBuilder, MeshError};
+use klest_rng::{SeedableRng, StdRng};
+use klest_ssta::faultinject::{
+    degenerate_mesh_parts, nan_poisoned_matrix, offdie_locations, IndefiniteKernel, NanKernel,
+    NearSingularKernel,
+};
+use klest_ssta::{
+    CholeskySampler, DegradationEvent, DegradationReport, GateFieldSampler, KleFieldSampler,
+    NormalSource, SstaError,
+};
+
+fn grid(side: usize) -> Vec<Point2> {
+    let mut pts = Vec::new();
+    for i in 0..side {
+        for j in 0..side {
+            pts.push(Point2::new(
+                -0.9 + 1.8 * i as f64 / (side - 1) as f64,
+                -0.9 + 1.8 * j as f64 / (side - 1) as f64,
+            ));
+        }
+    }
+    pts
+}
+
+fn draw_all_finite<S: GateFieldSampler>(sampler: &S, samples: usize) {
+    let mut normals = NormalSource::new(StdRng::seed_from_u64(42));
+    let mut buf = vec![0.0; sampler.node_count()];
+    for _ in 0..samples {
+        sampler.sample_into(&mut normals, &mut buf);
+        assert!(
+            buf.iter().all(|v| v.is_finite()),
+            "sampler produced a non-finite value"
+        );
+    }
+}
+
+fn kle_setup() -> (Mesh, GalerkinKle) {
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area(0.05)
+        .min_angle_degrees(25.0)
+        .build()
+        .expect("unit-die mesh");
+    let kle = GalerkinKle::compute(&mesh, &GaussianKernel::new(1.5), KleOptions::default())
+        .expect("healthy KLE");
+    (mesh, kle)
+}
+
+#[test]
+fn indefinite_kernel_strict_errors_tolerant_degrades() {
+    let kernel = IndefiniteKernel { slope: 1.0 };
+    let locs = grid(7);
+    // Strict constructor: typed error, no repair.
+    assert!(matches!(
+        CholeskySampler::new(&kernel, &locs),
+        Err(SstaError::Linalg(_))
+    ));
+    // Fault-tolerant constructor: eigendecomposition fallback, recorded.
+    let mut report = DegradationReport::new();
+    let sampler = CholeskySampler::new_with_report(&kernel, &locs, &mut report)
+        .expect("eigen fallback must succeed on a finite indefinite matrix");
+    assert!(sampler.cholesky().is_none(), "must run on the eigen factor");
+    assert!(report.events().iter().any(|e| matches!(
+        e,
+        DegradationEvent::EigenSamplerFallback { min_eigenvalue } if *min_eigenvalue < 0.0
+    )));
+    draw_all_finite(&sampler, 50);
+}
+
+#[test]
+fn near_singular_kernel_repaired_by_jitter_rung() {
+    // Diagonal deficit 5e-8 defeats the 1e-8 construction nugget but a
+    // ladder rung repairs it without abandoning Cholesky.
+    let kernel = NearSingularKernel { deficit: 5e-8 };
+    let locs = grid(5);
+    assert!(CholeskySampler::new(&kernel, &locs).is_err());
+    let mut report = DegradationReport::new();
+    let sampler =
+        CholeskySampler::new_with_report(&kernel, &locs, &mut report).expect("jitter repair");
+    assert!(
+        sampler.cholesky().is_some(),
+        "a jitter rung, not the eigen fallback, must repair this"
+    );
+    assert!(report.events().iter().any(|e| matches!(
+        e,
+        DegradationEvent::CholeskyJitter { epsilon, attempts } if *epsilon <= 1e-6 && *attempts >= 1
+    )));
+    draw_all_finite(&sampler, 50);
+}
+
+#[test]
+fn nan_kernel_yields_typed_error_not_panic() {
+    // A NaN-poisoned covariance cannot be repaired by jitter or by the
+    // eigen fallback: the whole ladder must end in a typed error.
+    let kernel = NanKernel;
+    let locs = grid(4);
+    let mut report = DegradationReport::new();
+    let result = CholeskySampler::new_with_report(&kernel, &locs, &mut report);
+    assert!(matches!(
+        result,
+        Err(SstaError::Linalg(LinalgError::NonFinite { .. }))
+    ));
+}
+
+#[test]
+fn nan_poisoned_matrix_rejected_by_eigensolver_and_repair() {
+    let m = nan_poisoned_matrix(6, 1, 4);
+    assert!(matches!(
+        SymmetricEigen::new(&m),
+        Err(LinalgError::NonFinite { .. })
+    ));
+    assert!(repair_to_psd(&m, 1e-10).is_err());
+}
+
+#[test]
+fn degenerate_mesh_rejected_with_typed_error() {
+    let (domain, points, triangles) = degenerate_mesh_parts();
+    let result = Mesh::from_parts(domain, points, triangles);
+    assert!(matches!(
+        result,
+        Err(MeshError::DegenerateTriangle { index: 1, .. })
+    ));
+}
+
+#[test]
+fn offdie_gates_strict_error_tolerant_clamp() {
+    let (mesh, kle) = kle_setup();
+    let rank = kle.retained().min(8);
+    let locs = offdie_locations(6); // odd indices off-die → 3 clamps
+    // Strict path: first off-die gate reported by index.
+    assert!(matches!(
+        KleFieldSampler::new(&kle, &mesh, rank, &locs),
+        Err(SstaError::Kle(KleError::PointOutsideMesh { index: 1 }))
+    ));
+    // Tolerant path: clamped to nearest-centroid triangles, recorded.
+    let mut report = DegradationReport::new();
+    let sampler = KleFieldSampler::new_with_report(&kle, &mesh, rank, &locs, &mut report)
+        .expect("clamping path");
+    assert!(report
+        .events()
+        .iter()
+        .any(|e| matches!(e, DegradationEvent::PointsClamped { count: 3 })));
+    draw_all_finite(&sampler, 50);
+}
+
+#[test]
+fn healthy_inputs_record_no_degradation() {
+    // The repair machinery must be invisible on clean inputs: same
+    // factor as the strict path, empty report.
+    let kernel = GaussianKernel::new(2.0);
+    let locs = grid(5);
+    let mut report = DegradationReport::new();
+    let tolerant = CholeskySampler::new_with_report(&kernel, &locs, &mut report).unwrap();
+    assert!(report.is_clean(), "unexpected events: {report}");
+    assert!(tolerant.cholesky().is_some());
+
+    let (mesh, kle) = kle_setup();
+    let inside: Vec<Point2> = locs.iter().copied().filter(|p| Rect::unit_die().contains(*p)).collect();
+    let mut report = DegradationReport::new();
+    let _ = KleFieldSampler::new_with_report(&kle, &mesh, 5, &inside, &mut report).unwrap();
+    assert!(report.is_clean(), "unexpected events: {report}");
+}

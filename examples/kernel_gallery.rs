@@ -47,7 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Validity: sample Gram matrices and look for negative eigenvalues.
     println!("\nempirical positive-semidefiniteness (48 points x 8 trials):");
     for k in &kernels {
-        let report = check_positive_semidefinite(k.as_ref(), Rect::unit_die(), 48, 8, 99);
+        let report = check_positive_semidefinite(k.as_ref(), Rect::unit_die(), 48, 8, 99)
+            .expect("validity check");
         println!(
             "{:>24}: min eigenvalue {:>12.3e}  -> {}",
             k.name(),

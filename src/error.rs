@@ -1,0 +1,165 @@
+//! Unifying error type for the whole pipeline.
+
+use klest_core::KleError;
+use klest_kernels::KernelError;
+use klest_linalg::LinalgError;
+use klest_mesh::MeshError;
+use klest_ssta::experiments::KleContextError;
+use klest_ssta::SstaError;
+use std::fmt;
+
+/// Any error the kernel → mesh → KLE → SSTA pipeline can produce,
+/// so applications can use one `Result<_, KlestError>` end to end:
+///
+/// ```
+/// use klest::prelude::*;
+/// use klest::KlestError;
+///
+/// fn flow() -> Result<(), KlestError> {
+///     let mesh = MeshBuilder::new(Rect::unit_die()).max_area(0.1).build()?;
+///     let kernel = GaussianKernel::with_correlation_distance(1.0);
+///     let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default())?;
+///     let _ = KleSampler::new(&kle, &mesh, 5)?;
+///     Ok(())
+/// }
+/// # flow().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum KlestError {
+    /// Dense linear algebra failure (factorisation, eigensolve).
+    Linalg(LinalgError),
+    /// Kernel construction or validity failure.
+    Kernel(KernelError),
+    /// Mesh construction failure.
+    Mesh(MeshError),
+    /// KLE computation or sampling failure.
+    Kle(KleError),
+    /// SSTA configuration or sampling failure.
+    Ssta(SstaError),
+}
+
+impl fmt::Display for KlestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KlestError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            KlestError::Kernel(e) => write!(f, "kernel failure: {e}"),
+            KlestError::Mesh(e) => write!(f, "mesh failure: {e}"),
+            KlestError::Kle(e) => write!(f, "KLE failure: {e}"),
+            KlestError::Ssta(e) => write!(f, "SSTA failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KlestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KlestError::Linalg(e) => Some(e),
+            KlestError::Kernel(e) => Some(e),
+            KlestError::Mesh(e) => Some(e),
+            KlestError::Kle(e) => Some(e),
+            KlestError::Ssta(e) => Some(e),
+        }
+    }
+}
+
+impl From<LinalgError> for KlestError {
+    fn from(e: LinalgError) -> Self {
+        KlestError::Linalg(e)
+    }
+}
+
+impl From<KernelError> for KlestError {
+    fn from(e: KernelError) -> Self {
+        KlestError::Kernel(e)
+    }
+}
+
+impl From<MeshError> for KlestError {
+    fn from(e: MeshError) -> Self {
+        KlestError::Mesh(e)
+    }
+}
+
+impl From<KleError> for KlestError {
+    fn from(e: KleError) -> Self {
+        KlestError::Kle(e)
+    }
+}
+
+impl From<SstaError> for KlestError {
+    fn from(e: SstaError) -> Self {
+        KlestError::Ssta(e)
+    }
+}
+
+impl From<KleContextError> for KlestError {
+    fn from(e: KleContextError) -> Self {
+        match e {
+            KleContextError::Mesh(m) => KlestError::Mesh(m),
+            KleContextError::Ssta(s) => KlestError::Ssta(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: KlestError = LinalgError::Empty.into();
+        assert!(matches!(e, KlestError::Linalg(_)));
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(e.source().is_some());
+
+        let e: KlestError = KernelError::NonPositiveParameter {
+            name: "eta",
+            value: -1.0,
+        }
+        .into();
+        assert!(matches!(e, KlestError::Kernel(_)));
+        assert!(e.to_string().contains("kernel"));
+
+        let e: KlestError = MeshError::DegenerateTriangle { index: 3, area: 0.0 }.into();
+        assert!(matches!(e, KlestError::Mesh(_)));
+        assert!(e.to_string().contains("degenerate"));
+
+        let e: KlestError = KleError::PointOutsideMesh { index: 7 }.into();
+        assert!(matches!(e, KlestError::Kle(_)));
+
+        let e: KlestError = SstaError::InvalidConfig {
+            name: "samples",
+            value: "0".into(),
+        }
+        .into();
+        assert!(matches!(e, KlestError::Ssta(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn context_error_splits_into_arms() {
+        let e: KlestError =
+            KleContextError::Mesh(MeshError::PointBudgetExhausted { max_points: 10 }).into();
+        assert!(matches!(e, KlestError::Mesh(_)));
+        let e: KlestError = KleContextError::Ssta(SstaError::InvalidConfig {
+            name: "scale",
+            value: "nan".into(),
+        })
+        .into();
+        assert!(matches!(e, KlestError::Ssta(_)));
+    }
+
+    #[test]
+    fn nested_errors_round_trip_through_ssta() {
+        // A KleError surfacing through the SSTA layer keeps its source
+        // chain intact.
+        let inner = KleError::RankOutOfRange {
+            requested: 30,
+            available: 25,
+        };
+        let e: KlestError = SstaError::Kle(inner).into();
+        let src = e.source().expect("ssta source");
+        assert!(src.to_string().contains("30"));
+    }
+}

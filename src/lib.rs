@@ -38,6 +38,10 @@
 //! # }
 //! ```
 
+mod error;
+
+pub use error::KlestError;
+
 pub use klest_circuit as circuit;
 pub use klest_core as core;
 pub use klest_geometry as geometry;
@@ -51,6 +55,7 @@ pub use klest_sta as sta;
 /// `use klest::prelude::*;` brings in the types needed to go from a
 /// kernel to a statistical timing result.
 pub mod prelude {
+    pub use crate::KlestError;
     pub use klest_circuit::{benchmark, generate, BenchmarkId, Circuit, GeneratorConfig, Placement};
     pub use klest_core::{GalerkinKle, KleOptions, KleSampler, QuadratureRule, TruncationCriterion};
     pub use klest_geometry::{Point2, Rect};

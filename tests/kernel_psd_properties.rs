@@ -1,0 +1,127 @@
+//! Property tests for kernel validity and nearest-PSD repair: every
+//! shipped kernel family must pass the empirical PSD spot-check on random
+//! point sets, and a deliberately indefinite composite must be detected
+//! and repaired with a bounded Frobenius perturbation.
+
+use klest::geometry::{Point2, Rect};
+use klest::kernels::validity::{check_positive_semidefinite, repair_to_psd};
+use klest::kernels::{
+    BlendKernel, CovarianceKernel, ExponentialKernel, GaussianKernel, LinearConeKernel,
+    MaternKernel, RadialExponentialKernel, SeparableExponentialKernel,
+};
+use klest::linalg::{Matrix, SymmetricEigen};
+use klest_rng::{Rng, SeedableRng, StdRng};
+
+/// Every shipped kernel family passes the PSD spot-check across several
+/// randomized parameterizations and seeds.
+#[test]
+fn all_shipped_families_pass_psd_spot_check() {
+    let mut rng = StdRng::seed_from_u64(0x70736463);
+    for round in 0..6 {
+        let c = rng.gen_range(0.3f64..6.0);
+        let s = rng.gen_range(1.2f64..4.0);
+        let seed = rng.gen_range(0u64..1_000_000);
+        let kernels: Vec<(&str, Box<dyn CovarianceKernel>)> = vec![
+            ("gaussian", Box::new(GaussianKernel::new(c))),
+            ("exponential", Box::new(ExponentialKernel::new(c))),
+            ("separable", Box::new(SeparableExponentialKernel::new(c))),
+            ("radial", Box::new(RadialExponentialKernel::new(c))),
+            ("matern", Box::new(MaternKernel::new(c, s).expect("valid"))),
+        ];
+        for (name, k) in kernels {
+            let report =
+                check_positive_semidefinite(k.as_ref(), Rect::unit_die(), 20, 4, seed)
+                    .expect("check runs");
+            assert!(
+                report.is_psd(),
+                "round {round}: {name}(c={c:.3}, s={s:.3}) min eig {}",
+                report.min_eigenvalue
+            );
+        }
+    }
+}
+
+/// A composite leaning on the 2-D-invalid linear cone is detected as
+/// indefinite, and the eigenvalue-clamping repair produces a PSD matrix
+/// whose Frobenius distance to the original is bounded by the negative
+/// spectral mass (≤ √n·|λ_min|).
+#[test]
+fn indefinite_composite_detected_and_repaired() {
+    let gaussian = GaussianKernel::new(1.0);
+    let cone = LinearConeKernel::new(0.8);
+    // Mostly cone: inherits its indefiniteness on spread-out point sets.
+    let composite = BlendKernel::new(gaussian, cone, 0.05).expect("valid weight");
+
+    let report = check_positive_semidefinite(&composite, Rect::unit_die(), 60, 12, 3)
+        .expect("check runs");
+    assert!(
+        !report.is_psd(),
+        "cone-heavy blend unexpectedly PSD (min eig {})",
+        report.min_eigenvalue
+    );
+
+    let mut rng = StdRng::seed_from_u64(0x72657061);
+    let mut repaired_at_least_once = false;
+    for _ in 0..12 {
+        let n = rng.gen_range(50usize..90);
+        let pts: Vec<Point2> = (0..n)
+            .map(|_| Point2::new(rng.gen_range(-1.0f64..1.0), rng.gen_range(-1.0f64..1.0)))
+            .collect();
+        let gram = Matrix::from_fn(n, n, |i, j| composite.eval(pts[i], pts[j]));
+        match repair_to_psd(&gram, 1e-10).expect("repair runs") {
+            None => {} // this draw happened to be PSD — allowed
+            Some(repair) => {
+                repaired_at_least_once = true;
+                assert!(repair.clamped >= 1);
+                assert!(repair.min_eigenvalue_before < 0.0);
+                // Bounded perturbation: clamping at most n eigenvalues,
+                // none more negative than λ_min.
+                let bound = (n as f64).sqrt() * repair.min_eigenvalue_before.abs();
+                assert!(
+                    repair.frobenius_delta <= bound + 1e-12,
+                    "delta {} exceeds bound {bound}",
+                    repair.frobenius_delta
+                );
+                // The repaired matrix really is PSD.
+                let eig = SymmetricEigen::new(&repair.matrix).expect("eigen");
+                assert!(
+                    *eig.eigenvalues().last().unwrap() >= -1e-9,
+                    "repair left negative eigenvalue"
+                );
+                // Diagonal stays close to the original unit variances.
+                for i in 0..n {
+                    assert!((repair.matrix[(i, i)] - gram[(i, i)]).abs() < 0.5);
+                }
+            }
+        }
+    }
+    assert!(
+        repaired_at_least_once,
+        "no draw triggered the repair — indefiniteness not exercised"
+    );
+}
+
+/// On healthy kernels the repair must be a strict no-op: `repair_to_psd`
+/// returns `None`, leaving the Gram matrix untouched.
+#[test]
+fn repair_is_noop_on_healthy_families() {
+    let mut rng = StdRng::seed_from_u64(0x6e6f6f70);
+    let gaussian = GaussianKernel::new(2.0);
+    let matern = MaternKernel::new(2.0, 2.0).expect("valid");
+    for _ in 0..6 {
+        let n = rng.gen_range(10usize..30);
+        let pts: Vec<Point2> = (0..n)
+            .map(|_| Point2::new(rng.gen_range(-1.0f64..1.0), rng.gen_range(-1.0f64..1.0)))
+            .collect();
+        for k in [&gaussian as &dyn CovarianceKernel, &matern] {
+            let gram = Matrix::from_fn(n, n, |i, j| k.eval(pts[i], pts[j]));
+            // Tolerance mirrors the validity report's size scaling.
+            let tol = 1e-10 * (n * n) as f64;
+            assert!(
+                repair_to_psd(&gram, tol).expect("repair runs").is_none(),
+                "healthy {} Gram was repaired",
+                k.name()
+            );
+        }
+    }
+}

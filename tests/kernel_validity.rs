@@ -11,7 +11,8 @@ use klest::kernels::{
 };
 
 fn both_verdicts<K: CovarianceKernel>(kernel: &K) -> (bool, bool) {
-    let empirical = check_positive_semidefinite(kernel, Rect::unit_die(), 48, 10, 2024);
+    let empirical =
+        check_positive_semidefinite(kernel, Rect::unit_die(), 48, 10, 2024).expect("check runs");
     let spectral = check_spectral_validity(kernel, 25.0, 80).expect("isotropic");
     (empirical.is_psd(), spectral.is_valid())
 }

@@ -1,6 +1,8 @@
-//! Property-based tests (proptest) over the core invariants of the
-//! workspace: kernel axioms, mesh geometry, linear algebra and sampler
-//! consistency under randomized configurations.
+//! Property-style tests over the core invariants of the workspace:
+//! kernel axioms, mesh geometry, linear algebra and sampler consistency
+//! under randomized configurations. Cases are drawn from the in-tree
+//! deterministic generator (`klest-rng`), so every run exercises the
+//! same inputs and failures reproduce exactly.
 
 use klest::core::{GalerkinKle, KleOptions};
 use klest::geometry::{Point2, Rect, Triangle};
@@ -10,24 +12,22 @@ use klest::kernels::{
 };
 use klest::linalg::{Cholesky, DiagonalGep, Matrix, SymmetricEigen};
 use klest::mesh::MeshBuilder;
-use proptest::prelude::*;
+use klest_rng::{Rng, SeedableRng, StdRng};
 
-fn point_in_die() -> impl Strategy<Value = Point2> {
-    (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(x, y)| Point2::new(x, y))
+fn point_in_die(rng: &mut StdRng) -> Point2 {
+    Point2::new(rng.gen_range(-1.0f64..1.0), rng.gen_range(-1.0f64..1.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every kernel family: symmetric, bounded by the diagonal, unit
-    /// self-correlation — the axioms under eq. (2).
-    #[test]
-    fn kernel_axioms(
-        x in point_in_die(),
-        y in point_in_die(),
-        c in 0.2f64..8.0,
-        s in 1.1f64..4.0,
-    ) {
+/// Every kernel family: symmetric, bounded by the diagonal, unit
+/// self-correlation — the axioms under eq. (2).
+#[test]
+fn kernel_axioms() {
+    let mut rng = StdRng::seed_from_u64(0x6b65726e);
+    for _ in 0..64 {
+        let x = point_in_die(&mut rng);
+        let y = point_in_die(&mut rng);
+        let c = rng.gen_range(0.2f64..8.0);
+        let s = rng.gen_range(1.1f64..4.0);
         let kernels: Vec<Box<dyn CovarianceKernel>> = vec![
             Box::new(GaussianKernel::new(c)),
             Box::new(ExponentialKernel::new(c)),
@@ -37,81 +37,101 @@ proptest! {
         for k in kernels {
             let kxy = k.eval(x, y);
             let kyx = k.eval(y, x);
-            prop_assert!((kxy - kyx).abs() < 1e-12, "{} asymmetric", k.name());
-            prop_assert!(kxy <= 1.0 + 1e-12, "{} exceeds 1", k.name());
-            prop_assert!(kxy >= 0.0, "{} negative", k.name());
-            prop_assert!((k.eval(x, x) - 1.0).abs() < 1e-12, "{} K(x,x) != 1", k.name());
+            assert!((kxy - kyx).abs() < 1e-12, "{} asymmetric", k.name());
+            assert!(kxy <= 1.0 + 1e-12, "{} exceeds 1", k.name());
+            assert!(kxy >= 0.0, "{} negative", k.name());
+            assert!((k.eval(x, x) - 1.0).abs() < 1e-12, "{} K(x,x) != 1", k.name());
         }
     }
+}
 
-    /// Isotropic kernels decay monotonically with distance.
-    #[test]
-    fn kernel_monotone_decay(c in 0.2f64..6.0, r1 in 0.0f64..2.0, dr in 0.001f64..1.0) {
-        let r2 = r1 + dr;
+/// Isotropic kernels decay monotonically with distance.
+#[test]
+fn kernel_monotone_decay() {
+    let mut rng = StdRng::seed_from_u64(0x6d6f6e6f);
+    for _ in 0..64 {
+        let c = rng.gen_range(0.2f64..6.0);
+        let r1 = rng.gen_range(0.0f64..2.0);
+        let r2 = r1 + rng.gen_range(0.001f64..1.0);
         let g = GaussianKernel::new(c);
-        prop_assert!(g.correlation_at_distance(r1).unwrap() >= g.correlation_at_distance(r2).unwrap());
+        assert!(g.correlation_at_distance(r1).unwrap() >= g.correlation_at_distance(r2).unwrap());
         let e = ExponentialKernel::new(c);
-        prop_assert!(e.correlation_at_distance(r1).unwrap() >= e.correlation_at_distance(r2).unwrap());
+        assert!(e.correlation_at_distance(r1).unwrap() >= e.correlation_at_distance(r2).unwrap());
     }
+}
 
-    /// Any triangle: centroid inside, barycentric roundtrip, angle sum.
-    #[test]
-    fn triangle_invariants(
-        ax in -1.0f64..1.0, ay in -1.0f64..1.0,
-        bx in -1.0f64..1.0, by in -1.0f64..1.0,
-        cx in -1.0f64..1.0, cy in -1.0f64..1.0,
-    ) {
-        let t = Triangle::new(Point2::new(ax, ay), Point2::new(bx, by), Point2::new(cx, cy));
-        prop_assume!(t.area() > 1e-6);
-        prop_assert!(t.contains(t.centroid()));
+/// Any triangle: centroid inside, barycentric roundtrip, angle sum.
+#[test]
+fn triangle_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x74726961);
+    let mut cases = 0;
+    while cases < 64 {
+        let t = Triangle::new(
+            point_in_die(&mut rng),
+            point_in_die(&mut rng),
+            point_in_die(&mut rng),
+        );
+        if t.area() <= 1e-6 {
+            continue;
+        }
+        cases += 1;
+        assert!(t.contains(t.centroid()));
         let angles: f64 = t.angles().iter().sum();
-        prop_assert!((angles - std::f64::consts::PI).abs() < 1e-9);
+        assert!((angles - std::f64::consts::PI).abs() < 1e-9);
         let (center, radius) = t.circumcircle().expect("non-degenerate");
         for v in t.vertices() {
-            prop_assert!((center.distance(v) - radius).abs() < 1e-6 * radius.max(1.0));
+            assert!((center.distance(v) - radius).abs() < 1e-6 * radius.max(1.0));
         }
     }
+}
 
-    /// Mesh construction: full coverage, centroids in-domain, positive
-    /// areas, area constraint honoured — for arbitrary area budgets.
-    #[test]
-    fn mesh_invariants(max_area in 0.01f64..0.5) {
+/// Mesh construction: full coverage, centroids in-domain, positive
+/// areas, area constraint honoured — for arbitrary area budgets.
+#[test]
+fn mesh_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x6d657368);
+    for _ in 0..16 {
+        let max_area = rng.gen_range(0.01f64..0.5);
         let mesh = MeshBuilder::new(Rect::unit_die())
             .max_area(max_area)
             .min_angle_degrees(22.0)
             .build()
             .expect("meshing succeeds");
-        prop_assert!((mesh.total_area() - 4.0).abs() < 1e-8);
+        assert!((mesh.total_area() - 4.0).abs() < 1e-8);
         for (i, (&a, c)) in mesh.areas().iter().zip(mesh.centroids()).enumerate() {
-            prop_assert!(a > 0.0, "triangle {i} degenerate");
-            prop_assert!(a <= max_area * (1.0 + 1e-9), "triangle {i} too large");
-            prop_assert!(mesh.domain().contains(*c));
+            assert!(a > 0.0, "triangle {i} degenerate");
+            assert!(a <= max_area * (1.0 + 1e-9), "triangle {i} too large");
+            assert!(mesh.domain().contains(*c));
         }
     }
+}
 
-    /// Point location agrees with geometry for random query points.
-    #[test]
-    fn locator_agrees_with_containment(px in -1.0f64..1.0, py in -1.0f64..1.0) {
-        let mesh = MeshBuilder::new(Rect::unit_die())
-            .max_area(0.05)
-            .build()
-            .expect("meshing succeeds");
-        let p = Point2::new(px, py);
-        let idx = mesh.locator().locate(p).expect("inside the die");
-        prop_assert!(mesh.triangle(idx).contains(p));
+/// Point location agrees with geometry for random query points.
+#[test]
+fn locator_agrees_with_containment() {
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area(0.05)
+        .build()
+        .expect("meshing succeeds");
+    let locator = mesh.locator();
+    let mut rng = StdRng::seed_from_u64(0x6c6f6361);
+    for _ in 0..64 {
+        let p = point_in_die(&mut rng);
+        let idx = locator.locate(p).expect("inside the die");
+        assert!(mesh.triangle(idx).contains(p));
     }
+}
 
-    /// Random SPD matrices: Cholesky reconstructs, solve inverts,
-    /// eigensolve reconstructs with orthonormal vectors.
-    #[test]
-    fn linalg_invariants(seed in 0u64..10_000, n in 2usize..12) {
+/// Random SPD matrices: Cholesky reconstructs, solve inverts,
+/// eigensolve reconstructs with orthonormal vectors.
+#[test]
+fn linalg_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x6c696e61);
+    for _ in 0..64 {
+        let n = rng.gen_range(2usize..12);
         // SPD via A = B Bᵀ + I.
-        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-        };
-        let b = Matrix::from_fn(n, n, |_, _| rnd());
+        let rnd = |rng: &mut StdRng| rng.gen::<f64>() - 0.5;
+        let b = Matrix::from_fn(n, n, |_, _| rnd(&mut rng));
         let mut a = b.mul(&b.transpose()).expect("square");
         for i in 0..n {
             a[(i, i)] += 1.0;
@@ -119,41 +139,41 @@ proptest! {
         // Cholesky.
         let chol = Cholesky::new(&a).expect("SPD");
         let back = chol.lower().mul(&chol.upper()).expect("square");
-        prop_assert!(back.sub(&a).expect("same dims").max_abs() < 1e-9);
-        let x_true: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        assert!(back.sub(&a).expect("same dims").max_abs() < 1e-9);
+        let x_true: Vec<f64> = (0..n).map(|_| rnd(&mut rng)).collect();
         let rhs = a.mul_vec(&x_true).expect("dims");
         let x = chol.solve(&rhs).expect("dims");
         for (xi, ti) in x.iter().zip(&x_true) {
-            prop_assert!((xi - ti).abs() < 1e-8);
+            assert!((xi - ti).abs() < 1e-8);
         }
         // Eigen.
         let eig = SymmetricEigen::new(&a).expect("symmetric");
-        prop_assert!(eig.reconstruct().sub(&a).expect("dims").max_abs() < 1e-8);
+        assert!(eig.reconstruct().sub(&a).expect("dims").max_abs() < 1e-8);
         for l in eig.eigenvalues() {
-            prop_assert!(*l > 0.0, "SPD eigenvalues positive");
+            assert!(*l > 0.0, "SPD eigenvalues positive");
         }
         // Generalized problem with random positive masses.
-        let phi: Vec<f64> = (0..n).map(|_| 0.5 + rnd().abs()).collect();
+        let phi: Vec<f64> = (0..n).map(|_| 0.5 + rnd(&mut rng).abs()).collect();
         let gep = DiagonalGep::solve(&a, &phi).expect("valid");
         for j in 0..n {
             let d = gep.eigenvector(j);
             let kd = a.mul_vec(&d).expect("dims");
             let lam = gep.eigenvalues()[j];
             for i in 0..n {
-                prop_assert!((kd[i] - lam * phi[i] * d[i]).abs() < 1e-7);
+                assert!((kd[i] - lam * phi[i] * d[i]).abs() < 1e-7);
             }
         }
     }
 }
 
-proptest! {
-    // Heavier cases: fewer iterations.
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The KLE eigenvalue trace identity holds for any Gaussian decay and
-    /// mesh resolution, and eigenfunctions stay orthonormal.
-    #[test]
-    fn kle_invariants(c in 0.5f64..5.0, max_area in 0.05f64..0.3) {
+/// The KLE eigenvalue trace identity holds for any Gaussian decay and
+/// mesh resolution, and eigenfunctions stay orthonormal.
+#[test]
+fn kle_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x6b6c6531);
+    for _ in 0..8 {
+        let c = rng.gen_range(0.5f64..5.0);
+        let max_area = rng.gen_range(0.05f64..0.3);
         let mesh = MeshBuilder::new(Rect::unit_die())
             .max_area(max_area)
             .build()
@@ -161,67 +181,71 @@ proptest! {
         let kle = GalerkinKle::compute(&mesh, &GaussianKernel::new(c), KleOptions::default())
             .expect("KLE");
         let trace: f64 = kle.eigenvalues().iter().sum();
-        prop_assert!((trace - 4.0).abs() < 1e-8, "trace {trace}");
+        assert!((trace - 4.0).abs() < 1e-8, "trace {trace}");
         // Orthonormality of the first few eigenfunctions.
         for i in 0..3.min(kle.retained()) {
             for j in i..3.min(kle.retained()) {
                 let fi = kle.eigenfunction(i);
                 let fj = kle.eigenfunction(j);
-                let inner: f64 = fi.iter().zip(&fj).zip(kle.areas()).map(|((a, b), w)| a * b * w).sum();
+                let inner: f64 =
+                    fi.iter().zip(&fj).zip(kle.areas()).map(|((a, b), w)| a * b * w).sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
-                prop_assert!((inner - expect).abs() < 1e-8);
+                assert!((inner - expect).abs() < 1e-8);
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random convex polygonal dies: the mesh covers exactly the polygon
-    /// (area match), all centroids are inside, and point location agrees
-    /// with the outline.
-    #[test]
-    fn polygonal_mesh_invariants(seed in 0u64..500, sides in 3usize..8) {
-        use klest::geometry::Polygon;
+/// Random convex polygonal dies: the mesh covers exactly the polygon
+/// (area match), all centroids are inside, and point location agrees
+/// with the outline.
+#[test]
+fn polygonal_mesh_invariants() {
+    use klest::geometry::Polygon;
+    let mut rng = StdRng::seed_from_u64(0x706f6c79);
+    let mut cases = 0;
+    while cases < 12 {
+        let sides = rng.gen_range(3usize..8);
         // Convex polygon via sorted angles on an ellipse.
-        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(7);
-        let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 11) as f64 / (1u64 << 53) as f64
-        };
-        let mut angles: Vec<f64> = (0..sides).map(|_| rnd() * std::f64::consts::TAU).collect();
+        let mut angles: Vec<f64> = (0..sides)
+            .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+            .collect();
         angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
         angles.dedup_by(|a, b| (*a - *b).abs() < 0.15);
-        prop_assume!(angles.len() >= 3);
-        let rx = 0.5 + 0.5 * rnd();
-        let ry = 0.5 + 0.5 * rnd();
+        if angles.len() < 3 {
+            continue;
+        }
+        let rx = 0.5 + 0.5 * rng.gen::<f64>();
+        let ry = 0.5 + 0.5 * rng.gen::<f64>();
         let vertices: Vec<Point2> = angles
             .iter()
             .map(|t| Point2::new(rx * t.cos(), ry * t.sin()))
             .collect();
         let poly = Polygon::new(vertices).expect("at least 3 vertices");
-        prop_assume!(poly.area() > 0.2);
+        if poly.area() <= 0.2 {
+            continue;
+        }
+        cases += 1;
         let mesh = MeshBuilder::polygon(poly.clone())
             .max_area(0.05)
             .min_angle_degrees(22.0)
             .build()
             .expect("polygonal mesh");
-        prop_assert!(
+        assert!(
             (mesh.total_area() - poly.area()).abs() < 0.03 * poly.area(),
             "mesh area {} vs polygon area {}",
             mesh.total_area(),
             poly.area()
         );
         for c in mesh.centroids() {
-            prop_assert!(poly.contains(*c));
+            assert!(poly.contains(*c));
         }
         // Locator agrees with the outline at random probes.
         let locator = mesh.locator();
         for _ in 0..20 {
-            let p = Point2::new(-1.0 + 2.0 * rnd(), -1.0 + 2.0 * rnd());
+            let p = point_in_die(&mut rng);
             match locator.locate(p) {
-                Some(t) => prop_assert!(mesh.triangle(t).contains(p)),
+                Some(t) => assert!(mesh.triangle(t).contains(p)),
                 None => {
                     // Points comfortably interior must always be found.
                     let interior = poly.contains(p)
@@ -232,7 +256,7 @@ proptest! {
                             let proj = a + ab * t;
                             proj.distance(p) > mesh.max_side()
                         });
-                    prop_assert!(!interior, "interior point {p} not located");
+                    assert!(!interior, "interior point {p} not located");
                 }
             }
         }

@@ -1,48 +1,51 @@
-//! Property-based tests over the statistical layers: Clark's max,
+//! Property-style tests over the statistical layers: Clark's max,
 //! quantiles, canonical-form algebra, netlist round-trips and the
-//! special functions.
+//! special functions. Cases are drawn from the in-tree deterministic
+//! generator (`klest-rng`), so failures reproduce exactly.
 
 use klest::circuit::{generate, parse_netlist, write_netlist, GeneratorConfig};
 use klest::kernels::special::{bessel_k, gamma};
 use klest::ssta::canonical::{erf, normal_cdf, CanonicalForm};
 use klest::ssta::quantile;
-use proptest::prelude::*;
+use klest_rng::{Rng, SeedableRng, StdRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// E[max(X, Y)] >= max(E[X], E[Y]) with equality only in degenerate
-    /// cases, and Var[max] is finite and non-negative.
-    #[test]
-    fn clark_max_mean_dominates(
-        mx in -50.0f64..50.0,
-        my in -50.0f64..50.0,
-        ax in -3.0f64..3.0,
-        ay in -3.0f64..3.0,
-        bx in -3.0f64..3.0,
-        by in -3.0f64..3.0,
-        ix in 0.0f64..2.0,
-        iy in 0.0f64..2.0,
-    ) {
-        let x = CanonicalForm { mean: mx, sens: vec![ax, bx], indep: ix };
-        let y = CanonicalForm { mean: my, sens: vec![ay, by], indep: iy };
+/// E[max(X, Y)] >= max(E[X], E[Y]) with equality only in degenerate
+/// cases, and Var[max] is finite and non-negative.
+#[test]
+fn clark_max_mean_dominates() {
+    let mut rng = StdRng::seed_from_u64(0x636c6172);
+    for _ in 0..128 {
+        let mx = rng.gen_range(-50.0f64..50.0);
+        let my = rng.gen_range(-50.0f64..50.0);
+        let x = CanonicalForm {
+            mean: mx,
+            sens: vec![rng.gen_range(-3.0f64..3.0), rng.gen_range(-3.0f64..3.0)],
+            indep: rng.gen_range(0.0f64..2.0),
+        };
+        let y = CanonicalForm {
+            mean: my,
+            sens: vec![rng.gen_range(-3.0f64..3.0), rng.gen_range(-3.0f64..3.0)],
+            indep: rng.gen_range(0.0f64..2.0),
+        };
         let m = CanonicalForm::clark_max(&x, &y);
-        prop_assert!(m.mean >= mx.max(my) - 1e-9, "mean {} < max({mx}, {my})", m.mean);
-        prop_assert!(m.variance().is_finite());
-        prop_assert!(m.variance() >= -1e-12);
+        assert!(m.mean >= mx.max(my) - 1e-9, "mean {} < max({mx}, {my})", m.mean);
+        assert!(m.variance().is_finite());
+        assert!(m.variance() >= -1e-12);
         // Commutativity.
         let m2 = CanonicalForm::clark_max(&y, &x);
-        prop_assert!((m.mean - m2.mean).abs() < 1e-9);
-        prop_assert!((m.sigma() - m2.sigma()).abs() < 1e-9);
+        assert!((m.mean - m2.mean).abs() < 1e-9);
+        assert!((m.sigma() - m2.sigma()).abs() < 1e-9);
     }
+}
 
-    /// Adding a constant shifts Clark's max by exactly that constant.
-    #[test]
-    fn clark_max_translation_invariance(
-        mx in -10.0f64..10.0,
-        my in -10.0f64..10.0,
-        c in -20.0f64..20.0,
-    ) {
+/// Adding a constant shifts Clark's max by exactly that constant.
+#[test]
+fn clark_max_translation_invariance() {
+    let mut rng = StdRng::seed_from_u64(0x73686966);
+    for _ in 0..128 {
+        let mx = rng.gen_range(-10.0f64..10.0);
+        let my = rng.gen_range(-10.0f64..10.0);
+        let c = rng.gen_range(-20.0f64..20.0);
         let x = CanonicalForm { mean: mx, sens: vec![1.0, 0.3], indep: 0.2 };
         let y = CanonicalForm { mean: my, sens: vec![0.4, 1.1], indep: 0.1 };
         let base = CanonicalForm::clark_max(&x, &y);
@@ -51,65 +54,85 @@ proptest! {
         let mut ys = y.clone();
         ys.shift(c);
         let shifted = CanonicalForm::clark_max(&xs, &ys);
-        prop_assert!((shifted.mean - base.mean - c).abs() < 1e-9);
-        prop_assert!((shifted.sigma() - base.sigma()).abs() < 1e-9);
-    }
-
-    /// Quantiles are monotone in q and bounded by the extremes.
-    #[test]
-    fn quantile_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..50), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
-        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-        let a = quantile(&xs, lo);
-        let b = quantile(&xs, hi);
-        prop_assert!(a <= b + 1e-9);
-        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
-        prop_assert!(a >= xs[0] - 1e-9);
-        prop_assert!(b <= xs[xs.len() - 1] + 1e-9);
-    }
-
-    /// erf is odd, bounded, monotone; Φ respects symmetry.
-    #[test]
-    fn erf_properties(x in -5.0f64..5.0, dx in 0.001f64..1.0) {
-        prop_assert!((erf(x) + erf(-x)).abs() < 1e-7);
-        prop_assert!(erf(x).abs() <= 1.0);
-        prop_assert!(erf(x + dx) >= erf(x) - 1e-9);
-        prop_assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-7);
-    }
-
-    /// Γ(x+1) = x Γ(x) on the positive axis.
-    #[test]
-    fn gamma_recurrence(x in 0.1f64..20.0) {
-        let lhs = gamma(x + 1.0);
-        let rhs = x * gamma(x);
-        prop_assert!((lhs - rhs).abs() / rhs.abs() < 1e-10, "{lhs} vs {rhs}");
-    }
-
-    /// K_ν decreases in ν for fixed argument... (false in general — K
-    /// *increases* with order); the true property: K_{ν+1} > K_ν for
-    /// x > 0.
-    #[test]
-    fn bessel_k_increases_with_order(nu in 0.0f64..3.0, x in 0.1f64..10.0) {
-        let a = bessel_k(nu, x).unwrap();
-        let b = bessel_k(nu + 1.0, x).unwrap();
-        prop_assert!(b > a, "K_{{{}}}({x}) = {b} <= K_{{{nu}}}({x}) = {a}", nu + 1.0);
+        assert!((shifted.mean - base.mean - c).abs() < 1e-9);
+        assert!((shifted.sigma() - base.sigma()).abs() < 1e-9);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Quantiles are monotone in q and bounded by the extremes.
+#[test]
+fn quantile_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x7175616e);
+    for _ in 0..128 {
+        let len = rng.gen_range(1usize..50);
+        let mut xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
+        let q1 = rng.gen::<f64>();
+        let q2 = rng.gen::<f64>();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        assert!(a <= b + 1e-9);
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert!(a >= xs[0] - 1e-9);
+        assert!(b <= xs[xs.len() - 1] + 1e-9);
+    }
+}
 
-    /// Generated netlists survive serialisation round-trips structurally.
-    #[test]
-    fn netlist_roundtrip_property(gates in 5usize..120, seed in 0u64..1000) {
+/// erf is odd, bounded, monotone; Φ respects symmetry.
+#[test]
+fn erf_properties() {
+    let mut rng = StdRng::seed_from_u64(0x65726621);
+    for _ in 0..128 {
+        let x = rng.gen_range(-5.0f64..5.0);
+        let dx = rng.gen_range(0.001f64..1.0);
+        assert!((erf(x) + erf(-x)).abs() < 1e-7);
+        assert!(erf(x).abs() <= 1.0);
+        assert!(erf(x + dx) >= erf(x) - 1e-9);
+        assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-7);
+    }
+}
+
+/// Γ(x+1) = x Γ(x) on the positive axis.
+#[test]
+fn gamma_recurrence() {
+    let mut rng = StdRng::seed_from_u64(0x67616d6d);
+    for _ in 0..128 {
+        let x = rng.gen_range(0.1f64..20.0);
+        let lhs = gamma(x + 1.0);
+        let rhs = x * gamma(x);
+        assert!((lhs - rhs).abs() / rhs.abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+}
+
+/// K_ν increases with order for x > 0: K_{ν+1}(x) > K_ν(x).
+#[test]
+fn bessel_k_increases_with_order() {
+    let mut rng = StdRng::seed_from_u64(0x62657373);
+    for _ in 0..128 {
+        let nu = rng.gen_range(0.0f64..3.0);
+        let x = rng.gen_range(0.1f64..10.0);
+        let a = bessel_k(nu, x).unwrap();
+        let b = bessel_k(nu + 1.0, x).unwrap();
+        assert!(b > a, "K_{{{}}}({x}) = {b} <= K_{{{nu}}}({x}) = {a}", nu + 1.0);
+    }
+}
+
+/// Generated netlists survive serialisation round-trips structurally.
+#[test]
+fn netlist_roundtrip_property() {
+    let mut rng = StdRng::seed_from_u64(0x6e65746c);
+    for _ in 0..16 {
+        let gates = rng.gen_range(5usize..120);
+        let seed = rng.gen_range(0u64..1000);
         let c = generate("prop", GeneratorConfig::combinational(gates, seed)).expect("gen");
         let text = write_netlist(&c);
         let back = parse_netlist("prop", &text).expect("parse");
-        prop_assert_eq!(back.node_count(), c.node_count());
-        prop_assert_eq!(back.gate_count(), c.gate_count());
-        prop_assert_eq!(back.outputs(), c.outputs());
+        assert_eq!(back.node_count(), c.node_count());
+        assert_eq!(back.gate_count(), c.gate_count());
+        assert_eq!(back.outputs(), c.outputs());
         for id in c.topological_order() {
-            prop_assert_eq!(back.kind(id), c.kind(id));
-            prop_assert_eq!(back.fanins(id), c.fanins(id));
+            assert_eq!(back.kind(id), c.kind(id));
+            assert_eq!(back.fanins(id), c.fanins(id));
         }
     }
 }
