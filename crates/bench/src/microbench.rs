@@ -110,7 +110,7 @@ impl BenchmarkGroup<'_> {
             let mut b = Bencher {
                 test_mode: self.c.test_mode,
                 sample_size: self.sample_size,
-                median: None,
+                stats: None,
             };
             f(&mut b);
             b.report(&full);
@@ -136,16 +136,33 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Per-iteration timing summary of one benchmark: order statistics over
+/// the sorted sample set plus the calibrated inner-loop iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Fastest sample — the least-perturbed measurement.
+    pub min: Duration,
+    /// Arithmetic mean across samples.
+    pub mean: Duration,
+    /// Median sample (the headline number; robust to outliers).
+    pub median: Duration,
+    /// 95th-percentile sample — the noise ceiling.
+    pub p95: Duration,
+    /// Iterations per sample chosen by calibration.
+    pub iters: u64,
+}
+
 /// Timing driver handed to each benchmark body.
 #[derive(Debug)]
 pub struct Bencher {
     test_mode: bool,
     sample_size: usize,
-    median: Option<Duration>,
+    stats: Option<SampleStats>,
 }
 
 impl Bencher {
-    /// Runs `f` repeatedly and records the median time per iteration.
+    /// Runs `f` repeatedly and records per-iteration order statistics
+    /// (min / mean / median / p95) over the timed samples.
     ///
     /// In test mode (`--test`) the body runs exactly once, untimed, so
     /// `cargo test --benches` stays fast while still exercising the code.
@@ -170,12 +187,34 @@ impl Bencher {
             samples.push(start.elapsed() / iters as u32);
         }
         samples.sort_unstable();
-        self.median = Some(samples[samples.len() / 2]);
+        let n = samples.len();
+        let mean = samples.iter().sum::<Duration>() / n as u32;
+        self.stats = Some(SampleStats {
+            min: samples[0],
+            mean,
+            median: samples[n / 2],
+            // Nearest-rank p95, clamped to the last sample.
+            p95: samples[((n * 95).div_ceil(100)).saturating_sub(1).min(n - 1)],
+            iters,
+        });
+    }
+
+    /// The collected statistics (`None` in test mode or before `iter`).
+    pub fn stats(&self) -> Option<&SampleStats> {
+        self.stats.as_ref()
     }
 
     fn report(&self, id: &str) {
-        match self.median {
-            Some(m) => println!("{id:<55} median {:>12}  ({} samples)", fmt(m), self.sample_size),
+        match &self.stats {
+            Some(s) => println!(
+                "{id:<55} median {:>12}  min {} mean {} p95 {}  ({} samples x {} iters)",
+                fmt(s.median),
+                fmt(s.min),
+                fmt(s.mean),
+                fmt(s.p95),
+                self.sample_size,
+                s.iters
+            ),
             None if self.test_mode => println!("{id:<55} ok (test mode)"),
             None => println!("{id:<55} (no measurement: body never called iter)"),
         }
@@ -273,9 +312,14 @@ mod tests {
         let mut b = Bencher {
             test_mode: c.test_mode,
             sample_size: 3,
-            median: None,
+            stats: None,
         };
         b.iter(|| std::hint::black_box(1 + 1));
-        assert!(b.median.is_some());
+        let s = b.stats().expect("timed mode collects stats");
+        assert!(s.iters >= 1);
+        // Order statistics over a sorted sample set respect
+        // min <= median <= p95 and min <= mean <= p95.
+        assert!(s.min <= s.median && s.median <= s.p95);
+        assert!(s.min <= s.mean && s.mean <= s.p95);
     }
 }

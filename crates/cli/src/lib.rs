@@ -38,6 +38,11 @@ COMMANDS:
   netlist   generate a synthetic netlist      [--gates 500] [--seed 7] [--sequential] [--out file.bench]
   ssta      compare KLE vs reference MC SSTA  [--circuit c1908] [--scale 0.5] [--samples 2000] [--seed 2008]
   help      this text
+
+GLOBAL FLAGS (every command):
+  --trace           print the hierarchical span tree and metrics to stderr
+  --report out.json write a machine-readable run report (spans, counters,
+                    gauges, histograms, degradation events) to out.json
 ";
 
 /// Builds the kernel selected by `--kernel` (+ its shape flags).
@@ -221,6 +226,10 @@ pub fn cmd_ssta<W: Write>(args: &Args, out: &mut W) -> CliResult {
     let config = McConfig::new(args.get("samples", 2000), args.get("seed", 2008))
         .with_threads(args.get("threads", klest_bench::default_threads()));
     let cmp = compare_methods_with_report(&setup, &kernel, &ctx, &config).map_err(err)?;
+    klest_obs::gauge_set("ssta.rank", cmp.rank as f64);
+    klest_obs::gauge_set("ssta.speedup", cmp.speedup);
+    klest_obs::gauge_set("ssta.e_mu_pct", cmp.e_mu_pct);
+    klest_obs::gauge_set("ssta.e_sigma_pct", cmp.e_sigma_pct);
     writeln!(
         out,
         "{} ({} gates, r = {}): e_mu = {:.3}%, e_sigma = {:.3}%, speedup = {:.2}x",
@@ -261,6 +270,12 @@ fn args_opt_str(args: &Args, key: &str) -> Option<String> {
 
 /// Dispatches a full command line (without the binary name).
 ///
+/// Every subcommand honours the global `--trace` flag (human-readable
+/// span tree + metrics to stderr) and `--report <path>` option
+/// (deterministic JSON run report, schema `klest-run-report/v1`). With
+/// neither present the observability sink stays off and instrumented
+/// code paths cost one relaxed atomic load each.
+///
 /// # Errors
 ///
 /// The user-facing error message for the failing subcommand.
@@ -270,12 +285,49 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> CliResult {
         return Ok(());
     };
     let args = Args::from_iter(argv[1..].iter().cloned());
-    match command.as_str() {
-        "mesh" => cmd_mesh(&args, out),
-        "kle" => cmd_kle(&args, out),
-        "validate" => cmd_validate(&args, out),
-        "netlist" => cmd_netlist(&args, out),
-        "ssta" => cmd_ssta(&args, out),
+    let trace = args.flag("trace");
+    let report_path = args_opt_str(&args, "report");
+    let observing = trace || report_path.is_some();
+    if observing {
+        klest_obs::reset();
+        klest_obs::enable();
+    }
+    let result = {
+        let _span = klest_obs::span(command);
+        dispatch(command, &args, out)
+    };
+    if observing {
+        klest_obs::disable();
+        if trace {
+            eprint!("{}", klest_obs::render_trace());
+        }
+        let mut write_result = Ok(());
+        if let Some(path) = &report_path {
+            let report =
+                klest_obs::RunReport::collect("klest", env!("CARGO_PKG_VERSION"), command, argv);
+            write_result = std::fs::write(path, report.to_json())
+                .map_err(|e| format!("writing report {path}: {e}"));
+        }
+        klest_obs::reset();
+        // A failing subcommand takes precedence over a report I/O error.
+        result?;
+        write_result?;
+        if let Some(path) = &report_path {
+            writeln!(out, "wrote {path}").map_err(err)?;
+        }
+        Ok(())
+    } else {
+        result
+    }
+}
+
+fn dispatch<W: Write>(command: &str, args: &Args, out: &mut W) -> CliResult {
+    match command {
+        "mesh" => cmd_mesh(args, out),
+        "kle" => cmd_kle(args, out),
+        "validate" => cmd_validate(args, out),
+        "netlist" => cmd_netlist(args, out),
+        "ssta" => cmd_ssta(args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(err)?;
             Ok(())

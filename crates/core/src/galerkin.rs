@@ -33,7 +33,16 @@ pub fn assemble_galerkin<K: CovarianceKernel + ?Sized>(
     kernel: &K,
     rule: QuadratureRule,
 ) -> Matrix {
+    let _span = klest_obs::span("galerkin/assemble");
     let n = mesh.len();
+    if klest_obs::enabled() {
+        klest_obs::gauge_set("galerkin.matrix_dim", n as f64);
+        // Upper triangle incl. diagonal, k quadrature nodes per triangle →
+        // k² kernel evaluations per matrix entry.
+        let pairs = (n * (n + 1) / 2) as u64;
+        let nodes = rule.node_count() as u64;
+        klest_obs::counter_add("galerkin.kernel_evals", pairs * nodes * nodes);
+    }
     let mut k = Matrix::zeros(n, n);
     match rule {
         QuadratureRule::Centroid => {

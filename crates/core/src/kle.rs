@@ -90,6 +90,7 @@ impl GalerkinKle {
     ///
     /// Propagates [`KleError::Linalg`].
     pub fn from_matrix(k: Matrix, mesh: &Mesh, options: KleOptions) -> Result<Self, KleError> {
+        let _span = klest_obs::span("galerkin/eigensolve");
         let n = mesh.len();
         let m = options.max_eigenpairs.min(n).max(1);
         let (eigenvalues, d) = match options.solver {
@@ -121,6 +122,7 @@ impl GalerkinKle {
                 (partial.eigenvalues().to_vec(), d)
             }
         };
+        klest_obs::gauge_set("kle.eigenpairs_retained", d.cols() as f64);
         Ok(GalerkinKle {
             eigenvalues,
             d,
@@ -180,9 +182,15 @@ impl GalerkinKle {
     /// under Lanczos the criterion's `λ_m (n - m)` bound covers the
     /// uncomputed tail.
     pub fn select_rank(&self, criterion: &TruncationCriterion) -> usize {
-        criterion
+        let _span = klest_obs::span("truncate");
+        let r = criterion
             .select_with_basis(&self.eigenvalues, self.basis_size())
-            .min(self.retained())
+            .min(self.retained());
+        if klest_obs::enabled() {
+            klest_obs::gauge_set("kle.rank", r as f64);
+            klest_obs::gauge_set("kle.variance_captured", self.variance_captured(r));
+        }
+        r
     }
 
     /// Like [`select_rank`](Self::select_rank), but also reports whether

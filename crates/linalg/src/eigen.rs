@@ -82,6 +82,7 @@ impl SymmetricEigen {
             Err(LinalgError::NoConvergence { .. }) => {
                 // Degradation path: cyclic Jacobi converges unconditionally
                 // for finite symmetric input, at higher cost.
+                klest_obs::counter_add("eigen.ql_fallbacks", 1);
                 let (values, vectors) = crate::jacobi::jacobi_eigen(a)?;
                 d.copy_from_slice(&values);
                 z = vectors;
@@ -249,6 +250,11 @@ fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), LinalgError>
     // d's are themselves ~eps² of the matrix norm.
     let anorm = (0..n).fold(0.0f64, |m, i| m.max(d[i].abs() + e[i].abs()));
     let floor = f64::EPSILON * anorm;
+    // Total QL sweeps across all eigenvalues, reported as the
+    // `eigen.ql_iterations` counter — the paper-replication diagnostic
+    // for eigensolve effort versus mesh size (accumulated locally so the
+    // hot loop stays untouched when the obs sink is off).
+    let mut total_iterations: u64 = 0;
     for l in 0..n {
         let mut iter = 0;
         loop {
@@ -265,7 +271,9 @@ fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), LinalgError>
                 break;
             }
             iter += 1;
+            total_iterations += 1;
             if iter > MAX_QL_ITERATIONS {
+                klest_obs::counter_add("eigen.ql_iterations", total_iterations);
                 return Err(LinalgError::NoConvergence { index: l });
             }
             // Wilkinson shift.
@@ -310,6 +318,7 @@ fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), LinalgError>
             e[m] = 0.0;
         }
     }
+    klest_obs::counter_add("eigen.ql_iterations", total_iterations);
     Ok(())
 }
 

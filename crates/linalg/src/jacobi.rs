@@ -35,12 +35,13 @@ pub(crate) fn jacobi_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), LinalgError
         .sqrt();
     let tol = f64::EPSILON * norm.max(f64::MIN_POSITIVE);
 
-    for _sweep in 0..MAX_SWEEPS {
+    for sweep in 0..MAX_SWEEPS {
         let off: f64 = (0..n)
             .map(|i| ((i + 1)..n).map(|j| m[(i, j)] * m[(i, j)]).sum::<f64>())
             .sum::<f64>()
             .sqrt();
         if off <= tol {
+            klest_obs::counter_add("eigen.jacobi_sweeps", sweep as u64);
             let values = (0..n).map(|i| m[(i, i)]).collect();
             return Ok((values, v));
         }
@@ -80,6 +81,7 @@ pub(crate) fn jacobi_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), LinalgError
             }
         }
     }
+    klest_obs::counter_add("eigen.jacobi_sweeps", MAX_SWEEPS as u64);
     Err(LinalgError::NoConvergence { index: 0 })
 }
 

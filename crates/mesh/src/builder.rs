@@ -111,6 +111,7 @@ impl MeshBuilder {
     /// - [`MeshError::PointBudgetExhausted`] if the budget is hit first,
     /// - [`MeshError::EmptyMesh`] for degenerate domains.
     pub fn build(&self) -> Result<Mesh, MeshError> {
+        let _span = klest_obs::span("mesh/build");
         if let Some(a) = self.max_area {
             if !(a > 0.0 && a.is_finite()) {
                 return Err(MeshError::InvalidConstraint {
@@ -200,7 +201,22 @@ impl MeshBuilder {
                 self.domain_contains(Triangle::new(points[a], points[b], points[c]).centroid())
             });
         }
-        Mesh::from_parts_with_boundary(self.domain, self.boundary.clone(), points, triangles)
+        let mesh =
+            Mesh::from_parts_with_boundary(self.domain, self.boundary.clone(), points, triangles)?;
+        if klest_obs::enabled() {
+            klest_obs::gauge_set("mesh.triangles", mesh.len() as f64);
+            klest_obs::gauge_set("mesh.vertices", mesh.points().len() as f64);
+            // Degree bounds bracketing the quality constraints the paper
+            // uses (28° minimum angle, 60° equilateral optimum).
+            let hist = klest_obs::histogram(
+                "mesh.min_angle_deg",
+                &[20.0, 25.0, 28.0, 30.0, 32.0, 34.0, 36.0, 40.0, 45.0, 50.0, 55.0, 60.0],
+            );
+            for tri in mesh.iter() {
+                hist.observe(tri.min_angle().to_degrees());
+            }
+        }
+        Ok(mesh)
     }
 
     /// Finds the most offending triangle: area violations first (largest

@@ -1,0 +1,179 @@
+//! A small in-tree JSON writer.
+//!
+//! The workspace builds fully offline, so run reports cannot lean on
+//! `serde_json`. This value type covers exactly what a
+//! [`crate::report::RunReport`] needs: deterministic rendering (object
+//! keys keep their insertion order — callers sort where sorting is the
+//! contract) and a hard guarantee that non-finite floats never leak into
+//! the output (they render as `null`, keeping every report parseable).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float; NaN and ±∞ render as `null`.
+    Num(f64),
+    /// An unsigned integer (span timings, counters).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for objects from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent) with a
+    /// trailing newline.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Display for f64 is shortest-roundtrip decimal, which
+                    // is always valid JSON.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Writes `s` as a quoted JSON string with the mandatory escapes.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_pretty_string(), "null\n");
+        assert_eq!(Json::Bool(true).to_pretty_string(), "true\n");
+        assert_eq!(Json::UInt(42).to_pretty_string(), "42\n");
+        assert_eq!(Json::Num(1.5).to_pretty_string(), "1.5\n");
+        assert_eq!(Json::str("hi").to_pretty_string(), "\"hi\"\n");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_pretty_string(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).to_pretty_string(), "null\n");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_pretty_string(), "null\n");
+    }
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        let s = Json::str("a\"b\\c\nd\te\u{1}").to_pretty_string();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = Json::obj(vec![
+            ("zeta", Json::UInt(1)),
+            ("alpha", Json::Arr(vec![Json::UInt(2), Json::Null])),
+        ]);
+        let s = v.to_pretty_string();
+        let zeta = s.find("zeta").expect("zeta key");
+        let alpha = s.find("alpha").expect("alpha key");
+        assert!(zeta < alpha, "insertion order preserved:\n{s}");
+        assert!(s.contains("[\n"), "arrays pretty-print:\n{s}");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::Arr(vec![]).to_pretty_string(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).to_pretty_string(), "{}\n");
+    }
+}

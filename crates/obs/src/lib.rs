@@ -1,0 +1,60 @@
+//! `klest-obs` — zero-dependency observability for the KLE→SSTA
+//! pipeline: hierarchical span timers, a thread-safe metrics registry
+//! (counters / gauges / histograms), an event log for degradation
+//! repairs, and a machine-readable run-report serializer.
+//!
+//! Design constraints (see DESIGN.md, "Observability"):
+//!
+//! - **std-only.** The workspace builds with an empty registry; the JSON
+//!   writer is in-tree ([`json`]).
+//! - **Off by default, near-free when off.** All recording funnels
+//!   through a global [`enabled`] switch; with the sink off a `span()`
+//!   or `counter_add()` call is one relaxed atomic load — no clock
+//!   reads, no allocation, no locks — so instrumented hot paths bench
+//!   identically to uninstrumented ones.
+//! - **Exact under concurrency.** Counters are atomics; histogram bins
+//!   sit behind a mutex; both survive the scoped-thread parallelism of
+//!   the Monte Carlo loop without losing updates.
+//! - **Deterministic reports.** Metric maps serialise name-sorted, spans
+//!   in first-seen order, events in record order; non-finite floats
+//!   render as `null`. For a fixed seeded run, two reports differ only
+//!   in timing values.
+//!
+//! Typical use:
+//!
+//! ```
+//! klest_obs::reset();
+//! klest_obs::enable();
+//! {
+//!     let _outer = klest_obs::span("kle");
+//!     let _inner = klest_obs::span("galerkin/assemble");
+//!     klest_obs::counter_add("galerkin.kernel_evals", 128);
+//! }
+//! let report = klest_obs::report::RunReport::collect(
+//!     "klest", "0.1.0", "kle", &["kle".to_string()]);
+//! let json = report.to_json();
+//! assert!(json.contains("\"kle/galerkin/assemble\""));
+//! klest_obs::disable();
+//! klest_obs::reset();
+//! ```
+
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use registry::{
+    counter, counter_add, disable, enable, enabled, event, gauge_set, histogram,
+    histogram_observe, reset, snapshot, Counter, Event, HistState, Histogram, Snapshot, SpanEntry,
+    DEFAULT_BOUNDS,
+};
+pub use report::{render_trace, span_tree, RunReport, SpanNode};
+pub use span::{span, SpanGuard};
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // The registry is process-global; tests that enable/reset it must
+    // not interleave. Poisoning is irrelevant for a unit value.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,454 @@
+//! The process-wide metrics/span/event registry behind the `klest-obs`
+//! facade.
+//!
+//! One global [`Registry`] sits behind an `AtomicBool` master switch.
+//! Every recording entry point checks the switch first, so with the sink
+//! off the instrumentation scattered through the numeric crates costs a
+//! single relaxed atomic load — no allocation, no locking, no timestamp
+//! reads. Benches with reporting disabled therefore measure the same
+//! machine code they measured before the instrumentation existed.
+//!
+//! Concurrency: counters are atomics (lock-free once a [`Counter`]
+//! handle is held), histograms keep their bins behind a `Mutex` (exact
+//! totals under the scoped-thread hammering the parallel Monte Carlo
+//! loop produces), and the span store / event log are mutexed vectors.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Locks a mutex, recovering the data from a poisoned lock: a panicking
+/// thread must not take the whole registry (and every later report) down
+/// with it — metrics are diagnostics, not invariants.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Handles share the underlying atomic: clone freely, increment from any
+/// thread. Note that a handle obtained via [`counter`] bypasses the
+/// enabled check — hot loops that cache a handle should themselves be
+/// gated on [`enabled`], or use [`counter_add`] which checks.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram state; doubles as the snapshot type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistState {
+    /// Upper bucket bounds (inclusive), ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`, the last
+    /// bucket collecting everything above the largest bound.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (`+∞` while empty; reports render `null`).
+    pub min: f64,
+    /// Largest observation (`-∞` while empty; reports render `null`).
+    pub max: f64,
+}
+
+impl HistState {
+    fn new(bounds: &[f64]) -> Self {
+        HistState {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Mean of the observed values (`NaN`-free: `None` while empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// A histogram with mutex-guarded bins (exact under concurrency).
+#[derive(Debug)]
+pub struct Histogram {
+    inner: Mutex<HistState>,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            inner: Mutex::new(HistState::new(bounds)),
+        }
+    }
+
+    /// Records one observation. Non-finite values are dropped (they would
+    /// poison `sum` and leak into reports), never counted.
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let mut h = lock(&self.inner);
+        let i = h
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(h.bounds.len());
+        h.counts[i] += 1;
+        h.count += 1;
+        h.sum += v;
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistState {
+        lock(&self.inner).clone()
+    }
+}
+
+/// One completed-span accumulation line: full slash-separated path,
+/// number of completions and total wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEntry {
+    /// Slash-separated path, e.g. `ssta/kle/galerkin/assemble`.
+    pub path: String,
+    /// How many guards with this path completed.
+    pub count: u64,
+    /// Accumulated wall-clock nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// One recorded event (e.g. a degradation repair), in record order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Free-form category, e.g. `degradation`.
+    pub category: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A point-in-time copy of everything the registry holds. Metric maps
+/// are sorted by name (BTreeMap order); spans keep first-seen order and
+/// events keep record order.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states by name.
+    pub histograms: Vec<(String, HistState)>,
+    /// Completed spans in first-seen order.
+    pub spans: Vec<SpanEntry>,
+    /// Events in record order.
+    pub events: Vec<Event>,
+}
+
+pub(crate) struct Registry {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    // First-seen order matters for trace rendering; linear lookup is fine
+    // for the few dozen span paths a run produces.
+    spans: Mutex<Vec<SpanEntry>>,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            enabled: AtomicBool::new(false),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Turns the global sink on. Until this is called every recording entry
+/// point is a near no-op (one relaxed atomic load).
+pub fn enable() {
+    registry().enabled.store(true, Ordering::SeqCst);
+}
+
+/// Turns the global sink off. Already-collected data stays readable via
+/// [`snapshot`] until the next [`reset`].
+pub fn disable() {
+    registry().enabled.store(false, Ordering::SeqCst);
+}
+
+/// Whether the sink is on. Instrumented code gates any work beyond a
+/// plain function call (loops, formatting, `Instant::now`) on this.
+#[inline]
+pub fn enabled() -> bool {
+    registry().enabled.load(Ordering::Relaxed)
+}
+
+/// Clears all metrics, spans and events. The enabled flag is untouched.
+pub fn reset() {
+    let r = registry();
+    lock(&r.counters).clear();
+    lock(&r.gauges).clear();
+    lock(&r.histograms).clear();
+    lock(&r.spans).clear();
+    lock(&r.events).clear();
+}
+
+/// Returns (registering on first use) the counter handle for `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut c = lock(&registry().counters);
+    match c.get(name) {
+        Some(existing) => existing.clone(),
+        None => {
+            let fresh = Counter::default();
+            c.insert(name.to_string(), fresh.clone());
+            fresh
+        }
+    }
+}
+
+/// Adds `n` to counter `name` if the sink is on; near no-op otherwise.
+pub fn counter_add(name: &str, n: u64) {
+    if enabled() {
+        counter(name).add(n);
+    }
+}
+
+/// Sets gauge `name` to `v` (last write wins) if the sink is on.
+pub fn gauge_set(name: &str, v: f64) {
+    if enabled() {
+        lock(&registry().gauges).insert(name.to_string(), v);
+    }
+}
+
+/// Default histogram bounds: one decade per bucket across the ranges the
+/// pipeline's millisecond-scale timings and dimensionless ratios occupy.
+pub const DEFAULT_BOUNDS: [f64; 10] = [
+    1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6,
+];
+
+/// Returns (registering with `bounds` on first use) the histogram
+/// `name`. The bounds of the first registration win.
+pub fn histogram(name: &str, bounds: &[f64]) -> Arc<Histogram> {
+    let mut h = lock(&registry().histograms);
+    match h.get(name) {
+        Some(existing) => Arc::clone(existing),
+        None => {
+            let fresh = Arc::new(Histogram::new(bounds));
+            h.insert(name.to_string(), Arc::clone(&fresh));
+            fresh
+        }
+    }
+}
+
+/// Observes `v` in histogram `name` (default decade bounds) if the sink
+/// is on; near no-op otherwise.
+pub fn histogram_observe(name: &str, v: f64) {
+    if enabled() {
+        histogram(name, &DEFAULT_BOUNDS).observe(v);
+    }
+}
+
+/// Records an event if the sink is on. Degradation repairs route through
+/// here so a run report carries them next to the timings they explain.
+pub fn event(category: &str, message: &str) {
+    if enabled() {
+        lock(&registry().events).push(Event {
+            category: category.to_string(),
+            message: message.to_string(),
+        });
+    }
+}
+
+/// Accumulates one completed span into the store (first-seen order).
+pub(crate) fn record_span(path: &str, wall_ns: u64) {
+    let mut spans = lock(&registry().spans);
+    match spans.iter_mut().find(|e| e.path == path) {
+        Some(e) => {
+            e.count += 1;
+            e.wall_ns = e.wall_ns.saturating_add(wall_ns);
+        }
+        None => spans.push(SpanEntry {
+            path: path.to_string(),
+            count: 1,
+            wall_ns,
+        }),
+    }
+}
+
+/// Copies everything out of the registry.
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    Snapshot {
+        counters: lock(&r.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect(),
+        gauges: lock(&r.gauges).iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        histograms: lock(&r.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect(),
+        spans: lock(&r.spans).clone(),
+        events: lock(&r.events).clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let _g = test_lock();
+        reset();
+        disable();
+        counter_add("t.c", 5);
+        gauge_set("t.g", 1.0);
+        histogram_observe("t.h", 2.0);
+        event("cat", "msg");
+        let s = snapshot();
+        assert!(s.counters.is_empty());
+        assert!(s.gauges.is_empty());
+        assert!(s.histograms.is_empty());
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn enabled_sink_accumulates() {
+        let _g = test_lock();
+        reset();
+        enable();
+        counter_add("t.c", 5);
+        counter_add("t.c", 2);
+        gauge_set("t.g", 1.0);
+        gauge_set("t.g", 3.5);
+        histogram_observe("t.h", 0.5);
+        histogram_observe("t.h", 50.0);
+        histogram_observe("t.h", f64::NAN); // dropped
+        event("cat", "msg");
+        let s = snapshot();
+        assert_eq!(s.counters, vec![("t.c".to_string(), 7)]);
+        assert_eq!(s.gauges, vec![("t.g".to_string(), 3.5)]);
+        let (_, h) = &s.histograms[0];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 50.5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 50.0);
+        assert_eq!(h.counts.iter().sum::<u64>(), 2);
+        assert_eq!(s.events.len(), 1);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(1.0); // first bucket (v <= 1.0)
+        h.observe(1.5); // second bucket
+        h.observe(11.0); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 1]);
+        assert_eq!(s.mean(), Some((1.0 + 1.5 + 11.0) / 3.0));
+        assert_eq!(Histogram::new(&[1.0]).snapshot().mean(), None);
+    }
+
+    #[test]
+    fn metrics_registry_is_exact_under_scoped_thread_hammering() {
+        // Satellite: the same shape of concurrency the parallel Monte
+        // Carlo loop produces — scoped threads all incrementing the same
+        // counter and observing into the same histogram. Totals must be
+        // exact: atomics for counters, a mutex for histogram bins.
+        let _g = test_lock();
+        reset();
+        enable();
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 10_000;
+        let c = counter("hammer.count");
+        let h = histogram("hammer.hist", &[0.25, 0.5, 0.75]);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let c = c.clone();
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.add(1);
+                        counter_add("hammer.count2", 1);
+                        h.observe((i % 4) as f64 * 0.25);
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        let s = snapshot();
+        let total = (THREADS * PER_THREAD) as u64;
+        let get = |name: &str| {
+            s.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .expect("counter exists")
+        };
+        assert_eq!(get("hammer.count"), total, "handle increments lost");
+        assert_eq!(get("hammer.count2"), total, "by-name increments lost");
+        let hist = &s
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "hammer.hist")
+            .expect("histogram exists")
+            .1;
+        assert_eq!(hist.count, total, "histogram observations lost");
+        // i % 4 yields 0.0/0.25/0.5/0.75; bounds are inclusive, so both
+        // 0.0 and 0.25 land in the first bucket and nothing overflows.
+        assert_eq!(
+            hist.counts,
+            vec![total / 2, total / 4, total / 4, 0],
+            "histogram bin counts lost or misplaced"
+        );
+        assert_eq!(hist.min, 0.0);
+        assert_eq!(hist.max, 0.75);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn reset_clears_everything_but_keeps_enabled_flag() {
+        let _g = test_lock();
+        reset();
+        enable();
+        counter_add("r.c", 1);
+        event("a", "b");
+        reset();
+        assert!(enabled(), "reset must not flip the switch");
+        let s = snapshot();
+        assert!(s.counters.is_empty() && s.events.is_empty());
+        disable();
+    }
+}

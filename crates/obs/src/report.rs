@@ -1,0 +1,352 @@
+//! Machine-readable run reports and the human trace rendering.
+//!
+//! Schema `klest-run-report/v1` (documented in DESIGN.md,
+//! "Observability"): a top-level object with `schema`, `tool`,
+//! `command`, `argv`, then `spans` (the nested timer tree), `counters`,
+//! `gauges`, `histograms` (all name-sorted) and `events` (record order).
+//! Rendering is deterministic — for a fixed seeded command the byte
+//! stream differs between runs only in timing values — and non-finite
+//! floats are rendered as `null` by the JSON writer, never `NaN`/`Inf`.
+
+use crate::json::Json;
+use crate::registry::{HistState, Snapshot, SpanEntry};
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Last path segment.
+    pub name: String,
+    /// Full slash-separated path.
+    pub path: String,
+    /// Completions recorded directly at this path (0 for a node that
+    /// exists only as a prefix of deeper paths).
+    pub count: u64,
+    /// Accumulated wall nanoseconds recorded directly at this path.
+    pub wall_ns: u64,
+    /// Child nodes, first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+/// Rebuilds the span tree from the flat path-keyed entries, preserving
+/// first-seen order and creating empty intermediate nodes for paths that
+/// were only ever seen as prefixes.
+pub fn span_tree(entries: &[SpanEntry]) -> Vec<SpanNode> {
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for e in entries {
+        let mut nodes = &mut roots;
+        let mut prefix = String::new();
+        let mut segments = e.path.split('/').peekable();
+        while let Some(seg) = segments.next() {
+            if !prefix.is_empty() {
+                prefix.push('/');
+            }
+            prefix.push_str(seg);
+            let pos = match nodes.iter().position(|n| n.name == seg) {
+                Some(i) => i,
+                None => {
+                    nodes.push(SpanNode {
+                        name: seg.to_string(),
+                        path: prefix.clone(),
+                        count: 0,
+                        wall_ns: 0,
+                        children: Vec::new(),
+                    });
+                    nodes.len() - 1
+                }
+            };
+            if segments.peek().is_none() {
+                nodes[pos].count += e.count;
+                nodes[pos].wall_ns = nodes[pos].wall_ns.saturating_add(e.wall_ns);
+            }
+            nodes = &mut nodes[pos].children;
+        }
+    }
+    roots
+}
+
+/// A collected run report ready for serialisation.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Tool name (e.g. `klest`).
+    pub tool: String,
+    /// Tool version.
+    pub version: String,
+    /// The subcommand that ran.
+    pub command: String,
+    /// Full argument vector (including the subcommand).
+    pub argv: Vec<String>,
+    /// Registry contents at collection time.
+    pub snapshot: Snapshot,
+}
+
+impl RunReport {
+    /// Snapshots the global registry into a report.
+    pub fn collect(tool: &str, version: &str, command: &str, argv: &[String]) -> Self {
+        RunReport {
+            tool: tool.to_string(),
+            version: version.to_string(),
+            command: command.to_string(),
+            argv: argv.to_vec(),
+            snapshot: crate::snapshot(),
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON (trailing newline).
+    pub fn to_json(&self) -> String {
+        let spans = span_tree(&self.snapshot.spans);
+        Json::obj(vec![
+            ("schema", Json::str("klest-run-report/v1")),
+            (
+                "tool",
+                Json::obj(vec![
+                    ("name", Json::str(&self.tool)),
+                    ("version", Json::str(&self.version)),
+                ]),
+            ),
+            ("command", Json::str(&self.command)),
+            (
+                "argv",
+                Json::Arr(self.argv.iter().map(Json::str).collect()),
+            ),
+            ("spans", Json::Arr(spans.iter().map(span_to_json).collect())),
+            (
+                "counters",
+                Json::Obj(
+                    self.snapshot
+                        .counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.snapshot
+                        .gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.snapshot
+                        .histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), hist_to_json(h)))
+                        .collect(),
+                ),
+            ),
+            (
+                "events",
+                Json::Arr(
+                    self.snapshot
+                        .events
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("category", Json::str(&e.category)),
+                                ("message", Json::str(&e.message)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_pretty_string()
+    }
+}
+
+fn span_to_json(n: &SpanNode) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&n.name)),
+        ("path", Json::str(&n.path)),
+        ("count", Json::UInt(n.count)),
+        ("wall_ns", Json::UInt(n.wall_ns)),
+        (
+            "children",
+            Json::Arr(n.children.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+fn hist_to_json(h: &HistState) -> Json {
+    Json::obj(vec![
+        ("count", Json::UInt(h.count)),
+        ("sum", Json::Num(h.sum)),
+        ("min", Json::Num(h.min)),
+        ("max", Json::Num(h.max)),
+        (
+            "bounds",
+            Json::Arr(h.bounds.iter().map(|&b| Json::Num(b)).collect()),
+        ),
+        (
+            "counts",
+            Json::Arr(h.counts.iter().map(|&c| Json::UInt(c)).collect()),
+        ),
+    ])
+}
+
+/// Human-readable duration with unit scaling.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Renders the current registry contents as an indented span tree plus
+/// metric and event summaries — the `--trace` output.
+pub fn render_trace() -> String {
+    let snap = crate::snapshot();
+    let mut out = String::new();
+    out.push_str("-- trace: span tree (wall clock) --\n");
+    fn walk(out: &mut String, nodes: &[SpanNode], depth: usize) {
+        for n in nodes {
+            let indent = "  ".repeat(depth);
+            let label = format!("{indent}{}", n.name);
+            if n.count > 0 {
+                out.push_str(&format!(
+                    "{label:<42} {:>4}x {:>12}\n",
+                    n.count,
+                    fmt_ns(n.wall_ns)
+                ));
+            } else {
+                out.push_str(&format!("{label}\n"));
+            }
+            walk(out, &n.children, depth + 1);
+        }
+    }
+    walk(&mut out, &span_tree(&snap.spans), 0);
+    if !snap.counters.is_empty() {
+        out.push_str("-- counters --\n");
+        for (k, v) in &snap.counters {
+            out.push_str(&format!("{k:<42} {v}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("-- gauges --\n");
+        for (k, v) in &snap.gauges {
+            out.push_str(&format!("{k:<42} {v}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("-- histograms --\n");
+        for (k, h) in &snap.histograms {
+            let mean = h.mean().map_or_else(|| "-".to_string(), |m| format!("{m:.4}"));
+            out.push_str(&format!(
+                "{k:<42} n={} mean={mean} min={} max={}\n",
+                h.count,
+                if h.count == 0 { "-".to_string() } else { format!("{:.4}", h.min) },
+                if h.count == 0 { "-".to_string() } else { format!("{:.4}", h.max) },
+            ));
+        }
+    }
+    if !snap.events.is_empty() {
+        out.push_str("-- events --\n");
+        for e in &snap.events {
+            out.push_str(&format!("[{}] {}\n", e.category, e.message));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SpanEntry;
+    use crate::test_lock;
+
+    fn entry(path: &str, count: u64, wall_ns: u64) -> SpanEntry {
+        SpanEntry {
+            path: path.to_string(),
+            count,
+            wall_ns,
+        }
+    }
+
+    #[test]
+    fn tree_nests_and_creates_intermediate_nodes() {
+        let entries = vec![
+            entry("ssta/kle/mesh/build", 1, 10),
+            entry("ssta/kle/galerkin/assemble", 1, 20),
+            entry("ssta", 1, 100),
+        ];
+        let tree = span_tree(&entries);
+        assert_eq!(tree.len(), 1);
+        let ssta = &tree[0];
+        assert_eq!(ssta.name, "ssta");
+        assert_eq!(ssta.count, 1);
+        assert_eq!(ssta.wall_ns, 100);
+        let kle = &ssta.children[0];
+        assert_eq!(kle.name, "kle");
+        assert_eq!(kle.count, 0, "intermediate node");
+        let mesh = &kle.children[0];
+        assert_eq!(mesh.path, "ssta/kle/mesh");
+        assert_eq!(mesh.children[0].name, "build");
+        assert_eq!(kle.children[1].children[0].name, "assemble");
+    }
+
+    #[test]
+    fn report_json_has_stable_shape_and_no_nonfinite() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        crate::counter_add("z.counter", 3);
+        crate::counter_add("a.counter", 1);
+        crate::gauge_set("g.nan", f64::NAN);
+        crate::histogram_observe("h.empty_min", f64::INFINITY); // dropped
+        {
+            let _s = crate::span("cmd");
+        }
+        crate::event("degradation", "something was repaired");
+        let report = RunReport::collect("klest", "0.1.0", "cmd", &["cmd".to_string()]);
+        crate::disable();
+        crate::reset();
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"klest-run-report/v1\""), "{json}");
+        // Name-sorted metric keys.
+        let a = json.find("a.counter").expect("a.counter");
+        let z = json.find("z.counter").expect("z.counter");
+        assert!(a < z, "counters sorted by name");
+        // Non-finite gauge renders as null, and nothing non-finite leaks.
+        assert!(json.contains("\"g.nan\": null"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf\""), "{json}");
+        assert!(json.contains("\"events\""), "{json}");
+        assert!(json.contains("something was repaired"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn trace_renders_nested_indentation() {
+        let _g = test_lock();
+        crate::reset();
+        crate::enable();
+        {
+            let _outer = crate::span("outer");
+            let _inner = crate::span("inner");
+        }
+        let trace = render_trace();
+        crate::disable();
+        crate::reset();
+        let outer_line = trace.lines().find(|l| l.starts_with("outer")).expect("outer");
+        let inner_line = trace.lines().find(|l| l.trim_start().starts_with("inner")).expect("inner");
+        assert!(outer_line.contains("1x"));
+        assert!(inner_line.starts_with("  "), "child indented: {inner_line:?}");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500_000), "1500.00 µs");
+        assert_eq!(fmt_ns(2_500_000_000), "2500.00 ms");
+        assert_eq!(fmt_ns(12_000_000_000), "12.00 s");
+    }
+}

@@ -1,0 +1,151 @@
+//! Hierarchical wall-clock span timers.
+//!
+//! A span is a RAII guard: creation takes the timestamp, drop records
+//! `(full path, elapsed)` into the global registry. Nesting is tracked
+//! per thread — a span created while another is live on the same thread
+//! gets the live span's path as a prefix, so `span("assemble")` inside
+//! `span("kle")` accumulates under `kle/assemble`. Span *names* may
+//! themselves contain slashes (`span("galerkin/assemble")`); the report
+//! tree treats every slash as a nesting level.
+//!
+//! With the sink disabled, [`span`] returns an inert guard without
+//! touching thread-local state or the clock.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of full paths of the spans live on this thread.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one timed region; see [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: Option<(String, Instant)>,
+}
+
+/// Opens a span named `name` under the innermost live span of this
+/// thread. Returns an inert guard when the sink is off.
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { live: None };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    SpanGuard {
+        live: Some((path, Instant::now())),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((path, start)) = self.live.take() {
+            let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // Guards drop in reverse creation order under normal
+                // scoping; tolerate out-of-order drops by removing the
+                // matching entry wherever it sits.
+                if let Some(i) = stack.iter().rposition(|p| *p == path) {
+                    stack.remove(i);
+                }
+            });
+            crate::registry::record_span(&path, wall_ns);
+        }
+    }
+}
+
+/// Opens a span (macro form, mirroring the `span!("name")` idiom).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{disable, enable, reset, snapshot, span, test_lock};
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = test_lock();
+        reset();
+        disable();
+        {
+            let _a = span("quiet");
+        }
+        assert!(snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_accumulate_under_parent_paths() {
+        let _g = test_lock();
+        reset();
+        enable();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                let _ = 1 + 1;
+            }
+            {
+                let _inner = span("inner");
+            }
+            let _slashed = span("a/b");
+        }
+        let spans = snapshot().spans;
+        let paths: Vec<&str> = spans.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, vec!["outer/inner", "outer/a/b", "outer"]);
+        let inner = &spans[0];
+        assert_eq!(inner.count, 2, "same path accumulates");
+        let outer = &spans[2];
+        assert!(outer.wall_ns >= inner.wall_ns, "parent covers child");
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn sibling_after_drop_is_root_level() {
+        let _g = test_lock();
+        reset();
+        enable();
+        {
+            let _a = span("first");
+        }
+        {
+            let _b = span("second");
+        }
+        let paths: Vec<String> = snapshot().spans.into_iter().map(|e| e.path).collect();
+        assert_eq!(paths, vec!["first", "second"]);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn spans_on_fresh_threads_start_at_root() {
+        let _g = test_lock();
+        reset();
+        enable();
+        let _outer = span("main_thread");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _w = span("worker");
+            });
+        });
+        let paths: Vec<String> = snapshot().spans.into_iter().map(|e| e.path).collect();
+        // The worker thread has its own (empty) stack: no false nesting
+        // under another thread's span.
+        assert_eq!(paths, vec!["worker"]);
+        disable();
+        reset();
+    }
+}

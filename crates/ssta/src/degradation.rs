@@ -113,8 +113,14 @@ impl DegradationReport {
         Self::default()
     }
 
-    /// Records one event.
+    /// Records one event. When the observability sink is on the event is
+    /// mirrored into the run report's event log at record time (not in
+    /// [`merge`](Self::merge), so merging sub-reports upward never
+    /// double-counts).
     pub fn record(&mut self, event: DegradationEvent) {
+        if klest_obs::enabled() {
+            klest_obs::event("degradation", &event.to_string());
+        }
         self.events.push(event);
     }
 

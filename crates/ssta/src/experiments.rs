@@ -112,6 +112,7 @@ impl KleContext {
         min_angle_degrees: f64,
         criterion: &TruncationCriterion,
     ) -> Result<Self, KleContextError> {
+        let _span = klest_obs::span("kle");
         let started = Instant::now();
         let mesh = MeshBuilder::new(Rect::unit_die())
             .max_area_fraction(max_area_fraction)
@@ -169,6 +170,7 @@ impl KleContext {
         rule: QuadratureRule,
         criterion: &TruncationCriterion,
     ) -> Result<Self, KleContextError> {
+        let _span = klest_obs::span("kle");
         let started = Instant::now();
         let mesh = MeshBuilder::new(Rect::unit_die())
             .max_area_fraction(max_area_fraction)
@@ -278,11 +280,14 @@ pub fn compare_methods_with_report<K: CovarianceKernel + ?Sized>(
     let mut report = DegradationReport::new();
     report.merge(&ctx.degradation);
 
+    let span_ref = klest_obs::span("mc/reference");
     let started = Instant::now();
     let sampler = CholeskySampler::new_with_report(kernel, setup.locations(), &mut report)?;
     let mc_run = run_monte_carlo(&setup.timer, &sampler, config)?;
     let mc_time = started.elapsed();
+    drop(span_ref);
 
+    let _span_kle = klest_obs::span("mc/kle");
     let started = Instant::now();
     let (kle_run, kle_time) = if ctx.budget_met {
         let kle_sampler = KleFieldSampler::new_with_report(
@@ -316,6 +321,7 @@ pub fn run_reference<K: CovarianceKernel + ?Sized>(
     kernel: &K,
     config: &McConfig,
 ) -> Result<(McRun, Duration), SstaError> {
+    let _span = klest_obs::span("mc/reference");
     let started = Instant::now();
     let sampler = CholeskySampler::new(kernel, setup.locations())?;
     let run = run_monte_carlo(&setup.timer, &sampler, config)?;
@@ -333,6 +339,7 @@ pub fn run_kle(
     ctx: &KleContext,
     config: &McConfig,
 ) -> Result<(McRun, Duration), SstaError> {
+    let _span = klest_obs::span("mc/kle");
     let started = Instant::now();
     let sampler = KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations())?;
     let run = run_monte_carlo(&setup.timer, &sampler, config)?;

@@ -167,6 +167,7 @@ pub fn run_monte_carlo_per_param(
     }
 
     let antithetic = config.antithetic;
+    let observe = klest_obs::enabled();
     let mut results: Vec<WorkerOutput> = Vec::with_capacity(threads);
     if threads == 1 {
         results.push(worker(
@@ -177,13 +178,29 @@ pub fn run_monte_carlo_per_param(
             n_outputs,
             antithetic,
         ));
+        if observe {
+            klest_obs::histogram_observe(
+                "mc.worker_wall_ms",
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+        }
     } else {
         let mut slots: Vec<Option<WorkerOutput>> = (0..threads).map(|_| None).collect();
         std::thread::scope(|scope| {
             for (t, (slot, &share)) in slots.iter_mut().zip(shares.iter()).enumerate() {
                 let seed = config.seed.wrapping_add(0x100_0003u64.wrapping_mul(t as u64 + 1));
                 scope.spawn(move || {
+                    // Spans stay on the coordinating thread (thread-local
+                    // stacks start fresh here); workers report through the
+                    // thread-safe metrics registry instead.
+                    let t0 = observe.then(Instant::now);
                     *slot = Some(worker(timer, samplers, seed, share, n_outputs, antithetic));
+                    if let Some(t0) = t0 {
+                        klest_obs::histogram_observe(
+                            "mc.worker_wall_ms",
+                            t0.elapsed().as_secs_f64() * 1e3,
+                        );
+                    }
                 });
             }
         });
@@ -200,12 +217,21 @@ pub fn run_monte_carlo_per_param(
             *acc += c;
         }
     }
+    let wall = started.elapsed();
+    if observe {
+        klest_obs::counter_add("mc.samples", config.samples as u64);
+        klest_obs::gauge_set("mc.threads", threads as f64);
+        let secs = wall.as_secs_f64();
+        if secs > 0.0 {
+            klest_obs::gauge_set("mc.samples_per_sec", config.samples as f64 / secs);
+        }
+    }
     Ok(McRun {
         worst_delays,
         output_stats,
         critical_counts,
         random_dims: samplers.iter().map(|s| s.random_dims()).max().unwrap_or(0),
-        wall: started.elapsed(),
+        wall,
     })
 }
 

@@ -86,6 +86,7 @@ impl CholeskySampler {
         kernel: &K,
         locations: &[Point2],
     ) -> Result<Self, SstaError> {
+        let _span = klest_obs::span("cholesky/factor");
         let cov = Self::covariance(kernel, locations);
         Ok(CholeskySampler {
             factor: Factor::Cholesky(Cholesky::new(&cov)?),
@@ -109,6 +110,7 @@ impl CholeskySampler {
         locations: &[Point2],
         report: &mut DegradationReport,
     ) -> Result<Self, SstaError> {
+        let _span = klest_obs::span("cholesky/factor");
         let cov = Self::covariance(kernel, locations);
         if let Ok(chol) = Cholesky::new(&cov) {
             return Ok(CholeskySampler {
@@ -124,6 +126,8 @@ impl CholeskySampler {
                 jittered[(i, i)] += jitter;
             }
             if let Ok(chol) = Cholesky::new(&jittered) {
+                klest_obs::counter_add("ssta.cholesky_jitter_attempts", (attempt + 1) as u64);
+                klest_obs::gauge_set("ssta.cholesky_jitter_epsilon", epsilon);
                 report.record(DegradationEvent::CholeskyJitter {
                     epsilon,
                     attempts: attempt + 1,
@@ -148,6 +152,8 @@ impl CholeskySampler {
                 *v *= eig.eigenvalues()[j].max(0.0).sqrt();
             }
         }
+        klest_obs::counter_add("ssta.cholesky_jitter_attempts", JITTER_LADDER.len() as u64);
+        klest_obs::counter_add("ssta.eigen_sampler_fallback", 1);
         report.record(DegradationEvent::EigenSamplerFallback { min_eigenvalue });
         Ok(CholeskySampler {
             factor: Factor::Eigen(l),
@@ -251,6 +257,7 @@ impl KleFieldSampler {
         rank: usize,
         locations: &[Point2],
     ) -> Result<Self, SstaError> {
+        let _span = klest_obs::span("gather");
         let sampler = KleSampler::new(kle, mesh, rank)?;
         let node_triangles = sampler.triangles_of(locations)?;
         Ok(KleFieldSampler {
@@ -276,6 +283,7 @@ impl KleFieldSampler {
         locations: &[Point2],
         report: &mut DegradationReport,
     ) -> Result<Self, SstaError> {
+        let _span = klest_obs::span("gather");
         let sampler = KleSampler::new(kle, mesh, rank)?;
         let (node_triangles, clamped) = sampler.triangles_of_clamped(locations);
         if clamped > 0 {

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs a fixed, seeded SSTA workload with the observability sink on and
+# writes a machine-readable run report (schema klest-run-report/v1) to
+# BENCH_<name>.json, then sanity-checks the report for the keys any
+# downstream consumer (CI artifact diffing, perf dashboards) relies on.
+#
+# Usage: scripts/bench_report.sh [name]
+#   name   suffix for the output file (default: the short git SHA, or
+#          "local" outside a checkout)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+name="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
+out="BENCH_${name}.json"
+
+cargo build --release --offline -q -p klest-cli
+
+# Fixed workload: small enough for CI, large enough that every pipeline
+# stage (mesh, assembly, eigensolve, truncation, both MC arms) gets a
+# measurable wall time. Seeded, so everything except timings is
+# reproducible run to run.
+./target/release/klest ssta \
+  --circuit c880 --scale 0.25 --samples 400 --seed 2008 --threads 2 \
+  --report "$out"
+
+# Schema gate: a report missing any of these keys means the
+# instrumentation regressed, and the run fails.
+required='
+"schema": "klest-run-report/v1"
+"spans"
+"counters"
+"gauges"
+"histograms"
+"events"
+ssta/kle/mesh/build
+ssta/kle/galerkin/assemble
+ssta/kle/galerkin/eigensolve
+ssta/kle/truncate
+ssta/mc/reference
+ssta/mc/kle
+eigen.ql_iterations
+mc.samples_per_sec
+mesh.min_angle_deg
+'
+fail=0
+while IFS= read -r key; do
+  [ -z "$key" ] && continue
+  if ! grep -qF "$key" "$out"; then
+    echo "error: $out is missing required key: $key" >&2
+    fail=1
+  fi
+done <<EOF
+$required
+EOF
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+
+echo "bench report ok: $out"

@@ -48,6 +48,7 @@ pub use klest_geometry as geometry;
 pub use klest_kernels as kernels;
 pub use klest_linalg as linalg;
 pub use klest_mesh as mesh;
+pub use klest_obs as obs;
 pub use klest_ssta as ssta;
 pub use klest_sta as sta;
 
