@@ -50,4 +50,4 @@ pub use galerkin::assemble_galerkin;
 pub use kle::{EigenSolver, GalerkinKle, KleOptions};
 pub use quadrature::QuadratureRule;
 pub use sampler::KleSampler;
-pub use truncation::TruncationCriterion;
+pub use truncation::{spectrum_is_descending, TruncationCriterion};

@@ -7,6 +7,31 @@
 //! at most 1% of `Σ_{i=1}^{r} λ_i`, yielding r = 25 for its Gaussian
 //! kernel on the n = 1546 mesh.
 
+/// Is the spectrum sorted descending and NaN-free?
+///
+/// The tail bound `λ_m (n - m) + Σ_{i=r+1}^{m} λ_i` is only an upper
+/// bound on the discarded variance when `λ_m` really is the smallest
+/// computed eigenvalue — i.e. when the spectrum is descending. Ties and
+/// near-degenerate pairs (|λ_i − λ_{i+1}| at rounding scale) count as
+/// descending; a single NaN does not.
+pub fn spectrum_is_descending(eigenvalues: &[f64]) -> bool {
+    eigenvalues.iter().all(|x| !x.is_nan())
+        && eigenvalues.windows(2).all(|w| w[0] >= w[1])
+}
+
+/// A descending-sorted copy (NaNs sorted behind every real value and
+/// then clamped by the criterion's `max(0.0)` as usual).
+fn descending_copy(eigenvalues: &[f64]) -> Vec<f64> {
+    let mut sorted = eigenvalues.to_vec();
+    sorted.sort_by(|a, b| match (a.is_nan(), b.is_nan()) {
+        (false, false) => b.total_cmp(a),
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (true, true) => std::cmp::Ordering::Equal,
+    });
+    sorted
+}
+
 /// The λ-tail truncation criterion.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TruncationCriterion {
@@ -58,6 +83,10 @@ impl TruncationCriterion {
         if eigenvalues.is_empty() || r == 0 {
             return false;
         }
+        if !spectrum_is_descending(eigenvalues) {
+            let sorted = descending_copy(eigenvalues);
+            return self.budget_met_with_basis(&sorted, n, r);
+        }
         let n = n.max(eigenvalues.len());
         let m = self.computed.min(eigenvalues.len()).max(1);
         if r > m {
@@ -74,10 +103,32 @@ impl TruncationCriterion {
     /// (`eigenvalues` may hold only the first `m ≤ n` values — the
     /// paper's exact situation, having "computed only the first 200").
     ///
-    /// `eigenvalues` must be sorted descending. Negative tail eigenvalues
+    /// `eigenvalues` should be sorted descending; an out-of-order
+    /// spectrum (an eigensolver-ordering bug upstream) is *repaired* by
+    /// selecting against a descending-sorted copy rather than silently
+    /// mis-pricing the tail — use
+    /// [`select_with_basis_checked`](Self::select_with_basis_checked) to
+    /// observe whether a repair happened. Negative tail eigenvalues
     /// (discretisation noise) are clamped to zero. Returns at least 1 and
     /// at most `m`.
     pub fn select_with_basis(&self, eigenvalues: &[f64], n: usize) -> usize {
+        self.select_with_basis_checked(eigenvalues, n).0
+    }
+
+    /// Like [`select_with_basis`](Self::select_with_basis), additionally
+    /// reporting whether the input spectrum was already descending
+    /// (`true`) or had to be repaired by sorting (`false`). On a
+    /// descending spectrum this is exactly `(select_with_basis(..), true)`.
+    pub fn select_with_basis_checked(&self, eigenvalues: &[f64], n: usize) -> (usize, bool) {
+        if !spectrum_is_descending(eigenvalues) {
+            let sorted = descending_copy(eigenvalues);
+            return (self.select_descending(&sorted, n), false);
+        }
+        (self.select_descending(eigenvalues, n), true)
+    }
+
+    /// The core rule, assuming a descending spectrum.
+    fn select_descending(&self, eigenvalues: &[f64], n: usize) -> usize {
         let n = n.max(eigenvalues.len());
         if eigenvalues.is_empty() {
             return 1;
@@ -188,6 +239,60 @@ mod tests {
     fn empty_and_tiny_inputs() {
         assert_eq!(TruncationCriterion::default().select(&[]), 1);
         assert_eq!(TruncationCriterion::default().select(&[3.0]), 1);
+    }
+
+    #[test]
+    fn mis_sorted_spectrum_is_caught_and_repaired() {
+        // Regression for the ordering guarantee: before the repair, an
+        // ascending spectrum made λ_m the *largest* eigenvalue, blowing
+        // up the uncomputed-tail bound (or, with m = n, silently
+        // truncating the dominant modes). The criterion must now detect
+        // the mis-ordering and select exactly as for the sorted copy.
+        let sorted: Vec<f64> = (0..50).map(|i| (-0.3 * i as f64).exp()).collect();
+        let mut reversed = sorted.clone();
+        reversed.reverse();
+        let crit = TruncationCriterion::new(50, 0.01);
+        assert!(spectrum_is_descending(&sorted));
+        assert!(!spectrum_is_descending(&reversed), "mis-sort not caught");
+        let (r_sorted, clean) = crit.select_with_basis_checked(&sorted, 50);
+        assert!(clean);
+        let (r_reversed, repaired) = crit.select_with_basis_checked(&reversed, 50);
+        assert!(!repaired, "repair must be reported");
+        assert_eq!(r_sorted, r_reversed, "repair must match the sorted result");
+        // A single swapped adjacent pair is also caught.
+        let mut swapped = sorted.clone();
+        swapped.swap(3, 4);
+        assert!(!crit.select_with_basis_checked(&swapped, 50).1);
+        assert_eq!(crit.select(&swapped), r_sorted);
+        // budget_met agrees between mis-sorted input and its sorted copy.
+        assert_eq!(
+            crit.budget_met_with_basis(&reversed, 50, r_sorted),
+            crit.budget_met_with_basis(&sorted, 50, r_sorted)
+        );
+    }
+
+    #[test]
+    fn ties_and_near_degenerate_pairs_are_descending() {
+        // Exact ties and pairs split at rounding scale must NOT trigger
+        // the repair path (they are legitimately descending) and must
+        // select a stable rank.
+        let tied = vec![2.0, 1.0, 1.0, 1.0, 0.5, 0.5, 1e-9, 1e-9];
+        assert!(spectrum_is_descending(&tied));
+        let crit = TruncationCriterion::new(8, 0.01);
+        let (r, clean) = crit.select_with_basis_checked(&tied, 8);
+        assert!(clean, "ties wrongly flagged as mis-sorted");
+        assert!((1..=8).contains(&r));
+        // Near-degenerate: differ by one ULP-scale nudge.
+        let near = vec![1.0, 1.0 - 1e-15, 1.0 - 2e-15, 0.25];
+        assert!(spectrum_is_descending(&near));
+        assert!(crit.select_with_basis_checked(&near, 4).1);
+        // NaN anywhere is never "descending"; selection still returns a
+        // valid rank by repairing (NaN sorted to the back, clamped to 0).
+        let poisoned = vec![2.0, f64::NAN, 1.0];
+        assert!(!spectrum_is_descending(&poisoned));
+        let (r_nan, clean_nan) = crit.select_with_basis_checked(&poisoned, 3);
+        assert!(!clean_nan);
+        assert!((1..=3).contains(&r_nan));
     }
 
     #[test]

@@ -402,6 +402,74 @@ mod tests {
     }
 
     #[test]
+    // Full-precision mpmath references, deliberately beyond f64.
+    #[allow(clippy::excessive_precision)]
+    fn gamma_against_high_precision_references() {
+        // 30-digit mpmath references; Lanczos (g = 7, n = 9) should hold
+        // ~13 significant digits across the reflection and direct paths.
+        close(gamma(0.1), 9.513_507_698_668_731_8, 1e-13);
+        close(gamma(0.01), 99.432_585_119_150_603_7, 1e-13);
+        close(gamma(3.7), 4.170_651_783_796_603_2, 1e-13);
+        close(gamma(12.3), 8.338_536_789_996_985_5e7, 1e-13);
+        // Near the f64 overflow edge (Γ(171.62…) ≈ f64::MAX).
+        close(gamma(171.5), 9.483_367_566_824_799_3e307, 1e-12);
+        // Reflection branch at negative non-integer arguments.
+        close(gamma(-1.5), 2.363_271_801_207_354_7, 1e-13);
+        close(gamma(-2.3), -1.447_107_394_255_917_3, 1e-13);
+    }
+
+    #[test]
+    // Full-precision mpmath references, deliberately beyond f64.
+    #[allow(clippy::excessive_precision)]
+    fn ln_gamma_against_high_precision_references() {
+        // Small arguments (near the x = 0 pole, reflection path), the
+        // mid-range, and arguments far beyond where Γ itself overflows.
+        close(ln_gamma(1e-8), 18.420_680_738_180_208_9, 1e-13);
+        close(ln_gamma(0.1), 2.252_712_651_734_205_96, 1e-13);
+        close(ln_gamma(2.5), 0.284_682_870_472_919_16, 1e-12);
+        close(ln_gamma(101.0), 363.739_375_555_563_490_1, 1e-13);
+        close(ln_gamma(1000.0), 5_905.220_423_209_181_2, 1e-13);
+        close(ln_gamma(1e6), 12_815_504.569_147_611_66, 1e-13);
+    }
+
+    #[test]
+    // Full-precision mpmath references, deliberately beyond f64.
+    #[allow(clippy::excessive_precision)]
+    fn bessel_small_order_references() {
+        // Small real orders exercise the μ → 0 limit of the Temme
+        // auxiliaries (Γ₁ → −γ), where naive 1/Γ differencing loses all
+        // precision. mpmath (30 digits) references.
+        close(bessel_k(0.1, 0.5).unwrap(), 0.930_086_529_131_478_534_7, 1e-12);
+        close(bessel_k(0.1, 3.0).unwrap(), 3.479_013_223_789_180_276e-2, 1e-12);
+        close(bessel_k(0.01, 1.0).unwrap(), 0.421_039_829_037_782_334_3, 1e-12);
+        // Tiny argument: the log-singular region of the series.
+        close(bessel_k(0.25, 1e-3).unwrap(), 11.756_476_271_934_458_64, 1e-12);
+    }
+
+    #[test]
+    // Full-precision mpmath references, deliberately beyond f64.
+    #[allow(clippy::excessive_precision)]
+    fn bessel_large_argument_references() {
+        // Deep in the exponential tail the continued fraction must keep
+        // relative (not absolute) accuracy: values down to 1e-45.
+        close(bessel_k(1.7, 50.0).unwrap(), 3.509_157_309_562_096_05e-23, 1e-12);
+        close(bessel_k(0.0, 50.0).unwrap(), 3.410_167_749_789_495_514e-23, 1e-12);
+        close(bessel_k(3.3, 100.0).unwrap(), 4.915_863_806_891_351_6e-45, 1e-12);
+        close(bessel_k(5.5, 20.0).unwrap(), 1.196_403_480_199_839_484e-9, 1e-12);
+    }
+
+    #[test]
+    // Full-precision mpmath references, deliberately beyond f64.
+    #[allow(clippy::excessive_precision)]
+    fn bessel_high_order_upward_recurrence_references() {
+        // Large ν / moderate x stresses the upward order recurrence
+        // (10 doublings from the μ seed) and large ν with x → 0 stresses
+        // the x^{-ν} growth of the series.
+        close(bessel_k(10.0, 2.5).unwrap(), 16_406.916_416_341_941_04, 1e-11);
+        close(bessel_k(2.7, 0.01).unwrap(), 1_260_621.683_748_957_823, 1e-11);
+    }
+
+    #[test]
     fn matern_limit_small_argument() {
         // 2 (z/2)^ν K_ν(z) / Γ(ν) → 1 as z → 0+ for ν > 0 — the property
         // that makes eq. (6) a valid correlation (K(x,x) = 1).

@@ -108,6 +108,56 @@ impl SymmetricEigen {
         })
     }
 
+    /// Computes the eigendecomposition with the cyclic Jacobi solver
+    /// directly, bypassing the Householder/QL path entirely.
+    ///
+    /// This is the degradation engine [`new`](SymmetricEigen::new) falls
+    /// back to on QL non-convergence, exposed so differential test
+    /// suites can cross-check the two independent algorithms on the same
+    /// input (QL-vs-Jacobi equivalence is a standing workspace
+    /// property). Results use the same contract as `new`: descending
+    /// eigenvalues, unit-norm eigenvector columns.
+    ///
+    /// # Errors
+    ///
+    /// Same shape/finiteness errors as [`new`](SymmetricEigen::new), and
+    /// [`LinalgError::NoConvergence`] if the Jacobi sweep budget is
+    /// exhausted (does not happen for finite symmetric input in
+    /// practice).
+    pub fn new_jacobi(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                dims: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        for i in 0..n {
+            for (j, &v) in a.row(i).iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(LinalgError::NonFinite { row: i, col: j });
+                }
+            }
+        }
+        let (d, z) = crate::jacobi::jacobi_eigen(a)?;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| f64::total_cmp(&d[j], &d[i]));
+        let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for row in 0..n {
+                vectors[(row, new_col)] = z[(row, old_col)];
+            }
+        }
+        Ok(SymmetricEigen {
+            values,
+            vectors,
+            used_fallback: false,
+        })
+    }
+
     /// True when the decomposition came from the cyclic Jacobi fallback
     /// after the QL iteration failed to converge.
     pub fn used_fallback(&self) -> bool {

@@ -1,0 +1,152 @@
+//! Point-location edge cases: queries exactly on vertices, exactly on
+//! shared edges, just outside the hull, and the degenerate-input
+//! rejection paths of [`Mesh::from_parts`]. These are the boundary
+//! conditions `IndexOfContainingTriangle()` (Algorithm 2) must survive
+//! when gates land on mesh seams.
+
+use klest_geometry::{Point2, Rect};
+use klest_mesh::{Mesh, MeshBuilder, MeshError};
+use klest_rng::{Rng, SeedableRng, StdRng};
+
+/// Unit square split along the main diagonal into two triangles.
+fn two_triangle_mesh() -> Mesh {
+    let points = vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(1.0, 0.0),
+        Point2::new(1.0, 1.0),
+        Point2::new(0.0, 1.0),
+    ];
+    Mesh::from_parts(
+        Rect::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+        points,
+        vec![[0, 1, 2], [0, 2, 3]],
+    )
+    .expect("two-triangle unit square is a valid mesh")
+}
+
+#[test]
+fn query_on_vertex_is_located() {
+    let mesh = two_triangle_mesh();
+    let locator = mesh.locator();
+    // Every mesh vertex belongs to at least one triangle; the locator
+    // must report one that actually contains it.
+    for &v in mesh.points() {
+        let idx = locator.locate(v).unwrap_or_else(|| {
+            panic!("vertex {v:?} not located");
+        });
+        assert!(
+            mesh.triangle(idx).contains(v),
+            "triangle {idx} does not contain its own vertex {v:?}"
+        );
+    }
+}
+
+#[test]
+fn query_on_shared_edge_is_located_consistently() {
+    let mesh = two_triangle_mesh();
+    let locator = mesh.locator();
+    // Midpoint of the diagonal shared by both triangles: either index is
+    // acceptable, but the reported triangle must contain the point and
+    // the linear scan must agree up to the same ambiguity.
+    let on_edge = Point2::new(0.5, 0.5);
+    let fast = locator.locate(on_edge).expect("edge point located");
+    assert!(mesh.triangle(fast).contains(on_edge));
+    let slow = mesh.locate_linear(on_edge).expect("linear scan finds it");
+    assert!(mesh.triangle(slow).contains(on_edge));
+
+    // Midpoints of the boundary edges as well.
+    for p in [
+        Point2::new(0.5, 0.0),
+        Point2::new(1.0, 0.5),
+        Point2::new(0.5, 1.0),
+        Point2::new(0.0, 0.5),
+    ] {
+        let idx = locator.locate(p).expect("boundary edge point located");
+        assert!(mesh.triangle(idx).contains(p), "{p:?} not in triangle {idx}");
+    }
+}
+
+#[test]
+fn query_outside_hull_misses_and_clamps() {
+    let mesh = two_triangle_mesh();
+    let locator = mesh.locator();
+    for p in [
+        Point2::new(-0.1, 0.5),
+        Point2::new(1.1, 0.5),
+        Point2::new(0.5, -1e-9),
+        Point2::new(2.0, 2.0),
+    ] {
+        assert_eq!(locator.locate(p), None, "{p:?} should be outside");
+        assert_eq!(mesh.locate_linear(p), None);
+        // The never-fail variant clamps to a valid triangle and reports
+        // that clamping happened.
+        let (idx, clamped) = locator.locate_or_nearest(p);
+        assert!(clamped, "{p:?} should have been clamped");
+        assert!(idx < mesh.len());
+    }
+    // Inside points are never flagged as clamped.
+    let (_, clamped) = locator.locate_or_nearest(Point2::new(0.25, 0.25));
+    assert!(!clamped);
+}
+
+#[test]
+fn collinear_triangle_is_rejected_as_degenerate() {
+    let points = vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(0.5, 0.5),
+        Point2::new(1.0, 1.0),
+    ];
+    let err = Mesh::from_parts(Rect::unit_die(), points, vec![[0, 1, 2]])
+        .expect_err("collinear vertices must be rejected");
+    assert!(matches!(err, MeshError::DegenerateTriangle { index: 0, .. }));
+}
+
+#[test]
+fn repeated_vertex_triangle_is_rejected_as_degenerate() {
+    let p = Point2::new(0.25, 0.25);
+    let points = vec![p, p, Point2::new(0.75, 0.5)];
+    let err = Mesh::from_parts(Rect::unit_die(), points, vec![[0, 1, 2]])
+        .expect_err("zero-area (repeated-vertex) triangle must be rejected");
+    assert!(matches!(err, MeshError::DegenerateTriangle { index: 0, .. }));
+}
+
+/// On a refined production-style mesh, the grid locator and the
+/// exhaustive linear scan agree for random interior, boundary-hugging
+/// and exterior queries.
+#[test]
+fn locator_matches_linear_scan_on_refined_mesh() {
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(0.02)
+        .min_angle_degrees(25.0)
+        .build()
+        .expect("refined unit-die mesh");
+    let locator = mesh.locator();
+    let mut rng = StdRng::seed_from_u64(0x10_CA7E);
+    for _ in 0..500 {
+        let p = Point2::new(rng.gen_range(-1.2..1.2), rng.gen_range(-1.2..1.2));
+        let fast = locator.locate(p);
+        let slow = mesh.locate_linear(p);
+        match (fast, slow) {
+            (None, None) => {}
+            (Some(i), Some(j)) => {
+                assert!(
+                    i == j || (mesh.triangle(i).contains(p) && mesh.triangle(j).contains(p)),
+                    "locator {i} vs linear {j} at {p:?}"
+                );
+            }
+            (got, want) => panic!("locator {got:?} vs linear {want:?} at {p:?}"),
+        }
+    }
+    // Every mesh vertex and every edge midpoint of every triangle is
+    // located inside a containing triangle.
+    for i in 0..mesh.len() {
+        let t = mesh.triangle(i);
+        let [a, b, c] = t.vertices();
+        for p in [a, b, c, a.midpoint(b), b.midpoint(c), c.midpoint(a)] {
+            let idx = locator
+                .locate(p)
+                .unwrap_or_else(|| panic!("seam point {p:?} of triangle {i} not located"));
+            assert!(mesh.triangle(idx).contains(p));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The [`Strategy`] abstraction: a seeded generator plus a shrinker.
+
+use klest_rng::StdRng;
+use std::fmt;
+
+/// A generator of test values with an optional shrinker.
+///
+/// `generate` must be a pure function of the RNG stream — no ambient
+/// state, no wall clock — so that a case seed fully determines the value
+/// (the replay contract). `shrink` proposes *simpler* candidates for a
+/// failing value, most aggressive first; the runner greedily accepts the
+/// first candidate that still fails. Shrinking must make progress toward
+/// a fixed point (each candidate strictly simpler), otherwise the
+/// runner's step budget cuts the walk short.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + fmt::Debug;
+
+    /// Draws one value from the RNG.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes simpler variants of a failing value (may be empty).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&value.0) {
+            out.push((a, value.1.clone()));
+        }
+        for b in self.1.shrink(&value.1) {
+            out.push((value.0.clone(), b));
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&value.0) {
+            out.push((a, value.1.clone(), value.2.clone()));
+        }
+        for b in self.1.shrink(&value.1) {
+            out.push((value.0.clone(), b, value.2.clone()));
+        }
+        for c in self.2.shrink(&value.2) {
+            out.push((value.0.clone(), value.1.clone(), c));
+        }
+        out
+    }
+}

@@ -1,0 +1,133 @@
+//! Differential cross-checks of the linear-algebra engines on random
+//! SPD (and shifted indefinite) matrices: the Householder/QL solver and
+//! the cyclic Jacobi fallback are independent algorithms that must
+//! agree, and the Cholesky factor and the eigendecomposition factor
+//! `Q √Λ` must reproduce the same covariance — which is exactly why the
+//! sampler fallback chain in klest-ssta is distribution-preserving.
+
+use klest::linalg::{Cholesky, Matrix, SymmetricEigen};
+use klest_proptest::{check, strategies};
+
+fn reconstruct(eig: &SymmetricEigen) -> Matrix {
+    let n = eig.eigenvalues().len();
+    let q = eig.eigenvectors();
+    Matrix::from_fn(n, n, |i, j| {
+        (0..n)
+            .map(|k| q[(i, k)] * eig.eigenvalues()[k] * q[(j, k)])
+            .sum()
+    })
+}
+
+/// QL and Jacobi agree on the spectrum and both reconstruct the input,
+/// for SPD matrices and for their indefinite diagonal shifts.
+#[test]
+fn ql_and_jacobi_are_differentially_equivalent() {
+    let strat = strategies::spd_matrix(2..10);
+    check("ql_and_jacobi_are_differentially_equivalent", &strat, |spd| {
+        let n = spd.rows();
+        // Also exercise an indefinite symmetric input: shift the
+        // spectrum down by the mean diagonal.
+        let shift = (0..n).map(|i| spd[(i, i)]).sum::<f64>() / n as f64;
+        let mut indefinite = spd.clone();
+        for i in 0..n {
+            indefinite[(i, i)] -= shift;
+        }
+        for a in [spd, &indefinite] {
+            let scale = a.max_abs().max(1.0);
+            let ql = SymmetricEigen::new(a).map_err(|e| format!("QL failed: {e}"))?;
+            let jac = SymmetricEigen::new_jacobi(a).map_err(|e| format!("Jacobi failed: {e}"))?;
+            for (i, (l_ql, l_jac)) in ql
+                .eigenvalues()
+                .iter()
+                .zip(jac.eigenvalues())
+                .enumerate()
+            {
+                if (l_ql - l_jac).abs() > 1e-9 * scale {
+                    return Err(format!(
+                        "eigenvalue {i}: QL {l_ql} vs Jacobi {l_jac} (scale {scale})"
+                    ));
+                }
+            }
+            // Both factorizations reconstruct A (this also pins the
+            // eigenvectors without fighting sign/degeneracy ambiguity).
+            for (engine, eig) in [("QL", &ql), ("Jacobi", &jac)] {
+                let err = reconstruct(eig)
+                    .sub(a)
+                    .map_err(|e| format!("shape: {e}"))?
+                    .frobenius_norm();
+                if err > 1e-8 * scale * n as f64 {
+                    return Err(format!("{engine} reconstruction error {err}"));
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Both engines return descending spectra and unit-norm eigenvector
+/// columns (the contract the truncation rule depends on).
+#[test]
+fn eigen_contract_descending_and_unit_norm() {
+    let strat = strategies::spd_matrix(2..10);
+    check("eigen_contract_descending_and_unit_norm", &strat, |spd| {
+        for eig in [
+            SymmetricEigen::new(spd).map_err(|e| format!("QL: {e}"))?,
+            SymmetricEigen::new_jacobi(spd).map_err(|e| format!("Jacobi: {e}"))?,
+        ] {
+            let v = eig.eigenvalues();
+            if v.windows(2).any(|w| w[0] < w[1]) {
+                return Err(format!("spectrum not descending: {v:?}"));
+            }
+            let n = v.len();
+            for k in 0..n {
+                let norm: f64 = (0..n)
+                    .map(|i| eig.eigenvectors()[(i, k)].powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                if (norm - 1.0).abs() > 1e-9 {
+                    return Err(format!("eigenvector {k} has norm {norm}"));
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Covariance equivalence of the two sampling factorizations: the
+/// Cholesky factor `L` and the eigen factor `F = Q √Λ` satisfy
+/// `L Lᵀ = F Fᵀ = A`, so the strict sampler and the eigen-fallback
+/// sampler in klest-ssta induce the same Gaussian distribution.
+#[test]
+fn cholesky_and_eigen_factors_reproduce_the_same_covariance() {
+    let strat = strategies::spd_matrix(2..10);
+    check(
+        "cholesky_and_eigen_factors_reproduce_the_same_covariance",
+        &strat,
+        |a| {
+            let n = a.rows();
+            let scale = a.max_abs().max(1.0);
+            let chol = Cholesky::new(a).map_err(|e| format!("Cholesky failed: {e}"))?;
+            let l = chol.lower();
+            let llt = l
+                .mul(&l.transpose())
+                .map_err(|e| format!("shape: {e}"))?;
+            let eig = SymmetricEigen::new(a).map_err(|e| format!("eig failed: {e}"))?;
+            let mut f = eig.eigenvectors().clone();
+            for i in 0..n {
+                for k in 0..n {
+                    f[(i, k)] *= eig.eigenvalues()[k].max(0.0).sqrt();
+                }
+            }
+            let fft = f
+                .mul(&f.transpose())
+                .map_err(|e| format!("shape: {e}"))?;
+            for m in [&llt, &fft] {
+                let err = m.sub(a).map_err(|e| format!("shape: {e}"))?.frobenius_norm();
+                if err > 1e-8 * scale * n as f64 {
+                    return Err(format!("factor reconstruction error {err}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}

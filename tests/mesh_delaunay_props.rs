@@ -1,0 +1,169 @@
+//! Geometric invariants of the meshing layer under random input: the
+//! Bowyer-Watson triangulation's empty-circumcircle property, Ruppert
+//! refinement's min-angle guarantee, exact area accounting, and
+//! locator/linear-scan agreement — all seeded and replayable through
+//! klest-proptest.
+
+use klest::geometry::{in_circle, Point2, Rect, Triangle};
+use klest::mesh::delaunay::DelaunayTriangulation;
+use klest::mesh::MeshBuilder;
+use klest_proptest::{check, check_config, strategies, Config};
+
+/// Drop points closer than `eps` to an already-kept point (the
+/// triangulation rejects near-duplicates; the property should not
+/// depend on which copy survived).
+fn dedupe(points: &[Point2], eps: f64) -> Vec<Point2> {
+    let mut kept: Vec<Point2> = Vec::new();
+    for &p in points {
+        if kept.iter().all(|q| q.distance(p) > eps) {
+            kept.push(p);
+        }
+    }
+    kept
+}
+
+/// Empty-circumcircle property: no inserted vertex lies strictly inside
+/// the circumcircle of any final Delaunay triangle.
+#[test]
+fn delaunay_triangles_have_empty_circumcircles() {
+    let strat = strategies::points_in(Rect::unit_die(), 4..24);
+    check(
+        "delaunay_triangles_have_empty_circumcircles",
+        &strat,
+        |raw| {
+            let points = dedupe(raw, 1e-4);
+            if points.len() < 3 {
+                return Ok(()); // nothing to triangulate
+            }
+            let corners = Rect::unit_die().corners();
+            let mut dt = DelaunayTriangulation::new(corners[0], corners[2]);
+            for &p in &points {
+                dt.insert(p);
+            }
+            let (verts, tris) = dt.finish();
+            for (t, tri) in tris.iter().enumerate() {
+                let [a, b, c] = *tri;
+                for (q, &p) in verts.iter().enumerate() {
+                    if q == a || q == b || q == c {
+                        continue;
+                    }
+                    // in_circle > 0 means strictly inside for CCW abc;
+                    // allow predicate-roundoff slack.
+                    let det = in_circle(verts[a], verts[b], verts[c], p);
+                    if det > 1e-9 {
+                        return Err(format!(
+                            "vertex {q} inside circumcircle of triangle {t} (det {det:.3e}, {} points)",
+                            verts.len()
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Every final Delaunay triangle is CCW and non-degenerate.
+#[test]
+fn delaunay_triangles_are_ccw_and_nondegenerate() {
+    let strat = strategies::points_in(Rect::unit_die(), 4..24);
+    check(
+        "delaunay_triangles_are_ccw_and_nondegenerate",
+        &strat,
+        |raw| {
+            let points = dedupe(raw, 1e-4);
+            if points.len() < 3 {
+                return Ok(());
+            }
+            let corners = Rect::unit_die().corners();
+            let mut dt = DelaunayTriangulation::new(corners[0], corners[2]);
+            for &p in &points {
+                dt.insert(p);
+            }
+            let (verts, tris) = dt.finish();
+            for tri in &tris {
+                let t = Triangle::new(verts[tri[0]], verts[tri[1]], verts[tri[2]]);
+                if t.signed_area() <= 0.0 {
+                    return Err(format!("non-CCW/degenerate triangle {tri:?}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Ruppert refinement honours the requested min-angle and area budget,
+/// and the triangle areas sum exactly to the die area.
+#[test]
+fn refinement_honours_quality_constraints() {
+    let name = "refinement_honours_quality_constraints";
+    let cfg = Config {
+        cases: 12,
+        ..Config::from_env(name)
+    };
+    let strat = (
+        strategies::f64_in(0.01..0.1),
+        strategies::f64_in(20.0..30.0),
+    );
+    check_config(name, &cfg, &strat, |&(area_fraction, min_angle)| {
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area_fraction(area_fraction)
+            .min_angle_degrees(min_angle)
+            .build()
+            .map_err(|e| format!("meshing failed: {e}"))?;
+        let q = mesh.quality();
+        if q.min_angle_deg < min_angle - 1e-9 {
+            return Err(format!(
+                "min angle {:.3} below requested {min_angle:.3}",
+                q.min_angle_deg
+            ));
+        }
+        let budget = area_fraction * Rect::unit_die().area();
+        if q.max_area > budget * (1.0 + 1e-9) {
+            return Err(format!("max area {} over budget {budget}", q.max_area));
+        }
+        let total: f64 = mesh.areas().iter().sum();
+        if (total - Rect::unit_die().area()).abs() > 1e-9 {
+            return Err(format!("areas sum to {total}, die is {}", Rect::unit_die().area()));
+        }
+        Ok(())
+    });
+}
+
+/// The grid-bucket locator agrees with the exhaustive linear scan on
+/// random query points (inside and outside the die).
+#[test]
+fn locator_agrees_with_linear_scan() {
+    let name = "locator_agrees_with_linear_scan";
+    let cfg = Config {
+        cases: 8,
+        ..Config::from_env(name)
+    };
+    let queries = Rect::new(Point2::new(-1.5, -1.5), Point2::new(1.5, 1.5));
+    let strat = (
+        strategies::unit_die_mesh(0.02..0.2, 25.0),
+        strategies::points_in(queries, 1..30),
+    );
+    check_config(name, &cfg, &strat, |(gen_mesh, points)| {
+        let mesh = &gen_mesh.mesh;
+        let locator = mesh.locator();
+        for &p in points {
+            let fast = locator.locate(p);
+            let slow = mesh.locate_linear(p);
+            match (fast, slow) {
+                (None, None) => {}
+                (Some(i), Some(j)) => {
+                    // Boundary points may legitimately land in either
+                    // adjacent triangle; both must *contain* p.
+                    if i != j && !(mesh.triangle(i).contains(p) && mesh.triangle(j).contains(p)) {
+                        return Err(format!("locator {i} vs linear {j} disagree at {p:?}"));
+                    }
+                }
+                (got, want) => {
+                    return Err(format!("locator {got:?} vs linear {want:?} at {p:?}"));
+                }
+            }
+        }
+        Ok(())
+    });
+}

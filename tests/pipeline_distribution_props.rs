@@ -1,0 +1,116 @@
+//! Full-pipeline differential property: the KLE-sampled (Algorithm 2)
+//! and dense-Cholesky-sampled (Algorithm 1) worst-delay distributions
+//! must agree — in moments and in a Kolmogorov-Smirnov-style sup-CDF
+//! bound — on random circuits and kernel decay rates. This is the
+//! paper's Table 1 claim turned into a seeded, replayable property.
+
+use klest::circuit::{generate, GeneratorConfig};
+use klest::kernels::GaussianKernel;
+use klest::ssta::experiments::{run_kle, run_reference, CircuitSetup, KleContext};
+use klest::ssta::{McConfig, SummaryStats};
+use klest_proptest::{check_config, strategies, Config};
+
+/// Empirical two-sample KS statistic: sup |F1 - F2| over the pooled
+/// sample points.
+fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut sup: f64 = 0.0;
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        let fa = i as f64 / a.len() as f64;
+        let fb = j as f64 / b.len() as f64;
+        sup = sup.max((fa - fb).abs());
+    }
+    sup
+}
+
+/// Algorithm 1 vs Algorithm 2 on a random combinational circuit and a
+/// random kernel decay: worst-delay mean within 1.5%, std within 8%,
+/// and KS distance within the two-independent-MC-streams bound.
+#[test]
+fn kle_and_cholesky_delay_distributions_agree() {
+    let name = "kle_and_cholesky_delay_distributions_agree";
+    // Each case is a full mesh + eigensolve + two MC runs; keep it to a
+    // handful of cases independent of KLEST_PROPTEST_CASES.
+    let cfg = Config {
+        cases: 3,
+        ..Config::from_env(name)
+    };
+    let strat = (
+        strategies::f64_in(0.8..2.2),
+        strategies::usize_in(30..90),
+    );
+    check_config(name, &cfg, &strat, |&(decay, gates)| {
+        let kernel = GaussianKernel::new(decay);
+        let circuit = generate(
+            "prop-circuit",
+            GeneratorConfig::combinational(gates, 0xC1C0 + gates as u64),
+        )
+        .map_err(|e| format!("circuit generation failed: {e}"))?;
+        let setup = CircuitSetup::prepare(&circuit);
+        let ctx = KleContext::coarse(&kernel).map_err(|e| format!("KLE context: {e}"))?;
+        let samples = 2500;
+        let mc_cfg = McConfig::new(samples, 2008).with_threads(2);
+        let (reference, _) =
+            run_reference(&setup, &kernel, &mc_cfg).map_err(|e| format!("Algorithm 1: {e}"))?;
+        let (kle, _) = run_kle(&setup, &ctx, &mc_cfg).map_err(|e| format!("Algorithm 2: {e}"))?;
+
+        let ref_stats = SummaryStats::of(reference.worst_delays());
+        let kle_stats = SummaryStats::of(kle.worst_delays());
+        let mean_err = (kle_stats.mean - ref_stats.mean).abs() / ref_stats.mean;
+        if mean_err > 0.015 {
+            return Err(format!(
+                "decay {decay:.2}, {gates} gates: mean mismatch {:.3}% (ref {}, kle {})",
+                100.0 * mean_err,
+                ref_stats.mean,
+                kle_stats.mean
+            ));
+        }
+        let std_err = (kle_stats.std_dev - ref_stats.std_dev).abs() / ref_stats.std_dev;
+        if std_err > 0.08 {
+            return Err(format!(
+                "decay {decay:.2}, {gates} gates: std mismatch {:.3}%",
+                100.0 * std_err
+            ));
+        }
+        // Two independent MC streams of n samples each: the 99.9%
+        // two-sample KS critical value is ~1.95·sqrt(2/n); allow that
+        // plus headroom for the KLE truncation bias.
+        let ks = ks_distance(reference.worst_delays(), kle.worst_delays());
+        let bound = 1.95 * (2.0 / samples as f64).sqrt() + 0.02;
+        if ks > bound {
+            return Err(format!(
+                "decay {decay:.2}, {gates} gates: KS distance {ks:.4} over bound {bound:.4}"
+            ));
+        }
+        // Dimensionality reduction actually happened (the paper's point).
+        if kle.random_dims() >= reference.random_dims() {
+            return Err(format!(
+                "KLE used {} RVs, reference {} — no reduction",
+                kle.random_dims(),
+                reference.random_dims()
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// The KS helper itself is sane: identical samples give 0, disjoint
+/// samples give 1.
+#[test]
+fn ks_distance_sanity() {
+    let a = [1.0, 2.0, 3.0, 4.0];
+    assert!(ks_distance(&a, &a) <= 0.25 + 1e-12); // ties step together
+    let b = [10.0, 11.0, 12.0];
+    assert!((ks_distance(&a, &b) - 1.0).abs() < 1e-12);
+    let c = [1.5, 2.5, 3.5];
+    assert!(ks_distance(&a, &c) < 0.5);
+}
