@@ -16,8 +16,9 @@
 //!   name hash mixed with a fixed workspace constant (overridable via
 //!   `KLEST_PROPTEST_MASTER_SEED` for CI smoke passes).
 //! - **Replayability.** A failing case prints its own 64-bit case seed;
-//!   `KLEST_PROPTEST_SEED=<seed>` re-runs exactly that one case (and
-//!   nothing else) so a CI failure reproduces locally in milliseconds.
+//!   `KLEST_PROPTEST_SEED=<property>:<seed>` re-runs exactly that one
+//!   case of that one property (every other property runs normally) so
+//!   a CI failure reproduces locally in milliseconds.
 //! - **Shrinking.** On failure the runner greedily walks
 //!   [`Strategy::shrink`] candidates, keeping any that still fail, and
 //!   reports the minimal counterexample it reached along with the
@@ -47,8 +48,17 @@ use klest_rng::{Rng, SeedableRng, SplitMix64, StdRng};
 use std::fmt;
 
 /// Environment variable that replays exactly one case: set it to the
-/// case seed printed by a failure report.
+/// `<property>:<seed>` pair printed by a failure report. Only the named
+/// property enters replay mode; every other property in the test binary
+/// runs normally, so the replay session is not muddied by unrelated
+/// strategies reinterpreting the same case seed. A bare `<seed>` is also
+/// accepted — scoped by [`PROPERTY_ENV`] when that is set, applied to
+/// all properties otherwise.
 pub const SEED_ENV: &str = "KLEST_PROPTEST_SEED";
+
+/// Environment variable scoping a bare [`SEED_ENV`] seed to one
+/// property by name; properties that don't match run normally.
+pub const PROPERTY_ENV: &str = "KLEST_PROPTEST_PROPERTY";
 
 /// Environment variable overriding the number of cases per property
 /// (e.g. a short CI smoke pass sets a small count).
@@ -92,14 +102,18 @@ impl Config {
     /// master seed = FNV-1a(name) ⊕ workspace constant (or the
     /// `KLEST_PROPTEST_MASTER_SEED` override), case count from
     /// `KLEST_PROPTEST_CASES` if set, and single-case replay mode when
-    /// `KLEST_PROPTEST_SEED` is set.
+    /// `KLEST_PROPTEST_SEED` names this property (see [`SEED_ENV`]).
     pub fn from_env(name: &str) -> Self {
         let master = read_env_u64(MASTER_SEED_ENV).unwrap_or(WORKSPACE_SEED);
         let mut cfg = Config::new(master ^ fnv1a(name.as_bytes()));
         if let Some(cases) = read_env_u64(CASES_ENV) {
             cfg.cases = (cases as usize).max(1);
         }
-        cfg.replay = read_env_u64(SEED_ENV);
+        cfg.replay = replay_for(
+            name,
+            std::env::var(SEED_ENV).ok().as_deref(),
+            std::env::var(PROPERTY_ENV).ok().as_deref(),
+        );
         cfg
     }
 
@@ -112,6 +126,26 @@ impl Config {
 
 fn read_env_u64(var: &str) -> Option<u64> {
     std::env::var(var).ok()?.trim().parse().ok()
+}
+
+/// Resolves the replay request for property `name` from the raw
+/// [`SEED_ENV`] / [`PROPERTY_ENV`] values. `<property>:<seed>` (the form
+/// failure reports print) replays only the named property; a bare seed
+/// is scoped by the property filter when present and global otherwise.
+/// The split is on the *last* `:` so property names containing colons
+/// still round-trip. Returns `None` — run normally — for properties the
+/// request is not scoped to, and for unparseable values.
+fn replay_for(name: &str, seed_env: Option<&str>, property_env: Option<&str>) -> Option<u64> {
+    let raw = seed_env?.trim();
+    let (scope, seed_str) = match raw.rsplit_once(':') {
+        Some((prop, seed)) => (Some(prop), seed),
+        None => (property_env, raw),
+    };
+    let seed = seed_str.trim().parse().ok()?;
+    match scope {
+        Some(prop) if prop.trim() != name => None,
+        _ => Some(seed),
+    }
 }
 
 /// FNV-1a over bytes: stable across platforms and runs, good enough to
@@ -142,7 +176,8 @@ pub struct PropFailure {
     pub property: String,
     /// Index of the failing case within the run.
     pub case_index: usize,
-    /// The case seed — feed to `KLEST_PROPTEST_SEED` to replay.
+    /// The case seed — feed to `KLEST_PROPTEST_SEED` as
+    /// `<property>:<seed>` (the report's replay line) to replay.
     pub case_seed: u64,
     /// `Debug` rendering of the originally generated counterexample.
     pub original: String,
@@ -170,8 +205,8 @@ impl fmt::Display for PropFailure {
         )?;
         write!(
             f,
-            "  replay:   {}={} cargo test",
-            SEED_ENV, self.case_seed
+            "  replay:   {}={}:{} cargo test",
+            SEED_ENV, self.property, self.case_seed
         )
     }
 }
@@ -390,6 +425,38 @@ mod tests {
         assert!(report.contains(SEED_ENV), "{report}");
         assert!(report.contains(&failure.case_seed.to_string()), "{report}");
         assert!(report.contains("shrunk"), "{report}");
+    }
+
+    #[test]
+    fn replay_request_is_scoped_to_one_property() {
+        // The `<property>:<seed>` form (what failure reports print)
+        // replays only the named property; others run normally.
+        assert_eq!(replay_for("mercer_psd", Some("mercer_psd:42"), None), Some(42));
+        assert_eq!(replay_for("delaunay", Some("mercer_psd:42"), None), None);
+        // A bare seed is scoped by the property filter when present…
+        assert_eq!(replay_for("mercer_psd", Some("42"), Some("mercer_psd")), Some(42));
+        assert_eq!(replay_for("delaunay", Some("42"), Some("mercer_psd")), None);
+        // …and global otherwise (backwards compatible).
+        assert_eq!(replay_for("anything", Some("42"), None), Some(42));
+        // Last-colon split: property names containing ':' round-trip.
+        assert_eq!(replay_for("a:b", Some("a:b:7"), None), Some(7));
+        // Unparseable seeds and unset env mean "run normally".
+        assert_eq!(replay_for("p", Some("p:not_a_seed"), None), None);
+        assert_eq!(replay_for("p", None, Some("p")), None);
+    }
+
+    #[test]
+    fn report_replay_line_is_property_scoped() {
+        let cfg = Config::new(5).with_cases(8);
+        let failure = check_result("scoped_prop", &cfg, &strategies::usize_in(0..4), |_| {
+            Err("nope".to_string())
+        })
+        .unwrap_err();
+        let report = failure.to_string();
+        assert!(
+            report.contains(&format!("{}=scoped_prop:{}", SEED_ENV, failure.case_seed)),
+            "{report}"
+        );
     }
 
     #[test]
