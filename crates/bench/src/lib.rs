@@ -6,6 +6,27 @@ use std::collections::HashMap;
 
 pub mod microbench;
 
+/// A `--key value` pair whose value failed to parse as the expected
+/// type. Carries everything a caller needs to build a typed, user-facing
+/// error (the CLI maps it to `KlestError::InvalidArgument`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgParseError {
+    /// Flag name, without the leading `--`.
+    pub key: String,
+    /// The raw value supplied on the command line.
+    pub value: String,
+    /// The parser's message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ArgParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "--{} {}: {}", self.key, self.value, self.message)
+    }
+}
+
+impl std::error::Error for ArgParseError {}
+
 /// Minimal `--key value` / `--flag` argument parser for the harness
 /// binaries (no external CLI dependency needed for eight tiny tools).
 #[derive(Debug, Clone)]
@@ -51,6 +72,28 @@ impl Args {
         match self.values.get(key) {
             Some(v) => v.parse().unwrap_or_else(|e| panic!("--{key} {v}: {e:?}")),
             None => default,
+        }
+    }
+
+    /// Typed lookup with default that surfaces malformed values as a
+    /// typed [`ArgParseError`] instead of panicking — the parser the CLI
+    /// uses so `klest ssta --samples banana` is a clean error, not a
+    /// crash.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgParseError`] when the value is present but does not parse.
+    pub fn try_get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgParseError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            Some(v) => v.parse().map_err(|e: T::Err| ArgParseError {
+                key: key.to_string(),
+                value: v.clone(),
+                message: e.to_string(),
+            }),
+            None => Ok(default),
         }
     }
 
@@ -137,6 +180,17 @@ mod tests {
     fn bad_value_panics() {
         let a = args("--n ten");
         let _ = a.get::<usize>("n", 0);
+    }
+
+    #[test]
+    fn try_get_returns_typed_error() {
+        let a = args("--n ten --scale 0.5");
+        assert_eq!(a.try_get::<f64>("scale", 1.0).unwrap(), 0.5);
+        assert_eq!(a.try_get::<usize>("missing", 42).unwrap(), 42);
+        let e = a.try_get::<usize>("n", 0).unwrap_err();
+        assert_eq!(e.key, "n");
+        assert_eq!(e.value, "ten");
+        assert!(e.to_string().contains("--n ten"), "{e}");
     }
 
     #[test]

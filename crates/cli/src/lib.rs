@@ -3,6 +3,7 @@
 //! [`Args`] and writing to the given writer, so the whole surface is
 //! unit-testable without spawning processes.
 
+use klest::KlestError;
 use klest_bench::Args;
 use klest_circuit::{benchmark_scaled, generate, write_netlist, BenchmarkId, GeneratorConfig};
 use klest_core::{GalerkinKle, KleOptions, TruncationCriterion};
@@ -12,8 +13,12 @@ use klest_kernels::{
     SeparableExponentialKernel,
 };
 use klest_mesh::{export, MeshBuilder};
-use klest_ssta::experiments::{compare_methods_with_report, CircuitSetup, KleContext};
-use klest_ssta::McConfig;
+use klest_runtime::{Budget, CancelToken, StageBudgets};
+use klest_ssta::experiments::{
+    compare_methods_supervised, compare_methods_with_report, CircuitSetup, KleContext,
+};
+use klest_ssta::faultinject::{FaultPlan, Stage};
+use klest_ssta::{McConfig, SalvageStats};
 use std::io::Write;
 
 /// Top-level CLI error: message already formatted for the user.
@@ -21,6 +26,27 @@ pub type CliResult = Result<(), String>;
 
 fn err<E: std::fmt::Display>(e: E) -> String {
     e.to_string()
+}
+
+/// Typed numeric flag lookup: a malformed value becomes a
+/// [`KlestError::InvalidArgument`] message instead of a panic.
+fn arg<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    args.try_get(key, default)
+        .map_err(|e| KlestError::from(e).to_string())
+}
+
+/// An `InvalidArgument`-flavoured message for values that parse but are
+/// out of range (e.g. `--deadline -1`).
+fn bad_arg(key: &str, value: impl std::fmt::Display, message: &str) -> String {
+    KlestError::InvalidArgument {
+        key: key.to_string(),
+        value: value.to_string(),
+        message: message.to_string(),
+    }
+    .to_string()
 }
 
 /// Usage text.
@@ -37,12 +63,22 @@ COMMANDS:
   validate  check kernel validity             [--kernel ...] (same kernel flags; also accepts 'cone' [--d F])
   netlist   generate a synthetic netlist      [--gates 500] [--seed 7] [--sequential] [--out file.bench]
   ssta      compare KLE vs reference MC SSTA  [--circuit c1908] [--scale 0.5] [--samples 2000] [--seed 2008]
+                                              [--area-fraction 0.001] [--threads N]
+                                              [--deadline SECS] [--stage-budget mesh=S,eigen=S,mc=S]
+                                              [--inject-panic-shard I] [--inject-hang-ms MS]
   help      this text
 
 GLOBAL FLAGS (every command):
   --trace           print the hierarchical span tree and metrics to stderr
   --report out.json write a machine-readable run report (spans, counters,
                     gauges, histograms, degradation events) to out.json
+
+DEADLINES (ssta): with --deadline and/or --stage-budget the run goes through
+the supervised runtime — workers are fault-isolated, a blown budget cancels
+cooperatively, and completed Monte Carlo samples are salvaged into a
+truncated estimate with a widened confidence interval instead of being
+discarded. The --inject-* flags deterministically fault one worker shard
+(panic or hang) to exercise that machinery.
 ";
 
 /// Builds the kernel selected by `--kernel` (+ its shape flags).
@@ -54,26 +90,26 @@ pub fn kernel_from_args(args: &Args) -> Result<Box<dyn CovarianceKernel>, String
     let name = args.get_str("kernel", "gaussian");
     match name.as_str() {
         "gaussian" => {
-            let c = args.get::<f64>("c", f64::NAN);
+            let c = arg::<f64>(args, "c", f64::NAN)?;
             if c.is_finite() {
                 Ok(Box::new(GaussianKernel::try_new(c).map_err(err)?))
             } else {
                 Ok(Box::new(GaussianKernel::with_correlation_distance(
-                    args.get("dist", 1.0),
+                    arg(args, "dist", 1.0)?,
                 )))
             }
         }
         "exponential" => Ok(Box::new(
-            ExponentialKernel::try_new(args.get("c", 2.0)).map_err(err)?,
+            ExponentialKernel::try_new(arg(args, "c", 2.0)?).map_err(err)?,
         )),
         "separable" => Ok(Box::new(
-            SeparableExponentialKernel::try_new(args.get("c", 1.5)).map_err(err)?,
+            SeparableExponentialKernel::try_new(arg(args, "c", 1.5)?).map_err(err)?,
         )),
         "matern" => Ok(Box::new(
-            MaternKernel::new(args.get("b", 3.0), args.get("s", 2.5)).map_err(err)?,
+            MaternKernel::new(arg(args, "b", 3.0)?, arg(args, "s", 2.5)?).map_err(err)?,
         )),
         "cone" => Ok(Box::new(
-            klest_kernels::LinearConeKernel::try_new(args.get("d", 1.0)).map_err(err)?,
+            klest_kernels::LinearConeKernel::try_new(arg(args, "d", 1.0)?).map_err(err)?,
         )),
         other => Err(format!(
             "unknown kernel '{other}' (expected gaussian, exponential, separable, matern or cone)"
@@ -88,8 +124,8 @@ pub fn kernel_from_args(args: &Args) -> Result<Box<dyn CovarianceKernel>, String
 /// User-facing message on meshing or I/O failure.
 pub fn cmd_mesh<W: Write>(args: &Args, out: &mut W) -> CliResult {
     let mesh = MeshBuilder::new(Rect::unit_die())
-        .max_area_fraction(args.get("area-fraction", 0.001))
-        .min_angle_degrees(args.get("min-angle", 28.0))
+        .max_area_fraction(arg(args, "area-fraction", 0.001)?)
+        .min_angle_degrees(arg(args, "min-angle", 28.0)?)
         .build()
         .map_err(err)?;
     writeln!(out, "{}", mesh.quality()).map_err(err)?;
@@ -108,12 +144,12 @@ pub fn cmd_mesh<W: Write>(args: &Args, out: &mut W) -> CliResult {
 pub fn cmd_kle<W: Write>(args: &Args, out: &mut W) -> CliResult {
     let kernel = kernel_from_args(args)?;
     let mesh = MeshBuilder::new(Rect::unit_die())
-        .max_area_fraction(args.get("area-fraction", 0.001))
-        .min_angle_degrees(args.get("min-angle", 28.0))
+        .max_area_fraction(arg(args, "area-fraction", 0.001)?)
+        .min_angle_degrees(arg(args, "min-angle", 28.0)?)
         .build()
         .map_err(err)?;
     let kle = GalerkinKle::compute(&mesh, kernel.as_ref(), KleOptions::default()).map_err(err)?;
-    let criterion = TruncationCriterion::new(200, args.get("tail", 0.01));
+    let criterion = TruncationCriterion::new(200, arg(args, "tail", 0.01)?);
     let r = kle.select_rank(&criterion);
     writeln!(
         out,
@@ -123,7 +159,7 @@ pub fn cmd_kle<W: Write>(args: &Args, out: &mut W) -> CliResult {
         100.0 * kle.variance_captured(r)
     )
     .map_err(err)?;
-    for (i, l) in kle.eigenvalues().iter().take(args.get("show", 10)).enumerate() {
+    for (i, l) in kle.eigenvalues().iter().take(arg(args, "show", 10)?).enumerate() {
         writeln!(out, "lambda_{:<3} = {l:.6e}", i + 1).map_err(err)?;
     }
     Ok(())
@@ -139,9 +175,9 @@ pub fn cmd_validate<W: Write>(args: &Args, out: &mut W) -> CliResult {
     let gram = klest_kernels::validity::check_positive_semidefinite(
         kernel.as_ref(),
         Rect::unit_die(),
-        args.get("points", 48),
-        args.get("trials", 8),
-        args.get("seed", 2024),
+        arg(args, "points", 48)?,
+        arg(args, "trials", 8)?,
+        arg(args, "seed", 2024)?,
     )
     .map_err(err)?;
     writeln!(
@@ -186,8 +222,8 @@ pub fn cmd_validate<W: Write>(args: &Args, out: &mut W) -> CliResult {
 ///
 /// User-facing message on generation or I/O failure.
 pub fn cmd_netlist<W: Write>(args: &Args, out: &mut W) -> CliResult {
-    let gates = args.get("gates", 500);
-    let seed = args.get("seed", 7);
+    let gates = arg(args, "gates", 500)?;
+    let seed = arg(args, "seed", 7)?;
     let config = if args.flag("sequential") {
         GeneratorConfig::sequential(gates, seed)
     } else {
@@ -209,23 +245,96 @@ pub fn cmd_netlist<W: Write>(args: &Args, out: &mut W) -> CliResult {
 
 /// `klest ssta`.
 ///
+/// Without deadline flags this runs the plain comparison path. Any of
+/// `--deadline`, `--stage-budget`, `--inject-panic-shard` or
+/// `--inject-hang-ms` routes the run through the supervised runtime:
+/// cooperative cancellation, per-worker fault isolation with retries,
+/// and salvage of completed Monte Carlo samples on budget exhaustion.
+///
 /// # Errors
 ///
-/// User-facing message on any stage failure.
+/// User-facing message on any stage failure or malformed flag.
 pub fn cmd_ssta<W: Write>(args: &Args, out: &mut W) -> CliResult {
-    let kernel = GaussianKernel::with_correlation_distance(args.get("dist", 1.0));
+    let kernel = GaussianKernel::with_correlation_distance(arg(args, "dist", 1.0)?);
     let name = args.get_str("circuit", "c1908");
     let id = TABLE1_NAMES
         .iter()
         .find(|(n, _)| *n == name)
         .map(|(_, id)| *id)
         .ok_or_else(|| format!("unknown circuit '{name}' (expected a Table 1 name like c1908)"))?;
-    let circuit = benchmark_scaled(id, args.get("scale", 0.5)).map_err(err)?;
+    let circuit = benchmark_scaled(id, arg(args, "scale", 0.5)?).map_err(err)?;
     let setup = CircuitSetup::prepare(&circuit);
-    let ctx = KleContext::paper_default(&kernel).map_err(err)?;
-    let config = McConfig::new(args.get("samples", 2000), args.get("seed", 2008))
-        .with_threads(args.get("threads", klest_bench::default_threads()));
-    let cmp = compare_methods_with_report(&setup, &kernel, &ctx, &config).map_err(err)?;
+    let area_fraction = arg(args, "area-fraction", 0.001)?;
+    let threads = arg(args, "threads", klest_bench::default_threads())?;
+    let config = McConfig::new(arg(args, "samples", 2000)?, arg(args, "seed", 2008)?)
+        .with_threads(threads);
+    let criterion = TruncationCriterion::default();
+
+    let deadline_secs = arg(args, "deadline", f64::INFINITY)?;
+    let stage_budget_spec = args_opt_str(args, "stage-budget");
+    let panic_shard = arg::<i64>(args, "inject-panic-shard", -1)?;
+    let hang_ms = arg::<u64>(args, "inject-hang-ms", 0)?;
+    let supervised = deadline_secs.is_finite()
+        || stage_budget_spec.is_some()
+        || panic_shard >= 0
+        || hang_ms > 0;
+
+    let cmp = if supervised {
+        let budget = if deadline_secs.is_finite() {
+            Budget::try_from_secs(deadline_secs).ok_or_else(|| {
+                bad_arg("deadline", deadline_secs, "expected a positive number of seconds")
+            })?
+        } else {
+            Budget::UNLIMITED
+        };
+        let budgets = match &stage_budget_spec {
+            Some(spec) => {
+                StageBudgets::parse(spec).map_err(|m| bad_arg("stage-budget", spec, &m))?
+            }
+            None => StageBudgets::none(),
+        };
+        let mut plan = FaultPlan::new();
+        let mut inject = false;
+        if panic_shard >= 0 {
+            plan = plan.panic_at(Stage::Mc, panic_shard as usize);
+            inject = true;
+        }
+        if hang_ms > 0 {
+            // Pin the hang to a different shard than the panic so the
+            // two injections hit distinct victims deterministically.
+            let hang_shard = if panic_shard >= 0 {
+                (panic_shard as usize + 1) % threads.max(1)
+            } else {
+                0
+            };
+            plan = plan.hang_at(Stage::Mc, hang_shard, hang_ms);
+            inject = true;
+        }
+        let token = CancelToken::with_budget(budget);
+        let ctx = KleContext::build_supervised(
+            &kernel,
+            area_fraction,
+            28.0,
+            &criterion,
+            &token,
+            &budgets,
+        )
+        .map_err(err)?;
+        compare_methods_supervised(
+            &setup,
+            &kernel,
+            &ctx,
+            &config,
+            &token,
+            &budgets,
+            inject.then_some(&plan),
+        )
+        .map_err(err)?
+    } else {
+        let ctx = KleContext::build(&kernel, area_fraction, 28.0, &criterion).map_err(err)?;
+        compare_methods_with_report(&setup, &kernel, &ctx, &config).map_err(err)?
+    };
+
     klest_obs::gauge_set("ssta.rank", cmp.rank as f64);
     klest_obs::gauge_set("ssta.speedup", cmp.speedup);
     klest_obs::gauge_set("ssta.e_mu_pct", cmp.e_mu_pct);
@@ -236,10 +345,27 @@ pub fn cmd_ssta<W: Write>(args: &Args, out: &mut W) -> CliResult {
         cmp.name, cmp.gates, cmp.rank, cmp.e_mu_pct, cmp.e_sigma_pct, cmp.speedup
     )
     .map_err(err)?;
+    print_salvage(out, "reference", cmp.mc_salvage.as_ref())?;
+    print_salvage(out, "kle", cmp.kle_salvage.as_ref())?;
     if !cmp.degradation.is_clean() {
         writeln!(out, "degradation: {}", cmp.degradation).map_err(err)?;
     }
     Ok(())
+}
+
+/// Prints one arm's salvage line (supervised runs only) and mirrors the
+/// numbers into observability gauges for the run report.
+fn print_salvage<W: Write>(out: &mut W, arm: &str, salvage: Option<&SalvageStats>) -> CliResult {
+    let Some(s) = salvage else { return Ok(()) };
+    klest_obs::gauge_set(&format!("ssta.{arm}.salvaged_samples"), s.completed as f64);
+    klest_obs::gauge_set(&format!("ssta.{arm}.shards_retried"), s.shards_retried as f64);
+    klest_obs::gauge_set(&format!("ssta.{arm}.ci_widening"), s.ci_widening);
+    writeln!(
+        out,
+        "salvage[{arm}]: {}/{} samples kept, {} shard(s) retried, {} worker fault(s), CI x{:.3}",
+        s.completed, s.planned, s.shards_retried, s.worker_faults, s.ci_widening
+    )
+    .map_err(err)
 }
 
 const TABLE1_NAMES: [(&str, BenchmarkId); 14] = [
@@ -403,5 +529,61 @@ mod tests {
         let out = run_str("ssta --circuit c880 --scale 0.2 --samples 150 --threads 2").unwrap();
         assert!(out.contains("e_mu"), "{out}");
         assert!(out.contains("speedup"), "{out}");
+        assert!(!out.contains("salvage["), "plain runs print no salvage: {out}");
+    }
+
+    #[test]
+    fn malformed_numeric_flags_are_typed_errors() {
+        let e = run_str("ssta --circuit c880 --samples banana").unwrap_err();
+        assert!(e.contains("invalid argument --samples banana"), "{e}");
+        let e = run_str("mesh --area-fraction huge").unwrap_err();
+        assert!(e.contains("invalid argument --area-fraction huge"), "{e}");
+        let e = run_str("kle --kernel matern --b wide").unwrap_err();
+        assert!(e.contains("invalid argument --b wide"), "{e}");
+        let e = run_str("netlist --gates 3.5").unwrap_err();
+        assert!(e.contains("invalid argument --gates 3.5"), "{e}");
+        // Parses but out of range: negative deadline.
+        let e = run_str("ssta --circuit c880 --deadline -2").unwrap_err();
+        assert!(e.contains("invalid argument --deadline -2"), "{e}");
+        assert!(e.contains("positive"), "{e}");
+        // Malformed stage-budget spec.
+        let e = run_str("ssta --circuit c880 --stage-budget mc:0.5").unwrap_err();
+        assert!(e.contains("invalid argument --stage-budget"), "{e}");
+    }
+
+    #[test]
+    fn ssta_supervised_clean_run_reports_full_salvage() {
+        // A generous deadline changes the mechanism, not the outcome.
+        let out = run_str(
+            "ssta --circuit c880 --scale 0.2 --samples 150 --threads 2 \
+             --area-fraction 0.02 --deadline 600",
+        )
+        .unwrap();
+        assert!(out.contains("salvage[reference]: 150/150"), "{out}");
+        assert!(out.contains("salvage[kle]: 150/150"), "{out}");
+    }
+
+    #[test]
+    fn ssta_supervised_acceptance_salvages_and_reports() {
+        // Acceptance criterion from the issue: a fault-injected run with
+        // one panicking shard and one hung shard under a 2 s deadline
+        // must exit cleanly, retry the panicking shard, salvage the
+        // completed samples, and surface Cancelled / WorkerFault events
+        // in both the printed degradation summary and the report JSON.
+        let report = std::env::temp_dir().join("klest-cli-acceptance-report.json");
+        let report_path = report.to_str().expect("utf8 temp path").to_string();
+        let line = format!(
+            "ssta --circuit c880 --scale 0.2 --samples 300 --threads 2 \
+             --area-fraction 0.02 --deadline 2 --stage-budget mc=0.5 \
+             --inject-panic-shard 0 --inject-hang-ms 600000 --report {report_path}"
+        );
+        let out = run_str(&line).expect("injected faults must not make the CLI fail");
+        let json = std::fs::read_to_string(&report).expect("report written");
+        std::fs::remove_file(&report).ok();
+        assert!(out.contains("salvage[reference]:"), "{out}");
+        assert!(out.contains("shard(s) retried"), "{out}");
+        assert!(out.contains("degradation:"), "{out}");
+        assert!(json.contains("cancelled"), "{json}");
+        assert!(json.contains("worker fault"), "{json}");
     }
 }

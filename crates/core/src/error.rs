@@ -35,6 +35,11 @@ pub enum KleError {
         /// Number of triangles in the mesh.
         triangles: usize,
     },
+    /// The KLE computation was cancelled cooperatively (deadline or
+    /// explicit cancel); carries the runtime's typed partial-result marker.
+    /// `completed` counts assembled Galerkin rows or converged eigenvalues,
+    /// depending on `stage`.
+    Cancelled(klest_runtime::Cancelled),
 }
 
 impl fmt::Display for KleError {
@@ -54,6 +59,7 @@ impl fmt::Display for KleError {
             KleError::TriangleOutOfRange { index, triangles } => {
                 write!(f, "triangle index {index} out of range ({triangles} triangles)")
             }
+            KleError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -69,7 +75,18 @@ impl std::error::Error for KleError {
 
 impl From<LinalgError> for KleError {
     fn from(e: LinalgError) -> Self {
-        KleError::Linalg(e)
+        // Cancellation is not a numerical failure; keep the runtime marker
+        // at the top level so callers can match one variant per crate.
+        match e {
+            LinalgError::Cancelled(c) => KleError::Cancelled(c),
+            other => KleError::Linalg(other),
+        }
+    }
+}
+
+impl From<klest_runtime::Cancelled> for KleError {
+    fn from(c: klest_runtime::Cancelled) -> Self {
+        KleError::Cancelled(c)
     }
 }
 

@@ -4,6 +4,7 @@ use crate::QuadratureRule;
 use klest_kernels::CovarianceKernel;
 use klest_linalg::Matrix;
 use klest_mesh::Mesh;
+use klest_runtime::{CancelToken, Cancelled};
 
 /// Assembles the Galerkin matrix
 /// `K_ik = ∫_{Δ_k} ∫_{Δ_i} K(x, y) dx dy`
@@ -33,6 +34,36 @@ pub fn assemble_galerkin<K: CovarianceKernel + ?Sized>(
     kernel: &K,
     rule: QuadratureRule,
 ) -> Matrix {
+    // Infallible without a token: the only error path is cancellation.
+    match assemble_inner(mesh, kernel, rule, None) {
+        Ok(k) => k,
+        Err(_) => Matrix::zeros(0, 0), // unreachable: no token, no trip
+    }
+}
+
+/// Like [`assemble_galerkin`], but polling `token` once per assembled row
+/// (each row costs `O(n)` kernel–quadrature evaluations, so polls stay off
+/// the innermost loop) and returning a typed [`Cancelled`] — with
+/// `completed` = rows assembled — when the budget trips.
+///
+/// # Errors
+///
+/// Only [`Cancelled`], when the token trips mid-assembly.
+pub fn assemble_galerkin_with_token<K: CovarianceKernel + ?Sized>(
+    mesh: &Mesh,
+    kernel: &K,
+    rule: QuadratureRule,
+    token: &CancelToken,
+) -> Result<Matrix, Cancelled> {
+    assemble_inner(mesh, kernel, rule, Some(token))
+}
+
+fn assemble_inner<K: CovarianceKernel + ?Sized>(
+    mesh: &Mesh,
+    kernel: &K,
+    rule: QuadratureRule,
+    token: Option<&CancelToken>,
+) -> Result<Matrix, Cancelled> {
     let _span = klest_obs::span("galerkin/assemble");
     let n = mesh.len();
     if klest_obs::enabled() {
@@ -43,12 +74,21 @@ pub fn assemble_galerkin<K: CovarianceKernel + ?Sized>(
         let nodes = rule.node_count() as u64;
         klest_obs::counter_add("galerkin.kernel_evals", pairs * nodes * nodes);
     }
+    let poll = |i: usize| -> Result<(), Cancelled> {
+        if let Some(token) = token {
+            token
+                .checkpoint("galerkin/assemble")
+                .map_err(|c| c.with_completed(i))?;
+        }
+        Ok(())
+    };
     let mut k = Matrix::zeros(n, n);
     match rule {
         QuadratureRule::Centroid => {
             let centroids = mesh.centroids();
             let areas = mesh.areas();
             for i in 0..n {
+                poll(i)?;
                 for j in i..n {
                     let v = kernel.eval(centroids[i], centroids[j]) * areas[i] * areas[j];
                     k[(i, j)] = v;
@@ -61,6 +101,7 @@ pub fn assemble_galerkin<K: CovarianceKernel + ?Sized>(
             let node_sets: Vec<Vec<(klest_geometry::Point2, f64)>> =
                 (0..n).map(|i| rule.nodes(&mesh.triangle(i))).collect();
             for i in 0..n {
+                poll(i)?;
                 for j in i..n {
                     let mut acc = 0.0;
                     for &(xi, wi) in &node_sets[i] {
@@ -74,7 +115,7 @@ pub fn assemble_galerkin<K: CovarianceKernel + ?Sized>(
             }
         }
     }
-    k
+    Ok(k)
 }
 
 #[cfg(test)]

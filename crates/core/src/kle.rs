@@ -1,10 +1,11 @@
 //! The Galerkin KLE solver (paper Secs. 3.2 and 4).
 
-use crate::{assemble_galerkin, KleError, QuadratureRule, TruncationCriterion};
+use crate::{assemble_galerkin_with_token, KleError, QuadratureRule, TruncationCriterion};
 use klest_geometry::Point2;
 use klest_kernels::CovarianceKernel;
 use klest_linalg::{DiagonalGep, Matrix, PartialEigen};
 use klest_mesh::{Mesh, TriangleLocator};
+use klest_runtime::CancelToken;
 
 /// Which eigensolver backs the KLE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -79,8 +80,39 @@ impl GalerkinKle {
         kernel: &K,
         options: KleOptions,
     ) -> Result<Self, KleError> {
-        let k = assemble_galerkin(mesh, kernel, options.quadrature);
-        Self::from_matrix(k, mesh, options)
+        Self::compute_inner(mesh, kernel, options, None)
+    }
+
+    /// Like [`compute`](GalerkinKle::compute), but polling `token` through
+    /// both stages — once per assembled Galerkin row and once per
+    /// eigensolver sweep — so a deadline can cancel a long KLE build.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`compute`](GalerkinKle::compute) reports, plus
+    /// [`KleError::Cancelled`] when the token trips.
+    pub fn compute_with_token<K: CovarianceKernel + ?Sized>(
+        mesh: &Mesh,
+        kernel: &K,
+        options: KleOptions,
+        token: &CancelToken,
+    ) -> Result<Self, KleError> {
+        Self::compute_inner(mesh, kernel, options, Some(token))
+    }
+
+    fn compute_inner<K: CovarianceKernel + ?Sized>(
+        mesh: &Mesh,
+        kernel: &K,
+        options: KleOptions,
+        token: Option<&CancelToken>,
+    ) -> Result<Self, KleError> {
+        let k = match token {
+            Some(token) => assemble_galerkin_with_token(mesh, kernel, options.quadrature, token)?,
+            None => {
+                assemble_galerkin_with_token(mesh, kernel, options.quadrature, &CancelToken::unlimited())?
+            }
+        };
+        Self::from_matrix_inner(k, mesh, options, token)
     }
 
     /// Solves the eigenproblem for a pre-assembled Galerkin matrix
@@ -90,12 +122,36 @@ impl GalerkinKle {
     ///
     /// Propagates [`KleError::Linalg`].
     pub fn from_matrix(k: Matrix, mesh: &Mesh, options: KleOptions) -> Result<Self, KleError> {
+        Self::from_matrix_inner(k, mesh, options, None)
+    }
+
+    /// Like [`from_matrix`](GalerkinKle::from_matrix), but polling `token`
+    /// inside the eigensolver; additionally reports [`KleError::Cancelled`]
+    /// when the token trips mid-solve.
+    pub fn from_matrix_with_token(
+        k: Matrix,
+        mesh: &Mesh,
+        options: KleOptions,
+        token: &CancelToken,
+    ) -> Result<Self, KleError> {
+        Self::from_matrix_inner(k, mesh, options, Some(token))
+    }
+
+    fn from_matrix_inner(
+        k: Matrix,
+        mesh: &Mesh,
+        options: KleOptions,
+        token: Option<&CancelToken>,
+    ) -> Result<Self, KleError> {
         let _span = klest_obs::span("galerkin/eigensolve");
         let n = mesh.len();
         let m = options.max_eigenpairs.min(n).max(1);
         let (eigenvalues, d) = match options.solver {
             EigenSolver::Full => {
-                let gep = DiagonalGep::solve(&k, mesh.areas())?;
+                let gep = match token {
+                    Some(token) => DiagonalGep::solve_with_token(&k, mesh.areas(), token)?,
+                    None => DiagonalGep::solve(&k, mesh.areas())?,
+                };
                 let mut d = Matrix::zeros(n, m);
                 for j in 0..m {
                     for i in 0..n {
@@ -107,7 +163,14 @@ impl GalerkinKle {
             EigenSolver::Lanczos => {
                 // Symmetric similarity A = Φ^{-1/2} K Φ^{-1/2}, partial
                 // solve, then map back d = Φ^{-1/2} u (Φ-orthonormality of
-                // d follows from ‖u‖ = 1, as in DiagonalGep).
+                // d follows from ‖u‖ = 1, as in DiagonalGep). The Lanczos
+                // engine itself is not token-aware; one poll before the
+                // solve still honours budgets already exhausted upstream.
+                if let Some(token) = token {
+                    token
+                        .checkpoint("eigen/lanczos")
+                        .map_err(KleError::Cancelled)?;
+                }
                 let inv_sqrt: Vec<f64> = mesh.areas().iter().map(|a| 1.0 / a.sqrt()).collect();
                 let a = Matrix::from_fn(n, n, |i, j| k[(i, j)] * inv_sqrt[i] * inv_sqrt[j]);
                 let krylov = (2 * m + 10).min(n);
@@ -557,6 +620,44 @@ mod tests {
         let (r_tight, met_tight) = kle.select_rank_checked(&tight);
         assert_eq!(r_tight, 3);
         assert!(!met_tight, "3 pairs cannot meet a 1e-12 tail budget");
+    }
+
+    #[test]
+    fn cancelled_token_stops_assembly_then_eigensolve() {
+        use klest_runtime::CancelToken;
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.08)
+            .min_angle_degrees(25.0)
+            .build()
+            .unwrap();
+        let kernel = GaussianKernel::new(1.5);
+        // Tripped before assembly: cancellation surfaces from the
+        // assembly loop with zero rows completed.
+        let token = CancelToken::unlimited();
+        token.cancel();
+        match GalerkinKle::compute_with_token(&mesh, &kernel, KleOptions::default(), &token) {
+            Err(KleError::Cancelled(c)) => {
+                assert_eq!(c.stage, "galerkin/assemble");
+                assert_eq!(c.completed, 0);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // Tripped mid-pipeline: assembly's n rows consume n checkpoints,
+        // so a budget of n + 2 trips inside the eigensolve.
+        let token = CancelToken::unlimited();
+        token.trip_after_checkpoints(mesh.len() as u64 + 2);
+        match GalerkinKle::compute_with_token(&mesh, &kernel, KleOptions::default(), &token) {
+            Err(KleError::Cancelled(c)) => assert_eq!(c.stage, "eigen/ql"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // A live token reproduces the plain path bit for bit.
+        let live = CancelToken::unlimited();
+        let with = GalerkinKle::compute_with_token(&mesh, &kernel, KleOptions::default(), &live)
+            .unwrap();
+        let without = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        for (a, b) in with.eigenvalues().iter().zip(without.eigenvalues()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod sampler;
 mod truncation;
 
 pub use error::KleError;
-pub use galerkin::assemble_galerkin;
+pub use galerkin::{assemble_galerkin, assemble_galerkin_with_token};
 pub use kle::{EigenSolver, GalerkinKle, KleOptions};
 pub use quadrature::QuadratureRule;
 pub use sampler::KleSampler;

@@ -4,6 +4,7 @@
 //! the paper (eq. 15) — the role Matlab's `eig` played for the authors.
 
 use crate::{LinalgError, Matrix};
+use klest_runtime::CancelToken;
 
 /// Maximum QL sweeps per eigenvalue before giving up.
 const MAX_QL_ITERATIONS: usize = 64;
@@ -57,6 +58,23 @@ impl SymmetricEigen {
     ///   exceed their iteration budgets (does not happen for finite
     ///   symmetric input in practice).
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::new_inner(a, None)
+    }
+
+    /// Like [`new`](SymmetricEigen::new), but polling `token` once per QL
+    /// sweep (and per Jacobi sweep on the fallback path) so a deadline can
+    /// cancel a long eigensolve cooperatively.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`new`](SymmetricEigen::new) reports, plus
+    /// [`LinalgError::Cancelled`] when the token trips; its `completed`
+    /// field counts eigenvalues already converged at the trip.
+    pub fn new_with_token(a: &Matrix, token: &CancelToken) -> Result<Self, LinalgError> {
+        Self::new_inner(a, Some(token))
+    }
+
+    fn new_inner(a: &Matrix, token: Option<&CancelToken>) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 dims: (a.rows(), a.cols()),
@@ -77,13 +95,13 @@ impl SymmetricEigen {
         let mut d = vec![0.0; n];
         let mut e = vec![0.0; n];
         tred2(&mut z, &mut d, &mut e);
-        let used_fallback = match tql2(&mut d, &mut e, &mut z) {
+        let used_fallback = match tql2(&mut d, &mut e, &mut z, token) {
             Ok(()) => false,
             Err(LinalgError::NoConvergence { .. }) => {
                 // Degradation path: cyclic Jacobi converges unconditionally
                 // for finite symmetric input, at higher cost.
                 klest_obs::counter_add("eigen.ql_fallbacks", 1);
-                let (values, vectors) = crate::jacobi::jacobi_eigen(a)?;
+                let (values, vectors) = crate::jacobi::jacobi_eigen(a, token)?;
                 d.copy_from_slice(&values);
                 z = vectors;
                 true
@@ -141,7 +159,7 @@ impl SymmetricEigen {
                 }
             }
         }
-        let (d, z) = crate::jacobi::jacobi_eigen(a)?;
+        let (d, z) = crate::jacobi::jacobi_eigen(a, None)?;
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&i, &j| f64::total_cmp(&d[j], &d[i]));
         let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
@@ -284,8 +302,15 @@ fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
 /// Implicit-shift QL iteration on the tridiagonal matrix `(d, e)`,
 /// accumulating rotations into the columns of `z`.
 ///
-/// Port of EISPACK `tql2` (0-based).
-fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), LinalgError> {
+/// Port of EISPACK `tql2` (0-based). Polls `token` (when supplied) once per
+/// QL sweep; a trip surfaces as [`LinalgError::Cancelled`] with `completed`
+/// set to the number of eigenvalues already converged.
+fn tql2(
+    d: &mut [f64],
+    e: &mut [f64],
+    z: &mut Matrix,
+    token: Option<&CancelToken>,
+) -> Result<(), LinalgError> {
     let n = d.len();
     if n == 1 {
         return Ok(());
@@ -325,6 +350,12 @@ fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), LinalgError>
             if iter > MAX_QL_ITERATIONS {
                 klest_obs::counter_add("eigen.ql_iterations", total_iterations);
                 return Err(LinalgError::NoConvergence { index: l });
+            }
+            if let Some(token) = token {
+                if let Err(c) = token.checkpoint("eigen/ql") {
+                    klest_obs::counter_add("eigen.ql_iterations", total_iterations);
+                    return Err(LinalgError::Cancelled(c.with_completed(l)));
+                }
             }
             // Wilkinson shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
@@ -520,6 +551,70 @@ mod tests {
         let a = Matrix::from_rows(&[[2.0, 1.0].as_slice(), [1.0, 2.0].as_slice()]).unwrap();
         let eig = SymmetricEigen::new(&a).unwrap();
         assert!(!eig.used_fallback());
+    }
+
+    #[test]
+    fn cancelled_token_surfaces_typed_error() {
+        use klest_runtime::CancelToken;
+        // A matrix large enough that the QL iteration needs at least one
+        // sweep; an already-cancelled token must trip the very first
+        // checkpoint and surface the runtime's typed marker.
+        let n = 32;
+        let mut seed = 3u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rnd();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let token = CancelToken::unlimited();
+        token.cancel();
+        match SymmetricEigen::new_with_token(&a, &token) {
+            Err(LinalgError::Cancelled(c)) => assert_eq!(c.stage, "eigen/ql"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // An untripped token changes nothing.
+        let live = CancelToken::unlimited();
+        let eig = SymmetricEigen::new_with_token(&a, &live).unwrap();
+        let plain = SymmetricEigen::new(&a).unwrap();
+        for (x, y) in eig.eigenvalues().iter().zip(plain.eigenvalues()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn trip_mid_solve_reports_progress() {
+        use klest_runtime::CancelToken;
+        let n = 48;
+        let mut seed = 11u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rnd();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let token = CancelToken::unlimited();
+        token.trip_after_checkpoints(5);
+        match SymmetricEigen::new_with_token(&a, &token) {
+            Err(LinalgError::Cancelled(c)) => {
+                assert_eq!(c.stage, "eigen/ql");
+                // Five sweeps cannot have converged 48 eigenvalues.
+                assert!(c.completed < n, "completed {}", c.completed);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

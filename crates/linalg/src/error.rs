@@ -48,6 +48,11 @@ pub enum LinalgError {
         /// Column of the first offending entry.
         col: usize,
     },
+    /// The operation was cancelled cooperatively (deadline or explicit
+    /// cancel) before completing; carries the runtime's typed partial-result
+    /// marker. `completed` counts converged eigenvalues (QL) or finished
+    /// sweeps (Jacobi).
+    Cancelled(klest_runtime::Cancelled),
 }
 
 impl fmt::Display for LinalgError {
@@ -74,11 +79,18 @@ impl fmt::Display for LinalgError {
             LinalgError::NonFinite { row, col } => {
                 write!(f, "matrix entry ({row}, {col}) is not finite")
             }
+            LinalgError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
 
 impl std::error::Error for LinalgError {}
+
+impl From<klest_runtime::Cancelled> for LinalgError {
+    fn from(c: klest_runtime::Cancelled) -> Self {
+        LinalgError::Cancelled(c)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -105,6 +117,14 @@ mod tests {
             "eigensolver failed to converge at eigenvalue 3"
         );
         assert_eq!(LinalgError::Empty.to_string(), "matrix must be non-empty");
+        let cancelled: LinalgError = klest_runtime::Cancelled {
+            stage: "eigen/ql",
+            completed: 12,
+            budget: None,
+        }
+        .into();
+        assert!(cancelled.to_string().contains("eigen/ql"));
+        assert!(cancelled.to_string().contains("12"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! staying symmetric keeps the solver robust (guaranteed real eigenpairs).
 
 use crate::{LinalgError, Matrix, SymmetricEigen};
+use klest_runtime::CancelToken;
 
 /// Solution of `K d = λ Φ d` for symmetric `K` and positive diagonal `Φ`.
 ///
@@ -46,6 +47,25 @@ impl DiagonalGep {
     /// - [`LinalgError::NonPositiveEntry`] if any `Φ_ii <= 0`,
     /// - [`LinalgError::NoConvergence`] from the inner eigensolver.
     pub fn solve(k: &Matrix, phi_diag: &[f64]) -> Result<Self, LinalgError> {
+        Self::solve_inner(k, phi_diag, None)
+    }
+
+    /// Like [`solve`](DiagonalGep::solve), but polling `token` inside the
+    /// eigensolver so a deadline can cancel the solve cooperatively;
+    /// additionally reports [`LinalgError::Cancelled`].
+    pub fn solve_with_token(
+        k: &Matrix,
+        phi_diag: &[f64],
+        token: &CancelToken,
+    ) -> Result<Self, LinalgError> {
+        Self::solve_inner(k, phi_diag, Some(token))
+    }
+
+    fn solve_inner(
+        k: &Matrix,
+        phi_diag: &[f64],
+        token: Option<&CancelToken>,
+    ) -> Result<Self, LinalgError> {
         if !k.is_square() {
             return Err(LinalgError::NotSquare {
                 dims: (k.rows(), k.cols()),
@@ -71,7 +91,10 @@ impl DiagonalGep {
         }
         // A = Φ^{-1/2} K Φ^{-1/2}
         let a = Matrix::from_fn(n, n, |i, j| k[(i, j)] * inv_sqrt[i] * inv_sqrt[j]);
-        let eig = SymmetricEigen::new(&a)?;
+        let eig = match token {
+            Some(token) => SymmetricEigen::new_with_token(&a, token)?,
+            None => SymmetricEigen::new(&a)?,
+        };
         // d = Φ^{-1/2} u, column by column.
         let mut vectors = Matrix::zeros(n, n);
         for i in 0..n {

@@ -9,6 +9,7 @@
 //! the eigensolver degradation path of the fault-tolerance layer.
 
 use crate::{LinalgError, Matrix};
+use klest_runtime::CancelToken;
 
 /// Maximum number of full cyclic sweeps before giving up.
 const MAX_SWEEPS: usize = 64;
@@ -17,14 +18,20 @@ const MAX_SWEEPS: usize = 64;
 /// rotations. Returns `(eigenvalues, eigenvector_columns)`, unsorted.
 ///
 /// The caller is expected to have validated shape and finiteness (this is
-/// an internal engine for [`crate::SymmetricEigen`]).
+/// an internal engine for [`crate::SymmetricEigen`]). `token` (when
+/// supplied) is polled once per sweep so a deadline can cancel the solve.
 ///
 /// # Errors
 ///
 /// [`LinalgError::NoConvergence`] if the off-diagonal mass has not reached
 /// round-off level after [`MAX_SWEEPS`] sweeps — which for finite
-/// symmetric input does not happen in practice.
-pub(crate) fn jacobi_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), LinalgError> {
+/// symmetric input does not happen in practice — and
+/// [`LinalgError::Cancelled`] (with `completed` = finished sweeps) when the
+/// token trips.
+pub(crate) fn jacobi_eigen(
+    a: &Matrix,
+    token: Option<&CancelToken>,
+) -> Result<(Vec<f64>, Matrix), LinalgError> {
     let n = a.rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
@@ -36,6 +43,12 @@ pub(crate) fn jacobi_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), LinalgError
     let tol = f64::EPSILON * norm.max(f64::MIN_POSITIVE);
 
     for sweep in 0..MAX_SWEEPS {
+        if let Some(token) = token {
+            if let Err(c) = token.checkpoint("eigen/jacobi") {
+                klest_obs::counter_add("eigen.jacobi_sweeps", sweep as u64);
+                return Err(LinalgError::Cancelled(c.with_completed(sweep)));
+            }
+        }
         let off: f64 = (0..n)
             .map(|i| ((i + 1)..n).map(|j| m[(i, j)] * m[(i, j)]).sum::<f64>())
             .sum::<f64>()
@@ -93,7 +106,7 @@ mod tests {
     #[test]
     fn diagonalizes_known_matrix() {
         let a = Matrix::from_rows(&[[2.0, 1.0].as_slice(), [1.0, 2.0].as_slice()]).unwrap();
-        let (values, vectors) = jacobi_eigen(&a).unwrap();
+        let (values, vectors) = jacobi_eigen(&a, None).unwrap();
         let mut sorted = values.clone();
         sorted.sort_by(f64::total_cmp);
         assert!((sorted[0] - 1.0).abs() < 1e-12);
@@ -124,7 +137,7 @@ mod tests {
                 a[(j, i)] = x;
             }
         }
-        let (values, vectors) = jacobi_eigen(&a).unwrap();
+        let (values, vectors) = jacobi_eigen(&a, None).unwrap();
         let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
         let sum: f64 = values.iter().sum();
         assert!((trace - sum).abs() < 1e-9);
@@ -146,7 +159,7 @@ mod tests {
             [0.0, 0.0, 1.0].as_slice(),
         ])
         .unwrap();
-        let (values, _) = jacobi_eigen(&a).unwrap();
+        let (values, _) = jacobi_eigen(&a, None).unwrap();
         let mut sorted = values;
         sorted.sort_by(f64::total_cmp);
         assert_eq!(sorted, vec![-2.0, 1.0, 5.0]);

@@ -5,6 +5,7 @@
 use crate::delaunay::DelaunayTriangulation;
 use crate::{Mesh, MeshError};
 use klest_geometry::{Point2, Polygon, Rect, Triangle};
+use klest_runtime::CancelToken;
 
 /// Builder for a quality triangulation of a rectangular die.
 ///
@@ -111,6 +112,24 @@ impl MeshBuilder {
     /// - [`MeshError::PointBudgetExhausted`] if the budget is hit first,
     /// - [`MeshError::EmptyMesh`] for degenerate domains.
     pub fn build(&self) -> Result<Mesh, MeshError> {
+        self.build_inner(None)
+    }
+
+    /// Runs Delaunay refinement under a cancellation token, polling it once
+    /// per boundary-seed insertion (Bowyer–Watson) and once per Ruppert
+    /// refinement split so a hostile domain cannot keep the mesher busy
+    /// past its deadline.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`build`](MeshBuilder::build) reports, plus
+    /// [`MeshError::Cancelled`] when the token trips; its `completed` field
+    /// counts points inserted before cancellation.
+    pub fn build_with_token(&self, token: &CancelToken) -> Result<Mesh, MeshError> {
+        self.build_inner(Some(token))
+    }
+
+    fn build_inner(&self, token: Option<&CancelToken>) -> Result<Mesh, MeshError> {
         let _span = klest_obs::span("mesh/build");
         if let Some(a) = self.max_area {
             if !(a > 0.0 && a.is_finite()) {
@@ -137,16 +156,28 @@ impl MeshBuilder {
             Some(a) => (4.0 * a / 3f64.sqrt()).sqrt(),
             None => bbox.width().max(bbox.height()),
         };
+        // One cancellation poll per Bowyer–Watson insertion; `completed`
+        // reports points already triangulated when the budget trips.
+        let poll = |dt: &DelaunayTriangulation, stage| -> Result<(), MeshError> {
+            if let Some(token) = token {
+                token
+                    .checkpoint(stage)
+                    .map_err(|c| MeshError::Cancelled(c.with_completed(dt.len())))?;
+            }
+            Ok(())
+        };
         match &self.boundary {
             None => {
                 let nx = (bbox.width() / target_len).ceil().max(1.0) as usize;
                 let ny = (bbox.height() / target_len).ceil().max(1.0) as usize;
                 for i in 0..=nx {
+                    poll(&dt, "mesh/seed")?;
                     let x = bbox.min.x + bbox.width() * i as f64 / nx as f64;
                     dt.insert(Point2::new(x, bbox.min.y));
                     dt.insert(Point2::new(x, bbox.max.y));
                 }
                 for j in 1..ny {
+                    poll(&dt, "mesh/seed")?;
                     let y = bbox.min.y + bbox.height() * j as f64 / ny as f64;
                     dt.insert(Point2::new(bbox.min.x, y));
                     dt.insert(Point2::new(bbox.max.x, y));
@@ -157,6 +188,7 @@ impl MeshBuilder {
                     let len = a.distance(b);
                     let steps = (len / target_len).ceil().max(1.0) as usize;
                     for k in 0..steps {
+                        poll(&dt, "mesh/seed")?;
                         dt.insert(a.lerp(b, k as f64 / steps as f64));
                     }
                 }
@@ -166,6 +198,7 @@ impl MeshBuilder {
         // Refinement loop: repeatedly split the worst offending triangle.
         let mut stall_guard = 0usize;
         loop {
+            poll(&dt, "mesh/refine")?;
             if dt.len() > self.max_points {
                 return Err(MeshError::PointBudgetExhausted {
                     max_points: self.max_points,
@@ -442,6 +475,55 @@ mod tests {
             .unwrap();
         assert!((mesh.total_area() - 2.0).abs() < 0.03, "{}", mesh.total_area());
         assert!(mesh.len() > 60);
+    }
+
+    #[test]
+    fn cancelled_token_stops_refinement_with_typed_error() {
+        use klest_runtime::CancelToken;
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let r = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.001)
+            .build_with_token(&token);
+        match r {
+            Err(MeshError::Cancelled(c)) => assert_eq!(c.stage, "mesh/seed"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trip_mid_refinement_reports_inserted_points() {
+        use klest_runtime::CancelToken;
+        let token = CancelToken::unlimited();
+        token.trip_after_checkpoints(200);
+        let r = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.0005)
+            .build_with_token(&token);
+        match r {
+            Err(MeshError::Cancelled(c)) => {
+                assert_eq!(c.stage, "mesh/refine");
+                assert!(c.completed > 0, "no points recorded");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn live_token_changes_nothing() {
+        use klest_runtime::CancelToken;
+        let token = CancelToken::unlimited();
+        let with = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.05)
+            .min_angle_degrees(25.0)
+            .build_with_token(&token)
+            .unwrap();
+        let without = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.05)
+            .min_angle_degrees(25.0)
+            .build()
+            .unwrap();
+        assert_eq!(with.len(), without.len());
+        assert_eq!(with.points().len(), without.points().len());
     }
 
     #[test]

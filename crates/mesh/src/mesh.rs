@@ -40,6 +40,10 @@ pub enum MeshError {
         /// Number of points available.
         points: usize,
     },
+    /// Mesh construction was cancelled cooperatively (deadline or explicit
+    /// cancel); carries the runtime's typed partial-result marker.
+    /// `completed` counts points inserted before the trip.
+    Cancelled(klest_runtime::Cancelled),
 }
 
 impl fmt::Display for MeshError {
@@ -63,11 +67,18 @@ impl fmt::Display for MeshError {
                 f,
                 "triangle {triangle} references vertex {vertex} but only {points} points exist"
             ),
+            MeshError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
 
 impl std::error::Error for MeshError {}
+
+impl From<klest_runtime::Cancelled> for MeshError {
+    fn from(c: klest_runtime::Cancelled) -> Self {
+        MeshError::Cancelled(c)
+    }
+}
 
 /// A triangulation of the die with precomputed per-triangle data.
 ///

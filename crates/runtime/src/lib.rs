@@ -1,0 +1,32 @@
+//! Deadline-aware supervised runtime for the KLE→SSTA pipeline.
+//!
+//! The paper's pitch is that kernel-KLE makes Monte Carlo SSTA practical at
+//! scale; a practical *service* must additionally bound its own runtime. This
+//! crate provides the two primitives the rest of the workspace builds on:
+//!
+//! - [`CancelToken`] / [`Budget`]: a cheap cooperative-cancellation handle
+//!   (one relaxed atomic load on the fast path) carrying an optional
+//!   wall-clock deadline. Tokens form a hierarchy: [`CancelToken::child`]
+//!   derives a per-stage token whose effective deadline is the minimum of
+//!   the parent's remaining budget and the stage's own allowance, so a stage
+//!   can never outlive the run that spawned it. Long-running loops call
+//!   [`CancelToken::checkpoint`] and bail out with a typed [`Cancelled`]
+//!   partial result instead of running open-ended.
+//! - [`Supervisor`]: a scoped worker pool with fault isolation. Each shard
+//!   runs under `catch_unwind`; a panicking shard is retried a bounded
+//!   number of times with exponential backoff, and the results of shards
+//!   that did complete are salvaged instead of being discarded with the
+//!   whole pool.
+//!
+//! The crate is std-only (its single in-workspace dependency, `klest-obs`,
+//! is used for retry/fault counters) and sits below `klest-linalg`,
+//! `klest-mesh`, `klest-core` and `klest-ssta` in the crate DAG so all of
+//! them can thread tokens through their inner loops.
+
+#![deny(missing_docs)]
+
+mod supervisor;
+mod token;
+
+pub use supervisor::{ShardStatus, SupervisedRun, Supervisor};
+pub use token::{Budget, CancelToken, Cancelled, StageBudgets};

@@ -59,6 +59,43 @@ pub enum DegradationEvent {
         /// How many locations needed clamping.
         count: usize,
     },
+    /// A pipeline stage was cancelled cooperatively (deadline / budget)
+    /// and the run continued with whatever that stage had completed.
+    Cancelled {
+        /// Stage name (`mesh/refine`, `eigen/ql`, `mc/sample`, …).
+        stage: &'static str,
+        /// Units completed before the trip (stage-specific: points,
+        /// eigenvalues, samples).
+        completed: usize,
+        /// Units originally planned (0 when the stage has no fixed plan).
+        planned: usize,
+    },
+    /// A supervised Monte Carlo worker panicked; `recovered` says whether
+    /// a retry succeeded or the shard's samples were lost.
+    WorkerFault {
+        /// Stage the worker was executing.
+        stage: &'static str,
+        /// Which shard.
+        shard: usize,
+        /// Attempts made (1 initial + retries).
+        attempts: usize,
+        /// Whether a retry eventually completed the shard.
+        recovered: bool,
+    },
+    /// The mesh-refinement budget tripped and the context was rebuilt
+    /// with a coarser target area.
+    MeshCoarsened {
+        /// Area fraction that ran out of budget.
+        from_area_fraction: f64,
+        /// Coarser area fraction retried.
+        to_area_fraction: f64,
+    },
+    /// A truncated Monte Carlo run widened its confidence interval to
+    /// account for the missing samples (`factor = √(planned/completed)`).
+    CiWidened {
+        /// Multiplier applied to the mean-CI half-width.
+        factor: f64,
+    },
 }
 
 impl fmt::Display for DegradationEvent {
@@ -91,6 +128,40 @@ impl fmt::Display for DegradationEvent {
             }
             DegradationEvent::PointsClamped { count } => {
                 write!(f, "{count} gate location(s) clamped to nearest triangle")
+            }
+            DegradationEvent::Cancelled {
+                stage,
+                completed,
+                planned,
+            } => {
+                if *planned > 0 {
+                    write!(
+                        f,
+                        "stage `{stage}` cancelled: {completed}/{planned} unit(s) salvaged"
+                    )
+                } else {
+                    write!(f, "stage `{stage}` cancelled after {completed} unit(s)")
+                }
+            }
+            DegradationEvent::WorkerFault {
+                stage,
+                shard,
+                attempts,
+                recovered,
+            } => write!(
+                f,
+                "worker fault in `{stage}`, shard {shard}: {} after {attempts} attempt(s)",
+                if *recovered { "recovered" } else { "shard lost" }
+            ),
+            DegradationEvent::MeshCoarsened {
+                from_area_fraction,
+                to_area_fraction,
+            } => write!(
+                f,
+                "mesh budget tripped: coarsened area fraction {from_area_fraction:.2e} → {to_area_fraction:.2e}"
+            ),
+            DegradationEvent::CiWidened { factor } => {
+                write!(f, "confidence interval widened by ×{factor:.3}")
             }
         }
     }
@@ -224,6 +295,40 @@ mod tests {
                 },
                 "budget unmet",
             ),
+            (
+                DegradationEvent::Cancelled {
+                    stage: "mc/sample",
+                    completed: 120,
+                    planned: 500,
+                },
+                "120/500",
+            ),
+            (
+                DegradationEvent::WorkerFault {
+                    stage: "mc/sample",
+                    shard: 1,
+                    attempts: 2,
+                    recovered: true,
+                },
+                "recovered",
+            ),
+            (
+                DegradationEvent::WorkerFault {
+                    stage: "mc/sample",
+                    shard: 0,
+                    attempts: 3,
+                    recovered: false,
+                },
+                "shard lost",
+            ),
+            (
+                DegradationEvent::MeshCoarsened {
+                    from_area_fraction: 0.001,
+                    to_area_fraction: 0.004,
+                },
+                "coarsened",
+            ),
+            (DegradationEvent::CiWidened { factor: 1.29 }, "×1.290"),
         ] {
             assert!(e.to_string().contains(needle), "{e}");
         }

@@ -18,6 +18,22 @@ pub enum SstaError {
         /// What was supplied, stringified.
         value: String,
     },
+    /// The run was cancelled cooperatively (deadline or explicit cancel)
+    /// before *any* usable result was produced. Partial runs that salvage
+    /// at least one sample return `Ok` with salvage statistics instead.
+    Cancelled(klest_runtime::Cancelled),
+    /// A Monte Carlo worker panicked and exhausted its retry budget; the
+    /// shard's samples are lost (sibling shards may still be salvaged).
+    WorkerFault {
+        /// Pipeline stage the worker was executing.
+        stage: &'static str,
+        /// Which shard faulted.
+        shard: usize,
+        /// Attempts made (1 initial + retries).
+        attempts: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for SstaError {
@@ -28,6 +44,16 @@ impl fmt::Display for SstaError {
             SstaError::InvalidConfig { name, value } => {
                 write!(f, "invalid SSTA configuration: {name} = {value}")
             }
+            SstaError::Cancelled(c) => write!(f, "{c}"),
+            SstaError::WorkerFault {
+                stage,
+                shard,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "worker fault in stage `{stage}`, shard {shard}: {message} ({attempts} attempt(s))"
+            ),
         }
     }
 }
@@ -38,19 +64,35 @@ impl std::error::Error for SstaError {
             SstaError::Linalg(e) => Some(e),
             SstaError::Kle(e) => Some(e),
             SstaError::InvalidConfig { .. } => None,
+            SstaError::Cancelled(_) => None,
+            SstaError::WorkerFault { .. } => None,
         }
+    }
+}
+
+impl From<klest_runtime::Cancelled> for SstaError {
+    fn from(c: klest_runtime::Cancelled) -> Self {
+        SstaError::Cancelled(c)
     }
 }
 
 impl From<LinalgError> for SstaError {
     fn from(e: LinalgError) -> Self {
-        SstaError::Linalg(e)
+        // Keep cancellation at the top level: callers match one variant
+        // per crate regardless of which stage the budget tripped in.
+        match e {
+            LinalgError::Cancelled(c) => SstaError::Cancelled(c),
+            other => SstaError::Linalg(other),
+        }
     }
 }
 
 impl From<KleError> for SstaError {
     fn from(e: KleError) -> Self {
-        SstaError::Kle(e)
+        match e {
+            KleError::Cancelled(c) => SstaError::Cancelled(c),
+            other => SstaError::Kle(other),
+        }
     }
 }
 
@@ -72,5 +114,28 @@ mod tests {
         };
         assert!(e.to_string().contains("samples"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn cancellation_surfaces_at_top_level() {
+        let c = klest_runtime::Cancelled {
+            stage: "eigen/ql",
+            completed: 7,
+            budget: None,
+        };
+        // Cancellation nested two crates down still matches one variant.
+        let e = SstaError::from(KleError::Cancelled(c.clone()));
+        assert!(matches!(e, SstaError::Cancelled(_)));
+        let e = SstaError::from(LinalgError::Cancelled(c.clone()));
+        assert!(matches!(e, SstaError::Cancelled(_)));
+        assert!(e.to_string().contains("eigen/ql"));
+        let e = SstaError::WorkerFault {
+            stage: "mc/sample",
+            shard: 2,
+            attempts: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("boom"));
     }
 }

@@ -11,6 +11,9 @@
 use klest_geometry::{Point2, Rect};
 use klest_kernels::CovarianceKernel;
 use klest_linalg::Matrix;
+use klest_runtime::CancelToken;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// An indefinite "kernel": `K(x, y) = 1 − d·‖x−y‖` without the cone's
 /// clamp at zero, so distant pairs go *negative* — grossly violating
@@ -98,6 +101,158 @@ pub fn degenerate_mesh_parts() -> (Rect, Vec<Point2>, Vec<[usize; 3]>) {
     (Rect::unit_die(), points, triangles)
 }
 
+/// Pipeline stage a runtime fault (panic / hang) is bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Mesh generation (Bowyer–Watson seeding / Ruppert refinement).
+    Mesh,
+    /// Galerkin assembly + eigensolve.
+    Eigen,
+    /// The Monte Carlo sampling loop.
+    Mc,
+}
+
+struct PanicFault {
+    stage: Stage,
+    shard: usize,
+    remaining: AtomicUsize,
+}
+
+struct HangFault {
+    stage: Stage,
+    /// `None` hangs the first worker to arrive, whichever shard that is.
+    shard: Option<usize>,
+    millis: u64,
+    fired: AtomicBool,
+}
+
+/// A deterministic schedule of *runtime* faults — panics and hangs —
+/// injected into the supervised pipeline at named stage/shard sites.
+///
+/// Unlike the numerical generators above, these exercise the runtime
+/// supervision layer: a [`Stage::Mc`] panic must be caught by the
+/// supervisor and retried; a hang must be broken by the cooperative
+/// deadline with completed work salvaged. Counters are atomic so the plan
+/// can be shared by reference across worker threads, and each fault fires
+/// a bounded number of times — a retried shard reruns the same closure,
+/// so a one-shot panic models the transient fault the retry ladder is
+/// designed for.
+#[derive(Default)]
+pub struct FaultPlan {
+    panics: Vec<PanicFault>,
+    hangs: Vec<HangFault>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("panics", &self.panics.len())
+            .field("hangs", &self.hangs.len())
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults fire).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Panics the first time `shard` reaches `stage` (a transient fault:
+    /// the supervisor's retry reruns the shard, which then succeeds).
+    #[must_use]
+    pub fn panic_at(self, stage: Stage, shard: usize) -> FaultPlan {
+        self.panic_at_times(stage, shard, 1)
+    }
+
+    /// Panics the first `times` arrivals of `shard` at `stage`. With
+    /// `times` above the supervisor's retry bound this models a permanent
+    /// fault and the shard is lost.
+    #[must_use]
+    pub fn panic_at_times(mut self, stage: Stage, shard: usize, times: usize) -> FaultPlan {
+        self.panics.push(PanicFault {
+            stage,
+            shard,
+            remaining: AtomicUsize::new(times),
+        });
+        self
+    }
+
+    /// Hangs the first worker (any shard) that reaches `stage` for up to
+    /// `millis` milliseconds. The sleep polls the worker's cancel token in
+    /// small slices, so a deadline breaks the hang cooperatively — exactly
+    /// the straggler scenario the supervised runtime must salvage.
+    #[must_use]
+    pub fn hang_for(mut self, stage: Stage, millis: u64) -> FaultPlan {
+        self.hangs.push(HangFault {
+            stage,
+            shard: None,
+            millis,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Like [`hang_for`](Self::hang_for) but pinned to one shard, for
+    /// tests that need a deterministic victim (e.g. hang shard 1 while
+    /// shard 0 takes a panic).
+    #[must_use]
+    pub fn hang_at(mut self, stage: Stage, shard: usize, millis: u64) -> FaultPlan {
+        self.hangs.push(HangFault {
+            stage,
+            shard: Some(shard),
+            millis,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Instrumentation hook: called by supervised pipeline code when
+    /// `shard` enters `stage`. Fires any scheduled hang first (so a
+    /// hang + panic at the same site hangs, wakes on cancellation, then
+    /// panics), then any scheduled panic.
+    pub fn fire(&self, stage: Stage, shard: usize, token: &CancelToken) {
+        for hang in self
+            .hangs
+            .iter()
+            .filter(|h| h.stage == stage && h.shard.is_none_or(|s| s == shard))
+        {
+            if hang
+                .fired
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                let slice = Duration::from_millis(5);
+                let mut slept = Duration::ZERO;
+                let total = Duration::from_millis(hang.millis);
+                while slept < total && !token.is_cancelled() {
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        }
+        for p in self
+            .panics
+            .iter()
+            .filter(|p| p.stage == stage && p.shard == shard)
+        {
+            // Decrement-if-positive: exactly `times` arrivals panic, even
+            // under concurrent arrivals from sibling threads.
+            let armed = p
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+            if armed {
+                // Deliberate injected panic: panic_any keeps the library
+                // free of the `panic!` macro the no-panic gate forbids.
+                std::panic::panic_any(format!(
+                    "injected fault: stage {stage:?}, shard {shard}"
+                ));
+            }
+        }
+    }
+}
+
 /// Gate placements with a fraction of locations pushed off the unit die:
 /// index 0 stays inside, odd indices are displaced far outside.
 pub fn offdie_locations(count: usize) -> Vec<Point2> {
@@ -129,6 +284,41 @@ mod tests {
         let k = NanKernel;
         assert_eq!(k.eval(Point2::ORIGIN, Point2::ORIGIN), 1.0);
         assert!(k.eval(Point2::ORIGIN, Point2::new(0.1, 0.0)).is_nan());
+    }
+
+    #[test]
+    fn panic_fault_fires_exactly_scheduled_times() {
+        let plan = FaultPlan::new().panic_at_times(Stage::Mc, 1, 2);
+        let token = CancelToken::unlimited();
+        // Wrong shard / wrong stage: silent.
+        plan.fire(Stage::Mc, 0, &token);
+        plan.fire(Stage::Eigen, 1, &token);
+        // Scheduled site: panics twice, then is exhausted.
+        for _ in 0..2 {
+            let r = std::panic::catch_unwind(|| plan.fire(Stage::Mc, 1, &token));
+            let payload = r.expect_err("scheduled arrival must panic");
+            let msg = payload.downcast_ref::<String>().expect("string payload");
+            assert!(msg.contains("shard 1"), "{msg}");
+        }
+        plan.fire(Stage::Mc, 1, &token); // third arrival: no panic
+    }
+
+    #[test]
+    fn hang_fires_once_and_breaks_on_cancellation() {
+        use std::time::Instant;
+        let plan = FaultPlan::new().hang_for(Stage::Mc, 60_000);
+        let token = CancelToken::unlimited();
+        token.cancel();
+        // Already-cancelled token: the hang returns immediately.
+        let t0 = Instant::now();
+        plan.fire(Stage::Mc, 0, &token);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        // Second arrival: fault already consumed, returns instantly even
+        // on a live token.
+        let live = CancelToken::unlimited();
+        let t0 = Instant::now();
+        plan.fire(Stage::Mc, 1, &live);
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

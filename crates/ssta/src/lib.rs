@@ -16,7 +16,11 @@
 //! (optionally across threads, optionally with antithetic variates) and
 //! returns worst-delay samples, per-output statistics and statistical
 //! criticality; [`experiments`] packages the paper's Table 1 and Fig. 6
-//! comparisons.
+//! comparisons. [`run_monte_carlo_supervised`] is the deadline-aware
+//! variant: workers run under a fault-isolating supervisor, poll a
+//! [`klest_runtime::CancelToken`] between samples, and a cancelled or
+//! partially-faulted run salvages every completed sample with the CI
+//! widening recorded in [`SalvageStats`].
 //!
 //! Beyond the paper's Monte Carlo: [`GridPcaSampler`] is the Sec. 2.1
 //! grid baseline, [`ProcessModel`] binds a distinct kernel per
@@ -60,7 +64,11 @@ pub mod validation;
 pub use degradation::{DegradationEvent, DegradationReport};
 pub use error::SstaError;
 pub use grid_model::GridPcaSampler;
-pub use mc::{run_monte_carlo, run_monte_carlo_per_param, McConfig, McRun, N_PARAMS};
+pub use mc::{
+    run_monte_carlo, run_monte_carlo_per_param, run_monte_carlo_supervised,
+    run_monte_carlo_supervised_per_param, run_monte_carlo_supervised_with_faults, McConfig, McRun,
+    SalvageStats, N_PARAMS,
+};
 pub use normal::NormalSource;
 pub use process::ProcessModel;
 pub use samplers::{CholeskySampler, GateFieldSampler, KleFieldSampler};

@@ -1,6 +1,11 @@
 //! The Monte Carlo SSTA loop shared by both sample generators.
 
-use crate::{GateFieldSampler, NormalSource, OutputStats, SstaError, SummaryStats};
+use crate::faultinject::{FaultPlan, Stage};
+use crate::{
+    DegradationEvent, DegradationReport, GateFieldSampler, NormalSource, OutputStats, SstaError,
+    SummaryStats,
+};
+use klest_runtime::{CancelToken, Cancelled, Supervisor};
 use klest_sta::{ParamVector, Timer};
 use klest_rng::{SeedableRng, StdRng};
 use std::time::{Duration, Instant};
@@ -51,6 +56,31 @@ impl McConfig {
     }
 }
 
+/// What a supervised Monte Carlo run managed to keep: how many of the
+/// planned samples completed before cancellation / faults, how hard the
+/// supervisor had to work, and the resulting statistical penalty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvageStats {
+    /// Samples originally requested.
+    pub planned: usize,
+    /// Samples actually salvaged into the run.
+    pub completed: usize,
+    /// Shards that needed at least one retry.
+    pub shards_retried: usize,
+    /// Shards lost entirely (every attempt panicked).
+    pub worker_faults: usize,
+    /// Factor by which the mean's confidence interval widens relative to
+    /// the planned run: `√(planned/completed)` (1 for a full run).
+    pub ci_widening: f64,
+}
+
+impl SalvageStats {
+    /// Whether the run was truncated (fewer samples than planned).
+    pub fn truncated(&self) -> bool {
+        self.completed < self.planned
+    }
+}
+
 /// Result of one Monte Carlo SSTA run.
 #[derive(Debug, Clone)]
 pub struct McRun {
@@ -60,6 +90,8 @@ pub struct McRun {
     critical_counts: Vec<usize>,
     random_dims: usize,
     wall: Duration,
+    /// Salvage accounting — `Some` only for supervised runs.
+    salvage: Option<SalvageStats>,
 }
 
 impl McRun {
@@ -87,6 +119,12 @@ impl McRun {
     /// Wall-clock duration of the sampling + timing loop.
     pub fn wall_time(&self) -> Duration {
         self.wall
+    }
+
+    /// Salvage statistics — `Some` for runs produced by
+    /// [`run_monte_carlo_supervised`] and friends, `None` for plain runs.
+    pub fn salvage(&self) -> Option<&SalvageStats> {
+        self.salvage.as_ref()
     }
 
     /// Statistical criticality: the probability (over process outcomes)
@@ -232,6 +270,224 @@ pub fn run_monte_carlo_per_param(
         critical_counts,
         random_dims: samplers.iter().map(|s| s.random_dims()).max().unwrap_or(0),
         wall,
+        salvage: None,
+    })
+}
+
+/// Supervised [`run_monte_carlo`]: workers run under a fault-isolating
+/// [`Supervisor`], poll `token` between samples (`mc/sample` checkpoints)
+/// and return partial results on cancellation. Panicking shards are
+/// retried with bounded backoff; shards that exhaust their retries lose
+/// only their own samples. The returned run always carries
+/// [`SalvageStats`] and records [`DegradationEvent`]s for cancellation,
+/// CI widening and every worker fault.
+///
+/// With a live (never-tripped) token and no faults the samples are
+/// bitwise identical to [`run_monte_carlo`]'s.
+///
+/// # Errors
+///
+/// [`SstaError::InvalidConfig`] as for [`run_monte_carlo`];
+/// [`SstaError::Cancelled`] when cancellation struck before *any* sample
+/// completed; [`SstaError::WorkerFault`] when every sample was lost to
+/// panicking shards.
+pub fn run_monte_carlo_supervised<S: GateFieldSampler>(
+    timer: &Timer,
+    sampler: &S,
+    config: &McConfig,
+    token: &CancelToken,
+    report: &mut DegradationReport,
+) -> Result<McRun, SstaError> {
+    let samplers: [&dyn GateFieldSampler; N_PARAMS] = [&sampler; N_PARAMS].map(|s| s as _);
+    run_monte_carlo_supervised_per_param(timer, &samplers, config, token, None, report)
+}
+
+/// [`run_monte_carlo_supervised`] with a [`FaultPlan`] injecting panics /
+/// hangs at `mc/sample` sites — the deterministic harness behind the
+/// fault-injection suite and the CLI's `--inject-*` flags.
+///
+/// # Errors
+///
+/// As for [`run_monte_carlo_supervised`].
+pub fn run_monte_carlo_supervised_with_faults<S: GateFieldSampler>(
+    timer: &Timer,
+    sampler: &S,
+    config: &McConfig,
+    token: &CancelToken,
+    plan: &FaultPlan,
+    report: &mut DegradationReport,
+) -> Result<McRun, SstaError> {
+    let samplers: [&dyn GateFieldSampler; N_PARAMS] = [&sampler; N_PARAMS].map(|s| s as _);
+    run_monte_carlo_supervised_per_param(timer, &samplers, config, token, Some(plan), report)
+}
+
+/// The general supervised form: distinct generator per parameter, optional
+/// fault plan. See [`run_monte_carlo_supervised`] for the contract.
+///
+/// # Errors
+///
+/// As for [`run_monte_carlo_supervised`].
+pub fn run_monte_carlo_supervised_per_param(
+    timer: &Timer,
+    samplers: &[&dyn GateFieldSampler; N_PARAMS],
+    config: &McConfig,
+    token: &CancelToken,
+    plan: Option<&FaultPlan>,
+    report: &mut DegradationReport,
+) -> Result<McRun, SstaError> {
+    if config.samples == 0 {
+        return Err(SstaError::InvalidConfig {
+            name: "samples",
+            value: "0".into(),
+        });
+    }
+    for (i, s) in samplers.iter().enumerate() {
+        if s.node_count() != timer.node_count() {
+            return Err(SstaError::InvalidConfig {
+                name: "sampler.node_count",
+                value: format!(
+                    "param {i}: {} (timer has {})",
+                    s.node_count(),
+                    timer.node_count()
+                ),
+            });
+        }
+    }
+    let _span = klest_obs::span("mc/supervised");
+    let started = Instant::now();
+    let threads = config.threads.max(1).min(config.samples);
+    let n_outputs = timer.outputs().len();
+
+    let mut shares = vec![config.samples / threads; threads];
+    for s in shares.iter_mut().take(config.samples % threads) {
+        *s += 1;
+    }
+
+    let antithetic = config.antithetic;
+    let shares_ref = &shares;
+    let supervisor = Supervisor::new(token.clone());
+    let run = supervisor.run(threads, |shard, tok| {
+        // The single-shard seed matches the sequential path of
+        // `run_monte_carlo`, so a truncated supervised run salvages an
+        // exact prefix of the plain run's sample stream.
+        let seed = if threads == 1 {
+            config.seed
+        } else {
+            config.seed.wrapping_add(0x100_0003u64.wrapping_mul(shard as u64 + 1))
+        };
+        supervised_worker(
+            timer,
+            samplers,
+            seed,
+            shares_ref[shard],
+            n_outputs,
+            antithetic,
+            tok,
+            plan,
+            shard,
+        )
+    });
+
+    // Salvage: keep everything completed shards produced, including the
+    // partial output of cancelled stragglers.
+    let mut worst_delays = Vec::with_capacity(config.samples);
+    let mut output_stats = OutputStats::new(n_outputs);
+    let mut critical_counts = vec![0usize; n_outputs];
+    let mut first_cancel: Option<Cancelled> = None;
+    for ((w, o, crit), cancel) in run.results.iter().flatten() {
+        worst_delays.extend_from_slice(w);
+        output_stats.merge(o);
+        for (acc, c) in critical_counts.iter_mut().zip(crit) {
+            *acc += c;
+        }
+        if first_cancel.is_none() {
+            first_cancel.clone_from(cancel);
+        }
+    }
+
+    let mut shards_retried = 0usize;
+    let mut first_fault: Option<SstaError> = None;
+    for (shard, status) in run.status.iter().enumerate() {
+        match status {
+            klest_runtime::ShardStatus::Completed => {}
+            klest_runtime::ShardStatus::Recovered { retries } => {
+                shards_retried += 1;
+                report.record(DegradationEvent::WorkerFault {
+                    stage: "mc/sample",
+                    shard,
+                    attempts: retries + 1,
+                    recovered: true,
+                });
+            }
+            klest_runtime::ShardStatus::Faulted { attempts, message } => {
+                report.record(DegradationEvent::WorkerFault {
+                    stage: "mc/sample",
+                    shard,
+                    attempts: *attempts,
+                    recovered: false,
+                });
+                if first_fault.is_none() {
+                    first_fault = Some(SstaError::WorkerFault {
+                        stage: "mc/sample",
+                        shard,
+                        attempts: *attempts,
+                        message: message.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    let completed = worst_delays.len();
+    let planned = config.samples;
+    if completed == 0 {
+        // Nothing to salvage: surface the typed cause.
+        return Err(match (first_fault, first_cancel) {
+            (Some(fault), _) => fault,
+            (None, Some(c)) => SstaError::Cancelled(c),
+            (None, None) => SstaError::Cancelled(Cancelled {
+                stage: "mc/sample",
+                completed: 0,
+                budget: token.budget(),
+            }),
+        });
+    }
+
+    let ci_widening = if completed < planned {
+        (planned as f64 / completed as f64).sqrt()
+    } else {
+        1.0
+    };
+    if completed < planned {
+        let stage = first_cancel.as_ref().map_or("mc/sample", |c| c.stage);
+        report.record(DegradationEvent::Cancelled {
+            stage,
+            completed,
+            planned,
+        });
+        report.record(DegradationEvent::CiWidened { factor: ci_widening });
+    }
+
+    let wall = started.elapsed();
+    if klest_obs::enabled() {
+        klest_obs::counter_add("mc.samples", completed as u64);
+        klest_obs::counter_add("mc.samples_salvaged", completed as u64);
+        klest_obs::gauge_set("mc.threads", threads as f64);
+        klest_obs::gauge_set("mc.ci_widening", ci_widening);
+    }
+    Ok(McRun {
+        worst_delays,
+        output_stats,
+        critical_counts,
+        random_dims: samplers.iter().map(|s| s.random_dims()).max().unwrap_or(0),
+        wall,
+        salvage: Some(SalvageStats {
+            planned,
+            completed,
+            shards_retried,
+            worker_faults: run.fault_count(),
+            ci_widening,
+        }),
     })
 }
 
@@ -291,6 +547,76 @@ fn worker(
         stats.push(&out_values);
     }
     (worst, stats, critical_counts)
+}
+
+/// One supervised worker: the plain [`worker`] loop plus a per-sample
+/// `mc/sample` checkpoint and fault-plan instrumentation. Returns whatever
+/// it completed together with the cancellation marker, if any — the
+/// supervisor salvages the partial output either way.
+#[allow(clippy::too_many_arguments)]
+fn supervised_worker(
+    timer: &Timer,
+    samplers: &[&dyn GateFieldSampler; N_PARAMS],
+    seed: u64,
+    samples: usize,
+    n_outputs: usize,
+    antithetic: bool,
+    token: &CancelToken,
+    plan: Option<&FaultPlan>,
+    shard: usize,
+) -> (WorkerOutput, Option<Cancelled>) {
+    if let Some(plan) = plan {
+        // Injected hang / panic on entry; a panic here is caught by the
+        // supervisor and the retried shard reruns from this point with
+        // the same seed, reproducing the original sample stream.
+        plan.fire(Stage::Mc, shard, token);
+    }
+    let n = timer.node_count();
+    let mut normals = NormalSource::new(StdRng::seed_from_u64(seed));
+    let mut fields = vec![vec![0.0; n]; N_PARAMS];
+    let mut params = vec![ParamVector::ZERO; n];
+    let mut arrivals = vec![0.0; n];
+    let mut slews = vec![0.0; n];
+    let mut out_values = vec![0.0; n_outputs];
+    let mut worst = Vec::with_capacity(samples);
+    let mut stats = OutputStats::new(n_outputs);
+    let mut critical_counts = vec![0usize; n_outputs];
+    for s in 0..samples {
+        if let Err(c) = token.checkpoint("mc/sample") {
+            let done = worst.len();
+            return ((worst, stats, critical_counts), Some(c.with_completed(done)));
+        }
+        if antithetic && s % 2 == 1 {
+            for field in fields.iter_mut() {
+                for v in field.iter_mut() {
+                    *v = -*v;
+                }
+            }
+        } else {
+            for (field, sampler) in fields.iter_mut().zip(samplers.iter()) {
+                sampler.sample_into(&mut normals, field);
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            *p = ParamVector::new([fields[0][i], fields[1][i], fields[2][i], fields[3][i]]);
+        }
+        let w = timer.analyze_into(&params, &mut arrivals, &mut slews);
+        worst.push(w);
+        let mut argmax = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        for ((slot, v), o) in out_values.iter_mut().enumerate().zip(timer.outputs()) {
+            *v = arrivals[o.index()];
+            if *v > best {
+                best = *v;
+                argmax = slot;
+            }
+        }
+        if n_outputs > 0 {
+            critical_counts[argmax] += 1;
+        }
+        stats.push(&out_values);
+    }
+    ((worst, stats, critical_counts), None)
 }
 
 #[cfg(test)]
@@ -437,6 +763,130 @@ mod tests {
             run_monte_carlo_per_param(&other_timer, &samplers, &McConfig::new(5, 1)),
             Err(SstaError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn supervised_matches_plain_run_bitwise_when_untripped() {
+        let (timer, sampler) = setup(40);
+        for threads in [1usize, 3] {
+            let cfg = McConfig::new(60, 7).with_threads(threads);
+            let plain = run_monte_carlo(&timer, &sampler, &cfg).unwrap();
+            let token = CancelToken::unlimited();
+            let mut report = DegradationReport::new();
+            let sup =
+                run_monte_carlo_supervised(&timer, &sampler, &cfg, &token, &mut report).unwrap();
+            assert_eq!(plain.worst_delays(), sup.worst_delays(), "threads={threads}");
+            assert!(report.is_clean(), "{report}");
+            let salvage = sup.salvage().expect("supervised runs report salvage");
+            assert_eq!(salvage.planned, 60);
+            assert_eq!(salvage.completed, 60);
+            assert_eq!(salvage.ci_widening, 1.0);
+            assert!(!salvage.truncated());
+        }
+    }
+
+    #[test]
+    fn tripped_run_salvages_exact_prefix() {
+        let (timer, sampler) = setup(40);
+        let cfg = McConfig::new(50, 13);
+        let full = run_monte_carlo(&timer, &sampler, &cfg).unwrap();
+        let token = CancelToken::unlimited();
+        token.trip_after_checkpoints(20);
+        let mut report = DegradationReport::new();
+        let run =
+            run_monte_carlo_supervised(&timer, &sampler, &cfg, &token, &mut report).unwrap();
+        assert_eq!(run.worst_delays().len(), 20);
+        assert_eq!(run.worst_delays(), &full.worst_delays()[..20]);
+        let salvage = run.salvage().unwrap();
+        assert_eq!(salvage.completed, 20);
+        assert!((salvage.ci_widening - (50.0f64 / 20.0).sqrt()).abs() < 1e-12);
+        assert!(report.events().iter().any(|e| matches!(
+            e,
+            DegradationEvent::Cancelled { stage: "mc/sample", completed: 20, planned: 50 }
+        )));
+        assert!(report
+            .events()
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::CiWidened { .. })));
+    }
+
+    #[test]
+    fn transient_panic_is_retried_and_recovers_bitwise() {
+        let (timer, sampler) = setup(40);
+        let cfg = McConfig::new(40, 5).with_threads(2);
+        let clean = run_monte_carlo(&timer, &sampler, &cfg).unwrap();
+        let token = CancelToken::unlimited();
+        let plan = FaultPlan::new().panic_at(Stage::Mc, 1);
+        let mut report = DegradationReport::new();
+        let run = run_monte_carlo_supervised_with_faults(
+            &timer, &sampler, &cfg, &token, &plan, &mut report,
+        )
+        .unwrap();
+        // The retry reran shard 1 with its original seed: full salvage,
+        // same sample multiset as the clean parallel run.
+        assert_eq!(run.worst_delays().len(), 40);
+        assert_eq!(run.worst_delays(), clean.worst_delays());
+        let salvage = run.salvage().unwrap();
+        assert_eq!(salvage.shards_retried, 1);
+        assert_eq!(salvage.worker_faults, 0);
+        assert!(report.events().iter().any(|e| matches!(
+            e,
+            DegradationEvent::WorkerFault { shard: 1, recovered: true, .. }
+        )));
+    }
+
+    #[test]
+    fn permanent_panic_loses_one_shard_keeps_siblings() {
+        let (timer, sampler) = setup(40);
+        let cfg = McConfig::new(40, 5).with_threads(2);
+        let token = CancelToken::unlimited();
+        // More scheduled panics than the supervisor will retry.
+        let plan = FaultPlan::new().panic_at_times(Stage::Mc, 0, 100);
+        let mut report = DegradationReport::new();
+        let run = run_monte_carlo_supervised_with_faults(
+            &timer, &sampler, &cfg, &token, &plan, &mut report,
+        )
+        .unwrap();
+        // Shard 0's 20 samples are lost; shard 1's 20 survive.
+        assert_eq!(run.worst_delays().len(), 20);
+        let salvage = run.salvage().unwrap();
+        assert_eq!(salvage.worker_faults, 1);
+        assert!(salvage.truncated());
+        assert!(report.events().iter().any(|e| matches!(
+            e,
+            DegradationEvent::WorkerFault { shard: 0, recovered: false, .. }
+        )));
+    }
+
+    #[test]
+    fn zero_salvage_surfaces_typed_errors() {
+        let (timer, sampler) = setup(30);
+        // Pre-cancelled token: no sample ever completes.
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let mut report = DegradationReport::new();
+        let err =
+            run_monte_carlo_supervised(&timer, &sampler, &McConfig::new(10, 1), &token, &mut report)
+                .unwrap_err();
+        assert!(matches!(err, SstaError::Cancelled(_)), "{err:?}");
+        // Every shard permanently faulted: worker fault, not cancellation.
+        let token = CancelToken::unlimited();
+        let plan = FaultPlan::new().panic_at_times(Stage::Mc, 0, 100);
+        let mut report = DegradationReport::new();
+        let err = run_monte_carlo_supervised_with_faults(
+            &timer,
+            &sampler,
+            &McConfig::new(10, 1),
+            &token,
+            &plan,
+            &mut report,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SstaError::WorkerFault { shard: 0, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("injected fault"));
     }
 
     #[test]

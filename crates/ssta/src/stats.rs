@@ -47,6 +47,18 @@ impl SummaryStats {
         100.0 * (self.std_dev - reference.std_dev).abs()
             / reference.std_dev.abs().max(f64::MIN_POSITIVE)
     }
+
+    /// Half-width of the mean's confidence interval at `z` standard
+    /// errors: `z · s/√n`. This is what a truncated (salvaged) run widens
+    /// by `√(planned/completed)` — fewer samples, same per-sample σ.
+    /// Returns 0 for fewer than two samples.
+    pub fn mean_ci_halfwidth(&self, z: f64) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            z * self.std_dev / (self.count as f64).sqrt()
+        }
+    }
 }
 
 /// Empirical quantile of a sample set by linear interpolation between
@@ -230,6 +242,23 @@ mod tests {
         };
         assert!((a.mean_error_pct(&reference) - 5.0).abs() < 1e-12);
         assert!((a.std_error_pct(&reference) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_halfwidth_scales_with_samples() {
+        let s = SummaryStats {
+            count: 100,
+            mean: 0.0,
+            std_dev: 2.0,
+        };
+        // z·s/√n = 1.96 · 2 / 10
+        assert!((s.mean_ci_halfwidth(1.96) - 0.392).abs() < 1e-12);
+        let quarter = SummaryStats { count: 25, ..s };
+        // A quarter of the samples → twice the half-width.
+        assert!(
+            (quarter.mean_ci_halfwidth(1.96) - 2.0 * s.mean_ci_halfwidth(1.96)).abs() < 1e-12
+        );
+        assert_eq!(SummaryStats::of(&[1.0]).mean_ci_halfwidth(1.96), 0.0);
     }
 
     #[test]

@@ -12,15 +12,19 @@ use klest_kernels::{CovarianceKernel, GaussianKernel};
 use klest_linalg::{LinalgError, Matrix, SymmetricEigen};
 use klest_mesh::{Mesh, MeshBuilder, MeshError};
 use klest_rng::{SeedableRng, StdRng};
-use klest_ssta::experiments::{compare_methods_with_report, CircuitSetup, KleContext};
+use klest_runtime::{CancelToken, StageBudgets};
+use klest_ssta::experiments::{
+    compare_methods_supervised, compare_methods_with_report, CircuitSetup, KleContext,
+};
 use klest_ssta::faultinject::{
-    degenerate_mesh_parts, nan_poisoned_matrix, offdie_locations, IndefiniteKernel, NanKernel,
-    NearSingularKernel,
+    degenerate_mesh_parts, nan_poisoned_matrix, offdie_locations, FaultPlan, IndefiniteKernel,
+    NanKernel, NearSingularKernel, Stage,
 };
 use klest_ssta::{
-    CholeskySampler, DegradationEvent, DegradationReport, GateFieldSampler, KleFieldSampler,
-    McConfig, NormalSource, SstaError,
+    run_monte_carlo, run_monte_carlo_supervised_with_faults, CholeskySampler, DegradationEvent,
+    DegradationReport, GateFieldSampler, KleFieldSampler, McConfig, NormalSource, SstaError,
 };
+use std::time::Duration;
 
 fn grid(side: usize) -> Vec<Point2> {
     let mut pts = Vec::new();
@@ -263,6 +267,134 @@ fn eigensolver_fallback_event_contract() {
             "fallback engine disagrees: QL {a} vs Jacobi {b}"
         );
     }
+}
+
+#[test]
+fn injected_panic_is_retried_and_the_run_recovers_exactly() {
+    // PanicAt: a transient worker panic must be absorbed by the
+    // supervisor's retry and leave no statistical trace — the retried
+    // shard reruns its original seed, so the samples are bitwise those of
+    // an uninjected run.
+    let circuit = generate("rt-panic", GeneratorConfig::combinational(50, 21)).expect("circuit");
+    let setup = CircuitSetup::prepare(&circuit);
+    let kernel = GaussianKernel::new(2.0);
+    let sampler = CholeskySampler::new(&kernel, setup.locations()).expect("sampler");
+    let cfg = McConfig::new(80, 17).with_threads(2);
+    let clean = run_monte_carlo(&setup.timer, &sampler, &cfg).expect("clean run");
+
+    let plan = FaultPlan::new().panic_at(Stage::Mc, 0);
+    let token = CancelToken::unlimited();
+    let mut report = DegradationReport::new();
+    let run = run_monte_carlo_supervised_with_faults(
+        &setup.timer,
+        &sampler,
+        &cfg,
+        &token,
+        &plan,
+        &mut report,
+    )
+    .expect("supervised run survives the injected panic");
+    assert_eq!(run.worst_delays(), clean.worst_delays());
+    let salvage = run.salvage().expect("salvage stats");
+    assert_eq!(salvage.completed, 80);
+    assert_eq!(salvage.shards_retried, 1);
+    assert_eq!(salvage.worker_faults, 0);
+    assert!(report.events().iter().any(|e| matches!(
+        e,
+        DegradationEvent::WorkerFault { stage: "mc/sample", shard: 0, recovered: true, attempts }
+            if *attempts == 2
+    )));
+}
+
+#[test]
+fn injected_hang_is_broken_by_deadline_and_samples_salvaged() {
+    // HangFor: a worker parked far beyond the deadline must be released
+    // by cooperative cancellation; the sibling shard's samples survive.
+    let circuit = generate("rt-hang", GeneratorConfig::combinational(50, 22)).expect("circuit");
+    let setup = CircuitSetup::prepare(&circuit);
+    let kernel = GaussianKernel::new(2.0);
+    let sampler = CholeskySampler::new(&kernel, setup.locations()).expect("sampler");
+    let cfg = McConfig::new(100, 9).with_threads(2);
+
+    let plan = FaultPlan::new().hang_for(Stage::Mc, 600_000); // ten minutes
+    let token = CancelToken::with_budget(klest_runtime::Budget::wall(Duration::from_millis(300)));
+    let mut report = DegradationReport::new();
+    let started = std::time::Instant::now();
+    let run = run_monte_carlo_supervised_with_faults(
+        &setup.timer,
+        &sampler,
+        &cfg,
+        &token,
+        &plan,
+        &mut report,
+    )
+    .expect("hung run salvages the live shard");
+    // The ten-minute hang did not serialize into wall time.
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "deadline failed to break the hang"
+    );
+    let salvage = run.salvage().expect("salvage stats");
+    assert!(salvage.truncated(), "{salvage:?}");
+    assert!(salvage.completed > 0, "sibling shard must be salvaged");
+    assert!(salvage.ci_widening > 1.0);
+    assert!(report.events().iter().any(|e| matches!(
+        e,
+        DegradationEvent::Cancelled { stage: "mc/sample", .. }
+    )));
+    assert!(report
+        .events()
+        .iter()
+        .any(|e| matches!(e, DegradationEvent::CiWidened { .. })));
+}
+
+#[test]
+fn acceptance_panicking_shard_under_deadline_salvages_and_reports() {
+    // The issue's acceptance scenario: a fault-injected comparison with a
+    // panicking shard *and* a 2 s deadline completes, retries the shard,
+    // salvages samples, and lands Cancelled + WorkerFault events in the
+    // degradation report.
+    let circuit = generate("rt-accept", GeneratorConfig::combinational(60, 23)).expect("circuit");
+    let setup = CircuitSetup::prepare(&circuit);
+    let kernel = GaussianKernel::new(2.0);
+    let token = CancelToken::with_budget(klest_runtime::Budget::wall(Duration::from_secs(2)));
+    let ctx = KleContext::build_supervised(
+        &kernel,
+        0.02,
+        25.0,
+        &TruncationCriterion::new(60, 0.01),
+        &token,
+        &StageBudgets::none(),
+    )
+    .expect("context builds inside the deadline");
+    let mut budgets = StageBudgets::none();
+    budgets.set("mc", Duration::from_millis(400));
+    // Deterministic victims: shard 0 takes a transient panic (retried and
+    // recovered), shard 1 hangs until its per-arm deadline breaks it.
+    let plan = FaultPlan::new()
+        .panic_at(Stage::Mc, 0)
+        .hang_at(Stage::Mc, 1, 600_000);
+    let cmp = compare_methods_supervised(
+        &setup,
+        &kernel,
+        &ctx,
+        &McConfig::new(300, 41).with_threads(2),
+        &token,
+        &budgets,
+        Some(&plan),
+    )
+    .expect("supervised comparison survives panic + hang under deadline");
+    let mc_salvage = cmp.mc_salvage.as_ref().expect("salvage stats");
+    assert!(mc_salvage.completed > 0, "samples must be salvaged");
+    assert!(mc_salvage.shards_retried >= 1, "the panicking shard retries");
+    assert!(cmp.degradation.events().iter().any(|e| matches!(
+        e,
+        DegradationEvent::WorkerFault { stage: "mc/sample", .. }
+    )));
+    assert!(cmp.degradation.events().iter().any(|e| matches!(
+        e,
+        DegradationEvent::Cancelled { stage: "mc/sample", .. }
+    )));
 }
 
 #[test]

@@ -36,6 +36,16 @@ pub enum KlestError {
     Kle(KleError),
     /// SSTA configuration or sampling failure.
     Ssta(SstaError),
+    /// A command-line / harness argument did not parse or was out of
+    /// range (e.g. `--samples banana`, `--deadline -1`).
+    InvalidArgument {
+        /// Flag name, without the leading `--`.
+        key: String,
+        /// The raw value supplied.
+        value: String,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl fmt::Display for KlestError {
@@ -46,6 +56,9 @@ impl fmt::Display for KlestError {
             KlestError::Mesh(e) => write!(f, "mesh failure: {e}"),
             KlestError::Kle(e) => write!(f, "KLE failure: {e}"),
             KlestError::Ssta(e) => write!(f, "SSTA failure: {e}"),
+            KlestError::InvalidArgument { key, value, message } => {
+                write!(f, "invalid argument --{key} {value}: {message}")
+            }
         }
     }
 }
@@ -58,6 +71,17 @@ impl std::error::Error for KlestError {
             KlestError::Mesh(e) => Some(e),
             KlestError::Kle(e) => Some(e),
             KlestError::Ssta(e) => Some(e),
+            KlestError::InvalidArgument { .. } => None,
+        }
+    }
+}
+
+impl From<klest_bench::ArgParseError> for KlestError {
+    fn from(e: klest_bench::ArgParseError) -> Self {
+        KlestError::InvalidArgument {
+            key: e.key,
+            value: e.value,
+            message: e.message,
         }
     }
 }
@@ -135,6 +159,19 @@ mod tests {
         .into();
         assert!(matches!(e, KlestError::Ssta(_)));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn arg_parse_error_converts_to_invalid_argument() {
+        let e: KlestError = klest_bench::ArgParseError {
+            key: "samples".into(),
+            value: "banana".into(),
+            message: "invalid digit found in string".into(),
+        }
+        .into();
+        assert!(matches!(e, KlestError::InvalidArgument { .. }));
+        assert!(e.to_string().contains("--samples banana"));
+        assert!(e.source().is_none());
     }
 
     #[test]

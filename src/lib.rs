@@ -49,6 +49,7 @@ pub use klest_kernels as kernels;
 pub use klest_linalg as linalg;
 pub use klest_mesh as mesh;
 pub use klest_obs as obs;
+pub use klest_runtime as runtime;
 pub use klest_ssta as ssta;
 pub use klest_sta as sta;
 
@@ -62,9 +63,11 @@ pub mod prelude {
     pub use klest_geometry::{Point2, Rect};
     pub use klest_kernels::{CovarianceKernel, GaussianKernel, MaternKernel};
     pub use klest_mesh::{Mesh, MeshBuilder};
+    pub use klest_runtime::{Budget, CancelToken, StageBudgets, Supervisor};
     pub use klest_ssta::experiments::{CircuitSetup, KleContext};
     pub use klest_ssta::{
-        run_monte_carlo, CholeskySampler, KleFieldSampler, McConfig, ProcessModel,
+        run_monte_carlo, run_monte_carlo_supervised, CholeskySampler, KleFieldSampler, McConfig,
+        ProcessModel, SalvageStats,
     };
     pub use klest_sta::{GateLibrary, ParamVector, Timer};
 }

@@ -1,0 +1,93 @@
+//! Salvage property for the supervised runtime: cancelling a Monte
+//! Carlo run partway must keep an exact prefix of the full run's sample
+//! stream, and the salvaged mean must sit inside the widened confidence
+//! interval the truncated run reports. Seeded and replayable via
+//! `KLEST_PROPTEST_SEED=<property>:<seed>`.
+
+use klest::circuit::{generate, GeneratorConfig};
+use klest::kernels::GaussianKernel;
+use klest::runtime::CancelToken;
+use klest::ssta::experiments::CircuitSetup;
+use klest::ssta::{
+    run_monte_carlo, run_monte_carlo_supervised, CholeskySampler, DegradationReport, McConfig,
+    SummaryStats,
+};
+use klest_proptest::{check_config, strategies, Config};
+
+/// Random planned size `n` and cut fraction: tripping the token after
+/// `k` samples salvages exactly the first `k` samples of the full run
+/// (single-threaded runs are prefix-deterministic), reports the CI
+/// widening `sqrt(n/k)`, and the salvaged mean stays within the widened
+/// interval around the full-run mean.
+#[test]
+fn salvaged_mean_stays_within_widened_ci_of_full_run() {
+    let name = "salvaged_mean_stays_within_widened_ci_of_full_run";
+    // Each case runs two MC sweeps over a real circuit; keep the case
+    // count fixed rather than scaling with KLEST_PROPTEST_CASES.
+    let cfg = Config {
+        cases: 6,
+        ..Config::from_env(name)
+    };
+    let strat = (
+        strategies::usize_in(40..120),
+        strategies::f64_in(0.15..0.9),
+    );
+    check_config(name, &cfg, &strat, |&(n, cut)| {
+        let k = ((n as f64 * cut) as usize).clamp(2, n - 1);
+        let kernel = GaussianKernel::with_correlation_distance(1.0);
+        let circuit = generate(
+            "salvage-prop",
+            GeneratorConfig::combinational(40, 0xA11CE + n as u64),
+        )
+        .map_err(|e| format!("circuit generation: {e}"))?;
+        let setup = CircuitSetup::prepare(&circuit);
+        let sampler = CholeskySampler::new(&kernel, setup.locations())
+            .map_err(|e| format!("Cholesky factor: {e}"))?;
+        // threads defaults to 1: the supervised single-shard path uses
+        // the same seed stream as the plain sequential run.
+        let mc = McConfig::new(n, 0x5EED ^ n as u64);
+        let full = run_monte_carlo(&setup.timer, &sampler, &mc)
+            .map_err(|e| format!("full run: {e}"))?;
+
+        let token = CancelToken::unlimited();
+        token.trip_after_checkpoints(k as u64);
+        let mut report = DegradationReport::new();
+        let truncated = run_monte_carlo_supervised(&setup.timer, &sampler, &mc, &token, &mut report)
+            .map_err(|e| format!("supervised run: {e}"))?;
+
+        if truncated.worst_delays() != &full.worst_delays()[..k] {
+            return Err(format!(
+                "n {n}, k {k}: salvaged samples are not an exact prefix of the full run"
+            ));
+        }
+        let salvage = truncated
+            .salvage()
+            .ok_or_else(|| format!("n {n}, k {k}: supervised run carries no salvage stats"))?;
+        if salvage.completed != k || salvage.planned != n {
+            return Err(format!(
+                "n {n}, k {k}: salvage says {}/{}",
+                salvage.completed, salvage.planned
+            ));
+        }
+        let expected_widening = (n as f64 / k as f64).sqrt();
+        if (salvage.ci_widening - expected_widening).abs() > 1e-12 {
+            return Err(format!(
+                "n {n}, k {k}: CI widening {} != sqrt(n/k) {expected_widening}",
+                salvage.ci_widening
+            ));
+        }
+        // Mean containment: the widened interval is z·sigma_n/sqrt(k).
+        // z = 6 is deliberately loose — this is a sanity envelope, not a
+        // coverage test, and must never flake on an honest prefix.
+        let full_stats = SummaryStats::of(full.worst_delays());
+        let trunc_stats = SummaryStats::of(truncated.worst_delays());
+        let widened_halfwidth = full_stats.mean_ci_halfwidth(6.0) * salvage.ci_widening;
+        let drift = (trunc_stats.mean - full_stats.mean).abs();
+        if drift > widened_halfwidth {
+            return Err(format!(
+                "n {n}, k {k}: salvaged mean drifted {drift:.6} > widened CI {widened_halfwidth:.6}"
+            ));
+        }
+        Ok(())
+    });
+}
