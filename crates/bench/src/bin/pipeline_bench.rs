@@ -1,0 +1,127 @@
+//! Timed acceptance benches for the stage-graph pipeline, emitted into a
+//! `BENCH_*.json` run report (see `scripts/bench_report.sh`):
+//!
+//! - `galerkin_assembly_serial_vs_parallel` — wall time of the Galerkin
+//!   assembly at 1 worker vs `--threads` workers on the same mesh, with
+//!   the outputs checked bitwise-equal before either number is reported;
+//! - `pipeline_cold_vs_warm_cache` — wall time of the full front end
+//!   (mesh → assembly → eigensolve → truncation) on a cold artifact
+//!   cache vs the warm re-run that serves every stage from it.
+//!
+//! With `--report PATH` the two entries are merged into the existing run
+//! report as a top-level `"benches"` object; without it the JSON object
+//! is printed to stdout.
+
+use klest_bench::Args;
+use klest_core::pipeline::{run_frontend, ArtifactCache, ExecPolicy, FrontEndConfig};
+use klest_core::{assemble_galerkin_parallel, QuadratureRule, TruncationCriterion};
+use klest_geometry::Rect;
+use klest_kernels::GaussianKernel;
+use klest_mesh::MeshBuilder;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn secs<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let out = black_box(f());
+        best = best.min(started.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads: usize = args.get("threads", 4);
+    let reps: usize = args.get("reps", 3);
+    let area_fraction: f64 = args.get("area-fraction", 0.004);
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+
+    // Bench 1: serial vs parallel assembly on one mesh.
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(area_fraction)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("mesh builds");
+    let rule = QuadratureRule::Centroid;
+    let (serial_secs, serial) =
+        secs(reps, || assemble_galerkin_parallel(&mesh, &kernel, rule, 1));
+    let (parallel_secs, parallel) =
+        secs(reps, || assemble_galerkin_parallel(&mesh, &kernel, rule, threads));
+    assert_eq!(serial.rows(), parallel.rows());
+    for i in 0..serial.rows() {
+        for j in 0..serial.cols() {
+            assert_eq!(
+                serial[(i, j)].to_bits(),
+                parallel[(i, j)].to_bits(),
+                "parallel assembly must be bitwise identical at ({i},{j})"
+            );
+        }
+    }
+
+    // Bench 2: the full front end, cold cache vs warm cache.
+    let config = FrontEndConfig::new(area_fraction, 28.0, TruncationCriterion::new(60, 0.01));
+    let cache = ArtifactCache::new();
+    let started = Instant::now();
+    run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&cache)).expect("cold front end");
+    let cold_secs = started.elapsed().as_secs_f64();
+    let (warm_secs, _) = secs(reps, || {
+        run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&cache)).expect("warm front end")
+    });
+    let snapshot = cache.snapshot();
+    assert!(snapshot.hits() > 0, "warm pass must be served from cache");
+
+    let benches = format!(
+        concat!(
+            "{{\n",
+            "    \"galerkin_assembly_serial_vs_parallel\": {{\n",
+            "      \"triangles\": {},\n",
+            "      \"threads\": {},\n",
+            "      \"serial_secs\": {:.6},\n",
+            "      \"parallel_secs\": {:.6},\n",
+            "      \"speedup\": {:.3}\n",
+            "    }},\n",
+            "    \"pipeline_cold_vs_warm_cache\": {{\n",
+            "      \"cold_secs\": {:.6},\n",
+            "      \"warm_secs\": {:.6},\n",
+            "      \"speedup\": {:.3},\n",
+            "      \"warm_hits\": {}\n",
+            "    }}\n",
+            "  }}"
+        ),
+        mesh.len(),
+        threads,
+        serial_secs,
+        parallel_secs,
+        serial_secs / parallel_secs.max(1e-12),
+        cold_secs,
+        warm_secs,
+        cold_secs / warm_secs.max(1e-12),
+        snapshot.hits(),
+    );
+
+    match args.get_str("report", "") {
+        path if path.is_empty() => println!("{{\n  \"benches\": {benches}\n}}"),
+        path => {
+            let report = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading report {path}: {e}"));
+            let body = report
+                .trim_end()
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("report {path} is not a JSON object"))
+                .trim_end()
+                .to_string();
+            let merged = format!("{body},\n  \"benches\": {benches}\n}}\n");
+            std::fs::write(&path, merged)
+                .unwrap_or_else(|e| panic!("writing report {path}: {e}"));
+            eprintln!(
+                "pipeline_bench: assembly x{:.2} at {threads} threads, warm cache x{:.2} — merged into {path}",
+                serial_secs / parallel_secs.max(1e-12),
+                cold_secs / warm_secs.max(1e-12),
+            );
+        }
+    }
+}

@@ -6,6 +6,7 @@
 use klest::KlestError;
 use klest_bench::Args;
 use klest_circuit::{benchmark_scaled, generate, write_netlist, BenchmarkId, GeneratorConfig};
+use klest_core::pipeline::{ArtifactCache, ExecPolicy, FrontEndConfig};
 use klest_core::{GalerkinKle, KleOptions, TruncationCriterion};
 use klest_geometry::Rect;
 use klest_kernels::{
@@ -63,7 +64,8 @@ COMMANDS:
   validate  check kernel validity             [--kernel ...] (same kernel flags; also accepts 'cone' [--d F])
   netlist   generate a synthetic netlist      [--gates 500] [--seed 7] [--sequential] [--out file.bench]
   ssta      compare KLE vs reference MC SSTA  [--circuit c1908] [--scale 0.5] [--samples 2000] [--seed 2008]
-                                              [--area-fraction 0.001] [--threads N]
+                                              [--area-fraction 0.001] [--threads N] [--cache-dir DIR]
+                                              [--assembly-threads N]
                                               [--deadline SECS] [--stage-budget mesh=S,eigen=S,mc=S]
                                               [--inject-panic-shard I] [--inject-hang-ms MS]
   help      this text
@@ -79,6 +81,13 @@ cooperatively, and completed Monte Carlo samples are salvaged into a
 truncated estimate with a widened confidence interval instead of being
 discarded. The --inject-* flags deterministically fault one worker shard
 (panic or hang) to exercise that machinery.
+
+CACHING (ssta): --cache-dir DIR persists the KLE front-end artifacts (mesh,
+spectrum) content-addressed by kernel + mesh + solver configuration, so a
+repeated invocation with the same flags skips mesh build, Galerkin assembly
+and the eigensolve entirely. Cache traffic lands in the run report as the
+pipeline.cache.{mesh,galerkin,spectrum}.{hits,misses} counters. --threads N
+also parallelizes Galerkin assembly (bitwise identical for any N).
 ";
 
 /// Builds the kernel selected by `--kernel` (+ its shape flags).
@@ -269,6 +278,14 @@ pub fn cmd_ssta<W: Write>(args: &Args, out: &mut W) -> CliResult {
     let config = McConfig::new(arg(args, "samples", 2000)?, arg(args, "seed", 2008)?)
         .with_threads(threads);
     let criterion = TruncationCriterion::default();
+    let mut frontend = FrontEndConfig::new(area_fraction, 28.0, criterion);
+    // --threads drives both the Monte Carlo pool and the
+    // (bitwise-deterministic) parallel Galerkin assembly;
+    // --assembly-threads overrides the latter alone. MC statistics
+    // depend on the shard count (per-shard RNG streams), assembly
+    // results never do.
+    frontend.options.assembly_threads = arg(args, "assembly-threads", threads)?;
+    let cache = args_opt_str(args, "cache-dir").map(ArtifactCache::with_disk);
 
     let deadline_secs = arg(args, "deadline", f64::INFINITY)?;
     let stage_budget_spec = args_opt_str(args, "stage-budget");
@@ -311,13 +328,14 @@ pub fn cmd_ssta<W: Write>(args: &Args, out: &mut W) -> CliResult {
             inject = true;
         }
         let token = CancelToken::with_budget(budget);
-        let ctx = KleContext::build_supervised(
+        let ctx = KleContext::build_with(
             &kernel,
-            area_fraction,
-            28.0,
-            &criterion,
-            &token,
-            &budgets,
+            &frontend.clone().with_supervised_ladder(),
+            ExecPolicy::Supervised {
+                token: &token,
+                budgets: &budgets,
+            },
+            cache.as_ref(),
         )
         .map_err(err)?;
         compare_methods_supervised(
@@ -331,9 +349,21 @@ pub fn cmd_ssta<W: Write>(args: &Args, out: &mut W) -> CliResult {
         )
         .map_err(err)?
     } else {
-        let ctx = KleContext::build(&kernel, area_fraction, 28.0, &criterion).map_err(err)?;
+        let ctx = KleContext::build_with(&kernel, &frontend, ExecPolicy::Plain, cache.as_ref())
+            .map_err(err)?;
         compare_methods_with_report(&setup, &kernel, &ctx, &config).map_err(err)?
     };
+
+    if let Some(cache) = &cache {
+        let snap = cache.snapshot();
+        writeln!(
+            out,
+            "cache: {} hit(s), {} miss(es)",
+            snap.hits(),
+            snap.misses()
+        )
+        .map_err(err)?;
+    }
 
     klest_obs::gauge_set("ssta.rank", cmp.rank as f64);
     klest_obs::gauge_set("ssta.speedup", cmp.speedup);
@@ -561,6 +591,51 @@ mod tests {
         .unwrap();
         assert!(out.contains("salvage[reference]: 150/150"), "{out}");
         assert!(out.contains("salvage[kle]: 150/150"), "{out}");
+    }
+
+    #[test]
+    fn ssta_cache_dir_warm_run_hits_and_reproduces_numbers() {
+        // Acceptance criterion: a warm artifact cache skips mesh build,
+        // assembly and the eigensolve (observable via the obs counters
+        // in the run report) and reproduces the cold-run statistics
+        // exactly.
+        let dir = std::env::temp_dir().join("klest-cli-cache-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let r1 = std::env::temp_dir().join("klest-cli-cache-r1.json");
+        let r2 = std::env::temp_dir().join("klest-cli-cache-r2.json");
+        let base = format!(
+            "ssta --circuit c880 --scale 0.2 --samples 120 --threads 2 \
+             --area-fraction 0.02 --cache-dir {}",
+            dir.display()
+        );
+        let out1 = run_str(&format!("{base} --report {}", r1.display())).unwrap();
+        let out2 = run_str(&format!("{base} --report {}", r2.display())).unwrap();
+        let json1 = std::fs::read_to_string(&r1).expect("cold report");
+        let json2 = std::fs::read_to_string(&r2).expect("warm report");
+        std::fs::remove_file(&r1).ok();
+        std::fs::remove_file(&r2).ok();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(out1.contains("cache: 0 hit(s)"), "{out1}");
+        assert!(json1.contains("pipeline.cache.spectrum.misses"), "{json1}");
+        // The warm run serves mesh + spectrum from disk and never reaches
+        // the assembly / eigensolve stages.
+        assert!(json2.contains("pipeline.cache.spectrum.hits"), "{json2}");
+        assert!(json2.contains("pipeline.cache.mesh.hits"), "{json2}");
+        assert!(!json2.contains("galerkin/assemble"), "{json2}");
+        assert!(out2.contains("hit(s)"), "{out2}");
+        assert!(!out2.contains("cache: 0 hit(s)"), "{out2}");
+        // Statistics are identical; only the timing-dependent speedup
+        // column may differ between the two invocations.
+        let stats = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("e_mu"))
+                .expect("stats line")
+                .split(", speedup")
+                .next()
+                .expect("stats prefix")
+                .to_string()
+        };
+        assert_eq!(stats(&out1), stats(&out2));
     }
 
     #[test]

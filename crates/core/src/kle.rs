@@ -1,6 +1,6 @@
 //! The Galerkin KLE solver (paper Secs. 3.2 and 4).
 
-use crate::{assemble_galerkin_with_token, KleError, QuadratureRule, TruncationCriterion};
+use crate::{KleError, QuadratureRule, TruncationCriterion};
 use klest_geometry::Point2;
 use klest_kernels::CovarianceKernel;
 use klest_linalg::{DiagonalGep, Matrix, PartialEigen};
@@ -34,6 +34,13 @@ pub struct KleOptions {
     pub max_eigenpairs: usize,
     /// Eigensolver backend.
     pub solver: EigenSolver,
+    /// Worker threads for Galerkin assembly. `0` (the default) means
+    /// "auto": honour the `KLEST_THREADS` environment variable, else run
+    /// serially — so existing call sites keep the historical serial
+    /// behaviour (including checkpoint ordering) unless parallelism is
+    /// requested. The assembled matrix is bitwise identical for every
+    /// value (see [`crate::assemble_galerkin_parallel`]).
+    pub assembly_threads: usize,
 }
 
 impl Default for KleOptions {
@@ -42,6 +49,7 @@ impl Default for KleOptions {
             quadrature: QuadratureRule::Centroid,
             max_eigenpairs: 200,
             solver: EigenSolver::Full,
+            assembly_threads: 0,
         }
     }
 }
@@ -107,10 +115,20 @@ impl GalerkinKle {
         token: Option<&CancelToken>,
     ) -> Result<Self, KleError> {
         let k = match token {
-            Some(token) => assemble_galerkin_with_token(mesh, kernel, options.quadrature, token)?,
-            None => {
-                assemble_galerkin_with_token(mesh, kernel, options.quadrature, &CancelToken::unlimited())?
-            }
+            Some(token) => crate::assemble_galerkin_parallel_with_token(
+                mesh,
+                kernel,
+                options.quadrature,
+                options.assembly_threads,
+                token,
+            )?,
+            None => crate::assemble_galerkin_parallel_with_token(
+                mesh,
+                kernel,
+                options.quadrature,
+                options.assembly_threads,
+                &CancelToken::unlimited(),
+            )?,
         };
         Self::from_matrix_inner(k, mesh, options, token)
     }
@@ -193,6 +211,37 @@ impl GalerkinKle {
             centroids: mesh.centroids().to_vec(),
             trace: mesh.total_area(),
         })
+    }
+
+    /// Reconstructs a [`GalerkinKle`] from its raw parts (pipeline cache
+    /// deserialisation). The parts must originate from a prior solve —
+    /// this performs no validation beyond shape consistency.
+    pub(crate) fn from_raw(
+        eigenvalues: Vec<f64>,
+        d: Matrix,
+        areas: Vec<f64>,
+        centroids: Vec<Point2>,
+        trace: f64,
+    ) -> Self {
+        debug_assert_eq!(d.rows(), areas.len());
+        debug_assert_eq!(areas.len(), centroids.len());
+        GalerkinKle {
+            eigenvalues,
+            d,
+            areas,
+            centroids,
+            trace,
+        }
+    }
+
+    /// The full retained eigenvector matrix (pipeline cache serialisation).
+    pub(crate) fn d_matrix(&self) -> &Matrix {
+        &self.d
+    }
+
+    /// The exact operator trace (pipeline cache serialisation).
+    pub(crate) fn trace(&self) -> f64 {
+        self.trace
     }
 
     /// Computed KLE eigenvalues, descending (Fig. 5's decay curve) — all

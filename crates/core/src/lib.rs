@@ -41,12 +41,16 @@ pub mod convergence;
 mod error;
 mod galerkin;
 mod kle;
+pub mod pipeline;
 mod quadrature;
 mod sampler;
 mod truncation;
 
 pub use error::KleError;
-pub use galerkin::{assemble_galerkin, assemble_galerkin_with_token};
+pub use galerkin::{
+    assemble_galerkin, assemble_galerkin_parallel, assemble_galerkin_parallel_with_token,
+    assemble_galerkin_with_token, resolve_assembly_threads, PARALLEL_MIN_TRIANGLES,
+};
 pub use kle::{EigenSolver, GalerkinKle, KleOptions};
 pub use quadrature::QuadratureRule;
 pub use sampler::KleSampler;

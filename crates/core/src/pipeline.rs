@@ -1,0 +1,1255 @@
+//! The KLE front-end as a typed stage graph with a content-addressed
+//! artifact cache.
+//!
+//! The paper's central economics (Sec. 5.3, Table 2) are that the
+//! front-end — mesh → Galerkin assembly → eigensolve → truncation — is
+//! computed **once** and amortized across every downstream SSTA query.
+//! This module makes that structure explicit instead of ad hoc:
+//!
+//! - [`Stage`] is a typed pipeline node (`mesh/build`,
+//!   `galerkin/assemble`, `galerkin/eigensolve`, `truncate`); each knows
+//!   its obs name and which wall-clock stage budget governs it.
+//! - [`Engine`] executes stages under an [`ExecPolicy`]: `Plain` runs
+//!   them bare (no token, bitwise the historical strict path), while
+//!   `Supervised` derives a child [`CancelToken`] per budget key so
+//!   cancellation checkpoints are injected by the engine, not
+//!   copy-pasted per caller.
+//! - [`run_frontend`] wires the stages into the canonical dataflow —
+//!   including the supervised mesh-coarsening ladder — and consults an
+//!   optional [`ArtifactCache`] between stages, so the mesh, assembled
+//!   Galerkin matrix and computed spectrum are each built at most once
+//!   per distinct configuration and shared across MC arms, sweep points
+//!   and (with a disk directory) repeated CLI invocations.
+//!
+//! # Keys, invalidation and the determinism contract
+//!
+//! Artifacts are addressed by [`ArtifactKey`]: a human-readable
+//! descriptor embedding every input that influences the artifact's
+//! *bits* — die rectangle, mesh max-area and min-angle, the kernel's
+//! [`CovarianceKernel::cache_key`] (exact parameter bits), quadrature
+//! rule, eigensolver choice and eigenpair cap — each `f64` encoded as
+//! its IEEE-754 bit pattern, so a one-ULP parameter change is a
+//! different key. There is no invalidation protocol: keys are
+//! content-addressed, so "stale" entries are simply never looked up
+//! again. A cache hit returns an artifact **bitwise identical** to what
+//! recomputation would produce; this holds for the in-memory layer
+//! trivially (the artifact is shared) and for the disk layer because
+//! every float is serialized as its exact bit pattern and
+//! [`Mesh`] reconstruction recomputes derived quantities through the
+//! same code path the builder used. Kernels whose `cache_key()` is
+//! `None` opt out: the pipeline silently bypasses the cache. The
+//! truncation stage is always recomputed — it is O(m) and depends on the
+//! caller's [`TruncationCriterion`], which deliberately stays out of the
+//! spectrum key so criterion sweeps share one spectrum.
+
+use crate::{
+    assemble_galerkin_parallel, assemble_galerkin_parallel_with_token, EigenSolver, GalerkinKle,
+    KleError, KleOptions, QuadratureRule, TruncationCriterion,
+};
+use klest_geometry::{Point2, Rect};
+use klest_kernels::CovarianceKernel;
+use klest_linalg::Matrix;
+use klest_mesh::{Mesh, MeshBuilder, MeshError};
+use klest_runtime::{Budget, CancelToken, Cancelled, StageBudgets};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Stage graph
+// ---------------------------------------------------------------------------
+
+/// A typed pipeline node: consumes `I`, produces `Self::Output`.
+///
+/// Stages never derive their own cancellation tokens — the [`Engine`]
+/// does that from [`Stage::budget_key`] and the active [`ExecPolicy`],
+/// which is what lets one dataflow serve the plain, with-report and
+/// supervised execution modes.
+pub trait Stage<I> {
+    /// What the stage produces on success.
+    type Output;
+    /// The stage's typed failure.
+    type Error;
+    /// Stable stage name (matches the obs span the stage emits).
+    fn name(&self) -> &'static str;
+    /// Which named wall-clock budget governs this stage under a
+    /// supervised policy (`None` = the parent's own budget).
+    fn budget_key(&self) -> Option<&'static str> {
+        None
+    }
+    /// Runs the stage. `token`, when present, must be polled at the
+    /// stage's cancellation checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// The stage's typed error, including cancellation where supported.
+    fn run(&self, input: I, token: Option<&CancelToken>) -> Result<Self::Output, Self::Error>;
+}
+
+/// How the [`Engine`] executes stages.
+#[derive(Clone, Copy)]
+pub enum ExecPolicy<'a> {
+    /// No tokens, no budgets: stages run exactly like the historical
+    /// strict entry points (bitwise identical outputs).
+    Plain,
+    /// Deadline-aware: each stage runs under a child of `token` carrying
+    /// the stage's named budget from `budgets` (unlimited for stages with
+    /// no entry), so one straggling stage cannot starve its siblings.
+    Supervised {
+        /// Parent token; every stage child is clamped by its deadline.
+        token: &'a CancelToken,
+        /// Per-stage wall-clock budgets.
+        budgets: &'a StageBudgets,
+    },
+}
+
+impl ExecPolicy<'_> {
+    /// Is this a supervised (token-carrying) policy?
+    pub fn is_supervised(&self) -> bool {
+        matches!(self, ExecPolicy::Supervised { .. })
+    }
+
+    /// Derives the token a stage with budget key `key` runs under:
+    /// `None` for a plain policy, otherwise a fresh child carrying the
+    /// named budget (unlimited when `key` is `None` or has no entry, but
+    /// still clamped by the parent deadline).
+    pub fn stage_token(&self, key: Option<&'static str>) -> Option<CancelToken> {
+        match self {
+            ExecPolicy::Plain => None,
+            ExecPolicy::Supervised { token, budgets } => Some(match key {
+                Some(key) => token.child(budgets.budget(key)),
+                None => token.child(Budget::UNLIMITED),
+            }),
+        }
+    }
+
+    /// Is the parent token already cancelled? (Always `false` for plain.)
+    pub fn parent_cancelled(&self) -> bool {
+        match self {
+            ExecPolicy::Plain => false,
+            ExecPolicy::Supervised { token, .. } => token.is_cancelled(),
+        }
+    }
+
+    fn budget_limit(&self, key: &str) -> Option<Duration> {
+        match self {
+            ExecPolicy::Plain => None,
+            ExecPolicy::Supervised { budgets, .. } => budgets.budget(key).limit(),
+        }
+    }
+}
+
+/// Executes [`Stage`]s under one [`ExecPolicy`].
+pub struct Engine<'a> {
+    policy: ExecPolicy<'a>,
+}
+
+impl<'a> Engine<'a> {
+    /// An engine with the given policy.
+    pub fn new(policy: ExecPolicy<'a>) -> Self {
+        Engine { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &ExecPolicy<'a> {
+        &self.policy
+    }
+
+    /// Runs `stage`, deriving a fresh stage token from its budget key.
+    ///
+    /// # Errors
+    ///
+    /// The stage's typed error.
+    pub fn exec<I, S: Stage<I>>(&self, stage: &S, input: I) -> Result<S::Output, S::Error> {
+        let token = self.policy.stage_token(stage.budget_key());
+        stage.run(input, token.as_ref())
+    }
+
+    /// Runs `stage` under a caller-managed token — used when several
+    /// stages must share one budget window (historically, Galerkin
+    /// assembly and the eigensolve share the `eigen` budget).
+    ///
+    /// # Errors
+    ///
+    /// The stage's typed error.
+    pub fn exec_with<I, S: Stage<I>>(
+        &self,
+        stage: &S,
+        input: I,
+        token: Option<&CancelToken>,
+    ) -> Result<S::Output, S::Error> {
+        stage.run(input, token)
+    }
+}
+
+/// Quality-mesh generation over the die ([`MeshBuilder`]).
+pub struct MeshStage {
+    /// The die rectangle.
+    pub die: Rect,
+    /// Maximum triangle area as a fraction of the die area.
+    pub max_area_fraction: f64,
+    /// Ruppert minimum-angle constraint, degrees.
+    pub min_angle_degrees: f64,
+}
+
+impl Stage<()> for MeshStage {
+    type Output = Mesh;
+    type Error = MeshError;
+
+    fn name(&self) -> &'static str {
+        "mesh/build"
+    }
+
+    fn budget_key(&self) -> Option<&'static str> {
+        Some("mesh")
+    }
+
+    fn run(&self, _input: (), token: Option<&CancelToken>) -> Result<Mesh, MeshError> {
+        let builder = MeshBuilder::new(self.die)
+            .max_area_fraction(self.max_area_fraction)
+            .min_angle_degrees(self.min_angle_degrees);
+        match token {
+            Some(token) => builder.build_with_token(token),
+            None => builder.build(),
+        }
+    }
+}
+
+/// Galerkin matrix assembly (serial or supervised-parallel; bitwise
+/// identical either way).
+pub struct AssembleStage<'k, K: ?Sized> {
+    /// The covariance kernel.
+    pub kernel: &'k K,
+    /// Quadrature rule for the double integrals.
+    pub quadrature: QuadratureRule,
+    /// Worker threads (`0` = auto, see
+    /// [`crate::resolve_assembly_threads`]).
+    pub threads: usize,
+}
+
+impl<K: CovarianceKernel + ?Sized> Stage<&Mesh> for AssembleStage<'_, K> {
+    type Output = Matrix;
+    type Error = KleError;
+
+    fn name(&self) -> &'static str {
+        "galerkin/assemble"
+    }
+
+    fn budget_key(&self) -> Option<&'static str> {
+        // Assembly and the eigensolve historically share one wall-clock
+        // window; see `run_frontend`.
+        Some("eigen")
+    }
+
+    fn run(&self, mesh: &Mesh, token: Option<&CancelToken>) -> Result<Matrix, KleError> {
+        match token {
+            Some(token) => Ok(assemble_galerkin_parallel_with_token(
+                mesh,
+                self.kernel,
+                self.quadrature,
+                self.threads,
+                token,
+            )?),
+            None => Ok(assemble_galerkin_parallel(
+                mesh,
+                self.kernel,
+                self.quadrature,
+                self.threads,
+            )),
+        }
+    }
+}
+
+/// The generalized eigensolve `K d = λ Φ d` on a pre-assembled matrix.
+pub struct EigensolveStage {
+    /// Solver backend, eigenpair cap and quadrature (the latter unused
+    /// here but part of the one options struct).
+    pub options: KleOptions,
+}
+
+impl Stage<(Matrix, &Mesh)> for EigensolveStage {
+    type Output = GalerkinKle;
+    type Error = KleError;
+
+    fn name(&self) -> &'static str {
+        "galerkin/eigensolve"
+    }
+
+    fn budget_key(&self) -> Option<&'static str> {
+        Some("eigen")
+    }
+
+    fn run(
+        &self,
+        (matrix, mesh): (Matrix, &Mesh),
+        token: Option<&CancelToken>,
+    ) -> Result<GalerkinKle, KleError> {
+        match token {
+            Some(token) => GalerkinKle::from_matrix_with_token(matrix, mesh, self.options, token),
+            None => GalerkinKle::from_matrix(matrix, mesh, self.options),
+        }
+    }
+}
+
+/// Rank selection by the paper's λ-tail criterion. Cheap (O(m)) and
+/// criterion-dependent, so it is always recomputed rather than cached.
+pub struct TruncateStage {
+    /// The truncation criterion.
+    pub criterion: TruncationCriterion,
+}
+
+impl Stage<&GalerkinKle> for TruncateStage {
+    type Output = (usize, bool);
+    type Error = std::convert::Infallible;
+
+    fn name(&self) -> &'static str {
+        "truncate"
+    }
+
+    fn run(
+        &self,
+        kle: &GalerkinKle,
+        _token: Option<&CancelToken>,
+    ) -> Result<(usize, bool), Self::Error> {
+        Ok(kle.select_rank_checked(&self.criterion))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact keys
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a — tiny, dependency-free, deterministic across runs and
+/// platforms. Used only to derive compact disk file names; equality is
+/// always decided on the full descriptor, so collisions merely cost a
+/// cache miss.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn f64_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64_bits(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn quadrature_tag(rule: QuadratureRule) -> &'static str {
+    match rule {
+        QuadratureRule::Centroid => "centroid",
+        QuadratureRule::ThreePoint => "three-point",
+        QuadratureRule::SevenPoint => "seven-point",
+    }
+}
+
+fn solver_tag(solver: EigenSolver) -> &'static str {
+    match solver {
+        EigenSolver::Full => "full",
+        EigenSolver::Lanczos => "lanczos",
+    }
+}
+
+/// A content address for a pipeline artifact: a human-readable
+/// descriptor embedding the exact bit patterns of every input that
+/// shapes the artifact. Two configurations produce the same key iff
+/// recomputation would produce bitwise-identical artifacts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    descriptor: String,
+}
+
+impl ArtifactKey {
+    /// Key for a quality mesh of `die` under the given constraints.
+    pub fn mesh(die: Rect, max_area_fraction: f64, min_angle_degrees: f64) -> ArtifactKey {
+        let bb = die.bbox();
+        ArtifactKey {
+            descriptor: format!(
+                "mesh|die={},{},{},{}|area-fraction={}|min-angle={}",
+                f64_bits(bb.min.x),
+                f64_bits(bb.min.y),
+                f64_bits(bb.max.x),
+                f64_bits(bb.max.y),
+                f64_bits(max_area_fraction),
+                f64_bits(min_angle_degrees),
+            ),
+        }
+    }
+
+    /// Key for the assembled Galerkin matrix: the mesh key plus the
+    /// kernel's exact [`CovarianceKernel::cache_key`] and the quadrature
+    /// rule.
+    pub fn galerkin(mesh: &ArtifactKey, kernel_key: &str, rule: QuadratureRule) -> ArtifactKey {
+        ArtifactKey {
+            descriptor: format!(
+                "galerkin|{}|kernel={kernel_key}|quadrature={}",
+                mesh.descriptor,
+                quadrature_tag(rule),
+            ),
+        }
+    }
+
+    /// Key for the computed spectrum: the Galerkin key plus the solver
+    /// choice and eigenpair cap. The truncation criterion is deliberately
+    /// excluded — rank selection is recomputed per query so criterion
+    /// sweeps share one spectrum.
+    pub fn spectrum(galerkin: &ArtifactKey, solver: EigenSolver, max_eigenpairs: usize) -> ArtifactKey {
+        ArtifactKey {
+            descriptor: format!(
+                "spectrum|{}|solver={}|max-eigenpairs={max_eigenpairs}",
+                galerkin.descriptor,
+                solver_tag(solver),
+            ),
+        }
+    }
+
+    /// The full human-readable descriptor (the identity of the key).
+    pub fn descriptor(&self) -> &str {
+        &self.descriptor
+    }
+
+    /// FNV-1a fingerprint of the descriptor (compact disk file names).
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(self.descriptor.as_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact cache
+// ---------------------------------------------------------------------------
+
+/// Hit/miss totals per cache level (a point-in-time copy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Mesh-level hits.
+    pub mesh_hits: u64,
+    /// Mesh-level misses.
+    pub mesh_misses: u64,
+    /// Galerkin-matrix hits.
+    pub galerkin_hits: u64,
+    /// Galerkin-matrix misses.
+    pub galerkin_misses: u64,
+    /// Spectrum hits.
+    pub spectrum_hits: u64,
+    /// Spectrum misses.
+    pub spectrum_misses: u64,
+}
+
+impl CacheSnapshot {
+    /// Total hits across all levels.
+    pub fn hits(&self) -> u64 {
+        self.mesh_hits + self.galerkin_hits + self.spectrum_hits
+    }
+
+    /// Total misses across all levels.
+    pub fn misses(&self) -> u64 {
+        self.mesh_misses + self.galerkin_misses + self.spectrum_misses
+    }
+}
+
+#[derive(Default)]
+struct CacheStats {
+    mesh_hits: AtomicU64,
+    mesh_misses: AtomicU64,
+    galerkin_hits: AtomicU64,
+    galerkin_misses: AtomicU64,
+    spectrum_hits: AtomicU64,
+    spectrum_misses: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking holder can only have been between two plain HashMap
+    // operations; the map is still structurally sound, so poisoning is
+    // ignored rather than propagated.
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn bump(counter: &AtomicU64, obs_name: &str) {
+    counter.fetch_add(1, Ordering::Relaxed);
+    if klest_obs::enabled() {
+        klest_obs::counter_add(obs_name, 1);
+    }
+}
+
+/// Content-addressed store for front-end artifacts: meshes, assembled
+/// Galerkin matrices and computed spectra, keyed by [`ArtifactKey`].
+///
+/// Always holds an in-memory layer (shared `Arc`s, zero-copy hits).
+/// [`ArtifactCache::with_disk`] adds an on-disk layer for meshes and
+/// spectra — the two artifacts worth persisting across processes; the
+/// O(n²) matrix is deliberately memory-only since a spectrum hit already
+/// skips assembly — with atomic tmp-file + rename writes and exact-bits
+/// float encoding. Any disk problem (unreadable, truncated, foreign
+/// content) silently degrades to a miss; the cache never fails a
+/// pipeline. Hits and misses are counted per level
+/// ([`ArtifactCache::snapshot`]) and mirrored to the obs counters
+/// `pipeline.cache.{mesh,galerkin,spectrum}.{hits,misses}`.
+pub struct ArtifactCache {
+    meshes: Mutex<HashMap<String, Arc<Mesh>>>,
+    matrices: Mutex<HashMap<String, Arc<Matrix>>>,
+    spectra: Mutex<HashMap<String, Arc<GalerkinKle>>>,
+    disk_dir: Option<PathBuf>,
+    stats: CacheStats,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArtifactCache {
+    /// An in-memory cache (per-process; shared by reference).
+    pub fn new() -> ArtifactCache {
+        ArtifactCache {
+            meshes: Mutex::new(HashMap::new()),
+            matrices: Mutex::new(HashMap::new()),
+            spectra: Mutex::new(HashMap::new()),
+            disk_dir: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// An in-memory cache backed by an on-disk layer under `dir`
+    /// (created on first store).
+    pub fn with_disk<P: Into<PathBuf>>(dir: P) -> ArtifactCache {
+        let mut cache = Self::new();
+        cache.disk_dir = Some(dir.into());
+        cache
+    }
+
+    /// The disk directory, when the on-disk layer is enabled.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// Point-in-time hit/miss totals.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            mesh_hits: self.stats.mesh_hits.load(Ordering::Relaxed),
+            mesh_misses: self.stats.mesh_misses.load(Ordering::Relaxed),
+            galerkin_hits: self.stats.galerkin_hits.load(Ordering::Relaxed),
+            galerkin_misses: self.stats.galerkin_misses.load(Ordering::Relaxed),
+            spectrum_hits: self.stats.spectrum_hits.load(Ordering::Relaxed),
+            spectrum_misses: self.stats.spectrum_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up a mesh (memory first, then disk when enabled).
+    pub fn lookup_mesh(&self, key: &ArtifactKey) -> Option<Arc<Mesh>> {
+        if let Some(hit) = lock(&self.meshes).get(key.descriptor()).cloned() {
+            bump(&self.stats.mesh_hits, "pipeline.cache.mesh.hits");
+            return Some(hit);
+        }
+        if let Some(mesh) = self.disk_load_mesh(key) {
+            let mesh = Arc::new(mesh);
+            lock(&self.meshes).insert(key.descriptor().to_string(), Arc::clone(&mesh));
+            bump(&self.stats.mesh_hits, "pipeline.cache.mesh.hits");
+            return Some(mesh);
+        }
+        bump(&self.stats.mesh_misses, "pipeline.cache.mesh.misses");
+        None
+    }
+
+    /// Stores a mesh under `key` (and on disk when enabled; polygonal
+    /// dies stay memory-only — their boundary is not serialized).
+    pub fn store_mesh(&self, key: &ArtifactKey, mesh: Arc<Mesh>) {
+        if mesh.boundary().is_none() {
+            self.disk_store(key, "mesh", &serialize_mesh(key, &mesh));
+        }
+        lock(&self.meshes).insert(key.descriptor().to_string(), mesh);
+    }
+
+    /// Looks up an assembled Galerkin matrix (memory-only level).
+    pub fn lookup_galerkin(&self, key: &ArtifactKey) -> Option<Arc<Matrix>> {
+        match lock(&self.matrices).get(key.descriptor()).cloned() {
+            Some(hit) => {
+                bump(&self.stats.galerkin_hits, "pipeline.cache.galerkin.hits");
+                Some(hit)
+            }
+            None => {
+                bump(&self.stats.galerkin_misses, "pipeline.cache.galerkin.misses");
+                None
+            }
+        }
+    }
+
+    /// Stores an assembled Galerkin matrix under `key`.
+    pub fn store_galerkin(&self, key: &ArtifactKey, matrix: Arc<Matrix>) {
+        lock(&self.matrices).insert(key.descriptor().to_string(), matrix);
+    }
+
+    /// Looks up a computed spectrum (memory first, then disk).
+    pub fn lookup_spectrum(&self, key: &ArtifactKey) -> Option<Arc<GalerkinKle>> {
+        if let Some(hit) = lock(&self.spectra).get(key.descriptor()).cloned() {
+            bump(&self.stats.spectrum_hits, "pipeline.cache.spectrum.hits");
+            return Some(hit);
+        }
+        if let Some(kle) = self.disk_load_spectrum(key) {
+            let kle = Arc::new(kle);
+            lock(&self.spectra).insert(key.descriptor().to_string(), Arc::clone(&kle));
+            bump(&self.stats.spectrum_hits, "pipeline.cache.spectrum.hits");
+            return Some(kle);
+        }
+        bump(&self.stats.spectrum_misses, "pipeline.cache.spectrum.misses");
+        None
+    }
+
+    /// Stores a computed spectrum under `key` (and on disk when enabled).
+    pub fn store_spectrum(&self, key: &ArtifactKey, kle: Arc<GalerkinKle>) {
+        self.disk_store(key, "kle", &serialize_spectrum(key, &kle));
+        lock(&self.spectra).insert(key.descriptor().to_string(), kle);
+    }
+
+    fn disk_path(&self, key: &ArtifactKey, ext: &str) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}.{ext}", key.fingerprint())))
+    }
+
+    fn disk_store(&self, key: &ArtifactKey, ext: &str, content: &str) {
+        let Some(path) = self.disk_path(key, ext) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        // Best effort throughout: a read-only or full disk must never
+        // fail the pipeline, it just loses the persistent layer.
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = path.with_extension(format!("{ext}.tmp"));
+        if std::fs::write(&tmp, content).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    fn disk_load_mesh(&self, key: &ArtifactKey) -> Option<Mesh> {
+        let text = std::fs::read_to_string(self.disk_path(key, "mesh")?).ok()?;
+        deserialize_mesh(key, &text)
+    }
+
+    fn disk_load_spectrum(&self, key: &ArtifactKey) -> Option<GalerkinKle> {
+        let text = std::fs::read_to_string(self.disk_path(key, "kle")?).ok()?;
+        deserialize_spectrum(key, &text)
+    }
+}
+
+const MESH_HEADER: &str = "klest-cache/mesh/v1";
+const SPECTRUM_HEADER: &str = "klest-cache/kle/v1";
+
+fn serialize_mesh(key: &ArtifactKey, mesh: &Mesh) -> String {
+    let bb = mesh.domain().bbox();
+    let mut out = String::new();
+    out.push_str(MESH_HEADER);
+    out.push('\n');
+    out.push_str(key.descriptor());
+    out.push('\n');
+    out.push_str(&format!(
+        "die {} {} {} {}\n",
+        f64_bits(bb.min.x),
+        f64_bits(bb.min.y),
+        f64_bits(bb.max.x),
+        f64_bits(bb.max.y)
+    ));
+    out.push_str(&format!("points {}\n", mesh.points().len()));
+    for p in mesh.points() {
+        out.push_str(&format!("{} {}\n", f64_bits(p.x), f64_bits(p.y)));
+    }
+    out.push_str(&format!("triangles {}\n", mesh.len()));
+    for &[a, b, c] in mesh.triangle_indices() {
+        out.push_str(&format!("{a} {b} {c}\n"));
+    }
+    out
+}
+
+fn deserialize_mesh(key: &ArtifactKey, text: &str) -> Option<Mesh> {
+    let mut lines = text.lines();
+    if lines.next()? != MESH_HEADER || lines.next()? != key.descriptor() {
+        return None;
+    }
+    let die_line = lines.next()?;
+    let mut it = die_line.strip_prefix("die ")?.split_whitespace();
+    let (minx, miny, maxx, maxy) = (
+        parse_f64_bits(it.next()?)?,
+        parse_f64_bits(it.next()?)?,
+        parse_f64_bits(it.next()?)?,
+        parse_f64_bits(it.next()?)?,
+    );
+    let n_points: usize = lines.next()?.strip_prefix("points ")?.parse().ok()?;
+    let mut points = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        let mut it = lines.next()?.split_whitespace();
+        points.push(Point2::new(
+            parse_f64_bits(it.next()?)?,
+            parse_f64_bits(it.next()?)?,
+        ));
+    }
+    let n_tris: usize = lines.next()?.strip_prefix("triangles ")?.parse().ok()?;
+    let mut triangles = Vec::with_capacity(n_tris);
+    for _ in 0..n_tris {
+        let mut it = lines.next()?.split_whitespace();
+        triangles.push([
+            it.next()?.parse().ok()?,
+            it.next()?.parse().ok()?,
+            it.next()?.parse().ok()?,
+        ]);
+    }
+    // from_parts recomputes centroids/areas through the same arithmetic
+    // the builder used, so the roundtrip is bitwise faithful.
+    Mesh::from_parts(
+        Rect::new(Point2::new(minx, miny), Point2::new(maxx, maxy)),
+        points,
+        triangles,
+    )
+    .ok()
+}
+
+fn push_f64_line(out: &mut String, values: impl Iterator<Item = f64>) {
+    let mut first = true;
+    for v in values {
+        if !first {
+            out.push(' ');
+        }
+        first = false;
+        out.push_str(&f64_bits(v));
+    }
+    out.push('\n');
+}
+
+fn serialize_spectrum(key: &ArtifactKey, kle: &GalerkinKle) -> String {
+    let d = kle.d_matrix();
+    let mut out = String::new();
+    out.push_str(SPECTRUM_HEADER);
+    out.push('\n');
+    out.push_str(key.descriptor());
+    out.push('\n');
+    out.push_str(&format!("trace {}\n", f64_bits(kle.trace())));
+    out.push_str(&format!("eigenvalues {}\n", kle.eigenvalues().len()));
+    push_f64_line(&mut out, kle.eigenvalues().iter().copied());
+    out.push_str(&format!("d {} {}\n", d.rows(), d.cols()));
+    push_f64_line(&mut out, d.as_slice().iter().copied());
+    out.push_str(&format!("areas {}\n", kle.areas().len()));
+    push_f64_line(&mut out, kle.areas().iter().copied());
+    out.push_str(&format!("centroids {}\n", kle.centroids().len()));
+    push_f64_line(
+        &mut out,
+        kle.centroids().iter().flat_map(|p| [p.x, p.y]),
+    );
+    out
+}
+
+fn parse_f64_line(line: &str, expect: usize) -> Option<Vec<f64>> {
+    let values: Option<Vec<f64>> = line.split_whitespace().map(parse_f64_bits).collect();
+    let values = values?;
+    (values.len() == expect).then_some(values)
+}
+
+fn deserialize_spectrum(key: &ArtifactKey, text: &str) -> Option<GalerkinKle> {
+    let mut lines = text.lines();
+    if lines.next()? != SPECTRUM_HEADER || lines.next()? != key.descriptor() {
+        return None;
+    }
+    let trace = parse_f64_bits(lines.next()?.strip_prefix("trace ")?)?;
+    let n_eig: usize = lines.next()?.strip_prefix("eigenvalues ")?.parse().ok()?;
+    let eigenvalues = parse_f64_line(lines.next()?, n_eig)?;
+    let mut dims = lines.next()?.strip_prefix("d ")?.split_whitespace();
+    let rows: usize = dims.next()?.parse().ok()?;
+    let cols: usize = dims.next()?.parse().ok()?;
+    let d = Matrix::from_vec(rows, cols, parse_f64_line(lines.next()?, rows * cols)?).ok()?;
+    let n_areas: usize = lines.next()?.strip_prefix("areas ")?.parse().ok()?;
+    let areas = parse_f64_line(lines.next()?, n_areas)?;
+    let n_cent: usize = lines.next()?.strip_prefix("centroids ")?.parse().ok()?;
+    let flat = parse_f64_line(lines.next()?, 2 * n_cent)?;
+    let centroids: Vec<Point2> = flat.chunks(2).map(|c| Point2::new(c[0], c[1])).collect();
+    if rows != n_areas || n_areas != n_cent {
+        return None;
+    }
+    Some(GalerkinKle::from_raw(eigenvalues, d, areas, centroids, trace))
+}
+
+// ---------------------------------------------------------------------------
+// The canonical front-end dataflow
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`run_frontend`] — everything that shapes the mesh,
+/// the expansion and the truncation decision.
+#[derive(Debug, Clone)]
+pub struct FrontEndConfig {
+    /// The die region.
+    pub die: Rect,
+    /// Maximum triangle area as a fraction of the die area (the paper's
+    /// 0.1% is `0.001`).
+    pub max_area_fraction: f64,
+    /// Minimum-angle mesh quality constraint, degrees (paper: 28°).
+    pub min_angle_degrees: f64,
+    /// KLE solve options (quadrature, solver, eigenpair cap, assembly
+    /// threads).
+    pub options: KleOptions,
+    /// Truncation criterion for rank selection.
+    pub criterion: TruncationCriterion,
+    /// Mesh degradation ladder: multipliers on `max_area_fraction` tried
+    /// in order when a supervised mesh build's budget trips. `[1.0]`
+    /// (the default) disables coarsening; the historical supervised
+    /// ladder is `[1.0, 4.0, 16.0]`. Plain policies only ever use the
+    /// first rung.
+    pub mesh_ladder: Vec<f64>,
+}
+
+impl FrontEndConfig {
+    /// A config on the unit die with default options, no ladder.
+    pub fn new(
+        max_area_fraction: f64,
+        min_angle_degrees: f64,
+        criterion: TruncationCriterion,
+    ) -> FrontEndConfig {
+        FrontEndConfig {
+            die: Rect::unit_die(),
+            max_area_fraction,
+            min_angle_degrees,
+            options: KleOptions::default(),
+            criterion,
+            mesh_ladder: vec![1.0],
+        }
+    }
+
+    /// The historical supervised coarsening ladder (4× per rung, two
+    /// fallback rungs).
+    pub fn with_supervised_ladder(mut self) -> FrontEndConfig {
+        self.mesh_ladder = vec![1.0, 4.0, 16.0];
+        self
+    }
+}
+
+/// One recorded mesh coarsening (a ladder rung whose budget tripped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshCoarsening {
+    /// The area fraction that could not be meshed in budget.
+    pub from_area_fraction: f64,
+    /// The coarser fraction tried next.
+    pub to_area_fraction: f64,
+}
+
+/// Everything the front end produces: artifacts are `Arc`-shared so MC
+/// arms and cache all reference one copy.
+#[derive(Debug, Clone)]
+pub struct FrontEndOutcome {
+    /// The die mesh.
+    pub mesh: Arc<Mesh>,
+    /// The computed expansion.
+    pub kle: Arc<GalerkinKle>,
+    /// Truncation rank selected by the criterion.
+    pub rank: usize,
+    /// Did the rank genuinely meet the criterion's tail budget?
+    pub budget_met: bool,
+    /// Mesh-ladder coarsenings applied (empty on the happy path).
+    pub coarsenings: Vec<MeshCoarsening>,
+    /// Wall time of the front end (near zero on a warm spectrum hit).
+    pub setup_time: Duration,
+}
+
+/// Typed front-end failure.
+#[derive(Debug)]
+pub enum FrontEndError {
+    /// Meshing failed (including a ladder that ran out of rungs).
+    Mesh(MeshError),
+    /// Assembly or the eigensolve failed (including cancellation).
+    Kle(KleError),
+}
+
+impl std::fmt::Display for FrontEndError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontEndError::Mesh(e) => write!(f, "meshing failed: {e}"),
+            FrontEndError::Kle(e) => write!(f, "KLE failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontEndError {}
+
+/// Runs the canonical KLE front end — mesh → Galerkin assembly →
+/// eigensolve → truncation — under `policy`, consulting `cache` between
+/// stages when given.
+///
+/// Contracts:
+///
+/// - With [`ExecPolicy::Plain`] and no cache this is bitwise identical
+///   to the historical strict path (`MeshBuilder` + `GalerkinKle::compute`).
+/// - With [`ExecPolicy::Supervised`] the mesh runs under per-rung `mesh`
+///   budget children (retrying on the config's coarsening ladder), and
+///   assembly + eigensolve share one `eigen` budget child — the
+///   historical `build_supervised` semantics. With an untripped
+///   unlimited token and empty budgets, outputs equal the plain path
+///   bitwise.
+/// - A warm spectrum hit skips mesh build, assembly *and* eigensolve
+///   entirely (observable via the `pipeline.cache.*` counters and the
+///   absence of the corresponding spans); a mesh or matrix hit skips
+///   just its own stage. Artifacts returned from cache are bitwise
+///   equal to recomputation.
+/// - Kernels with no [`CovarianceKernel::cache_key`] bypass the cache.
+///
+/// # Errors
+///
+/// [`FrontEndError`] from meshing (including cancellation after the last
+/// ladder rung) or from assembly / eigensolve.
+pub fn run_frontend<K: CovarianceKernel + ?Sized>(
+    kernel: &K,
+    config: &FrontEndConfig,
+    policy: ExecPolicy<'_>,
+    cache: Option<&ArtifactCache>,
+) -> Result<FrontEndOutcome, FrontEndError> {
+    let _span = klest_obs::span("kle");
+    let started = Instant::now();
+    let engine = Engine::new(policy);
+    let kernel_key = kernel.cache_key();
+    let ladder: &[f64] = if config.mesh_ladder.is_empty() {
+        &[1.0]
+    } else {
+        &config.mesh_ladder
+    };
+    let supervised = engine.policy().is_supervised();
+    let mut coarsenings = Vec::new();
+    let mut built: Option<(Arc<Mesh>, Arc<GalerkinKle>)> = None;
+
+    for (rung, factor) in ladder.iter().enumerate() {
+        let fraction = config.max_area_fraction * factor;
+        let keys = kernel_key.as_deref().map(|kk| {
+            let mesh_key = ArtifactKey::mesh(config.die, fraction, config.min_angle_degrees);
+            let galerkin_key = ArtifactKey::galerkin(&mesh_key, kk, config.options.quadrature);
+            let spectrum_key = ArtifactKey::spectrum(
+                &galerkin_key,
+                config.options.solver,
+                config.options.max_eigenpairs,
+            );
+            (mesh_key, galerkin_key, spectrum_key)
+        });
+        let keyed_cache = match (cache, &keys) {
+            (Some(cache), Some(keys)) => Some((cache, keys)),
+            _ => None,
+        };
+
+        // Stage 1: mesh (cache, or build under a fresh per-rung `mesh`
+        // budget child — each ladder rung restarts the budget clock).
+        let mesh_stage = MeshStage {
+            die: config.die,
+            max_area_fraction: fraction,
+            min_angle_degrees: config.min_angle_degrees,
+        };
+        let cached_mesh = keyed_cache.and_then(|(c, (mk, _, _))| c.lookup_mesh(mk));
+        let mesh = match cached_mesh {
+            Some(mesh) => mesh,
+            None => match engine.exec(&mesh_stage, ()) {
+                Ok(mesh) => {
+                    let mesh = Arc::new(mesh);
+                    if let Some((c, (mk, _, _))) = keyed_cache {
+                        c.store_mesh(mk, Arc::clone(&mesh));
+                    }
+                    mesh
+                }
+                Err(MeshError::Cancelled(c)) => {
+                    // Parent dead or ladder exhausted: give up, typed.
+                    if !supervised
+                        || engine.policy().parent_cancelled()
+                        || rung + 1 == ladder.len()
+                    {
+                        return Err(FrontEndError::Mesh(MeshError::Cancelled(c)));
+                    }
+                    coarsenings.push(MeshCoarsening {
+                        from_area_fraction: fraction,
+                        to_area_fraction: config.max_area_fraction * ladder[rung + 1],
+                    });
+                    continue;
+                }
+                Err(e) => return Err(FrontEndError::Mesh(e)),
+            },
+        };
+
+        // Stages 2+3: spectrum (cache, or assemble + eigensolve sharing
+        // one `eigen` budget window, as `build_supervised` always did).
+        let cached_kle = keyed_cache.and_then(|(c, (_, _, sk))| c.lookup_spectrum(sk));
+        let kle = match cached_kle {
+            Some(kle) => kle,
+            None => {
+                let eigen_token = engine.policy().stage_token(Some("eigen"));
+                let assemble = AssembleStage {
+                    kernel,
+                    quadrature: config.options.quadrature,
+                    threads: config.options.assembly_threads,
+                };
+                let cached_matrix = keyed_cache.and_then(|(c, (_, gk, _))| c.lookup_galerkin(gk));
+                let matrix = match cached_matrix {
+                    Some(matrix) => (*matrix).clone(),
+                    None => {
+                        let matrix = engine
+                            .exec_with(&assemble, &*mesh, eigen_token.as_ref())
+                            .map_err(FrontEndError::Kle)?;
+                        if let Some((c, (_, gk, _))) = keyed_cache {
+                            c.store_galerkin(gk, Arc::new(matrix.clone()));
+                        }
+                        matrix
+                    }
+                };
+                let eigensolve = EigensolveStage {
+                    options: config.options,
+                };
+                let kle = engine
+                    .exec_with(&eigensolve, (matrix, &*mesh), eigen_token.as_ref())
+                    .map_err(FrontEndError::Kle)?;
+                let kle = Arc::new(kle);
+                if let Some((c, (_, _, sk))) = keyed_cache {
+                    c.store_spectrum(sk, Arc::clone(&kle));
+                }
+                kle
+            }
+        };
+        built = Some((mesh, kle));
+        break;
+    }
+
+    let (mesh, kle) = match built {
+        Some(pair) => pair,
+        // Unreachable: every ladder arm either sets the pair or returns,
+        // but stay typed rather than panic.
+        None => {
+            return Err(FrontEndError::Mesh(MeshError::Cancelled(Cancelled {
+                stage: "mesh/refine",
+                completed: 0,
+                budget: engine.policy().budget_limit("mesh"),
+            })))
+        }
+    };
+
+    // Stage 4: truncation — always recomputed (cheap, criterion-local).
+    let truncate = TruncateStage {
+        criterion: config.criterion,
+    };
+    let (rank, budget_met) = match engine.exec(&truncate, &*kle) {
+        Ok(pair) => pair,
+        Err(never) => match never {},
+    };
+    Ok(FrontEndOutcome {
+        mesh,
+        kle,
+        rank,
+        budget_met,
+        coarsenings,
+        setup_time: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klest_kernels::GaussianKernel;
+
+    fn coarse_config() -> FrontEndConfig {
+        FrontEndConfig::new(0.05, 25.0, TruncationCriterion::new(40, 0.01))
+    }
+
+    #[test]
+    fn plain_frontend_matches_historical_strict_path() {
+        let kernel = GaussianKernel::new(1.5);
+        let config = coarse_config();
+        let out = run_frontend(&kernel, &config, ExecPolicy::Plain, None).unwrap();
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area_fraction(0.05)
+            .min_angle_degrees(25.0)
+            .build()
+            .unwrap();
+        let kle = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        assert_eq!(out.mesh.len(), mesh.len());
+        assert_eq!(out.kle.eigenvalues(), kle.eigenvalues());
+        let (rank, met) = kle.select_rank_checked(&config.criterion);
+        assert_eq!(out.rank, rank);
+        assert_eq!(out.budget_met, met);
+        assert!(out.coarsenings.is_empty());
+    }
+
+    #[test]
+    fn supervised_frontend_matches_plain_on_live_token() {
+        let kernel = GaussianKernel::new(1.5);
+        let config = coarse_config().with_supervised_ladder();
+        let plain = run_frontend(&kernel, &config, ExecPolicy::Plain, None).unwrap();
+        let token = CancelToken::unlimited();
+        let budgets = StageBudgets::none();
+        let sup = run_frontend(
+            &kernel,
+            &config,
+            ExecPolicy::Supervised {
+                token: &token,
+                budgets: &budgets,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain.mesh.len(), sup.mesh.len());
+        assert_eq!(plain.kle.eigenvalues(), sup.kle.eigenvalues());
+        assert_eq!(plain.rank, sup.rank);
+        assert!(sup.coarsenings.is_empty());
+    }
+
+    #[test]
+    fn pre_tripped_token_is_a_typed_mesh_cancellation() {
+        let kernel = GaussianKernel::new(1.0);
+        let config = coarse_config().with_supervised_ladder();
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let budgets = StageBudgets::none();
+        match run_frontend(
+            &kernel,
+            &config,
+            ExecPolicy::Supervised {
+                token: &token,
+                budgets: &budgets,
+            },
+            None,
+        ) {
+            Err(FrontEndError::Mesh(MeshError::Cancelled(_))) => {}
+            other => panic!("expected mesh cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_cache_skips_every_expensive_stage() {
+        let kernel = GaussianKernel::new(1.5);
+        let config = coarse_config();
+        let cache = ArtifactCache::new();
+        let cold = run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&cache)).unwrap();
+        let after_cold = cache.snapshot();
+        assert_eq!(after_cold.hits(), 0);
+        assert_eq!(after_cold.spectrum_misses, 1);
+        let warm = run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&cache)).unwrap();
+        let after_warm = cache.snapshot();
+        // Warm run: mesh + spectrum hits, no further galerkin lookups
+        // (the spectrum hit short-circuits assembly and eigensolve).
+        assert_eq!(after_warm.mesh_hits, 1);
+        assert_eq!(after_warm.spectrum_hits, 1);
+        assert_eq!(after_warm.galerkin_misses, after_cold.galerkin_misses);
+        // And the artifacts are the *same allocation*, hence bitwise equal.
+        assert!(Arc::ptr_eq(&cold.kle, &warm.kle));
+        assert!(Arc::ptr_eq(&cold.mesh, &warm.mesh));
+        assert_eq!(cold.rank, warm.rank);
+    }
+
+    #[test]
+    fn key_perturbations_miss() {
+        let die = Rect::unit_die();
+        let base_mesh = ArtifactKey::mesh(die, 0.05, 25.0);
+        let kernel = GaussianKernel::new(1.5);
+        let kk = kernel.cache_key().unwrap();
+        let base = ArtifactKey::galerkin(&base_mesh, &kk, QuadratureRule::Centroid);
+        // One-ULP area change: different mesh key, hence different chain.
+        let bumped_area = f64::from_bits(0.05f64.to_bits() + 1);
+        assert_ne!(
+            base_mesh,
+            ArtifactKey::mesh(die, bumped_area, 25.0),
+            "one-ULP max-area must change the key"
+        );
+        // Kernel parameter change.
+        let other_kernel = GaussianKernel::new(1.5000001);
+        assert_ne!(
+            base,
+            ArtifactKey::galerkin(&base_mesh, &other_kernel.cache_key().unwrap(), QuadratureRule::Centroid)
+        );
+        // Quadrature change.
+        assert_ne!(
+            base,
+            ArtifactKey::galerkin(&base_mesh, &kk, QuadratureRule::ThreePoint)
+        );
+        // Solver / cap change at the spectrum level.
+        let s = ArtifactKey::spectrum(&base, EigenSolver::Full, 200);
+        assert_ne!(s, ArtifactKey::spectrum(&base, EigenSolver::Lanczos, 200));
+        assert_ne!(s, ArtifactKey::spectrum(&base, EigenSolver::Full, 100));
+    }
+
+    #[test]
+    fn fnv_is_the_reference_function() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn disk_layer_roundtrips_bitwise() {
+        let dir = std::env::temp_dir().join(format!(
+            "klest-cache-test-{}-{:016x}",
+            std::process::id(),
+            fnv1a64(b"disk_layer_roundtrips_bitwise")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kernel = GaussianKernel::new(2.0);
+        let config = coarse_config();
+        let cold_cache = ArtifactCache::with_disk(&dir);
+        let cold = run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&cold_cache)).unwrap();
+        // A *fresh* cache over the same directory: memory empty, disk warm.
+        let warm_cache = ArtifactCache::with_disk(&dir);
+        let warm = run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&warm_cache)).unwrap();
+        let snap = warm_cache.snapshot();
+        assert_eq!(snap.mesh_hits, 1, "{snap:?}");
+        assert_eq!(snap.spectrum_hits, 1, "{snap:?}");
+        // Bitwise equality across the serialization boundary.
+        assert_eq!(cold.kle.eigenvalues(), warm.kle.eigenvalues());
+        assert!(cold.kle.d_matrix().as_slice() == warm.kle.d_matrix().as_slice());
+        assert_eq!(cold.kle.areas(), warm.kle.areas());
+        assert_eq!(cold.mesh.points(), warm.mesh.points());
+        assert_eq!(cold.mesh.areas(), warm.mesh.areas());
+        assert_eq!(cold.rank, warm.rank);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_degrades_to_miss() {
+        let dir = std::env::temp_dir().join(format!(
+            "klest-cache-test-{}-{:016x}",
+            std::process::id(),
+            fnv1a64(b"corrupt_disk_entry_degrades_to_miss")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kernel = GaussianKernel::new(1.0);
+        let config = coarse_config();
+        let cache = ArtifactCache::with_disk(&dir);
+        run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&cache)).unwrap();
+        // Truncate every cached file to garbage.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            std::fs::write(entry.unwrap().path(), "not a cache file").unwrap();
+        }
+        let fresh = ArtifactCache::with_disk(&dir);
+        let out = run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&fresh)).unwrap();
+        assert!(out.kle.eigenvalues()[0] > 0.0);
+        let snap = fresh.snapshot();
+        assert_eq!(snap.spectrum_hits, 0, "{snap:?}");
+        assert_eq!(snap.spectrum_misses, 1, "{snap:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keyless_kernel_bypasses_cache() {
+        struct Opaque;
+        impl CovarianceKernel for Opaque {
+            fn eval(&self, x: Point2, y: Point2) -> f64 {
+                let dx = x.x - y.x;
+                let dy = x.y - y.y;
+                (-(dx * dx + dy * dy)).exp()
+            }
+            fn name(&self) -> &str {
+                "opaque"
+            }
+        }
+        let cache = ArtifactCache::new();
+        let config = coarse_config();
+        run_frontend(&Opaque, &config, ExecPolicy::Plain, Some(&cache)).unwrap();
+        let snap = cache.snapshot();
+        assert_eq!(snap.hits() + snap.misses(), 0, "{snap:?}");
+    }
+}

@@ -73,6 +73,17 @@ pub trait CovarianceKernel: Send + Sync {
         let _ = r;
         None
     }
+
+    /// A deterministic content key identifying this kernel *and its
+    /// parameters* bit for bit, for artifact caching: two kernels with
+    /// the same key must produce identical `eval` results everywhere.
+    /// Parameters are encoded via `f64::to_bits` so the key is exact, not
+    /// a lossy decimal rendering. `None` (the default) opts the kernel
+    /// out of caching — correct-but-slow for implementations that do not
+    /// provide a stable encoding.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
 }
 
 impl<K: CovarianceKernel + ?Sized> CovarianceKernel for &K {
@@ -84,6 +95,9 @@ impl<K: CovarianceKernel + ?Sized> CovarianceKernel for &K {
     }
     fn correlation_at_distance(&self, r: f64) -> Option<f64> {
         (**self).correlation_at_distance(r)
+    }
+    fn cache_key(&self) -> Option<String> {
+        (**self).cache_key()
     }
 }
 
@@ -154,6 +168,10 @@ impl CovarianceKernel for GaussianKernel {
     fn correlation_at_distance(&self, r: f64) -> Option<f64> {
         Some((-self.c * r * r).exp())
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("gaussian:c={:016x}", self.c.to_bits()))
+    }
 }
 
 /// Isotropic exponential kernel `K(x, y) = exp(-c ‖x−y‖₂)`, suggested by
@@ -203,6 +221,10 @@ impl CovarianceKernel for ExponentialKernel {
 
     fn correlation_at_distance(&self, r: f64) -> Option<f64> {
         Some((-self.c * r).exp())
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("exponential:c={:016x}", self.c.to_bits()))
     }
 }
 
@@ -255,6 +277,10 @@ impl CovarianceKernel for SeparableExponentialKernel {
     fn name(&self) -> &str {
         "separable-exponential"
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("separable-exponential:c={:016x}", self.c.to_bits()))
+    }
 }
 
 /// The kernel of [2]: `K(x, y) = exp(-c |r_x − r_y|)` where `r` is the
@@ -301,6 +327,10 @@ impl CovarianceKernel for RadialExponentialKernel {
 
     fn name(&self) -> &str {
         "radial-exponential"
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("radial-exponential:c={:016x}", self.c.to_bits()))
     }
 }
 
@@ -373,6 +403,14 @@ impl CovarianceKernel for MaternKernel {
         let k = bessel_k(nu, z).expect("z > 0 and nu > 0 by construction");
         Some((2.0 * (z / 2.0).powf(nu) * k * self.inv_gamma).min(1.0))
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!(
+            "matern:b={:016x}:s={:016x}",
+            self.b.to_bits(),
+            self.s.to_bits()
+        ))
+    }
 }
 
 /// The near-linear isotropic kernel suggested by the measurements of
@@ -427,6 +465,10 @@ impl CovarianceKernel for LinearConeKernel {
 
     fn correlation_at_distance(&self, r: f64) -> Option<f64> {
         Some((1.0 - r / self.d).max(0.0))
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("linear-cone:d={:016x}", self.d.to_bits()))
     }
 }
 
@@ -623,5 +665,34 @@ mod tests {
         assert!(r.correlation_at_distance(1.0).is_some());
         let dynk: &dyn CovarianceKernel = &k;
         assert_eq!(dynk.name(), "gaussian");
+    }
+
+    #[test]
+    fn cache_keys_are_exact_and_parameter_sensitive() {
+        // Every in-tree kernel opts into caching with a distinct key.
+        let keys: Vec<String> = all_kernels()
+            .iter()
+            .map(|k| k.cache_key().expect("in-tree kernels provide keys"))
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // Same parameters -> same key; a one-ULP perturbation -> different.
+        let c = 1.7;
+        assert_eq!(
+            GaussianKernel::new(c).cache_key(),
+            GaussianKernel::new(c).cache_key()
+        );
+        let c_ulp = f64::from_bits(c.to_bits() + 1);
+        assert_ne!(
+            GaussianKernel::new(c).cache_key(),
+            GaussianKernel::new(c_ulp).cache_key()
+        );
+        // The forwarding impl forwards keys too.
+        let k = GaussianKernel::new(2.0);
+        let forwarded = <&GaussianKernel as CovarianceKernel>::cache_key(&&k);
+        assert_eq!(forwarded, k.cache_key());
     }
 }

@@ -149,6 +149,66 @@ impl Matrix {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
+    /// Borrow the contiguous block of `count` rows starting at row
+    /// `start` (row-major, so a row block is one flat slice). Parallel
+    /// producers use this to hand out disjoint regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > rows`.
+    #[inline]
+    pub fn row_block(&self, start: usize, count: usize) -> &[f64] {
+        assert!(
+            start + count <= self.rows,
+            "row block {start}..{} exceeds {} rows",
+            start + count,
+            self.rows
+        );
+        &self.data[start * self.cols..(start + count) * self.cols]
+    }
+
+    /// Borrow the contiguous block of `count` rows starting at row
+    /// `start` mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > rows`.
+    #[inline]
+    pub fn row_block_mut(&mut self, start: usize, count: usize) -> &mut [f64] {
+        assert!(
+            start + count <= self.rows,
+            "row block {start}..{} exceeds {} rows",
+            start + count,
+            self.rows
+        );
+        &mut self.data[start * self.cols..(start + count) * self.cols]
+    }
+
+    /// Splits the whole matrix into disjoint mutable row blocks at the
+    /// given row boundaries (`bounds[i]..bounds[i+1]` is block `i`;
+    /// implicit leading 0 and trailing `rows`). The returned slices
+    /// partition the buffer, so independent threads may fill them
+    /// concurrently through a scoped spawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not non-decreasing or exceeds `rows`.
+    pub fn split_row_blocks_mut(&mut self, bounds: &[usize]) -> Vec<&mut [f64]> {
+        let cols = self.cols;
+        let mut blocks = Vec::with_capacity(bounds.len() + 1);
+        let mut rest: &mut [f64] = &mut self.data;
+        let mut prev = 0usize;
+        for &b in bounds {
+            assert!(b >= prev && b <= self.rows, "bad row bound {b}");
+            let (head, tail) = rest.split_at_mut((b - prev) * cols);
+            blocks.push(head);
+            rest = tail;
+            prev = b;
+        }
+        blocks.push(rest);
+        blocks
+    }
+
     /// The underlying row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
@@ -370,6 +430,34 @@ impl fmt::Debug for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn row_blocks_partition_the_buffer() {
+        let mut m = Matrix::from_fn(6, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.row_block(0, 2), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.row_block(5, 1), m.row(5));
+        m.row_block_mut(2, 1)[0] = -1.0;
+        assert_eq!(m[(2, 0)], -1.0);
+        // Disjoint mutable blocks cover every row exactly once.
+        let rows = m.rows();
+        let cols = m.cols();
+        let blocks = m.split_row_blocks_mut(&[2, 4]);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].len(), 2 * cols);
+        assert_eq!(blocks[1].len(), 2 * cols);
+        assert_eq!(blocks[2].len(), 2 * cols);
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, rows * cols);
+        blocks.into_iter().for_each(|b| b.fill(0.0));
+        assert_eq!(m.max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_block_out_of_range_panics() {
+        let m = Matrix::zeros(3, 3);
+        let _ = m.row_block(2, 2);
+    }
 
     #[test]
     fn construction() {

@@ -2,17 +2,21 @@
 
 use crate::faultinject::FaultPlan;
 use crate::{
-    run_monte_carlo, run_monte_carlo_supervised_per_param, CholeskySampler, DegradationEvent,
-    DegradationReport, KleFieldSampler, McConfig, McRun, SalvageStats, SstaError, SummaryStats,
-    N_PARAMS,
+    run_monte_carlo, run_monte_carlo_per_param, run_monte_carlo_supervised_per_param,
+    CholeskySampler, DegradationEvent, DegradationReport, GateFieldSampler, KleFieldSampler,
+    McConfig, McRun, SalvageStats, SstaError, SummaryStats, N_PARAMS,
 };
 use klest_circuit::{Circuit, Placement, WireModel};
+use klest_core::pipeline::{
+    run_frontend, ArtifactCache, Engine, ExecPolicy, FrontEndConfig, FrontEndError, Stage,
+};
 use klest_core::{GalerkinKle, KleOptions, QuadratureRule, TruncationCriterion};
-use klest_geometry::{Point2, Rect};
+use klest_geometry::Point2;
 use klest_kernels::CovarianceKernel;
-use klest_mesh::{Mesh, MeshBuilder, MeshError};
+use klest_mesh::{Mesh, MeshError};
 use klest_runtime::{CancelToken, StageBudgets};
 use klest_sta::{GateLibrary, Timer};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A circuit prepared for SSTA: placed, wired and bound to a timer.
@@ -66,10 +70,10 @@ impl CircuitSetup {
 /// eigenpair computation).
 #[derive(Debug, Clone)]
 pub struct KleContext {
-    /// The die mesh.
-    pub mesh: Mesh,
-    /// The computed expansion.
-    pub kle: GalerkinKle,
+    /// The die mesh (`Arc`-shared with the artifact cache and MC arms).
+    pub mesh: Arc<Mesh>,
+    /// The computed expansion (`Arc`-shared likewise).
+    pub kle: Arc<GalerkinKle>,
     /// Truncation rank `r` chosen by the criterion.
     pub rank: usize,
     /// Did `rank` genuinely satisfy the criterion's tail budget? When
@@ -104,6 +108,49 @@ impl std::fmt::Display for KleContextError {
 impl std::error::Error for KleContextError {}
 
 impl KleContext {
+    /// The unified constructor: runs the canonical stage-graph front end
+    /// ([`run_frontend`]) under the given execution policy, consulting
+    /// the artifact cache between stages when one is supplied. Every
+    /// other constructor is a thin wrapper over this one.
+    ///
+    /// # Errors
+    ///
+    /// [`KleContextError`] from meshing (including a supervised ladder
+    /// that ran out of rungs) or assembly / eigensolve (including
+    /// cancellation, surfaced as [`SstaError::Cancelled`]).
+    pub fn build_with<K: CovarianceKernel + ?Sized>(
+        kernel: &K,
+        config: &FrontEndConfig,
+        policy: ExecPolicy<'_>,
+        cache: Option<&ArtifactCache>,
+    ) -> Result<Self, KleContextError> {
+        let out = run_frontend(kernel, config, policy, cache).map_err(|e| match e {
+            FrontEndError::Mesh(m) => KleContextError::Mesh(m),
+            FrontEndError::Kle(k) => KleContextError::Ssta(SstaError::from(k)),
+        })?;
+        let mut degradation = DegradationReport::new();
+        for c in &out.coarsenings {
+            degradation.record(DegradationEvent::MeshCoarsened {
+                from_area_fraction: c.from_area_fraction,
+                to_area_fraction: c.to_area_fraction,
+            });
+        }
+        if !out.budget_met {
+            degradation.record(DegradationEvent::TruncationBudgetUnmet {
+                rank: out.rank,
+                computed: out.kle.retained(),
+            });
+        }
+        Ok(KleContext {
+            mesh: out.mesh,
+            kle: out.kle,
+            rank: out.rank,
+            budget_met: out.budget_met,
+            degradation,
+            setup_time: out.setup_time,
+        })
+    }
+
     /// Builds the context with explicit mesh constraints.
     ///
     /// # Errors
@@ -115,31 +162,8 @@ impl KleContext {
         min_angle_degrees: f64,
         criterion: &TruncationCriterion,
     ) -> Result<Self, KleContextError> {
-        let _span = klest_obs::span("kle");
-        let started = Instant::now();
-        let mesh = MeshBuilder::new(Rect::unit_die())
-            .max_area_fraction(max_area_fraction)
-            .min_angle_degrees(min_angle_degrees)
-            .build()
-            .map_err(KleContextError::Mesh)?;
-        let kle = GalerkinKle::compute(&mesh, kernel, KleOptions::default())
-            .map_err(|e| KleContextError::Ssta(SstaError::Kle(e)))?;
-        let (rank, budget_met) = kle.select_rank_checked(criterion);
-        let mut degradation = DegradationReport::new();
-        if !budget_met {
-            degradation.record(DegradationEvent::TruncationBudgetUnmet {
-                rank,
-                computed: kle.retained(),
-            });
-        }
-        Ok(KleContext {
-            mesh,
-            kle,
-            rank,
-            budget_met,
-            degradation,
-            setup_time: started.elapsed(),
-        })
+        let config = FrontEndConfig::new(max_area_fraction, min_angle_degrees, *criterion);
+        Self::build_with(kernel, &config, ExecPolicy::Plain, None)
     }
 
     /// The paper's configuration: 0.1% maximum triangle area, 28° minimum
@@ -186,72 +210,9 @@ impl KleContext {
         token: &CancelToken,
         budgets: &StageBudgets,
     ) -> Result<Self, KleContextError> {
-        let _span = klest_obs::span("kle");
-        let started = Instant::now();
-        let mut degradation = DegradationReport::new();
-
-        // Mesh ladder: each rung gets a fresh child token (a fresh stage
-        // budget) but stays capped by the parent deadline.
-        let ladder = [1.0, 4.0, 16.0];
-        let mut mesh_result: Option<Mesh> = None;
-        for (rung, factor) in ladder.iter().enumerate() {
-            let fraction = max_area_fraction * factor;
-            let mesh_token = token.child(budgets.budget("mesh"));
-            match MeshBuilder::new(Rect::unit_die())
-                .max_area_fraction(fraction)
-                .min_angle_degrees(min_angle_degrees)
-                .build_with_token(&mesh_token)
-            {
-                Ok(m) => {
-                    mesh_result = Some(m);
-                    break;
-                }
-                Err(MeshError::Cancelled(c)) => {
-                    // Parent dead or ladder exhausted: give up, typed.
-                    if token.is_cancelled() || rung + 1 == ladder.len() {
-                        return Err(KleContextError::Mesh(MeshError::Cancelled(c)));
-                    }
-                    degradation.record(DegradationEvent::MeshCoarsened {
-                        from_area_fraction: fraction,
-                        to_area_fraction: max_area_fraction * ladder[rung + 1],
-                    });
-                }
-                Err(e) => return Err(KleContextError::Mesh(e)),
-            }
-        }
-        let mesh = match mesh_result {
-            Some(m) => m,
-            // Unreachable: every ladder arm either sets the mesh or
-            // returns, but stay typed rather than panic.
-            None => {
-                return Err(KleContextError::Mesh(MeshError::Cancelled(
-                    klest_runtime::Cancelled {
-                        stage: "mesh/refine",
-                        completed: 0,
-                        budget: budgets.budget("mesh").limit(),
-                    },
-                )))
-            }
-        };
-
-        let eigen_token = token.child(budgets.budget("eigen"));
-        let kle = GalerkinKle::compute_with_token(&mesh, kernel, KleOptions::default(), &eigen_token)
-            .map_err(|e| KleContextError::Ssta(SstaError::from(e)))?;
-        let (rank, budget_met) = kle.select_rank_checked(criterion);
-        if !budget_met {
-            degradation.record(DegradationEvent::TruncationBudgetUnmet {
-                rank,
-                computed: kle.retained(),
-            });
-        }
-        Ok(KleContext {
-            mesh,
-            kle,
-            rank,
-            budget_met,
-            degradation,
-            setup_time: started.elapsed(),
-        })
+        let config = FrontEndConfig::new(max_area_fraction, min_angle_degrees, *criterion)
+            .with_supervised_ladder();
+        Self::build_with(kernel, &config, ExecPolicy::Supervised { token, budgets }, None)
     }
 
     /// Rebuilds with a different quadrature rule (ablation hook).
@@ -265,35 +226,12 @@ impl KleContext {
         rule: QuadratureRule,
         criterion: &TruncationCriterion,
     ) -> Result<Self, KleContextError> {
-        let _span = klest_obs::span("kle");
-        let started = Instant::now();
-        let mesh = MeshBuilder::new(Rect::unit_die())
-            .max_area_fraction(max_area_fraction)
-            .min_angle_degrees(28.0)
-            .build()
-            .map_err(KleContextError::Mesh)?;
-        let options = KleOptions {
+        let mut config = FrontEndConfig::new(max_area_fraction, 28.0, *criterion);
+        config.options = KleOptions {
             quadrature: rule,
             ..KleOptions::default()
         };
-        let kle = GalerkinKle::compute(&mesh, kernel, options)
-            .map_err(|e| KleContextError::Ssta(SstaError::Kle(e)))?;
-        let (rank, budget_met) = kle.select_rank_checked(criterion);
-        let mut degradation = DegradationReport::new();
-        if !budget_met {
-            degradation.record(DegradationEvent::TruncationBudgetUnmet {
-                rank,
-                computed: kle.retained(),
-            });
-        }
-        Ok(KleContext {
-            mesh,
-            kle,
-            rank,
-            budget_met,
-            degradation,
-            setup_time: started.elapsed(),
-        })
+        Self::build_with(kernel, &config, ExecPolicy::Plain, None)
     }
 }
 
@@ -337,6 +275,156 @@ pub struct MethodComparison {
     pub kle_salvage: Option<SalvageStats>,
 }
 
+/// Input to one Monte Carlo arm: the field generator driving all four
+/// statistical parameters, plus the mutable degradation report the
+/// supervised runner records salvage events into.
+struct McArmInput<'r> {
+    sampler: &'r dyn GateFieldSampler,
+    report: &'r mut DegradationReport,
+}
+
+/// One Monte Carlo arm (reference or KLE) as a pipeline [`Stage`]: under
+/// a plain policy it runs the historical strict loop; under a supervised
+/// policy the [`Engine`] hands it a child token carrying the `mc` stage
+/// budget and it runs the fault-isolated supervised loop with the
+/// optional fault plan.
+struct McArmStage<'a> {
+    arm: &'static str,
+    timer: &'a Timer,
+    config: &'a McConfig,
+    plan: Option<&'a FaultPlan>,
+}
+
+impl<'r> Stage<McArmInput<'r>> for McArmStage<'_> {
+    type Output = McRun;
+    type Error = SstaError;
+
+    fn name(&self) -> &'static str {
+        self.arm
+    }
+
+    fn budget_key(&self) -> Option<&'static str> {
+        Some("mc")
+    }
+
+    fn run(
+        &self,
+        input: McArmInput<'r>,
+        token: Option<&CancelToken>,
+    ) -> Result<McRun, SstaError> {
+        let samplers: [&dyn GateFieldSampler; N_PARAMS] = [input.sampler; N_PARAMS];
+        match token {
+            None => run_monte_carlo_per_param(self.timer, &samplers, self.config),
+            Some(token) => run_monte_carlo_supervised_per_param(
+                self.timer,
+                &samplers,
+                self.config,
+                token,
+                self.plan,
+                input.report,
+            ),
+        }
+    }
+}
+
+/// Sampler-construction behaviour of the one comparison dataflow.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RepairMode {
+    /// Constructors propagate errors, nothing is merged into the report
+    /// and the KLE arm always runs the KLE sampler ([`compare_methods`]).
+    Strict,
+    /// Constructors go through the repair ladders, the context's
+    /// degradations are merged in, and an unmet truncation budget
+    /// degrades the KLE arm to the Cholesky reference.
+    Tolerant,
+}
+
+/// The single comparison dataflow behind all three public entry points:
+/// reference arm then KLE arm, each executed as an [`McArmStage`] by one
+/// [`Engine`] whose [`ExecPolicy`] decides plain vs supervised, with
+/// `mode` deciding strict vs repair-ladder sampler construction.
+fn compare_methods_engine<K: CovarianceKernel + ?Sized>(
+    setup: &CircuitSetup,
+    kernel: &K,
+    ctx: &KleContext,
+    config: &McConfig,
+    policy: ExecPolicy<'_>,
+    mode: RepairMode,
+    plan: Option<&FaultPlan>,
+) -> Result<MethodComparison, SstaError> {
+    let engine = Engine::new(policy);
+    let tolerant = mode == RepairMode::Tolerant;
+    let mut report = DegradationReport::new();
+    if tolerant {
+        report.merge(&ctx.degradation);
+    }
+
+    // Reference arm (Algorithm 1).
+    let span_ref = klest_obs::span("mc/reference");
+    let started = Instant::now();
+    let reference = if tolerant {
+        CholeskySampler::new_with_report(kernel, setup.locations(), &mut report)?
+    } else {
+        CholeskySampler::new(kernel, setup.locations())?
+    };
+    let stage = McArmStage {
+        arm: "mc/reference",
+        timer: &setup.timer,
+        config,
+        plan,
+    };
+    let mc_run = engine.exec(
+        &stage,
+        McArmInput {
+            sampler: &reference,
+            report: &mut report,
+        },
+    )?;
+    let mc_time = started.elapsed();
+    drop(span_ref);
+
+    // KLE arm (Algorithm 2), degrading to the reference sampler when the
+    // truncation budget is unmet on the tolerant paths.
+    let _span_kle = klest_obs::span("mc/kle");
+    let started = Instant::now();
+    let kle_sampler;
+    let sampler: &dyn GateFieldSampler = if !tolerant {
+        kle_sampler = KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations())?;
+        &kle_sampler
+    } else if ctx.budget_met {
+        kle_sampler = KleFieldSampler::new_with_report(
+            &ctx.kle,
+            &ctx.mesh,
+            ctx.rank,
+            setup.locations(),
+            &mut report,
+        )?;
+        &kle_sampler
+    } else {
+        // Algorithm 2 would under-cover the variance budget: fall back to
+        // Algorithm 1 (the sampler built above) for the "KLE" arm too.
+        report.record(DegradationEvent::KleDegradedToCholesky {
+            reason: "truncation budget unmet",
+        });
+        &reference
+    };
+    let stage = McArmStage {
+        arm: "mc/kle",
+        timer: &setup.timer,
+        config,
+        plan,
+    };
+    let kle_run = engine.exec(
+        &stage,
+        McArmInput {
+            sampler,
+            report: &mut report,
+        },
+    )?;
+    let kle_time = started.elapsed();
+    Ok(summarize(setup, ctx, mc_run, mc_time, kle_run, kle_time, report))
+}
+
 /// Runs Algorithm 1 and Algorithm 2 on a prepared circuit and compares.
 ///
 /// # Errors
@@ -348,17 +436,15 @@ pub fn compare_methods<K: CovarianceKernel + ?Sized>(
     ctx: &KleContext,
     config: &McConfig,
 ) -> Result<MethodComparison, SstaError> {
-    let (mc_run, mc_time) = run_reference(setup, kernel, config)?;
-    let (kle_run, kle_time) = run_kle(setup, ctx, config)?;
-    Ok(summarize(
+    compare_methods_engine(
         setup,
+        kernel,
         ctx,
-        mc_run,
-        mc_time,
-        kle_run,
-        kle_time,
-        DegradationReport::new(),
-    ))
+        config,
+        ExecPolicy::Plain,
+        RepairMode::Strict,
+        None,
+    )
 }
 
 /// Fault-tolerant [`compare_methods`]: sampler construction goes through
@@ -378,38 +464,15 @@ pub fn compare_methods_with_report<K: CovarianceKernel + ?Sized>(
     ctx: &KleContext,
     config: &McConfig,
 ) -> Result<MethodComparison, SstaError> {
-    let mut report = DegradationReport::new();
-    report.merge(&ctx.degradation);
-
-    let span_ref = klest_obs::span("mc/reference");
-    let started = Instant::now();
-    let sampler = CholeskySampler::new_with_report(kernel, setup.locations(), &mut report)?;
-    let mc_run = run_monte_carlo(&setup.timer, &sampler, config)?;
-    let mc_time = started.elapsed();
-    drop(span_ref);
-
-    let _span_kle = klest_obs::span("mc/kle");
-    let started = Instant::now();
-    let (kle_run, kle_time) = if ctx.budget_met {
-        let kle_sampler = KleFieldSampler::new_with_report(
-            &ctx.kle,
-            &ctx.mesh,
-            ctx.rank,
-            setup.locations(),
-            &mut report,
-        )?;
-        let run = run_monte_carlo(&setup.timer, &kle_sampler, config)?;
-        (run, started.elapsed())
-    } else {
-        // Algorithm 2 would under-cover the variance budget: fall back to
-        // Algorithm 1 (the sampler built above) for the "KLE" arm too.
-        report.record(DegradationEvent::KleDegradedToCholesky {
-            reason: "truncation budget unmet",
-        });
-        let run = run_monte_carlo(&setup.timer, &sampler, config)?;
-        (run, started.elapsed())
-    };
-    Ok(summarize(setup, ctx, mc_run, mc_time, kle_run, kle_time, report))
+    compare_methods_engine(
+        setup,
+        kernel,
+        ctx,
+        config,
+        ExecPolicy::Plain,
+        RepairMode::Tolerant,
+        None,
+    )
 }
 
 /// Deadline-aware [`compare_methods_with_report`]: each Monte Carlo arm
@@ -436,63 +499,15 @@ pub fn compare_methods_supervised<K: CovarianceKernel + ?Sized>(
     budgets: &StageBudgets,
     plan: Option<&FaultPlan>,
 ) -> Result<MethodComparison, SstaError> {
-    let mut report = DegradationReport::new();
-    report.merge(&ctx.degradation);
-
-    let span_ref = klest_obs::span("mc/reference");
-    let started = Instant::now();
-    let sampler = CholeskySampler::new_with_report(kernel, setup.locations(), &mut report)?;
-    let samplers: [&dyn crate::GateFieldSampler; N_PARAMS] = [&sampler; N_PARAMS].map(|s| s as _);
-    let mc_token = token.child(budgets.budget("mc"));
-    let mc_run = run_monte_carlo_supervised_per_param(
-        &setup.timer,
-        &samplers,
+    compare_methods_engine(
+        setup,
+        kernel,
+        ctx,
         config,
-        &mc_token,
+        ExecPolicy::Supervised { token, budgets },
+        RepairMode::Tolerant,
         plan,
-        &mut report,
-    )?;
-    let mc_time = started.elapsed();
-    drop(span_ref);
-
-    let _span_kle = klest_obs::span("mc/kle");
-    let started = Instant::now();
-    let (kle_run, kle_time) = if ctx.budget_met {
-        let kle_sampler = KleFieldSampler::new_with_report(
-            &ctx.kle,
-            &ctx.mesh,
-            ctx.rank,
-            setup.locations(),
-            &mut report,
-        )?;
-        let samplers: [&dyn crate::GateFieldSampler; N_PARAMS] =
-            [&kle_sampler; N_PARAMS].map(|s| s as _);
-        let kle_token = token.child(budgets.budget("mc"));
-        let run = run_monte_carlo_supervised_per_param(
-            &setup.timer,
-            &samplers,
-            config,
-            &kle_token,
-            plan,
-            &mut report,
-        )?;
-        (run, started.elapsed())
-    } else {
-        report.record(DegradationEvent::KleDegradedToCholesky {
-            reason: "truncation budget unmet",
-        });
-        let kle_token = token.child(budgets.budget("mc"));
-        let run = run_monte_carlo_supervised_per_param(
-            &setup.timer,
-            &samplers,
-            config,
-            &kle_token,
-            plan,
-            &mut report,
-        )?;
-        (run, started.elapsed())
-    };
-    Ok(summarize(setup, ctx, mc_run, mc_time, kle_run, kle_time, report))
+    )
 }
 
 /// Algorithm 1 end to end (timed: covariance build + Cholesky + MC loop).

@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 name="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo local)}"
 out="BENCH_${name}.json"
 
-cargo build --release --offline -q -p klest-cli
+cargo build --release --offline -q -p klest-cli -p klest-bench
 
 # Fixed workload: small enough for CI, large enough that every pipeline
 # stage (mesh, assembly, eigensolve, truncation, both MC arms) gets a
@@ -23,6 +23,11 @@ cargo build --release --offline -q -p klest-cli
 ./target/release/klest ssta \
   --circuit c880 --scale 0.25 --samples 400 --seed 2008 --threads 2 \
   --report "$out"
+
+# Stage-graph benches: serial-vs-parallel Galerkin assembly (outputs
+# checked bitwise-equal before timing is reported) and the cold-vs-warm
+# artifact cache, merged into the report as a top-level "benches" object.
+./target/release/pipeline_bench --report "$out" --threads 4
 
 # Schema gate: a report missing any of these keys means the
 # instrumentation regressed, and the run fails.
@@ -42,6 +47,10 @@ ssta/mc/kle
 eigen.ql_iterations
 mc.samples_per_sec
 mesh.min_angle_deg
+"benches"
+galerkin_assembly_serial_vs_parallel
+pipeline_cold_vs_warm_cache
+"speedup"
 '
 fail=0
 while IFS= read -r key; do

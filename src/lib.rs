@@ -59,6 +59,9 @@ pub use klest_sta as sta;
 pub mod prelude {
     pub use crate::KlestError;
     pub use klest_circuit::{benchmark, generate, BenchmarkId, Circuit, GeneratorConfig, Placement};
+    pub use klest_core::pipeline::{
+        run_frontend, ArtifactCache, ArtifactKey, Engine, ExecPolicy, FrontEndConfig, Stage,
+    };
     pub use klest_core::{GalerkinKle, KleOptions, KleSampler, QuadratureRule, TruncationCriterion};
     pub use klest_geometry::{Point2, Rect};
     pub use klest_kernels::{CovarianceKernel, GaussianKernel, MaternKernel};
