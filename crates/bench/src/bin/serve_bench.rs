@@ -1,0 +1,300 @@
+//! Overload acceptance bench for the `klest-serve` daemon, emitted into a
+//! `BENCH_*.json` run report (see `scripts/bench_report.sh`).
+//!
+//! Replays one long newline-delimited JSON stream against an in-process
+//! [`Server`] — thousands of mixed warm/cold queries plus hostile traffic
+//! (an injected panic, worker-pinning hangs, a deadline storm, and a
+//! flood deep enough to overflow the admission queue) — then checks the
+//! robustness contract end to end:
+//!
+//! - every shed is a **typed** response (`overloaded` with a retry hint,
+//!   or `deadline_expired`), never a dropped line;
+//! - the injected panic terminates as a typed `fault` after a retry,
+//!   and the hangs are broken by their deadlines (cancelled/salvaged);
+//! - every *admitted healthy* query completes, and the drain is clean;
+//! - warm-cache queries are served without re-running mesh/assembly/
+//!   eigensolve (cold vs warm latency is reported from the obs
+//!   histograms).
+//!
+//! With `--report PATH` a top-level `"serve"` object is merged into the
+//! existing run report; without it the JSON object prints to stdout.
+
+use klest_bench::Args;
+use klest_obs::{snapshot, HistState};
+use klest_serve::{ServeConfig, Server};
+use std::io::Cursor;
+use std::time::{Duration, Instant};
+
+/// The three distinct kernel/die configurations the replay cycles over.
+/// Each is a different artifact-cache key, so the first query per config
+/// is cold and everything after is warm.
+const CONFIGS: [&str; 3] = [
+    r#""gates":16,"samples":32,"area_fraction":0.1"#,
+    r#""gates":16,"samples":32,"area_fraction":0.1,"kernel":"exponential","c":2.0"#,
+    r#""gates":16,"samples":32,"area_fraction":0.1,"kernel":"gaussian","dist":0.7"#,
+];
+
+fn hist(name: &str) -> Option<HistState> {
+    snapshot()
+        .histograms
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, h)| h)
+}
+
+fn mean_ms(h: &Option<HistState>) -> f64 {
+    h.as_ref().and_then(|h| h.mean()).unwrap_or(0.0)
+}
+
+fn count(h: &Option<HistState>) -> u64 {
+    h.as_ref().map(|h| h.count).unwrap_or(0)
+}
+
+fn main() {
+    let args = Args::parse();
+    let requests: usize = args.get::<usize>("requests", 2000).max(200);
+    let workers: usize = args.get("workers", 2);
+    // Default depth scales with the replay size so the flood always
+    // overflows admission regardless of `--requests`.
+    let queue_depth: usize = args.get("queue-depth", (requests / 8).clamp(64, 256));
+    let storm: usize = args.get("storm", 40);
+
+    klest_obs::reset();
+    klest_obs::enable();
+
+    // The replay injects one panicking query on purpose; keep the default
+    // hook's backtrace for real panics but stay quiet for the drill.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let drill = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("fault drill"));
+        if !drill {
+            default_hook(info);
+        }
+    }));
+
+    // One stream, four phases. Ordering is what makes the run
+    // deterministic: the hostile traffic goes in *first*, while the
+    // queue is near-empty (guaranteed admission); the two hangs then pin
+    // both workers for ~300 ms, so the 1 ms deadline storm behind them
+    // expires in the queue, and the warm flood behind *that* overflows
+    // the admission queue.
+    let mut input = String::new();
+    for (i, cfg) in CONFIGS.iter().enumerate() {
+        input.push_str(&format!("{{\"id\":\"prime-{i}\",{cfg}}}\n"));
+    }
+    // A panicking query, a hang broken by its deadline, and a two-shard
+    // hang whose surviving shard is salvaged.
+    input.push_str(&format!(
+        "{{\"id\":\"boom\",\"inject_panic\":true,{}}}\n",
+        CONFIGS[0]
+    ));
+    input.push_str(&format!(
+        "{{\"id\":\"hang\",\"inject_hang_ms\":30000,\"deadline_ms\":300,{}}}\n",
+        CONFIGS[0]
+    ));
+    input.push_str(&format!(
+        "{{\"id\":\"sal\",\"inject_hang_ms\":30000,\"deadline_ms\":300,\"threads\":2,{}}}\n",
+        CONFIGS[0]
+    ));
+    // Deadline storm: 1 ms deadlines queued behind the pinned workers,
+    // so each expires while queued and is shed without consuming a
+    // worker.
+    for i in 0..storm {
+        let cfg = CONFIGS[i % CONFIGS.len()];
+        input.push_str(&format!("{{\"id\":\"dl-{i}\",\"deadline_ms\":1,{cfg}}}\n"));
+    }
+    // Warm flood: overflows the queue while the workers are pinned.
+    for i in 0..requests {
+        let cfg = CONFIGS[i % CONFIGS.len()];
+        input.push_str(&format!("{{\"id\":\"w{i}\",{cfg}}}\n"));
+    }
+    input.push_str("{\"op\":\"shutdown\"}\n");
+
+    let config = ServeConfig {
+        workers,
+        queue_depth,
+        drain: Duration::from_secs(120),
+        default_deadline: None,
+        cache_dir: None,
+    };
+    let server = Server::new(config);
+    let mut out: Vec<u8> = Vec::new();
+    let started = Instant::now();
+    let summary = server.serve(Cursor::new(input), &mut out);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let text = String::from_utf8(out).expect("responses are UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Contract 1: exactly one terminal response per admitted query, and
+    // one response line per received request (+ drain ack + summary).
+    assert_eq!(
+        summary.admitted,
+        summary.admitted_terminals(),
+        "every admitted query must get exactly one terminal response: {summary:?}"
+    );
+    assert!(summary.drained_clean, "drain must finish cleanly: {summary:?}");
+    assert!(summary.shutdown, "shutdown request must start the drain");
+    assert_eq!(summary.bad_requests, 0, "the replay stream is well-formed");
+
+    // Contract 2: overload and queue-deadline sheds are typed responses.
+    assert!(
+        summary.shed_overload >= 1,
+        "the flood must overflow depth {queue_depth}: {summary:?}"
+    );
+    let typed_overloads = lines
+        .iter()
+        .filter(|l| l.contains("\"reason\":\"overloaded\"") && l.contains("\"retry_after_ms\":"))
+        .count() as u64;
+    assert_eq!(
+        typed_overloads, summary.shed_overload,
+        "each overload shed must carry a typed retry hint"
+    );
+    assert!(
+        summary.shed_deadline >= 1,
+        "the 1 ms deadline storm must expire in the queue: {summary:?}"
+    );
+
+    // Contract 3: faulty traffic is isolated, healthy traffic completes.
+    let find = |id: &str| {
+        let pat = format!("\"id\":\"{id}\"");
+        *lines
+            .iter()
+            .find(|l| l.contains(&pat))
+            .unwrap_or_else(|| panic!("no response for {id}"))
+    };
+    assert!(
+        find("boom").contains("\"status\":\"fault\""),
+        "injected panic must be a typed fault: {}",
+        find("boom")
+    );
+    for id in ["hang", "sal"] {
+        let line = find(id);
+        assert!(
+            ["\"status\":\"cancelled\"", "\"status\":\"salvaged\""]
+                .iter()
+                .any(|p| line.contains(p)),
+            "{id} must be broken by its deadline, not completed or dropped: {line}"
+        );
+    }
+    assert_eq!(summary.faults, 1, "only the injected panic may fault: {summary:?}");
+    let healthy_admitted = summary.admitted
+        - summary.faults
+        - summary.cancelled
+        - summary.salvaged
+        - summary.shed_deadline
+        - summary.shed_draining;
+    assert_eq!(
+        summary.completed, healthy_admitted,
+        "every admitted healthy query must complete: {summary:?}"
+    );
+    assert!(
+        summary.completed >= CONFIGS.len() as u64,
+        "at least the cold primes must complete: {summary:?}"
+    );
+
+    // Contract 4: the shared artifact cache serves the flood warm.
+    let warm = hist("serve.latency_ms.warm");
+    let cold = hist("serve.latency_ms.cold");
+    let wait = hist("serve.queue_wait_ms");
+    assert!(
+        count(&warm) > 0,
+        "warm queries must be classified against the shared cache"
+    );
+    assert_eq!(
+        count(&warm) + count(&cold),
+        summary.completed + summary.salvaged,
+        "every completed query lands in exactly one latency histogram"
+    );
+
+    // Embed every serve.* counter/gauge/histogram from the obs registry,
+    // so the admission metrics ride along in the merged report.
+    let snap = snapshot();
+    let mut metrics: Vec<String> = Vec::new();
+    for (name, v) in &snap.counters {
+        if name.starts_with("serve.") {
+            metrics.push(format!("      \"{name}\": {v}"));
+        }
+    }
+    for (name, v) in &snap.gauges {
+        if name.starts_with("serve.") {
+            metrics.push(format!("      \"{name}\": {v}"));
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if name.starts_with("serve.") {
+            metrics.push(format!(
+                "      \"{name}\": {{ \"count\": {}, \"mean_ms\": {:.3} }}",
+                h.count,
+                h.mean().unwrap_or(0.0)
+            ));
+        }
+    }
+    let metrics = metrics.join(",\n");
+
+    let serve = format!(
+        concat!(
+            "{{\n",
+            "    \"requests\": {},\n",
+            "    \"received\": {},\n",
+            "    \"admitted\": {},\n",
+            "    \"completed\": {},\n",
+            "    \"salvaged\": {},\n",
+            "    \"shed_overload\": {},\n",
+            "    \"shed_deadline\": {},\n",
+            "    \"cancelled\": {},\n",
+            "    \"faults\": {},\n",
+            "    \"workers\": {},\n",
+            "    \"queue_depth\": {},\n",
+            "    \"latency_ms_warm_mean\": {:.3},\n",
+            "    \"latency_ms_cold_mean\": {:.3},\n",
+            "    \"queue_wait_ms_mean\": {:.3},\n",
+            "    \"wall_secs\": {:.3},\n",
+            "    \"drained_clean\": {},\n",
+            "    \"metrics\": {{\n{}\n    }}\n",
+            "  }}"
+        ),
+        requests,
+        summary.received,
+        summary.admitted,
+        summary.completed,
+        summary.salvaged,
+        summary.shed_overload,
+        summary.shed_deadline,
+        summary.cancelled,
+        summary.faults,
+        workers,
+        queue_depth,
+        mean_ms(&warm),
+        mean_ms(&cold),
+        mean_ms(&wait),
+        wall_secs,
+        summary.drained_clean,
+        metrics,
+    );
+
+    match args.get_str("report", "") {
+        path if path.is_empty() => println!("{{\n  \"serve\": {serve}\n}}"),
+        path => {
+            let report = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading report {path}: {e}"));
+            let body = report
+                .trim_end()
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("report {path} is not a JSON object"))
+                .trim_end()
+                .to_string();
+            let merged = format!("{body},\n  \"serve\": {serve}\n}}\n");
+            std::fs::write(&path, merged)
+                .unwrap_or_else(|e| panic!("writing report {path}: {e}"));
+            eprintln!(
+                "serve_bench: {} completed / {} shed of {} received in {wall_secs:.2}s, drain clean — merged into {path}",
+                summary.completed,
+                summary.shed_overload + summary.shed_deadline,
+                summary.received,
+            );
+        }
+    }
+}

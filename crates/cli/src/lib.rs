@@ -19,8 +19,10 @@ use klest_ssta::experiments::{
     compare_methods_supervised, compare_methods_with_report, CircuitSetup, KleContext,
 };
 use klest_ssta::faultinject::{FaultPlan, Stage};
+use klest_serve::{ServeConfig, Server};
 use klest_ssta::{McConfig, SalvageStats};
 use std::io::Write;
+use std::time::Duration;
 
 /// Top-level CLI error: message already formatted for the user.
 pub type CliResult = Result<(), String>;
@@ -68,6 +70,9 @@ COMMANDS:
                                               [--assembly-threads N]
                                               [--deadline SECS] [--stage-budget mesh=S,eigen=S,mc=S]
                                               [--inject-panic-shard I] [--inject-hang-ms MS]
+  serve     long-lived timing-query daemon    [--workers 2] [--queue-depth 16] [--drain-ms 10000]
+                                              [--default-deadline-ms MS] [--cache-dir DIR]
+                                              [--requests FILE] [--socket PATH]
   help      this text
 
 GLOBAL FLAGS (every command):
@@ -88,6 +93,18 @@ repeated invocation with the same flags skips mesh build, Galerkin assembly
 and the eigensolve entirely. Cache traffic lands in the run report as the
 pipeline.cache.{mesh,galerkin,spectrum}.{hits,misses} counters. --threads N
 also parallelizes Galerkin assembly (bitwise identical for any N).
+
+SERVING: klest serve reads one JSON request per line from stdin (or
+--requests FILE, or a Unix --socket PATH) and writes one JSON response per
+request: {\"id\":\"q1\",\"circuit\":\"c880\",\"scale\":0.05,\"samples\":200,
+\"deadline_ms\":5000}. Admission is a bounded queue: a full queue sheds with
+status=shed reason=overloaded plus a retry_after_ms hint; a request whose
+deadline expires while queued is shed without consuming a worker; a
+panicking or hanging request is isolated and reported as status=fault or
+cancelled while other requests keep running. {\"op\":\"shutdown\"} or EOF
+(the std-only daemon cannot trap SIGTERM — process managers should close
+stdin) drains gracefully within --drain-ms and emits a final
+status=drained summary line.
 ";
 
 /// Builds the kernel selected by `--kernel` (+ its shape flags).
@@ -415,6 +432,77 @@ const TABLE1_NAMES: [(&str, BenchmarkId); 14] = [
     ("s38417", BenchmarkId::S38417),
 ];
 
+/// `klest serve`: the long-lived batched query daemon (see
+/// `klest-serve` for the protocol and admission-control semantics).
+///
+/// # Errors
+///
+/// Typed `InvalidArgument` messages for malformed or out-of-range
+/// flags; an error (exit 1) when the drain budget expired and in-flight
+/// work had to be force-cancelled.
+pub fn cmd_serve<W: Write + Send>(args: &Args, out: &mut W) -> CliResult {
+    let workers = arg::<usize>(args, "workers", 2)?;
+    if !(1..=64).contains(&workers) {
+        return Err(bad_arg("workers", workers, "must be in 1..=64"));
+    }
+    let queue_depth = arg::<usize>(args, "queue-depth", 16)?;
+    if !(1..=4096).contains(&queue_depth) {
+        return Err(bad_arg("queue-depth", queue_depth, "must be in 1..=4096"));
+    }
+    let drain_ms = arg::<u64>(args, "drain-ms", 10_000)?;
+    if !(1..=600_000).contains(&drain_ms) {
+        return Err(bad_arg("drain-ms", drain_ms, "must be in 1..=600000 (ms)"));
+    }
+    let default_deadline = match arg::<u64>(args, "default-deadline-ms", 0)? {
+        0 => None,
+        ms if ms <= 600_000 => Some(Duration::from_millis(ms)),
+        ms => {
+            return Err(bad_arg(
+                "default-deadline-ms",
+                ms,
+                "must be in 1..=600000 (ms), or omitted for no default deadline",
+            ))
+        }
+    };
+    let config = ServeConfig {
+        workers,
+        queue_depth,
+        drain: Duration::from_millis(drain_ms),
+        default_deadline,
+        cache_dir: args_opt_str(args, "cache-dir").map(Into::into),
+    };
+    let server = Server::new(config);
+    let summary = if let Some(path) = args_opt_str(args, "socket") {
+        #[cfg(unix)]
+        {
+            server
+                .serve_unix(std::path::Path::new(&path))
+                .map_err(|e| format!("serving on socket {path}: {e}"))?
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(bad_arg(
+                "socket",
+                path,
+                "unix sockets are not available on this platform",
+            ));
+        }
+    } else if let Some(path) = args_opt_str(args, "requests") {
+        let file =
+            std::fs::File::open(&path).map_err(|e| format!("opening requests {path}: {e}"))?;
+        server.serve(std::io::BufReader::new(file), &mut *out)
+    } else {
+        server.serve(std::io::stdin().lock(), &mut *out)
+    };
+    if !summary.drained_clean {
+        return Err(format!(
+            "drain budget expired: {} in-flight/queued request(s) were force-cancelled or shed",
+            summary.cancelled + summary.shed_draining
+        ));
+    }
+    Ok(())
+}
+
 fn args_opt_str(args: &Args, key: &str) -> Option<String> {
     let v = args.get_str(key, "\u{0}");
     if v == "\u{0}" {
@@ -435,7 +523,7 @@ fn args_opt_str(args: &Args, key: &str) -> Option<String> {
 /// # Errors
 ///
 /// The user-facing error message for the failing subcommand.
-pub fn run<W: Write>(argv: &[String], out: &mut W) -> CliResult {
+pub fn run<W: Write + Send>(argv: &[String], out: &mut W) -> CliResult {
     let Some(command) = argv.first() else {
         writeln!(out, "{USAGE}").map_err(err)?;
         return Ok(());
@@ -477,13 +565,14 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> CliResult {
     }
 }
 
-fn dispatch<W: Write>(command: &str, args: &Args, out: &mut W) -> CliResult {
+fn dispatch<W: Write + Send>(command: &str, args: &Args, out: &mut W) -> CliResult {
     match command {
         "mesh" => cmd_mesh(args, out),
         "kle" => cmd_kle(args, out),
         "validate" => cmd_validate(args, out),
         "netlist" => cmd_netlist(args, out),
         "ssta" => cmd_ssta(args, out),
+        "serve" => cmd_serve(args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(err)?;
             Ok(())
@@ -501,6 +590,53 @@ mod tests {
         let mut buf = Vec::new();
         run(&argv, &mut buf)?;
         Ok(String::from_utf8(buf).expect("utf8"))
+    }
+
+    #[test]
+    fn serve_bad_flags_are_typed_errors_not_exits() {
+        // Unparsable values route through Args::try_get →
+        // KlestError::InvalidArgument; all of these must return Err
+        // before the daemon ever reads a request.
+        let e = run_str("serve --queue-depth potato").unwrap_err();
+        assert!(e.contains("queue-depth") && e.contains("potato"), "{e}");
+        let e = run_str("serve --drain-ms -5").unwrap_err();
+        assert!(e.contains("drain-ms") && e.contains("-5"), "{e}");
+        // Parsable but out-of-range values get range messages.
+        let e = run_str("serve --queue-depth 0").unwrap_err();
+        assert!(e.contains("1..=4096"), "{e}");
+        let e = run_str("serve --drain-ms 0").unwrap_err();
+        assert!(e.contains("1..=600000"), "{e}");
+        let e = run_str("serve --workers 0").unwrap_err();
+        assert!(e.contains("1..=64"), "{e}");
+        let e = run_str("serve --default-deadline-ms 999999999").unwrap_err();
+        assert!(e.contains("default-deadline-ms"), "{e}");
+    }
+
+    #[test]
+    fn serve_replays_a_request_file_and_drains() {
+        let dir = std::env::temp_dir().join(format!("klest-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("requests.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"id\":\"q1\",\"gates\":8,\"samples\":16,\"area_fraction\":0.1}\n",
+                "{\"id\":\"q2\",\"gates\":8,\"samples\":16,\"area_fraction\":0.1}\n",
+                "{\"op\":\"shutdown\"}\n"
+            ),
+        )
+        .expect("write requests");
+        let out = run_str(&format!(
+            "serve --workers 1 --requests {}",
+            path.display()
+        ))
+        .expect("serve runs clean");
+        assert!(out.contains("\"id\":\"q1\""), "{out}");
+        assert!(out.contains("\"status\":\"completed\""), "{out}");
+        // Identical config ⇒ the second request must be a warm hit.
+        assert!(out.contains("\"warm\":true"), "{out}");
+        assert!(out.contains("\"status\":\"drained\""), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

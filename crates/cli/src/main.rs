@@ -2,7 +2,9 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut stdout = std::io::stdout().lock();
+    // `Stdout` rather than `StdoutLock`: serve workers write responses
+    // concurrently, so the writer must be `Send` (the lock guard isn't).
+    let mut stdout = std::io::stdout();
     if let Err(message) = klest_cli::run(&argv, &mut stdout) {
         eprintln!("error: {message}");
         std::process::exit(1);

@@ -605,6 +605,22 @@ impl ArtifactCache {
         None
     }
 
+    /// Non-counting warm probe: is a spectrum for `key` already present
+    /// in the memory layer or on disk? Unlike
+    /// [`lookup_spectrum`](Self::lookup_spectrum) this touches no hit /
+    /// miss counters and deserializes nothing — it is the cheap
+    /// "will this query be warm?" predicate a serving layer uses to
+    /// classify request latencies without perturbing cache statistics.
+    /// (Disk presence is a file-existence check; a torn file still
+    /// counts as cold at lookup time.)
+    pub fn peek_spectrum(&self, key: &ArtifactKey) -> bool {
+        if lock(&self.spectra).contains_key(key.descriptor()) {
+            return true;
+        }
+        self.disk_path(key, "kle")
+            .is_some_and(|p| p.exists())
+    }
+
     /// Stores a computed spectrum under `key` (and on disk when enabled).
     pub fn store_spectrum(&self, key: &ArtifactKey, kle: Arc<GalerkinKle>) {
         self.disk_store(key, "kle", &serialize_spectrum(key, &kle));
@@ -627,9 +643,20 @@ impl ArtifactCache {
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let tmp = path.with_extension(format!("{ext}.tmp"));
-        if std::fs::write(&tmp, content).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        // Crash safety: write to a tmp name unique per process *and*
+        // writer, then atomically rename into place. A killed or racing
+        // writer can therefore never leave a torn file at the final path
+        // — readers see either the old complete artifact or the new one.
+        // (A shared tmp name would let two concurrent writers interleave
+        // bytes and rename a torn file into place.)
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!(
+            "{ext}.tmp.{}.{seq}",
+            std::process::id()
+        ));
+        if std::fs::write(&tmp, content).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 
@@ -1231,6 +1258,95 @@ mod tests {
         assert_eq!(snap.spectrum_hits, 0, "{snap:?}");
         assert_eq!(snap.spectrum_misses, 1, "{snap:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_partial_file_is_miss_and_repaired_by_rewrite() {
+        // Simulates a writer killed mid-write (or a pre-atomic-rename
+        // torn write): the on-disk artifact is a strict prefix of a
+        // valid file. The read path must treat it as a miss, recompute,
+        // and the store path must repair it via tmp-file + atomic
+        // rename so the next process gets a clean hit again.
+        let dir = std::env::temp_dir().join(format!(
+            "klest-cache-test-{}-{:016x}",
+            std::process::id(),
+            fnv1a64(b"torn_partial_file_is_miss_and_repaired_by_rewrite")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kernel = GaussianKernel::new(1.25);
+        let config = coarse_config();
+        let cold_cache = ArtifactCache::with_disk(&dir);
+        let cold = run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&cold_cache)).unwrap();
+        // Tear every artifact: keep only the first half of the bytes.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let bytes = std::fs::read(&path).unwrap();
+            assert!(bytes.len() > 16, "artifact unexpectedly tiny");
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        }
+        // A fresh cache over the torn directory: every lookup is a miss
+        // (never a panic, never a half-parsed artifact) ...
+        let torn = ArtifactCache::with_disk(&dir);
+        let mesh_key = ArtifactKey::mesh(config.die, config.max_area_fraction, config.min_angle_degrees);
+        let galerkin_key = ArtifactKey::galerkin(
+            &mesh_key,
+            &kernel.cache_key().unwrap(),
+            config.options.quadrature,
+        );
+        let spectrum_key = ArtifactKey::spectrum(
+            &galerkin_key,
+            config.options.solver,
+            config.options.max_eigenpairs,
+        );
+        assert!(torn.lookup_mesh(&mesh_key).is_none(), "torn mesh must miss");
+        assert!(
+            torn.lookup_spectrum(&spectrum_key).is_none(),
+            "torn spectrum must miss"
+        );
+        let snap = torn.snapshot();
+        assert_eq!(snap.hits(), 0, "{snap:?}");
+        // ... and a recompute through the same cache repairs the files.
+        let repaired = run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&torn)).unwrap();
+        let fresh = ArtifactCache::with_disk(&dir);
+        let warm = run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&fresh)).unwrap();
+        let snap = fresh.snapshot();
+        assert_eq!(snap.mesh_hits, 1, "repaired mesh serves hits: {snap:?}");
+        assert_eq!(snap.spectrum_hits, 1, "repaired spectrum serves hits: {snap:?}");
+        assert_eq!(cold.kle.eigenvalues(), warm.kle.eigenvalues());
+        assert_eq!(repaired.kle.eigenvalues(), warm.kle.eigenvalues());
+        assert_eq!(cold.mesh.points(), warm.mesh.points());
+        // No tmp droppings survive a completed store.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale tmp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peek_spectrum_probes_without_counting() {
+        let kernel = GaussianKernel::new(1.75);
+        let config = coarse_config();
+        let cache = ArtifactCache::new();
+        let mesh_key = ArtifactKey::mesh(config.die, config.max_area_fraction, config.min_angle_degrees);
+        let galerkin_key = ArtifactKey::galerkin(
+            &mesh_key,
+            &kernel.cache_key().unwrap(),
+            config.options.quadrature,
+        );
+        let spectrum_key = ArtifactKey::spectrum(
+            &galerkin_key,
+            config.options.solver,
+            config.options.max_eigenpairs,
+        );
+        assert!(!cache.peek_spectrum(&spectrum_key));
+        run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&cache)).unwrap();
+        let before = cache.snapshot();
+        assert!(cache.peek_spectrum(&spectrum_key));
+        // The probe perturbed no counters.
+        assert_eq!(cache.snapshot(), before);
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //!   runs under `catch_unwind`; a panicking shard is retried a bounded
 //!   number of times with exponential backoff, and the results of shards
 //!   that did complete are salvaged instead of being discarded with the
-//!   whole pool.
+//!   whole pool. [`Supervisor::run_one`] applies the same isolation and
+//!   retry ladder to a single unit of work on the caller's thread — the
+//!   shape a request-serving worker loop needs.
+//! - [`BoundedQueue`] / [`WaitGroup`]: the admission and drain primitives
+//!   for long-lived services — non-blocking typed-rejection pushes (load
+//!   shedding), blocking pops, close-for-drain semantics and a
+//!   deadline-aware all-workers-exited barrier.
 //!
 //! The crate is std-only (its single in-workspace dependency, `klest-obs`,
 //! is used for retry/fault counters) and sits below `klest-linalg`,
@@ -25,8 +31,10 @@
 
 #![deny(missing_docs)]
 
+mod queue;
 mod supervisor;
 mod token;
 
+pub use queue::{BoundedQueue, PushError, WaitGroup};
 pub use supervisor::{ShardStatus, SupervisedRun, Supervisor};
 pub use token::{Budget, CancelToken, Cancelled, StageBudgets};

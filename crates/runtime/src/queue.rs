@@ -1,0 +1,336 @@
+//! Bounded admission queue and drain primitives for long-lived services.
+//!
+//! [`BoundedQueue`] is the load-shedding front door a daemon puts between
+//! request ingestion and its worker pool: pushes never block (a full
+//! queue is a typed [`PushError::Full`] the caller turns into an
+//! "overloaded, retry later" rejection), pops block until an item
+//! arrives or the queue is closed *and* drained, and [`BoundedQueue::close`]
+//! flips the queue into drain mode — producers are refused, consumers
+//! keep draining what was already admitted. [`WaitGroup`] is the matching
+//! "all workers have exited" barrier with a timeout, so a drain can be
+//! given a wall-clock budget.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Queue state is a plain VecDeque + flags; a panicking holder cannot
+    // leave it structurally broken, so poisoning is ignored.
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Why a push was refused.
+///
+/// Both variants hand the item back so the caller can shed it with a
+/// typed response instead of losing it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed the item (load shedding).
+    Full(T),
+    /// The queue is closed for draining — no new work is admitted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The refused item, regardless of reason.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer queue with non-blocking
+/// admission and close-for-drain semantics (see module docs).
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (racy by nature; for gauges and hints).
+    pub fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        lock(&self.state).closed
+    }
+
+    /// Non-blocking admission: enqueues `item` and returns the new depth,
+    /// or refuses with a typed [`PushError`] when full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close); both return the item.
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = lock(&self.state);
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking removal: waits until an item is available and returns it,
+    /// or returns `None` once the queue is closed *and* empty (the worker
+    /// exit signal). Items admitted before `close` are always delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = match self.available.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Non-blocking removal.
+    pub fn try_pop(&self) -> Option<T> {
+        lock(&self.state).items.pop_front()
+    }
+
+    /// Closes the queue: subsequent pushes are refused with
+    /// [`PushError::Closed`], blocked and future pops drain the remaining
+    /// items and then return `None`. Idempotent.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A counter of in-flight workers with a deadline-aware wait: the drain
+/// barrier a service pairs with [`BoundedQueue::close`].
+pub struct WaitGroup {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitGroup {
+    /// An empty group.
+    pub fn new() -> WaitGroup {
+        WaitGroup {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        }
+    }
+
+    /// Registers `n` workers.
+    pub fn add(&self, n: usize) {
+        *lock(&self.count) += n;
+    }
+
+    /// Marks one worker finished.
+    pub fn done(&self) {
+        let mut count = lock(&self.count);
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    /// Workers still registered.
+    pub fn active(&self) -> usize {
+        *lock(&self.count)
+    }
+
+    /// Waits until every registered worker called [`done`](Self::done) or
+    /// `timeout` elapses; returns `true` when the group reached zero in
+    /// time.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut count = lock(&self.count);
+        while *count > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            count = match self.zero.wait_timeout(count, left) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+        true
+    }
+
+    /// Waits without a deadline until the group reaches zero.
+    pub fn wait(&self) {
+        let mut count = lock(&self.count);
+        while *count > 0 {
+            count = match self.zero.wait(count) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.push(1).unwrap(), 1);
+        assert_eq!(q.push(2).unwrap(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 4);
+    }
+
+    #[test]
+    fn full_queue_sheds_typed() {
+        let q = BoundedQueue::new(2);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        match q.push("c") {
+            Err(PushError::Full(item)) => assert_eq!(item, "c"),
+            other => unreachable!("expected Full, got {other:?}"),
+        }
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some("a"));
+        assert!(q.push("c").is_ok());
+    }
+
+    #[test]
+    fn closed_queue_refuses_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.push(10).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        match q.push(11) {
+            Err(e @ PushError::Closed(_)) => assert_eq!(e.into_inner(), 11),
+            other => unreachable!("expected Closed, got {other:?}"),
+        }
+        // Admitted items still drain; then pops observe the close.
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = BoundedQueue::<usize>::new(1);
+        thread::scope(|scope| {
+            let handle = scope.spawn(|| q.pop());
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert_eq!(handle.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let q = &BoundedQueue::new(8);
+        let consumed = &AtomicUsize::new(0);
+        let shed = &AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            thread::scope(|inner| {
+                for p in 0..4usize {
+                    inner.spawn(move || {
+                        for i in 0..100 {
+                            if q.push(p * 100 + i).is_err() {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            q.close();
+        });
+        assert_eq!(
+            consumed.load(Ordering::Relaxed) + shed.load(Ordering::Relaxed),
+            400,
+            "every push is either consumed or typed-shed"
+        );
+    }
+
+    #[test]
+    fn wait_group_times_out_and_completes() {
+        let wg = WaitGroup::new();
+        wg.add(1);
+        assert_eq!(wg.active(), 1);
+        assert!(!wg.wait_timeout(Duration::from_millis(10)));
+        wg.done();
+        assert!(wg.wait_timeout(Duration::from_millis(10)));
+        assert_eq!(wg.active(), 0);
+        wg.wait(); // already zero: returns immediately
+    }
+
+    #[test]
+    fn wait_group_releases_waiter_across_threads() {
+        let wg = WaitGroup::new();
+        wg.add(2);
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                thread::sleep(Duration::from_millis(10));
+                wg.done();
+                wg.done();
+            });
+            assert!(wg.wait_timeout(Duration::from_secs(5)));
+        });
+    }
+}

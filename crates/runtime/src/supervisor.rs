@@ -117,6 +117,28 @@ impl Supervisor {
         &self.token
     }
 
+    /// Runs one unit of work on the calling thread under the same panic
+    /// isolation and bounded-backoff retry ladder as [`Supervisor::run`].
+    ///
+    /// This is the per-request form a serving worker loop uses: the worker
+    /// thread pops a request, runs it through `run_one`, and a panicking
+    /// request becomes a typed [`ShardStatus::Faulted`] for that request
+    /// alone — the worker thread (and every other in-flight request)
+    /// survives. `shard` is an identity echoed to the closure (request
+    /// ordinals work well); retries rerun the closure with the same value.
+    pub fn run_one<T, F>(&self, shard: usize, work: F) -> (Option<T>, ShardStatus)
+    where
+        F: Fn(usize, &CancelToken) -> T,
+    {
+        supervise_shard(
+            shard,
+            self.token.clone(),
+            &work,
+            self.max_retries,
+            self.backoff,
+        )
+    }
+
     /// Runs `work(shard, token)` for every shard on its own scoped thread,
     /// isolating panics and salvaging the results of shards that complete.
     ///

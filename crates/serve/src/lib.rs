@@ -1,0 +1,275 @@
+//! `klest-serve`: an overload-safe batched KLE/SSTA query daemon.
+//!
+//! The paper's argument is that correlation-kernel KLE makes
+//! spatial-correlation-aware SSTA cheap enough to answer timing queries
+//! interactively; this crate is the serving layer that turns the
+//! workspace's stage graph, [`ArtifactCache`](klest_core::pipeline::ArtifactCache)
+//! and [`Supervisor`](klest_runtime::Supervisor) plumbing into a
+//! long-lived process that survives concurrent, hostile,
+//! deadline-carrying traffic:
+//!
+//! - **Protocol** ([`protocol`]): newline-delimited JSON requests on
+//!   stdin/stdout or a Unix socket, strictly validated into typed
+//!   [`ServeRequest`]s — malformed input is a typed
+//!   [`ServeError::BadRequest`] response, never a panic or exit.
+//! - **Admission control** ([`server`]): a bounded queue with
+//!   configurable depth; a full queue sheds with typed
+//!   [`ServeError::Overloaded`] carrying a `retry_after_hint`, and a
+//!   request whose deadline expires while queued is shed without ever
+//!   consuming a worker.
+//! - **Fault isolation**: each request runs under
+//!   [`Supervisor::run_one`](klest_runtime::Supervisor::run_one) with
+//!   its own child [`CancelToken`](klest_runtime::CancelToken) +
+//!   [`Budget`](klest_runtime::Budget); a panicking, hanging or
+//!   over-budget request is retried, salvaged via the degradation
+//!   ladder, or reported as a typed `fault` — while every other
+//!   in-flight request keeps running.
+//! - **Graceful drain**: EOF or a `shutdown` request stops admission,
+//!   the backlog finishes within a drain budget, stragglers are
+//!   cancelled cooperatively, and the final summary line is emitted
+//!   only after every admitted request has its one terminal response.
+//!   (The std-only daemon cannot trap SIGTERM; process managers should
+//!   close stdin or send `{"op":"shutdown"}`, both of which trigger the
+//!   same drain path.)
+//!
+//! All requests share one artifact cache, so repeated kernel/die
+//! configurations skip mesh, Galerkin assembly and eigensolve entirely
+//! — the hierarchical-reuse scenario of block-level timing flows.
+//! Everything is instrumented through `klest-obs` (queue-depth gauge,
+//! shed/admit/complete/salvage counters, warm/cold latency histograms).
+
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{
+    parse_request, BadRequest, CircuitSpec, KernelSpec, QueryOutcome, QuerySpec, ServeError,
+    ServeRequest,
+};
+pub use server::{Server, ServeConfig, ServeSummary};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::time::Duration;
+
+    fn run_lines(config: ServeConfig, lines: &str) -> (ServeSummary, Vec<String>) {
+        let server = Server::new(config);
+        let mut out: Vec<u8> = Vec::new();
+        let summary = server.serve(Cursor::new(lines.to_string()), &mut out);
+        let text = String::from_utf8(out).expect("responses are UTF-8");
+        (summary, text.lines().map(str::to_string).collect())
+    }
+
+    fn status_of(line: &str) -> &str {
+        let pat = "\"status\":\"";
+        let start = line.find(pat).expect("line has a status") + pat.len();
+        let rest = &line[start..];
+        &rest[..rest.find('"').expect("status is quoted")]
+    }
+
+    fn line_for<'a>(lines: &'a [String], id: &str) -> &'a str {
+        let pat = format!("\"id\":\"{id}\"");
+        lines
+            .iter()
+            .find(|l| l.contains(&pat))
+            .unwrap_or_else(|| panic!("no response for {id}: {lines:?}"))
+    }
+
+    fn fast_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+            drain: Duration::from_secs(30),
+            default_deadline: None,
+            cache_dir: None,
+        }
+    }
+
+    const TINY: &str = r#""gates":8,"samples":16,"area_fraction":0.1"#;
+
+    #[test]
+    fn completes_queries_and_drains_clean_on_shutdown() {
+        let input = format!(
+            "{{\"id\":\"q1\",{TINY}}}\n{{\"op\":\"ping\",\"id\":\"p1\"}}\n{{\"op\":\"shutdown\"}}\n"
+        );
+        let (summary, lines) = run_lines(fast_config(), &input);
+        assert_eq!(summary.admitted, 1);
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.pings, 1);
+        assert!(summary.shutdown);
+        assert!(summary.drained_clean);
+        assert_eq!(summary.admitted, summary.admitted_terminals());
+        assert_eq!(status_of(line_for(&lines, "q1")), "completed");
+        assert_eq!(status_of(line_for(&lines, "p1")), "pong");
+        assert!(lines.iter().any(|l| l.contains("\"status\":\"draining\"")));
+        let last = lines.last().expect("summary line");
+        assert!(last.contains("\"status\":\"drained\""), "{last}");
+        assert!(last.contains("\"clean\":true"), "{last}");
+    }
+
+    #[test]
+    fn second_identical_config_is_warm() {
+        let input = format!("{{\"id\":\"a\",{TINY}}}\n{{\"id\":\"b\",{TINY}}}\n");
+        let config = ServeConfig {
+            workers: 1, // serialize so "b" runs after "a" populated the cache
+            ..fast_config()
+        };
+        let (summary, lines) = run_lines(config, &input);
+        assert_eq!(summary.completed, 2);
+        assert!(line_for(&lines, "a").contains("\"warm\":false"));
+        assert!(line_for(&lines, "b").contains("\"warm\":true"));
+    }
+
+    #[test]
+    fn bad_requests_get_typed_responses_and_do_not_stop_service() {
+        let input = format!(
+            "this is not json\n{{\"id\":\"x\",\"bogus\":1}}\n{{\"id\":\"ok\",{TINY}}}\n"
+        );
+        let (summary, lines) = run_lines(fast_config(), &input);
+        assert_eq!(summary.bad_requests, 2);
+        assert_eq!(summary.completed, 1);
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"status\":\"bad_request\"") && l.contains("\"id\":null")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"status\":\"bad_request\"") && l.contains("\"id\":\"x\"")));
+        assert_eq!(status_of(line_for(&lines, "ok")), "completed");
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_as_a_typed_fault() {
+        let input = format!(
+            "{{\"id\":\"boom\",\"inject_panic\":true,{TINY}}}\n{{\"id\":\"fine\",{TINY}}}\n"
+        );
+        let (summary, lines) = run_lines(fast_config(), &input);
+        assert_eq!(summary.faults, 1);
+        assert_eq!(summary.completed, 1);
+        assert!(summary.drained_clean, "panic must not wedge the drain");
+        let boom = line_for(&lines, "boom");
+        assert_eq!(status_of(boom), "fault");
+        assert!(boom.contains("\"attempts\":2"), "retried once: {boom}");
+        assert!(boom.contains("fault drill"), "{boom}");
+        assert_eq!(status_of(line_for(&lines, "fine")), "completed");
+    }
+
+    #[test]
+    fn hanging_request_is_cancelled_by_its_deadline() {
+        // One worker: "slow" hangs in MC until its 250 ms deadline trips;
+        // "q2" waits in the queue meanwhile and its 50 ms queue deadline
+        // expires, so it is shed without consuming the worker.
+        let input = format!(
+            concat!(
+                "{{\"id\":\"slow\",\"inject_hang_ms\":30000,\"deadline_ms\":250,{}}}\n",
+                "{{\"id\":\"q2\",\"deadline_ms\":50,{}}}\n"
+            ),
+            TINY, TINY
+        );
+        let config = ServeConfig {
+            workers: 1,
+            ..fast_config()
+        };
+        let (summary, lines) = run_lines(config, &input);
+        let slow = line_for(&lines, "slow");
+        assert!(
+            matches!(status_of(slow), "cancelled" | "salvaged"),
+            "hang must be broken by the deadline: {slow}"
+        );
+        let q2 = line_for(&lines, "q2");
+        assert_eq!(status_of(q2), "shed", "{q2}");
+        assert!(q2.contains("deadline_expired"), "{q2}");
+        assert_eq!(summary.shed_deadline, 1);
+        assert_eq!(summary.admitted, summary.admitted_terminals());
+        assert!(summary.drained_clean);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retry_hint() {
+        // One worker is pinned by a hanging request; with queue depth 1
+        // only one more query can wait, the rest shed as overloaded.
+        let input = format!(
+            concat!(
+                "{{\"id\":\"pin\",\"inject_hang_ms\":30000,\"deadline_ms\":400,{}}}\n",
+                "{{\"id\":\"w1\",{}}}\n",
+                "{{\"id\":\"w2\",{}}}\n",
+                "{{\"id\":\"w3\",{}}}\n"
+            ),
+            TINY, TINY, TINY, TINY
+        );
+        let config = ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..fast_config()
+        };
+        let (summary, lines) = run_lines(config, &input);
+        assert!(
+            summary.shed_overload >= 1,
+            "at least one request must shed: {summary:?}"
+        );
+        let shed: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"reason\":\"overloaded\""))
+            .collect();
+        assert_eq!(shed.len() as u64, summary.shed_overload);
+        for line in shed {
+            assert!(line.contains("\"retry_after_ms\":"), "{line}");
+        }
+        assert_eq!(summary.admitted, summary.admitted_terminals());
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_response() {
+        let mut input = String::new();
+        for i in 0..12 {
+            input.push_str(&format!("{{\"id\":\"r{i}\",{TINY}}}\n"));
+        }
+        let (summary, lines) = run_lines(fast_config(), &input);
+        for i in 0..12 {
+            let pat = format!("\"id\":\"r{i}\"");
+            let n = lines.iter().filter(|l| l.contains(&pat)).count();
+            assert_eq!(n, 1, "request r{i} must have exactly one response");
+        }
+        assert_eq!(summary.received, 12);
+        assert_eq!(summary.admitted, summary.admitted_terminals());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+
+        let dir = std::env::temp_dir().join(format!("klest-serve-sock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("serve.sock");
+        let server = Server::new(fast_config());
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve_unix(&path));
+            // Wait for the socket to appear.
+            for _ in 0..200 {
+                if path.exists() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let mut stream = UnixStream::connect(&path).expect("connect");
+            writeln!(stream, "{{\"id\":\"s1\",{TINY}}}").expect("write");
+            writeln!(stream, "{{\"op\":\"shutdown\"}}").expect("write");
+            let reader = BufReader::new(stream.try_clone().expect("clone"));
+            let lines: Vec<String> = reader.lines().map_while(Result::ok).collect();
+            assert!(
+                lines.iter().any(|l| l.contains("\"id\":\"s1\"")
+                    && l.contains("\"status\":\"completed\"")),
+                "{lines:?}"
+            );
+            let summary = handle.join().expect("no panic").expect("no io error");
+            assert_eq!(summary.completed, 1);
+            assert!(summary.shutdown);
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

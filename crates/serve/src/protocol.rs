@@ -1,0 +1,740 @@
+//! The serve wire protocol: newline-delimited JSON requests in, one
+//! newline-delimited JSON response per request out.
+//!
+//! Parsing is strict — unknown keys, out-of-range values and
+//! wrong-typed fields are all typed [`BadRequest`]s, never panics —
+//! because the daemon's contract is that arbitrary bytes on stdin can
+//! degrade only the offending request. Every terminal state a request
+//! can reach has exactly one response shape, enumerated by
+//! [`ServeError`] and [`QueryOutcome`].
+
+use std::time::Duration;
+
+use klest_circuit::{BenchmarkId, TABLE1_BENCHMARKS};
+use klest_kernels::{
+    CovarianceKernel, ExponentialKernel, GaussianKernel, MaternKernel, SeparableExponentialKernel,
+};
+
+use crate::json::{self, Json};
+
+/// Longest accepted request line, bytes. Anything longer is shed as a
+/// [`BadRequest`] before the parser touches it.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Longest accepted request id, characters.
+pub const MAX_ID_CHARS: usize = 128;
+
+/// Which circuit a query times.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitSpec {
+    /// A Table 1 benchmark, scaled by `scale` (gate count multiplier).
+    Named {
+        /// The benchmark.
+        id: BenchmarkId,
+        /// Gate-count scale in `(0, 1]`.
+        scale: f64,
+    },
+    /// A synthetic combinational circuit.
+    Synthetic {
+        /// Gate count.
+        gates: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl CircuitSpec {
+    /// A stable string key for per-process circuit memoisation.
+    pub fn memo_key(&self) -> String {
+        match self {
+            CircuitSpec::Named { id, scale } => {
+                format!("table1:{}:{:016x}", id.name(), scale.to_bits())
+            }
+            CircuitSpec::Synthetic { gates, seed } => format!("synth:{gates}:{seed}"),
+        }
+    }
+}
+
+/// Which correlation kernel a query uses, with validated parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelSpec {
+    /// Gaussian kernel: explicit decay rate `c`, or derived from the
+    /// correlation distance `dist` when `c` is absent.
+    Gaussian {
+        /// Decay rate; `None` means "derive from `dist`".
+        c: Option<f64>,
+        /// Correlation distance (used only when `c` is `None`).
+        dist: f64,
+    },
+    /// Exponential kernel with decay rate `c`.
+    Exponential {
+        /// Decay rate.
+        c: f64,
+    },
+    /// Separable (x/y product) exponential kernel with decay rate `c`.
+    Separable {
+        /// Decay rate.
+        c: f64,
+    },
+    /// Matérn-family kernel with parameters `b`, `s`.
+    Matern {
+        /// Scale parameter.
+        b: f64,
+        /// Smoothness parameter.
+        s: f64,
+    },
+}
+
+impl KernelSpec {
+    /// Instantiates the kernel.
+    ///
+    /// # Errors
+    ///
+    /// A user-facing message when a parameter the kernel's own
+    /// constructor checks is out of range (request validation already
+    /// rejects non-finite and non-positive values, so this is rare).
+    pub fn build(&self) -> Result<Box<dyn CovarianceKernel>, String> {
+        match self {
+            KernelSpec::Gaussian { c: Some(c), .. } => GaussianKernel::try_new(*c)
+                .map(|k| Box::new(k) as Box<dyn CovarianceKernel>)
+                .map_err(|e| e.to_string()),
+            KernelSpec::Gaussian { c: None, dist } => Ok(Box::new(
+                GaussianKernel::with_correlation_distance(*dist),
+            )),
+            KernelSpec::Exponential { c } => ExponentialKernel::try_new(*c)
+                .map(|k| Box::new(k) as Box<dyn CovarianceKernel>)
+                .map_err(|e| e.to_string()),
+            KernelSpec::Separable { c } => SeparableExponentialKernel::try_new(*c)
+                .map(|k| Box::new(k) as Box<dyn CovarianceKernel>)
+                .map_err(|e| e.to_string()),
+            KernelSpec::Matern { b, s } => MaternKernel::new(*b, *s)
+                .map(|k| Box::new(k) as Box<dyn CovarianceKernel>)
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// A validated timing query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// The circuit to time.
+    pub circuit: CircuitSpec,
+    /// The correlation kernel.
+    pub kernel: KernelSpec,
+    /// Monte Carlo sample count.
+    pub samples: usize,
+    /// Monte Carlo base seed.
+    pub seed: u64,
+    /// Mesh resolution: maximum triangle area as a fraction of the die.
+    pub area_fraction: f64,
+    /// Monte Carlo worker threads for this one request.
+    pub threads: usize,
+    /// Whole-request deadline measured from admission (queue wait
+    /// counts); `None` falls back to the server default.
+    pub deadline: Option<Duration>,
+    /// Fault drill: panic inside the isolated request body on every
+    /// attempt (exercises supervision; the daemon must answer `fault`).
+    pub inject_panic: bool,
+    /// Fault drill: cooperative hang of this many milliseconds inside
+    /// the MC stage (exercises deadline cancellation).
+    pub inject_hang_ms: Option<u64>,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRequest {
+    /// A timing query.
+    Query {
+        /// Client-chosen correlation id, echoed on the response.
+        id: String,
+        /// The validated query.
+        spec: QuerySpec,
+    },
+    /// Liveness probe; answered inline with `pong`.
+    Ping {
+        /// Optional correlation id.
+        id: Option<String>,
+    },
+    /// Begin graceful drain: stop admitting, finish in-flight work.
+    Shutdown,
+}
+
+/// A request that failed validation: the typed rejection, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest {
+    /// The client id, when one could be extracted from the broken line.
+    pub id: Option<String>,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl BadRequest {
+    fn new(id: Option<String>, message: impl Into<String>) -> BadRequest {
+        BadRequest {
+            id,
+            message: message.into(),
+        }
+    }
+}
+
+/// Why a request did not complete: every non-success terminal state of
+/// the serve state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request failed validation.
+    BadRequest {
+        /// What was wrong.
+        message: String,
+    },
+    /// The admission queue was full; retry after the hint.
+    Overloaded {
+        /// Estimated time until a slot frees up.
+        retry_after_hint: Duration,
+    },
+    /// The request's deadline expired while it was still queued; it was
+    /// shed without consuming a worker.
+    DeadlineExpiredInQueue {
+        /// How long it had waited.
+        waited: Duration,
+    },
+    /// The server is draining and no longer runs queued work.
+    Draining,
+    /// The request was cancelled cooperatively (deadline or drain) and
+    /// nothing was salvageable.
+    Cancelled {
+        /// The pipeline stage whose checkpoint tripped.
+        stage: String,
+        /// Wall time spent in service before the trip, ms.
+        service_ms: u64,
+    },
+    /// The request panicked on every attempt (or failed internally);
+    /// it was isolated and reported, sibling requests kept running.
+    Fault {
+        /// Attempts made (1 initial + retries).
+        attempts: usize,
+        /// Stringified panic payload or internal error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServeError::Overloaded { retry_after_hint } => write!(
+                f,
+                "overloaded, retry after {} ms",
+                retry_after_hint.as_millis()
+            ),
+            ServeError::DeadlineExpiredInQueue { waited } => write!(
+                f,
+                "deadline expired after {} ms in queue",
+                waited.as_millis()
+            ),
+            ServeError::Draining => write!(f, "server is draining"),
+            ServeError::Cancelled { stage, service_ms } => {
+                write!(f, "cancelled at stage `{stage}` after {service_ms} ms")
+            }
+            ServeError::Fault { attempts, message } => {
+                write!(f, "faulted after {attempts} attempt(s): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A completed (or salvaged-partial) query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Worst-delay sample mean.
+    pub mean: f64,
+    /// Worst-delay sample standard deviation.
+    pub sigma: f64,
+    /// KLE truncation rank used.
+    pub rank: usize,
+    /// Samples actually timed.
+    pub samples: usize,
+    /// Samples requested.
+    pub planned: usize,
+    /// True when the run was truncated/salvaged rather than complete.
+    pub salvaged: bool,
+    /// Confidence-interval widening factor (`1` for a full run).
+    pub ci_widening: f64,
+    /// True when the KLE spectrum came from the shared artifact cache.
+    pub warm: bool,
+    /// Supervisor retries consumed by this request.
+    pub retries: usize,
+    /// Mesh-ladder coarsenings recorded during the front end.
+    pub coarsenings: usize,
+    /// Time spent queued before a worker picked the request up, ms.
+    pub queue_ms: u64,
+    /// Time spent in service, ms.
+    pub service_ms: u64,
+}
+
+fn id_json(id: Option<&str>) -> Json {
+    match id {
+        Some(s) => Json::Str(s.to_string()),
+        None => Json::Null,
+    }
+}
+
+/// Renders the single response line for a successful query.
+pub fn outcome_response(id: &str, o: &QueryOutcome) -> String {
+    let status = if o.salvaged { "salvaged" } else { "completed" };
+    Json::Obj(vec![
+        ("id".into(), Json::Str(id.to_string())),
+        ("status".into(), Json::Str(status.into())),
+        ("mean".into(), Json::Num(o.mean)),
+        ("sigma".into(), Json::Num(o.sigma)),
+        ("rank".into(), Json::Num(o.rank as f64)),
+        ("samples".into(), Json::Num(o.samples as f64)),
+        ("planned".into(), Json::Num(o.planned as f64)),
+        ("ci_widening".into(), Json::Num(o.ci_widening)),
+        ("warm".into(), Json::Bool(o.warm)),
+        ("retries".into(), Json::Num(o.retries as f64)),
+        ("coarsenings".into(), Json::Num(o.coarsenings as f64)),
+        ("queue_ms".into(), Json::Num(o.queue_ms as f64)),
+        ("service_ms".into(), Json::Num(o.service_ms as f64)),
+    ])
+    .to_compact_string()
+}
+
+/// Renders the single response line for a failed/shed request.
+pub fn error_response(id: Option<&str>, err: &ServeError) -> String {
+    let mut members = vec![("id".to_string(), id_json(id))];
+    match err {
+        ServeError::BadRequest { message } => {
+            members.push(("status".into(), Json::Str("bad_request".into())));
+            members.push(("message".into(), Json::Str(message.clone())));
+        }
+        ServeError::Overloaded { retry_after_hint } => {
+            members.push(("status".into(), Json::Str("shed".into())));
+            members.push(("reason".into(), Json::Str("overloaded".into())));
+            members.push((
+                "retry_after_ms".into(),
+                Json::Num(retry_after_hint.as_millis() as f64),
+            ));
+        }
+        ServeError::DeadlineExpiredInQueue { waited } => {
+            members.push(("status".into(), Json::Str("shed".into())));
+            members.push(("reason".into(), Json::Str("deadline_expired".into())));
+            members.push(("waited_ms".into(), Json::Num(waited.as_millis() as f64)));
+        }
+        ServeError::Draining => {
+            members.push(("status".into(), Json::Str("shed".into())));
+            members.push(("reason".into(), Json::Str("draining".into())));
+        }
+        ServeError::Cancelled { stage, service_ms } => {
+            members.push(("status".into(), Json::Str("cancelled".into())));
+            members.push(("stage".into(), Json::Str(stage.clone())));
+            members.push(("service_ms".into(), Json::Num(*service_ms as f64)));
+        }
+        ServeError::Fault { attempts, message } => {
+            members.push(("status".into(), Json::Str("fault".into())));
+            members.push(("attempts".into(), Json::Num(*attempts as f64)));
+            members.push(("message".into(), Json::Str(message.clone())));
+        }
+    }
+    Json::Obj(members).to_compact_string()
+}
+
+/// Renders the response to a ping.
+pub fn pong_response(id: Option<&str>) -> String {
+    Json::Obj(vec![
+        ("id".into(), id_json(id)),
+        ("status".into(), Json::Str("pong".into())),
+    ])
+    .to_compact_string()
+}
+
+/// Renders the acknowledgement emitted when a `shutdown` request flips
+/// the server into drain mode.
+pub fn draining_response() -> String {
+    Json::Obj(vec![("status".into(), Json::Str("draining".into()))]).to_compact_string()
+}
+
+const KNOWN_KEYS: [&str; 18] = [
+    "id",
+    "op",
+    "circuit",
+    "scale",
+    "gates",
+    "circuit_seed",
+    "kernel",
+    "c",
+    "dist",
+    "b",
+    "s",
+    "samples",
+    "seed",
+    "area_fraction",
+    "threads",
+    "deadline_ms",
+    "inject_panic",
+    "inject_hang_ms",
+];
+
+fn extract_id(value: &Json) -> Result<Option<String>, String> {
+    match value.get("id") {
+        None => Ok(None),
+        Some(Json::Str(s)) => {
+            if s.is_empty() {
+                Err("`id` must be non-empty".into())
+            } else if s.chars().count() > MAX_ID_CHARS {
+                Err(format!("`id` longer than {MAX_ID_CHARS} characters"))
+            } else {
+                Ok(Some(s.clone()))
+            }
+        }
+        Some(Json::Num(n)) => {
+            if n.fract() == 0.0 && (0.0..9.0e15).contains(n) {
+                Ok(Some(format!("{}", *n as u64)))
+            } else {
+                Err("`id` number must be a non-negative integer".into())
+            }
+        }
+        Some(_) => Err("`id` must be a string or integer".into()),
+    }
+}
+
+fn field_f64(obj: &Json, key: &str) -> Result<Option<f64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(format!("`{key}` must be a number")),
+    }
+}
+
+fn field_uint(obj: &Json, key: &str, min: u64, max: u64) -> Result<Option<u64>, String> {
+    match field_f64(obj, key)? {
+        None => Ok(None),
+        Some(n) => {
+            if n.fract() != 0.0 || !(0.0..9.0e15).contains(&n) {
+                return Err(format!("`{key}` must be a non-negative integer"));
+            }
+            let v = n as u64;
+            if v < min || v > max {
+                return Err(format!("`{key}` must be in {min}..={max}, got {v}"));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+fn field_pos_f64(obj: &Json, key: &str) -> Result<Option<f64>, String> {
+    match field_f64(obj, key)? {
+        None => Ok(None),
+        Some(n) if n.is_finite() && n > 0.0 => Ok(Some(n)),
+        Some(n) => Err(format!("`{key}` must be finite and positive, got {n}")),
+    }
+}
+
+fn field_bool(obj: &Json, key: &str) -> Result<Option<bool>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("`{key}` must be a boolean")),
+    }
+}
+
+fn field_str<'a>(obj: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.as_str())),
+        Some(_) => Err(format!("`{key}` must be a string")),
+    }
+}
+
+fn parse_circuit(obj: &Json) -> Result<CircuitSpec, String> {
+    let name = field_str(obj, "circuit")?.unwrap_or("synth");
+    if name == "synth" {
+        if obj.get("scale").is_some() {
+            return Err("`scale` applies only to named Table 1 circuits".into());
+        }
+        let gates = field_uint(obj, "gates", 2, 50_000)?.unwrap_or(48) as usize;
+        let seed = field_uint(obj, "circuit_seed", 0, u64::MAX)?.unwrap_or(7);
+        return Ok(CircuitSpec::Synthetic { gates, seed });
+    }
+    if obj.get("gates").is_some() || obj.get("circuit_seed").is_some() {
+        return Err("`gates`/`circuit_seed` apply only to `circuit:\"synth\"`".into());
+    }
+    let id = TABLE1_BENCHMARKS
+        .iter()
+        .find(|b| b.name() == name)
+        .copied()
+        .ok_or_else(|| format!("unknown circuit '{name}' (a Table 1 name or \"synth\")"))?;
+    let scale = match field_pos_f64(obj, "scale")? {
+        None => 0.05,
+        Some(s) if s <= 1.0 => s,
+        Some(s) => return Err(format!("`scale` must be in (0, 1], got {s}")),
+    };
+    Ok(CircuitSpec::Named { id, scale })
+}
+
+fn parse_kernel(obj: &Json) -> Result<KernelSpec, String> {
+    let name = field_str(obj, "kernel")?.unwrap_or("gaussian");
+    let reject = |keys: &[&str], kernel: &str| -> Result<(), String> {
+        for k in keys {
+            if obj.get(k).is_some() {
+                return Err(format!("`{k}` is not a parameter of the {kernel} kernel"));
+            }
+        }
+        Ok(())
+    };
+    let spec = match name {
+        "gaussian" => {
+            reject(&["b", "s"], "gaussian")?;
+            KernelSpec::Gaussian {
+                c: field_pos_f64(obj, "c")?,
+                dist: field_pos_f64(obj, "dist")?.unwrap_or(1.0),
+            }
+        }
+        "exponential" => {
+            reject(&["dist", "b", "s"], "exponential")?;
+            KernelSpec::Exponential {
+                c: field_pos_f64(obj, "c")?.unwrap_or(2.0),
+            }
+        }
+        "separable" => {
+            reject(&["dist", "b", "s"], "separable")?;
+            KernelSpec::Separable {
+                c: field_pos_f64(obj, "c")?.unwrap_or(1.5),
+            }
+        }
+        "matern" => {
+            reject(&["dist", "c"], "matern")?;
+            KernelSpec::Matern {
+                b: field_pos_f64(obj, "b")?.unwrap_or(3.0),
+                s: field_pos_f64(obj, "s")?.unwrap_or(2.5),
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown kernel '{other}' (expected gaussian, exponential, separable or matern)"
+            ))
+        }
+    };
+    // Surface constructor-level rejections (e.g. Matérn parameter
+    // combinations) at validation time, not inside a worker.
+    spec.build()?;
+    Ok(spec)
+}
+
+/// Parses and strictly validates one request line.
+///
+/// # Errors
+///
+/// [`BadRequest`] carrying the client id when one was recoverable, for:
+/// oversized lines, malformed JSON, non-object payloads, unknown keys,
+/// wrong-typed fields, out-of-range values, and unknown `op`s.
+pub fn parse_request(line: &str) -> Result<ServeRequest, BadRequest> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(BadRequest::new(
+            None,
+            format!("request line longer than {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    let value = json::parse(line)
+        .map_err(|e| BadRequest::new(None, format!("malformed JSON: {e}")))?;
+    let members = value
+        .as_obj()
+        .ok_or_else(|| BadRequest::new(None, "request must be a JSON object"))?;
+    // The id is extracted first so later rejections can carry it.
+    let id = extract_id(&value).map_err(|m| BadRequest::new(None, m))?;
+    let bad = |m: String| BadRequest::new(id.clone(), m);
+    for (key, _) in members {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            return Err(bad(format!("unknown key `{key}`")));
+        }
+    }
+    let op = field_str(&value, "op").map_err(bad)?.unwrap_or("query");
+    match op {
+        "ping" => return Ok(ServeRequest::Ping { id }),
+        "shutdown" => return Ok(ServeRequest::Shutdown),
+        "query" => {}
+        other => {
+            return Err(bad(format!(
+                "unknown op '{other}' (expected query, ping or shutdown)"
+            )))
+        }
+    }
+    let id = id.ok_or_else(|| BadRequest::new(None, "query requests require an `id`"))?;
+    let bad = |m: String| BadRequest::new(Some(id.clone()), m);
+    let circuit = parse_circuit(&value).map_err(bad)?;
+    let kernel = parse_kernel(&value).map_err(bad)?;
+    let samples = field_uint(&value, "samples", 1, 100_000).map_err(bad)?.unwrap_or(200) as usize;
+    let seed = field_uint(&value, "seed", 0, u64::MAX).map_err(bad)?.unwrap_or(2008);
+    let threads = field_uint(&value, "threads", 1, 32).map_err(bad)?.unwrap_or(1) as usize;
+    let area_fraction = match field_pos_f64(&value, "area_fraction").map_err(bad)? {
+        None => 0.02,
+        Some(a) if (1e-4..=1.0).contains(&a) => a,
+        Some(a) => {
+            return Err(BadRequest::new(
+                Some(id),
+                format!("`area_fraction` must be in [1e-4, 1], got {a}"),
+            ))
+        }
+    };
+    let deadline = field_uint(&value, "deadline_ms", 1, 600_000)
+        .map_err(bad)?
+        .map(Duration::from_millis);
+    let inject_panic = field_bool(&value, "inject_panic").map_err(bad)?.unwrap_or(false);
+    let inject_hang_ms = field_uint(&value, "inject_hang_ms", 1, 60_000).map_err(bad)?;
+    Ok(ServeRequest::Query {
+        id,
+        spec: QuerySpec {
+            circuit,
+            kernel,
+            samples,
+            seed,
+            area_fraction,
+            threads,
+            deadline,
+            inject_panic,
+            inject_hang_ms,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_query(line: &str) -> QuerySpec {
+        match parse_request(line) {
+            Ok(ServeRequest::Query { spec, .. }) => spec,
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimal_query_gets_defaults() {
+        let spec = parse_query(r#"{"id":"q1"}"#);
+        assert_eq!(
+            spec.circuit,
+            CircuitSpec::Synthetic { gates: 48, seed: 7 }
+        );
+        assert_eq!(spec.samples, 200);
+        assert_eq!(spec.seed, 2008);
+        assert_eq!(spec.threads, 1);
+        assert_eq!(spec.deadline, None);
+        assert!(!spec.inject_panic);
+        assert!(matches!(spec.kernel, KernelSpec::Gaussian { c: None, .. }));
+    }
+
+    #[test]
+    fn named_circuit_with_scale_and_numeric_id() {
+        match parse_request(r#"{"id":7,"circuit":"c880","scale":0.1,"samples":64}"#) {
+            Ok(ServeRequest::Query { id, spec }) => {
+                assert_eq!(id, "7");
+                assert!(matches!(spec.circuit, CircuitSpec::Named { id, scale }
+                    if id.name() == "c880" && scale == 0.1));
+                assert_eq!(spec.samples, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_and_shutdown_ops() {
+        assert_eq!(
+            parse_request(r#"{"op":"ping","id":"p"}"#),
+            Ok(ServeRequest::Ping {
+                id: Some("p".into())
+            })
+        );
+        assert_eq!(parse_request(r#"{"op":"ping"}"#), Ok(ServeRequest::Ping { id: None }));
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(ServeRequest::Shutdown));
+    }
+
+    #[test]
+    fn rejections_are_typed_and_carry_the_id() {
+        let cases: [(&str, &str); 12] = [
+            ("not json", "malformed JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"id":"q","bogus":1}"#, "unknown key `bogus`"),
+            (r#"{"id":"q","op":"destroy"}"#, "unknown op"),
+            (r#"{"circuit":"c880"}"#, "require an `id`"),
+            (r#"{"id":"q","circuit":"c999"}"#, "unknown circuit"),
+            (r#"{"id":"q","circuit":"c880","scale":2.0}"#, "`scale` must be in (0, 1]"),
+            (r#"{"id":"q","scale":0.5}"#, "applies only to named"),
+            (r#"{"id":"q","samples":0}"#, "`samples` must be in"),
+            (r#"{"id":"q","samples":2.5}"#, "non-negative integer"),
+            (r#"{"id":"q","kernel":"matern","c":1.0}"#, "not a parameter"),
+            (r#"{"id":"q","deadline_ms":-5}"#, "non-negative integer"),
+        ];
+        for (line, want) in cases {
+            let e = parse_request(line).expect_err(line);
+            assert!(e.message.contains(want), "{line}: {}", e.message);
+        }
+        // The id rides along when recoverable.
+        let e = parse_request(r#"{"id":"q9","samples":0}"#).unwrap_err();
+        assert_eq!(e.id.as_deref(), Some("q9"));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_before_parsing() {
+        let line = format!(r#"{{"id":"q","c":{}}}"#, "1".repeat(MAX_LINE_BYTES));
+        let e = parse_request(&line).unwrap_err();
+        assert!(e.message.contains("longer than"));
+    }
+
+    #[test]
+    fn kernel_specs_build() {
+        for line in [
+            r#"{"id":"q","kernel":"gaussian","c":0.3}"#,
+            r#"{"id":"q","kernel":"gaussian","dist":0.5}"#,
+            r#"{"id":"q","kernel":"exponential","c":2.0}"#,
+            r#"{"id":"q","kernel":"separable"}"#,
+            r#"{"id":"q","kernel":"matern"}"#,
+        ] {
+            let spec = parse_query(line);
+            spec.kernel.build().expect(line);
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line_json_with_status() {
+        let outcome = QueryOutcome {
+            mean: 1.5,
+            sigma: 0.1,
+            rank: 12,
+            samples: 100,
+            planned: 100,
+            salvaged: false,
+            ci_widening: 1.0,
+            warm: true,
+            retries: 0,
+            coarsenings: 0,
+            queue_ms: 3,
+            service_ms: 40,
+        };
+        let line = outcome_response("q1", &outcome);
+        assert!(line.contains(r#""status":"completed""#), "{line}");
+        assert!(!line.contains('\n'));
+
+        let salvaged = QueryOutcome {
+            salvaged: true,
+            samples: 60,
+            ci_widening: 1.29,
+            ..outcome
+        };
+        assert!(outcome_response("q1", &salvaged).contains(r#""status":"salvaged""#));
+
+        let shed = error_response(
+            Some("q2"),
+            &ServeError::Overloaded {
+                retry_after_hint: Duration::from_millis(250),
+            },
+        );
+        assert!(shed.contains(r#""reason":"overloaded""#), "{shed}");
+        assert!(shed.contains(r#""retry_after_ms":250"#), "{shed}");
+
+        let bad = error_response(None, &ServeError::BadRequest { message: "x".into() });
+        assert!(bad.contains(r#""id":null"#), "{bad}");
+        assert!(pong_response(Some("p")).contains(r#""status":"pong""#));
+        assert!(draining_response().contains("draining"));
+    }
+}

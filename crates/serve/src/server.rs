@@ -1,0 +1,756 @@
+//! The daemon: admission control, worker pool, fault isolation and
+//! graceful drain.
+//!
+//! One `serve` call owns one connection's request stream. The calling
+//! thread reads newline-delimited requests, validates them, and either
+//! answers inline (ping, bad request), sheds them (queue full, drain in
+//! progress) or admits them to a [`BoundedQueue`]. A fixed pool of
+//! worker threads pops jobs, re-checks each job's deadline (a request
+//! that expired while queued is shed without consuming compute), and
+//! runs the KLE→SSTA pipeline under [`Supervisor::run_one`] with a
+//! per-request child [`CancelToken`] — so a panicking, hanging or
+//! over-budget request is isolated, salvaged or reported while every
+//! other in-flight request keeps running. All requests share one
+//! [`ArtifactCache`]: warm kernel/die configurations skip mesh,
+//! assembly and eigensolve entirely.
+//!
+//! Drain state machine: `accepting → draining → drained`. EOF or a
+//! `shutdown` request stops admission (`queue.close()`); workers finish
+//! the queued backlog within the drain budget; if the budget expires the
+//! root token is cancelled, turning the remaining work into typed
+//! `cancelled`/`shed draining` responses. The final summary line is
+//! written only after every worker has exited, so every admitted request
+//! has exactly one terminal response before `drained` is announced.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use klest_circuit::{benchmark_scaled, generate, GeneratorConfig};
+use klest_core::pipeline::{ArtifactCache, ArtifactKey, ExecPolicy, FrontEndConfig};
+use klest_core::TruncationCriterion;
+use klest_mesh::MeshError;
+use klest_runtime::{
+    Budget, BoundedQueue, CancelToken, Cancelled, PushError, ShardStatus, StageBudgets, Supervisor,
+    WaitGroup,
+};
+use klest_ssta::experiments::{CircuitSetup, KleContext, KleContextError};
+use klest_ssta::faultinject::{FaultPlan, Stage};
+use klest_ssta::{
+    run_monte_carlo_supervised, run_monte_carlo_supervised_with_faults, DegradationReport,
+    KleFieldSampler, McConfig, SstaError,
+};
+
+use crate::json::Json;
+use crate::protocol::{
+    draining_response, error_response, outcome_response, parse_request, pong_response,
+    QueryOutcome, QuerySpec, ServeError, ServeRequest,
+};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // All guarded state (response writer, memo map, counters) stays
+    // structurally valid across a panicking holder; supervision relies
+    // on continuing past poisoned locks.
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn millis(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+    /// Admission queue depth; pushes beyond it are shed as
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Wall-clock budget for the graceful drain; once it expires,
+    /// in-flight work is cancelled cooperatively.
+    pub drain: Duration,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Directory for the crash-safe disk artifact layer; `None` keeps
+    /// the cache memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+            drain: Duration::from_secs(10),
+            default_deadline: None,
+            cache_dir: None,
+        }
+    }
+}
+
+/// What happened over one `serve` call, for callers and exit codes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines read (including broken ones).
+    pub received: u64,
+    /// Queries admitted to the queue.
+    pub admitted: u64,
+    /// Queries that completed with a full sample count.
+    pub completed: u64,
+    /// Queries that completed partially (salvaged).
+    pub salvaged: u64,
+    /// Queries shed because the queue was full.
+    pub shed_overload: u64,
+    /// Queries shed because their deadline expired while queued.
+    pub shed_deadline: u64,
+    /// Queries shed because the server was draining.
+    pub shed_draining: u64,
+    /// Queries cancelled in flight with nothing salvageable.
+    pub cancelled: u64,
+    /// Queries that faulted (panicked every attempt or failed
+    /// internally).
+    pub faults: u64,
+    /// Lines rejected as bad requests.
+    pub bad_requests: u64,
+    /// Pings answered.
+    pub pings: u64,
+    /// True when a `shutdown` request (rather than EOF) started drain.
+    pub shutdown: bool,
+    /// True when all workers exited within the drain budget without a
+    /// forced cancellation.
+    pub drained_clean: bool,
+}
+
+impl ServeSummary {
+    /// Terminal responses written for admitted queries. The admission
+    /// invariant is `admitted == completed + salvaged + shed_deadline +
+    /// shed_draining + cancelled + faults`.
+    pub fn admitted_terminals(&self) -> u64 {
+        self.completed + self.salvaged + self.shed_deadline + self.shed_draining + self.cancelled
+            + self.faults
+    }
+
+    /// Folds another connection's summary into this one.
+    pub fn merge(&mut self, other: &ServeSummary) {
+        self.received += other.received;
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.salvaged += other.salvaged;
+        self.shed_overload += other.shed_overload;
+        self.shed_deadline += other.shed_deadline;
+        self.shed_draining += other.shed_draining;
+        self.cancelled += other.cancelled;
+        self.faults += other.faults;
+        self.bad_requests += other.bad_requests;
+        self.pings += other.pings;
+        self.shutdown |= other.shutdown;
+        self.drained_clean &= other.drained_clean;
+    }
+}
+
+#[derive(Default)]
+struct Counts {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    salvaged: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_draining: AtomicU64,
+    cancelled: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl Counts {
+    fn bump(&self, field: &AtomicU64, metric: &str) {
+        field.fetch_add(1, Ordering::Relaxed);
+        klest_obs::counter_add(metric, 1);
+    }
+}
+
+/// One admitted request waiting for (or holding) a worker.
+struct Job {
+    id: String,
+    spec: QuerySpec,
+    arrived: Instant,
+    deadline: Option<Instant>,
+}
+
+enum ExecError {
+    Cancelled(Cancelled),
+    Internal(String),
+}
+
+struct ExecData {
+    mean: f64,
+    sigma: f64,
+    rank: usize,
+    samples: usize,
+    planned: usize,
+    ci_widening: f64,
+    coarsenings: usize,
+}
+
+fn frontend_config(spec: &QuerySpec) -> FrontEndConfig {
+    let mut config = FrontEndConfig::new(
+        spec.area_fraction,
+        28.0,
+        TruncationCriterion::new(60, 0.01),
+    )
+    .with_supervised_ladder();
+    // Request-level parallelism comes from the worker pool; per-request
+    // assembly stays serial so concurrent requests cannot oversubscribe
+    // the machine.
+    config.options.assembly_threads = 1;
+    config
+}
+
+/// The daemon. One instance owns the shared [`ArtifactCache`] and the
+/// circuit memo; [`Server::serve`] runs one connection over it, so
+/// repeated connections (or a socket accept loop) keep their warmth.
+pub struct Server {
+    config: ServeConfig,
+    cache: ArtifactCache,
+    setups: Mutex<HashMap<String, Arc<CircuitSetup>>>,
+    /// EWMA of recent service times, ms — feeds the `retry_after_hint`.
+    ewma_service_ms: AtomicU64,
+}
+
+impl Server {
+    /// Builds a server; opens the disk cache layer when configured.
+    pub fn new(config: ServeConfig) -> Server {
+        let cache = match &config.cache_dir {
+            Some(dir) => ArtifactCache::with_disk(dir.clone()),
+            None => ArtifactCache::new(),
+        };
+        Server {
+            config,
+            cache,
+            setups: Mutex::new(HashMap::new()),
+            ewma_service_ms: AtomicU64::new(200),
+        }
+    }
+
+    /// The shared artifact cache (for inspection in tests and benches).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Serves one request stream to completion: reads `input` until EOF
+    /// or a `shutdown` request, writes one response line per request
+    /// plus a final `drained` summary line to `output`, and returns the
+    /// summary. Never panics on malformed input; worker panics are
+    /// isolated per request.
+    pub fn serve<R: BufRead, W: Write + Send>(&self, mut input: R, output: W) -> ServeSummary {
+        let queue = BoundedQueue::<Job>::new(self.config.queue_depth);
+        let wg = WaitGroup::new();
+        let root = CancelToken::unlimited();
+        let out = Mutex::new(output);
+        let counts = Counts::default();
+        let workers = self.config.workers.max(1);
+        let mut received = 0u64;
+        let mut bad_requests = 0u64;
+        let mut pings = 0u64;
+        let mut shutdown = false;
+        let mut drained_clean = false;
+
+        std::thread::scope(|scope| {
+            wg.add(workers);
+            for _ in 0..workers {
+                let queue = &queue;
+                let wg = &wg;
+                let root = &root;
+                let counts = &counts;
+                let out = &out;
+                scope.spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        klest_obs::gauge_set("serve.queue.depth", queue.len() as f64);
+                        self.process_job(job, root, counts, out);
+                    }
+                    wg.done();
+                });
+            }
+
+            loop {
+                let text = match read_line_capped(&mut input, crate::protocol::MAX_LINE_BYTES) {
+                    Ok(Some(RawLine::Text(text))) => text,
+                    Ok(Some(RawLine::Rejected(why))) => {
+                        received += 1;
+                        bad_requests += 1;
+                        klest_obs::counter_add("serve.received", 1);
+                        klest_obs::counter_add("serve.bad_request", 1);
+                        respond(
+                            &out,
+                            &error_response(
+                                None,
+                                &ServeError::BadRequest {
+                                    message: why.to_string(),
+                                },
+                            ),
+                        );
+                        continue;
+                    }
+                    Ok(None) | Err(_) => break,
+                };
+                if text.trim().is_empty() {
+                    continue;
+                }
+                received += 1;
+                klest_obs::counter_add("serve.received", 1);
+                match parse_request(&text) {
+                    Err(bad) => {
+                        bad_requests += 1;
+                        klest_obs::counter_add("serve.bad_request", 1);
+                        respond(
+                            &out,
+                            &error_response(
+                                bad.id.as_deref(),
+                                &ServeError::BadRequest {
+                                    message: bad.message,
+                                },
+                            ),
+                        );
+                    }
+                    Ok(ServeRequest::Ping { id }) => {
+                        pings += 1;
+                        klest_obs::counter_add("serve.ping", 1);
+                        respond(&out, &pong_response(id.as_deref()));
+                    }
+                    Ok(ServeRequest::Shutdown) => {
+                        shutdown = true;
+                        respond(&out, &draining_response());
+                        break;
+                    }
+                    Ok(ServeRequest::Query { id, spec }) => {
+                        let arrived = Instant::now();
+                        let deadline = spec
+                            .deadline
+                            .or(self.config.default_deadline)
+                            .map(|d| arrived + d);
+                        let job = Job {
+                            id,
+                            spec,
+                            arrived,
+                            deadline,
+                        };
+                        match queue.push(job) {
+                            Ok(depth) => {
+                                counts.bump(&counts.admitted, "serve.admitted");
+                                klest_obs::gauge_set("serve.queue.depth", depth as f64);
+                            }
+                            Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
+                                counts.bump(&counts.shed_overload, "serve.shed.overload");
+                                respond(
+                                    &out,
+                                    &error_response(
+                                        Some(&job.id),
+                                        &ServeError::Overloaded {
+                                            retry_after_hint: self.retry_after_hint(queue.len()),
+                                        },
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Drain: stop admitting, give the backlog the drain budget,
+            // then cancel whatever is left and wait for the workers.
+            queue.close();
+            drained_clean = wg.wait_timeout(self.config.drain);
+            if !drained_clean {
+                root.cancel();
+                wg.wait();
+            }
+        });
+
+        let summary = ServeSummary {
+            received,
+            admitted: counts.admitted.load(Ordering::Relaxed),
+            completed: counts.completed.load(Ordering::Relaxed),
+            salvaged: counts.salvaged.load(Ordering::Relaxed),
+            shed_overload: counts.shed_overload.load(Ordering::Relaxed),
+            shed_deadline: counts.shed_deadline.load(Ordering::Relaxed),
+            shed_draining: counts.shed_draining.load(Ordering::Relaxed),
+            cancelled: counts.cancelled.load(Ordering::Relaxed),
+            faults: counts.faults.load(Ordering::Relaxed),
+            bad_requests,
+            pings,
+            shutdown,
+            drained_clean,
+        };
+        respond(&out, &summary_line(&summary));
+        summary
+    }
+
+    /// Serves connections on a Unix socket, one at a time, until a
+    /// connection requests `shutdown`. All connections share this
+    /// server's cache and circuit memo, so a reconnecting client keeps
+    /// its warmth. The socket file is created fresh and removed on exit.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding or accepting on the socket.
+    #[cfg(unix)]
+    pub fn serve_unix(&self, path: &std::path::Path) -> std::io::Result<ServeSummary> {
+        use std::os::unix::net::UnixListener;
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let mut total = ServeSummary {
+            drained_clean: true,
+            ..ServeSummary::default()
+        };
+        loop {
+            let (stream, _) = listener.accept()?;
+            let reader = std::io::BufReader::new(stream.try_clone()?);
+            let summary = self.serve(reader, stream);
+            let stop = summary.shutdown;
+            total.merge(&summary);
+            if stop {
+                break;
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(total)
+    }
+
+    fn retry_after_hint(&self, queue_len: usize) -> Duration {
+        let ewma = self.ewma_service_ms.load(Ordering::Relaxed).max(1);
+        let waves = (queue_len / self.config.workers.max(1)) as u64 + 1;
+        Duration::from_millis((ewma.saturating_mul(waves)).clamp(25, 30_000))
+    }
+
+    fn note_service_time(&self, service_ms: u64) {
+        // EWMA with α = 1/4, updated racily — a hint, not an invariant.
+        let old = self.ewma_service_ms.load(Ordering::Relaxed);
+        let new = old - old / 4 + service_ms / 4;
+        self.ewma_service_ms.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Does the cache already hold the KLE spectrum this query needs?
+    /// Pure probe: counts no hit/miss, so latency classification does
+    /// not skew cache statistics.
+    fn probe_warm(&self, spec: &QuerySpec) -> bool {
+        let Ok(kernel) = spec.kernel.build() else {
+            return false;
+        };
+        let Some(kernel_key) = kernel.cache_key() else {
+            return false;
+        };
+        let config = frontend_config(spec);
+        let mesh_key = ArtifactKey::mesh(
+            config.die,
+            config.max_area_fraction,
+            config.min_angle_degrees,
+        );
+        let galerkin_key =
+            ArtifactKey::galerkin(&mesh_key, &kernel_key, config.options.quadrature);
+        let spectrum_key = ArtifactKey::spectrum(
+            &galerkin_key,
+            config.options.solver,
+            config.options.max_eigenpairs,
+        );
+        self.cache.peek_spectrum(&spectrum_key)
+    }
+
+    fn setup_for(&self, circuit: &crate::protocol::CircuitSpec) -> Result<Arc<CircuitSetup>, String> {
+        use crate::protocol::CircuitSpec;
+        let key = circuit.memo_key();
+        if let Some(setup) = lock(&self.setups).get(&key) {
+            return Ok(Arc::clone(setup));
+        }
+        let built = match circuit {
+            CircuitSpec::Named { id, scale } => benchmark_scaled(*id, *scale),
+            CircuitSpec::Synthetic { gates, seed } => generate(
+                format!("synth{gates}"),
+                GeneratorConfig::combinational(*gates, *seed),
+            ),
+        }
+        .map_err(|e| format!("circuit generation failed: {e}"))?;
+        let setup = Arc::new(CircuitSetup::prepare(&built));
+        let mut memo = lock(&self.setups);
+        // Bounded memo: a hostile client cycling circuit configs must
+        // not grow process memory without limit.
+        if memo.len() < 128 {
+            memo.insert(key, Arc::clone(&setup));
+        }
+        Ok(setup)
+    }
+
+    fn process_job<W: Write>(
+        &self,
+        job: Job,
+        root: &CancelToken,
+        counts: &Counts,
+        out: &Mutex<W>,
+    ) {
+        let queue_wait = job.arrived.elapsed();
+        klest_obs::histogram_observe("serve.queue_wait_ms", millis(queue_wait) as f64);
+        if root.is_cancelled() {
+            counts.bump(&counts.shed_draining, "serve.shed.draining");
+            respond(out, &error_response(Some(&job.id), &ServeError::Draining));
+            return;
+        }
+        if let Some(deadline) = job.deadline {
+            if Instant::now() >= deadline {
+                counts.bump(&counts.shed_deadline, "serve.shed.deadline");
+                respond(
+                    out,
+                    &error_response(
+                        Some(&job.id),
+                        &ServeError::DeadlineExpiredInQueue { waited: queue_wait },
+                    ),
+                );
+                return;
+            }
+        }
+
+        let start = Instant::now();
+        let warm = self.probe_warm(&job.spec);
+        let budget = match job.deadline {
+            Some(deadline) => Budget::wall(deadline.saturating_duration_since(start)),
+            None => Budget::UNLIMITED,
+        };
+        let token = root.child(budget);
+        let supervisor = Supervisor::new(token)
+            .with_max_retries(1)
+            .with_backoff(Duration::from_millis(2));
+        let (result, status) = supervisor.run_one(0, |_, tok| self.execute(&job.spec, tok));
+        let service_ms = millis(start.elapsed());
+
+        match (result, status) {
+            (Some(Ok(data)), status) => {
+                let salvaged = data.samples < data.planned;
+                if salvaged {
+                    counts.bump(&counts.salvaged, "serve.salvaged");
+                } else {
+                    counts.bump(&counts.completed, "serve.completed");
+                }
+                let bucket = if warm {
+                    "serve.latency_ms.warm"
+                } else {
+                    "serve.latency_ms.cold"
+                };
+                klest_obs::histogram_observe(bucket, service_ms as f64);
+                self.note_service_time(service_ms);
+                let outcome = QueryOutcome {
+                    mean: data.mean,
+                    sigma: data.sigma,
+                    rank: data.rank,
+                    samples: data.samples,
+                    planned: data.planned,
+                    salvaged,
+                    ci_widening: data.ci_widening,
+                    warm,
+                    retries: status.retries(),
+                    coarsenings: data.coarsenings,
+                    queue_ms: millis(queue_wait),
+                    service_ms,
+                };
+                respond(out, &outcome_response(&job.id, &outcome));
+            }
+            (Some(Err(ExecError::Cancelled(cancelled))), _) => {
+                counts.bump(&counts.cancelled, "serve.cancelled");
+                respond(
+                    out,
+                    &error_response(
+                        Some(&job.id),
+                        &ServeError::Cancelled {
+                            stage: cancelled.stage.to_string(),
+                            service_ms,
+                        },
+                    ),
+                );
+            }
+            (Some(Err(ExecError::Internal(message))), _) => {
+                counts.bump(&counts.faults, "serve.fault");
+                respond(
+                    out,
+                    &error_response(
+                        Some(&job.id),
+                        &ServeError::Fault {
+                            attempts: 1,
+                            message,
+                        },
+                    ),
+                );
+            }
+            (None, ShardStatus::Faulted { attempts, message }) => {
+                counts.bump(&counts.faults, "serve.fault");
+                respond(
+                    out,
+                    &error_response(
+                        Some(&job.id),
+                        &ServeError::Fault { attempts, message },
+                    ),
+                );
+            }
+            (None, _) => {
+                counts.bump(&counts.faults, "serve.fault");
+                respond(
+                    out,
+                    &error_response(
+                        Some(&job.id),
+                        &ServeError::Fault {
+                            attempts: 0,
+                            message: "internal: supervised run returned no result".into(),
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    fn execute(&self, spec: &QuerySpec, token: &CancelToken) -> Result<ExecData, ExecError> {
+        if spec.inject_panic {
+            // Deterministic fault drill: exercises catch_unwind isolation
+            // end to end without tripping the no-panic lint gate.
+            std::panic::panic_any("injected panic: serve fault drill".to_string());
+        }
+        let kernel = spec.kernel.build().map_err(ExecError::Internal)?;
+        let config = frontend_config(spec);
+        let budgets = StageBudgets::none();
+        let ctx = KleContext::build_with(
+            kernel.as_ref(),
+            &config,
+            ExecPolicy::Supervised {
+                token,
+                budgets: &budgets,
+            },
+            Some(&self.cache),
+        )
+        .map_err(|e| match e {
+            KleContextError::Mesh(MeshError::Cancelled(c)) => ExecError::Cancelled(c),
+            KleContextError::Ssta(SstaError::Cancelled(c)) => ExecError::Cancelled(c),
+            other => ExecError::Internal(other.to_string()),
+        })?;
+        let setup = self.setup_for(&spec.circuit).map_err(ExecError::Internal)?;
+        let sampler = KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations())
+            .map_err(|e| match e {
+                SstaError::Cancelled(c) => ExecError::Cancelled(c),
+                other => ExecError::Internal(other.to_string()),
+            })?;
+        let mc = McConfig::new(spec.samples, spec.seed).with_threads(spec.threads);
+        let mut report = DegradationReport::new();
+        let run = match spec.inject_hang_ms {
+            Some(hang_ms) => {
+                let plan = FaultPlan::new().hang_at(Stage::Mc, 0, hang_ms);
+                run_monte_carlo_supervised_with_faults(
+                    &setup.timer,
+                    &sampler,
+                    &mc,
+                    token,
+                    &plan,
+                    &mut report,
+                )
+            }
+            None => run_monte_carlo_supervised(&setup.timer, &sampler, &mc, token, &mut report),
+        }
+        .map_err(|e| match e {
+            SstaError::Cancelled(c) => ExecError::Cancelled(c),
+            other => ExecError::Internal(other.to_string()),
+        })?;
+        let stats = run.worst_delay_stats();
+        let (samples, planned, ci_widening) = match run.salvage() {
+            Some(s) => (s.completed, s.planned, s.ci_widening),
+            None => (spec.samples, spec.samples, 1.0),
+        };
+        Ok(ExecData {
+            mean: stats.mean,
+            sigma: stats.std_dev,
+            rank: ctx.rank,
+            samples,
+            planned,
+            ci_widening,
+            coarsenings: ctx.degradation.len() + report.len(),
+        })
+    }
+}
+
+fn respond<W: Write>(out: &Mutex<W>, line: &str) {
+    let mut guard = lock(out);
+    // Response write failures (client went away) must not take the
+    // server down; the summary still accounts for the request.
+    let _ = writeln!(guard, "{line}");
+    let _ = guard.flush();
+}
+
+fn summary_line(s: &ServeSummary) -> String {
+    Json::Obj(vec![
+        ("status".into(), Json::Str("drained".into())),
+        ("received".into(), Json::Num(s.received as f64)),
+        ("admitted".into(), Json::Num(s.admitted as f64)),
+        ("completed".into(), Json::Num(s.completed as f64)),
+        ("salvaged".into(), Json::Num(s.salvaged as f64)),
+        ("shed_overload".into(), Json::Num(s.shed_overload as f64)),
+        ("shed_deadline".into(), Json::Num(s.shed_deadline as f64)),
+        ("shed_draining".into(), Json::Num(s.shed_draining as f64)),
+        ("cancelled".into(), Json::Num(s.cancelled as f64)),
+        ("faults".into(), Json::Num(s.faults as f64)),
+        ("bad_requests".into(), Json::Num(s.bad_requests as f64)),
+        ("pings".into(), Json::Num(s.pings as f64)),
+        ("clean".into(), Json::Bool(s.drained_clean)),
+    ])
+    .to_compact_string()
+}
+
+enum RawLine {
+    Text(String),
+    Rejected(&'static str),
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes; the
+/// remainder of an oversized line is consumed and discarded so the
+/// stream stays framed (a client cannot wedge the reader with one
+/// gigantic line). `Ok(None)` is EOF.
+fn read_line_capped<R: BufRead>(input: &mut R, max: usize) -> std::io::Result<Option<RawLine>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = match input.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                if !oversized && buf.len() + newline <= max {
+                    buf.extend_from_slice(&chunk[..newline]);
+                } else {
+                    oversized = true;
+                }
+                input.consume(newline + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                if !oversized && buf.len() + len <= max {
+                    buf.extend_from_slice(chunk);
+                } else {
+                    oversized = true;
+                }
+                input.consume(len);
+            }
+        }
+    }
+    if oversized {
+        return Ok(Some(RawLine::Rejected("request line too long")));
+    }
+    match String::from_utf8(buf) {
+        Ok(text) => Ok(Some(RawLine::Text(text))),
+        Err(_) => Ok(Some(RawLine::Rejected("request line is not valid UTF-8"))),
+    }
+}

@@ -29,6 +29,13 @@ cargo build --release --offline -q -p klest-cli -p klest-bench
 # artifact cache, merged into the report as a top-level "benches" object.
 ./target/release/pipeline_bench --report "$out" --threads 4
 
+# Serving bench: replays thousands of mixed warm/cold queries plus
+# hostile traffic (injected panic, hangs, deadline storm, queue-overflow
+# flood) against the in-process daemon, asserts the typed-shed /
+# fault-isolation / clean-drain contract, and merges admission and
+# latency metrics into the report as a top-level "serve" object.
+./target/release/serve_bench --report "$out" --requests 2000
+
 # Schema gate: a report missing any of these keys means the
 # instrumentation regressed, and the run fails.
 required='
@@ -51,6 +58,16 @@ mesh.min_angle_deg
 galerkin_assembly_serial_vs_parallel
 pipeline_cold_vs_warm_cache
 "speedup"
+"serve"
+"shed_overload"
+"shed_deadline"
+"latency_ms_warm_mean"
+"latency_ms_cold_mean"
+"queue_wait_ms_mean"
+"drained_clean"
+serve.queue.depth
+serve.shed.overload
+serve.latency_ms.warm
 '
 fail=0
 while IFS= read -r key; do

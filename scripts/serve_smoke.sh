@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# CI smoke for the serve daemon: replays ~50 mixed requests — healthy
+# warm queries, a worker-pinning hang, a queue-expired deadline, an
+# injected panic, a malformed line and a ping — through `klest serve`
+# and requires every hostile input to terminate as a typed response and
+# the drain to finish clean (exit 0). The outer `timeout` is the proof
+# obligation: if admission control or cooperative cancellation ever
+# regresses into a real hang, CI kills the process and the job fails
+# instead of idling.
+#
+# Usage: scripts/serve_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -q -p klest-cli
+
+req="SERVE_SMOKE_requests.jsonl"
+out="SERVE_SMOKE_responses.jsonl"
+tiny='"gates":8,"samples":16,"area_fraction":0.1'
+
+{
+  # One worker: "pin" hangs until its 300 ms deadline trips, so the
+  # 1 ms deadline behind it must expire in the queue.
+  echo "{\"id\":\"pin\",\"inject_hang_ms\":30000,\"deadline_ms\":300,$tiny}"
+  echo "{\"id\":\"expired\",\"deadline_ms\":1,$tiny}"
+  echo "{\"id\":\"boom\",\"inject_panic\":true,$tiny}"
+  echo 'this line is not json'
+  echo '{"op":"ping","id":"hb"}'
+  for i in $(seq 1 45); do
+    echo "{\"id\":\"w$i\",$tiny}"
+  done
+  echo '{"op":"shutdown"}'
+} > "$req"
+
+timeout 120 ./target/release/klest serve \
+  --workers 1 --queue-depth 64 --requests "$req" > "$out"
+
+check() {
+  if ! grep -q "$1" "$out"; then
+    echo "error: serve smoke output is missing: $1" >&2
+    echo "--- responses ---" >&2
+    cat "$out" >&2
+    exit 1
+  fi
+}
+
+# The hang is broken cooperatively by its deadline.
+check '"id":"pin".*"status":"\(cancelled\|salvaged\)"'
+# The queued 1 ms deadline is shed without consuming the worker.
+check '"id":"expired".*"reason":"deadline_expired"'
+# The injected panic is isolated as a typed fault (after one retry).
+check '"id":"boom".*"status":"fault"'
+# The malformed line gets a typed null-id bad_request.
+check '"id":null.*"status":"bad_request"'
+# The ping is answered.
+check '"id":"hb".*"status":"pong"'
+# The drain finishes clean.
+check '"status":"drained".*"clean":true'
+
+completed=$(grep -c '"status":"completed"' "$out")
+if [ "$completed" -ne 45 ]; then
+  echo "error: expected all 45 healthy queries to complete, got $completed" >&2
+  exit 1
+fi
+
+rm -f "$req" "$out"
+echo "serve smoke ok: 45 completed, hostile traffic typed, drain clean"

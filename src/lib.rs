@@ -50,6 +50,7 @@ pub use klest_linalg as linalg;
 pub use klest_mesh as mesh;
 pub use klest_obs as obs;
 pub use klest_runtime as runtime;
+pub use klest_serve as serve;
 pub use klest_ssta as ssta;
 pub use klest_sta as sta;
 

@@ -1,0 +1,159 @@
+//! Admission property for the serve daemon: whatever mix of valid,
+//! malformed, hostile and deadline-carrying traffic arrives — and
+//! however small the queue and worker pool are — every request line
+//! gets **exactly one** typed terminal response, the summary's
+//! admission ledger balances, and the drain finishes clean. Seeded and
+//! replayable via `KLEST_PROPTEST_SEED=<property>:<seed>`.
+
+use klest::serve::{ServeConfig, Server};
+use klest_proptest::{check_config, strategies, Config};
+use std::io::Cursor;
+use std::time::Duration;
+
+/// The request kinds the generator mixes. Each generated line carries a
+/// unique id (where the protocol can echo one back), so responses can
+/// be matched 1:1 against the stream that produced them.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// Well-formed query, first cache config.
+    QueryA,
+    /// Well-formed query, second cache config (distinct artifact key).
+    QueryB,
+    /// Malformed line — not JSON at all; the response has a null id.
+    Garbage,
+    /// Well-formed JSON with an unknown key; typed bad_request, id echoed.
+    UnknownKey,
+    /// Ping; one pong.
+    Ping,
+    /// Query that panics inside the worker; typed fault after a retry.
+    Panic,
+    /// Query whose 1 ms deadline expires while queued.
+    TightDeadline,
+}
+
+const KINDS: [Kind; 7] = [
+    Kind::QueryA,
+    Kind::QueryB,
+    Kind::Garbage,
+    Kind::UnknownKey,
+    Kind::Ping,
+    Kind::Panic,
+    Kind::TightDeadline,
+];
+
+const TINY: &str = r#""gates":8,"samples":16,"area_fraction":0.1"#;
+const TINY_B: &str = r#""gates":8,"samples":16,"area_fraction":0.1,"dist":0.7"#;
+
+fn line_for(kind: Kind, i: usize) -> String {
+    match kind {
+        Kind::QueryA => format!("{{\"id\":\"q{i}\",{TINY}}}"),
+        Kind::QueryB => format!("{{\"id\":\"q{i}\",{TINY_B}}}"),
+        Kind::Garbage => format!("not json at all #{i}"),
+        Kind::UnknownKey => format!("{{\"id\":\"q{i}\",\"frobnicate\":1,{TINY}}}"),
+        Kind::Ping => format!("{{\"op\":\"ping\",\"id\":\"q{i}\"}}"),
+        Kind::Panic => format!("{{\"id\":\"q{i}\",\"inject_panic\":true,{TINY}}}"),
+        Kind::TightDeadline => format!("{{\"id\":\"q{i}\",\"deadline_ms\":1,{TINY}}}"),
+    }
+}
+
+#[test]
+fn every_request_gets_exactly_one_typed_terminal_response() {
+    let name = "every_request_gets_exactly_one_typed_terminal_response";
+    // Each case spins up a worker pool and replays a full stream; keep
+    // the case count fixed rather than scaling with KLEST_PROPTEST_CASES.
+    let cfg = Config {
+        cases: 12,
+        ..Config::from_env(name)
+    };
+    let strat = (
+        strategies::vec_of(strategies::usize_in(0..KINDS.len()), 4..24),
+        strategies::usize_in(1..4),
+        strategies::usize_in(1..6),
+    );
+    check_config(name, &cfg, &strat, |(kinds, workers, queue_depth)| {
+        let lines: Vec<(Kind, String)> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (KINDS[k], line_for(KINDS[k], i)))
+            .collect();
+        let mut input: String = lines
+            .iter()
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        input.push_str("{\"op\":\"shutdown\"}\n");
+
+        let server = Server::new(ServeConfig {
+            workers: *workers,
+            queue_depth: *queue_depth,
+            drain: Duration::from_secs(60),
+            default_deadline: None,
+            cache_dir: None,
+        });
+        let mut out: Vec<u8> = Vec::new();
+        let summary = server.serve(Cursor::new(input), &mut out);
+        let text = String::from_utf8(out).map_err(|e| format!("non-UTF-8 response: {e}"))?;
+        let responses: Vec<&str> = text.lines().collect();
+
+        // 1. Exactly one response per id-carrying request, and it is a
+        //    typed terminal (or pong) — never a second line, never none.
+        for (i, (kind, line)) in lines.iter().enumerate() {
+            if matches!(kind, Kind::Garbage) {
+                continue;
+            }
+            let pat = format!("\"id\":\"q{i}\"");
+            let matched: Vec<&&str> = responses.iter().filter(|r| r.contains(&pat)).collect();
+            if matched.len() != 1 {
+                return Err(format!(
+                    "request {line:?} got {} responses: {matched:?}",
+                    matched.len()
+                ));
+            }
+            let ok = matched[0].contains("\"status\":\"completed\"")
+                || matched[0].contains("\"status\":\"salvaged\"")
+                || matched[0].contains("\"status\":\"shed\"")
+                || matched[0].contains("\"status\":\"cancelled\"")
+                || matched[0].contains("\"status\":\"fault\"")
+                || matched[0].contains("\"status\":\"bad_request\"")
+                || matched[0].contains("\"status\":\"pong\"");
+            if !ok {
+                return Err(format!("request {line:?}: untyped response {:?}", matched[0]));
+            }
+        }
+
+        // 2. Garbage lines can't echo an id; each still gets a typed
+        //    null-id bad_request.
+        let garbage = lines
+            .iter()
+            .filter(|(k, _)| matches!(k, Kind::Garbage))
+            .count();
+        let null_bad = responses
+            .iter()
+            .filter(|r| r.contains("\"status\":\"bad_request\"") && r.contains("\"id\":null"))
+            .count();
+        if garbage != null_bad {
+            return Err(format!(
+                "{garbage} garbage lines but {null_bad} null-id bad_request responses"
+            ));
+        }
+
+        // 3. The admission ledger balances and the drain is clean.
+        if summary.admitted != summary.admitted_terminals() {
+            return Err(format!("admission ledger does not balance: {summary:?}"));
+        }
+        // The shutdown line is read and counted too.
+        if summary.received != lines.len() as u64 + 1 {
+            return Err(format!(
+                "received {} of {} request lines: {summary:?}",
+                summary.received,
+                lines.len() + 1
+            ));
+        }
+        if !summary.drained_clean {
+            return Err(format!("drain was not clean: {summary:?}"));
+        }
+        if !summary.shutdown {
+            return Err(format!("shutdown request did not start the drain: {summary:?}"));
+        }
+        Ok(())
+    });
+}
