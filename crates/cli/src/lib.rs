@@ -73,6 +73,8 @@ COMMANDS:
   serve     long-lived timing-query daemon    [--workers 2] [--queue-depth 16] [--drain-ms 10000]
                                               [--default-deadline-ms MS] [--cache-dir DIR]
                                               [--requests FILE] [--socket PATH]
+                                              [--trace-responses] [--slo-target 0.95]
+                                              [--metrics-interval-ms MS --metrics-out FILE]
   help      this text
 
 GLOBAL FLAGS (every command):
@@ -105,6 +107,17 @@ cancelled while other requests keep running. {\"op\":\"shutdown\"} or EOF
 (the std-only daemon cannot trap SIGTERM — process managers should close
 stdin) drains gracefully within --drain-ms and emits a final
 status=drained summary line.
+
+TELEMETRY (serve): {\"op\":\"stats\"} answers inline with queue depth,
+lifetime admit/shed/fault counters, windowed warm/cold latency quantiles
+(p50/p95/p99/mean over the last minute), cache hit ratio and sizes, worker
+utilization and the deadline-SLO window (fraction met + error budget
+remaining vs --slo-target). A query carrying \"trace\":true gets a per-
+request trace object (per-stage wall times, artifact warmth, salvage
+events) when the daemon also runs with --trace-responses. With
+--metrics-interval-ms N --metrics-out FILE the daemon appends one
+klest-metrics/v1 JSON snapshot line (counters, gauges, latency quantiles,
+rates since the previous line) to FILE every N ms.
 ";
 
 /// Builds the kernel selected by `--kernel` (+ its shape flags).
@@ -464,12 +477,43 @@ pub fn cmd_serve<W: Write + Send>(args: &Args, out: &mut W) -> CliResult {
             ))
         }
     };
+    let metrics_interval = match arg::<u64>(args, "metrics-interval-ms", 0)? {
+        0 => None,
+        ms if (10..=600_000).contains(&ms) => Some(Duration::from_millis(ms)),
+        ms => {
+            return Err(bad_arg(
+                "metrics-interval-ms",
+                ms,
+                "must be in 10..=600000 (ms), or omitted to disable periodic snapshots",
+            ))
+        }
+    };
+    let metrics_out = args_opt_str(args, "metrics-out").map(std::path::PathBuf::from);
+    if metrics_interval.is_some() != metrics_out.is_some() {
+        return Err(
+            "periodic metrics need both --metrics-interval-ms N and --metrics-out FILE"
+                .to_string(),
+        );
+    }
+    let slo_target = arg::<f64>(args, "slo-target", 0.95)?;
+    if !(slo_target > 0.0 && slo_target <= 1.0) {
+        return Err(bad_arg("slo-target", slo_target, "must be in (0, 1]"));
+    }
+    // Snapshot lines diff obs counters, so the sink must be live for
+    // the emitter to see anything.
+    if metrics_out.is_some() {
+        klest_obs::enable();
+    }
     let config = ServeConfig {
         workers,
         queue_depth,
         drain: Duration::from_millis(drain_ms),
         default_deadline,
         cache_dir: args_opt_str(args, "cache-dir").map(Into::into),
+        trace_responses: args.flag("trace-responses"),
+        metrics_interval,
+        metrics_out,
+        slo_target,
     };
     let server = Server::new(config);
     let summary = if let Some(path) = args_opt_str(args, "socket") {
@@ -610,6 +654,71 @@ mod tests {
         assert!(e.contains("1..=64"), "{e}");
         let e = run_str("serve --default-deadline-ms 999999999").unwrap_err();
         assert!(e.contains("default-deadline-ms"), "{e}");
+        // Telemetry flags: interval range, interval/file pairing, SLO range.
+        let e = run_str("serve --metrics-interval-ms 5 --metrics-out /tmp/m.jsonl").unwrap_err();
+        assert!(e.contains("10..=600000"), "{e}");
+        let e = run_str("serve --metrics-interval-ms 1000").unwrap_err();
+        assert!(e.contains("--metrics-out"), "{e}");
+        let e = run_str("serve --slo-target 1.5").unwrap_err();
+        assert!(e.contains("slo-target"), "{e}");
+        let e = run_str("serve --slo-target 0").unwrap_err();
+        assert!(e.contains("slo-target"), "{e}");
+    }
+
+    #[test]
+    fn serve_trace_flag_and_stats_op_round_trip() {
+        let dir = std::env::temp_dir().join(format!("klest-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("requests.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"id\":\"t1\",\"trace\":true,\"gates\":8,\"samples\":16,\"area_fraction\":0.1}\n",
+                "{\"op\":\"stats\",\"id\":\"s1\"}\n",
+                "{\"op\":\"shutdown\"}\n"
+            ),
+        )
+        .expect("write requests");
+        let out = run_str(&format!(
+            "serve --workers 1 --trace-responses --requests {}",
+            path.display()
+        ))
+        .expect("serve runs clean");
+        assert!(out.contains("\"trace\":{"), "{out}");
+        assert!(out.contains("\"trace_id\":\""), "{out}");
+        assert!(out.contains("\"status\":\"stats\""), "{out}");
+        assert!(out.contains("\"slo\":{"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_metrics_out_writes_snapshot_lines() {
+        let dir = std::env::temp_dir().join(format!("klest-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let requests = dir.join("requests.jsonl");
+        let metrics = dir.join("metrics.jsonl");
+        std::fs::write(
+            &requests,
+            concat!(
+                "{\"id\":\"m1\",\"inject_hang_ms\":30000,\"deadline_ms\":200,",
+                "\"gates\":8,\"samples\":16,\"area_fraction\":0.1}\n"
+            ),
+        )
+        .expect("write requests");
+        run_str(&format!(
+            "serve --workers 1 --metrics-interval-ms 25 --metrics-out {} --requests {}",
+            metrics.display(),
+            requests.display()
+        ))
+        .expect("serve runs clean");
+        let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+        assert!(
+            text.lines()
+                .all(|l| l.starts_with(r#"{"schema":"klest-metrics/v1""#)),
+            "{text}"
+        );
+        assert!(!text.trim().is_empty(), "at least one snapshot line");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -545,6 +545,17 @@ impl ArtifactCache {
         }
     }
 
+    /// Number of entries in each memory layer, in
+    /// `(mesh, galerkin, spectrum)` order — the "cache sizes" a stats
+    /// endpoint reports. Disk entries are not walked.
+    pub fn memory_sizes(&self) -> (usize, usize, usize) {
+        (
+            lock(&self.meshes).len(),
+            lock(&self.matrices).len(),
+            lock(&self.spectra).len(),
+        )
+    }
+
     /// Looks up a mesh (memory first, then disk when enabled).
     pub fn lookup_mesh(&self, key: &ArtifactKey) -> Option<Arc<Mesh>> {
         if let Some(hit) = lock(&self.meshes).get(key.descriptor()).cloned() {
@@ -619,6 +630,22 @@ impl ArtifactCache {
         }
         self.disk_path(key, "kle")
             .is_some_and(|p| p.exists())
+    }
+
+    /// Non-counting warm probe for the mesh layer; same contract as
+    /// [`peek_spectrum`](Self::peek_spectrum).
+    pub fn peek_mesh(&self, key: &ArtifactKey) -> bool {
+        if lock(&self.meshes).contains_key(key.descriptor()) {
+            return true;
+        }
+        self.disk_path(key, "mesh").is_some_and(|p| p.exists())
+    }
+
+    /// Non-counting warm probe for the Galerkin-matrix layer (memory
+    /// only — matrices have no disk layer); same contract as
+    /// [`peek_spectrum`](Self::peek_spectrum).
+    pub fn peek_galerkin(&self, key: &ArtifactKey) -> bool {
+        lock(&self.matrices).contains_key(key.descriptor())
     }
 
     /// Stores a computed spectrum under `key` (and on disk when enabled).

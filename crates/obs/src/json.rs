@@ -48,6 +48,56 @@ impl Json {
         out
     }
 
+    /// Renders the value as single-line compact JSON (no whitespace, no
+    /// trailing newline) — the shape newline-delimited metrics streams
+    /// need, with the same escaping and non-finite→`null` guarantees as
+    /// the pretty printer.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -175,5 +225,19 @@ mod tests {
     fn empty_containers_are_compact() {
         assert_eq!(Json::Arr(vec![]).to_pretty_string(), "[]\n");
         assert_eq!(Json::Obj(vec![]).to_pretty_string(), "{}\n");
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_escaped() {
+        let v = Json::obj(vec![
+            ("s", Json::str("a\"b\nc")),
+            ("n", Json::Num(f64::NAN)),
+            ("a", Json::Arr(vec![Json::UInt(1), Json::Bool(false)])),
+            ("o", Json::Obj(vec![])),
+        ]);
+        assert_eq!(
+            v.to_compact_string(),
+            r#"{"s":"a\"b\nc","n":null,"a":[1,false],"o":{}}"#
+        );
     }
 }

@@ -42,6 +42,7 @@ pub mod json;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod window;
 
 pub use registry::{
     counter, counter_add, disable, enable, enabled, event, gauge_set, histogram,
@@ -49,7 +50,10 @@ pub use registry::{
     DEFAULT_BOUNDS,
 };
 pub use report::{render_trace, span_tree, RunReport, SpanNode};
-pub use span::{span, SpanGuard};
+pub use span::{capture_begin, capture_end, span, SpanGuard};
+pub use window::{
+    DeadlineSlo, MetricsRates, MetricsSnapshot, SlidingWindow, SloSnapshot, LATENCY_MS_BOUNDS,
+};
 
 #[cfg(test)]
 pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {

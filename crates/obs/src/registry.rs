@@ -75,6 +75,47 @@ impl HistState {
         }
     }
 
+    /// An empty state with the given (ascending, inclusive-upper) bucket
+    /// bounds. Public so windowed aggregators ([`crate::window`]) can
+    /// build sub-histograms sharing this snapshot type.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        HistState::new(bounds)
+    }
+
+    /// Records one finite observation directly into this state (the
+    /// lock-free core of [`Histogram::observe`]; callers own the
+    /// synchronisation). Non-finite values are dropped.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Bucket counts are added positionally,
+    /// so both states must share bounds (windowed slots do by
+    /// construction); mismatched shapes fold only the shared prefix and
+    /// spill the rest into the overflow bucket.
+    pub fn merge_from(&mut self, other: &HistState) {
+        for (i, &c) in other.counts.iter().enumerate() {
+            let last = self.counts.len() - 1;
+            self.counts[i.min(last)] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Mean of the observed values (`NaN`-free: `None` while empty).
     pub fn mean(&self) -> Option<f64> {
         if self.count == 0 {
@@ -82,6 +123,47 @@ impl HistState {
         } else {
             Some(self.sum / self.count as f64)
         }
+    }
+
+    /// Streaming quantile estimate for `q ∈ [0, 1]` by linear
+    /// interpolation inside the bucket containing the target order
+    /// statistic, clamped to the exact observed `[min, max]`. The error
+    /// versus the exact sorted quantile is bounded by the width of that
+    /// bucket (both values lie inside it). `None` while empty or for an
+    /// out-of-range/non-finite `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !q.is_finite() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // 1-based rank of the order statistic at quantile q: the
+        // smallest value with at least ceil(q * count) observations at
+        // or below it.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if below + c >= target {
+                // Bucket i spans (lo, hi]; interpolate by rank within it.
+                let lo = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1]
+                };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                let frac = (target - below) as f64 / c as f64;
+                let est = lo + frac * (hi - lo);
+                return Some(est.clamp(self.min, self.max));
+            }
+            below += c;
+        }
+        // Unreachable for consistent counts; fall back to the max.
+        Some(self.max)
     }
 }
 
@@ -101,20 +183,7 @@ impl Histogram {
     /// Records one observation. Non-finite values are dropped (they would
     /// poison `sum` and leak into reports), never counted.
     pub fn observe(&self, v: f64) {
-        if !v.is_finite() {
-            return;
-        }
-        let mut h = lock(&self.inner);
-        let i = h
-            .bounds
-            .iter()
-            .position(|&b| v <= b)
-            .unwrap_or(h.bounds.len());
-        h.counts[i] += 1;
-        h.count += 1;
-        h.sum += v;
-        h.min = h.min.min(v);
-        h.max = h.max.max(v);
+        lock(&self.inner).record(v);
     }
 
     /// Copies the current state out.

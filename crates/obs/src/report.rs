@@ -176,6 +176,9 @@ fn hist_to_json(h: &HistState) -> Json {
     Json::obj(vec![
         ("count", Json::UInt(h.count)),
         ("sum", Json::Num(h.sum)),
+        // Exact mean from the running sum (not bucket-midpoint
+        // estimated); `None` while empty renders as null via NaN.
+        ("mean", Json::Num(h.mean().unwrap_or(f64::NAN))),
         ("min", Json::Num(h.min)),
         ("max", Json::Num(h.max)),
         (

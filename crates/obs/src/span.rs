@@ -14,9 +14,55 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
+use crate::registry::SpanEntry;
+
 thread_local! {
     /// Stack of full paths of the spans live on this thread.
     static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-thread trace capture: when `Some`, completed spans on this
+    /// thread also accumulate here (path-keyed, first-seen order) so a
+    /// serving daemon can hand one request's stage timings back in its
+    /// response without turning the global sink on.
+    static CAPTURE: RefCell<Option<Vec<SpanEntry>>> = const { RefCell::new(None) };
+}
+
+/// Starts capturing completed spans on the *current thread* into a
+/// private buffer (replacing any capture already active). Spans record
+/// here in addition to the global registry (when [`crate::enabled`]),
+/// and even with the global sink off — per-request tracing must work
+/// without globally-accumulating telemetry.
+pub fn capture_begin() {
+    CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stops the current thread's capture and returns the accumulated
+/// spans (empty if no capture was active). Entries are path-keyed in
+/// first-seen order, same semantics as the registry's span store.
+pub fn capture_end() -> Vec<SpanEntry> {
+    CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default()
+}
+
+fn capture_active() -> bool {
+    CAPTURE.with(|c| c.borrow().is_some())
+}
+
+fn capture_record(path: &str, wall_ns: u64) {
+    CAPTURE.with(|c| {
+        if let Some(entries) = c.borrow_mut().as_mut() {
+            match entries.iter_mut().find(|e| e.path == path) {
+                Some(e) => {
+                    e.count += 1;
+                    e.wall_ns = e.wall_ns.saturating_add(wall_ns);
+                }
+                None => entries.push(SpanEntry {
+                    path: path.to_string(),
+                    count: 1,
+                    wall_ns,
+                }),
+            }
+        }
+    });
 }
 
 /// RAII guard for one timed region; see [`span`].
@@ -26,9 +72,10 @@ pub struct SpanGuard {
 }
 
 /// Opens a span named `name` under the innermost live span of this
-/// thread. Returns an inert guard when the sink is off.
+/// thread. Returns an inert guard when the sink is off and no capture
+/// is active on this thread.
 pub fn span(name: &str) -> SpanGuard {
-    if !crate::enabled() {
+    if !crate::enabled() && !capture_active() {
         return SpanGuard { live: None };
     }
     let path = SPAN_STACK.with(|stack| {
@@ -58,7 +105,10 @@ impl Drop for SpanGuard {
                     stack.remove(i);
                 }
             });
-            crate::registry::record_span(&path, wall_ns);
+            if crate::enabled() {
+                crate::registry::record_span(&path, wall_ns);
+            }
+            capture_record(&path, wall_ns);
         }
     }
 }
@@ -126,6 +176,48 @@ mod tests {
         }
         let paths: Vec<String> = snapshot().spans.into_iter().map(|e| e.path).collect();
         assert_eq!(paths, vec!["first", "second"]);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn capture_works_with_global_sink_off() {
+        let _g = test_lock();
+        reset();
+        disable();
+        super::capture_begin();
+        {
+            let _outer = span("req");
+            let _inner = span("kle");
+        }
+        let captured = super::capture_end();
+        let paths: Vec<&str> = captured.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(paths, vec!["req/kle", "req"]);
+        // Nothing leaked into the global registry.
+        assert!(snapshot().spans.is_empty());
+        // Capture is one-shot: ended means empty until begun again.
+        {
+            let _after = span("after");
+        }
+        assert!(super::capture_end().is_empty());
+    }
+
+    #[test]
+    fn capture_accumulates_alongside_enabled_sink() {
+        let _g = test_lock();
+        reset();
+        enable();
+        super::capture_begin();
+        {
+            let _a = span("stage");
+        }
+        {
+            let _b = span("stage");
+        }
+        let captured = super::capture_end();
+        assert_eq!(captured.len(), 1);
+        assert_eq!(captured[0].count, 2, "same path accumulates in capture");
+        assert_eq!(snapshot().spans[0].count, 2, "global sink still records");
         disable();
         reset();
     }

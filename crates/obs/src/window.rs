@@ -1,0 +1,606 @@
+//! Windowed metrics for long-lived processes: sliding-window histograms
+//! on an injected logical clock, streaming quantile estimates, a
+//! deadline-SLO accumulator and rate-producing metrics snapshots.
+//!
+//! Everything the batch-shaped registry collects is cumulative since
+//! process start — the right shape for a run report, the wrong shape for
+//! a daemon an operator asks "how is the tail latency *now*?". The types
+//! here answer that question without a background thread and without any
+//! clock reads of their own:
+//!
+//! - [`SlidingWindow`]: a ring of fixed-bucket sub-histograms rotated on
+//!   a caller-supplied logical tick (milliseconds since an epoch the
+//!   caller owns). Observations older than the window fall out when
+//!   their slot is recycled; [`SlidingWindow::merged`] folds the live
+//!   slots into one [`HistState`] for quantile queries.
+//! - [`HistState::quantile`]: streaming quantile estimate by linear
+//!   interpolation inside the bucket holding the target order statistic;
+//!   the error is bounded by that bucket's width.
+//! - [`DeadlineSlo`]: windowed fraction-of-queries-within-deadline plus
+//!   the remaining error budget against a target fraction.
+//! - [`MetricsSnapshot`]: a point-in-time copy of the registry stamped
+//!   with a logical tick; two snapshots diff into [`MetricsRates`]
+//!   (per-second counter rates, cache-hit ratio) and serialise as one
+//!   compact `klest-metrics/v1` line an external scraper can tail.
+
+use std::sync::{Mutex, MutexGuard};
+
+use crate::json::Json;
+use crate::registry::{HistState, Snapshot};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Default latency bucket bounds (milliseconds) for serving windows:
+/// roughly 1-2-5 per decade from 1 ms to 30 s.
+pub const LATENCY_MS_BOUNDS: [f64; 14] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 3e4,
+];
+
+struct WindowState {
+    /// Ring of sub-histograms; `slots[s % slots.len()]` holds absolute
+    /// slot `s` while it is live.
+    slots: Vec<HistState>,
+    /// Absolute index (tick / slot_width) of the newest live slot.
+    head: u64,
+    /// True until the first observation/rotation initialises `head`.
+    empty: bool,
+}
+
+/// A sliding-window histogram: a ring of fixed-bucket sub-histograms
+/// rotated on a logical clock the caller injects (no `Instant::now()`
+/// in here — the tick is typically derived from a timestamp the serving
+/// path already took for its own latency measurement).
+///
+/// The window covers `slots * slot_width_ms` milliseconds; rotation
+/// recycles the oldest slot, so merged statistics cover at least
+/// `(slots - 1)` and at most `slots` full slot widths.
+pub struct SlidingWindow {
+    bounds: Vec<f64>,
+    slot_width_ms: u64,
+    inner: Mutex<WindowState>,
+}
+
+impl SlidingWindow {
+    /// A window of `slots` sub-histograms, each `slot_width_ms` wide,
+    /// sharing `bounds` (inclusive upper bucket bounds, ascending).
+    /// `slots` is clamped to ≥ 2 and `slot_width_ms` to ≥ 1.
+    pub fn new(slots: usize, slot_width_ms: u64, bounds: &[f64]) -> SlidingWindow {
+        let slots = slots.max(2);
+        SlidingWindow {
+            bounds: bounds.to_vec(),
+            slot_width_ms: slot_width_ms.max(1),
+            inner: Mutex::new(WindowState {
+                slots: (0..slots).map(|_| HistState::with_bounds(bounds)).collect(),
+                head: 0,
+                empty: true,
+            }),
+        }
+    }
+
+    /// Total window span, milliseconds.
+    pub fn span_ms(&self) -> u64 {
+        self.slot_width_ms * lock(&self.inner).slots.len() as u64
+    }
+
+    /// Rotates the ring so `slot` is the head, clearing every slot the
+    /// head skips over. A tick that goes backwards (caller clock
+    /// weirdness) records into the current head instead of rotating.
+    fn rotate_to(state: &mut WindowState, bounds: &[f64], slot: u64) {
+        if state.empty {
+            state.head = slot;
+            state.empty = false;
+            return;
+        }
+        if slot <= state.head {
+            return;
+        }
+        let n = state.slots.len() as u64;
+        let steps = (slot - state.head).min(n);
+        for k in 1..=steps {
+            let idx = ((state.head + k) % n) as usize;
+            state.slots[idx] = HistState::with_bounds(bounds);
+        }
+        state.head = slot;
+    }
+
+    /// Records `v` at logical time `tick_ms`. Non-finite values are
+    /// dropped, like [`crate::Histogram::observe`].
+    pub fn observe(&self, tick_ms: u64, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let slot = tick_ms / self.slot_width_ms;
+        let mut state = lock(&self.inner);
+        Self::rotate_to(&mut state, &self.bounds, slot);
+        let n = state.slots.len() as u64;
+        let head = state.head;
+        state.slots[(head % n) as usize].record(v);
+    }
+
+    /// Folds the live slots into one [`HistState`] as of `tick_ms`
+    /// (rotating first, so observations older than the window are gone).
+    pub fn merged(&self, tick_ms: u64) -> HistState {
+        let slot = tick_ms / self.slot_width_ms;
+        let mut state = lock(&self.inner);
+        Self::rotate_to(&mut state, &self.bounds, slot);
+        let mut merged = HistState::with_bounds(&self.bounds);
+        for s in &state.slots {
+            merged.merge_from(s);
+        }
+        merged
+    }
+}
+
+/// A point-in-time [`DeadlineSlo`] reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSnapshot {
+    /// Target fraction of queries that must complete within deadline.
+    pub target: f64,
+    /// Deadline-carrying queries observed in the window.
+    pub total: u64,
+    /// Of those, how many met their deadline.
+    pub met: u64,
+}
+
+impl SloSnapshot {
+    /// Fraction of windowed queries that met their deadline (`None`
+    /// while the window is empty).
+    pub fn fraction(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.met as f64 / self.total as f64)
+        }
+    }
+
+    /// Remaining error budget in `[0, 1]`: 1 while no allowed-violation
+    /// budget has been consumed, 0 once violations reach or exceed
+    /// `total * (1 - target)`. `None` while the window is empty or the
+    /// target allows no violations at all.
+    pub fn error_budget_remaining(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let allowed = self.total as f64 * (1.0 - self.target);
+        if allowed <= 0.0 {
+            return None;
+        }
+        let violations = (self.total - self.met) as f64;
+        Some((1.0 - violations / allowed).clamp(0.0, 1.0))
+    }
+}
+
+struct SloState {
+    /// Ring of `(met, total)` pairs.
+    slots: Vec<(u64, u64)>,
+    head: u64,
+    empty: bool,
+}
+
+/// Windowed deadline-SLO accumulator: records, per completed query with
+/// a deadline, whether it finished in time, and reports the windowed
+/// fraction plus the error budget remaining against `target`.
+///
+/// Same logical-clock contract as [`SlidingWindow`]: the caller injects
+/// ticks, nothing here reads a clock.
+pub struct DeadlineSlo {
+    target: f64,
+    slot_width_ms: u64,
+    inner: Mutex<SloState>,
+}
+
+impl DeadlineSlo {
+    /// An SLO window of `slots` × `slot_width_ms` against `target`
+    /// (clamped into `[0, 1]`).
+    pub fn new(target: f64, slots: usize, slot_width_ms: u64) -> DeadlineSlo {
+        DeadlineSlo {
+            target: target.clamp(0.0, 1.0),
+            slot_width_ms: slot_width_ms.max(1),
+            inner: Mutex::new(SloState {
+                slots: vec![(0, 0); slots.max(2)],
+                head: 0,
+                empty: true,
+            }),
+        }
+    }
+
+    /// The target fraction.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    fn rotate_to(state: &mut SloState, slot: u64) {
+        if state.empty {
+            state.head = slot;
+            state.empty = false;
+            return;
+        }
+        if slot <= state.head {
+            return;
+        }
+        let n = state.slots.len() as u64;
+        let steps = (slot - state.head).min(n);
+        for k in 1..=steps {
+            let idx = ((state.head + k) % n) as usize;
+            state.slots[idx] = (0, 0);
+        }
+        state.head = slot;
+    }
+
+    /// Records one deadline-carrying query at `tick_ms`.
+    pub fn record(&self, tick_ms: u64, within_deadline: bool) {
+        let slot = tick_ms / self.slot_width_ms;
+        let mut state = lock(&self.inner);
+        Self::rotate_to(&mut state, slot);
+        let n = state.slots.len() as u64;
+        let head = state.head;
+        let cell = &mut state.slots[(head % n) as usize];
+        cell.1 += 1;
+        if within_deadline {
+            cell.0 += 1;
+        }
+    }
+
+    /// The windowed reading as of `tick_ms`.
+    pub fn snapshot(&self, tick_ms: u64) -> SloSnapshot {
+        let slot = tick_ms / self.slot_width_ms;
+        let mut state = lock(&self.inner);
+        Self::rotate_to(&mut state, slot);
+        let (met, total) = state
+            .slots
+            .iter()
+            .fold((0, 0), |(m, t), (sm, st)| (m + sm, t + st));
+        SloSnapshot {
+            target: self.target,
+            total,
+            met,
+        }
+    }
+}
+
+/// Per-second counter rates between two [`MetricsSnapshot`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRates {
+    /// Wall (logical) time between the snapshots, milliseconds.
+    pub interval_ms: u64,
+    /// `(counter name, delta / interval)` for every counter present in
+    /// the later snapshot, name-sorted. Counters absent from the earlier
+    /// snapshot rate from zero.
+    pub per_sec: Vec<(String, f64)>,
+}
+
+impl MetricsRates {
+    /// The rate for `name`, if that counter moved between snapshots.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.per_sec
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A registry snapshot stamped with a logical tick, diffable into rates
+/// and serialisable as one `klest-metrics/v1` line.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Caller-defined logical time (typically ms since daemon start).
+    pub tick_ms: u64,
+    /// Registry contents at capture time.
+    pub snapshot: Snapshot,
+}
+
+impl MetricsSnapshot {
+    /// Captures the global registry at logical time `tick_ms`.
+    pub fn capture(tick_ms: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tick_ms,
+            snapshot: crate::snapshot(),
+        }
+    }
+
+    /// Wraps an already-taken snapshot (tests, replay).
+    pub fn from_snapshot(tick_ms: u64, snapshot: Snapshot) -> MetricsSnapshot {
+        MetricsSnapshot { tick_ms, snapshot }
+    }
+
+    /// The value of counter `name` in this snapshot (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.snapshot
+            .counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Hit ratio over every `<prefix>…​.hits` / `.misses` counter pair
+    /// (e.g. `pipeline.cache.` for the artifact cache); `None` when no
+    /// traffic was recorded.
+    pub fn hit_ratio(&self, prefix: &str) -> Option<f64> {
+        let sum_of = |suffix: &str| -> u64 {
+            self.snapshot
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix) && k.ends_with(suffix))
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        let hits = sum_of(".hits");
+        let misses = sum_of(".misses");
+        if hits + misses == 0 {
+            None
+        } else {
+            Some(hits as f64 / (hits + misses) as f64)
+        }
+    }
+
+    /// Diffs this (later) snapshot against `earlier` into per-second
+    /// counter rates. A later tick equal to (or before) the earlier one
+    /// yields an empty rate set rather than dividing by zero.
+    pub fn rates_since(&self, earlier: &MetricsSnapshot) -> MetricsRates {
+        let interval_ms = self.tick_ms.saturating_sub(earlier.tick_ms);
+        if interval_ms == 0 {
+            return MetricsRates::default();
+        }
+        let secs = interval_ms as f64 / 1e3;
+        let per_sec = self
+            .snapshot
+            .counters
+            .iter()
+            .map(|(name, later)| {
+                let before = earlier.counter(name);
+                (name.clone(), later.saturating_sub(before) as f64 / secs)
+            })
+            .collect();
+        MetricsRates {
+            interval_ms,
+            per_sec,
+        }
+    }
+
+    /// Renders the snapshot (plus optional rates) as one compact
+    /// `klest-metrics/v1` JSON line — the newline-delimited format
+    /// `--metrics-out` emits and external scrapers tail.
+    ///
+    /// Deterministic: counters/gauges/histograms render name-sorted (the
+    /// snapshot's own order), rates in the same order, non-finite floats
+    /// as `null`. Spans and events are deliberately excluded — they
+    /// belong to run reports and per-request traces.
+    pub fn to_json_line(&self, rates: Option<&MetricsRates>) -> String {
+        let mut members = vec![
+            ("schema".to_string(), Json::str("klest-metrics/v1")),
+            ("tick_ms".to_string(), Json::UInt(self.tick_ms)),
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    self.snapshot
+                        .counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Json::Obj(
+                    self.snapshot
+                        .gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Json::Obj(
+                    self.snapshot
+                        .histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), hist_summary_json(h)))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(rates) = rates {
+            members.push((
+                "rates".to_string(),
+                Json::Obj(vec![
+                    ("interval_ms".to_string(), Json::UInt(rates.interval_ms)),
+                    (
+                        "per_sec".to_string(),
+                        Json::Obj(
+                            rates
+                                .per_sec
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(members).to_compact_string()
+    }
+}
+
+/// Compact per-histogram summary for metrics lines: exact count / sum /
+/// min / max plus interpolated tail quantiles.
+fn hist_summary_json(h: &HistState) -> Json {
+    let q = |q: f64| match h.quantile(q) {
+        Some(v) => Json::Num(v),
+        None => Json::Null,
+    };
+    Json::obj(vec![
+        ("count", Json::UInt(h.count)),
+        ("sum", Json::Num(h.sum)),
+        ("min", Json::Num(h.min)),
+        ("max", Json::Num(h.max)),
+        ("p50", q(0.50)),
+        ("p95", q(0.95)),
+        ("p99", q(0.99)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_rotation_forgets_old_slots() {
+        let w = SlidingWindow::new(3, 100, &[10.0, 100.0]);
+        w.observe(0, 5.0);
+        w.observe(150, 50.0);
+        // Both still inside the 300 ms window.
+        let m = w.merged(200);
+        assert_eq!(m.count, 2);
+        // Advance far enough that slot 0 (the 5.0) is recycled but slot
+        // 1 (the 50.0) survives.
+        let m = w.merged(350);
+        assert_eq!(m.count, 1);
+        assert_eq!(m.min, 50.0);
+        // Far beyond the window: empty.
+        let m = w.merged(10_000);
+        assert_eq!(m.count, 0);
+        assert_eq!(m.mean(), None);
+    }
+
+    #[test]
+    fn window_tick_going_backwards_is_tolerated() {
+        let w = SlidingWindow::new(4, 10, &[10.0]);
+        w.observe(500, 1.0);
+        w.observe(400, 2.0); // backwards: records into the current head
+        assert_eq!(w.merged(500).count, 2);
+        assert_eq!(w.span_ms(), 40);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = HistState::with_bounds(&[10.0, 20.0, 30.0]);
+        for v in [1.0, 2.0, 3.0, 12.0, 14.0, 18.0, 22.0, 25.0, 28.0, 29.0] {
+            h.record(v);
+        }
+        // p50 lands on the 5th of 10 values (14.0), inside (10, 20].
+        let p50 = h.quantile(0.5).expect("non-empty");
+        assert!((10.0..=20.0).contains(&p50), "{p50}");
+        // p99 targets the last value (29.0), inside (20, 30].
+        let p99 = h.quantile(0.99).expect("non-empty");
+        assert!((20.0..=30.0).contains(&p99), "{p99}");
+        // Quantiles are monotone in q.
+        let p95 = h.quantile(0.95).expect("non-empty");
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Degenerate inputs.
+        assert_eq!(HistState::with_bounds(&[1.0]).quantile(0.5), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(h.quantile(-0.1), None);
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_extremes() {
+        let mut h = HistState::with_bounds(&[100.0]);
+        h.record(40.0);
+        h.record(60.0);
+        let p0 = h.quantile(0.0).expect("non-empty");
+        let p100 = h.quantile(1.0).expect("non-empty");
+        assert!(p0 >= 40.0, "{p0}");
+        assert!(p100 <= 60.0, "{p100}");
+    }
+
+    #[test]
+    fn slo_window_tracks_fraction_and_budget() {
+        let slo = DeadlineSlo::new(0.9, 4, 100);
+        for i in 0..9 {
+            slo.record(i * 10, true);
+        }
+        slo.record(95, false);
+        let s = slo.snapshot(100);
+        assert_eq!(s.total, 10);
+        assert_eq!(s.met, 9);
+        assert_eq!(s.fraction(), Some(0.9));
+        // 10 queries at target 0.9 allow exactly 1 violation: budget 0.
+        assert_eq!(s.error_budget_remaining(), Some(0.0));
+        // The window forgets: far in the future everything is gone.
+        let s = slo.snapshot(100_000);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.fraction(), None);
+        assert_eq!(s.error_budget_remaining(), None);
+    }
+
+    #[test]
+    fn slo_target_one_has_no_budget() {
+        let slo = DeadlineSlo::new(1.0, 2, 100);
+        slo.record(0, true);
+        let s = slo.snapshot(0);
+        assert_eq!(s.fraction(), Some(1.0));
+        assert_eq!(s.error_budget_remaining(), None);
+    }
+
+    #[test]
+    fn rates_diff_counters_per_second() {
+        let earlier = MetricsSnapshot::from_snapshot(
+            1_000,
+            Snapshot {
+                counters: vec![("serve.admitted".into(), 10)],
+                ..Snapshot::default()
+            },
+        );
+        let later = MetricsSnapshot::from_snapshot(
+            3_000,
+            Snapshot {
+                counters: vec![
+                    ("serve.admitted".into(), 50),
+                    ("serve.shed.overload".into(), 4),
+                ],
+                ..Snapshot::default()
+            },
+        );
+        let rates = later.rates_since(&earlier);
+        assert_eq!(rates.interval_ms, 2_000);
+        assert_eq!(rates.get("serve.admitted"), Some(20.0));
+        assert_eq!(rates.get("serve.shed.overload"), Some(2.0));
+        // Zero interval: no rates, no division by zero.
+        assert_eq!(later.rates_since(&later), MetricsRates::default());
+    }
+
+    #[test]
+    fn hit_ratio_sums_prefixed_pairs() {
+        let snap = MetricsSnapshot::from_snapshot(
+            0,
+            Snapshot {
+                counters: vec![
+                    ("pipeline.cache.mesh.hits".into(), 3),
+                    ("pipeline.cache.mesh.misses".into(), 1),
+                    ("pipeline.cache.spectrum.hits".into(), 5),
+                    ("pipeline.cache.spectrum.misses".into(), 3),
+                    ("unrelated.hits".into(), 100),
+                ],
+                ..Snapshot::default()
+            },
+        );
+        assert_eq!(snap.hit_ratio("pipeline.cache."), Some(8.0 / 12.0));
+        assert_eq!(snap.hit_ratio("nothing."), None);
+    }
+
+    #[test]
+    fn metrics_line_is_compact_and_deterministic() {
+        let mut h = HistState::with_bounds(&[10.0, 100.0]);
+        h.record(5.0);
+        h.record(50.0);
+        let snap = MetricsSnapshot::from_snapshot(
+            1_234,
+            Snapshot {
+                counters: vec![("a.count".into(), 7)],
+                gauges: vec![("g.depth".into(), 3.0)],
+                histograms: vec![("h.lat".into(), h)],
+                ..Snapshot::default()
+            },
+        );
+        let line = snap.to_json_line(None);
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.starts_with(r#"{"schema":"klest-metrics/v1","tick_ms":1234"#), "{line}");
+        assert!(line.contains(r#""a.count":7"#), "{line}");
+        assert!(line.contains(r#""p50":"#), "{line}");
+        assert_eq!(line, snap.to_json_line(None), "byte-stable");
+    }
+}

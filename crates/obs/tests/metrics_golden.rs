@@ -1,0 +1,62 @@
+//! Golden-file determinism test for the `klest-metrics/v1` snapshot
+//! line: a fixed pair of registry snapshots must render byte-for-byte
+//! identically to the checked-in golden line, every time.
+
+use klest_obs::{HistState, MetricsSnapshot, Snapshot};
+
+fn fixture() -> (MetricsSnapshot, MetricsSnapshot) {
+    let earlier = MetricsSnapshot::from_snapshot(
+        1_000,
+        Snapshot {
+            counters: vec![("serve.admitted".to_string(), 10)],
+            ..Snapshot::default()
+        },
+    );
+    let mut lat = HistState::with_bounds(&[10.0, 100.0]);
+    lat.record(5.0);
+    lat.record(50.0);
+    let later = MetricsSnapshot::from_snapshot(
+        3_000,
+        Snapshot {
+            counters: vec![
+                ("pipeline.cache.spectrum.hits".to_string(), 8),
+                ("pipeline.cache.spectrum.misses".to_string(), 2),
+                ("serve.admitted".to_string(), 50),
+                ("serve.shed.overload".to_string(), 4),
+            ],
+            gauges: vec![("serve.queue.depth".to_string(), 3.0)],
+            histograms: vec![("serve.latency_ms.warm".to_string(), lat)],
+            ..Snapshot::default()
+        },
+    );
+    (earlier, later)
+}
+
+#[test]
+fn metrics_v1_line_matches_golden_file() {
+    let (earlier, later) = fixture();
+    let rates = later.rates_since(&earlier);
+    let line = later.to_json_line(Some(&rates));
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_v1.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("golden file readable");
+    assert_eq!(
+        line,
+        golden.trim_end(),
+        "klest-metrics/v1 encoding drifted from {golden_path}"
+    );
+
+    // Determinism: a second render of the same snapshots is identical.
+    let again = later.to_json_line(Some(&later.rates_since(&earlier)));
+    assert_eq!(line, again, "metrics line must be byte-stable");
+}
+
+#[test]
+fn derived_readings_from_fixture() {
+    let (earlier, later) = fixture();
+    let rates = later.rates_since(&earlier);
+    assert_eq!(rates.interval_ms, 2_000);
+    assert_eq!(rates.get("serve.admitted"), Some(20.0));
+    assert_eq!(rates.get("serve.shed.overload"), Some(2.0));
+    assert_eq!(later.hit_ratio("pipeline.cache."), Some(0.8));
+}

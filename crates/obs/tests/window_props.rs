@@ -1,0 +1,101 @@
+//! Property tests for the windowed-metrics layer: sliding-window
+//! quantile estimates must track the exact sorted quantiles of the
+//! observed values, with error bounded by one bucket width.
+
+use klest_obs::{HistState, SlidingWindow};
+use klest_proptest::check;
+use klest_proptest::strategies::{f64_in, usize_in, vec_of};
+
+/// Uniform bucket grid over [0, 100] with the given width.
+fn grid_bounds(width: f64) -> Vec<f64> {
+    let mut bounds = Vec::new();
+    let mut b = width;
+    while b < 100.0 + width / 2.0 {
+        bounds.push(b);
+        b += width;
+    }
+    bounds
+}
+
+/// The exact order statistic the estimator targets: the smallest value
+/// with at least `ceil(q * n)` observations at or below it.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+#[test]
+fn windowed_quantiles_match_exact_within_bucket_width() {
+    let strat = (
+        vec_of(f64_in(0.0..100.0), 1..200),
+        usize_in(0..3), // bucket-width selector: 2.5 / 5 / 10
+    );
+    check("obs.window.quantile_vs_exact", &strat, |(values, wsel)| {
+        let width = [2.5, 5.0, 10.0][*wsel];
+        let bounds = grid_bounds(width);
+        // Spread observations across the live window: ascending ticks
+        // inside one span, so rotation never recycles a filled slot.
+        let w = SlidingWindow::new(4, 100, &bounds);
+        let n = values.len();
+        for (i, &v) in values.iter().enumerate() {
+            w.observe((i as u64 * 399) / n as u64, v);
+        }
+        let merged = w.merged(399);
+        if merged.count != n as u64 {
+            return Err(format!("window lost observations: {} != {n}", merged.count));
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = merged
+                .quantile(q)
+                .ok_or_else(|| "quantile None on non-empty window".to_string())?;
+            let exact = exact_quantile(&sorted, q);
+            // Both the estimate and the exact order statistic lie in the
+            // same bucket, so they differ by at most its width.
+            if (est - exact).abs() > width + 1e-9 {
+                return Err(format!(
+                    "q={q}: estimate {est} vs exact {exact} off by more than \
+                     bucket width {width} (n={n})"
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn merged_window_equals_direct_histogram() {
+    let strat = vec_of(f64_in(0.0..100.0), 1..100);
+    check("obs.window.merge_equals_direct", &strat, |values| {
+        let bounds = grid_bounds(10.0);
+        let w = SlidingWindow::new(8, 50, &bounds);
+        let mut direct = HistState::with_bounds(&bounds);
+        let n = values.len();
+        for (i, &v) in values.iter().enumerate() {
+            w.observe((i as u64 * 399) / n as u64, v);
+            direct.record(v);
+        }
+        let merged = w.merged(399);
+        // Counts and extremes are exact; `sum` may differ in the last
+        // ulp because the window adds per-slot partial sums.
+        if merged.counts != direct.counts
+            || merged.count != direct.count
+            || merged.min != direct.min
+            || merged.max != direct.max
+        {
+            return Err(format!(
+                "merged window diverged from direct histogram:\n{merged:?}\nvs\n{direct:?}"
+            ));
+        }
+        let tol = 1e-12 * direct.sum.abs().max(1.0);
+        if (merged.sum - direct.sum).abs() > tol {
+            return Err(format!(
+                "merged sum {} vs direct {} beyond reassociation tolerance",
+                merged.sum, direct.sum
+            ));
+        }
+        Ok(())
+    });
+}

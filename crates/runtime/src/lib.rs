@@ -34,7 +34,9 @@
 mod queue;
 mod supervisor;
 mod token;
+mod usage;
 
 pub use queue::{BoundedQueue, PushError, WaitGroup};
 pub use supervisor::{ShardStatus, SupervisedRun, Supervisor};
 pub use token::{Budget, CancelToken, Cancelled, StageBudgets};
+pub use usage::{BusyGuard, PoolUsage};

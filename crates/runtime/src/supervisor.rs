@@ -139,6 +139,26 @@ impl Supervisor {
         )
     }
 
+    /// [`Supervisor::run_one`] wrapped in an obs span named `span_name`,
+    /// opened on the calling thread so the stages the work runs (mesh /
+    /// assemble / eigensolve / …) nest under it on the worker's span
+    /// stack. With per-thread capture active
+    /// ([`klest_obs::capture_begin`]) the whole attempt tree lands in
+    /// the captured trace even when the global sink is off — the shape
+    /// per-request response tracing needs.
+    pub fn run_one_in_span<T, F>(
+        &self,
+        shard: usize,
+        span_name: &str,
+        work: F,
+    ) -> (Option<T>, ShardStatus)
+    where
+        F: Fn(usize, &CancelToken) -> T,
+    {
+        let _span = klest_obs::span(span_name);
+        self.run_one(shard, work)
+    }
+
     /// Runs `work(shard, token)` for every shard on its own scoped thread,
     /// isolating panics and salvaging the results of shards that complete.
     ///

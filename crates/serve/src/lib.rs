@@ -45,8 +45,8 @@ pub mod protocol;
 pub mod server;
 
 pub use protocol::{
-    parse_request, BadRequest, CircuitSpec, KernelSpec, QueryOutcome, QuerySpec, ServeError,
-    ServeRequest,
+    parse_request, stats_response, BadRequest, CircuitSpec, KernelSpec, LatencyStats,
+    QueryOutcome, QuerySpec, ServeError, ServeRequest, StatsReport, TraceInfo,
 };
 pub use server::{Server, ServeConfig, ServeSummary};
 
@@ -84,8 +84,7 @@ mod tests {
             workers: 2,
             queue_depth: 16,
             drain: Duration::from_secs(30),
-            default_deadline: None,
-            cache_dir: None,
+            ..ServeConfig::default()
         }
     }
 

@@ -11,6 +11,7 @@
 use std::time::Duration;
 
 use klest_circuit::{BenchmarkId, TABLE1_BENCHMARKS};
+use klest_obs::{HistState, SloSnapshot, SpanEntry};
 use klest_kernels::{
     CovarianceKernel, ExponentialKernel, GaussianKernel, MaternKernel, SeparableExponentialKernel,
 };
@@ -138,6 +139,9 @@ pub struct QuerySpec {
     /// Fault drill: cooperative hang of this many milliseconds inside
     /// the MC stage (exercises deadline cancellation).
     pub inject_hang_ms: Option<u64>,
+    /// Client asked for a per-request trace (`"trace":true`); honoured
+    /// only when the daemon also runs with `--trace-responses`.
+    pub trace: bool,
 }
 
 /// One parsed request.
@@ -152,6 +156,11 @@ pub enum ServeRequest {
     },
     /// Liveness probe; answered inline with `pong`.
     Ping {
+        /// Optional correlation id.
+        id: Option<String>,
+    },
+    /// Introspection probe; answered inline with a [`StatsReport`].
+    Stats {
         /// Optional correlation id.
         id: Option<String>,
     },
@@ -271,6 +280,103 @@ pub struct QueryOutcome {
     pub queue_ms: u64,
     /// Time spent in service, ms.
     pub service_ms: u64,
+    /// Per-request trace, present when the client asked (`"trace":true`)
+    /// and the daemon allows it (`--trace-responses`).
+    pub trace: Option<TraceInfo>,
+}
+
+/// Per-request trace carried on a query response: where the wall time
+/// went, stage by stage, and which artifacts were already warm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceInfo {
+    /// Daemon-assigned trace id (request id + per-daemon seed hashed
+    /// through `klest-rng`; stable for a given daemon seed, no clock).
+    pub trace_id: String,
+    /// Artifact-cache warmth at admission: mesh layer.
+    pub warm_mesh: bool,
+    /// Artifact-cache warmth at admission: Galerkin-matrix layer.
+    pub warm_galerkin: bool,
+    /// Artifact-cache warmth at admission: spectrum layer.
+    pub warm_spectrum: bool,
+    /// Captured stage spans (path-keyed, first-seen order) from the
+    /// worker thread that ran the request: mesh / assemble / eigensolve
+    /// / truncate / ssta under the supervision root.
+    pub stages: Vec<SpanEntry>,
+    /// Salvage/degradation notes (retries, coarsenings, CI widening).
+    pub events: Vec<String>,
+}
+
+/// One windowed latency reading inside a [`StatsReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Observations in the window.
+    pub count: u64,
+    /// Interpolated quantiles, `None` while the window is empty.
+    pub p50: Option<f64>,
+    /// 95th percentile.
+    pub p95: Option<f64>,
+    /// 99th percentile.
+    pub p99: Option<f64>,
+    /// Exact windowed mean.
+    pub mean: Option<f64>,
+}
+
+impl LatencyStats {
+    /// Summarises a merged window state.
+    pub fn from_hist(h: &HistState) -> LatencyStats {
+        LatencyStats {
+            count: h.count,
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            mean: h.mean(),
+        }
+    }
+}
+
+/// Lifetime + windowed introspection snapshot answering `{"op":"stats"}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Milliseconds since the daemon started serving.
+    pub uptime_ms: u64,
+    /// Configured worker count.
+    pub workers: usize,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Queries admitted to the queue (lifetime).
+    pub admitted: u64,
+    /// Queries completed cleanly (lifetime).
+    pub completed: u64,
+    /// Queries salvaged partially (lifetime).
+    pub salvaged: u64,
+    /// Queries cancelled with nothing salvageable (lifetime).
+    pub cancelled: u64,
+    /// Queries faulted after retries (lifetime).
+    pub faults: u64,
+    /// Queries shed at admission: queue full (lifetime).
+    pub shed_overload: u64,
+    /// Queries shed at dequeue: deadline expired in queue (lifetime).
+    pub shed_deadline: u64,
+    /// Queries shed because the daemon was draining (lifetime).
+    pub shed_draining: u64,
+    /// Windowed service latency of cache-warm queries, ms.
+    pub latency_warm: LatencyStats,
+    /// Windowed service latency of cache-cold queries, ms.
+    pub latency_cold: LatencyStats,
+    /// Windowed queue-wait latency, ms.
+    pub queue_wait: LatencyStats,
+    /// Artifact-cache hits (lifetime, all layers).
+    pub cache_hits: u64,
+    /// Artifact-cache misses (lifetime, all layers).
+    pub cache_misses: u64,
+    /// Memory-layer entry counts in `(mesh, galerkin, spectrum)` order.
+    pub cache_sizes: (usize, usize, usize),
+    /// Busy fraction of `workers × uptime`, `None` until measurable.
+    pub utilization: Option<f64>,
+    /// Windowed deadline-SLO reading.
+    pub slo: SloSnapshot,
 }
 
 fn id_json(id: Option<&str>) -> Json {
@@ -283,20 +389,150 @@ fn id_json(id: Option<&str>) -> Json {
 /// Renders the single response line for a successful query.
 pub fn outcome_response(id: &str, o: &QueryOutcome) -> String {
     let status = if o.salvaged { "salvaged" } else { "completed" };
+    let mut members = vec![
+        ("id".to_string(), Json::Str(id.to_string())),
+        ("status".to_string(), Json::Str(status.into())),
+        ("mean".to_string(), Json::Num(o.mean)),
+        ("sigma".to_string(), Json::Num(o.sigma)),
+        ("rank".to_string(), Json::Num(o.rank as f64)),
+        ("samples".to_string(), Json::Num(o.samples as f64)),
+        ("planned".to_string(), Json::Num(o.planned as f64)),
+        ("ci_widening".to_string(), Json::Num(o.ci_widening)),
+        ("warm".to_string(), Json::Bool(o.warm)),
+        ("retries".to_string(), Json::Num(o.retries as f64)),
+        ("coarsenings".to_string(), Json::Num(o.coarsenings as f64)),
+        ("queue_ms".to_string(), Json::Num(o.queue_ms as f64)),
+        ("service_ms".to_string(), Json::Num(o.service_ms as f64)),
+    ];
+    if let Some(trace) = &o.trace {
+        members.push(("trace".to_string(), trace_json(trace)));
+    }
+    Json::Obj(members).to_compact_string()
+}
+
+fn trace_json(t: &TraceInfo) -> Json {
     Json::Obj(vec![
-        ("id".into(), Json::Str(id.to_string())),
-        ("status".into(), Json::Str(status.into())),
-        ("mean".into(), Json::Num(o.mean)),
-        ("sigma".into(), Json::Num(o.sigma)),
-        ("rank".into(), Json::Num(o.rank as f64)),
-        ("samples".into(), Json::Num(o.samples as f64)),
-        ("planned".into(), Json::Num(o.planned as f64)),
-        ("ci_widening".into(), Json::Num(o.ci_widening)),
-        ("warm".into(), Json::Bool(o.warm)),
-        ("retries".into(), Json::Num(o.retries as f64)),
-        ("coarsenings".into(), Json::Num(o.coarsenings as f64)),
-        ("queue_ms".into(), Json::Num(o.queue_ms as f64)),
-        ("service_ms".into(), Json::Num(o.service_ms as f64)),
+        ("trace_id".to_string(), Json::Str(t.trace_id.clone())),
+        (
+            "artifacts_warm".to_string(),
+            Json::Obj(vec![
+                ("mesh".to_string(), Json::Bool(t.warm_mesh)),
+                ("galerkin".to_string(), Json::Bool(t.warm_galerkin)),
+                ("spectrum".to_string(), Json::Bool(t.warm_spectrum)),
+            ]),
+        ),
+        (
+            "stages".to_string(),
+            Json::Arr(
+                t.stages
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("path".to_string(), Json::Str(s.path.clone())),
+                            ("count".to_string(), Json::Num(s.count as f64)),
+                            ("wall_ns".to_string(), Json::Num(s.wall_ns as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "events".to_string(),
+            Json::Arr(t.events.iter().map(|e| Json::Str(e.clone())).collect()),
+        ),
+    ])
+}
+
+fn latency_json(l: &LatencyStats) -> Json {
+    let opt = |v: Option<f64>| match v {
+        Some(x) => Json::Num(x),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        ("count".to_string(), Json::Num(l.count as f64)),
+        ("p50".to_string(), opt(l.p50)),
+        ("p95".to_string(), opt(l.p95)),
+        ("p99".to_string(), opt(l.p99)),
+        ("mean".to_string(), opt(l.mean)),
+    ])
+}
+
+/// Renders the response to a `{"op":"stats"}` introspection probe.
+pub fn stats_response(id: Option<&str>, s: &StatsReport) -> String {
+    let opt = |v: Option<f64>| match v {
+        Some(x) => Json::Num(x),
+        None => Json::Null,
+    };
+    let hits_misses = s.cache_hits + s.cache_misses;
+    let hit_ratio = if hits_misses == 0 {
+        Json::Null
+    } else {
+        Json::Num(s.cache_hits as f64 / hits_misses as f64)
+    };
+    let (mesh_n, galerkin_n, spectrum_n) = s.cache_sizes;
+    Json::Obj(vec![
+        ("id".to_string(), id_json(id)),
+        ("status".to_string(), Json::Str("stats".into())),
+        ("uptime_ms".to_string(), Json::Num(s.uptime_ms as f64)),
+        ("workers".to_string(), Json::Num(s.workers as f64)),
+        (
+            "queue".to_string(),
+            Json::Obj(vec![
+                ("depth".to_string(), Json::Num(s.queue_depth as f64)),
+                ("capacity".to_string(), Json::Num(s.queue_capacity as f64)),
+            ]),
+        ),
+        (
+            "requests".to_string(),
+            Json::Obj(vec![
+                ("admitted".to_string(), Json::Num(s.admitted as f64)),
+                ("completed".to_string(), Json::Num(s.completed as f64)),
+                ("salvaged".to_string(), Json::Num(s.salvaged as f64)),
+                ("cancelled".to_string(), Json::Num(s.cancelled as f64)),
+                ("faults".to_string(), Json::Num(s.faults as f64)),
+                ("shed_overload".to_string(), Json::Num(s.shed_overload as f64)),
+                ("shed_deadline".to_string(), Json::Num(s.shed_deadline as f64)),
+                ("shed_draining".to_string(), Json::Num(s.shed_draining as f64)),
+            ]),
+        ),
+        (
+            "latency_ms".to_string(),
+            Json::Obj(vec![
+                ("warm".to_string(), latency_json(&s.latency_warm)),
+                ("cold".to_string(), latency_json(&s.latency_cold)),
+                ("queue_wait".to_string(), latency_json(&s.queue_wait)),
+            ]),
+        ),
+        (
+            "cache".to_string(),
+            Json::Obj(vec![
+                ("hits".to_string(), Json::Num(s.cache_hits as f64)),
+                ("misses".to_string(), Json::Num(s.cache_misses as f64)),
+                ("hit_ratio".to_string(), hit_ratio),
+                (
+                    "sizes".to_string(),
+                    Json::Obj(vec![
+                        ("mesh".to_string(), Json::Num(mesh_n as f64)),
+                        ("galerkin".to_string(), Json::Num(galerkin_n as f64)),
+                        ("spectrum".to_string(), Json::Num(spectrum_n as f64)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("utilization".to_string(), opt(s.utilization)),
+        (
+            "slo".to_string(),
+            Json::Obj(vec![
+                ("target".to_string(), Json::Num(s.slo.target)),
+                ("window_total".to_string(), Json::Num(s.slo.total as f64)),
+                ("window_met".to_string(), Json::Num(s.slo.met as f64)),
+                ("fraction".to_string(), opt(s.slo.fraction())),
+                (
+                    "error_budget_remaining".to_string(),
+                    opt(s.slo.error_budget_remaining()),
+                ),
+            ]),
+        ),
     ])
     .to_compact_string()
 }
@@ -355,9 +591,10 @@ pub fn draining_response() -> String {
     Json::Obj(vec![("status".into(), Json::Str("draining".into()))]).to_compact_string()
 }
 
-const KNOWN_KEYS: [&str; 18] = [
+const KNOWN_KEYS: [&str; 19] = [
     "id",
     "op",
+    "trace",
     "circuit",
     "scale",
     "gates",
@@ -552,11 +789,12 @@ pub fn parse_request(line: &str) -> Result<ServeRequest, BadRequest> {
     let op = field_str(&value, "op").map_err(bad)?.unwrap_or("query");
     match op {
         "ping" => return Ok(ServeRequest::Ping { id }),
+        "stats" => return Ok(ServeRequest::Stats { id }),
         "shutdown" => return Ok(ServeRequest::Shutdown),
         "query" => {}
         other => {
             return Err(bad(format!(
-                "unknown op '{other}' (expected query, ping or shutdown)"
+                "unknown op '{other}' (expected query, ping, stats or shutdown)"
             )))
         }
     }
@@ -582,6 +820,7 @@ pub fn parse_request(line: &str) -> Result<ServeRequest, BadRequest> {
         .map(Duration::from_millis);
     let inject_panic = field_bool(&value, "inject_panic").map_err(bad)?.unwrap_or(false);
     let inject_hang_ms = field_uint(&value, "inject_hang_ms", 1, 60_000).map_err(bad)?;
+    let trace = field_bool(&value, "trace").map_err(bad)?.unwrap_or(false);
     Ok(ServeRequest::Query {
         id,
         spec: QuerySpec {
@@ -594,6 +833,7 @@ pub fn parse_request(line: &str) -> Result<ServeRequest, BadRequest> {
             deadline,
             inject_panic,
             inject_hang_ms,
+            trace,
         },
     })
 }
@@ -647,6 +887,24 @@ mod tests {
         );
         assert_eq!(parse_request(r#"{"op":"ping"}"#), Ok(ServeRequest::Ping { id: None }));
         assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(ServeRequest::Shutdown));
+    }
+
+    #[test]
+    fn stats_op_and_trace_field() {
+        assert_eq!(
+            parse_request(r#"{"op":"stats","id":"s1"}"#),
+            Ok(ServeRequest::Stats {
+                id: Some("s1".into())
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#),
+            Ok(ServeRequest::Stats { id: None })
+        );
+        assert!(parse_query(r#"{"id":"q","trace":true}"#).trace);
+        assert!(!parse_query(r#"{"id":"q"}"#).trace);
+        let e = parse_request(r#"{"id":"q","trace":1}"#).unwrap_err();
+        assert!(e.message.contains("must be a boolean"), "{}", e.message);
     }
 
     #[test]
@@ -710,10 +968,36 @@ mod tests {
             coarsenings: 0,
             queue_ms: 3,
             service_ms: 40,
+            trace: None,
         };
         let line = outcome_response("q1", &outcome);
         assert!(line.contains(r#""status":"completed""#), "{line}");
         assert!(!line.contains('\n'));
+        assert!(!line.contains(r#""trace""#), "no trace unless attached: {line}");
+
+        let traced = QueryOutcome {
+            trace: Some(TraceInfo {
+                trace_id: "t0ffee".into(),
+                warm_mesh: true,
+                warm_galerkin: false,
+                warm_spectrum: false,
+                stages: vec![SpanEntry {
+                    path: "req/kle/galerkin/assemble".into(),
+                    count: 1,
+                    wall_ns: 12_345,
+                }],
+                events: vec!["salvaged 60/200 samples".into()],
+            }),
+            ..outcome.clone()
+        };
+        let traced_line = outcome_response("q1", &traced);
+        assert!(traced_line.contains(r#""trace":{"trace_id":"t0ffee""#), "{traced_line}");
+        assert!(
+            traced_line.contains(r#""path":"req/kle/galerkin/assemble""#),
+            "{traced_line}"
+        );
+        assert!(traced_line.contains(r#""mesh":true"#), "{traced_line}");
+        assert!(!traced_line.contains('\n'));
 
         let salvaged = QueryOutcome {
             salvaged: true,
@@ -736,5 +1020,67 @@ mod tests {
         assert!(bad.contains(r#""id":null"#), "{bad}");
         assert!(pong_response(Some("p")).contains(r#""status":"pong""#));
         assert!(draining_response().contains("draining"));
+    }
+
+    #[test]
+    fn stats_response_carries_every_acceptance_field() {
+        let mut warm = HistState::with_bounds(&[10.0, 100.0]);
+        warm.record(5.0);
+        warm.record(50.0);
+        let report = StatsReport {
+            uptime_ms: 12_000,
+            workers: 4,
+            queue_depth: 2,
+            queue_capacity: 64,
+            admitted: 100,
+            completed: 90,
+            salvaged: 3,
+            cancelled: 2,
+            faults: 1,
+            shed_overload: 3,
+            shed_deadline: 1,
+            shed_draining: 0,
+            latency_warm: LatencyStats::from_hist(&warm),
+            latency_cold: LatencyStats::from_hist(&HistState::with_bounds(&[10.0])),
+            queue_wait: LatencyStats::from_hist(&warm),
+            cache_hits: 80,
+            cache_misses: 20,
+            cache_sizes: (2, 2, 2),
+            utilization: Some(0.5),
+            slo: SloSnapshot {
+                target: 0.9,
+                total: 50,
+                met: 49,
+            },
+        };
+        let line = stats_response(Some("s"), &report);
+        for needle in [
+            r#""status":"stats""#,
+            r#""queue":{"depth":2,"capacity":64}"#,
+            r#""shed_overload":3"#,
+            r#""faults":1"#,
+            r#""warm":{"count":2,"p50":"#,
+            r#""cold":{"count":0,"p50":null"#,
+            r#""hit_ratio":0.8"#,
+            r#""sizes":{"mesh":2,"galerkin":2,"spectrum":2}"#,
+            r#""utilization":0.5"#,
+            r#""slo":{"target":0.9,"window_total":50,"window_met":49,"fraction":0.98"#,
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+        assert!(!line.contains('\n'));
+        // Empty-window SLO renders nulls, not NaNs.
+        let empty = StatsReport {
+            slo: SloSnapshot {
+                target: 0.9,
+                total: 0,
+                met: 0,
+            },
+            utilization: None,
+            ..report
+        };
+        let line = stats_response(None, &empty);
+        assert!(line.contains(r#""fraction":null"#), "{line}");
+        assert!(line.contains(r#""utilization":null"#), "{line}");
     }
 }

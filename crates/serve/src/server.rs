@@ -32,9 +32,11 @@ use klest_circuit::{benchmark_scaled, generate, GeneratorConfig};
 use klest_core::pipeline::{ArtifactCache, ArtifactKey, ExecPolicy, FrontEndConfig};
 use klest_core::TruncationCriterion;
 use klest_mesh::MeshError;
+use klest_obs::{DeadlineSlo, MetricsSnapshot, SlidingWindow, SloSnapshot, LATENCY_MS_BOUNDS};
+use klest_rng::{Rng, SplitMix64};
 use klest_runtime::{
-    Budget, BoundedQueue, CancelToken, Cancelled, PushError, ShardStatus, StageBudgets, Supervisor,
-    WaitGroup,
+    Budget, BoundedQueue, CancelToken, Cancelled, PoolUsage, PushError, ShardStatus, StageBudgets,
+    Supervisor, WaitGroup,
 };
 use klest_ssta::experiments::{CircuitSetup, KleContext, KleContextError};
 use klest_ssta::faultinject::{FaultPlan, Stage};
@@ -46,7 +48,8 @@ use klest_ssta::{
 use crate::json::Json;
 use crate::protocol::{
     draining_response, error_response, outcome_response, parse_request, pong_response,
-    QueryOutcome, QuerySpec, ServeError, ServeRequest,
+    stats_response, LatencyStats, QueryOutcome, QuerySpec, ServeError, ServeRequest, StatsReport,
+    TraceInfo,
 };
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -79,6 +82,19 @@ pub struct ServeConfig {
     /// Directory for the crash-safe disk artifact layer; `None` keeps
     /// the cache memory-only.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Allow responses to carry per-request traces. A query still has
+    /// to opt in with `"trace":true`; this flag is the daemon-side gate
+    /// (traces expose stage timings, so operators enable them
+    /// deliberately).
+    pub trace_responses: bool,
+    /// Emit a `klest-metrics/v1` snapshot line every interval (requires
+    /// `metrics_out`).
+    pub metrics_interval: Option<Duration>,
+    /// File receiving newline-delimited metrics snapshots (appended).
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Deadline-SLO target: the fraction of deadline-carrying queries
+    /// expected to complete in time over the tracking window.
+    pub slo_target: f64,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +105,10 @@ impl Default for ServeConfig {
             drain: Duration::from_secs(10),
             default_deadline: None,
             cache_dir: None,
+            trace_responses: false,
+            metrics_interval: None,
+            metrics_out: None,
+            slo_target: 0.95,
         }
     }
 }
@@ -165,10 +185,92 @@ struct Counts {
     faults: AtomicU64,
 }
 
-impl Counts {
-    fn bump(&self, field: &AtomicU64, metric: &str) {
-        field.fetch_add(1, Ordering::Relaxed);
-        klest_obs::counter_add(metric, 1);
+/// Bumps a per-connection counter, its server-lifetime twin and the obs
+/// metric together, so connection summaries, `{"op":"stats"}` and run
+/// reports never disagree.
+fn bump(conn: &AtomicU64, lifetime: &AtomicU64, metric: &str) {
+    conn.fetch_add(1, Ordering::Relaxed);
+    lifetime.fetch_add(1, Ordering::Relaxed);
+    klest_obs::counter_add(metric, 1);
+}
+
+/// Server-lifetime telemetry: monotonic counters since construction,
+/// sliding-window latency/SLO readings on a logical clock anchored at
+/// `started`, and worker busy accounting. Lives on the [`Server`] (not
+/// per connection) so a reconnecting client or socket accept loop sees
+/// continuous history — the same lifetime the artifact cache has.
+struct ServerStats {
+    /// Epoch for the logical clock every window rotates on.
+    started: Instant,
+    /// Per-daemon seed for trace-id derivation (no clock, no
+    /// `SystemTime`: derived from the process id, so ids are stable
+    /// within a daemon and differ across daemons).
+    trace_seed: u64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    salvaged: AtomicU64,
+    cancelled: AtomicU64,
+    faults: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_draining: AtomicU64,
+    /// Windowed service latency of cache-warm queries, ms.
+    latency_warm: SlidingWindow,
+    /// Windowed service latency of cache-cold queries, ms.
+    latency_cold: SlidingWindow,
+    /// Windowed queue-wait, ms.
+    queue_wait: SlidingWindow,
+    /// Windowed deadline-SLO accounting.
+    slo: DeadlineSlo,
+    /// Worker busy/idle accounting for utilization.
+    usage: PoolUsage,
+}
+
+/// Telemetry window geometry: six 10-second slots ≈ the last minute.
+const WINDOW_SLOTS: usize = 6;
+const WINDOW_SLOT_MS: u64 = 10_000;
+
+impl ServerStats {
+    fn new(slo_target: f64) -> ServerStats {
+        ServerStats {
+            started: Instant::now(),
+            trace_seed: {
+                let mut mixer = SplitMix64::new(u64::from(std::process::id()));
+                mixer.next_u64()
+            },
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            salvaged: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            shed_draining: AtomicU64::new(0),
+            latency_warm: SlidingWindow::new(WINDOW_SLOTS, WINDOW_SLOT_MS, &LATENCY_MS_BOUNDS),
+            latency_cold: SlidingWindow::new(WINDOW_SLOTS, WINDOW_SLOT_MS, &LATENCY_MS_BOUNDS),
+            queue_wait: SlidingWindow::new(WINDOW_SLOTS, WINDOW_SLOT_MS, &LATENCY_MS_BOUNDS),
+            slo: DeadlineSlo::new(slo_target, WINDOW_SLOTS, WINDOW_SLOT_MS),
+            usage: PoolUsage::new(),
+        }
+    }
+
+    /// Milliseconds since daemon start — the logical tick every window
+    /// rotates on. One `Instant` read per call, shared by every window
+    /// the call feeds.
+    fn tick_ms(&self) -> u64 {
+        millis(self.started.elapsed())
+    }
+
+    /// Trace id for a request: the request id hashed through the
+    /// per-daemon seed with `SplitMix64` mixing (deterministic given
+    /// the daemon seed; no timestamps involved).
+    fn trace_id(&self, request_id: &str) -> String {
+        let mut acc = self.trace_seed;
+        for byte in request_id.as_bytes() {
+            let mut mixer = SplitMix64::new(acc ^ u64::from(*byte));
+            acc = mixer.next_u64();
+        }
+        format!("{acc:016x}")
     }
 }
 
@@ -218,6 +320,8 @@ pub struct Server {
     setups: Mutex<HashMap<String, Arc<CircuitSetup>>>,
     /// EWMA of recent service times, ms — feeds the `retry_after_hint`.
     ewma_service_ms: AtomicU64,
+    /// Lifetime telemetry (windows, SLO, usage, trace seed).
+    stats: ServerStats,
 }
 
 impl Server {
@@ -227,17 +331,59 @@ impl Server {
             Some(dir) => ArtifactCache::with_disk(dir.clone()),
             None => ArtifactCache::new(),
         };
+        let stats = ServerStats::new(config.slo_target);
         Server {
             config,
             cache,
             setups: Mutex::new(HashMap::new()),
             ewma_service_ms: AtomicU64::new(200),
+            stats,
         }
     }
 
     /// The shared artifact cache (for inspection in tests and benches).
     pub fn cache(&self) -> &ArtifactCache {
         &self.cache
+    }
+
+    /// The windowed deadline-SLO reading as of now (benches surface it
+    /// in merged reports; `{"op":"stats"}` embeds the same numbers).
+    pub fn slo_snapshot(&self) -> SloSnapshot {
+        self.stats.slo.snapshot(self.stats.tick_ms())
+    }
+
+    /// The full introspection snapshot answering `{"op":"stats"}`.
+    /// `queue_depth` is supplied by the caller (the reader loop holds
+    /// the queue; between connections pass 0).
+    pub fn stats_report(&self, queue_depth: usize) -> StatsReport {
+        let tick = self.stats.tick_ms();
+        let cache_snap = self.cache.snapshot();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsReport {
+            uptime_ms: tick,
+            workers: self.config.workers.max(1),
+            queue_depth,
+            queue_capacity: self.config.queue_depth,
+            admitted: load(&self.stats.admitted),
+            completed: load(&self.stats.completed),
+            salvaged: load(&self.stats.salvaged),
+            cancelled: load(&self.stats.cancelled),
+            faults: load(&self.stats.faults),
+            shed_overload: load(&self.stats.shed_overload),
+            shed_deadline: load(&self.stats.shed_deadline),
+            shed_draining: load(&self.stats.shed_draining),
+            latency_warm: LatencyStats::from_hist(&self.stats.latency_warm.merged(tick)),
+            latency_cold: LatencyStats::from_hist(&self.stats.latency_cold.merged(tick)),
+            queue_wait: LatencyStats::from_hist(&self.stats.queue_wait.merged(tick)),
+            cache_hits: cache_snap.hits(),
+            cache_misses: cache_snap.misses(),
+            cache_sizes: self.cache.memory_sizes(),
+            utilization: self.stats.usage.utilization(
+                self.config.workers.max(1),
+                u64::try_from(self.stats.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            ),
+            slo: self.stats.slo.snapshot(tick),
+        }
     }
 
     /// Serves one request stream to completion: reads `input` until EOF
@@ -258,7 +404,22 @@ impl Server {
         let mut shutdown = false;
         let mut drained_clean = false;
 
+        // Periodic metrics emitter: a scoped thread appending one
+        // `klest-metrics/v1` line per interval to the configured file.
+        // Condvar-signalled stop so drain never waits out an interval.
+        let emitter_stop = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+
         std::thread::scope(|scope| {
+            if let (Some(interval), Some(path)) =
+                (self.config.metrics_interval, self.config.metrics_out.clone())
+            {
+                let stop = Arc::clone(&emitter_stop);
+                let stats = &self.stats;
+                scope.spawn(move || {
+                    emit_metrics_loop(&path, interval, stats, &stop);
+                });
+            }
+
             wg.add(workers);
             for _ in 0..workers {
                 let queue = &queue;
@@ -325,6 +486,11 @@ impl Server {
                         respond(&out, &draining_response());
                         break;
                     }
+                    Ok(ServeRequest::Stats { id }) => {
+                        klest_obs::counter_add("serve.stats", 1);
+                        let report = self.stats_report(queue.len());
+                        respond(&out, &stats_response(id.as_deref(), &report));
+                    }
                     Ok(ServeRequest::Query { id, spec }) => {
                         let arrived = Instant::now();
                         let deadline = spec
@@ -339,11 +505,19 @@ impl Server {
                         };
                         match queue.push(job) {
                             Ok(depth) => {
-                                counts.bump(&counts.admitted, "serve.admitted");
+                                bump(&counts.admitted, &self.stats.admitted, "serve.admitted");
                                 klest_obs::gauge_set("serve.queue.depth", depth as f64);
                             }
                             Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
-                                counts.bump(&counts.shed_overload, "serve.shed.overload");
+                                bump(
+                                    &counts.shed_overload,
+                                    &self.stats.shed_overload,
+                                    "serve.shed.overload",
+                                );
+                                // A shed is a queue transition too: refresh
+                                // the gauge so observers see the depth that
+                                // caused the rejection, not a stale value.
+                                klest_obs::gauge_set("serve.queue.depth", queue.len() as f64);
                                 respond(
                                     &out,
                                     &error_response(
@@ -367,6 +541,12 @@ impl Server {
                 root.cancel();
                 wg.wait();
             }
+            // Every worker has exited, so the queue is empty: record the
+            // final transition before the drained summary goes out.
+            klest_obs::gauge_set("serve.queue.depth", 0.0);
+            let (stop_flag, stop_cv) = &*emitter_stop;
+            *lock(stop_flag) = true;
+            stop_cv.notify_all();
         });
 
         let summary = ServeSummary {
@@ -384,7 +564,7 @@ impl Server {
             shutdown,
             drained_clean,
         };
-        respond(&out, &summary_line(&summary));
+        respond(&out, &summary_line(&summary, &self.slo_snapshot()));
         summary
     }
 
@@ -432,15 +612,17 @@ impl Server {
         self.ewma_service_ms.store(new.max(1), Ordering::Relaxed);
     }
 
-    /// Does the cache already hold the KLE spectrum this query needs?
-    /// Pure probe: counts no hit/miss, so latency classification does
-    /// not skew cache statistics.
-    fn probe_warm(&self, spec: &QuerySpec) -> bool {
+    /// Which cached artifacts this query would reuse, in
+    /// `(mesh, galerkin, spectrum)` order. Pure probe: counts no
+    /// hit/miss, so latency classification does not skew cache
+    /// statistics. The spectrum component is the warm/cold classifier —
+    /// a warm spectrum skips mesh, assembly and eigensolve entirely.
+    fn probe_artifacts(&self, spec: &QuerySpec) -> (bool, bool, bool) {
         let Ok(kernel) = spec.kernel.build() else {
-            return false;
+            return (false, false, false);
         };
         let Some(kernel_key) = kernel.cache_key() else {
-            return false;
+            return (false, false, false);
         };
         let config = frontend_config(spec);
         let mesh_key = ArtifactKey::mesh(
@@ -455,7 +637,11 @@ impl Server {
             config.options.solver,
             config.options.max_eigenpairs,
         );
-        self.cache.peek_spectrum(&spectrum_key)
+        (
+            self.cache.peek_mesh(&mesh_key),
+            self.cache.peek_galerkin(&galerkin_key),
+            self.cache.peek_spectrum(&spectrum_key),
+        )
     }
 
     fn setup_for(&self, circuit: &crate::protocol::CircuitSpec) -> Result<Arc<CircuitSetup>, String> {
@@ -482,6 +668,14 @@ impl Server {
         Ok(setup)
     }
 
+    /// Records a deadline-carrying job's terminal against the SLO
+    /// window. Jobs without a deadline never enter SLO accounting.
+    fn record_slo(&self, job: &Job, met: bool) {
+        if job.deadline.is_some() {
+            self.stats.slo.record(self.stats.tick_ms(), met);
+        }
+    }
+
     fn process_job<W: Write>(
         &self,
         job: Job,
@@ -489,16 +683,31 @@ impl Server {
         counts: &Counts,
         out: &Mutex<W>,
     ) {
+        let _busy = self.stats.usage.guard();
         let queue_wait = job.arrived.elapsed();
         klest_obs::histogram_observe("serve.queue_wait_ms", millis(queue_wait) as f64);
+        self.stats
+            .queue_wait
+            .observe(self.stats.tick_ms(), millis(queue_wait) as f64);
         if root.is_cancelled() {
-            counts.bump(&counts.shed_draining, "serve.shed.draining");
+            bump(
+                &counts.shed_draining,
+                &self.stats.shed_draining,
+                "serve.shed.draining",
+            );
+            // Drain is an operator action, not a deadline violation: it
+            // stays out of the SLO window.
             respond(out, &error_response(Some(&job.id), &ServeError::Draining));
             return;
         }
         if let Some(deadline) = job.deadline {
             if Instant::now() >= deadline {
-                counts.bump(&counts.shed_deadline, "serve.shed.deadline");
+                bump(
+                    &counts.shed_deadline,
+                    &self.stats.shed_deadline,
+                    "serve.shed.deadline",
+                );
+                self.record_slo(&job, false);
                 respond(
                     out,
                     &error_response(
@@ -511,7 +720,8 @@ impl Server {
         }
 
         let start = Instant::now();
-        let warm = self.probe_warm(&job.spec);
+        let (warm_mesh, warm_galerkin, warm_spectrum) = self.probe_artifacts(&job.spec);
+        let warm = warm_spectrum;
         let budget = match job.deadline {
             Some(deadline) => Budget::wall(deadline.saturating_duration_since(start)),
             None => Budget::UNLIMITED,
@@ -520,24 +730,68 @@ impl Server {
         let supervisor = Supervisor::new(token)
             .with_max_retries(1)
             .with_backoff(Duration::from_millis(2));
-        let (result, status) = supervisor.run_one(0, |_, tok| self.execute(&job.spec, tok));
+        let want_trace = job.spec.trace && self.config.trace_responses;
+        if want_trace {
+            klest_obs::capture_begin();
+        }
+        let (result, status) =
+            supervisor.run_one_in_span(0, "serve.request", |_, tok| self.execute(&job.spec, tok));
+        let stages = if want_trace {
+            klest_obs::capture_end()
+        } else {
+            Vec::new()
+        };
         let service_ms = millis(start.elapsed());
 
         match (result, status) {
             (Some(Ok(data)), status) => {
                 let salvaged = data.samples < data.planned;
                 if salvaged {
-                    counts.bump(&counts.salvaged, "serve.salvaged");
+                    bump(&counts.salvaged, &self.stats.salvaged, "serve.salvaged");
                 } else {
-                    counts.bump(&counts.completed, "serve.completed");
+                    bump(&counts.completed, &self.stats.completed, "serve.completed");
                 }
+                let met = match job.deadline {
+                    Some(deadline) => Instant::now() <= deadline,
+                    None => true,
+                };
+                self.record_slo(&job, met);
                 let bucket = if warm {
                     "serve.latency_ms.warm"
                 } else {
                     "serve.latency_ms.cold"
                 };
                 klest_obs::histogram_observe(bucket, service_ms as f64);
+                let window = if warm {
+                    &self.stats.latency_warm
+                } else {
+                    &self.stats.latency_cold
+                };
+                window.observe(self.stats.tick_ms(), service_ms as f64);
                 self.note_service_time(service_ms);
+                let trace = want_trace.then(|| {
+                    let mut events = Vec::new();
+                    if status.retries() > 0 {
+                        events.push(format!("retried {} time(s) after a fault", status.retries()));
+                    }
+                    if data.coarsenings > 0 {
+                        events.push(format!("degraded: {} coarsening step(s)", data.coarsenings));
+                    }
+                    if salvaged {
+                        events.push(format!(
+                            "salvaged {}/{} samples, CI widened x{:.3}",
+                            data.samples, data.planned, data.ci_widening
+                        ));
+                    }
+                    TraceInfo {
+                        trace_id: self.stats.trace_id(&job.id),
+                        warm_mesh,
+                        warm_galerkin,
+                        warm_spectrum,
+                        stages,
+                        events,
+                    }
+                });
                 let outcome = QueryOutcome {
                     mean: data.mean,
                     sigma: data.sigma,
@@ -551,11 +805,13 @@ impl Server {
                     coarsenings: data.coarsenings,
                     queue_ms: millis(queue_wait),
                     service_ms,
+                    trace,
                 };
                 respond(out, &outcome_response(&job.id, &outcome));
             }
             (Some(Err(ExecError::Cancelled(cancelled))), _) => {
-                counts.bump(&counts.cancelled, "serve.cancelled");
+                bump(&counts.cancelled, &self.stats.cancelled, "serve.cancelled");
+                self.record_slo(&job, false);
                 respond(
                     out,
                     &error_response(
@@ -568,7 +824,8 @@ impl Server {
                 );
             }
             (Some(Err(ExecError::Internal(message))), _) => {
-                counts.bump(&counts.faults, "serve.fault");
+                bump(&counts.faults, &self.stats.faults, "serve.fault");
+                self.record_slo(&job, false);
                 respond(
                     out,
                     &error_response(
@@ -581,7 +838,8 @@ impl Server {
                 );
             }
             (None, ShardStatus::Faulted { attempts, message }) => {
-                counts.bump(&counts.faults, "serve.fault");
+                bump(&counts.faults, &self.stats.faults, "serve.fault");
+                self.record_slo(&job, false);
                 respond(
                     out,
                     &error_response(
@@ -591,7 +849,8 @@ impl Server {
                 );
             }
             (None, _) => {
-                counts.bump(&counts.faults, "serve.fault");
+                bump(&counts.faults, &self.stats.faults, "serve.fault");
+                self.record_slo(&job, false);
                 respond(
                     out,
                     &error_response(
@@ -680,7 +939,11 @@ fn respond<W: Write>(out: &Mutex<W>, line: &str) {
     let _ = guard.flush();
 }
 
-fn summary_line(s: &ServeSummary) -> String {
+fn summary_line(s: &ServeSummary, slo: &SloSnapshot) -> String {
+    let opt = |v: Option<f64>| match v {
+        Some(x) => Json::Num(x),
+        None => Json::Null,
+    };
     Json::Obj(vec![
         ("status".into(), Json::Str("drained".into())),
         ("received".into(), Json::Num(s.received as f64)),
@@ -694,9 +957,66 @@ fn summary_line(s: &ServeSummary) -> String {
         ("faults".into(), Json::Num(s.faults as f64)),
         ("bad_requests".into(), Json::Num(s.bad_requests as f64)),
         ("pings".into(), Json::Num(s.pings as f64)),
+        ("slo_target".into(), Json::Num(slo.target)),
+        ("slo_total".into(), Json::Num(slo.total as f64)),
+        ("slo_met".into(), Json::Num(slo.met as f64)),
+        ("slo_fraction".into(), opt(slo.fraction())),
+        (
+            "slo_error_budget".into(),
+            opt(slo.error_budget_remaining()),
+        ),
         ("clean".into(), Json::Bool(s.drained_clean)),
     ])
     .to_compact_string()
+}
+
+/// Appends one `klest-metrics/v1` snapshot line to `path` every
+/// `interval` until the stop flag is raised, plus one final line at
+/// stop so even a connection shorter than the interval leaves its
+/// drain-time state on disk. Each line after the first carries rates
+/// computed against the previous snapshot. Write failures stop the
+/// emitter (metrics must never take the daemon down).
+fn emit_metrics_loop(
+    path: &std::path::Path,
+    interval: Duration,
+    stats: &ServerStats,
+    stop: &(Mutex<bool>, std::sync::Condvar),
+) {
+    use std::io::Write as _;
+    let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+        return;
+    };
+    let (flag, cv) = stop;
+    let mut prev: Option<MetricsSnapshot> = None;
+    loop {
+        let stopping = {
+            let mut stopped = lock(flag);
+            while !*stopped {
+                let (next, timeout) = match cv.wait_timeout(stopped, interval) {
+                    Ok(pair) => pair,
+                    Err(poisoned) => {
+                        let (guard, timeout) = poisoned.into_inner();
+                        (guard, timeout)
+                    }
+                };
+                stopped = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            *stopped
+        };
+        let snap = MetricsSnapshot::capture(stats.tick_ms());
+        let rates = prev.as_ref().map(|p| snap.rates_since(p));
+        let line = snap.to_json_line(rates.as_ref());
+        if writeln!(file, "{line}").is_err() || file.flush().is_err() {
+            return;
+        }
+        prev = Some(snap);
+        if stopping {
+            return;
+        }
+    }
 }
 
 enum RawLine {

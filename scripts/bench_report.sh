@@ -68,6 +68,12 @@ pipeline_cold_vs_warm_cache
 serve.queue.depth
 serve.shed.overload
 serve.latency_ms.warm
+"slo"
+"error_budget_remaining"
+"telemetry_overhead"
+"off_qps"
+"on_qps"
+"overhead_pct"
 '
 fail=0
 while IFS= read -r key; do

@@ -30,11 +30,15 @@ tiny='"gates":8,"samples":16,"area_fraction":0.1'
   for i in $(seq 1 45); do
     echo "{\"id\":\"w$i\",$tiny}"
   done
+  # One traced query (the daemon runs with --trace-responses) and a
+  # stats probe at the end of the stream, schema-gated below.
+  echo "{\"id\":\"traced\",\"trace\":true,$tiny}"
+  echo '{"op":"stats","id":"probe"}'
   echo '{"op":"shutdown"}'
 } > "$req"
 
 timeout 120 ./target/release/klest serve \
-  --workers 1 --queue-depth 64 --requests "$req" > "$out"
+  --workers 1 --queue-depth 64 --trace-responses --requests "$req" > "$out"
 
 check() {
   if ! grep -q "$1" "$out"; then
@@ -55,14 +59,33 @@ check '"id":"boom".*"status":"fault"'
 check '"id":null.*"status":"bad_request"'
 # The ping is answered.
 check '"id":"hb".*"status":"pong"'
-# The drain finishes clean.
+# The traced query carries a trace object with stage wall times.
+check '"id":"traced".*"trace":{"trace_id":"'
+check '"id":"traced".*"artifacts_warm":{"mesh":'
+check '"id":"traced".*"stages":\[.*"wall_ns":'
+# The stats probe answers with the full introspection schema.
+check '"id":"probe".*"status":"stats"'
+check '"status":"stats".*"queue":{"depth":'
+check '"status":"stats".*"capacity":'
+check '"status":"stats".*"requests":{"admitted":'
+check '"status":"stats".*"latency_ms":{"warm":{"count":'
+check '"status":"stats".*"p50":'
+check '"status":"stats".*"p95":'
+check '"status":"stats".*"p99":'
+check '"status":"stats".*"cache":{"hits":'
+check '"status":"stats".*"hit_ratio":'
+check '"status":"stats".*"utilization":'
+check '"status":"stats".*"slo":{"target":'
+check '"status":"stats".*"error_budget_remaining":'
+# The drain finishes clean and carries the SLO window.
+check '"status":"drained".*"slo_target":'
 check '"status":"drained".*"clean":true'
 
 completed=$(grep -c '"status":"completed"' "$out")
-if [ "$completed" -ne 45 ]; then
-  echo "error: expected all 45 healthy queries to complete, got $completed" >&2
+if [ "$completed" -ne 46 ]; then
+  echo "error: expected all 46 healthy queries to complete, got $completed" >&2
   exit 1
 fi
 
 rm -f "$req" "$out"
-echo "serve smoke ok: 45 completed, hostile traffic typed, drain clean"
+echo "serve smoke ok: 46 completed, stats+trace schema gated, drain clean"

@@ -86,8 +86,7 @@ fn every_request_gets_exactly_one_typed_terminal_response() {
             workers: *workers,
             queue_depth: *queue_depth,
             drain: Duration::from_secs(60),
-            default_deadline: None,
-            cache_dir: None,
+            ..ServeConfig::default()
         });
         let mut out: Vec<u8> = Vec::new();
         let summary = server.serve(Cursor::new(input), &mut out);
