@@ -1,0 +1,163 @@
+//! Scale bench for the matrix-free KLE eigensolve, emitted into a
+//! `BENCH_*.json` run report (see `scripts/bench_report.sh`).
+//!
+//! Three claims are checked and reported:
+//!
+//! 1. **Correctness gate** — on a small mesh where the dense path is
+//!    cheap, the matrix-free spectrum must match the dense QL spectrum
+//!    to solver tolerance before any timing is reported;
+//! 2. **Timed scale run** — a matrix-free KLE on a `--area-fraction`
+//!    mesh (the dense matrix for the same mesh is *never* assembled),
+//!    with wall time and the O(n·k) workspace model reported next to
+//!    the n² bytes the dense path would have needed;
+//! 3. **Laptop-budget projection** — the same workspace model evaluated
+//!    at 10⁵ elements, asserting the matrix-free footprint stays under
+//!    a 1 GiB laptop budget where the dense matrix would need ~80 GB.
+//!
+//! With `--report PATH` the entry is merged into the existing run report
+//! as a top-level `"kle_scale"` object; without it the JSON object is
+//! printed to stdout.
+
+use klest_bench::Args;
+use klest_core::{EigenSolver, GalerkinKle, KleOptions};
+use klest_geometry::Rect;
+use klest_kernels::GaussianKernel;
+use klest_mesh::MeshBuilder;
+use std::time::Instant;
+
+/// Peak float64 workspace of the matrix-free solve for an n-element mesh
+/// at k modes, in bytes: the Lanczos basis (m = 2k+10 vectors), the
+/// transient restart basis (k+1 Ritz vectors), the apply/scale work
+/// vectors, the projected m×m matrix, and the retained n×k KLE basis.
+fn matrix_free_bytes(n: usize, k: usize) -> usize {
+    let m = 2 * k + 10;
+    8 * (n * (m + 2 * k + 4) + m * m)
+}
+
+/// Bytes of the dense n×n Galerkin matrix the full solver materializes.
+fn dense_bytes(n: usize) -> usize {
+    8 * n * n
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads: usize = args.get("threads", 4);
+    let modes: usize = args.get("modes", 25);
+    let max_iters: usize = args.get("max-iters", 500);
+    let area_fraction: f64 = args.get("area-fraction", 0.001);
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+
+    // Gate: dense and matrix-free must agree before timings mean anything.
+    let small = MeshBuilder::new(Rect::unit_die())
+        .max_area(0.02)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("small mesh builds");
+    let k_gate = 8;
+    let dense = GalerkinKle::compute(
+        &small,
+        &kernel,
+        KleOptions {
+            max_eigenpairs: k_gate,
+            ..KleOptions::default()
+        },
+    )
+    .expect("dense KLE");
+    let free = GalerkinKle::compute(
+        &small,
+        &kernel,
+        KleOptions {
+            solver: EigenSolver::MatrixFree {
+                k: k_gate,
+                max_iters,
+            },
+            ..KleOptions::default()
+        },
+    )
+    .expect("matrix-free KLE");
+    let head = dense.eigenvalues()[0];
+    for (i, (a, d)) in free.eigenvalues().iter().zip(dense.eigenvalues()).enumerate() {
+        assert!(
+            (a - d).abs() <= 1e-8 * head,
+            "matrix-free eigenvalue {i} ({a}) drifted from dense ({d})"
+        );
+    }
+
+    // Timed scale run: matrix-free only — the dense matrix is never built.
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area_fraction(area_fraction)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("scale mesh builds");
+    let n = mesh.len();
+    let started = Instant::now();
+    let kle = GalerkinKle::compute(
+        &mesh,
+        &kernel,
+        KleOptions {
+            solver: EigenSolver::MatrixFree { k: modes, max_iters },
+            assembly_threads: threads,
+            ..KleOptions::default()
+        },
+    )
+    .expect("scale KLE");
+    let wall = started.elapsed().as_secs_f64();
+    let retained = kle.eigenvalues().len();
+    let captured = kle.variance_captured(retained);
+
+    // Laptop-budget projection at the paper-scale 10⁵ elements.
+    let n_target = 100_000;
+    let projected = matrix_free_bytes(n_target, modes);
+    assert!(
+        projected < 1 << 30,
+        "matrix-free workspace at 1e5 elements ({projected} B) exceeds the 1 GiB laptop budget"
+    );
+
+    let entry = format!(
+        concat!(
+            "{{\n",
+            "    \"triangles\": {},\n",
+            "    \"modes\": {},\n",
+            "    \"retained\": {},\n",
+            "    \"matrix_free_secs\": {:.6},\n",
+            "    \"variance_captured\": {:.6},\n",
+            "    \"matrix_free_bytes\": {},\n",
+            "    \"dense_matrix_bytes\": {},\n",
+            "    \"memory_ratio\": {:.1},\n",
+            "    \"projected_1e5_matrix_free_bytes\": {},\n",
+            "    \"projected_1e5_dense_matrix_bytes\": {}\n",
+            "  }}"
+        ),
+        n,
+        modes,
+        retained,
+        wall,
+        captured,
+        matrix_free_bytes(n, modes),
+        dense_bytes(n),
+        dense_bytes(n) as f64 / matrix_free_bytes(n, modes) as f64,
+        projected,
+        dense_bytes(n_target),
+    );
+
+    match args.get_str("report", "") {
+        path if path.is_empty() => println!("{{\n  \"kle_scale\": {entry}\n}}"),
+        path => {
+            let report = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading report {path}: {e}"));
+            let body = report
+                .trim_end()
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("report {path} is not a JSON object"))
+                .trim_end()
+                .to_string();
+            let merged = format!("{body},\n  \"kle_scale\": {entry}\n}}\n");
+            std::fs::write(&path, merged)
+                .unwrap_or_else(|e| panic!("writing report {path}: {e}"));
+            eprintln!(
+                "kle_scale_bench: n = {n}, k = {modes} in {wall:.2}s, memory x{:.0} vs dense — merged into {path}",
+                dense_bytes(n) as f64 / matrix_free_bytes(n, modes) as f64,
+            );
+        }
+    }
+}

@@ -242,7 +242,7 @@ fn main() {
         // Prime the cache outside the timed window so both arms replay
         // pure warm traffic.
         let prime = format!("{{\"id\":\"prime\",{}}}\n", CONFIGS[0]);
-        server.serve(Cursor::new(prime), &mut Vec::new());
+        server.serve(Cursor::new(prime), Vec::new());
         let mut input = String::new();
         for i in 0..overhead_requests {
             let trace = if telemetry_on { "\"trace\":true," } else { "" };
@@ -252,7 +252,7 @@ fn main() {
             }
         }
         let started = Instant::now();
-        let summary = server.serve(Cursor::new(input), &mut Vec::new());
+        let summary = server.serve(Cursor::new(input), Vec::new());
         let secs = started.elapsed().as_secs_f64();
         assert_eq!(
             summary.completed, overhead_requests as u64,

@@ -7,7 +7,7 @@ use klest::KlestError;
 use klest_bench::Args;
 use klest_circuit::{benchmark_scaled, generate, write_netlist, BenchmarkId, GeneratorConfig};
 use klest_core::pipeline::{ArtifactCache, ExecPolicy, FrontEndConfig};
-use klest_core::{GalerkinKle, KleOptions, TruncationCriterion};
+use klest_core::{EigenSolver, GalerkinKle, KleOptions, TruncationCriterion};
 use klest_geometry::Rect;
 use klest_kernels::{
     CovarianceKernel, ExponentialKernel, GaussianKernel, MaternKernel,
@@ -63,6 +63,8 @@ COMMANDS:
   mesh      build a quality die mesh          [--area-fraction 0.001] [--min-angle 28] [--obj out.obj]
   kle       compute the KLE of a kernel       [--kernel gaussian|exponential|matern|separable]
                                               [--c F] [--b F] [--s F] [--tail 0.01] [--area-fraction 0.001]
+                                              [--solver full|lanczos|matrix-free] [--modes K]
+                                              [--max-iters 500] [--threads N]
   validate  check kernel validity             [--kernel ...] (same kernel flags; also accepts 'cone' [--d F])
   netlist   generate a synthetic netlist      [--gates 500] [--seed 7] [--sequential] [--out file.bench]
   ssta      compare KLE vs reference MC SSTA  [--circuit c1908] [--scale 0.5] [--samples 2000] [--seed 2008]
@@ -95,6 +97,16 @@ repeated invocation with the same flags skips mesh build, Galerkin assembly
 and the eigensolve entirely. Cache traffic lands in the run report as the
 pipeline.cache.{mesh,galerkin,spectrum}.{hits,misses} counters. --threads N
 also parallelizes Galerkin assembly (bitwise identical for any N).
+
+SOLVERS (kle): --solver full (default) runs the dense QL eigensolve;
+--solver lanczos computes only the leading --modes pairs from the dense
+matrix; --solver matrix-free never assembles the O(n²) Galerkin matrix at
+all — kernel entries are evaluated per matrix-vector product and peak
+memory stays O(n·k), so 10⁵-element meshes (--area-fraction 2e-5) fit
+where the dense path cannot allocate. --modes K picks the eigenpair count
+(default 25 for matrix-free), --max-iters bounds the operator
+applications, --threads N shards the matvec (bitwise identical output
+for any N).
 
 SERVING: klest serve reads one JSON request per line from stdin (or
 --requests FILE, or a Unix --socket PATH) and writes one JSON response per
@@ -175,6 +187,56 @@ pub fn cmd_mesh<W: Write>(args: &Args, out: &mut W) -> CliResult {
     Ok(())
 }
 
+/// Typed `--solver`/`--modes`/`--max-iters`/`--threads` parsing shared
+/// by `klest kle`. `--modes` is presence-detected so the historical
+/// defaults of each solver are preserved when it is omitted (full keeps
+/// its 200-pair cap, matrix-free defaults to 25 computed pairs).
+fn kle_options_from_args(args: &Args) -> Result<KleOptions, String> {
+    let modes = match args_opt_str(args, "modes") {
+        Some(_) => {
+            let m: usize = arg(args, "modes", 25)?;
+            if m == 0 {
+                return Err(bad_arg("modes", m, "must be at least 1"));
+            }
+            Some(m)
+        }
+        None => None,
+    };
+    let max_iters: usize = arg(args, "max-iters", 500)?;
+    if max_iters == 0 {
+        return Err(bad_arg("max-iters", max_iters, "must be at least 1"));
+    }
+    let mut options = KleOptions {
+        assembly_threads: arg(args, "threads", 0)?,
+        ..KleOptions::default()
+    };
+    let solver = args.get_str("solver", "full");
+    match solver.as_str() {
+        "full" => {
+            if let Some(m) = modes {
+                options.max_eigenpairs = m;
+            }
+        }
+        "lanczos" => {
+            options.solver = EigenSolver::Lanczos;
+            options.max_eigenpairs = modes.unwrap_or(options.max_eigenpairs);
+        }
+        "matrix-free" => {
+            let k = modes.unwrap_or(25);
+            options.solver = EigenSolver::MatrixFree { k, max_iters };
+            options.max_eigenpairs = k;
+        }
+        other => {
+            return Err(bad_arg(
+                "solver",
+                other,
+                "expected full, lanczos or matrix-free",
+            ))
+        }
+    }
+    Ok(options)
+}
+
 /// `klest kle`.
 ///
 /// # Errors
@@ -182,12 +244,13 @@ pub fn cmd_mesh<W: Write>(args: &Args, out: &mut W) -> CliResult {
 /// User-facing message on kernel/mesh/eigensolve failure.
 pub fn cmd_kle<W: Write>(args: &Args, out: &mut W) -> CliResult {
     let kernel = kernel_from_args(args)?;
+    let options = kle_options_from_args(args)?;
     let mesh = MeshBuilder::new(Rect::unit_die())
         .max_area_fraction(arg(args, "area-fraction", 0.001)?)
         .min_angle_degrees(arg(args, "min-angle", 28.0)?)
         .build()
         .map_err(err)?;
-    let kle = GalerkinKle::compute(&mesh, kernel.as_ref(), KleOptions::default()).map_err(err)?;
+    let kle = GalerkinKle::compute(&mesh, kernel.as_ref(), options).map_err(err)?;
     let criterion = TruncationCriterion::new(200, arg(args, "tail", 0.01)?);
     let r = kle.select_rank(&criterion);
     writeln!(
@@ -634,6 +697,54 @@ mod tests {
         let mut buf = Vec::new();
         run(&argv, &mut buf)?;
         Ok(String::from_utf8(buf).expect("utf8"))
+    }
+
+    #[test]
+    fn kle_solver_flags_are_typed_errors_not_exits() {
+        let e = run_str("kle --kernel gaussian --area-fraction 0.05 --solver qr").unwrap_err();
+        assert!(e.contains("solver") && e.contains("qr"), "{e}");
+        let e = run_str("kle --kernel gaussian --area-fraction 0.05 --solver matrix-free --modes 0")
+            .unwrap_err();
+        assert!(e.contains("modes"), "{e}");
+        let e = run_str(
+            "kle --kernel gaussian --area-fraction 0.05 --solver matrix-free --max-iters 0",
+        )
+        .unwrap_err();
+        assert!(e.contains("max-iters"), "{e}");
+        let e = run_str("kle --kernel gaussian --area-fraction 0.05 --modes potato").unwrap_err();
+        assert!(e.contains("modes") && e.contains("potato"), "{e}");
+        let e = run_str("kle --kernel gaussian --area-fraction 0.05 --threads potato").unwrap_err();
+        assert!(e.contains("threads") && e.contains("potato"), "{e}");
+    }
+
+    #[test]
+    fn kle_matrix_free_solver_agrees_with_dense_default() {
+        fn first_lambda(out: &str) -> f64 {
+            out.lines()
+                .find(|l| l.starts_with("lambda_1"))
+                .and_then(|l| l.split('=').nth(1))
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .expect("lambda_1 line")
+        }
+        let dense = run_str("kle --kernel gaussian --area-fraction 0.05 --show 3").unwrap();
+        let mf = run_str(
+            "kle --kernel gaussian --area-fraction 0.05 --show 3 \
+             --solver matrix-free --modes 8 --max-iters 400",
+        )
+        .unwrap();
+        assert!(mf.contains("rank r ="), "{mf}");
+        let (a, b) = (first_lambda(&dense), first_lambda(&mf));
+        assert!(
+            (a - b).abs() < 1e-6 * a.abs(),
+            "dense lambda_1 {a} vs matrix-free {b}"
+        );
+        // Lanczos over the dense matrix accepts the same --modes flag.
+        let lz = run_str(
+            "kle --kernel gaussian --area-fraction 0.05 --show 3 --solver lanczos --modes 8",
+        )
+        .unwrap();
+        let c = first_lambda(&lz);
+        assert!((a - c).abs() < 1e-6 * a.abs(), "lanczos lambda_1 {c} vs {a}");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::QuadratureRule;
 use klest_geometry::Point2;
 use klest_kernels::CovarianceKernel;
-use klest_linalg::Matrix;
+use klest_linalg::{LinalgError, LinearOperator, Matrix};
 use klest_mesh::Mesh;
 use klest_runtime::{CancelToken, Cancelled, Supervisor};
 
@@ -337,6 +337,185 @@ fn assemble_parallel_inner<K: CovarianceKernel + ?Sized>(
     }
     record_assembly_counters(n, rule, assembled, false);
     Ok(k)
+}
+
+/// The Galerkin matrix as an on-the-fly [`LinearOperator`]: `apply`
+/// evaluates kernel–quadrature entries per matrix–vector product instead
+/// of ever materializing the O(n²) matrix, which is what lets the
+/// matrix-free Lanczos path
+/// ([`PartialEigen::lanczos_op`](klest_linalg::PartialEigen::lanczos_op))
+/// run KLEs on 10⁵-element meshes in O(n·k) memory.
+///
+/// **Bitwise contract**: `y[i]` is the exact floating-point expression
+/// the dense path evaluates — entries come from the same
+/// mirrored-upper-triangle [`RuleData::entry`] calls and accumulate in
+/// the same left-to-right order as `vecops::dot(dense_row_i, x)` — so a
+/// matrix-free solve and a dense solve walk identical Krylov spaces, for
+/// **any worker count** (each `y[i]` is produced by exactly one worker
+/// running that one expression; shard boundaries reuse the
+/// entry-balanced [`shard_row_bounds`] of the parallel assembly).
+///
+/// Cost: one apply is O(n²) kernel evaluations (the full square, not the
+/// half the one-shot assembly pays — the price of never storing the
+/// mirror), so matrix-free wins when `iters × 2 < n/8` … in practice
+/// always, since the dense path cannot even allocate at n = 10⁵.
+pub struct GalerkinOperator<'a, K: ?Sized> {
+    data: RuleData<'a>,
+    kernel: &'a K,
+    n: usize,
+    rule: QuadratureRule,
+    threads: usize,
+    token: Option<CancelToken>,
+}
+
+impl<'a, K: CovarianceKernel + ?Sized> GalerkinOperator<'a, K> {
+    /// Builds the operator over `mesh` × `kernel` with the given
+    /// quadrature rule. `threads` follows the assembly convention:
+    /// `0` = auto via [`resolve_assembly_threads`], `1` = serial, and
+    /// meshes below [`PARALLEL_MIN_TRIANGLES`] always run serially.
+    pub fn new(mesh: &'a Mesh, kernel: &'a K, rule: QuadratureRule, threads: usize) -> Self {
+        GalerkinOperator {
+            data: RuleData::prepare(mesh, rule),
+            kernel,
+            n: mesh.len(),
+            rule,
+            threads,
+            token: None,
+        }
+    }
+
+    /// Attaches a cooperative [`CancelToken`], polled once per output row
+    /// (stage `"galerkin/matvec"`). On a trip, `apply` returns
+    /// [`LinalgError::Cancelled`] with `completed` = rows produced.
+    #[must_use]
+    pub fn with_token(mut self, token: &CancelToken) -> Self {
+        self.token = Some(token.clone());
+        self
+    }
+
+    /// The quadrature rule the operator evaluates entries with.
+    pub fn rule(&self) -> QuadratureRule {
+        self.rule
+    }
+
+    /// One output element `y[i] = Σ_j K_ij x[j]` — the canonical
+    /// expression every configuration (serial, any shard count, faulted
+    /// re-run) evaluates for row `i`, matching the dense
+    /// `vecops::dot(row_i, x)` bitwise: same mirrored entries, same
+    /// left-to-right accumulation from `0.0`.
+    #[inline]
+    fn row_value(&self, i: usize, x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (j, &xj) in x.iter().enumerate() {
+            let e = if i <= j {
+                self.data.entry(self.kernel, i, j)
+            } else {
+                self.data.entry(self.kernel, j, i)
+            };
+            acc += e * xj;
+        }
+        acc
+    }
+
+    fn apply_serial(&self, x: &[f64], y: &mut [f64]) -> Result<(), Cancelled> {
+        for (i, out) in y.iter_mut().enumerate() {
+            if let Some(token) = &self.token {
+                token
+                    .checkpoint("galerkin/matvec")
+                    .map_err(|c| c.with_completed(i))?;
+            }
+            *out = self.row_value(i, x);
+        }
+        Ok(())
+    }
+
+    fn apply_parallel(&self, x: &[f64], y: &mut [f64], workers: usize) -> Result<(), Cancelled> {
+        let n = self.n;
+        let bounds = shard_row_bounds(n, workers);
+        let pool_token = self
+            .token
+            .clone()
+            .unwrap_or_else(CancelToken::unlimited);
+        let supervisor = Supervisor::new(pool_token);
+        // Owned per-shard row blocks, scattered single-threaded below —
+        // the same retry-safe shape as the parallel assembly.
+        let run = supervisor.run(bounds.len(), |shard, tok| -> Result<Vec<f64>, Cancelled> {
+            let (r0, r1) = bounds[shard];
+            let mut block = Vec::with_capacity(r1 - r0);
+            for i in r0..r1 {
+                tok.checkpoint("galerkin/matvec")
+                    .map_err(|c| c.with_completed(i - r0))?;
+                block.push(self.row_value(i, x));
+            }
+            Ok(block)
+        });
+        let mut produced = 0usize;
+        let mut cancelled: Option<Cancelled> = None;
+        let mut faulted: Vec<usize> = Vec::new();
+        for (shard, result) in run.results.iter().enumerate() {
+            let (r0, r1) = bounds[shard];
+            match result {
+                Some(Ok(block)) => {
+                    y[r0..r1].copy_from_slice(block);
+                    produced += r1 - r0;
+                }
+                Some(Err(c)) => {
+                    produced += c.completed;
+                    if cancelled.is_none() {
+                        cancelled = Some(c.clone());
+                    }
+                }
+                None => faulted.push(shard),
+            }
+        }
+        if let Some(c) = cancelled {
+            return Err(c.with_completed(produced));
+        }
+        // Shards whose every attempt panicked re-run serially on the
+        // caller's thread, mirroring the parallel-assembly contract: a
+        // deterministic panic surfaces exactly as on the serial path.
+        for shard in faulted {
+            let (r0, r1) = bounds[shard];
+            for (i, out) in y[r0..r1].iter_mut().enumerate() {
+                *out = self.row_value(r0 + i, x);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<K: CovarianceKernel + ?Sized> LinearOperator for GalerkinOperator<'_, K> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.n || y.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "galerkin operator apply",
+                left: (self.n, self.n),
+                right: (x.len(), y.len()),
+            });
+        }
+        let workers = resolve_assembly_threads(self.threads).min(self.n.max(1));
+        let result = if workers <= 1 || self.n < PARALLEL_MIN_TRIANGLES {
+            self.apply_serial(x, y)
+        } else {
+            self.apply_parallel(x, y, workers)
+        };
+        if klest_obs::enabled() {
+            klest_obs::counter_add("galerkin.operator_matvecs", 1);
+            let nodes = self.rule.node_count() as u64;
+            let rows = match &result {
+                Ok(()) => self.n,
+                Err(c) => c.completed,
+            } as u64;
+            // A matvec evaluates full rows (n entries each), not the
+            // assembly's half triangle.
+            klest_obs::counter_add("galerkin.kernel_evals", rows * self.n as u64 * nodes * nodes);
+        }
+        result.map_err(LinalgError::from)
+    }
 }
 
 /// Books the work actually performed: `galerkin.kernel_evals` counts the

@@ -1,9 +1,9 @@
 //! The Galerkin KLE solver (paper Secs. 3.2 and 4).
 
-use crate::{KleError, QuadratureRule, TruncationCriterion};
+use crate::{GalerkinOperator, KleError, QuadratureRule, TruncationCriterion};
 use klest_geometry::Point2;
 use klest_kernels::CovarianceKernel;
-use klest_linalg::{DiagonalGep, Matrix, PartialEigen};
+use klest_linalg::{DiagonalGep, LinearOperator, Matrix, PartialEigen, ScaledOperator};
 use klest_mesh::{Mesh, TriangleLocator};
 use klest_runtime::CancelToken;
 
@@ -19,6 +19,23 @@ pub enum EigenSolver {
     /// truncation criterion then uses its `λ_m (n - m)` bound for the
     /// unseen tail.
     Lanczos,
+    /// Matrix-free thick-restart Lanczos over a [`GalerkinOperator`]:
+    /// kernel entries are evaluated per matrix–vector product and the
+    /// O(n²) Galerkin matrix is **never assembled**, so peak memory is
+    /// O(n·k) and 10⁵-element meshes fit where the dense path cannot
+    /// even allocate. Spectra match the dense solvers within solver
+    /// tolerance (the operator's matvec is bitwise identical to the
+    /// dense one). `k ≥ n` falls back to the dense full solve — at that
+    /// point the "partial" problem is the whole spectrum and dense is
+    /// both exact and cheaper.
+    MatrixFree {
+        /// Number of leading eigenpairs to compute.
+        k: usize,
+        /// Budget of operator applications across all restart cycles;
+        /// exhausting it yields a typed [`KleError::Linalg`]
+        /// (`NoConvergence`) instead of looping.
+        max_iters: usize,
+    },
 }
 
 /// Options for [`GalerkinKle::compute`].
@@ -114,6 +131,13 @@ impl GalerkinKle {
         options: KleOptions,
         token: Option<&CancelToken>,
     ) -> Result<Self, KleError> {
+        if let EigenSolver::MatrixFree { k, max_iters } = options.solver {
+            if k < mesh.len() {
+                return Self::compute_matrix_free(mesh, kernel, options, k, max_iters, token);
+            }
+            // k ≥ n: fall through to assembly — from_matrix_inner
+            // normalizes this to the dense full solve.
+        }
         let k = match token {
             Some(token) => crate::assemble_galerkin_parallel_with_token(
                 mesh,
@@ -155,6 +179,66 @@ impl GalerkinKle {
         Self::from_matrix_inner(k, mesh, options, Some(token))
     }
 
+    /// The matrix-free KLE: builds a [`GalerkinOperator`] over the mesh
+    /// and runs thick-restart Lanczos on its Φ^{-1/2}·K·Φ^{-1/2}
+    /// similarity — no stage on this path allocates anything O(n²).
+    fn compute_matrix_free<K: CovarianceKernel + ?Sized>(
+        mesh: &Mesh,
+        kernel: &K,
+        options: KleOptions,
+        modes: usize,
+        max_iters: usize,
+        token: Option<&CancelToken>,
+    ) -> Result<Self, KleError> {
+        let _span = klest_obs::span("galerkin/eigensolve");
+        let n = mesh.len();
+        if klest_obs::enabled() {
+            klest_obs::gauge_set("galerkin.matrix_dim", n as f64);
+        }
+        let mut op =
+            GalerkinOperator::new(mesh, kernel, options.quadrature, options.assembly_threads);
+        if let Some(token) = token {
+            token
+                .checkpoint("eigen/matrix-free")
+                .map_err(KleError::Cancelled)?;
+            op = op.with_token(token);
+        }
+        let (eigenvalues, d) = Self::matrix_free_pairs(op, mesh.areas(), modes, max_iters)?;
+        klest_obs::gauge_set("kle.eigenpairs_retained", d.cols() as f64);
+        Ok(GalerkinKle {
+            eigenvalues,
+            d,
+            areas: mesh.areas().to_vec(),
+            centroids: mesh.centroids().to_vec(),
+            trace: mesh.total_area(),
+        })
+    }
+
+    /// Shared matrix-free eigensolve core: wraps `op` (the raw Galerkin
+    /// action) in the Φ^{-1/2} similarity, runs the operator Lanczos
+    /// engine and maps eigenvectors back to the Φ-orthonormal `d` basis,
+    /// exactly mirroring the dense Lanczos arm's arithmetic.
+    fn matrix_free_pairs<Op: LinearOperator>(
+        op: Op,
+        areas: &[f64],
+        modes: usize,
+        max_iters: usize,
+    ) -> Result<(Vec<f64>, Matrix), KleError> {
+        let n = areas.len();
+        let inv_sqrt: Vec<f64> = areas.iter().map(|a| 1.0 / a.sqrt()).collect();
+        let scaled = ScaledOperator::new(op, inv_sqrt)?;
+        let partial = PartialEigen::lanczos_op(&scaled, modes, max_iters)?;
+        let inv_sqrt = scaled.scale();
+        let got = partial.len();
+        let mut d = Matrix::zeros(n, got);
+        for j in 0..got {
+            for i in 0..n {
+                d[(i, j)] = partial.eigenvectors()[(i, j)] * inv_sqrt[i];
+            }
+        }
+        Ok((partial.eigenvalues().to_vec(), d))
+    }
+
     fn from_matrix_inner(
         k: Matrix,
         mesh: &Mesh,
@@ -164,7 +248,13 @@ impl GalerkinKle {
         let _span = klest_obs::span("galerkin/eigensolve");
         let n = mesh.len();
         let m = options.max_eigenpairs.min(n).max(1);
-        let (eigenvalues, d) = match options.solver {
+        // k ≥ n makes the "partial" matrix-free problem the full
+        // spectrum: the dense solve is exact and cheaper, so normalize.
+        let solver = match options.solver {
+            EigenSolver::MatrixFree { k: modes, .. } if modes >= n => EigenSolver::Full,
+            s => s,
+        };
+        let (eigenvalues, d) = match solver {
             EigenSolver::Full => {
                 let gep = match token {
                     Some(token) => DiagonalGep::solve_with_token(&k, mesh.areas(), token)?,
@@ -201,6 +291,19 @@ impl GalerkinKle {
                     }
                 }
                 (partial.eigenvalues().to_vec(), d)
+            }
+            EigenSolver::MatrixFree { k: modes, max_iters } => {
+                // Pre-assembled matrix handed to the matrix-free engine:
+                // the dense adapter's matvec is bitwise identical to the
+                // on-the-fly GalerkinOperator, so this arm produces the
+                // exact bits compute() does on the same mesh — useful
+                // for benches timing assembly and solve separately.
+                if let Some(token) = token {
+                    token
+                        .checkpoint("eigen/matrix-free")
+                        .map_err(KleError::Cancelled)?;
+                }
+                Self::matrix_free_pairs(&k, mesh.areas(), modes, max_iters)?
             }
         };
         klest_obs::gauge_set("kle.eigenpairs_retained", d.cols() as f64);
@@ -707,6 +810,129 @@ mod tests {
         for (a, b) in with.eigenvalues().iter().zip(without.eigenvalues()) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn matrix_free_solver_matches_full_on_leading_pairs() {
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.03)
+            .min_angle_degrees(25.0)
+            .build()
+            .unwrap();
+        let kernel = GaussianKernel::new(2.0);
+        let full = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        let mf_opts = KleOptions {
+            solver: EigenSolver::MatrixFree {
+                k: 20,
+                max_iters: 500,
+            },
+            ..KleOptions::default()
+        };
+        let mf = GalerkinKle::compute(&mesh, &kernel, mf_opts).unwrap();
+        assert_eq!(mf.retained(), 20);
+        for j in 0..20 {
+            let (a, b) = (mf.eigenvalues()[j], full.eigenvalues()[j]);
+            assert!(
+                (a - b).abs() < 1e-8 * b.abs().max(1e-8),
+                "eigenvalue {j}: {a} vs {b}"
+            );
+        }
+        // Φ-orthonormal eigenfunctions from the matrix-free path too.
+        for i in 0..3 {
+            let fi = mf.eigenfunction(i);
+            let norm: f64 = fi.iter().zip(mf.areas()).map(|(v, a)| v * v * a).sum();
+            assert!((norm - 1.0).abs() < 1e-8, "mode {i} norm {norm}");
+        }
+        // Exact-trace variance accounting holds without the tail.
+        assert!((mf.variance_captured(10) - full.variance_captured(10)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matrix_free_compute_is_bitwise_equal_to_from_matrix() {
+        // compute() drives the on-the-fly GalerkinOperator; from_matrix()
+        // drives the dense adapter over the assembled matrix. Their
+        // matvecs are the same floating-point expressions, so the two
+        // spectra must agree bit for bit.
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.05)
+            .min_angle_degrees(25.0)
+            .build()
+            .unwrap();
+        let kernel = GaussianKernel::new(1.5);
+        let opts = KleOptions {
+            solver: EigenSolver::MatrixFree {
+                k: 8,
+                max_iters: 400,
+            },
+            ..KleOptions::default()
+        };
+        let operator = GalerkinKle::compute(&mesh, &kernel, opts).unwrap();
+        let dense = crate::assemble_galerkin(&mesh, &kernel, QuadratureRule::Centroid);
+        let adapter = GalerkinKle::from_matrix(dense, &mesh, opts).unwrap();
+        assert_eq!(operator.eigenvalues(), adapter.eigenvalues());
+        assert_eq!(
+            operator.d_matrix().as_slice(),
+            adapter.d_matrix().as_slice()
+        );
+    }
+
+    #[test]
+    fn matrix_free_with_k_at_least_n_falls_back_to_dense() {
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.2)
+            .build()
+            .unwrap();
+        let kernel = GaussianKernel::new(1.0);
+        let n = mesh.len();
+        let opts = KleOptions {
+            solver: EigenSolver::MatrixFree {
+                k: n + 10,
+                max_iters: 500,
+            },
+            ..KleOptions::default()
+        };
+        let mf = GalerkinKle::compute(&mesh, &kernel, opts).unwrap();
+        let full = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).unwrap();
+        // The fallback IS the dense full solve: all n eigenvalues, bitwise.
+        assert_eq!(mf.eigenvalues().len(), n);
+        assert_eq!(mf.eigenvalues(), full.eigenvalues());
+    }
+
+    #[test]
+    fn matrix_free_cancellation_is_typed() {
+        use klest_runtime::CancelToken;
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.08)
+            .min_angle_degrees(25.0)
+            .build()
+            .unwrap();
+        let kernel = GaussianKernel::new(1.5);
+        let opts = KleOptions {
+            solver: EigenSolver::MatrixFree {
+                k: 5,
+                max_iters: 300,
+            },
+            ..KleOptions::default()
+        };
+        // Pre-tripped: caught at the eigen/matrix-free gate.
+        let token = CancelToken::unlimited();
+        token.cancel();
+        match GalerkinKle::compute_with_token(&mesh, &kernel, opts, &token) {
+            Err(KleError::Cancelled(c)) => assert_eq!(c.stage, "eigen/matrix-free"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // Tripped mid-solve: surfaces from the operator's per-row polls.
+        let token = CancelToken::unlimited();
+        token.trip_after_checkpoints(mesh.len() as u64 + 2);
+        match GalerkinKle::compute_with_token(&mesh, &kernel, opts, &token) {
+            Err(KleError::Cancelled(c)) => assert_eq!(c.stage, "galerkin/matvec"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // A live token reproduces the plain path bit for bit.
+        let live = CancelToken::unlimited();
+        let with = GalerkinKle::compute_with_token(&mesh, &kernel, opts, &live).unwrap();
+        let without = GalerkinKle::compute(&mesh, &kernel, opts).unwrap();
+        assert_eq!(with.eigenvalues(), without.eigenvalues());
     }
 
     #[test]

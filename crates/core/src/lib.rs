@@ -49,7 +49,8 @@ mod truncation;
 pub use error::KleError;
 pub use galerkin::{
     assemble_galerkin, assemble_galerkin_parallel, assemble_galerkin_parallel_with_token,
-    assemble_galerkin_with_token, resolve_assembly_threads, PARALLEL_MIN_TRIANGLES,
+    assemble_galerkin_with_token, resolve_assembly_threads, GalerkinOperator,
+    PARALLEL_MIN_TRIANGLES,
 };
 pub use kle::{EigenSolver, GalerkinKle, KleOptions};
 pub use quadrature::QuadratureRule;

@@ -293,6 +293,42 @@ impl Stage<(Matrix, &Mesh)> for EigensolveStage {
     }
 }
 
+/// The matrix-free eigensolve: mesh → spectrum directly, driving
+/// thick-restart Lanczos through an on-the-fly
+/// [`crate::GalerkinOperator`]. No assembly stage runs ahead of this and
+/// no O(n²) artifact exists anywhere on the path — the stage replaces
+/// the [`AssembleStage`]+[`EigensolveStage`] pair when
+/// [`EigenSolver::MatrixFree`] is selected.
+pub struct MatrixFreeEigensolveStage<'k, K: ?Sized> {
+    /// The covariance kernel (entries evaluated per matvec).
+    pub kernel: &'k K,
+    /// Solver options; `options.solver` must be
+    /// [`EigenSolver::MatrixFree`] for the stage to be meaningful.
+    pub options: KleOptions,
+}
+
+impl<K: CovarianceKernel + ?Sized> Stage<&Mesh> for MatrixFreeEigensolveStage<'_, K> {
+    type Output = GalerkinKle;
+    type Error = KleError;
+
+    fn name(&self) -> &'static str {
+        "galerkin/eigensolve"
+    }
+
+    fn budget_key(&self) -> Option<&'static str> {
+        // The one stage covers what assembly + eigensolve span on the
+        // dense path, so it owns the whole `eigen` window.
+        Some("eigen")
+    }
+
+    fn run(&self, mesh: &Mesh, token: Option<&CancelToken>) -> Result<GalerkinKle, KleError> {
+        match token {
+            Some(token) => GalerkinKle::compute_with_token(mesh, self.kernel, self.options, token),
+            None => GalerkinKle::compute(mesh, self.kernel, self.options),
+        }
+    }
+}
+
 /// Rank selection by the paper's λ-tail criterion. Cheap (O(m)) and
 /// criterion-dependent, so it is always recomputed rather than cached.
 pub struct TruncateStage {
@@ -350,10 +386,17 @@ fn quadrature_tag(rule: QuadratureRule) -> &'static str {
     }
 }
 
-fn solver_tag(solver: EigenSolver) -> &'static str {
+fn solver_tag(solver: EigenSolver) -> String {
     match solver {
-        EigenSolver::Full => "full",
-        EigenSolver::Lanczos => "lanczos",
+        EigenSolver::Full => "full".to_string(),
+        EigenSolver::Lanczos => "lanczos".to_string(),
+        // k and max_iters both shape the computed spectrum (restart
+        // schedule and convergence budget), so they are part of the
+        // content address: matrix-free spectra cache independently of
+        // the dense solvers' and of each other's configurations.
+        EigenSolver::MatrixFree { k, max_iters } => {
+            format!("matrix-free:k={k}:iters={max_iters}")
+        }
     }
 }
 
@@ -1035,30 +1078,44 @@ pub fn run_frontend<K: CovarianceKernel + ?Sized>(
             Some(kle) => kle,
             None => {
                 let eigen_token = engine.policy().stage_token(Some("eigen"));
-                let assemble = AssembleStage {
-                    kernel,
-                    quadrature: config.options.quadrature,
-                    threads: config.options.assembly_threads,
-                };
-                let cached_matrix = keyed_cache.and_then(|(c, (_, gk, _))| c.lookup_galerkin(gk));
-                let matrix = match cached_matrix {
-                    Some(matrix) => (*matrix).clone(),
-                    None => {
-                        let matrix = engine
-                            .exec_with(&assemble, &*mesh, eigen_token.as_ref())
-                            .map_err(FrontEndError::Kle)?;
-                        if let Some((c, (_, gk, _))) = keyed_cache {
-                            c.store_galerkin(gk, Arc::new(matrix.clone()));
+                let kle = if matches!(config.options.solver, EigenSolver::MatrixFree { .. }) {
+                    // Matrix-free: no assembly stage runs, and the O(n²)
+                    // Galerkin artifact is neither looked up nor stored —
+                    // nothing n×n may exist anywhere on this path.
+                    let eigensolve = MatrixFreeEigensolveStage {
+                        kernel,
+                        options: config.options,
+                    };
+                    engine
+                        .exec_with(&eigensolve, &*mesh, eigen_token.as_ref())
+                        .map_err(FrontEndError::Kle)?
+                } else {
+                    let assemble = AssembleStage {
+                        kernel,
+                        quadrature: config.options.quadrature,
+                        threads: config.options.assembly_threads,
+                    };
+                    let cached_matrix =
+                        keyed_cache.and_then(|(c, (_, gk, _))| c.lookup_galerkin(gk));
+                    let matrix = match cached_matrix {
+                        Some(matrix) => (*matrix).clone(),
+                        None => {
+                            let matrix = engine
+                                .exec_with(&assemble, &*mesh, eigen_token.as_ref())
+                                .map_err(FrontEndError::Kle)?;
+                            if let Some((c, (_, gk, _))) = keyed_cache {
+                                c.store_galerkin(gk, Arc::new(matrix.clone()));
+                            }
+                            matrix
                         }
-                        matrix
-                    }
+                    };
+                    let eigensolve = EigensolveStage {
+                        options: config.options,
+                    };
+                    engine
+                        .exec_with(&eigensolve, (matrix, &*mesh), eigen_token.as_ref())
+                        .map_err(FrontEndError::Kle)?
                 };
-                let eigensolve = EigensolveStage {
-                    options: config.options,
-                };
-                let kle = engine
-                    .exec_with(&eigensolve, (matrix, &*mesh), eigen_token.as_ref())
-                    .map_err(FrontEndError::Kle)?;
                 let kle = Arc::new(kle);
                 if let Some((c, (_, _, sk))) = keyed_cache {
                     c.store_spectrum(sk, Arc::clone(&kle));

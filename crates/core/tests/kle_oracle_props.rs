@@ -11,7 +11,8 @@
 use klest_core::analytic::separable_2d_eigenvalues;
 use klest_core::convergence::eigenvalue_convergence;
 use klest_core::{
-    spectrum_is_descending, GalerkinKle, KleOptions, QuadratureRule, TruncationCriterion,
+    spectrum_is_descending, EigenSolver, GalerkinKle, KleOptions, QuadratureRule,
+    TruncationCriterion,
 };
 use klest_geometry::Rect;
 use klest_kernels::SeparableExponentialKernel;
@@ -301,6 +302,131 @@ fn partial_spectrum_budget_is_conservative() {
             Ok(())
         },
     );
+}
+
+/// The matrix-free path answers to the same analytic oracle as the
+/// dense one: for random decay rates, the leading eigenvalues computed
+/// without ever assembling the Galerkin matrix match the separable
+/// analytic spectrum within the dense path's tolerance, and agree with
+/// the dense solve itself far more tightly (same discretization, so
+/// only solver error separates them).
+#[test]
+fn matrix_free_spectrum_answers_to_the_analytic_oracle() {
+    let name = "matrix_free_spectrum_answers_to_the_analytic_oracle";
+    let cfg = Config {
+        cases: 3,
+        ..Config::from_env(name)
+    };
+    check_config(name, &cfg, &strategies::f64_in(0.5..2.5), |&c| {
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.02)
+            .min_angle_degrees(28.0)
+            .build()
+            .expect("meshing succeeds");
+        let kernel = SeparableExponentialKernel::new(c);
+        let dense = GalerkinKle::compute(
+            &mesh,
+            &kernel,
+            KleOptions {
+                max_eigenpairs: 6,
+                ..KleOptions::default()
+            },
+        )
+        .map_err(|e| format!("c = {c}: dense KLE failed: {e}"))?;
+        let free = GalerkinKle::compute(
+            &mesh,
+            &kernel,
+            KleOptions {
+                solver: EigenSolver::MatrixFree {
+                    k: 6,
+                    max_iters: 1000,
+                },
+                ..KleOptions::default()
+            },
+        )
+        .map_err(|e| format!("c = {c}: matrix-free KLE failed: {e}"))?;
+        let exact = separable_2d_eigenvalues(c, 1.0, 4);
+        for (i, (a, e)) in free.eigenvalues().iter().zip(&exact).enumerate() {
+            let rel = (a - e).abs() / e;
+            if rel > 0.10 {
+                return Err(format!(
+                    "c = {c}: eigenvalue {i} matrix-free {a} vs analytic {e} ({:.2}% off)",
+                    100.0 * rel
+                ));
+            }
+        }
+        let head = dense.eigenvalues()[0];
+        for (i, (a, d)) in free
+            .eigenvalues()
+            .iter()
+            .zip(dense.eigenvalues())
+            .enumerate()
+        {
+            if (a - d).abs() > 1e-8 * head {
+                return Err(format!(
+                    "c = {c}: eigenvalue {i} matrix-free {a} vs dense {d} beyond solver tol"
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Mercer-trace treatment of partial spectra: the matrix-free path only
+/// computes the head of the spectrum, yet its variance accounting must
+/// use the *exact* operator trace (the die area), so the head sum stays
+/// strictly below the trace, `variance_captured` is the head/area ratio,
+/// and the spectrum is descending and non-negative.
+#[test]
+fn matrix_free_partial_spectrum_respects_the_mercer_trace() {
+    let name = "matrix_free_partial_spectrum_respects_the_mercer_trace";
+    let cfg = Config {
+        cases: 4,
+        ..Config::from_env(name)
+    };
+    check_config(name, &cfg, &strategies::any_kernel(), |case| {
+        let kernel = case.build();
+        let mesh = MeshBuilder::new(Rect::unit_die())
+            .max_area(0.05)
+            .build()
+            .expect("meshing succeeds");
+        let k = 8.min(mesh.len() - 1);
+        let kle = GalerkinKle::compute(
+            &mesh,
+            kernel.as_ref(),
+            KleOptions {
+                solver: EigenSolver::MatrixFree { k, max_iters: 1000 },
+                ..KleOptions::default()
+            },
+        )
+        .map_err(|e| format!("{case:?}: matrix-free KLE failed: {e}"))?;
+        let area = mesh.total_area();
+        let retained = kle.eigenvalues().len();
+        if retained > k {
+            return Err(format!("{case:?}: got {retained} pairs, asked {k}"));
+        }
+        if !spectrum_is_descending(kle.eigenvalues()) {
+            return Err(format!("{case:?}: partial spectrum not descending"));
+        }
+        let head: f64 = kle.eigenvalues().iter().map(|&l| l.max(0.0)).sum();
+        if head > area * (1.0 + 1e-9) {
+            return Err(format!(
+                "{case:?}: head sum {head} exceeds the Mercer trace {area}"
+            ));
+        }
+        let captured = kle.variance_captured(retained);
+        let expected = head / area;
+        if (captured - expected).abs() > 1e-12 {
+            return Err(format!(
+                "{case:?}: variance_captured {captured} is not head/trace {expected}"
+            ));
+        }
+        let min = kle.eigenvalues().iter().copied().fold(f64::INFINITY, f64::min);
+        if min < -1e-8 * area {
+            return Err(format!("{case:?}: significantly negative eigenvalue {min}"));
+        }
+        Ok(())
+    });
 }
 
 /// Throwaway deterministic draw helper so the file's RNG use stays

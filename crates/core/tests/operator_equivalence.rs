@@ -1,0 +1,195 @@
+//! Operator-equivalence lockdown for the matrix-free Galerkin path.
+//!
+//! `GalerkinOperator::apply` must be **bitwise** identical to a matvec
+//! against the dense `assemble_galerkin` matrix — for every shard count,
+//! every quadrature rule, and with or without a live cancellation token.
+//! The suite also pins the failure modes: a cancelled token surfaces a
+//! typed `Cancelled` with the matvec stage, a NaN-poisoned kernel turns
+//! into a typed error instead of a hung iteration, and `k >= n` falls
+//! back to the dense solver with the full spectrum.
+
+use klest_core::{
+    assemble_galerkin, EigenSolver, GalerkinKle, GalerkinOperator, KleOptions, QuadratureRule,
+};
+use klest_geometry::{Point2, Rect};
+use klest_kernels::{CovarianceKernel, GaussianKernel};
+use klest_linalg::{LinalgError, LinearOperator};
+use klest_mesh::{Mesh, MeshBuilder};
+use klest_runtime::CancelToken;
+
+/// Builds a mesh large enough to clear `PARALLEL_MIN_TRIANGLES` so the
+/// sharded path actually engages.
+fn parallel_mesh() -> Mesh {
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area(0.02)
+        .min_angle_degrees(28.0)
+        .build()
+        .expect("unit-die mesh");
+    assert!(
+        mesh.len() >= klest_core::PARALLEL_MIN_TRIANGLES,
+        "mesh too small ({}) to exercise the sharded matvec",
+        mesh.len()
+    );
+    mesh
+}
+
+/// Deterministic dense-ish probe vector (values in [-0.5, 0.5)).
+fn probe(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+#[test]
+fn operator_apply_is_bitwise_equal_to_dense_matvec_for_any_shard_count() {
+    let mesh = parallel_mesh();
+    let kernel = GaussianKernel::with_correlation_distance(0.7);
+    let n = mesh.len();
+    for rule in [QuadratureRule::Centroid, QuadratureRule::ThreePoint] {
+        let dense = assemble_galerkin(&mesh, &kernel, rule);
+        let x = probe(n, 17);
+        let mut want = vec![0.0; n];
+        dense.apply(&x, &mut want).expect("dense matvec");
+        for threads in [1usize, 2, 8] {
+            let op = GalerkinOperator::new(&mesh, &kernel, rule, threads);
+            let mut got = vec![0.0; n];
+            op.apply(&x, &mut got).expect("operator matvec");
+            assert_eq!(
+                got, want,
+                "shard count {threads} drifted bitwise from the dense matvec ({rule:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn operator_apply_is_bitwise_stable_under_a_live_token() {
+    let mesh = parallel_mesh();
+    let kernel = GaussianKernel::with_correlation_distance(0.5);
+    let n = mesh.len();
+    let x = probe(n, 99);
+    let plain = GalerkinOperator::new(&mesh, &kernel, QuadratureRule::Centroid, 4);
+    let mut want = vec![0.0; n];
+    plain.apply(&x, &mut want).expect("plain matvec");
+
+    let token = CancelToken::unlimited();
+    let supervised =
+        GalerkinOperator::new(&mesh, &kernel, QuadratureRule::Centroid, 4).with_token(&token);
+    let mut got = vec![0.0; n];
+    supervised.apply(&x, &mut got).expect("supervised matvec");
+    assert_eq!(got, want, "live token changed the matvec bits");
+}
+
+#[test]
+fn cancelled_token_surfaces_typed_matvec_stage() {
+    let mesh = parallel_mesh();
+    let kernel = GaussianKernel::with_correlation_distance(0.5);
+    let n = mesh.len();
+    let x = probe(n, 3);
+    let token = CancelToken::unlimited();
+    token.cancel();
+    let op = GalerkinOperator::new(&mesh, &kernel, QuadratureRule::Centroid, 1).with_token(&token);
+    let mut y = vec![0.0; n];
+    match op.apply(&x, &mut y) {
+        Err(LinalgError::Cancelled(c)) => {
+            assert_eq!(c.stage, "galerkin/matvec");
+            assert_eq!(c.completed, 0, "pre-tripped token completed no rows");
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // Sharded route reports the same typed stage.
+    let op = GalerkinOperator::new(&mesh, &kernel, QuadratureRule::Centroid, 4).with_token(&token);
+    match op.apply(&x, &mut y) {
+        Err(LinalgError::Cancelled(c)) => assert_eq!(c.stage, "galerkin/matvec"),
+        other => panic!("expected Cancelled from sharded apply, got {other:?}"),
+    }
+}
+
+#[test]
+fn operator_rejects_dimension_mismatch() {
+    let mesh = parallel_mesh();
+    let kernel = GaussianKernel::with_correlation_distance(0.5);
+    let op = GalerkinOperator::new(&mesh, &kernel, QuadratureRule::Centroid, 1);
+    let x = vec![0.0; mesh.len() + 1];
+    let mut y = vec![0.0; mesh.len()];
+    assert!(matches!(
+        op.apply(&x, &mut y),
+        Err(LinalgError::DimensionMismatch { .. })
+    ));
+}
+
+/// A kernel that poisons every evaluation — the matrix-free solve must
+/// refuse with a typed error rather than iterate on garbage.
+struct NanKernel;
+
+impl CovarianceKernel for NanKernel {
+    fn eval(&self, _x: Point2, _y: Point2) -> f64 {
+        f64::NAN
+    }
+
+    fn name(&self) -> &str {
+        "nan-poisoned"
+    }
+}
+
+#[test]
+fn nan_poisoned_kernel_fails_typed_instead_of_looping() {
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area(0.1)
+        .min_angle_degrees(25.0)
+        .build()
+        .expect("mesh");
+    let options = KleOptions {
+        solver: EigenSolver::MatrixFree {
+            k: 4,
+            max_iters: 50,
+        },
+        ..KleOptions::default()
+    };
+    match GalerkinKle::compute(&mesh, &NanKernel, options) {
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("not finite"),
+                "expected a non-finite diagnostic, got: {msg}"
+            );
+        }
+        Ok(_) => panic!("NaN kernel must not produce a KLE"),
+    }
+}
+
+#[test]
+fn matrix_free_with_k_at_least_n_matches_full_dense_solve() {
+    let mesh = MeshBuilder::new(Rect::unit_die())
+        .max_area(0.15)
+        .min_angle_degrees(25.0)
+        .build()
+        .expect("mesh");
+    let kernel = GaussianKernel::with_correlation_distance(1.0);
+    let n = mesh.len();
+    let dense = GalerkinKle::compute(&mesh, &kernel, KleOptions::default()).expect("dense");
+    let fallback = GalerkinKle::compute(
+        &mesh,
+        &kernel,
+        KleOptions {
+            solver: EigenSolver::MatrixFree {
+                k: n + 5,
+                max_iters: 100,
+            },
+            ..KleOptions::default()
+        },
+    )
+    .expect("fallback");
+    assert_eq!(fallback.eigenvalues().len(), n);
+    assert_eq!(
+        fallback.eigenvalues(),
+        dense.eigenvalues(),
+        "k >= n fallback must be the dense solver, bit for bit"
+    );
+}

@@ -8,8 +8,56 @@
 //!
 //! Full reorthogonalisation is used — at m ≤ a few hundred the extra
 //! O(m² n) is cheap and removes the classic ghost-eigenvalue problem.
+//!
+//! Two engines share this module:
+//!
+//! - [`PartialEigen::lanczos`]: the in-memory tridiagonal reference over
+//!   a dense [`Matrix`] (unchanged historical behaviour, bit for bit);
+//! - [`PartialEigen::lanczos_op`]: the matrix-free engine over any
+//!   [`LinearOperator`] — full reorthogonalisation plus thick restart,
+//!   never materializing the matrix, with O(n·m) peak memory.
 
-use crate::{vecops, LinalgError, Matrix, SymmetricEigen};
+use crate::{vecops, LinalgError, LinearOperator, Matrix, SymmetricEigen};
+
+/// Relative residual tolerance below which a Ritz pair counts as
+/// converged in [`PartialEigen::lanczos_op`].
+const RITZ_REL_TOL: f64 = 1e-10;
+
+/// A residual norm below this is an invariant subspace: the Krylov space
+/// cannot be extended from this start vector.
+const INVARIANT_TOL: f64 = 1e-13;
+
+/// Deterministic pseudo-random start vector (no RNG dependency),
+/// normalized. Shared by both Lanczos engines so the dense and
+/// matrix-free paths explore the same Krylov space.
+fn seeded_start(n: usize) -> Vec<f64> {
+    let mut q0 = vec![0.0; n];
+    let mut state = 0x853c49e6748fea9bu64;
+    for v in q0.iter_mut() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+    }
+    let norm = vecops::norm(&q0);
+    vecops::scale(&mut q0, 1.0 / norm);
+    q0
+}
+
+/// Orthogonalizes `v` against every vector in `basis` (one MGS pass),
+/// normalizes and pushes it — unless it collapses below the invariant
+/// tolerance, in which case it is linearly dependent and dropped.
+fn push_orthonormalized(basis: &mut Vec<Vec<f64>>, mut v: Vec<f64>) {
+    for q in basis.iter() {
+        let proj = vecops::dot(&v, q);
+        vecops::axpy(-proj, q, &mut v);
+    }
+    let norm = vecops::norm(&v);
+    if norm >= INVARIANT_TOL {
+        vecops::scale(&mut v, 1.0 / norm);
+        basis.push(v);
+    }
+}
 
 /// Result of a partial (Lanczos) eigendecomposition: the leading `k`
 /// eigenpairs in descending order.
@@ -54,19 +102,7 @@ impl PartialEigen {
         let mut q = Matrix::zeros(m, n);
         let mut alpha = vec![0.0; m];
         let mut beta = vec![0.0; m]; // beta[i] couples q_{i} and q_{i+1}
-        // Deterministic pseudo-random start vector (no RNG dependency).
-        {
-            let q0 = q.row_mut(0);
-            let mut state = 0x853c49e6748fea9bu64;
-            for v in q0.iter_mut() {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                *v = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-            }
-            let norm = vecops::norm(q0);
-            vecops::scale(q0, 1.0 / norm);
-        }
+        q.row_mut(0).copy_from_slice(&seeded_start(n));
         let mut w = vec![0.0; n];
         let mut steps = m;
         for i in 0..m {
@@ -142,6 +178,168 @@ impl PartialEigen {
             values: eig.eigenvalues()[..k].to_vec(),
             vectors,
         })
+    }
+
+    /// Computes the `k` algebraically largest eigenpairs of a symmetric
+    /// [`LinearOperator`] without ever materializing it: Lanczos with
+    /// full reorthogonalisation and thick restart. Peak memory is
+    /// O(n·m) for the Krylov basis (`m ≈ 2k + 10` per cycle), never
+    /// O(n²).
+    ///
+    /// Each restart cycle grows the basis to `m` vectors, solves the
+    /// projected (Rayleigh–Ritz) problem, and — if the leading `k` Ritz
+    /// pairs have residual estimates above the convergence tolerance —
+    /// restarts from those Ritz vectors plus the out-of-span residual
+    /// direction. `max_iters` bounds the **total operator applications**
+    /// across all cycles, so a non-converging (e.g. NaN-poisoned)
+    /// operator surfaces a typed error instead of looping.
+    ///
+    /// Like [`lanczos`](Self::lanczos), a degenerate spectrum whose
+    /// reachable Krylov space is smaller than `k` legitimately returns
+    /// fewer pairs.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::Empty`] for a zero-dimensional operator,
+    /// - [`LinalgError::DimensionMismatch`] if `k == 0`, `k > n` or
+    ///   `max_iters == 0`,
+    /// - [`LinalgError::NonFinite`] when an operator application
+    ///   produces NaN/∞ (`row` = vector index, `col` = Lanczos step),
+    /// - [`LinalgError::NoConvergence`] when `max_iters` applications
+    ///   were spent without the leading pairs converging,
+    /// - any error the operator itself reports (e.g.
+    ///   [`LinalgError::Cancelled`] from a token-aware operator).
+    pub fn lanczos_op<Op: LinearOperator + ?Sized>(
+        op: &Op,
+        k: usize,
+        max_iters: usize,
+    ) -> Result<Self, LinalgError> {
+        let n = op.dim();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if k == 0 || k > n || max_iters == 0 {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lanczos_op",
+                left: (k, 1),
+                right: (n, max_iters),
+            });
+        }
+        // Per-cycle Krylov dimension: the same small multiple of k the
+        // dense KLE path uses, clamped to the space size.
+        let m = (2 * k + 10).min(n);
+        let mut basis: Vec<Vec<f64>> = vec![seeded_start(n)];
+        let mut applied = 0usize;
+        let mut u = vec![0.0; n];
+        loop {
+            // One restart cycle: fill the projected matrix column by
+            // column, expanding the basis at the frontier. With full
+            // reorthogonalisation the projection T = Qᵀ A Q is computed
+            // exactly (dense, not assumed tridiagonal), which is what
+            // makes restarting from Ritz vectors seamless.
+            let mut t = Matrix::zeros(m, m);
+            let mut beta_last = 0.0;
+            let mut residual: Option<Vec<f64>> = None;
+            let mut invariant = false;
+            let mut i = 0usize;
+            while i < basis.len() {
+                if applied >= max_iters {
+                    return Err(LinalgError::NoConvergence { index: 0 });
+                }
+                op.apply(&basis[i], &mut u)?;
+                applied += 1;
+                if let Some(row) = u.iter().position(|v| !v.is_finite()) {
+                    return Err(LinalgError::NonFinite { row, col: i });
+                }
+                for (j, qj) in basis.iter().enumerate() {
+                    let v = vecops::dot(qj, &u);
+                    t[(j, i)] = v;
+                    t[(i, j)] = v;
+                }
+                if i + 1 == basis.len() {
+                    // Frontier: orthogonalize A q_i against the whole
+                    // basis (two passes) to get the next direction.
+                    let mut w = u.clone();
+                    for _ in 0..2 {
+                        for qj in &basis {
+                            let proj = vecops::dot(&w, qj);
+                            vecops::axpy(-proj, qj, &mut w);
+                        }
+                    }
+                    let b = vecops::norm(&w);
+                    beta_last = b;
+                    if b < INVARIANT_TOL {
+                        invariant = true;
+                        i += 1;
+                        break;
+                    }
+                    vecops::scale(&mut w, 1.0 / b);
+                    if basis.len() < m {
+                        basis.push(w);
+                    } else {
+                        // Basis full: keep the residual direction for
+                        // the thick restart instead of growing.
+                        residual = Some(w);
+                    }
+                }
+                i += 1;
+            }
+            let s = basis.len().min(i);
+            // Rayleigh–Ritz on span(basis).
+            let ts = Matrix::from_fn(s, s, |r, c| t[(r, c)]);
+            let eig = SymmetricEigen::new(&ts)?;
+            let avail = k.min(s);
+            // Residual estimate for Ritz pair j: the out-of-span defect
+            // of the basis lives entirely in the last expansion
+            // direction, so ‖A v_j − θ_j v_j‖ ≈ β · |s_{last,j}|.
+            let head = eig.eigenvalues()[0].abs().max(f64::MIN_POSITIVE);
+            let converged = |j: usize| {
+                beta_last * eig.eigenvector(j)[s - 1].abs() <= RITZ_REL_TOL * head
+            };
+            let done = invariant || s == n || (0..avail).all(converged);
+            if done {
+                let mut vectors = Matrix::zeros(n, avail);
+                for j in 0..avail {
+                    let sj = eig.eigenvector(j);
+                    for (bi, &si) in basis.iter().zip(sj.iter()) {
+                        for (row, &qv) in bi.iter().enumerate() {
+                            vectors[(row, j)] += si * qv;
+                        }
+                    }
+                    let col = vectors.col(j);
+                    let norm = vecops::norm(&col);
+                    for row in 0..n {
+                        vectors[(row, j)] /= norm;
+                    }
+                }
+                return Ok(PartialEigen {
+                    values: eig.eigenvalues()[..avail].to_vec(),
+                    vectors,
+                });
+            }
+            // Thick restart: leading Ritz vectors plus the residual
+            // direction seed the next cycle. One modified-Gram-Schmidt
+            // pass guards against drift from near-degenerate Ritz pairs;
+            // a vector that collapses under it is simply dropped.
+            let mut next: Vec<Vec<f64>> = Vec::with_capacity(avail + 1);
+            for j in 0..avail {
+                let sj = eig.eigenvector(j);
+                let mut v = vec![0.0; n];
+                for (bi, &si) in basis.iter().zip(sj.iter()) {
+                    vecops::axpy(si, bi, &mut v);
+                }
+                push_orthonormalized(&mut next, v);
+            }
+            if let Some(w) = residual {
+                push_orthonormalized(&mut next, w);
+            }
+            if next.is_empty() {
+                // Cannot happen for a finite spectrum (the leading Ritz
+                // vector is unit norm), but stay typed rather than loop.
+                return Err(LinalgError::NoConvergence { index: 0 });
+            }
+            basis = next;
+        }
     }
 
     /// The leading eigenvalues, descending.
@@ -311,5 +509,122 @@ mod tests {
         let partial = PartialEigen::lanczos(&a, 3, 5).unwrap();
         assert_eq!(partial.len(), 1);
         assert!((partial.eigenvalues()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operator_engine_matches_full_solver() {
+        let a = random_spd(60, 42, 0.15);
+        let full = SymmetricEigen::new(&a).unwrap();
+        let partial = PartialEigen::lanczos_op(&a, 8, 500).unwrap();
+        assert_eq!(partial.len(), 8);
+        for j in 0..8 {
+            let rel = (partial.eigenvalues()[j] - full.eigenvalues()[j]).abs()
+                / full.eigenvalues()[j].abs().max(1e-300);
+            assert!(rel < 1e-8, "eigenvalue {j}: rel error {rel}");
+            let v = partial.eigenvector(j);
+            let av = a.mul_vec(&v).unwrap();
+            let lam = partial.eigenvalues()[j];
+            let res: f64 = av
+                .iter()
+                .zip(&v)
+                .map(|(x, y)| (x - lam * y) * (x - lam * y))
+                .sum::<f64>()
+                .sqrt();
+            assert!(res < 1e-7, "pair {j}: residual {res}");
+        }
+    }
+
+    #[test]
+    fn operator_engine_restarts_on_slow_spectra() {
+        // decay 0.02 over n = 80 gives eigenvalue ratios near 1, so a
+        // single (2k+10)-step cycle does not converge and the thick
+        // restart has to do real work.
+        let a = random_spd(80, 5, 0.02);
+        let full = SymmetricEigen::new(&a).unwrap();
+        let partial = PartialEigen::lanczos_op(&a, 4, 500).unwrap();
+        assert_eq!(partial.len(), 4);
+        for j in 0..4 {
+            let rel = (partial.eigenvalues()[j] - full.eigenvalues()[j]).abs()
+                / full.eigenvalues()[j].abs().max(1e-300);
+            assert!(rel < 1e-8, "eigenvalue {j}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn operator_engine_handles_clustered_spectrum() {
+        // Two near-degenerate clusters: {3, 3-1e-9} and {1, 1-1e-9}.
+        let n = 30;
+        let mut a = Matrix::zeros(n, n);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 3.0 - 1e-9;
+        a[(2, 2)] = 1.0;
+        a[(3, 3)] = 1.0 - 1e-9;
+        for i in 4..n {
+            a[(i, i)] = 0.1;
+        }
+        let partial = PartialEigen::lanczos_op(&a, 4, 500).unwrap();
+        assert_eq!(partial.len(), 4);
+        let want = [3.0, 3.0 - 1e-9, 1.0, 1.0 - 1e-9];
+        for (j, w) in want.iter().enumerate() {
+            assert!(
+                (partial.eigenvalues()[j] - w).abs() < 1e-8,
+                "clustered eigenvalue {j}: got {}",
+                partial.eigenvalues()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn operator_engine_degenerate_spectrum_returns_fewer_pairs() {
+        let a = Matrix::identity(5);
+        let partial = PartialEigen::lanczos_op(&a, 3, 100).unwrap();
+        assert_eq!(partial.len(), 1);
+        assert!((partial.eigenvalues()[0] - 1.0).abs() < 1e-12);
+    }
+
+    struct NanOperator(usize);
+
+    impl LinearOperator for NanOperator {
+        fn dim(&self) -> usize {
+            self.0
+        }
+
+        fn apply(&self, _x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+            y.fill(f64::NAN);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn nan_operator_surfaces_typed_error_instead_of_looping() {
+        let err = PartialEigen::lanczos_op(&NanOperator(10), 2, 50).unwrap_err();
+        assert!(matches!(err, LinalgError::NonFinite { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn exhausted_apply_budget_is_no_convergence() {
+        // A healthy operator with a tiny budget: the first cycle cannot
+        // even fill its basis, so the typed budget error comes back.
+        let a = random_spd(40, 9, 0.05);
+        let err = PartialEigen::lanczos_op(&a, 4, 3).unwrap_err();
+        assert!(matches!(err, LinalgError::NoConvergence { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn operator_engine_input_validation() {
+        let a = Matrix::identity(5);
+        assert!(PartialEigen::lanczos_op(&a, 0, 10).is_err());
+        assert!(PartialEigen::lanczos_op(&a, 6, 10).is_err());
+        assert!(PartialEigen::lanczos_op(&a, 2, 0).is_err());
+        assert!(PartialEigen::lanczos_op(&Matrix::zeros(0, 0), 1, 10).is_err());
+        // k == n is legal and exact.
+        let mut d = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            d[(i, i)] = (i + 1) as f64;
+        }
+        let ok = PartialEigen::lanczos_op(&d, 5, 100).unwrap();
+        assert_eq!(ok.len(), 5);
+        assert!((ok.eigenvalues()[0] - 5.0).abs() < 1e-10);
+        assert!((ok.eigenvalues()[4] - 1.0).abs() < 1e-10);
     }
 }

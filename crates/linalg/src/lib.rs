@@ -9,7 +9,10 @@
 //! - [`SymmetricEigen`]: Householder tridiagonalisation + implicit-shift QL,
 //!   the solver behind the Galerkin eigenproblem (paper eq. 15),
 //! - [`DiagonalGep`]: the generalized eigenproblem `K d = λ Φ d` with
-//!   diagonal `Φ` (paper eq. 13), reduced to a symmetric standard problem.
+//!   diagonal `Φ` (paper eq. 13), reduced to a symmetric standard problem,
+//! - [`LinearOperator`] / [`ScaledOperator`]: the operator-apply seam for
+//!   matrix-free eigensolves ([`PartialEigen::lanczos_op`]) that never
+//!   materialize the matrix.
 //!
 //! ```
 //! use klest_linalg::{Matrix, SymmetricEigen};
@@ -35,6 +38,7 @@ mod gep;
 mod jacobi;
 mod lanczos;
 mod matrix;
+mod operator;
 pub mod vecops;
 
 pub use cholesky::Cholesky;
@@ -43,3 +47,4 @@ pub use error::LinalgError;
 pub use gep::DiagonalGep;
 pub use lanczos::PartialEigen;
 pub use matrix::Matrix;
+pub use operator::{LinearOperator, ScaledOperator};

@@ -1,0 +1,203 @@
+//! Operator-apply abstraction for matrix-free iterative eigensolves.
+//!
+//! The Lanczos engine only ever touches its matrix through matrix–vector
+//! products, so a trait with a single `apply` is all that is needed to
+//! run it over operators whose entries are generated on the fly. That is
+//! what unlocks large meshes: the dense Galerkin matrix of a
+//! 10⁵-triangle mesh is 80 GB, while its *action* on a vector needs O(n)
+//! memory per application.
+
+use crate::{vecops, LinalgError, Matrix};
+
+/// A symmetric linear operator defined by its action `y = A x`.
+///
+/// Implementations must be **deterministic**: the same `x` must produce
+/// the same `y` bitwise on every call (and, for sharded operators, for
+/// every worker count) — the iterative solvers rely on replayable
+/// arithmetic for seeded reproducibility and cache keying.
+pub trait LinearOperator {
+    /// Operator dimension `n` (square: maps `R^n → R^n`).
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`; `x` and `y` both have length
+    /// [`dim`](Self::dim).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined: an on-the-fly operator may report
+    /// cooperative cancellation ([`LinalgError::Cancelled`]) or a
+    /// poisoned entry ([`LinalgError::NonFinite`]). The trivial dense
+    /// adapter only reports shape mismatches.
+    fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError>;
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        (**self).apply(x, y)
+    }
+}
+
+/// A dense matrix is the trivial operator: `apply` is the row-major
+/// matvec `y[i] = dot(row_i, x)` — the same floating-point expression,
+/// in the same order, as the dense Lanczos inner loop, so dense and
+/// operator-backed solves are interchangeable bitwise.
+impl LinearOperator for Matrix {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                dims: (self.rows(), self.cols()),
+            });
+        }
+        if x.len() != self.cols() || y.len() != self.rows() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "operator apply",
+                left: (self.rows(), self.cols()),
+                right: (x.len(), y.len()),
+            });
+        }
+        for (row, out) in y.iter_mut().enumerate() {
+            *out = vecops::dot(self.row(row), x);
+        }
+        Ok(())
+    }
+}
+
+/// The diagonal similarity transform `D A D` of an inner operator, with
+/// `D = diag(scale)` — the matrix-free form of the symmetric reduction
+/// `Φ^{-1/2} K Φ^{-1/2}` the generalized Galerkin eigenproblem uses
+/// (paper eq. 13 via [`crate::DiagonalGep`]).
+///
+/// `apply` computes `y = D (A (D x))`: one O(n) pre-scale, one inner
+/// apply, one O(n) post-scale — the inner operator is never modified,
+/// so its bitwise-determinism guarantees carry over.
+pub struct ScaledOperator<Op> {
+    inner: Op,
+    scale: Vec<f64>,
+}
+
+impl<Op: LinearOperator> ScaledOperator<Op> {
+    /// Wraps `inner` with the similarity diagonal `scale`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] if `scale.len() != inner.dim()`,
+    /// - [`LinalgError::NonFinite`] if a scale entry is NaN or infinite
+    ///   (reported with `col = 0`).
+    pub fn new(inner: Op, scale: Vec<f64>) -> Result<Self, LinalgError> {
+        if scale.len() != inner.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "scaled operator",
+                left: (inner.dim(), inner.dim()),
+                right: (scale.len(), 1),
+            });
+        }
+        if let Some(row) = scale.iter().position(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite { row, col: 0 });
+        }
+        Ok(ScaledOperator { inner, scale })
+    }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &Op {
+        &self.inner
+    }
+
+    /// The similarity diagonal.
+    pub fn scale(&self) -> &[f64] {
+        &self.scale
+    }
+}
+
+impl<Op: LinearOperator> LinearOperator for ScaledOperator<Op> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.scale.len() || y.len() != self.scale.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "scaled operator apply",
+                left: (self.scale.len(), self.scale.len()),
+                right: (x.len(), y.len()),
+            });
+        }
+        let scaled: Vec<f64> = x.iter().zip(&self.scale).map(|(v, s)| v * s).collect();
+        self.inner.apply(&scaled, y)?;
+        for (out, s) in y.iter_mut().zip(&self.scale) {
+            *out *= s;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_adapter_matches_mul_vec() {
+        let a = Matrix::from_rows(&[
+            [2.0, 1.0, 0.5].as_slice(),
+            [1.0, 3.0, -1.0].as_slice(),
+            [0.5, -1.0, 4.0].as_slice(),
+        ])
+        .unwrap();
+        let x = vec![1.0, -2.0, 0.25];
+        let mut y = vec![0.0; 3];
+        a.apply(&x, &mut y).unwrap();
+        let reference = a.mul_vec(&x).unwrap();
+        assert_eq!(y, reference);
+    }
+
+    #[test]
+    fn dense_adapter_validates_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let mut y = vec![0.0; 2];
+        assert!(matches!(
+            a.apply(&[1.0, 2.0, 3.0], &mut y),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let a = Matrix::identity(3);
+        assert!(matches!(
+            a.apply(&[1.0, 2.0], &mut y),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scaled_operator_is_the_similarity_transform() {
+        let a = Matrix::from_rows(&[[2.0, 1.0].as_slice(), [1.0, 3.0].as_slice()]).unwrap();
+        let s = vec![0.5, 2.0];
+        let op = ScaledOperator::new(&a, s.clone()).unwrap();
+        assert_eq!(op.dim(), 2);
+        let x = vec![1.0, 1.0];
+        let mut y = vec![0.0; 2];
+        op.apply(&x, &mut y).unwrap();
+        // y_i = s_i * Σ_j a_ij s_j x_j
+        for i in 0..2 {
+            let expected = s[i] * (0..2).map(|j| a[(i, j)] * s[j] * x[j]).sum::<f64>();
+            assert!((y[i] - expected).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn scaled_operator_validates_inputs() {
+        let a = Matrix::identity(3);
+        assert!(matches!(
+            ScaledOperator::new(&a, vec![1.0; 2]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            ScaledOperator::new(&a, vec![1.0, f64::NAN, 1.0]),
+            Err(LinalgError::NonFinite { row: 1, .. })
+        ));
+    }
+}

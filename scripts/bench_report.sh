@@ -29,6 +29,13 @@ cargo build --release --offline -q -p klest-cli -p klest-bench
 # artifact cache, merged into the report as a top-level "benches" object.
 ./target/release/pipeline_bench --report "$out" --threads 4
 
+# Matrix-free KLE scale bench: gates the operator path against the
+# dense spectrum on a small mesh, then times a matrix-free solve that
+# never assembles the n x n matrix and merges wall time plus the
+# O(n*k)-vs-n^2 memory model (including the 1e5-element laptop-budget
+# projection) into the report as a top-level "kle_scale" object.
+./target/release/kle_scale_bench --report "$out" --threads 4
+
 # Serving bench: replays thousands of mixed warm/cold queries plus
 # hostile traffic (injected panic, hangs, deadline storm, queue-overflow
 # flood) against the in-process daemon, asserts the typed-shed /
@@ -58,6 +65,11 @@ mesh.min_angle_deg
 galerkin_assembly_serial_vs_parallel
 pipeline_cold_vs_warm_cache
 "speedup"
+"kle_scale"
+"matrix_free_secs"
+"matrix_free_bytes"
+"dense_matrix_bytes"
+"projected_1e5_matrix_free_bytes"
 "serve"
 "shed_overload"
 "shed_deadline"

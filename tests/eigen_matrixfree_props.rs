@@ -1,0 +1,196 @@
+//! Differential property suite for the matrix-free Lanczos engine:
+//! `PartialEigen::lanczos_op` over operator-apply abstractions must
+//! reproduce the dense Householder/QL ground truth — eigenvalues to
+//! solver tolerance and eigenvectors up to sign — on random SPD inputs,
+//! random similarity scalings, and small Galerkin systems over random
+//! kernels and meshes. Every property is seeded and replayable via
+//! `KLEST_PROPTEST_SEED=<property>:<seed>`.
+
+use klest::core::{assemble_galerkin, GalerkinOperator, QuadratureRule};
+use klest::linalg::{LinearOperator, Matrix, PartialEigen, ScaledOperator, SymmetricEigen};
+use klest_proptest::{check, check_config, strategies, Config};
+
+/// Leading pairs asked of the iterative engine per case: small enough
+/// that random SPD spectra (slow decay) still converge quickly.
+const K: usize = 4;
+const MAX_ITERS: usize = 2000;
+
+/// Checks `partial` against the dense ground truth `full`: eigenvalue
+/// agreement to `tol` (relative to the spectral head) and, for every
+/// well-separated pair, eigenvector collinearity up to sign.
+fn agree(
+    partial: &PartialEigen,
+    full: &SymmetricEigen,
+    n: usize,
+    tol: f64,
+) -> Result<(), String> {
+    let head = full.eigenvalues()[0].abs().max(1e-300);
+    for (j, (got, want)) in partial
+        .eigenvalues()
+        .iter()
+        .zip(full.eigenvalues())
+        .enumerate()
+    {
+        if (got - want).abs() > tol * head {
+            return Err(format!("eigenvalue {j}: lanczos_op {got} vs QL {want}"));
+        }
+    }
+    for j in 0..partial.len() {
+        // Sign-free collinearity is only well-posed away from
+        // degeneracies; skip pairs whose neighbours are within 1e-6
+        // of the spectral head.
+        let lam = full.eigenvalues()[j];
+        let prev_gap = if j == 0 {
+            f64::INFINITY
+        } else {
+            (full.eigenvalues()[j - 1] - lam).abs()
+        };
+        let next_gap = if j + 1 < n {
+            (lam - full.eigenvalues()[j + 1]).abs()
+        } else {
+            f64::INFINITY
+        };
+        if prev_gap.min(next_gap) < 1e-6 * head {
+            continue;
+        }
+        let v = partial.eigenvector(j);
+        let overlap: f64 = (0..n).map(|i| v[i] * full.eigenvectors()[(i, j)]).sum();
+        if (overlap.abs() - 1.0).abs() > 1e-6 {
+            return Err(format!(
+                "eigenvector {j}: |<v_op, v_ql>| = {} (want 1 up to sign)",
+                overlap.abs()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The matrix-free engine over the dense-adapter operator matches the
+/// full QL decomposition on random SPD matrices.
+#[test]
+fn lanczos_op_matches_dense_ql_on_random_spd() {
+    let strat = strategies::spd_matrix(2..20);
+    check("lanczos_op_matches_dense_ql_on_random_spd", &strat, |a| {
+        let n = a.rows();
+        let k = K.min(n);
+        let full = SymmetricEigen::new(a).map_err(|e| format!("QL failed: {e}"))?;
+        let partial =
+            PartialEigen::lanczos_op(a, k, MAX_ITERS).map_err(|e| format!("lanczos_op: {e}"))?;
+        // Random SPD spectra are simple (ties have measure zero), so the
+        // full k pairs must come back.
+        if partial.len() != k {
+            return Err(format!("asked {k} pairs, got {}", partial.len()));
+        }
+        agree(&partial, &full, n, 1e-8)
+    });
+}
+
+/// The diagonal similarity wrapper is the matrix-free form of
+/// `D A D`: solving through `ScaledOperator` matches QL on the
+/// explicitly scaled dense matrix — the exact reduction the KLE's
+/// generalized eigenproblem uses.
+#[test]
+fn scaled_operator_matches_explicit_similarity_transform() {
+    let strat = strategies::spd_matrix(2..16);
+    check(
+        "scaled_operator_matches_explicit_similarity_transform",
+        &strat,
+        |a| {
+            let n = a.rows();
+            let k = K.min(n);
+            // A deterministic positive scale derived from the diagonal —
+            // the same shape as the KLE's area weights Φ^{-1/2}.
+            let scale: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + a[(i, i)]).sqrt()).collect();
+            let dense = Matrix::from_fn(n, n, |i, j| scale[i] * a[(i, j)] * scale[j]);
+            let full = SymmetricEigen::new(&dense).map_err(|e| format!("QL failed: {e}"))?;
+            let op = ScaledOperator::new(a, scale).map_err(|e| format!("wrap: {e}"))?;
+            let partial = PartialEigen::lanczos_op(&op, k, MAX_ITERS)
+                .map_err(|e| format!("lanczos_op: {e}"))?;
+            if partial.len() != k {
+                return Err(format!("asked {k} pairs, got {}", partial.len()));
+            }
+            agree(&partial, &full, n, 1e-8)
+        },
+    );
+}
+
+/// End-to-end differential: the on-the-fly `GalerkinOperator` drives
+/// `lanczos_op` to the same leading spectrum the dense QL solve finds on
+/// the assembled matrix, for random kernels on random small meshes.
+#[test]
+fn galerkin_operator_solve_matches_dense_ql_for_any_kernel() {
+    // Each case meshes + assembles + runs two eigensolves; keep the
+    // count small and fixed regardless of KLEST_PROPTEST_CASES.
+    let name = "galerkin_operator_solve_matches_dense_ql_for_any_kernel";
+    let cfg = Config {
+        cases: 6,
+        ..Config::from_env(name)
+    };
+    let kernels = strategies::any_kernel();
+    check_config(name, &cfg, &kernels, |case| {
+        let kernel = case.build();
+        let mesh = klest::mesh::MeshBuilder::new(klest::geometry::Rect::unit_die())
+            .max_area(0.08)
+            .min_angle_degrees(25.0)
+            .build()
+            .map_err(|e| format!("mesh: {e}"))?;
+        let n = mesh.len();
+        let dense = assemble_galerkin(&mesh, kernel.as_ref(), QuadratureRule::Centroid);
+        let full = SymmetricEigen::new(&dense).map_err(|e| format!("QL failed: {e}"))?;
+        let op = GalerkinOperator::new(&mesh, kernel.as_ref(), QuadratureRule::Centroid, 1);
+        let partial = PartialEigen::lanczos_op(&op, K.min(n), MAX_ITERS)
+            .map_err(|e| format!("{case:?}: lanczos_op: {e}"))?;
+        agree(&partial, &full, n, 1e-8).map_err(|e| format!("{case:?}: {e}"))
+    });
+}
+
+/// Bitwise determinism: the operator engine is a pure function of its
+/// operator — two runs over the same input produce identical bits, and
+/// the dense adapter's matvec is bitwise-interchangeable with the
+/// on-the-fly Galerkin operator, so both routes yield identical spectra.
+#[test]
+fn lanczos_op_is_bitwise_deterministic_across_operator_routes() {
+    let name = "lanczos_op_is_bitwise_deterministic_across_operator_routes";
+    let cfg = Config {
+        cases: 4,
+        ..Config::from_env(name)
+    };
+    let kernels = strategies::any_kernel();
+    check_config(name, &cfg, &kernels, |case| {
+        let kernel = case.build();
+        let mesh = klest::mesh::MeshBuilder::new(klest::geometry::Rect::unit_die())
+            .max_area(0.1)
+            .min_angle_degrees(25.0)
+            .build()
+            .map_err(|e| format!("mesh: {e}"))?;
+        let n = mesh.len();
+        let k = K.min(n);
+        let dense = assemble_galerkin(&mesh, kernel.as_ref(), QuadratureRule::Centroid);
+        let op = GalerkinOperator::new(&mesh, kernel.as_ref(), QuadratureRule::Centroid, 1);
+        let via_op =
+            PartialEigen::lanczos_op(&op, k, MAX_ITERS).map_err(|e| format!("op: {e}"))?;
+        let again =
+            PartialEigen::lanczos_op(&op, k, MAX_ITERS).map_err(|e| format!("op2: {e}"))?;
+        let via_dense =
+            PartialEigen::lanczos_op(&dense, k, MAX_ITERS).map_err(|e| format!("dense: {e}"))?;
+        for other in [&again, &via_dense] {
+            if via_op.eigenvalues() != other.eigenvalues()
+                || via_op.eigenvectors().as_slice() != other.eigenvectors().as_slice()
+            {
+                return Err(format!("{case:?}: operator routes drifted bitwise"));
+            }
+        }
+        // Sanity: the operator really is the assembled matrix's action.
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 101) as f64 / 101.0).collect();
+        let mut y_op = vec![0.0; n];
+        let mut y_dense = vec![0.0; n];
+        op.apply(&x, &mut y_op).map_err(|e| format!("apply: {e}"))?;
+        dense
+            .apply(&x, &mut y_dense)
+            .map_err(|e| format!("apply: {e}"))?;
+        if y_op != y_dense {
+            return Err(format!("{case:?}: matvec drifted bitwise"));
+        }
+        Ok(())
+    });
+}
