@@ -74,6 +74,7 @@ COMMANDS:
                                               [--inject-panic-shard I] [--inject-hang-ms MS]
   serve     long-lived timing-query daemon    [--workers 2] [--queue-depth 16] [--drain-ms 10000]
                                               [--default-deadline-ms MS] [--cache-dir DIR]
+                                              [--state-dir DIR]
                                               [--requests FILE] [--socket PATH]
                                               [--trace-responses] [--slo-target 0.95]
                                               [--metrics-interval-ms MS --metrics-out FILE]
@@ -118,7 +119,12 @@ panicking or hanging request is isolated and reported as status=fault or
 cancelled while other requests keep running. {\"op\":\"shutdown\"} or EOF
 (the std-only daemon cannot trap SIGTERM — process managers should close
 stdin) drains gracefully within --drain-ms and emits a final
-status=drained summary line.
+status=drained summary line. --state-dir DIR makes the daemon
+crash-restartable: admitted queries are journaled (fsynced) to
+DIR/journal.log before they run and marked done after their one terminal
+response, the disk artifact cache defaults to DIR/cache, and a restarted
+daemon recovers the cache (quarantining torn entries) and replays the
+journal's pending tail, answering each journaled request exactly once.
 
 TELEMETRY (serve): {\"op\":\"stats\"} answers inline with queue depth,
 lifetime admit/shed/fault counters, windowed warm/cold latency quantiles
@@ -573,6 +579,7 @@ pub fn cmd_serve<W: Write + Send>(args: &Args, out: &mut W) -> CliResult {
         drain: Duration::from_millis(drain_ms),
         default_deadline,
         cache_dir: args_opt_str(args, "cache-dir").map(Into::into),
+        state_dir: args_opt_str(args, "state-dir").map(Into::into),
         trace_responses: args.flag("trace-responses"),
         metrics_interval,
         metrics_out,

@@ -483,6 +483,13 @@ pub struct CacheSnapshot {
     pub spectrum_hits: u64,
     /// Spectrum misses.
     pub spectrum_misses: u64,
+    /// Disk-layer store attempts that failed (tmp write, fsync or
+    /// rename error, or a manifest append failure). Each one silently
+    /// lost the persistent copy of an artifact.
+    pub disk_write_failures: u64,
+    /// Corrupted or torn disk entries renamed aside to `*.quarantine`
+    /// instead of being silently recomputed over.
+    pub quarantined: u64,
 }
 
 impl CacheSnapshot {
@@ -505,6 +512,8 @@ struct CacheStats {
     galerkin_misses: AtomicU64,
     spectrum_hits: AtomicU64,
     spectrum_misses: AtomicU64,
+    disk_write_failures: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -531,17 +540,37 @@ fn bump(counter: &AtomicU64, obs_name: &str) {
 /// [`ArtifactCache::with_disk`] adds an on-disk layer for meshes and
 /// spectra — the two artifacts worth persisting across processes; the
 /// O(n²) matrix is deliberately memory-only since a spectrum hit already
-/// skips assembly — with atomic tmp-file + rename writes and exact-bits
-/// float encoding. Any disk problem (unreadable, truncated, foreign
-/// content) silently degrades to a miss; the cache never fails a
-/// pipeline. Hits and misses are counted per level
-/// ([`ArtifactCache::snapshot`]) and mirrored to the obs counters
+/// skips assembly — with fsynced tmp-file + rename writes and exact-bits
+/// float encoding. A disk problem never fails a pipeline, but it is no
+/// longer silent either:
+///
+/// - every successful store appends an fsynced, generation-stamped
+///   record (`entry <gen> <file> <fnv1a64> <len>`) to a `manifest.log`
+///   journal in the cache directory; [`ArtifactCache::with_disk`]
+///   replays the journal on open and validates recorded checksums,
+/// - a corrupted or torn entry — checksum mismatch against the
+///   manifest, or an unparseable artifact at read time — is
+///   **quarantined**: renamed aside to `<file>.quarantine` and counted
+///   ([`CacheSnapshot::quarantined`], obs `pipeline.cache.quarantined`)
+///   so recurring corruption is visible instead of masked by silent
+///   recomputes,
+/// - a failed store (tmp write, fsync, rename or manifest append) is
+///   counted in [`CacheSnapshot::disk_write_failures`] (obs
+///   `pipeline.cache.disk_write_failures`).
+///
+/// Hits and misses are counted per level ([`ArtifactCache::snapshot`])
+/// and mirrored to the obs counters
 /// `pipeline.cache.{mesh,galerkin,spectrum}.{hits,misses}`.
 pub struct ArtifactCache {
     meshes: Mutex<HashMap<String, Arc<Mesh>>>,
     matrices: Mutex<HashMap<String, Arc<Matrix>>>,
     spectra: Mutex<HashMap<String, Arc<GalerkinKle>>>,
     disk_dir: Option<PathBuf>,
+    /// Latest journalled `(checksum, byte length)` per cache filename.
+    manifest: Mutex<HashMap<String, (u64, u64)>>,
+    /// Next generation stamp for manifest appends (continues past the
+    /// largest generation replayed from an existing journal).
+    manifest_generation: AtomicU64,
     stats: CacheStats,
 }
 
@@ -559,15 +588,26 @@ impl ArtifactCache {
             matrices: Mutex::new(HashMap::new()),
             spectra: Mutex::new(HashMap::new()),
             disk_dir: None,
+            manifest: Mutex::new(HashMap::new()),
+            manifest_generation: AtomicU64::new(0),
             stats: CacheStats::default(),
         }
     }
 
     /// An in-memory cache backed by an on-disk layer under `dir`
-    /// (created on first store).
+    /// (created on first store). Replays the `manifest.log` journal if
+    /// one exists and validates every recorded entry whose file is
+    /// present: a checksum or length mismatch quarantines the file
+    /// immediately, so a crash-torn cache is cleaned at open rather
+    /// than discovered lookup by lookup.
     pub fn with_disk<P: Into<PathBuf>>(dir: P) -> ArtifactCache {
         let mut cache = Self::new();
-        cache.disk_dir = Some(dir.into());
+        let dir = dir.into();
+        let (entries, next_generation) = load_manifest(&dir.join(MANIFEST_NAME));
+        cache.manifest = Mutex::new(entries);
+        cache.manifest_generation = AtomicU64::new(next_generation);
+        cache.disk_dir = Some(dir);
+        cache.validate_manifest_on_open();
         cache
     }
 
@@ -585,6 +625,8 @@ impl ArtifactCache {
             galerkin_misses: self.stats.galerkin_misses.load(Ordering::Relaxed),
             spectrum_hits: self.stats.spectrum_hits.load(Ordering::Relaxed),
             spectrum_misses: self.stats.spectrum_misses.load(Ordering::Relaxed),
+            disk_write_failures: self.stats.disk_write_failures.load(Ordering::Relaxed),
+            quarantined: self.stats.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -709,36 +751,201 @@ impl ArtifactCache {
         };
         let Some(dir) = path.parent() else { return };
         // Best effort throughout: a read-only or full disk must never
-        // fail the pipeline, it just loses the persistent layer.
+        // fail the pipeline, it just loses the persistent layer — but
+        // every lost write is counted (`disk_write_failures`), never
+        // silently dropped.
         if std::fs::create_dir_all(dir).is_err() {
+            self.count_write_failure();
             return;
         }
         // Crash safety: write to a tmp name unique per process *and*
-        // writer, then atomically rename into place. A killed or racing
-        // writer can therefore never leave a torn file at the final path
-        // — readers see either the old complete artifact or the new one.
-        // (A shared tmp name would let two concurrent writers interleave
-        // bytes and rename a torn file into place.)
+        // writer, fsync it, then atomically rename into place. A killed
+        // or racing writer can therefore never leave a torn file at the
+        // final path — readers see either the old complete artifact or
+        // the new one. (A shared tmp name would let two concurrent
+        // writers interleave bytes and rename a torn file into place.)
         static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
         let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = path.with_extension(format!(
             "{ext}.tmp.{}.{seq}",
             std::process::id()
         ));
-        if std::fs::write(&tmp, content).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+        if write_synced(&tmp, content).is_err() || std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
+            self.count_write_failure();
+            return;
+        }
+        fsync_dir(dir);
+        self.manifest_append(&path, content);
+    }
+
+    fn count_write_failure(&self) {
+        bump(
+            &self.stats.disk_write_failures,
+            "pipeline.cache.disk_write_failures",
+        );
+    }
+
+    /// Journals a completed store: one fsynced, generation-stamped
+    /// record per write. The journal is append-only; the newest record
+    /// per filename wins on replay.
+    fn manifest_append(&self, path: &Path, content: &str) {
+        let (Some(dir), Some(name)) = (
+            self.disk_dir.as_deref(),
+            path.file_name().and_then(|n| n.to_str()),
+        ) else {
+            return;
+        };
+        let generation = self.manifest_generation.fetch_add(1, Ordering::Relaxed);
+        let checksum = fnv1a64(content.as_bytes());
+        let len = content.len() as u64;
+        let line = format!("entry {generation} {name} {checksum:016x} {len}\n");
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(MANIFEST_NAME))
+            .and_then(|mut f| {
+                use std::io::Write as _;
+                f.write_all(line.as_bytes())?;
+                f.sync_all()
+            });
+        if appended.is_err() {
+            // The artifact itself landed; only its journal record is
+            // lost (it will be re-validated as unrecorded-but-parseable
+            // on the next open). Still a disk write failure.
+            self.count_write_failure();
+            return;
+        }
+        lock(&self.manifest).insert(name.to_string(), (checksum, len));
+    }
+
+    /// Renames a corrupt or torn entry aside to `<file>.quarantine`
+    /// (preserving the evidence) and counts it; forgetting its manifest
+    /// record so later lookups see a clean miss.
+    fn quarantine(&self, path: &Path) {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            return;
+        };
+        let target = path.with_file_name(format!("{name}.quarantine"));
+        if std::fs::rename(path, &target).is_ok() {
+            bump(&self.stats.quarantined, "pipeline.cache.quarantined");
+        }
+        lock(&self.manifest).remove(name);
+    }
+
+    /// Open-time integrity pass: every journalled entry whose file is
+    /// present must match its recorded checksum and length; a mismatch
+    /// is quarantined now. Missing files are merely stale records.
+    fn validate_manifest_on_open(&self) {
+        let Some(dir) = self.disk_dir.as_deref() else { return };
+        let recorded: Vec<(String, (u64, u64))> = lock(&self.manifest)
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        for (name, (checksum, len)) in recorded {
+            let path = dir.join(&name);
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            if bytes.len() as u64 != len || fnv1a64(&bytes) != checksum {
+                self.quarantine(&path);
+            }
         }
     }
 
+    /// Reads a disk entry, enforcing the manifest checksum when one is
+    /// recorded. Returns `None` (after quarantining) on any mismatch.
+    fn disk_read_validated(&self, path: &Path) -> Option<String> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let name = path.file_name().and_then(|n| n.to_str())?;
+        if let Some(&(checksum, len)) = lock(&self.manifest).get(name) {
+            if text.len() as u64 != len || fnv1a64(text.as_bytes()) != checksum {
+                self.quarantine(path);
+                return None;
+            }
+        }
+        Some(text)
+    }
+
     fn disk_load_mesh(&self, key: &ArtifactKey) -> Option<Mesh> {
-        let text = std::fs::read_to_string(self.disk_path(key, "mesh")?).ok()?;
-        deserialize_mesh(key, &text)
+        let path = self.disk_path(key, "mesh")?;
+        let text = self.disk_read_validated(&path)?;
+        match deserialize_mesh(key, &text) {
+            Some(mesh) => Some(mesh),
+            None => {
+                self.quarantine(&path);
+                None
+            }
+        }
     }
 
     fn disk_load_spectrum(&self, key: &ArtifactKey) -> Option<GalerkinKle> {
-        let text = std::fs::read_to_string(self.disk_path(key, "kle")?).ok()?;
-        deserialize_spectrum(key, &text)
+        let path = self.disk_path(key, "kle")?;
+        let text = self.disk_read_validated(&path)?;
+        match deserialize_spectrum(key, &text) {
+            Some(kle) => Some(kle),
+            None => {
+                self.quarantine(&path);
+                None
+            }
+        }
     }
+}
+
+/// Name of the append-only store journal inside a disk cache directory.
+const MANIFEST_NAME: &str = "manifest.log";
+
+/// Writes `content` to `path` and fsyncs the file before returning.
+fn write_synced(path: &Path, content: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(content.as_bytes())?;
+    file.sync_all()
+}
+
+/// Best-effort directory fsync so a completed rename survives a crash.
+fn fsync_dir(dir: &Path) {
+    if let Ok(handle) = std::fs::File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+/// Replays a `manifest.log` journal. Malformed lines — including a
+/// torn final append — are skipped; later records supersede earlier
+/// ones for the same filename. Returns the surviving entries and the
+/// next free generation stamp.
+fn load_manifest(path: &Path) -> (HashMap<String, (u64, u64)>, u64) {
+    let mut entries = HashMap::new();
+    let mut next_generation = 0u64;
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (entries, next_generation);
+    };
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("entry ") else {
+            continue;
+        };
+        let mut it = rest.split_whitespace();
+        let (Some(generation), Some(name), Some(checksum), Some(len)) =
+            (it.next(), it.next(), it.next(), it.next())
+        else {
+            continue;
+        };
+        // Strict shape: exactly four fields, checksum exactly 16 hex
+        // digits — a torn tail merged with a later append fails both.
+        if it.next().is_some() || checksum.len() != 16 {
+            continue;
+        }
+        let (Ok(generation), Ok(checksum), Ok(len)) = (
+            generation.parse::<u64>(),
+            u64::from_str_radix(checksum, 16),
+            len.parse::<u64>(),
+        ) else {
+            continue;
+        };
+        next_generation = next_generation.max(generation + 1);
+        entries.insert(name.to_string(), (checksum, len));
+    }
+    (entries, next_generation)
 }
 
 const MESH_HEADER: &str = "klest-cache/mesh/v1";
@@ -1316,7 +1523,40 @@ mod tests {
         assert_eq!(cold.mesh.points(), warm.mesh.points());
         assert_eq!(cold.mesh.areas(), warm.mesh.areas());
         assert_eq!(cold.rank, warm.rank);
+        // The store journal recorded every write, nothing was
+        // quarantined on replay, and a healthy open flags no failures.
+        let manifest = std::fs::read_to_string(dir.join("manifest.log")).unwrap();
+        assert!(
+            manifest.lines().filter(|l| l.starts_with("entry ")).count() >= 2,
+            "manifest journal missing store records:\n{manifest}"
+        );
+        assert!(manifest.contains("entry 0 "), "{manifest}");
+        let snap = warm_cache.snapshot();
+        assert_eq!(snap.quarantined, 0, "{snap:?}");
+        assert_eq!(snap.disk_write_failures, 0, "{snap:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_disk_writes_are_counted_not_silent() {
+        // Point the disk layer at a path that is a regular file, so
+        // every store's create_dir_all fails. The pipeline must still
+        // succeed — and every lost write must be counted.
+        let blocker = std::env::temp_dir().join(format!(
+            "klest-cache-test-{}-{:016x}",
+            std::process::id(),
+            fnv1a64(b"failed_disk_writes_are_counted_not_silent")
+        ));
+        std::fs::write(&blocker, "a file where the cache dir should be").unwrap();
+        let cache = ArtifactCache::with_disk(&blocker);
+        let kernel = GaussianKernel::new(1.5);
+        let out =
+            run_frontend(&kernel, &coarse_config(), ExecPolicy::Plain, Some(&cache)).unwrap();
+        assert!(out.kle.eigenvalues()[0] > 0.0);
+        let snap = cache.snapshot();
+        // One failed store per persisted artifact level (mesh + kle).
+        assert_eq!(snap.disk_write_failures, 2, "{snap:?}");
+        let _ = std::fs::remove_file(&blocker);
     }
 
     #[test]
@@ -1341,6 +1581,15 @@ mod tests {
         let snap = fresh.snapshot();
         assert_eq!(snap.spectrum_hits, 0, "{snap:?}");
         assert_eq!(snap.spectrum_misses, 1, "{snap:?}");
+        // The corrupt mesh and spectrum were quarantined (renamed
+        // aside), not silently recomputed over.
+        assert_eq!(snap.quarantined, 2, "{snap:?}");
+        let quarantined: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().to_string_lossy().ends_with(".quarantine"))
+            .collect();
+        assert_eq!(quarantined.len(), 2, "{quarantined:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1389,6 +1638,17 @@ mod tests {
         );
         let snap = torn.snapshot();
         assert_eq!(snap.hits(), 0, "{snap:?}");
+        // Both torn artifacts were quarantined — either at open (their
+        // journalled checksum no longer matched) or at lookup (the
+        // torn bytes failed to parse) — never silently skipped.
+        assert_eq!(snap.quarantined, 2, "{snap:?}");
+        assert!(
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .any(|e| e.path().to_string_lossy().ends_with(".quarantine")),
+            "quarantined files must be preserved on disk"
+        );
         // ... and a recompute through the same cache repairs the files.
         let repaired = run_frontend(&kernel, &config, ExecPolicy::Plain, Some(&torn)).unwrap();
         let fresh = ArtifactCache::with_disk(&dir);

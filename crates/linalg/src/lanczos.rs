@@ -59,6 +59,105 @@ fn push_orthonormalized(basis: &mut Vec<Vec<f64>>, mut v: Vec<f64>) {
     }
 }
 
+/// Checkpointable state of the matrix-free thick-restart engine, captured
+/// at a cycle boundary.
+///
+/// A restart cycle of [`PartialEigen::lanczos_op`] is a pure function of
+/// the basis it starts from and the remaining apply budget: the projected
+/// (tridiagonal-plus-spikes) block, residual frontier and Ritz pairs are
+/// all recomputed inside the cycle. So the only state that must survive a
+/// crash is the restart basis and the apply count — resuming from a
+/// captured state replays the remaining cycles **bitwise identically** to
+/// the uninterrupted run (the serialization stores exact f64 bit
+/// patterns, so a disk round-trip loses nothing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanczosState {
+    basis: Vec<Vec<f64>>,
+    applied: usize,
+}
+
+const STATE_HEADER: &str = "klest-lanczos-state/v1";
+
+impl LanczosState {
+    /// Operator applications consumed up to this checkpoint (counted
+    /// against the `max_iters` budget on resume).
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Number of basis vectors in the restart frontier.
+    pub fn basis_len(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Dimension of the underlying operator.
+    pub fn dim(&self) -> usize {
+        self.basis.first().map_or(0, Vec::len)
+    }
+
+    /// Serializes the state as text with exact f64 bit patterns
+    /// (hex-encoded `to_bits`), so deserialize→resume is bitwise
+    /// indistinguishable from never having stopped.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(STATE_HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "dim {}\nvectors {}\napplied {}\n",
+            self.dim(),
+            self.basis.len(),
+            self.applied
+        ));
+        for v in &self.basis {
+            let mut first = true;
+            for &x in v {
+                if !first {
+                    out.push(' ');
+                }
+                out.push_str(&format!("{:016x}", x.to_bits()));
+                first = false;
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a [`serialize`](Self::serialize)d state. `None` on any
+    /// structural damage (wrong header, counts, word widths) — torn or
+    /// corrupted checkpoints degrade to "no checkpoint", never a panic.
+    pub fn deserialize(text: &str) -> Option<LanczosState> {
+        let mut lines = text.lines();
+        if lines.next()? != STATE_HEADER {
+            return None;
+        }
+        let dim: usize = lines.next()?.strip_prefix("dim ")?.parse().ok()?;
+        let vectors: usize = lines.next()?.strip_prefix("vectors ")?.parse().ok()?;
+        let applied: usize = lines.next()?.strip_prefix("applied ")?.parse().ok()?;
+        if dim == 0 || vectors == 0 {
+            return None;
+        }
+        let mut basis = Vec::with_capacity(vectors);
+        for _ in 0..vectors {
+            let line = lines.next()?;
+            let mut v = Vec::with_capacity(dim);
+            for word in line.split(' ') {
+                if word.len() != 16 {
+                    return None;
+                }
+                v.push(f64::from_bits(u64::from_str_radix(word, 16).ok()?));
+            }
+            if v.len() != dim {
+                return None;
+            }
+            basis.push(v);
+        }
+        if lines.next().is_some() {
+            return None;
+        }
+        Some(LanczosState { basis, applied })
+    }
+}
+
 /// Result of a partial (Lanczos) eigendecomposition: the leading `k`
 /// eigenpairs in descending order.
 #[derive(Debug, Clone)]
@@ -214,6 +313,35 @@ impl PartialEigen {
         k: usize,
         max_iters: usize,
     ) -> Result<Self, LinalgError> {
+        Self::lanczos_op_with_state(op, k, max_iters, None, &mut |_| {})
+    }
+
+    /// [`lanczos_op`](Self::lanczos_op) with checkpoint/resume hooks.
+    ///
+    /// `on_cycle` is invoked at every thick-restart boundary with the
+    /// [`LanczosState`] the next cycle starts from; persisting it (e.g.
+    /// through a `CheckpointStore`) makes the eigensolve restartable.
+    /// Passing a captured state back as `resume` continues the solve from
+    /// that boundary and — because a cycle is a pure function of its
+    /// restart basis and remaining apply budget — produces **bitwise
+    /// identical** eigenpairs to the uninterrupted run with the same
+    /// `(op, k, max_iters)`. Each boundary also passes the
+    /// `lanczos/cycle` [`klest_runtime::crash_point`], the deterministic
+    /// kill point the chaos suite aborts at.
+    ///
+    /// # Errors
+    ///
+    /// As for [`lanczos_op`](Self::lanczos_op), plus
+    /// [`LinalgError::DimensionMismatch`] (`op = "lanczos_resume"`) when
+    /// `resume` disagrees with the operator dimension or the cycle basis
+    /// size implied by `k`.
+    pub fn lanczos_op_with_state<Op: LinearOperator + ?Sized>(
+        op: &Op,
+        k: usize,
+        max_iters: usize,
+        resume: Option<&LanczosState>,
+        on_cycle: &mut dyn FnMut(&LanczosState),
+    ) -> Result<Self, LinalgError> {
         let n = op.dim();
         if n == 0 {
             return Err(LinalgError::Empty);
@@ -228,8 +356,22 @@ impl PartialEigen {
         // Per-cycle Krylov dimension: the same small multiple of k the
         // dense KLE path uses, clamped to the space size.
         let m = (2 * k + 10).min(n);
-        let mut basis: Vec<Vec<f64>> = vec![seeded_start(n)];
-        let mut applied = 0usize;
+        let (mut basis, mut applied) = match resume {
+            Some(state) => {
+                let fits = !state.basis.is_empty()
+                    && state.basis.len() <= m
+                    && state.basis.iter().all(|v| v.len() == n);
+                if !fits {
+                    return Err(LinalgError::DimensionMismatch {
+                        op: "lanczos_resume",
+                        left: (state.basis.len(), state.dim()),
+                        right: (m, n),
+                    });
+                }
+                (state.basis.clone(), state.applied)
+            }
+            None => (vec![seeded_start(n)], 0usize),
+        };
         let mut u = vec![0.0; n];
         loop {
             // One restart cycle: fill the projected matrix column by
@@ -339,6 +481,15 @@ impl PartialEigen {
                 return Err(LinalgError::NoConvergence { index: 0 });
             }
             basis = next;
+            // Cycle boundary: the (basis, applied) pair now on hand is
+            // the complete state of the solve — surface it to the
+            // checkpoint observer, then pass the deterministic kill
+            // point the chaos suite aborts at.
+            on_cycle(&LanczosState {
+                basis: basis.clone(),
+                applied,
+            });
+            klest_runtime::crash_point("lanczos/cycle");
         }
     }
 
@@ -608,6 +759,112 @@ mod tests {
         let a = random_spd(40, 9, 0.05);
         let err = PartialEigen::lanczos_op(&a, 4, 3).unwrap_err();
         assert!(matches!(err, LinalgError::NoConvergence { .. }), "{err:?}");
+    }
+
+    fn bits_of(eig: &PartialEigen) -> (Vec<u64>, Vec<u64>) {
+        let values = eig.eigenvalues().iter().map(|v| v.to_bits()).collect();
+        let n = eig.eigenvectors().rows();
+        let mut vec_bits = Vec::new();
+        for j in 0..eig.len() {
+            for r in 0..n {
+                vec_bits.push(eig.eigenvectors()[(r, j)].to_bits());
+            }
+        }
+        (values, vec_bits)
+    }
+
+    #[test]
+    fn resume_from_every_cycle_is_bitwise_identical() {
+        // Slow spectrum forces several thick-restart cycles, so there are
+        // real checkpoints to resume from.
+        let a = random_spd(80, 5, 0.02);
+        let mut checkpoints: Vec<LanczosState> = Vec::new();
+        let uninterrupted =
+            PartialEigen::lanczos_op_with_state(&a, 4, 500, None, &mut |s| {
+                checkpoints.push(s.clone())
+            })
+            .unwrap();
+        assert!(
+            checkpoints.len() >= 2,
+            "expected several restart cycles, got {}",
+            checkpoints.len()
+        );
+        let want = bits_of(&uninterrupted);
+        for (i, cp) in checkpoints.iter().enumerate() {
+            // Disk round-trip through the textual format, then resume.
+            let wire = cp.serialize();
+            let restored = LanczosState::deserialize(&wire).unwrap();
+            assert_eq!(&restored, cp, "serialization must be lossless");
+            let resumed =
+                PartialEigen::lanczos_op_with_state(&a, 4, 500, Some(&restored), &mut |_| {})
+                    .unwrap();
+            assert_eq!(
+                bits_of(&resumed),
+                want,
+                "resume from cycle {i} must be bitwise identical"
+            );
+        }
+    }
+
+    #[test]
+    fn converged_solve_emits_no_checkpoints_and_wrapper_is_unchanged() {
+        // Fast decay converges within the first cycle: no restart, no
+        // checkpoint, and the thin wrapper must match bit for bit.
+        let mut d = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            d[(i, i)] = (i + 1) as f64;
+        }
+        let mut cycles = 0usize;
+        let with_state =
+            PartialEigen::lanczos_op_with_state(&d, 5, 100, None, &mut |_| cycles += 1).unwrap();
+        let plain = PartialEigen::lanczos_op(&d, 5, 100).unwrap();
+        assert_eq!(cycles, 0, "k = n fills the space in one cycle");
+        assert_eq!(bits_of(&with_state), bits_of(&plain));
+        // And on a case that does restart, the wrapper still matches the
+        // hook-bearing engine bit for bit.
+        let a = random_spd(60, 42, 0.15);
+        let with_state = PartialEigen::lanczos_op_with_state(&a, 8, 500, None, &mut |_| {}).unwrap();
+        let plain = PartialEigen::lanczos_op(&a, 8, 500).unwrap();
+        assert_eq!(bits_of(&with_state), bits_of(&plain));
+    }
+
+    #[test]
+    fn state_deserialize_rejects_damage() {
+        let a = random_spd(80, 5, 0.02);
+        let mut first: Option<LanczosState> = None;
+        let _ = PartialEigen::lanczos_op_with_state(&a, 4, 500, None, &mut |s| {
+            if first.is_none() {
+                first = Some(s.clone());
+            }
+        })
+        .unwrap();
+        let wire = first.unwrap().serialize();
+        // Torn tail, wrong header, truncated word, trailing garbage.
+        assert!(LanczosState::deserialize(&wire[..wire.len() - 9]).is_none());
+        assert!(LanczosState::deserialize(&wire.replacen("v1", "v9", 1)).is_none());
+        let mangled = wire.replacen(" ", "  ", 1);
+        assert!(LanczosState::deserialize(&mangled).is_none());
+        let trailing = format!("{wire}deadbeefdeadbeef\n");
+        assert!(LanczosState::deserialize(&trailing).is_none());
+        assert!(LanczosState::deserialize("").is_none());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_operator() {
+        let a = random_spd(80, 5, 0.02);
+        let mut first: Option<LanczosState> = None;
+        let _ = PartialEigen::lanczos_op_with_state(&a, 4, 500, None, &mut |s| {
+            if first.is_none() {
+                first = Some(s.clone());
+            }
+        })
+        .unwrap();
+        let state = first.unwrap();
+        // Wrong dimension: the state came from an 80-dim operator.
+        let b = random_spd(40, 9, 0.05);
+        let err = PartialEigen::lanczos_op_with_state(&b, 4, 500, Some(&state), &mut |_| {})
+            .unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch { op: "lanczos_resume", .. }));
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub use cholesky::Cholesky;
 pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
 pub use gep::DiagonalGep;
-pub use lanczos::PartialEigen;
+pub use lanczos::{LanczosState, PartialEigen};
 pub use matrix::Matrix;
 pub use operator::{LinearOperator, ScaledOperator};

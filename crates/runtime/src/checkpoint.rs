@@ -1,0 +1,524 @@
+//! Crash-consistent named checkpoints plus deterministic kill points.
+//!
+//! Two primitives make the stack restartable at any instant:
+//!
+//! - [`CheckpointStore`]: a directory of named, generation-stamped,
+//!   checksummed checkpoint files written with the full crash-safe
+//!   ladder (unique temp file → fsync → atomic rename → directory
+//!   fsync). A torn or corrupted checkpoint is *quarantined* — renamed
+//!   aside and counted — never silently trusted or silently dropped, so
+//!   recovery code can distinguish "no checkpoint" from "damaged
+//!   checkpoint".
+//! - [`crash_point`] / [`arm_crash_point`]: deterministic kill points.
+//!   Library code marks the instants at which a real process death is
+//!   survivable; tests arm the N-th arrival at a named site to die.
+//!   [`CrashMode::Unwind`] simulates process exit in-test by panicking
+//!   with an [`AbortSignal`] payload that the [`Supervisor`] refuses to
+//!   retry (catch-point unwinding); [`CrashMode::Abort`] calls the real
+//!   `std::process::abort`, which the crash-smoke script uses against a
+//!   live `klest serve`. The environment hook `KLEST_CRASH_AT=site:N`
+//!   arms a real abort from outside the process.
+//!
+//! [`Supervisor`]: crate::Supervisor
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// FNV-1a 64-bit hash — the integrity checksum for checkpoint payloads
+/// and journal records (dependency-free, stable across platforms).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const HEADER: &str = "klest-checkpoint/v1";
+const EXT: &str = "ckpt";
+
+/// Monotonic uniquifier for temp file names, so concurrent saves (or a
+/// crash-leftover temp from a previous life) can never collide.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of named crash-consistent checkpoints.
+///
+/// Every [`save`](CheckpointStore::save) is atomic and durable: the new
+/// payload is written to a unique temp file, fsynced, renamed over the
+/// live name and the directory entry is fsynced — a crash at any instant
+/// leaves either the previous generation or the new one, never a torn
+/// file under the live name. Every [`load`](CheckpointStore::load)
+/// validates the embedded length and FNV-1a checksum; damage is
+/// quarantined (renamed to `*.quarantine`, counted in the
+/// `runtime.checkpoint.quarantined` obs counter) instead of being
+/// silently skipped.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    generation: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory. The next
+    /// generation stamp continues monotonically from the largest
+    /// generation already on disk, so stamps survive restarts.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or scanning the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<CheckpointStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut max_gen = 0u64;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(EXT) {
+                continue;
+            }
+            if let Ok(text) = fs::read_to_string(&path) {
+                if let Some(g) = parse_generation(&text) {
+                    max_gen = max_gen.max(g);
+                }
+            }
+        }
+        Ok(CheckpointStore {
+            dir,
+            generation: AtomicU64::new(max_gen),
+            quarantined: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Checkpoints quarantined by this store since it was opened.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Atomically and durably replaces checkpoint `name` with `payload`,
+    /// returning the generation stamp of the new entry.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] for a `name` outside
+    /// `[A-Za-z0-9._-]`, otherwise any I/O error from the write ladder.
+    pub fn save(&self, name: &str, payload: &str) -> io::Result<u64> {
+        validate_name(name)?;
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let framed = format!(
+            "{HEADER}\nname {name}\ngeneration {generation}\nlen {}\nfnv1a64 {:016x}\n{payload}",
+            payload.len(),
+            fnv1a64(payload.as_bytes()),
+        );
+        let live = self.path_of(name);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".{name}.tmp.{}.{seq}", std::process::id()));
+        let result = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(framed.as_bytes())?;
+            f.sync_all()?;
+            fs::rename(&tmp, &live)?;
+            fsync_dir(&self.dir);
+            Ok(generation)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Loads checkpoint `name`, returning its generation stamp and
+    /// payload. `None` means "no usable checkpoint": either the file
+    /// does not exist, or it failed validation — in which case it has
+    /// been quarantined (renamed to `*.quarantine` and counted), so a
+    /// later save starts from a clean name.
+    pub fn load(&self, name: &str) -> Option<(u64, String)> {
+        if validate_name(name).is_err() {
+            return None;
+        }
+        let path = self.path_of(name);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.quarantine(&path);
+                return None;
+            }
+        };
+        match parse_checkpoint(&text, name) {
+            Some(parsed) => Some(parsed),
+            None => {
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    /// Removes checkpoint `name` (absence is not an error).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error other than the file not existing.
+    pub fn clear(&self, name: &str) -> io::Result<()> {
+        validate_name(name)?;
+        match fs::remove_file(self.path_of(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{EXT}"))
+    }
+
+    fn quarantine(&self, path: &Path) {
+        let mut aside = path.as_os_str().to_owned();
+        aside.push(".quarantine");
+        if fs::rename(path, PathBuf::from(aside)).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            klest_obs::counter_add("runtime.checkpoint.quarantined", 1);
+        }
+    }
+}
+
+fn validate_name(name: &str) -> io::Result<()> {
+    let ok = !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid checkpoint name {name:?}"),
+        ))
+    }
+}
+
+fn parse_generation(text: &str) -> Option<u64> {
+    let mut lines = text.lines();
+    if lines.next()? != HEADER {
+        return None;
+    }
+    lines.next()?; // name
+    lines.next()?.strip_prefix("generation ")?.parse().ok()
+}
+
+/// Validates a framed checkpoint file against `name`; `None` on any
+/// header, length or checksum mismatch (including a torn tail).
+fn parse_checkpoint(text: &str, name: &str) -> Option<(u64, String)> {
+    let rest = text.strip_prefix(HEADER)?.strip_prefix('\n')?;
+    let rest = rest.strip_prefix("name ")?;
+    let (got_name, rest) = rest.split_once('\n')?;
+    if got_name != name {
+        return None;
+    }
+    let rest = rest.strip_prefix("generation ")?;
+    let (gen_str, rest) = rest.split_once('\n')?;
+    let generation: u64 = gen_str.parse().ok()?;
+    let rest = rest.strip_prefix("len ")?;
+    let (len_str, rest) = rest.split_once('\n')?;
+    let len: usize = len_str.parse().ok()?;
+    let rest = rest.strip_prefix("fnv1a64 ")?;
+    let (sum_str, payload) = rest.split_once('\n')?;
+    let sum = u64::from_str_radix(sum_str, 16).ok()?;
+    if payload.len() != len || fnv1a64(payload.as_bytes()) != sum {
+        return None;
+    }
+    Some((generation, payload.to_string()))
+}
+
+/// Best-effort fsync of a directory entry (rename durability). Ignored on
+/// platforms where directories cannot be opened for sync.
+fn fsync_dir(dir: &Path) {
+    if let Ok(f) = fs::File::open(dir) {
+        let _ = f.sync_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic kill points.
+// ---------------------------------------------------------------------------
+
+/// Panic payload of a *simulated* process abort fired at a
+/// [`crash_point`] (or by a fault plan's `abort_at`). The
+/// [`Supervisor`](crate::Supervisor) recognises this payload and
+/// re-raises it instead of retrying — process-death semantics, delivered
+/// by unwinding to the test's catch point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbortSignal {
+    /// The kill-point site that fired (e.g. `"mc/batch"`).
+    pub site: String,
+}
+
+/// Simulates a process abort at `site` by panicking with an
+/// [`AbortSignal`]. Never returns.
+pub fn simulated_abort(site: impl Into<String>) -> ! {
+    std::panic::panic_any(AbortSignal { site: site.into() })
+}
+
+/// How an armed [`crash_point`] kills the process when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Real death: `std::process::abort()` — no destructors, no flush.
+    /// What the crash-smoke script injects into a live daemon.
+    Abort,
+    /// Simulated death: panic with an [`AbortSignal`] payload, which the
+    /// supervisor refuses to retry, so it unwinds to the test's
+    /// `catch_unwind`.
+    Unwind,
+}
+
+#[derive(Debug)]
+struct ArmedCrash {
+    site: String,
+    /// Arrivals left before firing (fires when this reaches zero).
+    remaining: u64,
+    mode: CrashMode,
+}
+
+/// Fast-path gate: crash points in hot loops cost one relaxed load when
+/// nothing is armed.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn plan() -> &'static Mutex<Vec<ArmedCrash>> {
+    static PLAN: OnceLock<Mutex<Vec<ArmedCrash>>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let mut armed = Vec::new();
+        // KLEST_CRASH_AT=site:N arms a real abort on the N-th arrival at
+        // `site` (N >= 1; a bare site means N = 1). This is the external
+        // hook the crash-smoke script uses against a release binary.
+        if let Ok(spec) = std::env::var("KLEST_CRASH_AT") {
+            let (site, n) = match spec.rsplit_once(':') {
+                Some((site, n)) => (site.to_string(), n.parse().unwrap_or(1)),
+                None => (spec, 1),
+            };
+            if !site.is_empty() {
+                armed.push(ArmedCrash {
+                    site,
+                    remaining: n,
+                    mode: CrashMode::Abort,
+                });
+                ANY_ARMED.store(true, Ordering::Relaxed);
+            }
+        }
+        Mutex::new(armed)
+    })
+}
+
+/// Arms the `hits`-th arrival at `site` to fire with `mode`
+/// (`hits = 1` means the very next arrival). Used by chaos tests;
+/// production processes arm via `KLEST_CRASH_AT` instead.
+pub fn arm_crash_point(site: &str, hits: u64, mode: CrashMode) {
+    let mut armed = plan().lock().unwrap_or_else(|e| e.into_inner());
+    armed.push(ArmedCrash {
+        site: site.to_string(),
+        remaining: hits.max(1),
+        mode,
+    });
+    ANY_ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms every armed crash point (tests call this in cleanup).
+pub fn disarm_crash_points() {
+    let mut armed = plan().lock().unwrap_or_else(|e| e.into_inner());
+    armed.clear();
+    ANY_ARMED.store(false, Ordering::Relaxed);
+}
+
+/// A deterministic kill point. Library code places these at the instants
+/// where crash-consistency is claimed (after a checkpoint is durable,
+/// after a journal record is fsynced); when a test or the environment
+/// has armed `site`, the scheduled arrival dies — really
+/// ([`CrashMode::Abort`]) or by [`AbortSignal`] unwinding
+/// ([`CrashMode::Unwind`]). Unarmed, it costs one relaxed atomic load
+/// (plus a one-time environment check on the very first arrival).
+pub fn crash_point(site: &str) {
+    // The first arrival must consult the plan unconditionally: the
+    // KLEST_CRASH_AT environment arming only raises ANY_ARMED when the
+    // plan is first built, and nothing else builds it in a process that
+    // never calls arm_crash_point.
+    static ENV_INIT: std::sync::Once = std::sync::Once::new();
+    ENV_INIT.call_once(|| {
+        let _ = plan();
+    });
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let fire = {
+        let mut armed = plan().lock().unwrap_or_else(|e| e.into_inner());
+        let mut fire = None;
+        if let Some(pos) = armed.iter().position(|c| c.site == site) {
+            let crash = &mut armed[pos];
+            crash.remaining -= 1;
+            if crash.remaining == 0 {
+                fire = Some(armed.remove(pos).mode);
+                if armed.is_empty() {
+                    ANY_ARMED.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+        fire
+    };
+    match fire {
+        Some(CrashMode::Abort) => {
+            // Real, immediate process death — the whole point is that no
+            // destructor, flush or drain handler runs.
+            eprintln!("klest: injected crash at {site}");
+            std::process::abort();
+        }
+        Some(CrashMode::Unwind) => simulated_abort(site),
+        None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "klest-ckpt-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_with_generations() {
+        let dir = tempdir("roundtrip");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let g1 = store.save("mc", "payload one").unwrap();
+        let g2 = store.save("mc", "payload two").unwrap();
+        assert!(g2 > g1);
+        let (g, payload) = store.load("mc").unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(payload, "payload two");
+        // Generations continue monotonically across a reopen ("restart").
+        let reopened = CheckpointStore::open(&dir).unwrap();
+        let g3 = reopened.save("mc", "payload three").unwrap();
+        assert!(g3 > g2, "generation must survive restart: {g3} vs {g2}");
+        assert_eq!(reopened.load("mc").unwrap().1, "payload three");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_without_quarantine() {
+        let dir = tempdir("missing");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load("nope").is_none());
+        assert_eq!(store.quarantined(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_checkpoint_is_quarantined_not_trusted() {
+        let dir = tempdir("torn");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save("lanczos", "0123456789abcdef").unwrap();
+        // Tear the file: truncate mid-payload, exactly what a crash
+        // during a non-atomic write would leave.
+        let live = dir.join("lanczos.ckpt");
+        let text = fs::read_to_string(&live).unwrap();
+        fs::write(&live, &text[..text.len() - 5]).unwrap();
+        assert!(store.load("lanczos").is_none());
+        assert_eq!(store.quarantined(), 1);
+        assert!(!live.exists(), "damaged file must be moved aside");
+        assert!(dir.join("lanczos.ckpt.quarantine").exists());
+        // The quarantined name is clean again for the next save.
+        store.save("lanczos", "recovered").unwrap();
+        assert_eq!(store.load("lanczos").unwrap().1, "recovered");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_quarantined() {
+        let dir = tempdir("corrupt");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save("serve", "state").unwrap();
+        let live = dir.join("serve.ckpt");
+        let text = fs::read_to_string(&live).unwrap();
+        // Flip a payload byte, keeping the length intact.
+        fs::write(&live, text.replace("state", "stale")).unwrap();
+        assert!(store.load("serve").is_none());
+        assert_eq!(store.quarantined(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_with_newlines_and_empty_payload_roundtrip() {
+        let dir = tempdir("newlines");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let payload = "line1\nline2\n\nline4";
+        store.save("multi", payload).unwrap();
+        assert_eq!(store.load("multi").unwrap().1, payload);
+        store.save("empty", "").unwrap();
+        assert_eq!(store.load("empty").unwrap().1, "");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_names_are_rejected() {
+        let dir = tempdir("names");
+        let store = CheckpointStore::open(&dir).unwrap();
+        for bad in ["", "../escape", "a/b", ".hidden", "nul\0byte"] {
+            assert!(store.save(bad, "x").is_err(), "{bad:?} must be rejected");
+            assert!(store.load(bad).is_none());
+        }
+        store.clear("never-existed").unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_checkpoint() {
+        let dir = tempdir("clear");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save("gone", "x").unwrap();
+        store.clear("gone").unwrap();
+        assert!(store.load("gone").is_none());
+        assert_eq!(store.quarantined(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Public-domain FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn unwind_crash_point_fires_on_scheduled_arrival_only() {
+        disarm_crash_points();
+        arm_crash_point("test/site", 3, CrashMode::Unwind);
+        crash_point("test/site"); // 1st: survives
+        crash_point("other/site"); // different site: ignored
+        crash_point("test/site"); // 2nd: survives
+        let caught = std::panic::catch_unwind(|| crash_point("test/site"));
+        let payload = caught.expect_err("3rd arrival must fire");
+        let signal = payload
+            .downcast_ref::<AbortSignal>()
+            .expect("AbortSignal payload");
+        assert_eq!(signal.site, "test/site");
+        // The armed point is consumed: further arrivals survive.
+        crash_point("test/site");
+        disarm_crash_points();
+    }
+}

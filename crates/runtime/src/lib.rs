@@ -23,6 +23,12 @@
 //!   for long-lived services — non-blocking typed-rejection pushes (load
 //!   shedding), blocking pops, close-for-drain semantics and a
 //!   deadline-aware all-workers-exited barrier.
+//! - [`CheckpointStore`] / [`crash_point`]: crash-consistent named
+//!   checkpoints (atomic, fsynced, checksummed, quarantine-on-damage)
+//!   plus deterministic kill points — [`CrashMode::Unwind`] simulates
+//!   process death in-test via an [`AbortSignal`] panic the supervisor
+//!   refuses to retry; [`CrashMode::Abort`] (and the `KLEST_CRASH_AT`
+//!   environment hook) is the real `std::process::abort`.
 //!
 //! The crate is std-only (its single in-workspace dependency, `klest-obs`,
 //! is used for retry/fault counters) and sits below `klest-linalg`,
@@ -31,11 +37,16 @@
 
 #![deny(missing_docs)]
 
+mod checkpoint;
 mod queue;
 mod supervisor;
 mod token;
 mod usage;
 
+pub use checkpoint::{
+    arm_crash_point, crash_point, disarm_crash_points, fnv1a64, simulated_abort, AbortSignal,
+    CheckpointStore, CrashMode,
+};
 pub use queue::{BoundedQueue, PushError, WaitGroup};
 pub use supervisor::{ShardStatus, SupervisedRun, Supervisor};
 pub use token::{Budget, CancelToken, Cancelled, StageBudgets};

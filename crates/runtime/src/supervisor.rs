@@ -185,8 +185,14 @@ impl Supervisor {
                 .into_iter()
                 .map(|handle| match handle.join() {
                     Ok(outcome) => outcome,
-                    // The supervision loop itself cannot panic (work runs
-                    // under catch_unwind), but stay typed if it ever does.
+                    // A simulated process abort propagates out of the pool
+                    // like real death would take the whole process down.
+                    Err(payload) if payload.is::<crate::AbortSignal>() => {
+                        panic::resume_unwind(payload)
+                    }
+                    // Otherwise the supervision loop itself cannot panic
+                    // (work runs under catch_unwind); stay typed if it
+                    // ever does.
                     Err(payload) => (
                         None,
                         ShardStatus::Faulted {
@@ -233,6 +239,12 @@ where
                 return (Some(value), status);
             }
             Err(payload) => {
+                // A simulated process abort must behave like process
+                // death: not retried, not absorbed into a Faulted shard —
+                // re-raised so it unwinds to the crash test's catch point.
+                if payload.is::<crate::AbortSignal>() {
+                    panic::resume_unwind(payload);
+                }
                 klest_obs::counter_add("supervisor.panics", 1);
                 let message = panic_message(payload.as_ref());
                 if attempts > max_retries || token.is_cancelled() {
@@ -388,6 +400,30 @@ mod tests {
         assert_eq!(run.results[1], Some((1, 3)));
         assert!(r0.is_some_and(|n| n > 0), "hung shard salvaged {r0:?}");
         assert_eq!(run.fault_count(), 0);
+    }
+
+    #[test]
+    fn abort_signal_is_not_retried_and_unwinds_to_catch_point() {
+        with_quiet_panics(|| {
+            let attempts = AtomicUsize::new(0);
+            let sup = Supervisor::new(CancelToken::unlimited()).with_max_retries(5);
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                sup.run(2, |shard, _token| {
+                    if shard == 1 {
+                        attempts.fetch_add(1, Ordering::SeqCst);
+                        crate::simulated_abort("test/abort");
+                    }
+                    shard
+                })
+            }));
+            let payload = caught.expect_err("abort must unwind out of the pool");
+            let signal = payload
+                .downcast_ref::<crate::AbortSignal>()
+                .expect("AbortSignal payload");
+            assert_eq!(signal.site, "test/abort");
+            // Process-death semantics: exactly one arrival, zero retries.
+            assert_eq!(attempts.load(Ordering::SeqCst), 1);
+        });
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Crash-safe request journal backing `--state-dir` warm restarts.
+//!
+//! Every admitted query is recorded (`admit <seq> <fnv1a64> <len>
+//! <payload>`) before it enters the work queue, and its sequence number
+//! is marked `done <seq>` only after its one terminal response has been
+//! written. Both records are fsynced, so after a crash the journal's
+//! *pending* set — admits without a matching done — is exactly the set
+//! of requests the daemon accepted but never answered. On boot the
+//! server replays that set and answers each request exactly once.
+//!
+//! The journal is append-only while serving; a graceful drain compacts
+//! it (rewriting only the still-pending tail through a tmp-file +
+//! atomic rename) so the file does not grow without bound across
+//! restarts. Torn or corrupted records — a payload whose length or
+//! FNV-1a checksum disagrees with its header, or a half-written final
+//! line — are skipped on replay, never half-parsed.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use klest_runtime::fnv1a64;
+
+/// One journaled request that was admitted but never answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// The admission sequence number (replay order, done-marker key).
+    pub seq: u64,
+    /// The original request line, exactly as received.
+    pub line: String,
+}
+
+struct Inner {
+    file: Option<std::fs::File>,
+    next_seq: u64,
+}
+
+/// Append-only, fsynced admit/done journal (see module docs).
+pub struct RequestJournal {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    // Journal state is a file handle + counter; both stay valid across
+    // a panicking holder.
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Parses journal text into `(pending admits by seq, next free seq)`.
+/// Malformed lines are skipped; later records win.
+fn parse_journal(text: &str) -> (BTreeMap<u64, String>, u64) {
+    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+    let mut next_seq = 0u64;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("admit ") {
+            let Some((seq, rest)) = rest.split_once(' ') else {
+                continue;
+            };
+            let Some((checksum, rest)) = rest.split_once(' ') else {
+                continue;
+            };
+            let Some((len, payload)) = rest.split_once(' ') else {
+                continue;
+            };
+            if checksum.len() != 16 {
+                continue;
+            }
+            let (Ok(seq), Ok(checksum), Ok(len)) = (
+                seq.parse::<u64>(),
+                u64::from_str_radix(checksum, 16),
+                len.parse::<u64>(),
+            ) else {
+                continue;
+            };
+            // A torn admit record cannot replay a damaged payload: the
+            // byte length and checksum must both match exactly.
+            if payload.len() as u64 != len || fnv1a64(payload.as_bytes()) != checksum {
+                continue;
+            }
+            next_seq = next_seq.max(seq + 1);
+            pending.insert(seq, payload.to_string());
+        } else if let Some(seq) = line.strip_prefix("done ") {
+            let Ok(seq) = seq.trim().parse::<u64>() else {
+                continue;
+            };
+            next_seq = next_seq.max(seq + 1);
+            pending.remove(&seq);
+        }
+    }
+    (pending, next_seq)
+}
+
+fn admit_record(seq: u64, line: &str) -> String {
+    format!(
+        "admit {seq} {:016x} {} {line}\n",
+        fnv1a64(line.as_bytes()),
+        line.len()
+    )
+}
+
+fn append_synced(file: &mut std::fs::File, record: &str) -> std::io::Result<()> {
+    file.write_all(record.as_bytes())?;
+    file.sync_all()
+}
+
+impl RequestJournal {
+    /// Opens (or creates) the journal at `path`, replaying any existing
+    /// records. Returns the journal and the pending requests — admitted
+    /// in a previous process life but never answered — in admission
+    /// order. Best effort: an unopenable file yields a journal that
+    /// records nothing (durability is lost, correctness is not).
+    pub fn open(path: &Path) -> (RequestJournal, Vec<PendingRequest>) {
+        let (pending, next_seq) = match std::fs::read_to_string(path) {
+            Ok(text) => parse_journal(&text),
+            Err(_) => (BTreeMap::new(), 0),
+        };
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok();
+        let journal = RequestJournal {
+            path: path.to_path_buf(),
+            inner: Mutex::new(Inner { file, next_seq }),
+        };
+        let pending = pending
+            .into_iter()
+            .map(|(seq, line)| PendingRequest { seq, line })
+            .collect();
+        (journal, pending)
+    }
+
+    /// Records an admitted request line, fsynced, and returns its
+    /// sequence number. `None` when the record could not be made
+    /// durable (the request still runs; only replay protection is
+    /// lost).
+    pub fn record_admit(&self, line: &str) -> Option<u64> {
+        let mut inner = lock(&self.inner);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let record = admit_record(seq, line);
+        let file = inner.file.as_mut()?;
+        append_synced(file, &record).ok()?;
+        Some(seq)
+    }
+
+    /// Marks `seq` answered (exactly one terminal response written),
+    /// fsynced.
+    pub fn record_done(&self, seq: u64) {
+        let mut inner = lock(&self.inner);
+        if let Some(file) = inner.file.as_mut() {
+            let _ = append_synced(file, &format!("done {seq}\n"));
+        }
+    }
+
+    /// Compacts the journal to its pending tail: rewrites only admits
+    /// lacking a done marker (tmp file + fsync + atomic rename), so a
+    /// drained daemon leaves a minimal journal behind. Sequence
+    /// numbering continues where it left off.
+    pub fn compact(&self) {
+        let mut inner = lock(&self.inner);
+        let (pending, parsed_next) = match std::fs::read_to_string(&self.path) {
+            Ok(text) => parse_journal(&text),
+            Err(_) => return,
+        };
+        let mut tail = String::new();
+        for (seq, line) in &pending {
+            tail.push_str(&admit_record(*seq, line));
+        }
+        let tmp = self.path.with_extension(format!("tmp.{}", std::process::id()));
+        let written = std::fs::File::create(&tmp).and_then(|mut f| {
+            f.write_all(tail.as_bytes())?;
+            f.sync_all()
+        });
+        if written.is_err() || std::fs::rename(&tmp, &self.path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        if let Some(dir) = self.path.parent() {
+            if let Ok(handle) = std::fs::File::open(dir) {
+                let _ = handle.sync_all();
+            }
+        }
+        // Reopen the append handle on the compacted file; the old
+        // handle points at the unlinked pre-compaction inode.
+        inner.file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .ok();
+        inner.next_seq = inner.next_seq.max(parsed_next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_journal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "klest-journal-test-{}-{:016x}",
+            std::process::id(),
+            fnv1a64(tag.as_bytes())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join("journal.log")
+    }
+
+    #[test]
+    fn admit_without_done_is_pending_after_reopen() {
+        let path = tmp_journal("pending");
+        {
+            let (journal, pending) = RequestJournal::open(&path);
+            assert!(pending.is_empty());
+            let a = journal.record_admit(r#"{"id":"a"}"#).expect("durable");
+            let b = journal.record_admit(r#"{"id":"b"}"#).expect("durable");
+            let c = journal.record_admit(r#"{"id":"c"}"#).expect("durable");
+            assert_eq!((a, b, c), (0, 1, 2));
+            journal.record_done(b);
+        }
+        let (journal, pending) = RequestJournal::open(&path);
+        assert_eq!(
+            pending,
+            vec![
+                PendingRequest {
+                    seq: 0,
+                    line: r#"{"id":"a"}"#.into()
+                },
+                PendingRequest {
+                    seq: 2,
+                    line: r#"{"id":"c"}"#.into()
+                },
+            ]
+        );
+        // Sequence numbering continues past everything seen.
+        assert_eq!(journal.record_admit(r#"{"id":"d"}"#), Some(3));
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn torn_and_corrupt_records_are_skipped() {
+        let path = tmp_journal("torn");
+        {
+            let (journal, _) = RequestJournal::open(&path);
+            journal.record_admit(r#"{"id":"whole"}"#).expect("durable");
+        }
+        // Simulate a crash mid-append: a second admit torn mid-payload,
+        // then garbage, then a checksum lie.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("admit 1 0123456789abcdef 14 {\"id\":\"to");
+        let _ = std::fs::write(&path, &text);
+        {
+            let (_, pending) = RequestJournal::open(&path);
+            assert_eq!(pending.len(), 1, "{pending:?}");
+            assert_eq!(pending[0].line, r#"{"id":"whole"}"#);
+        }
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("\nnot a journal line\nadmit 5 ffffffffffffffff 9 {\"id\":9}x\n");
+        let _ = std::fs::write(&path, &text);
+        let (_, pending) = RequestJournal::open(&path);
+        assert_eq!(pending.len(), 1, "checksum mismatch must not replay");
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn compact_keeps_only_the_pending_tail() {
+        let path = tmp_journal("compact");
+        let (journal, _) = RequestJournal::open(&path);
+        let a = journal.record_admit(r#"{"id":"a"}"#).expect("durable");
+        let _b = journal.record_admit(r#"{"id":"b"}"#).expect("durable");
+        journal.record_done(a);
+        journal.compact();
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains(r#"{"id":"b"}"#), "{text}");
+        assert!(!text.contains("done"), "{text}");
+        // The journal stays usable after compaction.
+        assert_eq!(journal.record_admit(r#"{"id":"c"}"#), Some(2));
+        let (_, pending) = RequestJournal::open(&path);
+        assert_eq!(pending.len(), 2, "{pending:?}");
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+}

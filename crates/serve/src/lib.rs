@@ -24,6 +24,12 @@
 //!   over-budget request is retried, salvaged via the degradation
 //!   ladder, or reported as a typed `fault` — while every other
 //!   in-flight request keeps running.
+//! - **Warm restart** ([`journal`]): with a state directory
+//!   configured, every admitted query is journaled (fsynced) before it
+//!   runs and marked done after its one terminal response; a restarted
+//!   daemon recovers the disk artifact cache (quarantining crash-torn
+//!   entries) and replays the journal's pending tail, answering each
+//!   journaled request exactly once.
 //! - **Graceful drain**: EOF or a `shutdown` request stops admission,
 //!   the backlog finishes within a drain budget, stragglers are
 //!   cancelled cooperatively, and the final summary line is emitted
@@ -40,10 +46,12 @@
 
 #![deny(missing_docs)]
 
+pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod server;
 
+pub use journal::{PendingRequest, RequestJournal};
 pub use protocol::{
     parse_request, stats_response, BadRequest, CircuitSpec, KernelSpec, LatencyStats,
     QueryOutcome, QuerySpec, ServeError, ServeRequest, StatsReport, TraceInfo,
@@ -234,6 +242,79 @@ mod tests {
         }
         assert_eq!(summary.received, 12);
         assert_eq!(summary.admitted, summary.admitted_terminals());
+    }
+
+    #[test]
+    fn warm_restart_replays_journaled_requests_exactly_once() {
+        let state_dir = std::env::temp_dir().join(format!(
+            "klest-serve-state-{}-replay",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&state_dir);
+
+        // Life 1: a normal run with a state dir. Both requests drain
+        // cleanly, so the compacted journal must be empty and nothing
+        // may replay in life 2.
+        let config = ServeConfig {
+            state_dir: Some(state_dir.clone()),
+            ..fast_config()
+        };
+        let input = format!("{{\"id\":\"a\",{TINY}}}\n{{\"id\":\"b\",{TINY}}}\n");
+        let (summary, _) = {
+            let server = Server::new(config.clone());
+            let mut out: Vec<u8> = Vec::new();
+            let summary = server.serve(Cursor::new(input), &mut out);
+            (summary, out)
+        };
+        assert_eq!(summary.completed, 2);
+        let journal_path = state_dir.join("journal.log");
+        assert_eq!(
+            std::fs::read_to_string(&journal_path).expect("journal exists"),
+            "",
+            "a clean drain compacts the journal to empty"
+        );
+
+        // Simulate a crash: a process life that admitted two requests
+        // (journaled) and died before answering either. The admit
+        // records are exactly what RequestJournal::record_admit writes.
+        {
+            let (journal, pending) = journal::RequestJournal::open(&journal_path);
+            assert!(pending.is_empty());
+            journal
+                .record_admit(&format!("{{\"id\":\"lost1\",{TINY}}}"))
+                .expect("durable");
+            journal
+                .record_admit(&format!("{{\"id\":\"lost2\",{TINY}}}"))
+                .expect("durable");
+        }
+
+        // Life 2: boots over the same state dir with an EMPTY input
+        // stream — every response it produces comes from replay. The
+        // disk cache warmed by life 1 must also survive.
+        let server = Server::new(config);
+        let mut out: Vec<u8> = Vec::new();
+        let summary = server.serve(Cursor::new(String::new()), &mut out);
+        let text = String::from_utf8(out).expect("responses are UTF-8");
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert_eq!(summary.admitted, 2, "{summary:?}");
+        assert_eq!(summary.completed, 2, "{summary:?}");
+        for id in ["lost1", "lost2"] {
+            let pat = format!("\"id\":\"{id}\"");
+            let n = lines.iter().filter(|l| l.contains(&pat)).count();
+            assert_eq!(n, 1, "journaled request {id} must get exactly one response");
+            assert_eq!(status_of(line_for(&lines, id)), "completed");
+        }
+        // Same kernel/die config as life 1 → the replayed queries hit
+        // the recovered disk cache.
+        assert!(
+            line_for(&lines, "lost1").contains("\"warm\":true")
+                || line_for(&lines, "lost2").contains("\"warm\":true"),
+            "replay must run against the recovered disk cache: {lines:?}"
+        );
+        // Replayed-and-answered requests are done: nothing pends.
+        let (_, pending) = journal::RequestJournal::open(&journal_path);
+        assert!(pending.is_empty(), "{pending:?}");
+        let _ = std::fs::remove_dir_all(&state_dir);
     }
 
     #[cfg(unix)]

@@ -373,6 +373,12 @@ pub struct StatsReport {
     pub cache_misses: u64,
     /// Memory-layer entry counts in `(mesh, galerkin, spectrum)` order.
     pub cache_sizes: (usize, usize, usize),
+    /// Disk-cache store attempts that failed and lost the persistent
+    /// copy (lifetime).
+    pub cache_disk_write_failures: u64,
+    /// Corrupt/torn disk-cache entries quarantined — renamed aside to
+    /// `*.quarantine` — instead of silently recomputed (lifetime).
+    pub cache_quarantined: u64,
     /// Busy fraction of `workers × uptime`, `None` until measurable.
     pub utilization: Option<f64>,
     /// Windowed deadline-SLO reading.
@@ -509,6 +515,14 @@ pub fn stats_response(id: Option<&str>, s: &StatsReport) -> String {
                 ("hits".to_string(), Json::Num(s.cache_hits as f64)),
                 ("misses".to_string(), Json::Num(s.cache_misses as f64)),
                 ("hit_ratio".to_string(), hit_ratio),
+                (
+                    "disk_write_failures".to_string(),
+                    Json::Num(s.cache_disk_write_failures as f64),
+                ),
+                (
+                    "quarantined".to_string(),
+                    Json::Num(s.cache_quarantined as f64),
+                ),
                 (
                     "sizes".to_string(),
                     Json::Obj(vec![
@@ -1046,6 +1060,8 @@ mod tests {
             cache_hits: 80,
             cache_misses: 20,
             cache_sizes: (2, 2, 2),
+            cache_disk_write_failures: 4,
+            cache_quarantined: 1,
             utilization: Some(0.5),
             slo: SloSnapshot {
                 target: 0.9,
@@ -1062,6 +1078,8 @@ mod tests {
             r#""warm":{"count":2,"p50":"#,
             r#""cold":{"count":0,"p50":null"#,
             r#""hit_ratio":0.8"#,
+            r#""disk_write_failures":4"#,
+            r#""quarantined":1"#,
             r#""sizes":{"mesh":2,"galerkin":2,"spectrum":2}"#,
             r#""utilization":0.5"#,
             r#""slo":{"target":0.9,"window_total":50,"window_met":49,"fraction":0.98"#,

@@ -45,6 +45,7 @@ use klest_ssta::{
     KleFieldSampler, McConfig, SstaError,
 };
 
+use crate::journal::{PendingRequest, RequestJournal};
 use crate::json::Json;
 use crate::protocol::{
     draining_response, error_response, outcome_response, parse_request, pong_response,
@@ -82,6 +83,14 @@ pub struct ServeConfig {
     /// Directory for the crash-safe disk artifact layer; `None` keeps
     /// the cache memory-only.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Warm-restart state directory. When set, the daemon keeps a
+    /// crash-safe request journal at `<state_dir>/journal.log` —
+    /// admitted queries are recorded (fsynced) before they run and
+    /// marked done after their one terminal response; on boot the
+    /// pending tail is replayed and answered exactly once — and, unless
+    /// `cache_dir` overrides it, the disk artifact cache lives at
+    /// `<state_dir>/cache` so a restart also recovers its warmth.
+    pub state_dir: Option<std::path::PathBuf>,
     /// Allow responses to carry per-request traces. A query still has
     /// to opt in with `"trace":true`; this flag is the daemon-side gate
     /// (traces expose stage timings, so operators enable them
@@ -105,6 +114,7 @@ impl Default for ServeConfig {
             drain: Duration::from_secs(10),
             default_deadline: None,
             cache_dir: None,
+            state_dir: None,
             trace_responses: false,
             metrics_interval: None,
             metrics_out: None,
@@ -280,6 +290,9 @@ struct Job {
     spec: QuerySpec,
     arrived: Instant,
     deadline: Option<Instant>,
+    /// Journal sequence number when the daemon runs with a state dir;
+    /// marked done after the job's one terminal response.
+    journal_seq: Option<u64>,
 }
 
 enum ExecError {
@@ -322,14 +335,37 @@ pub struct Server {
     ewma_service_ms: AtomicU64,
     /// Lifetime telemetry (windows, SLO, usage, trace seed).
     stats: ServerStats,
+    /// Admit/done request journal (state-dir mode only).
+    journal: Option<RequestJournal>,
+    /// Journaled requests admitted by a previous process life but never
+    /// answered; drained into the queue by the first `serve` call.
+    replay: Mutex<Vec<PendingRequest>>,
 }
 
 impl Server {
     /// Builds a server; opens the disk cache layer when configured.
+    /// With [`ServeConfig::state_dir`] set, this is the warm-restart
+    /// recovery point: the disk cache is reopened (quarantining any
+    /// crash-torn artifacts) and the request journal's pending tail is
+    /// loaded for replay by the first [`Server::serve`] call.
     pub fn new(config: ServeConfig) -> Server {
-        let cache = match &config.cache_dir {
-            Some(dir) => ArtifactCache::with_disk(dir.clone()),
+        if let Some(state_dir) = &config.state_dir {
+            let _ = std::fs::create_dir_all(state_dir);
+        }
+        let cache_dir = config
+            .cache_dir
+            .clone()
+            .or_else(|| config.state_dir.as_ref().map(|d| d.join("cache")));
+        let cache = match cache_dir {
+            Some(dir) => ArtifactCache::with_disk(dir),
             None => ArtifactCache::new(),
+        };
+        let (journal, pending) = match &config.state_dir {
+            Some(state_dir) => {
+                let (journal, pending) = RequestJournal::open(&state_dir.join("journal.log"));
+                (Some(journal), pending)
+            }
+            None => (None, Vec::new()),
         };
         let stats = ServerStats::new(config.slo_target);
         Server {
@@ -338,6 +374,8 @@ impl Server {
             setups: Mutex::new(HashMap::new()),
             ewma_service_ms: AtomicU64::new(200),
             stats,
+            journal,
+            replay: Mutex::new(pending),
         }
     }
 
@@ -378,6 +416,8 @@ impl Server {
             cache_hits: cache_snap.hits(),
             cache_misses: cache_snap.misses(),
             cache_sizes: self.cache.memory_sizes(),
+            cache_disk_write_failures: cache_snap.disk_write_failures,
+            cache_quarantined: cache_snap.quarantined,
             utilization: self.stats.usage.utilization(
                 self.config.workers.max(1),
                 u64::try_from(self.stats.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
@@ -434,6 +474,48 @@ impl Server {
                     }
                     wg.done();
                 });
+            }
+
+            // Warm-restart replay: requests journaled as admitted by a
+            // previous process life but never answered run first, in
+            // admission order, each answered exactly once on this
+            // connection. The workers are already draining the queue,
+            // so a backlog larger than the queue depth just back-fills.
+            for pending in std::mem::take(&mut *lock(&self.replay)) {
+                match parse_request(&pending.line) {
+                    Ok(ServeRequest::Query { id, spec }) => {
+                        let arrived = Instant::now();
+                        let deadline = spec
+                            .deadline
+                            .or(self.config.default_deadline)
+                            .map(|d| arrived + d);
+                        let mut job = Job {
+                            id,
+                            spec,
+                            arrived,
+                            deadline,
+                            journal_seq: Some(pending.seq),
+                        };
+                        loop {
+                            match queue.push(job) {
+                                Ok(depth) => {
+                                    bump(&counts.admitted, &self.stats.admitted, "serve.admitted");
+                                    klest_obs::gauge_set("serve.queue.depth", depth as f64);
+                                    break;
+                                }
+                                Err(PushError::Full(j)) => {
+                                    job = j;
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                Err(PushError::Closed(_)) => break,
+                            }
+                        }
+                    }
+                    // Only queries are ever journaled; anything else
+                    // here is a hand-edited or damaged journal. Retire
+                    // the record so it cannot replay forever.
+                    _ => self.journal_done(Some(pending.seq)),
+                }
             }
 
             loop {
@@ -497,11 +579,20 @@ impl Server {
                             .deadline
                             .or(self.config.default_deadline)
                             .map(|d| arrived + d);
+                        // Journal before the queue sees the job: a
+                        // crash at any later instant leaves an admit
+                        // record, so the request is replayed (and
+                        // answered) by the next process life.
+                        let journal_seq = self
+                            .journal
+                            .as_ref()
+                            .and_then(|journal| journal.record_admit(&text));
                         let job = Job {
                             id,
                             spec,
                             arrived,
                             deadline,
+                            journal_seq,
                         };
                         match queue.push(job) {
                             Ok(depth) => {
@@ -509,6 +600,10 @@ impl Server {
                                 klest_obs::gauge_set("serve.queue.depth", depth as f64);
                             }
                             Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
+                                // The shed response below is this
+                                // request's terminal: retire its
+                                // journal record immediately.
+                                self.journal_done(job.journal_seq);
                                 bump(
                                     &counts.shed_overload,
                                     &self.stats.shed_overload,
@@ -544,6 +639,12 @@ impl Server {
             // Every worker has exited, so the queue is empty: record the
             // final transition before the drained summary goes out.
             klest_obs::gauge_set("serve.queue.depth", 0.0);
+            // Every admitted request now has its terminal response
+            // journaled as done; persist the (normally empty) pending
+            // tail compactly for the next process life.
+            if let Some(journal) = &self.journal {
+                journal.compact();
+            }
             let (stop_flag, stop_cv) = &*emitter_stop;
             *lock(stop_flag) = true;
             stop_cv.notify_all();
@@ -676,7 +777,32 @@ impl Server {
         }
     }
 
+    fn journal_done(&self, seq: Option<u64>) {
+        if let (Some(journal), Some(seq)) = (&self.journal, seq) {
+            journal.record_done(seq);
+        }
+    }
+
     fn process_job<W: Write>(
+        &self,
+        job: Job,
+        root: &CancelToken,
+        counts: &Counts,
+        out: &Mutex<W>,
+    ) {
+        // Deterministic kill point for the crash harness: with
+        // `KLEST_CRASH_AT=serve.request:N` the Nth dequeued request
+        // aborts the process here — after its admit record, before its
+        // terminal response — so a restart must replay and answer it.
+        klest_runtime::crash_point("serve.request");
+        let journal_seq = job.journal_seq;
+        self.process_job_inner(job, root, counts, out);
+        // One terminal response has been written (every path through
+        // the inner body responds exactly once); retire the record.
+        self.journal_done(journal_seq);
+    }
+
+    fn process_job_inner<W: Write>(
         &self,
         job: Job,
         root: &CancelToken,

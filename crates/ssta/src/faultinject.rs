@@ -126,6 +126,13 @@ struct HangFault {
     fired: AtomicBool,
 }
 
+struct AbortFault {
+    stage: Stage,
+    shard: usize,
+    /// Which arrival dies (1 = the very next one).
+    countdown: AtomicUsize,
+}
+
 /// A deterministic schedule of *runtime* faults — panics and hangs —
 /// injected into the supervised pipeline at named stage/shard sites.
 ///
@@ -141,6 +148,7 @@ struct HangFault {
 pub struct FaultPlan {
     panics: Vec<PanicFault>,
     hangs: Vec<HangFault>,
+    aborts: Vec<AbortFault>,
 }
 
 impl std::fmt::Debug for FaultPlan {
@@ -148,6 +156,7 @@ impl std::fmt::Debug for FaultPlan {
         f.debug_struct("FaultPlan")
             .field("panics", &self.panics.len())
             .field("hangs", &self.hangs.len())
+            .field("aborts", &self.aborts.len())
             .finish()
     }
 }
@@ -207,10 +216,29 @@ impl FaultPlan {
         self
     }
 
+    /// Deterministic kill point: the `nth` arrival (1-based) of `shard`
+    /// at `stage` dies with [`klest_runtime::simulated_abort`] —
+    /// process-exit semantics, delivered as an
+    /// [`klest_runtime::AbortSignal`] panic the supervisor re-raises
+    /// instead of retrying, so it unwinds to the chaos test's catch
+    /// point. Unlike [`panic_at`](Self::panic_at), an abort is never
+    /// recovered; the whole supervised run dies, exactly like a real
+    /// `std::process::abort` would take the process.
+    #[must_use]
+    pub fn abort_at(mut self, stage: Stage, shard: usize, nth: usize) -> FaultPlan {
+        self.aborts.push(AbortFault {
+            stage,
+            shard,
+            countdown: AtomicUsize::new(nth.max(1)),
+        });
+        self
+    }
+
     /// Instrumentation hook: called by supervised pipeline code when
     /// `shard` enters `stage`. Fires any scheduled hang first (so a
     /// hang + panic at the same site hangs, wakes on cancellation, then
-    /// panics), then any scheduled panic.
+    /// panics), then any scheduled abort (process death beats a retryable
+    /// panic at the same site), then any scheduled panic.
     pub fn fire(&self, stage: Stage, shard: usize, token: &CancelToken) {
         for hang in self
             .hangs
@@ -229,6 +257,19 @@ impl FaultPlan {
                     std::thread::sleep(slice);
                     slept += slice;
                 }
+            }
+        }
+        for a in self
+            .aborts
+            .iter()
+            .filter(|a| a.stage == stage && a.shard == shard)
+        {
+            // Countdown-to-one: exactly the scheduled arrival dies.
+            if a.countdown
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                == Ok(1)
+            {
+                klest_runtime::simulated_abort(format!("{stage:?}/shard{shard}"));
             }
         }
         for p in self
@@ -319,6 +360,21 @@ mod tests {
         let t0 = Instant::now();
         plan.fire(Stage::Mc, 1, &live);
         assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn abort_fault_fires_on_nth_arrival_with_abort_signal() {
+        let plan = FaultPlan::new().abort_at(Stage::Mc, 0, 2);
+        let token = CancelToken::unlimited();
+        plan.fire(Stage::Mc, 1, &token); // wrong shard: silent
+        plan.fire(Stage::Mc, 0, &token); // 1st arrival: survives
+        let r = std::panic::catch_unwind(|| plan.fire(Stage::Mc, 0, &token));
+        let payload = r.expect_err("2nd arrival must die");
+        let signal = payload
+            .downcast_ref::<klest_runtime::AbortSignal>()
+            .expect("AbortSignal payload");
+        assert!(signal.site.contains("Mc"), "{}", signal.site);
+        plan.fire(Stage::Mc, 0, &token); // consumed: no refire
     }
 
     #[test]

@@ -65,9 +65,9 @@ pub use degradation::{DegradationEvent, DegradationReport};
 pub use error::SstaError;
 pub use grid_model::GridPcaSampler;
 pub use mc::{
-    run_monte_carlo, run_monte_carlo_per_param, run_monte_carlo_supervised,
-    run_monte_carlo_supervised_per_param, run_monte_carlo_supervised_with_faults, McConfig, McRun,
-    SalvageStats, N_PARAMS,
+    run_monte_carlo, run_monte_carlo_checkpointed, run_monte_carlo_per_param,
+    run_monte_carlo_supervised, run_monte_carlo_supervised_per_param,
+    run_monte_carlo_supervised_with_faults, McCheckpoint, McConfig, McRun, SalvageStats, N_PARAMS,
 };
 pub use normal::NormalSource;
 pub use process::ProcessModel;

@@ -491,6 +491,330 @@ pub fn run_monte_carlo_supervised_per_param(
     })
 }
 
+/// Crash-consistent snapshot of a single-threaded Monte Carlo run,
+/// captured at a sample-batch boundary by [`run_monte_carlo_checkpointed`].
+///
+/// The snapshot is *complete*: worst-delay prefix, Welford accumulator
+/// internals, criticality counts, the xoshiro RNG state and the normal
+/// source's cached polar spare. Resuming from it replays the remaining
+/// samples **bitwise identically** to the uninterrupted run — the textual
+/// serialization stores exact f64 bit patterns, so a disk round-trip
+/// loses nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McCheckpoint {
+    completed: usize,
+    worst_delays: Vec<f64>,
+    stats_count: usize,
+    stats_mean: Vec<f64>,
+    stats_m2: Vec<f64>,
+    critical_counts: Vec<usize>,
+    rng_state: [u64; 4],
+    spare: Option<f64>,
+}
+
+const MC_CKPT_HEADER: &str = "klest-mc-checkpoint/v1";
+
+fn push_f64_words(out: &mut String, label: &str, values: &[f64]) {
+    out.push_str(label);
+    for &v in values {
+        out.push(' ');
+        out.push_str(&format!("{:016x}", v.to_bits()));
+    }
+    out.push('\n');
+}
+
+fn parse_f64_words(line: &str, label: &str) -> Option<Vec<f64>> {
+    let rest = line.strip_prefix(label)?;
+    let mut values = Vec::new();
+    for word in rest.split_whitespace() {
+        if word.len() != 16 {
+            return None;
+        }
+        values.push(f64::from_bits(u64::from_str_radix(word, 16).ok()?));
+    }
+    Some(values)
+}
+
+impl McCheckpoint {
+    /// Samples completed up to this checkpoint.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Number of tracked primary outputs.
+    pub fn outputs(&self) -> usize {
+        self.critical_counts.len()
+    }
+
+    /// Serializes the checkpoint as text with exact f64 bit patterns.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MC_CKPT_HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "completed {}\noutputs {}\n",
+            self.completed,
+            self.outputs()
+        ));
+        out.push_str(&format!(
+            "rng {:016x} {:016x} {:016x} {:016x}\n",
+            self.rng_state[0], self.rng_state[1], self.rng_state[2], self.rng_state[3]
+        ));
+        match self.spare {
+            Some(v) => out.push_str(&format!("spare {:016x}\n", v.to_bits())),
+            None => out.push_str("spare -\n"),
+        }
+        push_f64_words(&mut out, "worst", &self.worst_delays);
+        out.push_str(&format!("stats-count {}\n", self.stats_count));
+        push_f64_words(&mut out, "stats-mean", &self.stats_mean);
+        push_f64_words(&mut out, "stats-m2", &self.stats_m2);
+        out.push_str("critical");
+        for &c in &self.critical_counts {
+            out.push_str(&format!(" {c}"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses a [`serialize`](Self::serialize)d checkpoint. `None` on any
+    /// structural damage or internal inconsistency — a torn or corrupted
+    /// checkpoint degrades to "no checkpoint", never a panic.
+    pub fn deserialize(text: &str) -> Option<McCheckpoint> {
+        let mut lines = text.lines();
+        if lines.next()? != MC_CKPT_HEADER {
+            return None;
+        }
+        let completed: usize = lines.next()?.strip_prefix("completed ")?.parse().ok()?;
+        let outputs: usize = lines.next()?.strip_prefix("outputs ")?.parse().ok()?;
+        let rng_words = parse_f64_words(lines.next()?, "rng")?;
+        if rng_words.len() != 4 {
+            return None;
+        }
+        let mut rng_state = [0u64; 4];
+        for (slot, v) in rng_state.iter_mut().zip(rng_words) {
+            *slot = v.to_bits();
+        }
+        let spare_line = lines.next()?.strip_prefix("spare ")?;
+        let spare = if spare_line == "-" {
+            None
+        } else if spare_line.len() == 16 {
+            Some(f64::from_bits(u64::from_str_radix(spare_line, 16).ok()?))
+        } else {
+            return None;
+        };
+        let worst_delays = parse_f64_words(lines.next()?, "worst")?;
+        let stats_count: usize = lines.next()?.strip_prefix("stats-count ")?.parse().ok()?;
+        let stats_mean = parse_f64_words(lines.next()?, "stats-mean")?;
+        let stats_m2 = parse_f64_words(lines.next()?, "stats-m2")?;
+        let critical_line = lines.next()?.strip_prefix("critical")?;
+        let mut critical_counts = Vec::new();
+        for word in critical_line.split_whitespace() {
+            critical_counts.push(word.parse().ok()?);
+        }
+        if lines.next().is_some()
+            || worst_delays.len() != completed
+            || stats_mean.len() != outputs
+            || stats_m2.len() != outputs
+            || critical_counts.len() != outputs
+            || stats_count != completed
+        {
+            return None;
+        }
+        Some(McCheckpoint {
+            completed,
+            worst_delays,
+            stats_count,
+            stats_mean,
+            stats_m2,
+            critical_counts,
+            rng_state,
+            spare,
+        })
+    }
+}
+
+/// [`run_monte_carlo`] in checkpointed sample batches: after every
+/// `batch` completed samples (and once more at the end) an
+/// [`McCheckpoint`] is handed to `on_batch`, and the `mc/batch`
+/// deterministic kill point ([`klest_runtime::crash_point`]) is passed.
+/// Feeding a captured checkpoint back as `resume` continues the run and
+/// produces a **bitwise identical** [`McRun`] (worst delays, output
+/// moments, criticality) to the uninterrupted run with the same config.
+///
+/// Checkpointing is defined for the sequential sample stream only, so
+/// `threads` must be 1; with antithetic variates `batch` must be even so
+/// every boundary falls between mirror pairs.
+///
+/// # Errors
+///
+/// [`SstaError::InvalidConfig`] as for [`run_monte_carlo`], plus for
+/// `threads != 1`, a zero or (with antithetic) odd `batch`, or a `resume`
+/// checkpoint inconsistent with `timer`/`config`.
+pub fn run_monte_carlo_checkpointed<S: GateFieldSampler>(
+    timer: &Timer,
+    sampler: &S,
+    config: &McConfig,
+    batch: usize,
+    resume: Option<&McCheckpoint>,
+    on_batch: &mut dyn FnMut(&McCheckpoint),
+) -> Result<McRun, SstaError> {
+    let samplers: [&dyn GateFieldSampler; N_PARAMS] = [&sampler; N_PARAMS].map(|s| s as _);
+    if config.samples == 0 {
+        return Err(SstaError::InvalidConfig {
+            name: "samples",
+            value: "0".into(),
+        });
+    }
+    if config.threads != 1 {
+        return Err(SstaError::InvalidConfig {
+            name: "threads",
+            value: format!("{} (checkpointed runs are single-threaded)", config.threads),
+        });
+    }
+    if batch == 0 || (config.antithetic && !batch.is_multiple_of(2)) {
+        return Err(SstaError::InvalidConfig {
+            name: "batch",
+            value: format!(
+                "{batch} (must be positive{})",
+                if config.antithetic { ", and even with antithetic variates" } else { "" }
+            ),
+        });
+    }
+    for (i, s) in samplers.iter().enumerate() {
+        if s.node_count() != timer.node_count() {
+            return Err(SstaError::InvalidConfig {
+                name: "sampler.node_count",
+                value: format!(
+                    "param {i}: {} (timer has {})",
+                    s.node_count(),
+                    timer.node_count()
+                ),
+            });
+        }
+    }
+    let n_outputs = timer.outputs().len();
+    if let Some(cp) = resume {
+        // Antithetic resume must land on a pair boundary — except at
+        // `completed == samples`, where an odd sample count legitimately
+        // ends mid-pair and there is nothing left to generate.
+        let consistent = cp.completed <= config.samples
+            && cp.outputs() == n_outputs
+            && (!config.antithetic
+                || cp.completed.is_multiple_of(2)
+                || cp.completed == config.samples);
+        if !consistent {
+            return Err(SstaError::InvalidConfig {
+                name: "resume",
+                value: format!(
+                    "checkpoint at {} samples / {} outputs does not fit run of {} / {}",
+                    cp.completed,
+                    cp.outputs(),
+                    config.samples,
+                    n_outputs
+                ),
+            });
+        }
+    }
+
+    let started = Instant::now();
+    let n = timer.node_count();
+    let (mut normals, start_at, mut worst, mut stats, mut critical_counts) = match resume {
+        Some(cp) => {
+            let stats = OutputStats::from_raw_parts(
+                cp.stats_count,
+                cp.stats_mean.clone(),
+                cp.stats_m2.clone(),
+            )
+            .ok_or_else(|| SstaError::InvalidConfig {
+                name: "resume",
+                value: "corrupted accumulator widths".into(),
+            })?;
+            (
+                NormalSource::from_parts(StdRng::from_state(cp.rng_state), cp.spare),
+                cp.completed,
+                cp.worst_delays.clone(),
+                stats,
+                cp.critical_counts.clone(),
+            )
+        }
+        None => (
+            NormalSource::new(StdRng::seed_from_u64(config.seed)),
+            0,
+            Vec::with_capacity(config.samples),
+            OutputStats::new(n_outputs),
+            vec![0usize; n_outputs],
+        ),
+    };
+    let mut fields = vec![vec![0.0; n]; N_PARAMS];
+    let mut params = vec![ParamVector::ZERO; n];
+    let mut arrivals = vec![0.0; n];
+    let mut slews = vec![0.0; n];
+    let mut out_values = vec![0.0; n_outputs];
+    for s in start_at..config.samples {
+        if config.antithetic && s % 2 == 1 {
+            // Mirror the previous draw (see `worker`); a batch boundary
+            // never splits a mirror pair, so resumed runs always start on
+            // a fresh draw.
+            for field in fields.iter_mut() {
+                for v in field.iter_mut() {
+                    *v = -*v;
+                }
+            }
+        } else {
+            for (field, sampler) in fields.iter_mut().zip(samplers.iter()) {
+                sampler.sample_into(&mut normals, field);
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            *p = ParamVector::new([fields[0][i], fields[1][i], fields[2][i], fields[3][i]]);
+        }
+        let w = timer.analyze_into(&params, &mut arrivals, &mut slews);
+        worst.push(w);
+        let mut argmax = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        for ((slot, v), o) in out_values.iter_mut().enumerate().zip(timer.outputs()) {
+            *v = arrivals[o.index()];
+            if *v > best {
+                best = *v;
+                argmax = slot;
+            }
+        }
+        if n_outputs > 0 {
+            critical_counts[argmax] += 1;
+        }
+        stats.push(&out_values);
+        let done = s + 1;
+        if done % batch == 0 || done == config.samples {
+            let (count, mean, m2) = stats.raw_parts();
+            let cp = McCheckpoint {
+                completed: done,
+                worst_delays: worst.clone(),
+                stats_count: count,
+                stats_mean: mean.to_vec(),
+                stats_m2: m2.to_vec(),
+                critical_counts: critical_counts.clone(),
+                rng_state: normals.rng_mut().state(),
+                spare: normals.spare(),
+            };
+            on_batch(&cp);
+            klest_runtime::crash_point("mc/batch");
+        }
+    }
+    let wall = started.elapsed();
+    if klest_obs::enabled() {
+        klest_obs::counter_add("mc.samples", (config.samples - start_at) as u64);
+        klest_obs::gauge_set("mc.threads", 1.0);
+    }
+    Ok(McRun {
+        worst_delays: worst,
+        output_stats: stats,
+        critical_counts,
+        random_dims: samplers.iter().map(|s| s.random_dims()).max().unwrap_or(0),
+        wall,
+        salvage: None,
+    })
+}
+
 /// Per-worker results: worst delays, per-output stats, criticality counts.
 type WorkerOutput = (Vec<f64>, OutputStats, Vec<usize>);
 
@@ -887,6 +1211,149 @@ mod tests {
             "{err:?}"
         );
         assert!(err.to_string().contains("injected fault"));
+    }
+
+    fn run_bits(run: &McRun) -> (Vec<u64>, Vec<u64>, Vec<u64>, Vec<usize>) {
+        let worst = run.worst_delays().iter().map(|v| v.to_bits()).collect();
+        let k = run.output_stats().outputs();
+        let means = (0..k).map(|i| run.output_stats().mean(i).to_bits()).collect();
+        let stds = (0..k)
+            .map(|i| run.output_stats().std_dev(i).to_bits())
+            .collect();
+        (worst, means, stds, run.critical_counts.clone())
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_bitwise_and_resumes_from_every_batch() {
+        let (timer, sampler) = setup(40);
+        for antithetic in [false, true] {
+            let mut cfg = McConfig::new(50, 13);
+            if antithetic {
+                cfg = cfg.with_antithetic();
+            }
+            let plain = run_monte_carlo(&timer, &sampler, &cfg).unwrap();
+            let mut checkpoints = Vec::new();
+            let full = run_monte_carlo_checkpointed(
+                &timer,
+                &sampler,
+                &cfg,
+                8,
+                None,
+                &mut |cp| checkpoints.push(cp.clone()),
+            )
+            .unwrap();
+            assert_eq!(run_bits(&full), run_bits(&plain), "antithetic={antithetic}");
+            // ceil(50/8) = 7 boundaries (the last is the final sample).
+            assert_eq!(checkpoints.len(), 7);
+            assert_eq!(checkpoints.last().unwrap().completed(), 50);
+            for cp in &checkpoints {
+                // Disk round-trip through the textual format, then resume.
+                let restored = McCheckpoint::deserialize(&cp.serialize()).unwrap();
+                assert_eq!(&restored, cp, "serialization must be lossless");
+                let resumed = run_monte_carlo_checkpointed(
+                    &timer,
+                    &sampler,
+                    &cfg,
+                    8,
+                    Some(&restored),
+                    &mut |_| {},
+                )
+                .unwrap();
+                assert_eq!(
+                    run_bits(&resumed),
+                    run_bits(&plain),
+                    "resume from {} (antithetic={antithetic}) must be bitwise identical",
+                    cp.completed()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mc_checkpoint_deserialize_rejects_damage() {
+        let (timer, sampler) = setup(30);
+        let cfg = McConfig::new(16, 3);
+        let mut last = None;
+        let _ = run_monte_carlo_checkpointed(&timer, &sampler, &cfg, 8, None, &mut |cp| {
+            last = Some(cp.clone())
+        })
+        .unwrap();
+        let wire = last.unwrap().serialize();
+        assert!(McCheckpoint::deserialize(&wire).is_some());
+        // Torn tail, wrong header, count drift, trailing garbage.
+        assert!(McCheckpoint::deserialize(&wire[..wire.len() - 7]).is_none());
+        assert!(McCheckpoint::deserialize(&wire.replacen("v1", "v7", 1)).is_none());
+        assert!(McCheckpoint::deserialize(&wire.replacen("completed 16", "completed 15", 1))
+            .is_none());
+        assert!(McCheckpoint::deserialize(&format!("{wire}junk\n")).is_none());
+        assert!(McCheckpoint::deserialize("").is_none());
+    }
+
+    #[test]
+    fn checkpointed_run_rejects_bad_configs() {
+        let (timer, sampler) = setup(30);
+        let nop = &mut |_: &McCheckpoint| {};
+        let threaded = McConfig::new(10, 1).with_threads(2);
+        assert!(matches!(
+            run_monte_carlo_checkpointed(&timer, &sampler, &threaded, 4, None, nop),
+            Err(SstaError::InvalidConfig { name: "threads", .. })
+        ));
+        assert!(matches!(
+            run_monte_carlo_checkpointed(&timer, &sampler, &McConfig::new(10, 1), 0, None, nop),
+            Err(SstaError::InvalidConfig { name: "batch", .. })
+        ));
+        let anti = McConfig::new(10, 1).with_antithetic();
+        assert!(matches!(
+            run_monte_carlo_checkpointed(&timer, &sampler, &anti, 3, None, nop),
+            Err(SstaError::InvalidConfig { name: "batch", .. })
+        ));
+        // A checkpoint from a different circuit shape is rejected.
+        let cfg = McConfig::new(10, 1);
+        let mut cp = None;
+        let _ = run_monte_carlo_checkpointed(&timer, &sampler, &cfg, 4, None, &mut |c| {
+            cp = Some(c.clone())
+        })
+        .unwrap();
+        let cp = cp.unwrap();
+        let (other_timer, other_sampler) = setup(31);
+        if other_timer.outputs().len() != timer.outputs().len() {
+            assert!(matches!(
+                run_monte_carlo_checkpointed(
+                    &other_timer,
+                    &other_sampler,
+                    &cfg,
+                    4,
+                    Some(&cp),
+                    nop
+                ),
+                Err(SstaError::InvalidConfig { name: "resume", .. })
+            ));
+        }
+        // A checkpoint claiming more samples than the run is rejected.
+        let tiny = McConfig::new(2, 1);
+        assert!(matches!(
+            run_monte_carlo_checkpointed(&timer, &sampler, &tiny, 2, Some(&cp), nop),
+            Err(SstaError::InvalidConfig { name: "resume", .. })
+        ));
+    }
+
+    #[test]
+    fn abort_fault_in_supervised_run_unwinds_like_process_death() {
+        let (timer, sampler) = setup(30);
+        let cfg = McConfig::new(20, 5).with_threads(2);
+        let token = CancelToken::unlimited();
+        let plan = FaultPlan::new().abort_at(Stage::Mc, 1, 1);
+        let mut report = DegradationReport::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_monte_carlo_supervised_with_faults(
+                &timer, &sampler, &cfg, &token, &plan, &mut report,
+            )
+        }));
+        let payload = caught.expect_err("simulated abort must unwind out of the run");
+        assert!(
+            payload.is::<klest_runtime::AbortSignal>(),
+            "AbortSignal payload expected"
+        );
     }
 
     #[test]

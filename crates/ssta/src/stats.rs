@@ -157,6 +157,24 @@ impl OutputStats {
         self.count += other.count;
     }
 
+    /// Raw Welford accumulator parts `(count, means, m2s)` — the exact
+    /// internal state, for checkpoint serialization. Rebuilding via
+    /// [`OutputStats::from_raw_parts`] and continuing to [`push`](Self::push)
+    /// reproduces the uninterrupted accumulation bitwise.
+    pub fn raw_parts(&self) -> (usize, &[f64], &[f64]) {
+        (self.count, &self.mean, &self.m2)
+    }
+
+    /// Rebuilds an accumulator from [`OutputStats::raw_parts`]. Returns
+    /// `None` when the two vectors disagree in width (a corrupted
+    /// checkpoint), never a panic.
+    pub fn from_raw_parts(count: usize, mean: Vec<f64>, m2: Vec<f64>) -> Option<Self> {
+        if mean.len() != m2.len() {
+            return None;
+        }
+        Some(OutputStats { count, mean, m2 })
+    }
+
     /// Mean of output `i`.
     pub fn mean(&self, i: usize) -> f64 {
         self.mean[i]
@@ -336,6 +354,28 @@ mod tests {
         let before = merged.clone();
         merged.merge(&OutputStats::new(2));
         assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_continues_bitwise() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64).sin(), (i as f64 * 1.3).cos()])
+            .collect();
+        let mut whole = OutputStats::new(2);
+        let mut prefix = OutputStats::new(2);
+        for r in &rows[..17] {
+            whole.push(r);
+            prefix.push(r);
+        }
+        let (count, mean, m2) = prefix.raw_parts();
+        let mut resumed =
+            OutputStats::from_raw_parts(count, mean.to_vec(), m2.to_vec()).unwrap();
+        for r in &rows[17..] {
+            whole.push(r);
+            resumed.push(r);
+        }
+        assert_eq!(resumed, whole, "resumed Welford state must match bitwise");
+        assert!(OutputStats::from_raw_parts(3, vec![0.0], vec![0.0, 0.0]).is_none());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# CI smoke for crash-consistent warm restart: life 1 of `klest serve
+# --state-dir` is killed by a real `std::process::abort` mid-request
+# (the `serve.request` deterministic kill point, armed through
+# KLEST_CRASH_AT), then life 2 reboots on the same state dir and must
+# recover the disk cache and replay the journaled-but-unanswered
+# requests. The gates are exactly-once delivery — every query answered
+# exactly once ACROSS both lives, including the one that died mid-fault
+# — a warm cache after restart, zero quarantined/failed cache entries in
+# the stats probe, a clean drain, and a journal compacted back to its
+# (empty) pending tail. The outer `timeout` turns any recovery hang
+# into a hard failure.
+#
+# Usage: scripts/crash_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -q -p klest-cli
+
+state="CRASH_SMOKE_state"
+req1="CRASH_SMOKE_life1.jsonl"
+req2="CRASH_SMOKE_life2.jsonl"
+out1="CRASH_SMOKE_life1_responses.jsonl"
+out2="CRASH_SMOKE_life2_responses.jsonl"
+tiny='"gates":8,"samples":16,"area_fraction":0.1'
+
+rm -rf "$state" "$req1" "$req2" "$out1" "$out2"
+
+{
+  for i in 1 2 3 4; do
+    echo "{\"id\":\"q$i\",$tiny}"
+  done
+  echo '{"op":"shutdown"}'
+} > "$req1"
+
+# Life 1: the 2nd arrival at the serve.request kill point aborts the
+# whole process — after its journal admit was fsynced, before its
+# response was written.
+set +e
+KLEST_CRASH_AT=serve.request:2 timeout 120 ./target/release/klest serve \
+  --workers 1 --queue-depth 64 --state-dir "$state" --requests "$req1" > "$out1"
+rc=$?
+set -e
+if [ "$rc" -eq 0 ] || [ "$rc" -eq 124 ]; then
+  echo "error: life 1 should die by abort, exited with $rc" >&2
+  exit 1
+fi
+if ! grep -q '^admit ' "$state/journal.log"; then
+  echo "error: no admit records survived the crash" >&2
+  exit 1
+fi
+
+{
+  echo '{"op":"stats","id":"probe"}'
+  echo '{"op":"shutdown"}'
+} > "$req2"
+
+# Life 2: same state dir, no crash armed. Boot must replay the pending
+# journal tail and answer it before draining clean.
+timeout 120 ./target/release/klest serve \
+  --workers 1 --queue-depth 64 --state-dir "$state" --requests "$req2" > "$out2"
+
+check() {
+  if ! grep -q "$1" "$out2"; then
+    echo "error: crash smoke recovery output is missing: $1" >&2
+    echo "--- life 1 ---" >&2
+    cat "$out1" >&2
+    echo "--- life 2 ---" >&2
+    cat "$out2" >&2
+    exit 1
+  fi
+}
+
+# Exactly-once across both lives: each query has exactly one completed
+# response in exactly one life, crashed-mid-flight q included.
+for i in 1 2 3 4; do
+  n=$(cat "$out1" "$out2" | grep -c "\"id\":\"q$i\".*\"status\":\"completed\"")
+  if [ "$n" -ne 1 ]; then
+    echo "error: q$i answered $n times across both lives (want exactly 1)" >&2
+    cat "$out1" "$out2" >&2
+    exit 1
+  fi
+done
+
+# The recovered disk cache serves at least one replayed query warm.
+check '"status":"completed".*"warm":true'
+# The stats probe sees a healthy recovered cache: nothing quarantined,
+# no dropped writes.
+check '"id":"probe".*"status":"stats"'
+check '"status":"stats".*"disk_write_failures":0'
+check '"status":"stats".*"quarantined":0'
+# Life 2 drains clean.
+check '"status":"drained".*"clean":true'
+
+# The drain compacted the journal to its pending tail — which is empty.
+if grep -q '^admit ' "$state/journal.log"; then
+  echo "error: drained journal still carries pending admits" >&2
+  cat "$state/journal.log" >&2
+  exit 1
+fi
+
+rm -rf "$state" "$req1" "$req2" "$out1" "$out2"
+echo "crash smoke ok: abort mid-request, restart replayed journal exactly once, cache warm, journal compacted"
