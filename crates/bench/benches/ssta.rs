@@ -68,14 +68,14 @@ fn bench_incremental(c: &mut Criterion) {
         b.iter(|| black_box(timer.analyze_into(&params, &mut arrivals, &mut slews)))
     });
     group.bench_function("incremental", |b| {
-        let mut inc = IncrementalTimer::new(&timer, base.clone());
+        let mut inc = IncrementalTimer::new(&timer, base.clone()).expect("sized params");
         let mut flip = false;
         b.iter(|| {
             // Alternate between perturbed and nominal so each iteration
             // does real work.
             let p = if flip { ParamVector::ZERO } else { perturbed };
             flip = !flip;
-            black_box(inc.update(&[(victim, p)]))
+            black_box(inc.update(&[(victim, p)]).expect("in-range node"))
         })
     });
     group.finish();

@@ -1,0 +1,240 @@
+//! Hierarchical-vs-flat SSTA bench, emitted into a `BENCH_*.json` run
+//! report (see `scripts/bench_report.sh`).
+//!
+//! One synthetic netlist, one shared KLE ξ basis, five timed arms:
+//!
+//! - **flat cold**: the whole front end (mesh, Galerkin assembly,
+//!   eigensolve, truncation) plus the monolithic canonical pass — the
+//!   cost a from-scratch re-time pays with nothing cached;
+//! - **flat warm**: the monolithic canonical pass alone, spectrum
+//!   already in hand;
+//! - **hier cold**: partition + per-block extraction + boundary
+//!   composition with an empty block cache;
+//! - **hier warm**: the same construction against the now-populated
+//!   cache — every model is a lookup, only composition runs;
+//! - **edit re-time**: a one-gate parameter edit through
+//!   [`HierEngine::edit_gate`] — exactly one block is re-extracted
+//!   (its region hash changed), the rest are reused, composition is
+//!   re-run.
+//!
+//! The run asserts the accuracy contract (composed worst mean within 2%
+//! and σ within 5% of flat; warm reproduces cold bitwise) and the
+//! headline perf claim: the warm one-block-edit re-time must be ≥5×
+//! faster than the cold flat pass. The warm-flat ratio is reported
+//! ungated — per-block extraction carries one canonical term per
+//! boundary origin, so it is deliberately paying accuracy bookkeeping a
+//! single monolithic pass does not. With `--report PATH` a top-level
+//! `"hier"` object is merged into the existing run report; without it
+//! the JSON object prints to stdout.
+
+use klest_bench::Args;
+use klest_circuit::{generate, GeneratorConfig, NodeId, Partition};
+use klest_core::pipeline::{ArtifactCache, ArtifactKey};
+use klest_core::{EigenSolver, QuadratureRule};
+use klest_geometry::Rect;
+use klest_kernels::{CovarianceKernel, GaussianKernel};
+use klest_runtime::CancelToken;
+use klest_ssta::canonical::analyze_canonical;
+use klest_ssta::experiments::{CircuitSetup, KleContext};
+use klest_ssta::hier::HierEngine;
+use klest_ssta::KleFieldSampler;
+use klest_sta::ParamVector;
+use std::time::Instant;
+
+/// Median of three timed runs: at millisecond scale, scheduler noise is
+/// symmetric, so the median beats min or mean as a cost estimate.
+fn median3<F: FnMut() -> f64>(mut run: F) -> f64 {
+    let mut t = [run(), run(), run()];
+    t.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    t[1]
+}
+
+fn main() {
+    let args = Args::parse();
+    let gates: usize = args.get("gates", 1200);
+    let blocks: usize = args.get("blocks", 8);
+    let seed: u64 = args.get("seed", 2008);
+    // Mesh resolution of the KLE front end. The default is fine enough
+    // that a cold start pays a real assembly + eigensolve, as any
+    // production-resolution run does.
+    let area_fraction: f64 = args.get("area-fraction", 0.004);
+
+    let circuit = generate(format!("hier{gates}"), GeneratorConfig::combinational(gates, seed))
+        .expect("generator accepts the bench size");
+    let setup = CircuitSetup::prepare(&circuit);
+    let kernel = GaussianKernel::new(2.0);
+    let partition = Partition::build(&circuit, blocks);
+    let token = CancelToken::unlimited();
+    let nominal = vec![ParamVector::ZERO; circuit.node_count()];
+
+    // Arm 1: cold flat re-time — nothing cached, so the full front end
+    // (mesh, assembly, eigensolve, truncation) runs before the
+    // monolithic canonical pass.
+    let criterion = klest_core::TruncationCriterion::new(60, 0.01);
+    let build_ctx =
+        || KleContext::build(&kernel, area_fraction, 25.0, &criterion).expect("KLE context");
+    let ctx = build_ctx();
+    let flat_cold_secs = median3(|| {
+        let started = Instant::now();
+        let cold_ctx = build_ctx();
+        let cold_sampler =
+            KleFieldSampler::new(&cold_ctx.kle, &cold_ctx.mesh, cold_ctx.rank, setup.locations())
+                .expect("sampler over circuit locations");
+        analyze_canonical(&setup.timer, &cold_sampler).expect("flat canonical pass");
+        started.elapsed().as_secs_f64()
+    });
+
+    let sampler = KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations())
+        .expect("sampler over circuit locations");
+
+    // Arm 2: warm flat re-time — the canonical pass alone, spectrum in
+    // hand (what a flat engine pays per edit once everything is cached).
+    let flat = analyze_canonical(&setup.timer, &sampler).expect("flat canonical pass");
+    let flat_warm_secs = median3(|| {
+        let started = Instant::now();
+        let r = analyze_canonical(&setup.timer, &sampler).expect("flat canonical pass");
+        let secs = started.elapsed().as_secs_f64();
+        assert_eq!(r.worst().mean.to_bits(), flat.worst().mean.to_bits());
+        secs
+    });
+
+    // Block models are cached under the spectrum key of the coarse
+    // front end, exactly as the CLI and daemon key them.
+    let cache = ArtifactCache::new();
+    let mesh_key = ArtifactKey::mesh(Rect::unit_die(), area_fraction, 25.0);
+    let galerkin_key = ArtifactKey::galerkin(
+        &mesh_key,
+        &kernel.cache_key().expect("gaussian kernel is cacheable"),
+        QuadratureRule::Centroid,
+    );
+    let spectrum_key = ArtifactKey::spectrum(&galerkin_key, EigenSolver::Full, 200);
+
+    // Arm 3: cold hierarchical construction (extract every block).
+    let started = Instant::now();
+    let mut engine = HierEngine::new(
+        &setup.timer,
+        &sampler,
+        &partition,
+        nominal.clone(),
+        Some((&cache, spectrum_key.clone())),
+        &token,
+    )
+    .expect("cold hierarchical construction");
+    let hier_cold_secs = started.elapsed().as_secs_f64();
+    let cold_stats = engine.last_stats();
+    assert_eq!(cold_stats.extracted, partition.block_count());
+    assert_eq!(cold_stats.cache_hits, 0);
+
+    // Accuracy contract: composed worst within the stated bound.
+    let (h, f) = (engine.worst(), flat.worst());
+    let e_mu_pct = 100.0 * (h.mean - f.mean).abs() / f.mean;
+    let e_sigma_pct = 100.0 * (h.sigma() - f.sigma()).abs() / f.sigma();
+    assert!(e_mu_pct <= 2.0, "worst mean off by {e_mu_pct:.3}%");
+    assert!(e_sigma_pct <= 5.0, "worst sigma off by {e_sigma_pct:.3}%");
+    let cold_worst_bits = h.mean.to_bits();
+
+    // Arm 4: warm construction — every model is a cache lookup.
+    let hier_warm_secs = median3(|| {
+        let started = Instant::now();
+        let warm = HierEngine::new(
+            &setup.timer,
+            &sampler,
+            &partition,
+            nominal.clone(),
+            Some((&cache, spectrum_key.clone())),
+            &token,
+        )
+        .expect("warm hierarchical construction");
+        let secs = started.elapsed().as_secs_f64();
+        let stats = warm.last_stats();
+        assert_eq!(stats.extracted, 0, "warm run must extract nothing");
+        assert_eq!(stats.cache_hits, partition.block_count());
+        assert_eq!(
+            warm.worst().mean.to_bits(),
+            cold_worst_bits,
+            "warm composition must reproduce the cold one bitwise"
+        );
+        secs
+    });
+
+    // Arm 5: one-gate edit re-time. Each run edits with a fresh
+    // parameter value, so the victim block's region hash is new every
+    // time and a real extraction (not a compose-only cache hit) is
+    // measured.
+    let victim = NodeId((circuit.node_count() / 2) as u32);
+    let mut scale = 0.30;
+    let edit_retime_secs = median3(|| {
+        scale += 0.01;
+        let p = ParamVector::new([scale, -0.5 * scale, 0.25 * scale, 0.1 * scale]);
+        let started = Instant::now();
+        engine.edit_gate(victim, p, &token).expect("edit re-time");
+        let secs = started.elapsed().as_secs_f64();
+        let stats = engine.last_stats();
+        assert_eq!(stats.extracted, 1, "an edit re-extracts exactly one block");
+        secs
+    });
+
+    // The headline claim: a warm one-block-edit re-time beats the cold
+    // flat pass by at least 5x. The warm-flat ratio rides along ungated.
+    let speedup = flat_cold_secs / edit_retime_secs.max(1e-9);
+    let speedup_warm = flat_warm_secs / edit_retime_secs.max(1e-9);
+    assert!(
+        speedup >= 5.0,
+        "edit re-time must be >=5x faster than the cold flat pass: \
+         flat {flat_cold_secs:.4}s vs edit {edit_retime_secs:.4}s ({speedup:.1}x)"
+    );
+
+    let hier = format!(
+        concat!(
+            "{{\n",
+            "    \"gates\": {},\n",
+            "    \"blocks\": {},\n",
+            "    \"rank\": {},\n",
+            "    \"flat_cold_secs\": {:.6},\n",
+            "    \"flat_warm_secs\": {:.6},\n",
+            "    \"hier_cold_secs\": {:.6},\n",
+            "    \"hier_warm_secs\": {:.6},\n",
+            "    \"edit_retime_secs\": {:.6},\n",
+            "    \"speedup_edit_vs_flat\": {:.2},\n",
+            "    \"speedup_edit_vs_flat_warm\": {:.2},\n",
+            "    \"e_mu_pct\": {:.4},\n",
+            "    \"e_sigma_pct\": {:.4},\n",
+            "    \"warm_bitwise_equal\": true\n",
+            "  }}"
+        ),
+        gates,
+        partition.block_count(),
+        ctx.rank,
+        flat_cold_secs,
+        flat_warm_secs,
+        hier_cold_secs,
+        hier_warm_secs,
+        edit_retime_secs,
+        speedup,
+        speedup_warm,
+        e_mu_pct,
+        e_sigma_pct,
+    );
+
+    match args.get_str("report", "") {
+        path if path.is_empty() => println!("{{\n  \"hier\": {hier}\n}}"),
+        path => {
+            let report = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading report {path}: {e}"));
+            let body = report
+                .trim_end()
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("report {path} is not a JSON object"))
+                .trim_end()
+                .to_string();
+            let merged = format!("{body},\n  \"hier\": {hier}\n}}\n");
+            std::fs::write(&path, merged)
+                .unwrap_or_else(|e| panic!("writing report {path}: {e}"));
+            eprintln!(
+                "hier_bench: {gates} gates, {} blocks — cold flat {flat_cold_secs:.4}s, edit \
+                 re-time {edit_retime_secs:.4}s ({speedup:.1}x) — merged into {path}",
+                partition.block_count(),
+            );
+        }
+    }
+}

@@ -29,6 +29,7 @@
 mod generator;
 mod io;
 mod netlist;
+mod partition;
 mod placement;
 mod stats;
 mod suite;
@@ -37,6 +38,7 @@ mod wire;
 pub use generator::{GeneratorConfig, generate};
 pub use io::{parse_netlist, write_netlist, ParseNetlistError};
 pub use netlist::{Circuit, CircuitError, GateKind, NodeId};
+pub use partition::Partition;
 pub use placement::Placement;
 pub use stats::CircuitStats;
 pub use suite::{benchmark, benchmark_scaled, BenchmarkId, TABLE1_BENCHMARKS};

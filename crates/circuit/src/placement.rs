@@ -114,7 +114,7 @@ impl Placement {
 /// spatially together (the property min-cut placers optimise for).
 /// Unreachable nodes (none, in generated circuits) are appended at the
 /// end.
-fn bfs_order(circuit: &Circuit) -> Vec<NodeId> {
+pub(crate) fn bfs_order(circuit: &Circuit) -> Vec<NodeId> {
     let n = circuit.node_count();
     let mut seen = vec![false; n];
     let mut order = Vec::with_capacity(n);

@@ -6,7 +6,7 @@
 use klest::KlestError;
 use klest_bench::Args;
 use klest_circuit::{benchmark_scaled, generate, write_netlist, BenchmarkId, GeneratorConfig};
-use klest_core::pipeline::{ArtifactCache, ExecPolicy, FrontEndConfig};
+use klest_core::pipeline::{ArtifactCache, ArtifactKey, ExecPolicy, FrontEndConfig};
 use klest_core::{EigenSolver, GalerkinKle, KleOptions, TruncationCriterion};
 use klest_geometry::Rect;
 use klest_kernels::{
@@ -72,6 +72,9 @@ COMMANDS:
                                               [--assembly-threads N]
                                               [--deadline SECS] [--stage-budget mesh=S,eigen=S,mc=S]
                                               [--inject-panic-shard I] [--inject-hang-ms MS]
+  hier      hierarchical block-model SSTA     [--gates 400] [--seed 7] [--blocks 4] [--dist 1.0]
+                                              [--area-fraction 0.01] [--cache-dir DIR]
+                                              [--edit-node I] [--edit-scale 0.3]
   serve     long-lived timing-query daemon    [--workers 2] [--queue-depth 16] [--drain-ms 10000]
                                               [--default-deadline-ms MS] [--cache-dir DIR]
                                               [--state-dir DIR]
@@ -108,6 +111,18 @@ where the dense path cannot allocate. --modes K picks the eigenpair count
 (default 25 for matrix-free), --max-iters bounds the operator
 applications, --threads N shards the matvec (bitwise identical output
 for any N).
+
+HIERARCHY (hier): partitions a generated circuit into --blocks die-region
+blocks, extracts one compressed timing model per block over the shared KLE
+ξ basis, composes them into circuit-level arrivals, and checks the composed
+worst delay against the flat canonical pass (mean within 2%, sigma within
+5% — a breach is a nonzero exit). It then applies a one-gate parameter
+edit (--edit-node, default mid-netlist; --edit-scale sets its magnitude)
+and re-times: only the edited gate's block is re-extracted, every other
+block model is reused. --cache-dir DIR persists block models
+content-addressed by region hash × spectrum, so a repeated invocation
+serves every block warm and the post-edit revert is a cache hit; traffic
+lands in the pipeline.cache.block.{hits,misses} counters.
 
 SERVING: klest serve reads one JSON request per line from stdin (or
 --requests FILE, or a Unix --socket PATH) and writes one JSON response per
@@ -482,6 +497,165 @@ pub fn cmd_ssta<W: Write>(args: &Args, out: &mut W) -> CliResult {
     Ok(())
 }
 
+/// `klest hier`: hierarchical block-model SSTA — partition, per-block
+/// extraction over the shared ξ basis, composition, a flat-vs-composed
+/// agreement gate, and a one-gate edit re-timed through the block cache.
+///
+/// # Errors
+///
+/// User-facing message on any stage failure, malformed flag, or a
+/// composed worst delay outside the 2% mean / 5% sigma agreement band.
+pub fn cmd_hier<W: Write>(args: &Args, out: &mut W) -> CliResult {
+    use klest_ssta::canonical::analyze_canonical;
+    use klest_ssta::hier::HierEngine;
+    use klest_ssta::KleFieldSampler;
+
+    let gates: usize = arg(args, "gates", 400)?;
+    let seed: u64 = arg(args, "seed", 7)?;
+    let blocks: usize = arg(args, "blocks", 4)?;
+    if blocks == 0 {
+        return Err(bad_arg("blocks", blocks, "must be at least 1"));
+    }
+    let edit_scale: f64 = arg(args, "edit-scale", 0.3)?;
+    if !edit_scale.is_finite() {
+        return Err(bad_arg("edit-scale", edit_scale, "must be finite"));
+    }
+    let circuit = generate(
+        format!("hier{gates}"),
+        GeneratorConfig::combinational(gates, seed),
+    )
+    .map_err(err)?;
+    let setup = CircuitSetup::prepare(&circuit);
+    let partition = klest_circuit::Partition::build(&circuit, blocks);
+    let kernel = GaussianKernel::with_correlation_distance(arg(args, "dist", 1.0)?);
+    let frontend = FrontEndConfig::new(
+        arg(args, "area-fraction", 0.01)?,
+        28.0,
+        TruncationCriterion::default(),
+    );
+    let cache = args_opt_str(args, "cache-dir").map(ArtifactCache::with_disk);
+    let ctx = KleContext::build_with(&kernel, &frontend, ExecPolicy::Plain, cache.as_ref())
+        .map_err(err)?;
+    let sampler = KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations())
+        .map_err(err)?;
+    let flat = {
+        let _span = klest_obs::span("hier/flat");
+        analyze_canonical(&setup.timer, &sampler).map_err(err)?
+    };
+
+    // Block models are cache-addressed under the spectrum key (the shared
+    // ξ basis) — the same key derivation the front end uses.
+    let spectrum_key = kernel.cache_key().map(|kk| {
+        let mesh_key = ArtifactKey::mesh(
+            frontend.die,
+            frontend.max_area_fraction,
+            frontend.min_angle_degrees,
+        );
+        let galerkin_key = ArtifactKey::galerkin(&mesh_key, &kk, frontend.options.quadrature);
+        ArtifactKey::spectrum(
+            &galerkin_key,
+            frontend.options.solver,
+            frontend.options.max_eigenpairs,
+        )
+    });
+    let cache_pair = match (&cache, spectrum_key) {
+        (Some(c), Some(k)) => Some((c, k)),
+        _ => None,
+    };
+    let token = CancelToken::unlimited();
+    let mut engine = HierEngine::new(
+        &setup.timer,
+        &sampler,
+        &partition,
+        vec![klest_sta::ParamVector::ZERO; circuit.node_count()],
+        cache_pair,
+        &token,
+    )
+    .map_err(err)?;
+    let stats = engine.last_stats();
+    let f = flat.worst();
+    let (f_mean, f_sigma) = (f.mean, f.sigma());
+    let (h_mean, h_sigma) = {
+        let h = engine.worst();
+        (h.mean, h.sigma())
+    };
+    let e_mu_pct = 100.0 * (h_mean - f_mean).abs() / f_mean;
+    let e_sigma_pct = 100.0 * (h_sigma - f_sigma).abs() / f_sigma;
+    klest_obs::gauge_set("hier.blocks", stats.blocks as f64);
+    klest_obs::gauge_set("hier.e_mu_pct", e_mu_pct);
+    klest_obs::gauge_set("hier.e_sigma_pct", e_sigma_pct);
+    writeln!(
+        out,
+        "{} ({} gates, r = {}, {} block(s)): flat mu = {:.6}, sigma = {:.6}",
+        circuit.name(),
+        circuit.gate_count(),
+        ctx.rank,
+        partition.block_count(),
+        f_mean,
+        f_sigma
+    )
+    .map_err(err)?;
+    writeln!(
+        out,
+        "hier: mu = {h_mean:.6}, sigma = {h_sigma:.6}, \
+         e_mu = {e_mu_pct:.3}%, e_sigma = {e_sigma_pct:.3}%"
+    )
+    .map_err(err)?;
+    writeln!(
+        out,
+        "extract: {} cache hit(s), {} extracted, {} recovered serially",
+        stats.cache_hits, stats.extracted, stats.recovered_serially
+    )
+    .map_err(err)?;
+
+    // One-gate edit: re-keys exactly one block, everything else is
+    // reused. The default victim is mid-netlist (never a primary input —
+    // inputs precede gates in id order and gates outnumber inputs).
+    let default_victim = circuit.node_count() / 2;
+    let victim: usize = arg(args, "edit-node", default_victim)?;
+    if victim >= circuit.node_count() {
+        return Err(bad_arg(
+            "edit-node",
+            victim,
+            &format!("circuit has {} nodes", circuit.node_count()),
+        ));
+    }
+    let p = klest_sta::ParamVector::new([edit_scale, -edit_scale / 2.0, edit_scale / 4.0, 0.0]);
+    let edited_mean = {
+        let _span = klest_obs::span("hier/edit");
+        engine
+            .edit_gate(klest_circuit::NodeId(victim as u32), p, &token)
+            .map_err(err)?
+            .mean
+    };
+    let edit_stats = engine.last_stats();
+    writeln!(
+        out,
+        "edit n{victim}: worst mu {h_mean:.6} -> {edited_mean:.6} \
+         ({} block(s) re-extracted, {} warm)",
+        edit_stats.extracted, edit_stats.cache_hits
+    )
+    .map_err(err)?;
+    if let Some(cache) = &cache {
+        let snap = cache.snapshot();
+        writeln!(
+            out,
+            "cache: {} block hit(s), {} block miss(es)",
+            snap.block_hits, snap.block_misses
+        )
+        .map_err(err)?;
+    }
+    if e_mu_pct > 2.0 || e_sigma_pct > 5.0 {
+        return Err(format!(
+            "agreement: FAILED — composed worst (mu {h_mean:.6}, sigma {h_sigma:.6}) \
+             deviates from flat (mu {f_mean:.6}, sigma {f_sigma:.6}) \
+             beyond 2% mean / 5% sigma"
+        ));
+    }
+    writeln!(out, "agreement: OK (e_mu <= 2%, e_sigma <= 5%)").map_err(err)?;
+    Ok(())
+}
+
 /// Prints one arm's salvage line (supervised runs only) and mirrors the
 /// numbers into observability gauges for the run report.
 fn print_salvage<W: Write>(out: &mut W, arm: &str, salvage: Option<&SalvageStats>) -> CliResult {
@@ -686,6 +860,7 @@ fn dispatch<W: Write + Send>(command: &str, args: &Args, out: &mut W) -> CliResu
         "validate" => cmd_validate(args, out),
         "netlist" => cmd_netlist(args, out),
         "ssta" => cmd_ssta(args, out),
+        "hier" => cmd_hier(args, out),
         "serve" => cmd_serve(args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(err)?;
@@ -923,6 +1098,44 @@ mod tests {
         assert!(out.contains("e_mu"), "{out}");
         assert!(out.contains("speedup"), "{out}");
         assert!(!out.contains("salvage["), "plain runs print no salvage: {out}");
+    }
+
+    #[test]
+    fn hier_command_agrees_and_retimes_one_block() {
+        let out = run_str("hier --gates 150 --seed 9 --blocks 4 --area-fraction 0.02").unwrap();
+        assert!(out.contains("4 block(s)"), "{out}");
+        assert!(out.contains("e_mu"), "{out}");
+        assert!(out.contains("(1 block(s) re-extracted, 0 warm)"), "{out}");
+        assert!(out.contains("agreement: OK"), "{out}");
+    }
+
+    #[test]
+    fn hier_cache_dir_warm_run_serves_blocks_from_cache() {
+        let dir = std::env::temp_dir().join(format!("klest-cli-hier-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let base = format!(
+            "hier --gates 150 --seed 9 --blocks 3 --area-fraction 0.02 --cache-dir {}",
+            dir.display()
+        );
+        let cold = run_str(&base).unwrap();
+        assert!(cold.contains("extract: 0 cache hit(s), 3 extracted"), "{cold}");
+        // Second run: all three initial blocks warm, and the edit's
+        // re-keyed block was already stored by the first run's edit.
+        let warm = run_str(&base).unwrap();
+        assert!(warm.contains("extract: 3 cache hit(s), 0 extracted"), "{warm}");
+        assert!(warm.contains("(0 block(s) re-extracted, 1 warm)"), "{warm}");
+        assert!(warm.contains("agreement: OK"), "{warm}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hier_bad_flags_are_typed_errors() {
+        let e = run_str("hier --blocks 0").unwrap_err();
+        assert!(e.contains("blocks"), "{e}");
+        let e = run_str("hier --gates 100 --edit-node 100000").unwrap_err();
+        assert!(e.contains("edit-node"), "{e}");
+        let e = run_str("hier --blocks potato").unwrap_err();
+        assert!(e.contains("blocks") && e.contains("potato"), "{e}");
     }
 
     #[test]

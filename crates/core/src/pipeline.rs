@@ -453,6 +453,21 @@ impl ArtifactKey {
         }
     }
 
+    /// Key for a per-block hierarchical timing model: the spectrum key
+    /// (the shared ξ basis the block's canonical forms are expressed
+    /// over) plus the block's region hash — region rect × contained
+    /// netlist arcs × gate-parameter bits, computed by the partition
+    /// layer. An edit to one gate changes exactly one block's region
+    /// hash, so exactly one block artifact re-keys.
+    pub fn block(region_hash: u64, spectrum: &ArtifactKey) -> ArtifactKey {
+        ArtifactKey {
+            descriptor: format!(
+                "block|{}|region={region_hash:016x}",
+                spectrum.descriptor
+            ),
+        }
+    }
+
     /// The full human-readable descriptor (the identity of the key).
     pub fn descriptor(&self) -> &str {
         &self.descriptor
@@ -467,6 +482,52 @@ impl ArtifactKey {
 // ---------------------------------------------------------------------------
 // Artifact cache
 // ---------------------------------------------------------------------------
+
+/// One cached boundary-output arc set of a hierarchical block timing
+/// model: the canonical-form terms arriving at one boundary-output
+/// node, each term optionally anchored to a boundary-input origin whose
+/// arrival is substituted at compose time.
+///
+/// This is the cache-level *data* representation — plain vectors of
+/// exact f64 values — deliberately free of `klest-ssta` types so the
+/// artifact cache can own its (de)serialization; the hierarchical
+/// engine converts to and from its `CanonicalForm` algebra losslessly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockArc {
+    /// The boundary-output node id this arc set times.
+    pub node: u32,
+    /// The terms, in the deterministic fold order the extraction pass
+    /// produced them in.
+    pub terms: Vec<BlockTerm>,
+}
+
+/// One term of a [`BlockArc`]: a canonical form (mean, per-ξ
+/// sensitivities, independent residual), plus the boundary-input node
+/// whose arrival it rides on (`None` for a block-local cone).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTerm {
+    /// Boundary-input node id, or `None` when the term's cone is
+    /// entirely inside the block.
+    pub origin: Option<u32>,
+    /// Mean of the canonical form.
+    pub mean: f64,
+    /// Sensitivities over the shared ξ basis (`dim` entries).
+    pub sens: Vec<f64>,
+    /// Independent residual magnitude.
+    pub indep: f64,
+}
+
+/// A compressed per-block timing model over the shared KLE ξ basis:
+/// boundary-input→boundary-output arcs as canonical-form terms, with
+/// intra-block nodes eliminated. Produced by the hierarchical
+/// extraction pass in `klest-ssta`, cached (memory + disk) here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTimingModel {
+    /// Dimension of the ξ sensitivity vectors (4 × KLE rank).
+    pub dim: usize,
+    /// One arc set per boundary-output node, ascending node id.
+    pub outputs: Vec<BlockArc>,
+}
 
 /// Hit/miss totals per cache level (a point-in-time copy).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -483,6 +544,10 @@ pub struct CacheSnapshot {
     pub spectrum_hits: u64,
     /// Spectrum misses.
     pub spectrum_misses: u64,
+    /// Block-timing-model hits.
+    pub block_hits: u64,
+    /// Block-timing-model misses.
+    pub block_misses: u64,
     /// Disk-layer store attempts that failed (tmp write, fsync or
     /// rename error, or a manifest append failure). Each one silently
     /// lost the persistent copy of an artifact.
@@ -495,12 +560,12 @@ pub struct CacheSnapshot {
 impl CacheSnapshot {
     /// Total hits across all levels.
     pub fn hits(&self) -> u64 {
-        self.mesh_hits + self.galerkin_hits + self.spectrum_hits
+        self.mesh_hits + self.galerkin_hits + self.spectrum_hits + self.block_hits
     }
 
     /// Total misses across all levels.
     pub fn misses(&self) -> u64 {
-        self.mesh_misses + self.galerkin_misses + self.spectrum_misses
+        self.mesh_misses + self.galerkin_misses + self.spectrum_misses + self.block_misses
     }
 }
 
@@ -512,6 +577,8 @@ struct CacheStats {
     galerkin_misses: AtomicU64,
     spectrum_hits: AtomicU64,
     spectrum_misses: AtomicU64,
+    block_hits: AtomicU64,
+    block_misses: AtomicU64,
     disk_write_failures: AtomicU64,
     quarantined: AtomicU64,
 }
@@ -565,6 +632,7 @@ pub struct ArtifactCache {
     meshes: Mutex<HashMap<String, Arc<Mesh>>>,
     matrices: Mutex<HashMap<String, Arc<Matrix>>>,
     spectra: Mutex<HashMap<String, Arc<GalerkinKle>>>,
+    blocks: Mutex<HashMap<String, Arc<BlockTimingModel>>>,
     disk_dir: Option<PathBuf>,
     /// Latest journalled `(checksum, byte length)` per cache filename.
     manifest: Mutex<HashMap<String, (u64, u64)>>,
@@ -587,6 +655,7 @@ impl ArtifactCache {
             meshes: Mutex::new(HashMap::new()),
             matrices: Mutex::new(HashMap::new()),
             spectra: Mutex::new(HashMap::new()),
+            blocks: Mutex::new(HashMap::new()),
             disk_dir: None,
             manifest: Mutex::new(HashMap::new()),
             manifest_generation: AtomicU64::new(0),
@@ -625,19 +694,22 @@ impl ArtifactCache {
             galerkin_misses: self.stats.galerkin_misses.load(Ordering::Relaxed),
             spectrum_hits: self.stats.spectrum_hits.load(Ordering::Relaxed),
             spectrum_misses: self.stats.spectrum_misses.load(Ordering::Relaxed),
+            block_hits: self.stats.block_hits.load(Ordering::Relaxed),
+            block_misses: self.stats.block_misses.load(Ordering::Relaxed),
             disk_write_failures: self.stats.disk_write_failures.load(Ordering::Relaxed),
             quarantined: self.stats.quarantined.load(Ordering::Relaxed),
         }
     }
 
     /// Number of entries in each memory layer, in
-    /// `(mesh, galerkin, spectrum)` order — the "cache sizes" a stats
-    /// endpoint reports. Disk entries are not walked.
-    pub fn memory_sizes(&self) -> (usize, usize, usize) {
+    /// `(mesh, galerkin, spectrum, block)` order — the "cache sizes" a
+    /// stats endpoint reports. Disk entries are not walked.
+    pub fn memory_sizes(&self) -> (usize, usize, usize, usize) {
         (
             lock(&self.meshes).len(),
             lock(&self.matrices).len(),
             lock(&self.spectra).len(),
+            lock(&self.blocks).len(),
         )
     }
 
@@ -737,6 +809,42 @@ impl ArtifactCache {
     pub fn store_spectrum(&self, key: &ArtifactKey, kle: Arc<GalerkinKle>) {
         self.disk_store(key, "kle", &serialize_spectrum(key, &kle));
         lock(&self.spectra).insert(key.descriptor().to_string(), kle);
+    }
+
+    /// Looks up a hierarchical block timing model (memory first, then
+    /// disk). Counted in [`CacheSnapshot::block_hits`] /
+    /// [`CacheSnapshot::block_misses`] and mirrored to the obs counters
+    /// `pipeline.cache.block.{hits,misses}`.
+    pub fn lookup_block(&self, key: &ArtifactKey) -> Option<Arc<BlockTimingModel>> {
+        if let Some(hit) = lock(&self.blocks).get(key.descriptor()).cloned() {
+            bump(&self.stats.block_hits, "pipeline.cache.block.hits");
+            return Some(hit);
+        }
+        if let Some(model) = self.disk_load_block(key) {
+            let model = Arc::new(model);
+            lock(&self.blocks).insert(key.descriptor().to_string(), Arc::clone(&model));
+            bump(&self.stats.block_hits, "pipeline.cache.block.hits");
+            return Some(model);
+        }
+        bump(&self.stats.block_misses, "pipeline.cache.block.misses");
+        None
+    }
+
+    /// Non-counting warm probe for the block-model layer; same contract
+    /// as [`peek_spectrum`](Self::peek_spectrum).
+    pub fn peek_block(&self, key: &ArtifactKey) -> bool {
+        if lock(&self.blocks).contains_key(key.descriptor()) {
+            return true;
+        }
+        self.disk_path(key, "block").is_some_and(|p| p.exists())
+    }
+
+    /// Stores a block timing model under `key` (and on disk when
+    /// enabled), with the same journaled-manifest discipline as the
+    /// other disk artifacts.
+    pub fn store_block(&self, key: &ArtifactKey, model: Arc<BlockTimingModel>) {
+        self.disk_store(key, "block", &serialize_block(key, &model));
+        lock(&self.blocks).insert(key.descriptor().to_string(), model);
     }
 
     fn disk_path(&self, key: &ArtifactKey, ext: &str) -> Option<PathBuf> {
@@ -890,6 +998,18 @@ impl ArtifactCache {
             }
         }
     }
+
+    fn disk_load_block(&self, key: &ArtifactKey) -> Option<BlockTimingModel> {
+        let path = self.disk_path(key, "block")?;
+        let text = self.disk_read_validated(&path)?;
+        match deserialize_block(key, &text) {
+            Some(model) => Some(model),
+            None => {
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
 }
 
 /// Name of the append-only store journal inside a disk cache directory.
@@ -950,6 +1070,7 @@ fn load_manifest(path: &Path) -> (HashMap<String, (u64, u64)>, u64) {
 
 const MESH_HEADER: &str = "klest-cache/mesh/v1";
 const SPECTRUM_HEADER: &str = "klest-cache/kle/v1";
+const BLOCK_HEADER: &str = "klest-cache/block/v1";
 
 fn serialize_mesh(key: &ArtifactKey, mesh: &Mesh) -> String {
     let bb = mesh.domain().bbox();
@@ -1079,6 +1200,69 @@ fn deserialize_spectrum(key: &ArtifactKey, text: &str) -> Option<GalerkinKle> {
         return None;
     }
     Some(GalerkinKle::from_raw(eigenvalues, d, areas, centroids, trace))
+}
+
+fn serialize_block(key: &ArtifactKey, model: &BlockTimingModel) -> String {
+    let mut out = String::new();
+    out.push_str(BLOCK_HEADER);
+    out.push('\n');
+    out.push_str(key.descriptor());
+    out.push('\n');
+    out.push_str(&format!("dim {} outputs {}\n", model.dim, model.outputs.len()));
+    for arc in &model.outputs {
+        out.push_str(&format!("output {} {}\n", arc.node, arc.terms.len()));
+        for term in &arc.terms {
+            match term.origin {
+                Some(o) => out.push_str(&format!("term {o} ")),
+                None => out.push_str("term - "),
+            }
+            out.push_str(&format!(
+                "{} {}\n",
+                f64_bits(term.mean),
+                f64_bits(term.indep)
+            ));
+            push_f64_line(&mut out, term.sens.iter().copied());
+        }
+    }
+    out
+}
+
+fn deserialize_block(key: &ArtifactKey, text: &str) -> Option<BlockTimingModel> {
+    let mut lines = text.lines();
+    if lines.next()? != BLOCK_HEADER || lines.next()? != key.descriptor() {
+        return None;
+    }
+    let mut it = lines.next()?.strip_prefix("dim ")?.split_whitespace();
+    let dim: usize = it.next()?.parse().ok()?;
+    if it.next()? != "outputs" {
+        return None;
+    }
+    let n_outputs: usize = it.next()?.parse().ok()?;
+    let mut outputs = Vec::with_capacity(n_outputs);
+    for _ in 0..n_outputs {
+        let mut it = lines.next()?.strip_prefix("output ")?.split_whitespace();
+        let node: u32 = it.next()?.parse().ok()?;
+        let n_terms: usize = it.next()?.parse().ok()?;
+        let mut terms = Vec::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            let mut it = lines.next()?.strip_prefix("term ")?.split_whitespace();
+            let origin = match it.next()? {
+                "-" => None,
+                o => Some(o.parse::<u32>().ok()?),
+            };
+            let mean = parse_f64_bits(it.next()?)?;
+            let indep = parse_f64_bits(it.next()?)?;
+            let sens = parse_f64_line(lines.next()?, dim)?;
+            terms.push(BlockTerm {
+                origin,
+                mean,
+                sens,
+                indep,
+            });
+        }
+        outputs.push(BlockArc { node, terms });
+    }
+    Some(BlockTimingModel { dim, outputs })
 }
 
 // ---------------------------------------------------------------------------
@@ -1691,6 +1875,144 @@ mod tests {
         assert!(cache.peek_spectrum(&spectrum_key));
         // The probe perturbed no counters.
         assert_eq!(cache.snapshot(), before);
+    }
+
+    fn sample_block_model() -> BlockTimingModel {
+        BlockTimingModel {
+            dim: 3,
+            outputs: vec![
+                BlockArc {
+                    node: 7,
+                    terms: vec![
+                        BlockTerm {
+                            origin: None,
+                            mean: 1.25,
+                            sens: vec![0.5, -0.25, 1e-17],
+                            indep: 0.125,
+                        },
+                        BlockTerm {
+                            origin: Some(3),
+                            mean: -0.75,
+                            sens: vec![f64::MIN_POSITIVE, 0.0, -2.5],
+                            indep: 0.0,
+                        },
+                    ],
+                },
+                BlockArc {
+                    node: 11,
+                    terms: vec![BlockTerm {
+                        origin: Some(0),
+                        mean: 2.0,
+                        sens: vec![1.0, 2.0, 3.0],
+                        indep: 0.5,
+                    }],
+                },
+            ],
+        }
+    }
+
+    fn sample_block_key(tag: u64) -> ArtifactKey {
+        let mesh_key = ArtifactKey::mesh(Rect::unit_die(), 0.05, 25.0);
+        let galerkin_key = ArtifactKey::galerkin(
+            &mesh_key,
+            &GaussianKernel::new(1.5).cache_key().unwrap(),
+            QuadratureRule::Centroid,
+        );
+        let spectrum_key = ArtifactKey::spectrum(&galerkin_key, EigenSolver::Full, 200);
+        ArtifactKey::block(tag, &spectrum_key)
+    }
+
+    #[test]
+    fn block_layer_counts_and_returns_shared_allocation() {
+        let cache = ArtifactCache::new();
+        let key = sample_block_key(0xdead_beef);
+        assert!(cache.lookup_block(&key).is_none());
+        let model = Arc::new(sample_block_model());
+        cache.store_block(&key, Arc::clone(&model));
+        let hit = cache.lookup_block(&key).expect("stored model");
+        assert!(Arc::ptr_eq(&hit, &model));
+        // A different region hash is a different artifact.
+        assert!(cache.lookup_block(&sample_block_key(0xdead_bef0)).is_none());
+        let snap = cache.snapshot();
+        assert_eq!(snap.block_hits, 1, "{snap:?}");
+        assert_eq!(snap.block_misses, 2, "{snap:?}");
+        assert_eq!(snap.hits(), 1);
+        assert_eq!(snap.misses(), 2);
+        assert_eq!(cache.memory_sizes(), (0, 0, 0, 1));
+    }
+
+    #[test]
+    fn block_disk_roundtrip_is_bitwise_and_journaled() {
+        let dir = std::env::temp_dir().join(format!(
+            "klest-cache-test-{}-{:016x}",
+            std::process::id(),
+            fnv1a64(b"block_disk_roundtrip_is_bitwise_and_journaled")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = sample_block_key(0x1234);
+        let model = Arc::new(sample_block_model());
+        let cold = ArtifactCache::with_disk(&dir);
+        cold.store_block(&key, Arc::clone(&model));
+        // Fresh cache over the same directory: memory empty, disk warm.
+        let warm = ArtifactCache::with_disk(&dir);
+        assert!(warm.peek_block(&key));
+        let loaded = warm.lookup_block(&key).expect("disk hit");
+        assert_eq!(*loaded, *model, "bitwise roundtrip through disk");
+        let snap = warm.snapshot();
+        assert_eq!(snap.block_hits, 1, "{snap:?}");
+        assert_eq!(snap.quarantined, 0, "{snap:?}");
+        let manifest = std::fs::read_to_string(dir.join("manifest.log")).unwrap();
+        assert!(
+            manifest.lines().any(|l| l.starts_with("entry ")),
+            "block store must be journaled:\n{manifest}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_block_entry_quarantines_and_misses() {
+        let dir = std::env::temp_dir().join(format!(
+            "klest-cache-test-{}-{:016x}",
+            std::process::id(),
+            fnv1a64(b"corrupt_block_entry_quarantines_and_misses")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = sample_block_key(0x777);
+        let cold = ArtifactCache::with_disk(&dir);
+        cold.store_block(&key, Arc::new(sample_block_model()));
+        // Truncate the artifact body while keeping the manifest happy is
+        // impossible (checksummed), so any mutilation must degrade to a
+        // clean miss plus quarantine.
+        let path = cold
+            .disk_path(&key, "block")
+            .expect("disk layer configured");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let warm = ArtifactCache::with_disk(&dir);
+        assert!(warm.lookup_block(&key).is_none());
+        let snap = warm.snapshot();
+        assert_eq!(snap.block_misses, 1, "{snap:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn block_serialization_rejects_foreign_descriptor() {
+        let key = sample_block_key(1);
+        let other = sample_block_key(2);
+        let model = sample_block_model();
+        let text = serialize_block(&key, &model);
+        assert_eq!(deserialize_block(&key, &text), Some(model));
+        assert!(deserialize_block(&other, &text).is_none());
+        assert!(deserialize_block(&key, "garbage").is_none());
+    }
+
+    #[test]
+    fn block_key_folds_region_and_spectrum() {
+        let a = sample_block_key(1);
+        let b = sample_block_key(2);
+        assert_ne!(a, b, "region hash must perturb the key");
+        assert!(a.descriptor().starts_with("block|"));
+        assert!(a.descriptor().contains("region=0000000000000001"));
     }
 
     #[test]

@@ -115,6 +115,26 @@ impl KernelSpec {
     }
 }
 
+/// How a query is executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryMode {
+    /// Flat supervised Monte Carlo over the KLE sampler (default).
+    Mc,
+    /// Hierarchical block-model analysis: partition the die, extract a
+    /// canonical timing model per block over the shared ξ basis (models
+    /// are cached by region hash in the daemon's shared artifact
+    /// cache), compose at the boundaries, and optionally re-time a
+    /// one-gate edit — which invalidates exactly one block.
+    Hier {
+        /// Requested die-region block count.
+        blocks: usize,
+        /// Gate to edit after the nominal composition, when present.
+        edit_gate: Option<usize>,
+        /// Leading parameter magnitude applied to the edited gate.
+        edit_scale: f64,
+    },
+}
+
 /// A validated timing query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
@@ -142,6 +162,8 @@ pub struct QuerySpec {
     /// Client asked for a per-request trace (`"trace":true`); honoured
     /// only when the daemon also runs with `--trace-responses`.
     pub trace: bool,
+    /// Flat Monte Carlo (default) or hierarchical block-model analysis.
+    pub mode: QueryMode,
 }
 
 /// One parsed request.
@@ -283,6 +305,36 @@ pub struct QueryOutcome {
     /// Per-request trace, present when the client asked (`"trace":true`)
     /// and the daemon allows it (`--trace-responses`).
     pub trace: Option<TraceInfo>,
+    /// Hierarchical numbers, present on `"mode":"hier"` responses.
+    pub hier: Option<HierOutcome>,
+}
+
+/// Block-model accounting carried on a `"mode":"hier"` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierOutcome {
+    /// Die-region blocks in the partition.
+    pub blocks: usize,
+    /// Block models served from the daemon's shared artifact cache.
+    pub cache_hits: usize,
+    /// Block models extracted by this request.
+    pub extracted: usize,
+    /// The re-time that followed the requested one-gate edit.
+    pub edit: Option<HierEditOutcome>,
+}
+
+/// Result of the one-gate edit re-time inside a hierarchical query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierEditOutcome {
+    /// The edited gate id.
+    pub gate: usize,
+    /// Blocks re-extracted by the edit (1 when invalidation is exact).
+    pub extracted: usize,
+    /// Blocks served warm from the cache during the re-time.
+    pub cache_hits: usize,
+    /// Composed worst mean after the edit.
+    pub mean: f64,
+    /// Composed worst sigma after the edit.
+    pub sigma: f64,
 }
 
 /// Per-request trace carried on a query response: where the wall time
@@ -371,8 +423,13 @@ pub struct StatsReport {
     pub cache_hits: u64,
     /// Artifact-cache misses (lifetime, all layers).
     pub cache_misses: u64,
-    /// Memory-layer entry counts in `(mesh, galerkin, spectrum)` order.
-    pub cache_sizes: (usize, usize, usize),
+    /// Memory-layer entry counts in `(mesh, galerkin, spectrum, block)`
+    /// order.
+    pub cache_sizes: (usize, usize, usize, usize),
+    /// Hierarchical block-model cache hits (lifetime).
+    pub cache_block_hits: u64,
+    /// Hierarchical block-model cache misses (lifetime).
+    pub cache_block_misses: u64,
     /// Disk-cache store attempts that failed and lost the persistent
     /// copy (lifetime).
     pub cache_disk_write_failures: u64,
@@ -410,6 +467,26 @@ pub fn outcome_response(id: &str, o: &QueryOutcome) -> String {
         ("queue_ms".to_string(), Json::Num(o.queue_ms as f64)),
         ("service_ms".to_string(), Json::Num(o.service_ms as f64)),
     ];
+    if let Some(h) = &o.hier {
+        let mut fields = vec![
+            ("blocks".to_string(), Json::Num(h.blocks as f64)),
+            ("cache_hits".to_string(), Json::Num(h.cache_hits as f64)),
+            ("extracted".to_string(), Json::Num(h.extracted as f64)),
+        ];
+        if let Some(e) = &h.edit {
+            fields.push((
+                "edit".to_string(),
+                Json::Obj(vec![
+                    ("gate".to_string(), Json::Num(e.gate as f64)),
+                    ("extracted".to_string(), Json::Num(e.extracted as f64)),
+                    ("cache_hits".to_string(), Json::Num(e.cache_hits as f64)),
+                    ("mean".to_string(), Json::Num(e.mean)),
+                    ("sigma".to_string(), Json::Num(e.sigma)),
+                ]),
+            ));
+        }
+        members.push(("hier".to_string(), Json::Obj(fields)));
+    }
     if let Some(trace) = &o.trace {
         members.push(("trace".to_string(), trace_json(trace)));
     }
@@ -475,7 +552,13 @@ pub fn stats_response(id: Option<&str>, s: &StatsReport) -> String {
     } else {
         Json::Num(s.cache_hits as f64 / hits_misses as f64)
     };
-    let (mesh_n, galerkin_n, spectrum_n) = s.cache_sizes;
+    let (mesh_n, galerkin_n, spectrum_n, block_n) = s.cache_sizes;
+    let block_lookups = s.cache_block_hits + s.cache_block_misses;
+    let block_hit_ratio = if block_lookups == 0 {
+        Json::Null
+    } else {
+        Json::Num(s.cache_block_hits as f64 / block_lookups as f64)
+    };
     Json::Obj(vec![
         ("id".to_string(), id_json(id)),
         ("status".to_string(), Json::Str("stats".into())),
@@ -529,6 +612,19 @@ pub fn stats_response(id: Option<&str>, s: &StatsReport) -> String {
                         ("mesh".to_string(), Json::Num(mesh_n as f64)),
                         ("galerkin".to_string(), Json::Num(galerkin_n as f64)),
                         ("spectrum".to_string(), Json::Num(spectrum_n as f64)),
+                        ("block".to_string(), Json::Num(block_n as f64)),
+                    ]),
+                ),
+                (
+                    "block".to_string(),
+                    Json::Obj(vec![
+                        ("hits".to_string(), Json::Num(s.cache_block_hits as f64)),
+                        (
+                            "misses".to_string(),
+                            Json::Num(s.cache_block_misses as f64),
+                        ),
+                        ("hit_ratio".to_string(), block_hit_ratio),
+                        ("entries".to_string(), Json::Num(block_n as f64)),
                     ]),
                 ),
             ]),
@@ -605,7 +701,7 @@ pub fn draining_response() -> String {
     Json::Obj(vec![("status".into(), Json::Str("draining".into()))]).to_compact_string()
 }
 
-const KNOWN_KEYS: [&str; 19] = [
+const KNOWN_KEYS: [&str; 23] = [
     "id",
     "op",
     "trace",
@@ -625,6 +721,10 @@ const KNOWN_KEYS: [&str; 19] = [
     "deadline_ms",
     "inject_panic",
     "inject_hang_ms",
+    "mode",
+    "blocks",
+    "edit_gate",
+    "edit_scale",
 ];
 
 fn extract_id(value: &Json) -> Result<Option<String>, String> {
@@ -835,6 +935,7 @@ pub fn parse_request(line: &str) -> Result<ServeRequest, BadRequest> {
     let inject_panic = field_bool(&value, "inject_panic").map_err(bad)?.unwrap_or(false);
     let inject_hang_ms = field_uint(&value, "inject_hang_ms", 1, 60_000).map_err(bad)?;
     let trace = field_bool(&value, "trace").map_err(bad)?.unwrap_or(false);
+    let mode = parse_mode(&value).map_err(bad)?;
     Ok(ServeRequest::Query {
         id,
         spec: QuerySpec {
@@ -848,8 +949,55 @@ pub fn parse_request(line: &str) -> Result<ServeRequest, BadRequest> {
             inject_panic,
             inject_hang_ms,
             trace,
+            mode,
         },
     })
+}
+
+fn parse_mode(obj: &Json) -> Result<QueryMode, String> {
+    match field_str(obj, "mode")?.unwrap_or("mc") {
+        "mc" => {
+            for k in ["blocks", "edit_gate", "edit_scale"] {
+                if obj.get(k).is_some() {
+                    return Err(format!("`{k}` applies only to `mode:\"hier\"`"));
+                }
+            }
+            Ok(QueryMode::Mc)
+        }
+        "hier" => {
+            // The hierarchical path composes canonical block models; it
+            // runs no Monte Carlo stage, so MC-only knobs are rejected
+            // rather than silently ignored.
+            for k in ["samples", "seed", "threads", "inject_hang_ms"] {
+                if obj.get(k).is_some() {
+                    return Err(format!(
+                        "`{k}` applies only to `mode:\"mc\"` (hier runs no Monte Carlo)"
+                    ));
+                }
+            }
+            let blocks = field_uint(obj, "blocks", 1, 64)?.unwrap_or(4) as usize;
+            let edit_gate = field_uint(obj, "edit_gate", 0, 9_000_000_000_000_000)?
+                .map(|v| v as usize);
+            if edit_gate.is_none() && obj.get("edit_scale").is_some() {
+                return Err("`edit_scale` requires `edit_gate`".into());
+            }
+            let edit_scale = match field_f64(obj, "edit_scale")? {
+                None => 0.3,
+                Some(s) if s.is_finite() && s.abs() <= 10.0 => s,
+                Some(s) => {
+                    return Err(format!(
+                        "`edit_scale` must be finite with magnitude <= 10, got {s}"
+                    ))
+                }
+            };
+            Ok(QueryMode::Hier {
+                blocks,
+                edit_gate,
+                edit_scale,
+            })
+        }
+        other => Err(format!("unknown mode '{other}' (expected mc or hier)")),
+    }
 }
 
 #[cfg(test)]
@@ -876,6 +1024,57 @@ mod tests {
         assert_eq!(spec.deadline, None);
         assert!(!spec.inject_panic);
         assert!(matches!(spec.kernel, KernelSpec::Gaussian { c: None, .. }));
+        assert_eq!(spec.mode, QueryMode::Mc);
+    }
+
+    #[test]
+    fn hier_mode_parses_with_defaults_and_edit_fields() {
+        let spec = parse_query(r#"{"id":"h1","mode":"hier"}"#);
+        assert_eq!(
+            spec.mode,
+            QueryMode::Hier {
+                blocks: 4,
+                edit_gate: None,
+                edit_scale: 0.3
+            }
+        );
+        let spec = parse_query(
+            r#"{"id":"h2","mode":"hier","blocks":8,"edit_gate":33,"edit_scale":0.5}"#,
+        );
+        assert_eq!(
+            spec.mode,
+            QueryMode::Hier {
+                blocks: 8,
+                edit_gate: Some(33),
+                edit_scale: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn hier_mode_rejections_are_typed() {
+        let cases: [(&str, &str); 6] = [
+            (r#"{"id":"h","mode":"flat"}"#, "unknown mode"),
+            (r#"{"id":"h","blocks":4}"#, "applies only to `mode:\"hier\"`"),
+            (r#"{"id":"h","mode":"hier","blocks":0}"#, "`blocks` must be in"),
+            (
+                r#"{"id":"h","mode":"hier","samples":50}"#,
+                "hier runs no Monte Carlo",
+            ),
+            (
+                r#"{"id":"h","mode":"hier","edit_scale":0.5}"#,
+                "`edit_scale` requires `edit_gate`",
+            ),
+            (
+                r#"{"id":"h","mode":"hier","edit_gate":1,"edit_scale":99}"#,
+                "magnitude <= 10",
+            ),
+        ];
+        for (line, want) in cases {
+            let e = parse_request(line).expect_err(line);
+            assert!(e.message.contains(want), "{line}: {}", e.message);
+            assert_eq!(e.id.as_deref(), Some("h"), "{line}");
+        }
     }
 
     #[test]
@@ -983,11 +1182,35 @@ mod tests {
             queue_ms: 3,
             service_ms: 40,
             trace: None,
+            hier: None,
         };
         let line = outcome_response("q1", &outcome);
         assert!(line.contains(r#""status":"completed""#), "{line}");
         assert!(!line.contains('\n'));
         assert!(!line.contains(r#""trace""#), "no trace unless attached: {line}");
+        assert!(!line.contains(r#""hier""#), "no hier section on mc responses: {line}");
+
+        let hier = QueryOutcome {
+            hier: Some(HierOutcome {
+                blocks: 6,
+                cache_hits: 2,
+                extracted: 4,
+                edit: Some(HierEditOutcome {
+                    gate: 33,
+                    extracted: 1,
+                    cache_hits: 0,
+                    mean: 1.62,
+                    sigma: 0.11,
+                }),
+            }),
+            ..outcome.clone()
+        };
+        let hier_line = outcome_response("q1", &hier);
+        assert!(
+            hier_line.contains(r#""hier":{"blocks":6,"cache_hits":2,"extracted":4,"edit":{"gate":33,"extracted":1,"cache_hits":0,"mean":1.62,"sigma":0.11}}"#),
+            "{hier_line}"
+        );
+        assert!(!hier_line.contains('\n'));
 
         let traced = QueryOutcome {
             trace: Some(TraceInfo {
@@ -1059,7 +1282,9 @@ mod tests {
             queue_wait: LatencyStats::from_hist(&warm),
             cache_hits: 80,
             cache_misses: 20,
-            cache_sizes: (2, 2, 2),
+            cache_sizes: (2, 2, 2, 3),
+            cache_block_hits: 6,
+            cache_block_misses: 2,
             cache_disk_write_failures: 4,
             cache_quarantined: 1,
             utilization: Some(0.5),
@@ -1080,7 +1305,8 @@ mod tests {
             r#""hit_ratio":0.8"#,
             r#""disk_write_failures":4"#,
             r#""quarantined":1"#,
-            r#""sizes":{"mesh":2,"galerkin":2,"spectrum":2}"#,
+            r#""sizes":{"mesh":2,"galerkin":2,"spectrum":2,"block":3}"#,
+            r#""block":{"hits":6,"misses":2,"hit_ratio":0.75,"entries":3}"#,
             r#""utilization":0.5"#,
             r#""slo":{"target":0.9,"window_total":50,"window_met":49,"fraction":0.98"#,
         ] {

@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use klest_circuit::{benchmark_scaled, generate, GeneratorConfig};
+use klest_circuit::{benchmark_scaled, generate, Circuit, GeneratorConfig, NodeId, Partition};
 use klest_core::pipeline::{ArtifactCache, ArtifactKey, ExecPolicy, FrontEndConfig};
 use klest_core::TruncationCriterion;
 use klest_mesh::MeshError;
@@ -40,17 +40,19 @@ use klest_runtime::{
 };
 use klest_ssta::experiments::{CircuitSetup, KleContext, KleContextError};
 use klest_ssta::faultinject::{FaultPlan, Stage};
+use klest_ssta::hier::HierEngine;
 use klest_ssta::{
     run_monte_carlo_supervised, run_monte_carlo_supervised_with_faults, DegradationReport,
     KleFieldSampler, McConfig, SstaError,
 };
+use klest_sta::ParamVector;
 
 use crate::journal::{PendingRequest, RequestJournal};
 use crate::json::Json;
 use crate::protocol::{
     draining_response, error_response, outcome_response, parse_request, pong_response,
-    stats_response, LatencyStats, QueryOutcome, QuerySpec, ServeError, ServeRequest, StatsReport,
-    TraceInfo,
+    stats_response, HierEditOutcome, HierOutcome, LatencyStats, QueryMode, QueryOutcome,
+    QuerySpec, ServeError, ServeRequest, StatsReport, TraceInfo,
 };
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -308,6 +310,17 @@ struct ExecData {
     planned: usize,
     ci_widening: f64,
     coarsenings: usize,
+    /// Block-model accounting, present on `"mode":"hier"` requests.
+    hier: Option<HierOutcome>,
+}
+
+/// Cancellation stays typed through the serve state machine; every
+/// other SSTA failure is an internal fault.
+fn exec_err(e: SstaError) -> ExecError {
+    match e {
+        SstaError::Cancelled(c) => ExecError::Cancelled(c),
+        other => ExecError::Internal(other.to_string()),
+    }
 }
 
 fn frontend_config(spec: &QuerySpec) -> FrontEndConfig {
@@ -416,6 +429,8 @@ impl Server {
             cache_hits: cache_snap.hits(),
             cache_misses: cache_snap.misses(),
             cache_sizes: self.cache.memory_sizes(),
+            cache_block_hits: cache_snap.block_hits,
+            cache_block_misses: cache_snap.block_misses,
             cache_disk_write_failures: cache_snap.disk_write_failures,
             cache_quarantined: cache_snap.quarantined,
             utilization: self.stats.usage.utilization(
@@ -745,20 +760,24 @@ impl Server {
         )
     }
 
-    fn setup_for(&self, circuit: &crate::protocol::CircuitSpec) -> Result<Arc<CircuitSetup>, String> {
+    fn build_circuit(circuit: &crate::protocol::CircuitSpec) -> Result<Circuit, String> {
         use crate::protocol::CircuitSpec;
-        let key = circuit.memo_key();
-        if let Some(setup) = lock(&self.setups).get(&key) {
-            return Ok(Arc::clone(setup));
-        }
-        let built = match circuit {
+        match circuit {
             CircuitSpec::Named { id, scale } => benchmark_scaled(*id, *scale),
             CircuitSpec::Synthetic { gates, seed } => generate(
                 format!("synth{gates}"),
                 GeneratorConfig::combinational(*gates, *seed),
             ),
         }
-        .map_err(|e| format!("circuit generation failed: {e}"))?;
+        .map_err(|e| format!("circuit generation failed: {e}"))
+    }
+
+    fn setup_for(&self, circuit: &crate::protocol::CircuitSpec) -> Result<Arc<CircuitSetup>, String> {
+        let key = circuit.memo_key();
+        if let Some(setup) = lock(&self.setups).get(&key) {
+            return Ok(Arc::clone(setup));
+        }
+        let built = Self::build_circuit(circuit)?;
         let setup = Arc::new(CircuitSetup::prepare(&built));
         let mut memo = lock(&self.setups);
         // Bounded memo: a hostile client cycling circuit configs must
@@ -932,6 +951,7 @@ impl Server {
                     queue_ms: millis(queue_wait),
                     service_ms,
                     trace,
+                    hier: data.hier,
                 };
                 respond(out, &outcome_response(&job.id, &outcome));
             }
@@ -997,6 +1017,14 @@ impl Server {
             // end to end without tripping the no-panic lint gate.
             std::panic::panic_any("injected panic: serve fault drill".to_string());
         }
+        if let QueryMode::Hier {
+            blocks,
+            edit_gate,
+            edit_scale,
+        } = spec.mode
+        {
+            return self.execute_hier(spec, blocks, edit_gate, edit_scale, token);
+        }
         let kernel = spec.kernel.build().map_err(ExecError::Internal)?;
         let config = frontend_config(spec);
         let budgets = StageBudgets::none();
@@ -1053,6 +1081,125 @@ impl Server {
             planned,
             ci_widening,
             coarsenings: ctx.degradation.len() + report.len(),
+            hier: None,
+        })
+    }
+
+    /// The `"mode":"hier"` path: partition the die, extract (or load
+    /// from the shared artifact cache) one canonical block model per
+    /// region over the ξ basis, compose at the boundaries, and re-time
+    /// the optional one-gate edit. Block models are keyed by region
+    /// hash under the same spectrum key the flat pipeline uses, so
+    /// repeated hier requests against an unchanged circuit are served
+    /// warm — and an edited request re-extracts exactly one block.
+    fn execute_hier(
+        &self,
+        spec: &QuerySpec,
+        blocks: usize,
+        edit_gate: Option<usize>,
+        edit_scale: f64,
+        token: &CancelToken,
+    ) -> Result<ExecData, ExecError> {
+        let kernel = spec.kernel.build().map_err(ExecError::Internal)?;
+        let config = frontend_config(spec);
+        let budgets = StageBudgets::none();
+        let ctx = KleContext::build_with(
+            kernel.as_ref(),
+            &config,
+            ExecPolicy::Supervised {
+                token,
+                budgets: &budgets,
+            },
+            Some(&self.cache),
+        )
+        .map_err(|e| match e {
+            KleContextError::Mesh(MeshError::Cancelled(c)) => ExecError::Cancelled(c),
+            KleContextError::Ssta(SstaError::Cancelled(c)) => ExecError::Cancelled(c),
+            other => ExecError::Internal(other.to_string()),
+        })?;
+        let setup = self.setup_for(&spec.circuit).map_err(ExecError::Internal)?;
+        let sampler = KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations())
+            .map_err(exec_err)?;
+        // The memoized setup carries the timer, not the netlist; the
+        // partition needs fan-in/fan-out structure, so rebuild the
+        // circuit deterministically from its spec.
+        let circuit = Self::build_circuit(&spec.circuit).map_err(ExecError::Internal)?;
+        if let Some(gate) = edit_gate {
+            if gate >= circuit.node_count() {
+                return Err(ExecError::Internal(format!(
+                    "edit_gate {gate} out of range: circuit has {} nodes",
+                    circuit.node_count()
+                )));
+            }
+        }
+        let partition = Partition::build(&circuit, blocks);
+        // Block models are cached under the spectrum key so a kernel,
+        // die or rank change can never serve a stale model.
+        let spectrum_key = kernel.cache_key().map(|kernel_key| {
+            let mesh_key = ArtifactKey::mesh(
+                config.die,
+                config.max_area_fraction,
+                config.min_angle_degrees,
+            );
+            let galerkin_key =
+                ArtifactKey::galerkin(&mesh_key, &kernel_key, config.options.quadrature);
+            ArtifactKey::spectrum(
+                &galerkin_key,
+                config.options.solver,
+                config.options.max_eigenpairs,
+            )
+        });
+        let cache_pair = spectrum_key.map(|key| (&self.cache, key));
+        let nominal = vec![ParamVector::ZERO; circuit.node_count()];
+        let mut engine = HierEngine::new(
+            &setup.timer,
+            &sampler,
+            &partition,
+            nominal,
+            cache_pair,
+            token,
+        )
+        .map_err(exec_err)?;
+        let cold = engine.last_stats();
+        let (mean, sigma) = {
+            let w = engine.worst();
+            (w.mean, w.sigma())
+        };
+        let edit = match edit_gate {
+            None => None,
+            Some(gate) => {
+                let p = ParamVector::new([
+                    edit_scale,
+                    -0.5 * edit_scale,
+                    0.25 * edit_scale,
+                    0.1 * edit_scale,
+                ]);
+                engine.edit_gate(NodeId(gate as u32), p, token).map_err(exec_err)?;
+                let stats = engine.last_stats();
+                let w = engine.worst();
+                Some(HierEditOutcome {
+                    gate,
+                    extracted: stats.extracted,
+                    cache_hits: stats.cache_hits,
+                    mean: w.mean,
+                    sigma: w.sigma(),
+                })
+            }
+        };
+        Ok(ExecData {
+            mean,
+            sigma,
+            rank: ctx.rank,
+            samples: 0,
+            planned: 0,
+            ci_widening: 1.0,
+            coarsenings: ctx.degradation.len(),
+            hier: Some(HierOutcome {
+                blocks: cold.blocks,
+                cache_hits: cold.cache_hits,
+                extracted: cold.extracted,
+                edit,
+            }),
         })
     }
 }

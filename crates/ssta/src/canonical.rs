@@ -15,7 +15,7 @@
 
 use crate::{GateFieldSampler, KleFieldSampler, SstaError};
 use klest_circuit::NodeId;
-use klest_sta::Timer;
+use klest_sta::{ParamVector, Timer};
 
 /// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf polynomial
 /// (|error| < 1.5e-7).
@@ -188,6 +188,50 @@ pub fn analyze_canonical(
     timer: &Timer,
     kle: &KleFieldSampler,
 ) -> Result<CanonicalReport, SstaError> {
+    let nominal = vec![ParamVector::ZERO; timer.node_count()];
+    analyze_canonical_with(timer, kle, &nominal)
+}
+
+/// Gate-delay sensitivities of node `id` in ξ-space: for parameter `k`
+/// with nominal-point sensitivity `β v_k`, the field at this gate is
+/// `loading · ξ_k`, so `∂d/∂ξ_{k,j} = β v_k · loading_j`. `None` for
+/// primary inputs. Shared by the flat canonical pass and the
+/// hierarchical per-block extraction ([`crate::hier`]) so both propagate
+/// identical deviations.
+pub(crate) fn xi_delay_sens(
+    timer: &Timer,
+    kle: &KleFieldSampler,
+    id: NodeId,
+) -> Option<Vec<f64>> {
+    let beta_v = timer.delay_sensitivity(id)?;
+    let r = kle.rank();
+    let loading = kle.loading_row(id.index());
+    let mut delay_sens = vec![0.0; 4 * r];
+    for (k, bv) in beta_v.iter().enumerate() {
+        for (j, &g) in loading.iter().enumerate() {
+            delay_sens[k * r + j] = bv * g;
+        }
+    }
+    Some(delay_sens)
+}
+
+/// The parameterized canonical pass: like [`analyze_canonical`] but with
+/// deterministic edge delays evaluated at the given per-node parameter
+/// deviations (slews stay frozen at the zero-parameter nominal, so an
+/// edit to one gate perturbs only the edges into that gate). With
+/// `params` all zero this is bitwise-identical to [`analyze_canonical`];
+/// it is the flat reference the hierarchical engine's gate-edit re-time
+/// is differenced against.
+///
+/// # Errors
+///
+/// [`SstaError::InvalidConfig`] if the sampler's node count or
+/// `params.len()` differs from the timer's node count.
+pub fn analyze_canonical_with(
+    timer: &Timer,
+    kle: &KleFieldSampler,
+    params: &[ParamVector],
+) -> Result<CanonicalReport, SstaError> {
     let n = timer.node_count();
     if kle.node_count() != n {
         return Err(SstaError::InvalidConfig {
@@ -195,33 +239,30 @@ pub fn analyze_canonical(
             value: format!("{} (timer has {n})", kle.node_count()),
         });
     }
+    if params.len() != n {
+        return Err(SstaError::InvalidConfig {
+            name: "params.len",
+            value: format!("{} (timer has {n})", params.len()),
+        });
+    }
     let r = kle.rank();
     let dim = 4 * r;
-    // Nominal pass for slews (and deterministic edge delays).
-    let nominal_params = vec![klest_sta::ParamVector::ZERO; n];
+    // Nominal pass for the frozen slews.
+    let nominal_params = vec![ParamVector::ZERO; n];
     let nominal = timer.analyze(&nominal_params);
 
     let mut arrivals: Vec<CanonicalForm> = Vec::with_capacity(n);
     for i in 0..n {
         let id = NodeId(i as u32);
-        let Some(beta_v) = timer.delay_sensitivity(id) else {
+        let Some(delay_sens) = xi_delay_sens(timer, kle, id) else {
             // Primary input.
             arrivals.push(CanonicalForm::constant(0.0, dim));
             continue;
         };
-        // Gate-delay deviation in ξ-space: for parameter k with
-        // sensitivity (β v_k), the field at this gate is loading · ξ_k.
-        let loading = kle.loading_row(i);
-        let mut delay_sens = vec![0.0; dim];
-        for (k, bv) in beta_v.iter().enumerate() {
-            for (j, &g) in loading.iter().enumerate() {
-                delay_sens[k * r + j] = bv * g;
-            }
-        }
         let mut best: Option<CanonicalForm> = None;
         for &f in timer.fanins_of(id) {
-            // Deterministic edge delay at nominal + this gate's deviation.
-            let edge = timer.edge_delay(f, id, nominal.slews(), &nominal_params);
+            // Deterministic edge delay at `params` + this gate's deviation.
+            let edge = timer.edge_delay(f, id, nominal.slews(), params);
             let mut cand = arrivals[f.index()].clone();
             cand.shift(edge);
             let dev = CanonicalForm {

@@ -53,6 +53,7 @@ mod error;
 pub mod experiments;
 pub mod faultinject;
 mod grid_model;
+pub mod hier;
 mod mc;
 mod normal;
 pub mod pce;

@@ -8,7 +8,7 @@
 //! moves numbers, with early termination when a recomputed node lands on
 //! its previous values.
 
-use crate::{ParamVector, Timer};
+use crate::{ParamVector, StaError, Timer};
 use klest_circuit::NodeId;
 
 /// A timer wrapper holding mutable timing state for incremental updates.
@@ -25,22 +25,29 @@ pub struct IncrementalTimer<'a> {
 impl<'a> IncrementalTimer<'a> {
     /// Builds the initial state with a full analysis.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params.len()` differs from the timer's node count.
-    pub fn new(timer: &'a Timer, params: Vec<ParamVector>) -> Self {
+    /// [`StaError::InvalidArgument`] if `params.len()` differs from the
+    /// timer's node count.
+    pub fn new(timer: &'a Timer, params: Vec<ParamVector>) -> Result<Self, StaError> {
         let n = timer.node_count();
-        assert_eq!(params.len(), n, "one ParamVector per node required");
+        if params.len() != n {
+            return Err(StaError::invalid(
+                "params",
+                params.len(),
+                format!("one ParamVector per node required ({n} nodes)"),
+            ));
+        }
         let mut arrivals = vec![0.0; n];
         let mut slews = vec![0.0; n];
         timer.analyze_into(&params, &mut arrivals, &mut slews);
-        IncrementalTimer {
+        Ok(IncrementalTimer {
             timer,
             params,
             arrivals,
             slews,
             last_recomputed: n,
-        }
+        })
     }
 
     /// Current arrival times.
@@ -80,11 +87,19 @@ impl<'a> IncrementalTimer<'a> {
     /// unchanged recompute to identical values, so propagation stops
     /// precisely where a full pass would produce no change).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any node id is out of range.
-    pub fn update(&mut self, changes: &[(NodeId, ParamVector)]) -> f64 {
+    /// [`StaError::InvalidArgument`] if any node id is out of range;
+    /// the state is untouched in that case.
+    pub fn update(&mut self, changes: &[(NodeId, ParamVector)]) -> Result<f64, StaError> {
         let n = self.timer.node_count();
+        if let Some(&(id, _)) = changes.iter().find(|(id, _)| id.index() >= n) {
+            return Err(StaError::invalid(
+                "node",
+                id.index(),
+                format!("node id out of range (circuit has {n} nodes)"),
+            ));
+        }
         // Dirty = nodes whose own params changed or whose fanin state
         // changed. Nodes are already in topological order, so one index
         // sweep suffices.
@@ -116,7 +131,7 @@ impl<'a> IncrementalTimer<'a> {
             dirty[i] = true;
         }
         self.last_recomputed = recomputed;
-        self.worst_delay()
+        Ok(self.worst_delay())
     }
 }
 
@@ -137,7 +152,7 @@ mod tests {
     fn matches_full_reanalysis_exactly() {
         let (c, timer) = setup(300, 3);
         let base = vec![ParamVector::ZERO; c.node_count()];
-        let mut inc = IncrementalTimer::new(&timer, base.clone());
+        let mut inc = IncrementalTimer::new(&timer, base.clone()).expect("sized params");
         // Perturb a few scattered gates.
         let victims = [
             NodeId((c.input_count() + 5) as u32),
@@ -148,7 +163,7 @@ mod tests {
             .iter()
             .map(|&v| (v, ParamVector::new([1.0, -0.5, 0.8, 0.2])))
             .collect();
-        let worst = inc.update(&changes);
+        let worst = inc.update(&changes).expect("in-range nodes");
         // Full recompute with the same parameters.
         let mut params = base;
         for &(id, p) in &changes {
@@ -164,10 +179,11 @@ mod tests {
     #[test]
     fn late_change_recomputes_few_nodes() {
         let (c, timer) = setup(2000, 9);
-        let mut inc = IncrementalTimer::new(&timer, vec![ParamVector::ZERO; c.node_count()]);
+        let mut inc =
+            IncrementalTimer::new(&timer, vec![ParamVector::ZERO; c.node_count()]).expect("sized params");
         // Pick a node near the outputs: its cone is small.
         let victim = NodeId((c.node_count() - 10) as u32);
-        inc.update(&[(victim, ParamVector::new([2.0, -1.0, 1.5, 0.5]))]);
+        inc.update(&[(victim, ParamVector::new([2.0, -1.0, 1.5, 0.5]))]).expect("in-range nodes");
         assert!(
             inc.last_recomputed() < c.node_count() / 10,
             "recomputed {} of {} for a late change",
@@ -184,12 +200,13 @@ mod tests {
     #[test]
     fn noop_update_recomputes_minimal_cone() {
         let (c, timer) = setup(500, 5);
-        let mut inc = IncrementalTimer::new(&timer, vec![ParamVector::ZERO; c.node_count()]);
+        let mut inc =
+            IncrementalTimer::new(&timer, vec![ParamVector::ZERO; c.node_count()]).expect("sized params");
         let before = inc.arrivals().to_vec();
         let victim = NodeId((c.input_count() + 1) as u32);
         // "Change" to the same value: the node recomputes to identical
         // numbers and propagation stops immediately.
-        inc.update(&[(victim, ParamVector::ZERO)]);
+        inc.update(&[(victim, ParamVector::ZERO)]).expect("in-range nodes");
         assert_eq!(inc.arrivals(), &before[..]);
         assert!(
             inc.last_recomputed() <= 1 + timer.fanins_of(victim).len() + 8,
@@ -199,9 +216,45 @@ mod tests {
     }
 
     #[test]
+    fn wrong_params_length_is_a_typed_error() {
+        let (c, timer) = setup(64, 2);
+        for len in [0, c.node_count() - 1, c.node_count() + 1] {
+            let err = IncrementalTimer::new(&timer, vec![ParamVector::ZERO; len])
+                .expect_err("length mismatch must be rejected");
+            match err {
+                StaError::InvalidArgument { key, value, .. } => {
+                    assert_eq!(key, "params");
+                    assert_eq!(value, len.to_string());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_node_is_a_typed_error_and_state_is_untouched() {
+        let (c, timer) = setup(64, 2);
+        let mut inc =
+            IncrementalTimer::new(&timer, vec![ParamVector::ZERO; c.node_count()]).expect("sized params");
+        let before = inc.arrivals().to_vec();
+        let bogus = NodeId(c.node_count() as u32);
+        let err = inc
+            .update(&[(bogus, ParamVector::new([1.0, 1.0, 1.0, 1.0]))])
+            .expect_err("out-of-range node must be rejected");
+        match err {
+            StaError::InvalidArgument { key, value, message } => {
+                assert_eq!(key, "node");
+                assert_eq!(value, c.node_count().to_string());
+                assert!(message.contains("out of range"), "{message}");
+            }
+        }
+        assert_eq!(inc.arrivals(), &before[..], "failed update must not mutate state");
+    }
+
+    #[test]
     fn sequence_of_updates_stays_consistent() {
         let (c, timer) = setup(250, 11);
-        let mut inc = IncrementalTimer::new(&timer, vec![ParamVector::ZERO; c.node_count()]);
+        let mut inc =
+            IncrementalTimer::new(&timer, vec![ParamVector::ZERO; c.node_count()]).expect("sized params");
         let mut params = vec![ParamVector::ZERO; c.node_count()];
         let mut lcg = 12345u64;
         for step in 0..10 {
@@ -214,7 +267,7 @@ mod tests {
                 -0.25,
             ]);
             params[idx] = p;
-            inc.update(&[(NodeId(idx as u32), p)]);
+            inc.update(&[(NodeId(idx as u32), p)]).expect("in-range nodes");
         }
         let full = timer.analyze(&params);
         assert_eq!(inc.arrivals(), full.arrivals());

@@ -34,6 +34,7 @@
 
 mod corners;
 mod delay;
+mod error;
 mod incremental;
 mod library;
 mod model;
@@ -43,6 +44,7 @@ mod timer;
 
 pub use corners::{analyze_corners, Corner, CornerResult};
 pub use delay::{bakoglu_slew, elmore_delay, peri_slew};
+pub use error::StaError;
 pub use incremental::IncrementalTimer;
 pub use library::GateLibrary;
 pub use model::{GateTimingModel, QuadraticGateModel};

@@ -43,6 +43,14 @@ cargo build --release --offline -q -p klest-cli -p klest-bench
 # latency metrics into the report as a top-level "serve" object.
 ./target/release/serve_bench --report "$out" --requests 2000
 
+# Hierarchical SSTA bench: flat cold/warm vs per-block extraction +
+# composition over the shared ξ basis, plus a one-gate edit re-time that
+# re-extracts exactly one block. Asserts the accuracy contract (worst
+# mean within 2%, σ within 5% of flat; warm bitwise equals cold) and the
+# >=5x warm-edit-vs-cold-flat speedup, then merges the timings into the
+# report as a top-level "hier" object.
+./target/release/hier_bench --report "$out"
+
 # Schema gate: a report missing any of these keys means the
 # instrumentation regressed, and the run fails.
 required='
@@ -86,6 +94,16 @@ serve.latency_ms.warm
 "off_qps"
 "on_qps"
 "overhead_pct"
+"hier"
+"flat_cold_secs"
+"flat_warm_secs"
+"hier_cold_secs"
+"hier_warm_secs"
+"edit_retime_secs"
+"speedup_edit_vs_flat"
+"e_mu_pct"
+"e_sigma_pct"
+"warm_bitwise_equal"
 '
 fail=0
 while IFS= read -r key; do

@@ -18,6 +18,7 @@ cargo build --release --offline -q -p klest-cli
 req="SERVE_SMOKE_requests.jsonl"
 out="SERVE_SMOKE_responses.jsonl"
 tiny='"gates":8,"samples":16,"area_fraction":0.1'
+hier='"mode":"hier","gates":40,"circuit_seed":3,"blocks":4,"area_fraction":0.1'
 
 {
   # One worker: "pin" hangs until its 300 ms deadline trips, so the
@@ -30,6 +31,13 @@ tiny='"gates":8,"samples":16,"area_fraction":0.1'
   for i in $(seq 1 45); do
     echo "{\"id\":\"w$i\",$tiny}"
   done
+  # Three hierarchical queries on one worker: the first extracts all
+  # four block models cold, the second reuses them all from the shared
+  # block cache, the third re-times a one-gate edit that re-extracts
+  # exactly one block. Gated on the per-request hier counters below.
+  echo "{\"id\":\"hcold\",$hier}"
+  echo "{\"id\":\"hwarm\",$hier}"
+  echo "{\"id\":\"hedit\",$hier,\"edit_gate\":30,\"edit_scale\":0.4}"
   # One traced query (the daemon runs with --trace-responses) and a
   # stats probe at the end of the stream, schema-gated below.
   echo "{\"id\":\"traced\",\"trace\":true,$tiny}"
@@ -74,6 +82,16 @@ check '"status":"stats".*"p95":'
 check '"status":"stats".*"p99":'
 check '"status":"stats".*"cache":{"hits":'
 check '"status":"stats".*"hit_ratio":'
+# The block-model layer shows up in both the counter and size sections
+# of the stats schema (values may be zero at probe time: ops are
+# answered inline, ahead of queued queries).
+check '"status":"stats".*"block":{"hits":'
+check '"status":"stats".*"sizes":{"mesh":'
+# The hier triple proves block-model sharing through the daemon cache:
+# cold extracts all 4, warm reuses all 4, the edit re-extracts exactly 1.
+check '"id":"hcold".*"hier":{"blocks":4,"cache_hits":0,"extracted":4}'
+check '"id":"hwarm".*"hier":{"blocks":4,"cache_hits":4,"extracted":0}'
+check '"id":"hedit".*"edit":{"gate":30,"extracted":1,'
 check '"status":"stats".*"utilization":'
 check '"status":"stats".*"slo":{"target":'
 check '"status":"stats".*"error_budget_remaining":'
@@ -82,10 +100,10 @@ check '"status":"drained".*"slo_target":'
 check '"status":"drained".*"clean":true'
 
 completed=$(grep -c '"status":"completed"' "$out")
-if [ "$completed" -ne 46 ]; then
-  echo "error: expected all 46 healthy queries to complete, got $completed" >&2
+if [ "$completed" -ne 49 ]; then
+  echo "error: expected all 49 healthy queries to complete, got $completed" >&2
   exit 1
 fi
 
 rm -f "$req" "$out"
-echo "serve smoke ok: 46 completed, stats+trace schema gated, drain clean"
+echo "serve smoke ok: 49 completed, stats+trace+hier schema gated, drain clean"

@@ -86,6 +86,16 @@ impl From<klest_bench::ArgParseError> for KlestError {
     }
 }
 
+impl From<klest_sta::StaError> for KlestError {
+    fn from(e: klest_sta::StaError) -> Self {
+        match e {
+            klest_sta::StaError::InvalidArgument { key, value, message } => {
+                KlestError::InvalidArgument { key, value, message }
+            }
+        }
+    }
+}
+
 impl From<LinalgError> for KlestError {
     fn from(e: LinalgError) -> Self {
         KlestError::Linalg(e)

@@ -1,0 +1,246 @@
+//! Hierarchical-vs-flat differential lockdown for the block-model SSTA
+//! (`klest::ssta::hier`). The contract under test:
+//!
+//! - a node whose fan-in cone never crosses a block boundary reproduces
+//!   the flat canonical arrival **bitwise** — extraction replays the
+//!   exact flat op sequence on a single origin-free term;
+//! - at boundary maxes the composed worst form deviates from the flat
+//!   pass only through the stated bounded approximations (same-origin
+//!   `clark_max` folding and origin substitution): worst mean within 2%
+//!   and worst σ within 5% of flat, for every partition granularity;
+//! - extraction is bitwise-deterministic for any supervisor worker
+//!   count: shards are merged in block order, so repeated runs (and the
+//!   serial one-block path) produce bit-identical models and reports;
+//! - a one-gate edit through [`HierEngine`] agrees with the
+//!   parameterized flat reference `analyze_canonical_with`, while the
+//!   scalar intra-block engine stays exact against `Timer::analyze`.
+
+use klest::circuit::{generate, Circuit, GeneratorConfig, NodeId, Partition};
+use klest::runtime::CancelToken;
+use klest::ssta::canonical::{analyze_canonical, analyze_canonical_with, CanonicalForm};
+use klest::ssta::experiments::{CircuitSetup, KleContext};
+use klest::ssta::hier::{compose, extract_blocks, HierEngine};
+use klest::ssta::KleFieldSampler;
+use klest::sta::ParamVector;
+
+fn setup(gates: usize, seed: u64) -> (CircuitSetup, KleContext, Circuit) {
+    let circuit = generate("hier-diff", GeneratorConfig::combinational(gates, seed))
+        .expect("generator accepts these sizes");
+    let setup = CircuitSetup::prepare(&circuit);
+    let kernel = klest::kernels::GaussianKernel::new(2.0);
+    let ctx = KleContext::coarse(&kernel).expect("coarse KLE context");
+    (setup, ctx, circuit)
+}
+
+fn sampler(ctx: &KleContext, setup: &CircuitSetup) -> KleFieldSampler {
+    KleFieldSampler::new(&ctx.kle, &ctx.mesh, ctx.rank, setup.locations())
+        .expect("sampler over circuit locations")
+}
+
+fn form_bits(f: &CanonicalForm) -> (u64, Vec<u64>, u64) {
+    (
+        f.mean.to_bits(),
+        f.sens.iter().map(|v| v.to_bits()).collect(),
+        f.indep.to_bits(),
+    )
+}
+
+/// `true` for every node whose fan-in cone touches a block other than
+/// its own. Node ids are topological, so one forward sweep suffices.
+fn foreign_cone(circuit: &Circuit, partition: &Partition) -> Vec<bool> {
+    let n = circuit.node_count();
+    let mut foreign = vec![false; n];
+    for i in 0..n {
+        let v = NodeId(i as u32);
+        let b = partition.block_of(v);
+        foreign[i] = circuit
+            .fanins(v)
+            .iter()
+            .any(|&f| partition.block_of(f) != b || foreign[f.index()]);
+    }
+    foreign
+}
+
+/// Zero-parameter `analyze_canonical_with` is the same analysis as
+/// `analyze_canonical` — locked down bitwise so the parameterized
+/// variant can serve as the flat reference for edit differentials.
+#[test]
+fn parameterized_flat_at_zero_is_bitwise_plain() {
+    let (setup, ctx, circuit) = setup(160, 11);
+    let sampler = sampler(&ctx, &setup);
+    let flat = analyze_canonical(&setup.timer, &sampler).unwrap();
+    let zeros = vec![ParamVector::ZERO; circuit.node_count()];
+    let with = analyze_canonical_with(&setup.timer, &sampler, &zeros).unwrap();
+    for i in 0..circuit.node_count() {
+        let id = NodeId(i as u32);
+        assert_eq!(
+            form_bits(flat.arrival(id)),
+            form_bits(with.arrival(id)),
+            "arrival at node {i} differs"
+        );
+    }
+    assert_eq!(form_bits(flat.worst()), form_bits(with.worst()));
+}
+
+/// Cut-free cones are exact: every composed arrival whose cone never
+/// leaves its block matches the flat canonical arrival bit for bit.
+#[test]
+fn cut_free_cone_arrivals_are_bitwise_flat() {
+    let (setup, ctx, circuit) = setup(220, 3);
+    let sampler = sampler(&ctx, &setup);
+    let flat = analyze_canonical(&setup.timer, &sampler).unwrap();
+    let token = CancelToken::unlimited();
+    let zeros = vec![ParamVector::ZERO; circuit.node_count()];
+    for blocks in [2usize, 4, 6] {
+        let partition = Partition::build(&circuit, blocks);
+        let foreign = foreign_cone(&circuit, &partition);
+        let (models, _) =
+            extract_blocks(&setup.timer, &sampler, &partition, &zeros, None, &token).unwrap();
+        let report = compose(&models, &setup.timer).unwrap();
+        let mut checked = 0usize;
+        for (i, foreign_node) in foreign.iter().enumerate().take(circuit.node_count()) {
+            let id = NodeId(i as u32);
+            let Some(hier) = report.arrival(id) else {
+                continue; // intra-block node, eliminated by extraction
+            };
+            if *foreign_node {
+                continue;
+            }
+            assert_eq!(
+                form_bits(flat.arrival(id)),
+                form_bits(hier),
+                "cut-free node {i} diverged from flat ({blocks} blocks)"
+            );
+            checked += 1;
+        }
+        assert!(
+            checked > 0,
+            "no cut-free boundary node to check at {blocks} blocks — test is vacuous"
+        );
+    }
+}
+
+/// At boundary maxes the composed worst form stays within the stated
+/// bound of the flat pass: mean within 2%, σ within 5%, at every
+/// partition granularity.
+#[test]
+fn composed_worst_tracks_flat_within_bound() {
+    let (setup, ctx, circuit) = setup(260, 17);
+    let sampler = sampler(&ctx, &setup);
+    let flat = analyze_canonical(&setup.timer, &sampler).unwrap();
+    let token = CancelToken::unlimited();
+    let zeros = vec![ParamVector::ZERO; circuit.node_count()];
+    for blocks in [2usize, 3, 5, 8] {
+        let partition = Partition::build(&circuit, blocks);
+        let (models, stats) =
+            extract_blocks(&setup.timer, &sampler, &partition, &zeros, None, &token).unwrap();
+        assert_eq!(stats.extracted, partition.block_count());
+        let report = compose(&models, &setup.timer).unwrap();
+        let (h, f) = (report.worst(), flat.worst());
+        assert!(
+            (h.mean - f.mean).abs() <= 0.02 * f.mean,
+            "{blocks} blocks: worst mean {} vs flat {}",
+            h.mean,
+            f.mean
+        );
+        assert!(
+            (h.sigma() - f.sigma()).abs() <= 0.05 * f.sigma(),
+            "{blocks} blocks: worst sigma {} vs flat {}",
+            h.sigma(),
+            f.sigma()
+        );
+    }
+}
+
+/// Extraction shards run under the supervisor, one per missing block,
+/// merged in block order — so the models and the composed report must be
+/// bit-identical across repeated runs regardless of thread interleaving.
+#[test]
+fn extraction_is_bitwise_deterministic_across_runs() {
+    let (setup, ctx, circuit) = setup(200, 29);
+    let sampler = sampler(&ctx, &setup);
+    let token = CancelToken::unlimited();
+    let zeros = vec![ParamVector::ZERO; circuit.node_count()];
+    let partition = Partition::build(&circuit, 7);
+    let (reference, _) =
+        extract_blocks(&setup.timer, &sampler, &partition, &zeros, None, &token).unwrap();
+    let ref_report = compose(&reference, &setup.timer).unwrap();
+    for run in 0..3 {
+        let (models, _) =
+            extract_blocks(&setup.timer, &sampler, &partition, &zeros, None, &token).unwrap();
+        assert_eq!(models.len(), reference.len());
+        for (b, (m, r)) in models.iter().zip(reference.iter()).enumerate() {
+            assert_eq!(m.dim, r.dim);
+            assert_eq!(m.outputs.len(), r.outputs.len(), "block {b} arc count");
+            for (ma, ra) in m.outputs.iter().zip(r.outputs.iter()) {
+                assert_eq!(ma.node, ra.node);
+                assert_eq!(ma.terms.len(), ra.terms.len());
+                for (mt, rt) in ma.terms.iter().zip(ra.terms.iter()) {
+                    assert_eq!(mt.origin, rt.origin);
+                    assert_eq!(mt.mean.to_bits(), rt.mean.to_bits(), "run {run} block {b}");
+                    assert_eq!(mt.indep.to_bits(), rt.indep.to_bits());
+                    let (ms, rs): (Vec<u64>, Vec<u64>) = (
+                        mt.sens.iter().map(|v| v.to_bits()).collect(),
+                        rt.sens.iter().map(|v| v.to_bits()).collect(),
+                    );
+                    assert_eq!(ms, rs);
+                }
+            }
+        }
+        let report = compose(&models, &setup.timer).unwrap();
+        assert_eq!(form_bits(report.worst()), form_bits(ref_report.worst()));
+    }
+}
+
+/// A one-gate edit through the engine agrees with the parameterized flat
+/// reference, the scalar intra-block engine stays exact, and reverting
+/// the edit restores the pre-edit composed form bitwise.
+#[test]
+fn engine_edit_agrees_with_parameterized_flat() {
+    let (setup, ctx, circuit) = setup(240, 41);
+    let sampler = sampler(&ctx, &setup);
+    let partition = Partition::build(&circuit, 5);
+    let token = CancelToken::unlimited();
+    let zeros = vec![ParamVector::ZERO; circuit.node_count()];
+    let mut engine = HierEngine::new(
+        &setup.timer,
+        &sampler,
+        &partition,
+        zeros.clone(),
+        None,
+        &token,
+    )
+    .unwrap();
+    let baseline = form_bits(engine.worst());
+
+    // Edit a gate near the middle of the netlist (guaranteed non-input
+    // since inputs precede gates in id order and gates > inputs here).
+    let victim = NodeId((circuit.node_count() / 2) as u32);
+    let p = ParamVector::new([0.35, -0.2, 0.15, 0.1]);
+    engine.edit_gate(victim, p, &token).unwrap();
+    assert_eq!(engine.last_stats().extracted, 1, "edit re-extracts one block");
+
+    let mut params = zeros.clone();
+    params[victim.index()] = p;
+    let flat = analyze_canonical_with(&setup.timer, &sampler, &params).unwrap();
+    let (h, f) = (engine.worst(), flat.worst());
+    assert!(
+        (h.mean - f.mean).abs() <= 0.02 * f.mean,
+        "edited worst mean {} vs flat {}",
+        h.mean,
+        f.mean
+    );
+    assert!(
+        (h.sigma() - f.sigma()).abs() <= 0.05 * f.sigma(),
+        "edited worst sigma {} vs flat {}",
+        h.sigma(),
+        f.sigma()
+    );
+    // The scalar engine is exact, not approximate.
+    let exact = setup.timer.analyze(&params);
+    assert_eq!(engine.scalar_worst().to_bits(), exact.worst_delay().to_bits());
+
+    // Reverting the edit restores the composed picture bitwise.
+    engine.edit_gate(victim, ParamVector::ZERO, &token).unwrap();
+    assert_eq!(form_bits(engine.worst()), baseline);
+}

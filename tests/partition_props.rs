@@ -1,0 +1,219 @@
+//! Property suite for the die-region partition layer behind
+//! hierarchical SSTA: over randomized circuits and block counts, the
+//! partition must (1) assign every node to exactly one block, (2) tile
+//! the die with the block rectangles while containing every node's
+//! placement location, (3) report boundary (cut) sets that agree from
+//! both sides of every cross-block arc, and (4) be a pure function of
+//! its inputs — bit-identical across repeated builds. Every property is
+//! seeded and replayable via `KLEST_PROPTEST_SEED=<property>:<seed>`.
+
+use klest::circuit::{generate, GeneratorConfig, Partition, Placement};
+use klest_proptest::{check, strategies::usize_in};
+
+type Case = (usize, usize, usize);
+
+fn case_strategy() -> (
+    klest_proptest::strategies::UsizeIn,
+    klest_proptest::strategies::UsizeIn,
+    klest_proptest::strategies::UsizeIn,
+) {
+    // (gates, generator seed, requested blocks). Block counts above the
+    // node count exercise the clamp.
+    (usize_in(2..240), usize_in(0..10_000), usize_in(1..16))
+}
+
+fn build(case: &Case) -> (klest::circuit::Circuit, Partition) {
+    let &(gates, seed, blocks) = case;
+    let circuit = generate("props", GeneratorConfig::combinational(gates, seed as u64))
+        .expect("generator accepts these sizes");
+    let partition = Partition::build(&circuit, blocks);
+    (circuit, partition)
+}
+
+#[test]
+fn every_node_lives_in_exactly_one_block() {
+    check(
+        "every_node_lives_in_exactly_one_block",
+        &case_strategy(),
+        |case| {
+            let (circuit, partition) = build(case);
+            let n = circuit.node_count();
+            let mut owner = vec![usize::MAX; n];
+            for b in 0..partition.block_count() {
+                for &id in partition.nodes(b) {
+                    if owner[id.index()] != usize::MAX {
+                        return Err(format!(
+                            "node {} listed by blocks {} and {b}",
+                            id.index(),
+                            owner[id.index()]
+                        ));
+                    }
+                    owner[id.index()] = b;
+                    if partition.block_of(id) != b {
+                        return Err(format!(
+                            "node {} listed by block {b} but block_of says {}",
+                            id.index(),
+                            partition.block_of(id)
+                        ));
+                    }
+                }
+            }
+            match owner.iter().position(|&o| o == usize::MAX) {
+                Some(orphan) => Err(format!("node {orphan} not in any block")),
+                None => Ok(()),
+            }
+        },
+    );
+}
+
+#[test]
+fn block_rects_tile_the_die_and_contain_their_nodes() {
+    check(
+        "block_rects_tile_the_die_and_contain_their_nodes",
+        &case_strategy(),
+        |case| {
+            let (circuit, partition) = build(case);
+            let die = partition.die().bbox();
+            let die_area = die.width() * die.height();
+            let total: f64 = (0..partition.block_count())
+                .map(|b| {
+                    let r = partition.rect(b).bbox();
+                    r.width() * r.height()
+                })
+                .sum();
+            if (total - die_area).abs() > 1e-9 * die_area {
+                return Err(format!("rect areas sum to {total}, die is {die_area}"));
+            }
+            // The partition tree is a prefix of the placement tree, so
+            // every placed node must land inside its block's rectangle.
+            let placement = Placement::recursive_bisection(&circuit);
+            for b in 0..partition.block_count() {
+                let rect = partition.rect(b).bbox();
+                for &id in partition.nodes(b) {
+                    let p = placement.locations()[id.index()];
+                    let inside = p.x >= rect.min.x - 1e-12
+                        && p.x <= rect.max.x + 1e-12
+                        && p.y >= rect.min.y - 1e-12
+                        && p.y <= rect.max.y + 1e-12;
+                    if !inside {
+                        return Err(format!(
+                            "node {} placed at ({}, {}) outside block {b} rect",
+                            id.index(),
+                            p.x,
+                            p.y
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn cut_sets_agree_from_both_sides() {
+    check(
+        "cut_sets_agree_from_both_sides",
+        &case_strategy(),
+        |case| {
+            let (circuit, partition) = build(case);
+            for b in 0..partition.block_count() {
+                // Every cut input must be an external node actually
+                // feeding this block, and must be a cut output of its
+                // own block.
+                for &f in partition.cut_inputs(b) {
+                    let fb = partition.block_of(f);
+                    if fb == b {
+                        return Err(format!(
+                            "block {b} lists its own node {} as a cut input",
+                            f.index()
+                        ));
+                    }
+                    let feeds = partition
+                        .nodes(b)
+                        .iter()
+                        .any(|&v| circuit.fanins(v).contains(&f));
+                    if !feeds {
+                        return Err(format!(
+                            "cut input {} of block {b} feeds nothing there",
+                            f.index()
+                        ));
+                    }
+                    if !partition.cut_outputs(fb).contains(&f) {
+                        return Err(format!(
+                            "node {} is a cut input of block {b} but not a cut \
+                             output of its block {fb}",
+                            f.index()
+                        ));
+                    }
+                }
+                // Every cut output must have a foreign fanout that lists
+                // it as a cut input.
+                for &o in partition.cut_outputs(b) {
+                    if partition.block_of(o) != b {
+                        return Err(format!(
+                            "cut output {} not owned by block {b}",
+                            o.index()
+                        ));
+                    }
+                    let consumer = circuit
+                        .fanouts(o)
+                        .iter()
+                        .find(|&&v| partition.block_of(v) != b);
+                    let Some(&consumer) = consumer else {
+                        return Err(format!(
+                            "cut output {} of block {b} has no foreign fanout",
+                            o.index()
+                        ));
+                    };
+                    if !partition
+                        .cut_inputs(partition.block_of(consumer))
+                        .contains(&o)
+                    {
+                        return Err(format!(
+                            "cut output {} missing from consumer block's cut inputs",
+                            o.index()
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn partition_is_deterministic_across_builds() {
+    check(
+        "partition_is_deterministic_across_builds",
+        &case_strategy(),
+        |case| {
+            let (circuit, first) = build(case);
+            let second = Partition::build(&circuit, case.2);
+            if first.block_count() != second.block_count() {
+                return Err("block counts differ across builds".into());
+            }
+            for b in 0..first.block_count() {
+                if first.nodes(b) != second.nodes(b)
+                    || first.cut_inputs(b) != second.cut_inputs(b)
+                    || first.cut_outputs(b) != second.cut_outputs(b)
+                {
+                    return Err(format!("block {b} membership differs across builds"));
+                }
+                if first.content_hash(b) != second.content_hash(b) {
+                    return Err(format!("block {b} content hash differs across builds"));
+                }
+                let (ra, rb) = (first.rect(b).bbox(), second.rect(b).bbox());
+                let bits = |v: f64| v.to_bits();
+                if bits(ra.min.x) != bits(rb.min.x)
+                    || bits(ra.min.y) != bits(rb.min.y)
+                    || bits(ra.max.x) != bits(rb.max.x)
+                    || bits(ra.max.y) != bits(rb.max.y)
+                {
+                    return Err(format!("block {b} rect differs bitwise across builds"));
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,112 @@
+//! End-to-end lockdown of the daemon's `"mode":"hier"` op: repeated
+//! hierarchical queries against the same circuit share block models
+//! through the daemon's artifact cache (the second request extracts
+//! nothing), a warm composition reproduces the cold one digit for
+//! digit, and a one-gate edit re-extracts exactly one block. The
+//! `{"op":"stats"}` probe must account for every block-cache lookup the
+//! stream performed.
+
+use klest::serve::{ServeConfig, Server};
+use std::io::Cursor;
+use std::time::Duration;
+
+const HIER: &str =
+    r#""mode":"hier","gates":120,"circuit_seed":5,"blocks":4,"area_fraction":0.05"#;
+
+/// The raw JSON text of a top-level scalar field.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no `{key}` in {line}"))
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    &rest[..end]
+}
+
+#[test]
+fn hier_requests_share_the_block_cache_and_an_edit_retimes_one_block() {
+    // One worker keeps the stream strictly ordered, so cache warmth at
+    // each request is deterministic.
+    let input = format!(
+        "{{\"id\":\"h1\",{HIER}}}\n\
+         {{\"id\":\"h2\",{HIER}}}\n\
+         {{\"id\":\"h3\",{HIER},\"edit_gate\":60,\"edit_scale\":0.4}}\n\
+         {{\"op\":\"shutdown\"}}\n"
+    );
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        drain: Duration::from_secs(120),
+        ..ServeConfig::default()
+    });
+    let mut out: Vec<u8> = Vec::new();
+    let summary = server.serve(Cursor::new(input), &mut out);
+    assert!(summary.drained_clean, "{summary:?}");
+    assert_eq!(summary.completed, 3, "{summary:?}");
+    assert!(summary.shutdown, "{summary:?}");
+
+    let text = String::from_utf8(out).expect("responses are UTF-8");
+    let line_for = |id: &str| {
+        text.lines()
+            .find(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .unwrap_or_else(|| panic!("no response for {id} in:\n{text}"))
+            .to_string()
+    };
+
+    // Cold request: every block model is extracted, none served warm.
+    let h1 = line_for("h1");
+    assert!(h1.contains("\"status\":\"completed\""), "{h1}");
+    assert!(
+        h1.contains("\"hier\":{\"blocks\":4,\"cache_hits\":0,\"extracted\":4}"),
+        "{h1}"
+    );
+
+    // Identical request: all four models come from the shared cache and
+    // the composed statistics reproduce the cold pass digit for digit.
+    let h2 = line_for("h2");
+    assert!(
+        h2.contains("\"hier\":{\"blocks\":4,\"cache_hits\":4,\"extracted\":0}"),
+        "{h2}"
+    );
+    assert_eq!(
+        field(&h1, "mean"),
+        field(&h2, "mean"),
+        "warm composition must reproduce the cold one"
+    );
+    assert_eq!(field(&h1, "sigma"), field(&h2, "sigma"));
+
+    // Edit request: the nominal composition is fully warm, then the
+    // one-gate edit re-keys and re-extracts exactly one block.
+    let h3 = line_for("h3");
+    assert!(
+        h3.contains(
+            "\"hier\":{\"blocks\":4,\"cache_hits\":4,\"extracted\":0,\
+             \"edit\":{\"gate\":60,\"extracted\":1,\"cache_hits\":0,"
+        ),
+        "{h3}"
+    );
+
+    // Stats account for every block lookup the stream performed: 4 cold
+    // misses (h1) + 1 edit-key miss (h3) and 4 + 4 warm hits (h2, h3
+    // nominal); the memory layer holds the 4 nominal models plus the
+    // edited one. The probe rides a second connection — the cache and
+    // its counters outlive the first drain — because inline ops are
+    // answered before queued queries run.
+    let mut out2: Vec<u8> = Vec::new();
+    server.serve(
+        Cursor::new("{\"op\":\"stats\",\"id\":\"s\"}\n{\"op\":\"shutdown\"}\n".to_string()),
+        &mut out2,
+    );
+    let text = String::from_utf8(out2).expect("responses are UTF-8");
+    let stats = text
+        .lines()
+        .find(|l| l.contains("\"id\":\"s\""))
+        .unwrap_or_else(|| panic!("no stats response in:\n{text}"))
+        .to_string();
+    assert!(
+        stats.contains("\"block\":{\"hits\":8,\"misses\":5,"),
+        "{stats}"
+    );
+    assert!(stats.contains("\"block\":5}"), "block entry count: {stats}");
+}
